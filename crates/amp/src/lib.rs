@@ -1,0 +1,29 @@
+//! The broad-band BiCMOS amplifier example (§3 of the paper).
+//!
+//! The paper demonstrates its environment on the high-bandwidth BiCMOS
+//! operational amplifier of Nebel/Kleine (ref. \[10\] of the paper),
+//! partitioned into six blocks with per-block matching styles:
+//!
+//! | block | content | style (paper's words) |
+//! |---|---|---|
+//! | A | cascode transistors of the bias circuit | *"two inter-digital MOS transistors"* |
+//! | B | current mirror | *"symmetrical layout module ... with the diode transistor in the middle"* |
+//! | C | current sources | *"cross-coupled arrangement of inter-digital transistors"* |
+//! | D | no special matching | plain transistor pair |
+//! | E | input differential pair | *"centroidal cross-coupled inter-digital transistors with eight dummy transistors in the middle and four ... on the right and left side"* |
+//! | F | bipolar transistors | *"composed symmetrically"* |
+//!
+//! *"The placement of the modules and the global routing were done
+//! manually"* — reproduced here as a fixed placement table plus a
+//! deterministic channel router (metal2 tracks, metal1 stubs through
+//! vias).
+//!
+//! The paper reports a layout of **592 × 481 µm²** in a 1 µm Siemens
+//! BiCMOS process. Device sizes of ref. \[10\] are not printed in the
+//! paper, so this module uses representative sizes; EXPERIMENTS.md
+//! records the measured area next to the paper's.
+
+pub mod blocks;
+pub mod routing;
+
+pub use blocks::{build_amplifier, build_amplifier_cmos, AmpReport};

@@ -1,0 +1,4 @@
+//! Criterion benches live in `benches/`; this library hosts shared
+//! workload helpers.
+
+pub mod workloads;

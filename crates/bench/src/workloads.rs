@@ -1,0 +1,80 @@
+//! Shared workload builders for the figure benches.
+
+use amgen::modgen::centroid::{centroid_diff_pair, CentroidParams};
+use amgen::modgen::diffpair::{diff_pair, DiffPairParams};
+use amgen::modgen::{contact_row, ContactRowParams, MosType};
+use amgen::prelude::*;
+
+/// The benchmark technology (the paper's process class).
+pub fn tech() -> Tech {
+    Tech::bicmos_1u()
+}
+
+/// A latch-up workload: `n` active stripes in a row, substrate contacts
+/// every `every` stripes.
+pub fn latchup_workload(tech: &Tech, n: usize, every: usize) -> LayoutObject {
+    let pdiff = tech.layer("pdiff").unwrap();
+    let mut obj = LayoutObject::new("latchup");
+    for i in 0..n {
+        let x = i as i64 * um(12);
+        obj.push(
+            Shape::new(pdiff, Rect::new(x, 0, x + um(8), um(6)))
+                .with_role(ShapeRole::DeviceActive),
+        );
+        if i % every == 0 {
+            obj.push(
+                Shape::new(pdiff, Rect::new(x, um(10), x + um(2), um(12)))
+                    .with_role(ShapeRole::SubstrateContact),
+            );
+        }
+    }
+    obj
+}
+
+/// The three contact-row variants of Fig. 3.
+pub fn fig3_rows(tech: &Tech) -> [LayoutObject; 3] {
+    let poly = tech.layer("poly").unwrap();
+    [
+        contact_row(tech, poly, &ContactRowParams::new()).unwrap(),
+        contact_row(tech, poly, &ContactRowParams::new().with_w(um(10))).unwrap(),
+        contact_row(
+            tech,
+            poly,
+            &ContactRowParams::new().with_w(um(8)).with_l(um(6)),
+        )
+        .unwrap(),
+    ]
+}
+
+/// The Fig. 6 differential pair.
+pub fn fig6_pair(tech: &Tech) -> LayoutObject {
+    diff_pair(
+        tech,
+        &DiffPairParams::new(MosType::P).with_w(um(10)).with_l(um(2)),
+    )
+    .unwrap()
+}
+
+/// The Fig. 10 / block E centroid pair in the paper's configuration.
+pub fn fig10_centroid(tech: &Tech) -> LayoutObject {
+    centroid_diff_pair(
+        tech,
+        &CentroidParams::paper(MosType::N).with_w(um(6)).with_l(um(1)),
+    )
+    .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_build() {
+        let t = tech();
+        assert!(latchup_workload(&t, 10, 3).len() > 10);
+        let rows = fig3_rows(&t);
+        assert!(rows[1].bbox().width() > rows[0].bbox().width());
+        assert!(!fig6_pair(&t).is_empty());
+        assert!(!fig10_centroid(&t).is_empty());
+    }
+}

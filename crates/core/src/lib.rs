@@ -1,0 +1,78 @@
+//! # amgen — an analog module generator environment
+//!
+//! A Rust reproduction of *"A Novel Analog Module Generator Environment"*
+//! (M. Wolf, U. Kleine, B. J. Hosticka, DATE 1996): a complete system for
+//! generating analog IC layout modules from parameterizable, technology
+//! independent descriptions.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | subsystem | crate | paper section |
+//! |---|---|---|
+//! | geometry kernel (rect algebra, Fig. 1 subtraction) | [`geom`] | data model |
+//! | technology / design rules | [`tech`] | tech file |
+//! | layout database (shapes, edges, nets, objects) | [`db`] | §2.2–2.3 |
+//! | primitive shape functions (INBOX, ARRAY, ...) | [`prim`] | §2.2 |
+//! | successive compactor (variable edges, auto-connect) | [`compact`] | §2.3 |
+//! | order optimizer + rating function | [`opt`] | §2.4 |
+//! | design rule checker (incl. latch-up, Fig. 1) | [`drc`] | §2.1 |
+//! | connectivity & parasitic extraction | [`extract`] | §2.4, §3 |
+//! | the layout description language | [`dsl`] | §2.1 |
+//! | wiring routines (symmetric routing, Fig. 10) | [`route`] | §2, §3 |
+//! | module library (contact rows → centroid pairs) | [`modgen`] | §2.5, §3 |
+//! | SVG / GDSII export | [`export`] | tooling |
+//! | the BiCMOS amplifier example | [`amp`] | §3, Figs. 8–10 |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use amgen::prelude::*;
+//!
+//! // The paper's Fig. 2 module, written in the layout description
+//! // language and generated in the built-in BiCMOS technology.
+//! let tech = Tech::bicmos_1u();
+//! let mut interp = Interpreter::new(&tech);
+//! let out = interp
+//!     .run(
+//!         r#"
+//! row = ContactRow(layer = "poly", W = 10)
+//!
+//! ENT ContactRow(layer, <W>, <L>)
+//!   INBOX(layer, W, L)
+//!   INBOX("metal1")
+//!   ARRAY("contact")
+//! "#,
+//!     )
+//!     .unwrap();
+//! let row = &out["row"];
+//! assert!(Drc::new(&tech).check(row).is_empty());
+//! ```
+
+pub use amgen_amp as amp;
+pub use amgen_compact as compact;
+pub use amgen_db as db;
+pub use amgen_drc as drc;
+pub use amgen_dsl as dsl;
+pub use amgen_export as export;
+pub use amgen_extract as extract;
+pub use amgen_geom as geom;
+pub use amgen_modgen as modgen;
+pub use amgen_opt as opt;
+pub use amgen_prim as prim;
+pub use amgen_route as route;
+pub use amgen_tech as tech;
+
+/// The most common types, for glob import.
+pub mod prelude {
+    pub use amgen_compact::{CompactOptions, Compactor};
+    pub use amgen_db::{LayoutObject, Port, Shape, ShapeRole};
+    pub use amgen_drc::Drc;
+    pub use amgen_dsl::Interpreter;
+    pub use amgen_export::{render_svg, write_gds};
+    pub use amgen_extract::Extractor;
+    pub use amgen_geom::{um, Dir, Point, Rect, Region, Vector};
+    pub use amgen_opt::{Optimizer, RatingWeights};
+    pub use amgen_prim::Primitives;
+    pub use amgen_route::Router;
+    pub use amgen_tech::Tech;
+}

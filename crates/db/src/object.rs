@@ -1,0 +1,590 @@
+//! Layout objects: the unit the successive compactor abuts.
+
+use amgen_geom::{Rect, Vector};
+use amgen_tech::Layer;
+
+use crate::shape::{NetId, Shape};
+
+/// A named connection point used by the routing routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Port name (e.g. `"g1"`, `"out"`).
+    pub name: String,
+    /// Layer the port geometry lives on.
+    pub layer: Layer,
+    /// Port geometry.
+    pub rect: Rect,
+    /// Potential, if assigned.
+    pub net: Option<NetId>,
+}
+
+/// Identifies a [`Group`] within its object.
+///
+/// Groups are positional and never removed, so ids are stable indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GroupId(pub(crate) u32);
+
+impl GroupId {
+    /// The group's position in [`LayoutObject::groups`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a position in [`LayoutObject::groups`].
+    pub fn from_index(i: usize) -> GroupId {
+        GroupId(i as u32)
+    }
+}
+
+/// How a group's generated geometry is re-derived after the compactor has
+/// moved one of its variable edges (the paper's Fig. 5b: *"the contact row
+/// was rebuilt and the array of contact-rectangles was recalculated"*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebuildKind {
+    /// The group's shapes on the given cut layer are a generated array:
+    /// delete them and re-place the maximal equidistant array inside the
+    /// remaining (conductor) shapes of the group.
+    ContactArray {
+        /// The cut layer whose array is regenerated.
+        cut: Layer,
+    },
+}
+
+/// A named set of shapes that the compactor rebuilds as a unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    /// Group name (diagnostic).
+    pub name: String,
+    /// Indices into the owning object's shape list.
+    pub shapes: Vec<usize>,
+    /// Rebuild rule, if the group is regenerated geometry.
+    pub rebuild: Option<RebuildKind>,
+}
+
+/// A named, flat collection of shapes with ports, groups and a local net
+/// table.
+///
+/// Hierarchy in the paper is *constructive*: `trans2 = trans1` copies a
+/// data structure, and `compact(...)` folds an object's shapes into the
+/// growing main object. Accordingly [`LayoutObject`] supports cloning,
+/// transformation and [`absorb`](LayoutObject::absorb); it does not keep
+/// references to children.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LayoutObject {
+    name: String,
+    shapes: Vec<Shape>,
+    nets: Vec<String>,
+    ports: Vec<Port>,
+    groups: Vec<Group>,
+}
+
+impl LayoutObject {
+    /// Creates an empty object.
+    pub fn new(name: impl Into<String>) -> LayoutObject {
+        LayoutObject { name: name.into(), ..LayoutObject::default() }
+    }
+
+    /// The object's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the object.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Returns the id of the named net, creating it if needed.
+    pub fn net(&mut self, name: &str) -> NetId {
+        if let Some(i) = self.nets.iter().position(|n| n == name) {
+            NetId(i as u32)
+        } else {
+            self.nets.push(name.to_string());
+            NetId((self.nets.len() - 1) as u32)
+        }
+    }
+
+    /// Looks up a net by name without creating it.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.nets.iter().position(|n| n == name).map(|i| NetId(i as u32))
+    }
+
+    /// The name of a net.
+    pub fn net_name(&self, id: NetId) -> &str {
+        &self.nets[id.index()]
+    }
+
+    /// All net names.
+    pub fn net_names(&self) -> &[String] {
+        &self.nets
+    }
+
+    /// Adds a shape, returning its index.
+    pub fn push(&mut self, s: Shape) -> usize {
+        self.shapes.push(s);
+        self.shapes.len() - 1
+    }
+
+    /// All shapes.
+    pub fn shapes(&self) -> &[Shape] {
+        &self.shapes
+    }
+
+    /// Mutable access to all shapes.
+    pub fn shapes_mut(&mut self) -> &mut [Shape] {
+        &mut self.shapes
+    }
+
+    /// Shapes on one layer.
+    pub fn shapes_on(&self, layer: Layer) -> impl Iterator<Item = &Shape> + '_ {
+        self.shapes.iter().filter(move |s| s.layer == layer)
+    }
+
+    /// True if the object has no shapes.
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+
+    /// Number of shapes.
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Bounding box over all shapes.
+    pub fn bbox(&self) -> Rect {
+        self.shapes
+            .iter()
+            .fold(Rect::EMPTY, |acc, s| acc.union_bbox(&s.rect))
+    }
+
+    /// Bounding box over one layer.
+    pub fn bbox_on(&self, layer: Layer) -> Rect {
+        self.shapes_on(layer)
+            .fold(Rect::EMPTY, |acc, s| acc.union_bbox(&s.rect))
+    }
+
+    /// Adds a port.
+    pub fn push_port(&mut self, port: Port) {
+        self.ports.push(port);
+    }
+
+    /// The first port with the given name.
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// The most recently added port with the given name — module
+    /// generators push their top-level bus ports last, so this resolves a
+    /// name to the module-level terminal even when absorbed sub-objects
+    /// carried ports of the same name.
+    pub fn last_port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().rev().find(|p| p.name == name)
+    }
+
+    /// All ports.
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+
+    /// Adds a group over existing shape indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn add_group(
+        &mut self,
+        name: impl Into<String>,
+        shapes: Vec<usize>,
+        rebuild: Option<RebuildKind>,
+    ) -> GroupId {
+        for &i in &shapes {
+            assert!(i < self.shapes.len(), "group index {i} out of range");
+        }
+        self.groups.push(Group { name: name.into(), shapes, rebuild });
+        GroupId((self.groups.len() - 1) as u32)
+    }
+
+    /// All groups.
+    pub fn groups(&self) -> &[Group] {
+        &self.groups
+    }
+
+    /// One group.
+    pub fn group(&self, id: GroupId) -> &Group {
+        &self.groups[id.0 as usize]
+    }
+
+    /// Removes the shapes at the given indices, remapping group indices.
+    ///
+    /// Groups that referenced a removed shape simply lose that member.
+    pub fn remove_shapes(&mut self, indices: &[usize]) {
+        if indices.is_empty() {
+            return;
+        }
+        let mut removed = vec![false; self.shapes.len()];
+        for &i in indices {
+            removed[i] = true;
+        }
+        // Build old-index → new-index map.
+        let mut remap = vec![usize::MAX; self.shapes.len()];
+        let mut next = 0usize;
+        for (i, &r) in removed.iter().enumerate() {
+            if !r {
+                remap[i] = next;
+                next += 1;
+            }
+        }
+        let mut keep = Vec::with_capacity(next);
+        for (i, s) in self.shapes.drain(..).enumerate() {
+            if !removed[i] {
+                keep.push(s);
+            }
+        }
+        self.shapes = keep;
+        for g in &mut self.groups {
+            g.shapes.retain(|&i| !removed[i]);
+            for i in &mut g.shapes {
+                *i = remap[*i];
+            }
+        }
+    }
+
+    /// Appends new shapes to a group.
+    pub fn extend_group(&mut self, id: GroupId, new_shapes: Vec<usize>) {
+        for &i in &new_shapes {
+            assert!(i < self.shapes.len(), "group index {i} out of range");
+        }
+        self.groups[id.0 as usize].shapes.extend(new_shapes);
+    }
+
+    /// Translates all geometry (shapes and ports).
+    pub fn translate(&mut self, v: Vector) {
+        for s in &mut self.shapes {
+            *s = s.translated(v);
+        }
+        for p in &mut self.ports {
+            p.rect = p.rect.translated(v);
+        }
+    }
+
+    /// Returns a mirrored copy about the vertical line `x = axis_x`.
+    ///
+    /// Edge mobility flags follow the mirror (an East-variable edge
+    /// becomes West-variable), as do port rectangles.
+    #[must_use]
+    pub fn mirrored_x(&self, axis_x: i64) -> LayoutObject {
+        let mut out = self.clone();
+        for s in &mut out.shapes {
+            *s = s.mirrored_x(axis_x);
+        }
+        for p in &mut out.ports {
+            p.rect = Rect::new(
+                2 * axis_x - p.rect.x1,
+                p.rect.y0,
+                2 * axis_x - p.rect.x0,
+                p.rect.y1,
+            );
+        }
+        out
+    }
+
+    /// Returns a mirrored copy about the horizontal line `y = axis_y`.
+    #[must_use]
+    pub fn mirrored_y(&self, axis_y: i64) -> LayoutObject {
+        let mut out = self.clone();
+        for s in &mut out.shapes {
+            *s = s.mirrored_y(axis_y);
+        }
+        for p in &mut out.ports {
+            p.rect = Rect::new(
+                p.rect.x0,
+                2 * axis_y - p.rect.y1,
+                p.rect.x1,
+                2 * axis_y - p.rect.y0,
+            );
+        }
+        out
+    }
+
+    /// Returns a copy with every net (and port) name prefixed —
+    /// used when assembling blocks so internal nets of different modules
+    /// cannot collide by name.
+    #[must_use]
+    pub fn prefixed(&self, prefix: &str) -> LayoutObject {
+        let mut out = self.clone();
+        for n in &mut out.nets {
+            *n = format!("{prefix}{n}");
+        }
+        for p in &mut out.ports {
+            p.name = format!("{prefix}{}", p.name);
+        }
+        out
+    }
+
+    /// Renames a net. If the new name already exists, the two nets are
+    /// merged (all shapes and ports move to the existing id). Port
+    /// *names* are left untouched — they are addresses, not potentials.
+    pub fn rename_net(&mut self, old: &str, new: &str) {
+        let Some(old_id) = self.find_net(old) else {
+            return;
+        };
+        if let Some(new_id) = self.find_net(new) {
+            if new_id == old_id {
+                return;
+            }
+            for s in &mut self.shapes {
+                if s.net == Some(old_id) {
+                    s.net = Some(new_id);
+                }
+            }
+            for p in &mut self.ports {
+                if p.net == Some(old_id) {
+                    p.net = Some(new_id);
+                }
+            }
+            // The old slot keeps its (now unused) name; blank it so the
+            // name cannot be found again.
+            self.nets[old_id.index()] = format!("<renamed:{old}>");
+        } else {
+            self.nets[old_id.index()] = new.to_string();
+        }
+    }
+
+    /// Folds `other` (translated by `v`) into this object.
+    ///
+    /// Nets are re-mapped **by name**: a net called `"g"` in both objects
+    /// becomes one potential. Ports and groups are carried over (group
+    /// indices shifted). Returns the index offset at which `other`'s
+    /// shapes were appended.
+    pub fn absorb(&mut self, other: &LayoutObject, v: Vector) -> usize {
+        let offset = self.shapes.len();
+        // Net remap by name.
+        let remap: Vec<NetId> = other
+            .nets
+            .iter()
+            .map(|n| self.net(n))
+            .collect();
+        for s in &other.shapes {
+            let mut s = s.translated(v);
+            s.net = s.net.map(|old| remap[old.index()]);
+            self.shapes.push(s);
+        }
+        for p in &other.ports {
+            self.ports.push(Port {
+                name: p.name.clone(),
+                layer: p.layer,
+                rect: p.rect.translated(v),
+                net: p.net.map(|old| remap[old.index()]),
+            });
+        }
+        for g in &other.groups {
+            self.groups.push(Group {
+                name: g.name.clone(),
+                shapes: g.shapes.iter().map(|&i| i + offset).collect(),
+                rebuild: g.rebuild,
+            });
+        }
+        offset
+    }
+}
+
+impl std::fmt::Display for LayoutObject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} shapes, bbox {})",
+            self.name,
+            self.shapes.len(),
+            self.bbox()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::EdgeFlags;
+    use amgen_geom::Dir;
+    use amgen_tech::Tech;
+
+    fn tech() -> Tech {
+        Tech::bicmos_1u()
+    }
+
+    #[test]
+    fn nets_are_deduplicated_by_name() {
+        let mut obj = LayoutObject::new("x");
+        let a = obj.net("g");
+        let b = obj.net("d");
+        let a2 = obj.net("g");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(obj.net_name(a), "g");
+        assert_eq!(obj.find_net("d"), Some(b));
+        assert_eq!(obj.find_net("nope"), None);
+    }
+
+    #[test]
+    fn bbox_over_layers() {
+        let t = tech();
+        let poly = t.layer("poly").unwrap();
+        let m1 = t.layer("metal1").unwrap();
+        let mut obj = LayoutObject::new("x");
+        obj.push(Shape::new(poly, Rect::new(0, 0, 10, 10)));
+        obj.push(Shape::new(m1, Rect::new(20, 0, 40, 5)));
+        assert_eq!(obj.bbox(), Rect::new(0, 0, 40, 10));
+        assert_eq!(obj.bbox_on(poly), Rect::new(0, 0, 10, 10));
+        assert_eq!(obj.bbox_on(m1), Rect::new(20, 0, 40, 5));
+        assert!(obj.bbox_on(t.layer("metal2").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn absorb_remaps_nets_by_name() {
+        let t = tech();
+        let poly = t.layer("poly").unwrap();
+        let mut a = LayoutObject::new("a");
+        let ga = a.net("g");
+        a.push(Shape::new(poly, Rect::new(0, 0, 10, 10)).with_net(ga));
+
+        let mut b = LayoutObject::new("b");
+        let xb = b.net("x"); // different first net: ids diverge
+        let gb = b.net("g");
+        b.push(Shape::new(poly, Rect::new(0, 0, 5, 5)).with_net(gb));
+        b.push(Shape::new(poly, Rect::new(7, 7, 9, 9)).with_net(xb));
+
+        let off = a.absorb(&b, Vector::new(100, 0));
+        assert_eq!(off, 1);
+        // The absorbed "g" shape shares a's "g" potential.
+        assert_eq!(a.shapes()[1].net, Some(ga));
+        // "x" got a fresh id in a.
+        let xa = a.find_net("x").unwrap();
+        assert_eq!(a.shapes()[2].net, Some(xa));
+        assert_ne!(xa, ga);
+        // Geometry was translated.
+        assert_eq!(a.shapes()[1].rect, Rect::new(100, 0, 105, 5));
+    }
+
+    #[test]
+    fn absorb_shifts_group_indices() {
+        let t = tech();
+        let poly = t.layer("poly").unwrap();
+        let ct = t.layer("contact").unwrap();
+        let mut a = LayoutObject::new("a");
+        a.push(Shape::new(poly, Rect::new(0, 0, 10, 10)));
+
+        let mut b = LayoutObject::new("b");
+        let i0 = b.push(Shape::new(poly, Rect::new(0, 0, 4, 4)));
+        let i1 = b.push(Shape::new(ct, Rect::new(1, 1, 2, 2)));
+        b.add_group("row", vec![i0, i1], Some(RebuildKind::ContactArray { cut: ct }));
+
+        a.absorb(&b, Vector::ZERO);
+        assert_eq!(a.groups().len(), 1);
+        assert_eq!(a.groups()[0].shapes, vec![1, 2]);
+    }
+
+    #[test]
+    fn remove_shapes_remaps_groups() {
+        let t = tech();
+        let poly = t.layer("poly").unwrap();
+        let mut obj = LayoutObject::new("x");
+        let i0 = obj.push(Shape::new(poly, Rect::new(0, 0, 1, 1)));
+        let i1 = obj.push(Shape::new(poly, Rect::new(2, 0, 3, 1)));
+        let i2 = obj.push(Shape::new(poly, Rect::new(4, 0, 5, 1)));
+        obj.add_group("g", vec![i0, i1, i2], None);
+        obj.remove_shapes(&[i1]);
+        assert_eq!(obj.len(), 2);
+        assert_eq!(obj.groups()[0].shapes, vec![0, 1]);
+        assert_eq!(obj.shapes()[1].rect, Rect::new(4, 0, 5, 1));
+    }
+
+    #[test]
+    fn mirror_x_flips_ports_and_edge_flags() {
+        let t = tech();
+        let m1 = t.layer("metal1").unwrap();
+        let mut obj = LayoutObject::new("x");
+        obj.push(
+            Shape::new(m1, Rect::new(0, 0, 10, 4))
+                .with_edges(EdgeFlags::FIXED.with_variable(Dir::East)),
+        );
+        obj.push_port(Port {
+            name: "p".into(),
+            layer: m1,
+            rect: Rect::new(8, 0, 10, 4),
+            net: None,
+        });
+        let m = obj.mirrored_x(0);
+        assert_eq!(m.shapes()[0].rect, Rect::new(-10, 0, 0, 4));
+        assert!(m.shapes()[0].edges.is_variable(Dir::West));
+        assert_eq!(m.port("p").unwrap().rect, Rect::new(-10, 0, -8, 4));
+        // Double mirror restores the original geometry.
+        let mm = m.mirrored_x(0);
+        assert_eq!(mm.shapes()[0].rect, obj.shapes()[0].rect);
+    }
+
+    #[test]
+    fn translate_moves_everything() {
+        let t = tech();
+        let m1 = t.layer("metal1").unwrap();
+        let mut obj = LayoutObject::new("x");
+        obj.push(Shape::new(m1, Rect::new(0, 0, 10, 4)));
+        obj.push_port(Port { name: "p".into(), layer: m1, rect: Rect::new(0, 0, 2, 2), net: None });
+        obj.translate(Vector::new(5, 7));
+        assert_eq!(obj.bbox(), Rect::new(5, 7, 15, 11));
+        assert_eq!(obj.port("p").unwrap().rect, Rect::new(5, 7, 7, 9));
+    }
+
+    #[test]
+    fn prefixed_renames_nets_and_ports() {
+        let t = tech();
+        let m1 = t.layer("metal1").unwrap();
+        let mut obj = LayoutObject::new("blk");
+        let s = obj.net("s");
+        obj.push(Shape::new(m1, Rect::new(0, 0, 10, 10)).with_net(s));
+        obj.push_port(Port { name: "s".into(), layer: m1, rect: Rect::new(0, 0, 10, 10), net: Some(s) });
+        let p = obj.prefixed("b:");
+        assert!(p.find_net("b:s").is_some());
+        assert!(p.find_net("s").is_none());
+        assert!(p.port("b:s").is_some());
+    }
+
+    #[test]
+    fn rename_net_simple() {
+        let t = tech();
+        let m1 = t.layer("metal1").unwrap();
+        let mut obj = LayoutObject::new("x");
+        let s = obj.net("s");
+        obj.push(Shape::new(m1, Rect::new(0, 0, 10, 10)).with_net(s));
+        obj.rename_net("s", "vdd");
+        assert!(obj.find_net("vdd").is_some());
+        assert!(obj.find_net("s").is_none());
+        assert_eq!(obj.net_name(obj.shapes()[0].net.unwrap()), "vdd");
+    }
+
+    #[test]
+    fn rename_net_merges_into_existing() {
+        let t = tech();
+        let m1 = t.layer("metal1").unwrap();
+        let mut obj = LayoutObject::new("x");
+        let a = obj.net("a");
+        let b = obj.net("b");
+        obj.push(Shape::new(m1, Rect::new(0, 0, 10, 10)).with_net(a));
+        obj.push(Shape::new(m1, Rect::new(20, 0, 30, 10)).with_net(b));
+        obj.rename_net("a", "b");
+        assert_eq!(obj.shapes()[0].net, obj.shapes()[1].net);
+        assert!(obj.find_net("a").is_none());
+    }
+
+    #[test]
+    fn rename_missing_net_is_a_noop() {
+        let mut obj = LayoutObject::new("x");
+        obj.rename_net("ghost", "real");
+        assert!(obj.find_net("real").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn group_with_bad_index_panics() {
+        let mut obj = LayoutObject::new("x");
+        obj.add_group("bad", vec![0], None);
+    }
+}

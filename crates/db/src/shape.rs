@@ -1,0 +1,295 @@
+//! Shapes: one rectangle on one layer, with edge properties and potential.
+
+use amgen_geom::{Dir, Rect, Vector};
+use amgen_tech::Layer;
+
+/// A potential (net) local to a [`crate::LayoutObject`].
+///
+/// Net ids are indices into the owning object's net-name table; when two
+/// objects are merged, nets are re-mapped **by name** so that a `"g"` net
+/// in both halves becomes one potential.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// The raw table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Per-edge mobility flags.
+///
+/// A **variable** edge may be moved inward by the compactor when it is the
+/// binding constraint — the paper's Fig. 5b, where the metal edges of a
+/// contact row shrink so that neighbouring geometry can be placed closer.
+/// Edges default to **fixed**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct EdgeFlags(u8);
+
+impl EdgeFlags {
+    /// All edges fixed.
+    pub const FIXED: EdgeFlags = EdgeFlags(0);
+
+    /// All edges variable.
+    pub const ALL_VARIABLE: EdgeFlags = EdgeFlags(0b1111);
+
+    fn bit(dir: Dir) -> u8 {
+        match dir {
+            Dir::North => 1,
+            Dir::South => 2,
+            Dir::East => 4,
+            Dir::West => 8,
+        }
+    }
+
+    /// Returns flags with the edge facing `dir` marked variable.
+    #[must_use]
+    pub fn with_variable(self, dir: Dir) -> EdgeFlags {
+        EdgeFlags(self.0 | Self::bit(dir))
+    }
+
+    /// Returns flags with the edge facing `dir` marked fixed.
+    #[must_use]
+    pub fn with_fixed(self, dir: Dir) -> EdgeFlags {
+        EdgeFlags(self.0 & !Self::bit(dir))
+    }
+
+    /// True if the edge facing `dir` is variable.
+    pub fn is_variable(self, dir: Dir) -> bool {
+        self.0 & Self::bit(dir) != 0
+    }
+
+    /// Flags after mirroring about a vertical axis (swaps East/West).
+    #[must_use]
+    pub fn mirrored_x(self) -> EdgeFlags {
+        let mut out = EdgeFlags(self.0 & (Self::bit(Dir::North) | Self::bit(Dir::South)));
+        if self.is_variable(Dir::East) {
+            out = out.with_variable(Dir::West);
+        }
+        if self.is_variable(Dir::West) {
+            out = out.with_variable(Dir::East);
+        }
+        out
+    }
+
+    /// Flags after mirroring about a horizontal axis (swaps North/South).
+    #[must_use]
+    pub fn mirrored_y(self) -> EdgeFlags {
+        let mut out = EdgeFlags(self.0 & (Self::bit(Dir::East) | Self::bit(Dir::West)));
+        if self.is_variable(Dir::North) {
+            out = out.with_variable(Dir::South);
+        }
+        if self.is_variable(Dir::South) {
+            out = out.with_variable(Dir::North);
+        }
+        out
+    }
+}
+
+/// Semantic role of a shape, consumed by rule checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ShapeRole {
+    /// Plain geometry.
+    #[default]
+    Normal,
+    /// MOS active area (LOCOS) that the latch-up rule must see covered.
+    DeviceActive,
+    /// A substrate / well contact that provides latch-up coverage.
+    SubstrateContact,
+}
+
+/// One rectangle on one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shape {
+    /// Geometry.
+    pub rect: Rect,
+    /// Mask layer.
+    pub layer: Layer,
+    /// Potential, if assigned.
+    pub net: Option<NetId>,
+    /// Edge mobility.
+    pub edges: EdgeFlags,
+    /// Semantic role (latch-up bookkeeping).
+    pub role: ShapeRole,
+    /// When set, the compactor must not let other shapes overlap this one
+    /// even where the rules would allow a zero spacing — the paper's
+    /// parasitic-capacitance avoidance property.
+    pub keepout: bool,
+}
+
+impl Shape {
+    /// Creates a fixed, un-netted shape.
+    pub fn new(layer: Layer, rect: Rect) -> Shape {
+        Shape {
+            rect,
+            layer,
+            net: None,
+            edges: EdgeFlags::FIXED,
+            role: ShapeRole::Normal,
+            keepout: false,
+        }
+    }
+
+    /// Assigns a potential.
+    #[must_use]
+    pub fn with_net(mut self, net: NetId) -> Shape {
+        self.net = Some(net);
+        self
+    }
+
+    /// Sets the edge flags.
+    #[must_use]
+    pub fn with_edges(mut self, edges: EdgeFlags) -> Shape {
+        self.edges = edges;
+        self
+    }
+
+    /// Sets the role.
+    #[must_use]
+    pub fn with_role(mut self, role: ShapeRole) -> Shape {
+        self.role = role;
+        self
+    }
+
+    /// Marks the shape as overlap-protected.
+    #[must_use]
+    pub fn with_keepout(mut self) -> Shape {
+        self.keepout = true;
+        self
+    }
+
+    /// Translates the shape.
+    #[must_use]
+    pub fn translated(mut self, v: Vector) -> Shape {
+        self.rect = self.rect.translated(v);
+        self
+    }
+
+    /// Mirrors about the vertical line `x = axis_x` (edge flags follow).
+    #[must_use]
+    pub fn mirrored_x(mut self, axis_x: i64) -> Shape {
+        self.rect = Rect::new(
+            2 * axis_x - self.rect.x1,
+            self.rect.y0,
+            2 * axis_x - self.rect.x0,
+            self.rect.y1,
+        );
+        self.edges = self.edges.mirrored_x();
+        self
+    }
+
+    /// Mirrors about the horizontal line `y = axis_y` (edge flags follow).
+    #[must_use]
+    pub fn mirrored_y(mut self, axis_y: i64) -> Shape {
+        self.rect = Rect::new(
+            self.rect.x0,
+            2 * axis_y - self.rect.y1,
+            self.rect.x1,
+            2 * axis_y - self.rect.y0,
+        );
+        self.edges = self.edges.mirrored_y();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amgen_tech::Tech;
+
+    fn layer() -> Layer {
+        // A fresh tech per test is fine; handles are only compared within
+        // one test.
+        Tech::bicmos_1u().layer("poly").unwrap()
+    }
+
+    #[test]
+    fn edge_flags_set_and_query() {
+        let f = EdgeFlags::FIXED
+            .with_variable(Dir::North)
+            .with_variable(Dir::West);
+        assert!(f.is_variable(Dir::North));
+        assert!(f.is_variable(Dir::West));
+        assert!(!f.is_variable(Dir::South));
+        assert!(!f.is_variable(Dir::East));
+        let f = f.with_fixed(Dir::North);
+        assert!(!f.is_variable(Dir::North));
+    }
+
+    #[test]
+    fn all_variable_covers_every_direction() {
+        for d in Dir::ALL {
+            assert!(EdgeFlags::ALL_VARIABLE.is_variable(d));
+            assert!(!EdgeFlags::FIXED.is_variable(d));
+        }
+    }
+
+    #[test]
+    fn mirror_swaps_the_right_pair() {
+        let f = EdgeFlags::FIXED.with_variable(Dir::East);
+        assert!(f.mirrored_x().is_variable(Dir::West));
+        assert!(!f.mirrored_x().is_variable(Dir::East));
+        assert!(f.mirrored_y().is_variable(Dir::East), "y-mirror keeps E/W");
+        let g = EdgeFlags::FIXED.with_variable(Dir::North);
+        assert!(g.mirrored_y().is_variable(Dir::South));
+        assert!(g.mirrored_x().is_variable(Dir::North));
+    }
+
+    #[test]
+    fn mirror_is_involution() {
+        for bits in 0..16u8 {
+            let f = {
+                let mut f = EdgeFlags::FIXED;
+                for (i, d) in Dir::ALL.iter().enumerate() {
+                    if bits & (1 << i) != 0 {
+                        f = f.with_variable(*d);
+                    }
+                }
+                f
+            };
+            assert_eq!(f.mirrored_x().mirrored_x(), f);
+            assert_eq!(f.mirrored_y().mirrored_y(), f);
+        }
+    }
+
+    #[test]
+    fn shape_builders() {
+        let l = layer();
+        let s = Shape::new(l, Rect::new(0, 0, 10, 20))
+            .with_net(NetId(3))
+            .with_role(ShapeRole::DeviceActive)
+            .with_keepout();
+        assert_eq!(s.net, Some(NetId(3)));
+        assert_eq!(s.role, ShapeRole::DeviceActive);
+        assert!(s.keepout);
+    }
+
+    #[test]
+    fn shape_mirror_x_flips_geometry_and_flags() {
+        let l = layer();
+        let s = Shape::new(l, Rect::new(2, 0, 6, 4))
+            .with_edges(EdgeFlags::FIXED.with_variable(Dir::East));
+        let m = s.mirrored_x(0);
+        assert_eq!(m.rect, Rect::new(-6, 0, -2, 4));
+        assert!(m.edges.is_variable(Dir::West));
+        assert_eq!(m.mirrored_x(0).rect, s.rect);
+    }
+
+    #[test]
+    fn shape_mirror_y_flips_geometry_and_flags() {
+        let l = layer();
+        let s = Shape::new(l, Rect::new(0, 2, 4, 6))
+            .with_edges(EdgeFlags::FIXED.with_variable(Dir::North));
+        let m = s.mirrored_y(0);
+        assert_eq!(m.rect, Rect::new(0, -6, 4, -2));
+        assert!(m.edges.is_variable(Dir::South));
+    }
+
+    #[test]
+    fn shape_translation() {
+        let l = layer();
+        let s = Shape::new(l, Rect::new(0, 0, 4, 4)).translated(Vector::new(10, -2));
+        assert_eq!(s.rect, Rect::new(10, -2, 14, 2));
+    }
+}

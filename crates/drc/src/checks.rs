@@ -1,0 +1,545 @@
+//! The rule checks: width, spacing, shorts, enclosure, cut size.
+
+use amgen_db::{LayoutObject, Shape};
+use amgen_geom::{Axis, Coord, Region};
+use amgen_tech::{LayerKind, Tech};
+
+use crate::latchup;
+use crate::violation::{Violation, ViolationKind};
+
+/// The design-rule checker, bound to one technology.
+#[derive(Debug, Clone, Copy)]
+pub struct Drc<'t> {
+    tech: &'t Tech,
+}
+
+impl<'t> Drc<'t> {
+    /// Binds the checker to a technology.
+    pub fn new(tech: &'t Tech) -> Drc<'t> {
+        Drc { tech }
+    }
+
+    /// The bound technology.
+    pub fn tech(&self) -> &'t Tech {
+        self.tech
+    }
+
+    /// Runs every check and returns all violations.
+    pub fn check(&self, obj: &LayoutObject) -> Vec<Violation> {
+        let mut out = Vec::new();
+        out.extend(self.check_widths(obj));
+        out.extend(self.check_spacing(obj));
+        out.extend(self.check_enclosures(obj));
+        out.extend(self.check_min_area(obj));
+        out.extend(latchup::check_latchup(self.tech, obj));
+        out
+    }
+
+    /// Minimum area per **merged region**: same-layer shapes that touch
+    /// or overlap form one region; its union area must reach the layer's
+    /// `minarea` rule.
+    pub fn check_min_area(&self, obj: &LayoutObject) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for layer in self.tech.layers() {
+            let rule_um2 = self.tech.min_area_um2(layer);
+            if rule_um2 <= 0.0 {
+                continue;
+            }
+            let rects: Vec<amgen_geom::Rect> =
+                obj.shapes_on(layer).map(|s| s.rect).collect();
+            if rects.is_empty() {
+                continue;
+            }
+            // Cluster touching rectangles (union-find).
+            let mut parent: Vec<usize> = (0..rects.len()).collect();
+            fn find(p: &mut Vec<usize>, i: usize) -> usize {
+                if p[i] != i {
+                    let r = find(p, p[i]);
+                    p[i] = r;
+                }
+                p[i]
+            }
+            for i in 0..rects.len() {
+                for j in (i + 1)..rects.len() {
+                    if rects[i].overlaps(&rects[j]) || rects[i].abuts(&rects[j]) {
+                        let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                        if ri != rj {
+                            parent[ri] = rj;
+                        }
+                    }
+                }
+            }
+            let mut clusters: std::collections::HashMap<usize, Vec<amgen_geom::Rect>> =
+                Default::default();
+            for i in 0..rects.len() {
+                let r = find(&mut parent, i);
+                clusters.entry(r).or_default().push(rects[i]);
+            }
+            for cluster in clusters.values() {
+                let region: Region = cluster.iter().copied().collect();
+                let area_um2 = region.area() as f64 / 1e6;
+                if area_um2 + 1e-9 < rule_um2 {
+                    out.push(Violation {
+                        kind: ViolationKind::MinArea,
+                        rect: region.bbox(),
+                        message: format!(
+                            "{} region area {area_um2:.2} um^2 < {rule_um2} um^2",
+                            self.tech.layer_name(layer)
+                        ),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Minimum width / exact cut size per shape.
+    pub fn check_widths(&self, obj: &LayoutObject) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for s in obj.shapes() {
+            let name = self.tech.layer_name(s.layer);
+            if self.tech.kind(s.layer) == LayerKind::Cut {
+                if let Ok(cs) = self.tech.cut_size(s.layer) {
+                    if s.rect.width() != cs || s.rect.height() != cs {
+                        out.push(Violation {
+                            kind: ViolationKind::CutSize,
+                            rect: s.rect,
+                            message: format!(
+                                "{name} cut is {}x{}, must be {cs}x{cs}",
+                                s.rect.width(),
+                                s.rect.height()
+                            ),
+                        });
+                    }
+                }
+                continue;
+            }
+            let w = self.tech.min_width(s.layer);
+            let min_dim = s.rect.width().min(s.rect.height());
+            if w > 0 && min_dim < w && !self.widened_is_covered(obj, s, w) {
+                out.push(Violation {
+                    kind: ViolationKind::Width,
+                    rect: s.rect,
+                    message: format!("{name} width {min_dim} < {w}"),
+                });
+            }
+        }
+        out
+    }
+
+    /// True if a narrow shape is part of a wider merged region: some
+    /// min-width window containing the shape's narrow extent is fully
+    /// covered by same-layer geometry (e.g. the short strap the compactor
+    /// inserts between two wide diffusion areas).
+    fn widened_is_covered(&self, obj: &LayoutObject, s: &Shape, min_w: Coord) -> bool {
+        use amgen_geom::Rect;
+        let r = s.rect;
+        let narrow_x = r.width() < r.height();
+        let candidates: [Rect; 3] = if narrow_x {
+            [
+                Rect::new(r.x1 - min_w, r.y0, r.x1, r.y1),
+                Rect::new(r.x0, r.y0, r.x0 + min_w, r.y1),
+                Rect::new(
+                    r.center().x - min_w / 2,
+                    r.y0,
+                    r.center().x - min_w / 2 + min_w,
+                    r.y1,
+                ),
+            ]
+        } else {
+            [
+                Rect::new(r.x0, r.y1 - min_w, r.x1, r.y1),
+                Rect::new(r.x0, r.y0, r.x1, r.y0 + min_w),
+                Rect::new(
+                    r.x0,
+                    r.center().y - min_w / 2,
+                    r.x1,
+                    r.center().y - min_w / 2 + min_w,
+                ),
+            ]
+        };
+        candidates.iter().any(|window| {
+            Region::from_rect(*window)
+                .covered_by(obj.shapes_on(s.layer).map(|o| o.rect))
+        })
+    }
+
+    /// Spacing between disconnected shape pairs and same-layer shorts.
+    ///
+    /// The Manhattan separation `max(gap_x, gap_y)` must reach the rule.
+    /// Pairs that touch or overlap are *connected* (same layer) or
+    /// *stacked* (different layers, e.g. a gate crossing) and are exempt —
+    /// except same-layer overlap of two **different defined potentials**,
+    /// which is a short. Pairs that belong to the same geometrically
+    /// extracted net are also exempt (same-net spacing, e.g. two fingers
+    /// of one diffusion joined by a strap between them).
+    pub fn check_spacing(&self, obj: &LayoutObject) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let shapes = obj.shapes();
+        // Connected components per shape (a gate-split diffusion shape
+        // belongs to several), from geometric connectivity.
+        let mut comp: Vec<Vec<usize>> = vec![Vec::new(); shapes.len()];
+        for (ci, net) in amgen_extract::Extractor::new(self.tech)
+            .connectivity(obj)
+            .iter()
+            .enumerate()
+        {
+            for &si in &net.shapes {
+                comp[si].push(ci);
+            }
+        }
+        for (i, a) in shapes.iter().enumerate() {
+            for (jo, b) in shapes[i + 1..].iter().enumerate() {
+                let j = i + 1 + jo;
+                let Some(rule) = self.tech.min_spacing(a.layer, b.layer) else {
+                    continue;
+                };
+                if rule == 0 {
+                    continue;
+                }
+                let gx = a.rect.gap_along(&b.rect, Axis::X);
+                let gy = a.rect.gap_along(&b.rect, Axis::Y);
+                let gap = gx.max(gy);
+                let same_net = match (a.net, b.net) {
+                    (Some(x), Some(y)) => x == y,
+                    _ => false,
+                };
+                let nets_defined_differ = matches!((a.net, b.net), (Some(x), Some(y)) if x != y);
+                if gap <= 0 {
+                    // Touching or overlapping.
+                    if a.layer == b.layer && nets_defined_differ {
+                        out.push(Violation {
+                            kind: ViolationKind::Short,
+                            rect: a.rect.intersection(&b.rect).unwrap_or(a.rect),
+                            message: format!(
+                                "{} shapes on nets `{}` and `{}` touch",
+                                self.tech.layer_name(a.layer),
+                                obj.net_name(a.net.expect("defined")),
+                                obj.net_name(b.net.expect("defined")),
+                            ),
+                        });
+                    }
+                    continue;
+                }
+                if gap >= rule {
+                    continue;
+                }
+                let same_component = comp[i].iter().any(|c| comp[j].contains(c));
+                if a.layer == b.layer && (same_net || same_component) {
+                    continue;
+                }
+                // Pairwise gaps are only real when the space between the
+                // two shapes is actually empty — a third same-layer shape
+                // filling it makes the drawn geometry continuous.
+                let gap_filled = a.layer == b.layer && {
+                    let between = if gx == gap {
+                        let yr = a.rect.y_range().intersection(&b.rect.y_range());
+                        yr.map(|y| {
+                            let (lo, hi) = if a.rect.x0 >= b.rect.x1 {
+                                (b.rect.x1, a.rect.x0)
+                            } else {
+                                (a.rect.x1, b.rect.x0)
+                            };
+                            amgen_geom::Rect::new(lo, y.lo, hi, y.hi)
+                        })
+                    } else {
+                        let xr = a.rect.x_range().intersection(&b.rect.x_range());
+                        xr.map(|x| {
+                            let (lo, hi) = if a.rect.y0 >= b.rect.y1 {
+                                (b.rect.y1, a.rect.y0)
+                            } else {
+                                (a.rect.y1, b.rect.y0)
+                            };
+                            amgen_geom::Rect::new(x.lo, lo, x.hi, hi)
+                        })
+                    };
+                    match between {
+                        Some(bx) => Region::from_rect(bx)
+                            .covered_by(obj.shapes_on(a.layer).map(|s| s.rect)),
+                        None => false,
+                    }
+                };
+                if !gap_filled {
+                    out.push(Violation {
+                        kind: ViolationKind::Spacing,
+                        rect: a.rect.union_bbox(&b.rect),
+                        message: format!(
+                            "{} to {} gap {gap} < {rule}",
+                            self.tech.layer_name(a.layer),
+                            self.tech.layer_name(b.layer)
+                        ),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Every cut must be enclosed (with margins) by both conductors of one
+    /// of its connectable pairs; unions of same-layer shapes count.
+    pub fn check_enclosures(&self, obj: &LayoutObject) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for s in obj.shapes() {
+            if self.tech.kind(s.layer) != LayerKind::Cut {
+                continue;
+            }
+            let pairs = self.tech.connected_pairs(s.layer);
+            if pairs.is_empty() {
+                continue;
+            }
+            let enclosed_by = |layer: amgen_tech::Layer, shape: &Shape| -> bool {
+                let margin = self.tech.enclosure(layer, s.layer);
+                let need = Region::from_rect(shape.rect.inflated(margin));
+                need.covered_by(obj.shapes_on(layer).map(|c| c.rect))
+            };
+            let ok = pairs
+                .iter()
+                .any(|&(x, y)| enclosed_by(x, s) && enclosed_by(y, s));
+            if !ok {
+                out.push(Violation {
+                    kind: ViolationKind::Enclosure,
+                    rect: s.rect,
+                    message: format!(
+                        "{} cut not enclosed by any connectable conductor pair",
+                        self.tech.layer_name(s.layer)
+                    ),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amgen_db::Shape;
+    use amgen_geom::{um, Rect};
+    use amgen_prim::Primitives;
+
+    fn tech() -> Tech {
+        Tech::bicmos_1u()
+    }
+
+    #[test]
+    fn clean_contact_row_passes() {
+        let t = tech();
+        let prim = Primitives::new(&t);
+        let poly = t.layer("poly").unwrap();
+        let m1 = t.layer("metal1").unwrap();
+        let ct = t.layer("contact").unwrap();
+        let mut row = LayoutObject::new("row");
+        prim.inbox(&mut row, poly, Some(um(10)), None).unwrap();
+        prim.inbox(&mut row, m1, None, None).unwrap();
+        prim.array(&mut row, ct).unwrap();
+        let v = Drc::new(&t).check(&row);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn narrow_shape_fails_width() {
+        let t = tech();
+        let poly = t.layer("poly").unwrap();
+        let mut obj = LayoutObject::new("x");
+        obj.push(Shape::new(poly, Rect::new(0, 0, 400, um(5))));
+        let v = Drc::new(&t).check_widths(&obj);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::Width);
+    }
+
+    #[test]
+    fn wrong_cut_size_fails() {
+        let t = tech();
+        let ct = t.layer("contact").unwrap();
+        let mut obj = LayoutObject::new("x");
+        obj.push(Shape::new(ct, Rect::new(0, 0, 800, 1_000)));
+        let v = Drc::new(&t).check_widths(&obj);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::CutSize);
+    }
+
+    #[test]
+    fn close_poly_pair_fails_spacing() {
+        let t = tech();
+        let poly = t.layer("poly").unwrap();
+        let mut obj = LayoutObject::new("x");
+        obj.push(Shape::new(poly, Rect::new(0, 0, um(1), um(5))));
+        obj.push(Shape::new(poly, Rect::new(um(2), 0, um(3), um(5))));
+        let v = Drc::new(&t).check_spacing(&obj);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::Spacing);
+    }
+
+    #[test]
+    fn spaced_poly_pair_passes() {
+        let t = tech();
+        let poly = t.layer("poly").unwrap();
+        let s = t.min_spacing(poly, poly).unwrap();
+        let mut obj = LayoutObject::new("x");
+        obj.push(Shape::new(poly, Rect::new(0, 0, um(1), um(5))));
+        obj.push(Shape::new(poly, Rect::new(um(1) + s, 0, um(2) + s, um(5))));
+        assert!(Drc::new(&t).check_spacing(&obj).is_empty());
+    }
+
+    #[test]
+    fn touching_same_layer_different_nets_is_a_short() {
+        let t = tech();
+        let m1 = t.layer("metal1").unwrap();
+        let mut obj = LayoutObject::new("x");
+        let a = obj.net("vdd");
+        let b = obj.net("gnd");
+        obj.push(Shape::new(m1, Rect::new(0, 0, um(2), um(2))).with_net(a));
+        obj.push(Shape::new(m1, Rect::new(um(1), 0, um(3), um(2))).with_net(b));
+        let v = Drc::new(&t).check_spacing(&obj);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::Short);
+    }
+
+    #[test]
+    fn touching_same_net_is_fine() {
+        let t = tech();
+        let m1 = t.layer("metal1").unwrap();
+        let mut obj = LayoutObject::new("x");
+        let a = obj.net("vdd");
+        obj.push(Shape::new(m1, Rect::new(0, 0, um(2), um(2))).with_net(a));
+        obj.push(Shape::new(m1, Rect::new(um(1), 0, um(3), um(2))).with_net(a));
+        assert!(Drc::new(&t).check_spacing(&obj).is_empty());
+    }
+
+    #[test]
+    fn gate_crossing_is_not_a_spacing_violation() {
+        let t = tech();
+        let prim = Primitives::new(&t);
+        let poly = t.layer("poly").unwrap();
+        let pdiff = t.layer("pdiff").unwrap();
+        let mut obj = LayoutObject::new("m");
+        prim.two_rects(&mut obj, poly, pdiff, Some(um(10)), Some(um(1))).unwrap();
+        assert!(Drc::new(&t).check_spacing(&obj).is_empty());
+    }
+
+    #[test]
+    fn diagonal_spacing_is_checked() {
+        let t = tech();
+        let poly = t.layer("poly").unwrap();
+        let mut obj = LayoutObject::new("x");
+        obj.push(Shape::new(poly, Rect::new(0, 0, um(2), um(2))));
+        // Diagonal neighbour: 1 um in x and y (< 1.5 um rule).
+        obj.push(Shape::new(poly, Rect::new(um(3), um(3), um(5), um(5))));
+        let v = Drc::new(&t).check_spacing(&obj);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn naked_cut_fails_enclosure() {
+        let t = tech();
+        let ct = t.layer("contact").unwrap();
+        let mut obj = LayoutObject::new("x");
+        obj.push(Shape::new(ct, Rect::new(0, 0, 1_000, 1_000)));
+        let v = Drc::new(&t).check_enclosures(&obj);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::Enclosure);
+    }
+
+    #[test]
+    fn cut_enclosed_by_two_abutting_metal_rects_passes() {
+        let t = tech();
+        let poly = t.layer("poly").unwrap();
+        let m1 = t.layer("metal1").unwrap();
+        let ct = t.layer("contact").unwrap();
+        let mut obj = LayoutObject::new("x");
+        obj.push(Shape::new(poly, Rect::new(0, 0, um(4), um(4))));
+        // Metal made of two halves that only jointly enclose the cut.
+        obj.push(Shape::new(m1, Rect::new(0, 0, um(2), um(4))));
+        obj.push(Shape::new(m1, Rect::new(um(2), 0, um(4), um(4))));
+        obj.push(Shape::new(ct, Rect::new(1_500, 1_500, 2_500, 2_500)));
+        let v = Drc::new(&t).check_enclosures(&obj);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cut_with_insufficient_margin_fails() {
+        let t = tech();
+        let poly = t.layer("poly").unwrap();
+        let m1 = t.layer("metal1").unwrap();
+        let ct = t.layer("contact").unwrap();
+        let mut obj = LayoutObject::new("x");
+        obj.push(Shape::new(poly, Rect::new(0, 0, um(2), um(2))));
+        obj.push(Shape::new(m1, Rect::new(0, 0, um(2), um(2))));
+        // Cut flush against the poly edge: 0 margin < 500 required.
+        obj.push(Shape::new(ct, Rect::new(0, 0, 1_000, 1_000)));
+        let v = Drc::new(&t).check_enclosures(&obj);
+        assert_eq!(v.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod min_area_tests {
+    use super::*;
+    use amgen_db::Shape;
+    use amgen_geom::{um, Rect};
+
+    #[test]
+    fn tiny_isolated_metal_fails_min_area() {
+        let t = Tech::bicmos_1u();
+        let m1 = t.layer("metal1").unwrap();
+        let mut obj = LayoutObject::new("x");
+        // 1.5 x 1.5 um = 2.25 um^2 < 4 um^2.
+        obj.push(Shape::new(m1, Rect::new(0, 0, 1_500, 1_500)));
+        let v = Drc::new(&t).check_min_area(&obj);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::MinArea);
+    }
+
+    #[test]
+    fn touching_fragments_count_as_one_region() {
+        let t = Tech::bicmos_1u();
+        let m1 = t.layer("metal1").unwrap();
+        let mut obj = LayoutObject::new("x");
+        // Two 1.5 x 1.5 squares abutting: 4.5 um^2 together.
+        obj.push(Shape::new(m1, Rect::new(0, 0, 1_500, 1_500)));
+        obj.push(Shape::new(m1, Rect::new(1_500, 0, 3_000, 1_500)));
+        assert!(Drc::new(&t).check_min_area(&obj).is_empty());
+    }
+
+    #[test]
+    fn overlap_is_not_double_counted() {
+        let t = Tech::bicmos_1u();
+        let m1 = t.layer("metal1").unwrap();
+        let mut obj = LayoutObject::new("x");
+        // Two heavily overlapping squares: union is still 2.4 um^2 < 4.
+        obj.push(Shape::new(m1, Rect::new(0, 0, 1_500, 1_500)));
+        obj.push(Shape::new(m1, Rect::new(100, 0, 1_600, 1_500)));
+        let v = Drc::new(&t).check_min_area(&obj);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn generated_modules_pass_min_area() {
+        let t = Tech::bicmos_1u();
+        let poly = t.layer("poly").unwrap();
+        let row = amgen_prim_row(&t, poly);
+        let v = Drc::new(&t).check_min_area(&row);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    fn amgen_prim_row(t: &Tech, poly: amgen_tech::Layer) -> LayoutObject {
+        use amgen_prim::Primitives;
+        let prim = Primitives::new(t);
+        let m1 = t.layer("metal1").unwrap();
+        let ct = t.layer("contact").unwrap();
+        let mut row = LayoutObject::new("row");
+        prim.inbox(&mut row, poly, Some(um(10)), None).unwrap();
+        prim.inbox(&mut row, m1, None, None).unwrap();
+        prim.array(&mut row, ct).unwrap();
+        row
+    }
+
+    #[test]
+    fn layers_without_rule_are_unchecked() {
+        let t = Tech::bicmos_1u();
+        let poly = t.layer("poly").unwrap();
+        let mut obj = LayoutObject::new("x");
+        obj.push(Shape::new(poly, Rect::new(0, 0, 1_000, 1_000)));
+        assert!(Drc::new(&t).check_min_area(&obj).is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! The latch-up rule check (Fig. 1 of the paper).
+//!
+//! *"This rule determines if temporary rectangles which are placed around
+//! the substrate contacts enclose all locos areas of MOS-transistors. ...
+//! If after examining all enclosing rectangles no parts of the solid
+//! rectangles are remaining, the latch-up rule is fulfilled."*
+//!
+//! The algorithm is exactly the figure's: keep a [`Region`] of active-area
+//! rectangles; for each substrate contact, subtract its temporary coverage
+//! rectangle (contact inflated by the technology's latch-up distance);
+//! every subtraction resolves one of the 16 overlap cases into remainder
+//! rectangles. The rule passes when nothing remains.
+
+use amgen_db::{LayoutObject, ShapeRole};
+use amgen_geom::{Rect, Region};
+use amgen_tech::Tech;
+
+use crate::violation::{Violation, ViolationKind};
+
+/// The temporary coverage rectangles of all substrate contacts.
+pub fn coverage_rects(tech: &Tech, obj: &LayoutObject) -> Vec<Rect> {
+    let d = tech.latchup_distance();
+    obj.shapes()
+        .iter()
+        .filter(|s| s.role == ShapeRole::SubstrateContact)
+        .map(|s| s.rect.inflated(d))
+        .collect()
+}
+
+/// The active-area region that must be covered.
+pub fn active_region(obj: &LayoutObject) -> Region {
+    obj.shapes()
+        .iter()
+        .filter(|s| s.role == ShapeRole::DeviceActive)
+        .map(|s| s.rect)
+        .collect()
+}
+
+/// Runs the latch-up check, returning the **uncovered remainder** — empty
+/// when the rule is fulfilled. This exposes the intermediate result of
+/// Fig. 1 for inspection and for the reproduction harness.
+pub fn latchup_remainder(tech: &Tech, obj: &LayoutObject) -> Region {
+    let mut remaining = active_region(obj);
+    if tech.latchup_distance() == 0 {
+        // Technology does not state the rule: vacuously fulfilled.
+        return Region::new();
+    }
+    for cover in coverage_rects(tech, obj) {
+        remaining.subtract_rect(cover);
+        if remaining.is_empty() {
+            break;
+        }
+    }
+    remaining
+}
+
+/// The latch-up check as violations: one per uncovered remainder
+/// rectangle — the paper's *"additional substrate contacts have to be
+/// inserted"* diagnostics.
+pub fn check_latchup(tech: &Tech, obj: &LayoutObject) -> Vec<Violation> {
+    latchup_remainder(tech, obj)
+        .rects()
+        .iter()
+        .map(|&rect| Violation {
+            kind: ViolationKind::LatchUp,
+            rect,
+            message: format!(
+                "active area not within {} of a substrate contact",
+                tech.latchup_distance()
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amgen_db::Shape;
+    use amgen_geom::um;
+
+    fn setup() -> (Tech, amgen_tech::Layer, amgen_tech::Layer) {
+        let t = Tech::bicmos_1u();
+        let pdiff = t.layer("pdiff").unwrap();
+        (t.clone(), pdiff, t.layer("ndiff").unwrap())
+    }
+
+    fn active(l: amgen_tech::Layer, r: Rect) -> Shape {
+        Shape::new(l, r).with_role(ShapeRole::DeviceActive)
+    }
+
+    fn subcon(l: amgen_tech::Layer, r: Rect) -> Shape {
+        Shape::new(l, r).with_role(ShapeRole::SubstrateContact)
+    }
+
+    #[test]
+    fn covered_active_passes() {
+        let (t, pdiff, _) = setup();
+        let mut obj = LayoutObject::new("x");
+        obj.push(active(pdiff, Rect::new(0, 0, um(10), um(4))));
+        obj.push(subcon(pdiff, Rect::new(um(12), 0, um(14), um(2))));
+        // Latch-up distance is 50 um: one contact covers everything.
+        assert!(check_latchup(&t, &obj).is_empty());
+    }
+
+    #[test]
+    fn distant_active_fails() {
+        let (t, pdiff, _) = setup();
+        let d = t.latchup_distance();
+        let mut obj = LayoutObject::new("x");
+        obj.push(active(pdiff, Rect::new(0, 0, um(10), um(4))));
+        // Contact far beyond the coverage distance.
+        obj.push(subcon(pdiff, Rect::new(um(12) + 2 * d, 0, um(14) + 2 * d, um(2))));
+        let v = check_latchup(&t, &obj);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::LatchUp);
+    }
+
+    #[test]
+    fn no_contacts_at_all_fails() {
+        let (t, pdiff, _) = setup();
+        let mut obj = LayoutObject::new("x");
+        obj.push(active(pdiff, Rect::new(0, 0, um(10), um(4))));
+        assert_eq!(check_latchup(&t, &obj).len(), 1);
+    }
+
+    #[test]
+    fn no_active_area_passes_vacuously() {
+        let (t, pdiff, _) = setup();
+        let mut obj = LayoutObject::new("x");
+        obj.push(Shape::new(pdiff, Rect::new(0, 0, um(10), um(4))));
+        assert!(check_latchup(&t, &obj).is_empty());
+    }
+
+    #[test]
+    fn partial_coverage_reports_the_remainder() {
+        let (t, pdiff, _) = setup();
+        let d = t.latchup_distance();
+        let mut obj = LayoutObject::new("x");
+        // A long active stripe: 3 * d long, contact at the west end only.
+        obj.push(active(pdiff, Rect::new(0, 0, 3 * d, um(4))));
+        obj.push(subcon(pdiff, Rect::new(-um(2), 0, 0, um(2))));
+        let rem = latchup_remainder(&t, &obj);
+        assert!(!rem.is_empty());
+        // Exactly the east part beyond x = d is uncovered.
+        assert_eq!(rem.bbox().x0, d);
+        assert_eq!(rem.bbox().x1, 3 * d);
+    }
+
+    #[test]
+    fn two_contacts_jointly_cover_like_fig1() {
+        let (t, pdiff, _) = setup();
+        let d = t.latchup_distance();
+        let mut obj = LayoutObject::new("x");
+        obj.push(active(pdiff, Rect::new(0, 0, 3 * d, um(4))));
+        obj.push(subcon(pdiff, Rect::new(-um(2), 0, 0, um(2))));
+        obj.push(subcon(pdiff, Rect::new(2 * d, 0, 2 * d + um(2), um(2))));
+        assert!(check_latchup(&t, &obj).is_empty());
+    }
+
+    /// The full 4x4 overlap matrix of Fig. 1, driven through the check:
+    /// a single coverage rectangle in each of the 16 configurations cuts
+    /// the active area; adding complementary contacts finishes the job.
+    #[test]
+    fn sixteen_overlap_cases_resolve() {
+        let (t, pdiff, _) = setup();
+        let d = t.latchup_distance();
+        let solid = Rect::new(0, 0, 8 * d, 8 * d);
+        // Contact extents along one axis producing each overlap class once
+        // inflated by the latch-up distance d.
+        let cases = [
+            (-d, 9 * d),           // full cover
+            (-2 * d, 0),           // low part only
+            (8 * d, 10 * d),       // high part only
+            (4 * d - 100, 4 * d + 100), // middle
+        ];
+        for &(x0, x1) in &cases {
+            for &(y0, y1) in &cases {
+                let contact = Rect::new(x0, y0, x1, y1);
+                let mut obj = LayoutObject::new("x");
+                obj.push(active(pdiff, solid));
+                obj.push(subcon(pdiff, contact));
+                let rem = latchup_remainder(&t, &obj);
+                // Remainder area must equal solid minus the overlap.
+                let cover = contact.inflated(d);
+                let cut = solid.intersection(&cover).map_or(0, |o| o.area());
+                assert_eq!(rem.area(), solid.area() - cut, "contact {contact}");
+            }
+        }
+    }
+}

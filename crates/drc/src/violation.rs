@@ -1,0 +1,71 @@
+//! Violation records.
+
+use amgen_geom::Rect;
+
+/// The class of a design-rule violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// A shape is narrower than its layer's minimum width.
+    Width,
+    /// Two disconnected shapes are closer than the spacing rule.
+    Spacing,
+    /// Two same-layer shapes on different potentials overlap.
+    Short,
+    /// A cut is not properly enclosed by a connectable conductor pair.
+    Enclosure,
+    /// A cut shape does not match the technology's cut size.
+    CutSize,
+    /// A merged same-layer region is smaller than the minimum area rule.
+    MinArea,
+    /// MOS active area left uncovered by substrate contacts (Fig. 1).
+    LatchUp,
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ViolationKind::Width => "width",
+            ViolationKind::Spacing => "spacing",
+            ViolationKind::Short => "short",
+            ViolationKind::Enclosure => "enclosure",
+            ViolationKind::CutSize => "cut-size",
+            ViolationKind::MinArea => "min-area",
+            ViolationKind::LatchUp => "latch-up",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One design-rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The violated rule class.
+    pub kind: ViolationKind,
+    /// Marker rectangle locating the violation.
+    pub rect: Rect,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {} at {}", self.kind, self.message, self.rect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_place() {
+        let v = Violation {
+            kind: ViolationKind::Spacing,
+            rect: Rect::new(0, 0, 10, 10),
+            message: "poly to poly 900 < 1500".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("spacing"));
+        assert!(s.contains("900"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Abstract syntax of the layout description language.
+
+/// A complete source file: top-level statements plus entity declarations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Statements executed in the root context.
+    pub top: Vec<Stmt>,
+    /// Entity declarations, in source order.
+    pub entities: Vec<Entity>,
+}
+
+/// An `ENT` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entity {
+    /// Entity name (e.g. `ContactRow`).
+    pub name: String,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line of the declaration.
+    pub line: usize,
+}
+
+/// A formal parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Name.
+    pub name: String,
+    /// True for `<param>` — omitted arguments default to unset, which the
+    /// geometry functions interpret as the design-rule minimum.
+    pub optional: bool,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `name = expr`
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Value.
+        value: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// A bare call (`INBOX(...)`, `ARRAY(...)`, ...).
+    Call(Call),
+    /// `compact(obj, DIR, "layer", ...)`
+    Compact {
+        /// Variable holding the object to compact.
+        obj: String,
+        /// Attachment side (NORTH/SOUTH/EAST/WEST).
+        dir: String,
+        /// Irrelevant layers for this step.
+        ignore: Vec<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// `FOR v = a TO b ... END`
+    For {
+        /// Loop variable.
+        var: String,
+        /// Start value (inclusive).
+        from: Expr,
+        /// End value (inclusive).
+        to: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// `IF cond ... [ELSE ...] END`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch.
+        else_body: Vec<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// `VARIANT ... OR ... END` — topology alternatives (backtracking).
+    Variant {
+        /// The alternative bodies.
+        arms: Vec<Vec<Stmt>>,
+        /// Source line.
+        line: usize,
+    },
+}
+
+/// A call with positional and keyword arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Call {
+    /// Callee name.
+    pub name: String,
+    /// Positional arguments.
+    pub positional: Vec<Expr>,
+    /// Keyword arguments.
+    pub keyword: Vec<(String, Expr)>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal (micrometres).
+    Number(f64),
+    /// String literal.
+    Str(String),
+    /// Variable reference.
+    Var(String),
+    /// Call producing a value (entity instantiation).
+    Call(Call),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary negation.
+    Neg(Box<Expr>),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl std::fmt::Display for BinOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}

@@ -1,0 +1,596 @@
+//! Tree-walking interpreter with backtracking over topology variants.
+
+use std::collections::{BTreeMap, HashMap};
+
+use amgen_compact::{CompactOptions, Compactor};
+use amgen_db::LayoutObject;
+use amgen_geom::Dir;
+use amgen_opt::{Optimizer, RatingWeights};
+use amgen_prim::Primitives;
+use amgen_tech::Tech;
+
+use crate::ast::{BinOp, Call, Entity, Expr, Program, Stmt};
+use crate::parser::{parse, ParseError};
+use crate::value::Value;
+
+/// Errors from parsing or executing the language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DslError {
+    /// Lexing/parsing failed.
+    Parse(ParseError),
+    /// Execution failed.
+    Runtime {
+        /// Source line of the failing statement.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A `VARIANT` exploration exceeded the configured limit.
+    TooManyVariants(usize),
+}
+
+impl std::fmt::Display for DslError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DslError::Parse(e) => write!(f, "parse error: {e}"),
+            DslError::Runtime { line, message } => write!(f, "line {line}: {message}"),
+            DslError::TooManyVariants(n) => {
+                write!(f, "variant exploration exceeded {n} combinations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DslError {}
+
+impl From<ParseError> for DslError {
+    fn from(e: ParseError) -> DslError {
+        DslError::Parse(e)
+    }
+}
+
+/// The interpreter, bound to one technology.
+///
+/// Entities accumulate across [`Interpreter::run`] calls, so a library
+/// source can be loaded first and instantiated later.
+pub struct Interpreter<'t> {
+    tech: &'t Tech,
+    entities: HashMap<String, Entity>,
+    /// Cap on explored variant combinations (backtracking).
+    pub max_variants: usize,
+    weights: RatingWeights,
+}
+
+/// Signals raised during execution of one choice assignment.
+enum Exec {
+    /// Execution hit a `VARIANT` statement beyond the fixed prefix and
+    /// needs `arity` alternatives explored.
+    NeedChoice(usize),
+    /// A hard error.
+    Fail(DslError),
+}
+
+struct Ctx<'a> {
+    choices: &'a [usize],
+    cursor: usize,
+}
+
+struct Frame {
+    vars: HashMap<String, Value>,
+    obj: LayoutObject,
+}
+
+impl<'t> Interpreter<'t> {
+    /// Creates an interpreter.
+    pub fn new(tech: &'t Tech) -> Interpreter<'t> {
+        Interpreter {
+            tech,
+            entities: HashMap::new(),
+            max_variants: 64,
+            weights: RatingWeights::default(),
+        }
+    }
+
+    /// Registers the entities of a source without running its top level.
+    pub fn load(&mut self, src: &str) -> Result<(), DslError> {
+        let prog = parse(src)?;
+        self.register(&prog);
+        Ok(())
+    }
+
+    fn register(&mut self, prog: &Program) {
+        for e in &prog.entities {
+            self.entities.insert(e.name.clone(), e.clone());
+        }
+    }
+
+    /// Parses and runs a source: entities are registered, the top-level
+    /// statements execute, and every top-level variable holding an object
+    /// is returned by name.
+    ///
+    /// When the program contains `VARIANT` statements, all combinations
+    /// are explored (bounded by [`Interpreter::max_variants`]) and the
+    /// combination whose objects rate best — the paper's rating function,
+    /// area plus electrical conditions — is returned.
+    pub fn run(&mut self, src: &str) -> Result<BTreeMap<String, LayoutObject>, DslError> {
+        let prog = parse(src)?;
+        self.register(&prog);
+        let runs = self.run_variants(&prog.top)?;
+        let opt = Optimizer::new(self.tech, self.weights);
+        let best = runs
+            .into_iter()
+            .min_by(|a, b| {
+                let ra: f64 = a.values().map(|o| opt.rate(o).score).sum();
+                let rb: f64 = b.values().map(|o| opt.rate(o).score).sum();
+                ra.total_cmp(&rb)
+            })
+            .expect("at least one completed run");
+        Ok(best)
+    }
+
+    /// Runs a program and additionally returns a **snapshot after every
+    /// top-level statement**: the pretty-printed statement and the object
+    /// map at that point. This is the stand-in for the original
+    /// environment's twin-window IDE (*"a text window for the source code
+    /// and a corresponding graphical view of the module"*) — render each
+    /// snapshot with `amgen-export` to watch the module grow.
+    ///
+    /// Programs containing `VARIANT` are rejected (a trace of a
+    /// backtracking search has no single timeline).
+    #[allow(clippy::type_complexity)]
+    pub fn run_traced(
+        &mut self,
+        src: &str,
+    ) -> Result<
+        (
+            BTreeMap<String, LayoutObject>,
+            Vec<(String, BTreeMap<String, LayoutObject>)>,
+        ),
+        DslError,
+    > {
+        let prog = parse(src)?;
+        self.register(&prog);
+        let mut snapshots = Vec::new();
+        let mut frame = Frame { vars: HashMap::new(), obj: LayoutObject::new("top") };
+        for stmt in &prog.top {
+            let mut ctx = Ctx { choices: &[], cursor: 0 };
+            match self.exec_stmt(stmt, &mut frame, &mut ctx) {
+                Ok(()) => {}
+                Err(Exec::NeedChoice(_)) => {
+                    return Err(DslError::Runtime {
+                        line: 0,
+                        message: "run_traced does not support VARIANT programs".into(),
+                    })
+                }
+                Err(Exec::Fail(e)) => return Err(e),
+            }
+            let mut printed = String::new();
+            crate::pretty::print_stmt(stmt, 0, &mut printed);
+            let state: BTreeMap<String, LayoutObject> = frame
+                .vars
+                .iter()
+                .filter_map(|(k, v)| match v {
+                    Value::Obj(o) => Some((k.clone(), o.clone())),
+                    _ => None,
+                })
+                .collect();
+            snapshots.push((printed.trim_end().to_string(), state));
+        }
+        let final_map = snapshots
+            .last()
+            .map(|(_, m)| m.clone())
+            .unwrap_or_default();
+        Ok((final_map, snapshots))
+    }
+
+    /// Runs the top level once per variant combination, returning every
+    /// completed result (the backtracking facility of the paper, §2.4).
+    pub fn run_variants(
+        &self,
+        top: &[Stmt],
+    ) -> Result<Vec<BTreeMap<String, LayoutObject>>, DslError> {
+        let mut results = Vec::new();
+        let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+        let mut explored = 0usize;
+        while let Some(prefix) = stack.pop() {
+            explored += 1;
+            if explored > self.max_variants {
+                return Err(DslError::TooManyVariants(self.max_variants));
+            }
+            let mut ctx = Ctx { choices: &prefix, cursor: 0 };
+            let mut frame = Frame { vars: HashMap::new(), obj: LayoutObject::new("top") };
+            match self.exec_block(top, &mut frame, &mut ctx) {
+                Ok(()) => {
+                    let map = frame
+                        .vars
+                        .into_iter()
+                        .filter_map(|(k, v)| match v {
+                            Value::Obj(o) => Some((k, o)),
+                            _ => None,
+                        })
+                        .collect();
+                    results.push(map);
+                }
+                Err(Exec::NeedChoice(arity)) => {
+                    for i in (0..arity).rev() {
+                        let mut next = prefix.clone();
+                        next.push(i);
+                        stack.push(next);
+                    }
+                }
+                Err(Exec::Fail(e)) => return Err(e),
+            }
+        }
+        Ok(results)
+    }
+
+    /// Instantiates an entity by name with keyword arguments, returning
+    /// the best-rated variant.
+    pub fn eval_entity(
+        &self,
+        name: &str,
+        args: &[(&str, Value)],
+    ) -> Result<LayoutObject, DslError> {
+        let variants = self.eval_entity_variants(name, args)?;
+        let opt = Optimizer::new(self.tech, self.weights);
+        let objs: Vec<LayoutObject> = variants;
+        let (idx, _) = opt
+            .select_variant(&objs)
+            .ok_or(DslError::Runtime { line: 0, message: "entity produced no variant".into() })?;
+        Ok(objs.into_iter().nth(idx).expect("index from selection"))
+    }
+
+    /// Instantiates an entity, returning **all** topology variants.
+    pub fn eval_entity_variants(
+        &self,
+        name: &str,
+        args: &[(&str, Value)],
+    ) -> Result<Vec<LayoutObject>, DslError> {
+        let call = Call {
+            name: name.to_string(),
+            positional: Vec::new(),
+            keyword: Vec::new(),
+            line: 0,
+        };
+        let mut results = Vec::new();
+        let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+        let mut explored = 0usize;
+        while let Some(prefix) = stack.pop() {
+            explored += 1;
+            if explored > self.max_variants {
+                return Err(DslError::TooManyVariants(self.max_variants));
+            }
+            let mut ctx = Ctx { choices: &prefix, cursor: 0 };
+            let bound: Vec<(Option<String>, Value)> = args
+                .iter()
+                .map(|(k, v)| (Some(k.to_string()), v.clone()))
+                .collect();
+            match self.call_entity(&call, bound, &mut ctx) {
+                Ok(obj) => results.push(obj),
+                Err(Exec::NeedChoice(arity)) => {
+                    for i in (0..arity).rev() {
+                        let mut next = prefix.clone();
+                        next.push(i);
+                        stack.push(next);
+                    }
+                }
+                Err(Exec::Fail(e)) => return Err(e),
+            }
+        }
+        Ok(results)
+    }
+
+    // ----- execution ---------------------------------------------------
+
+    fn fail<T>(&self, line: usize, message: impl Into<String>) -> Result<T, Exec> {
+        Err(Exec::Fail(DslError::Runtime { line, message: message.into() }))
+    }
+
+    fn exec_block(&self, body: &[Stmt], frame: &mut Frame, ctx: &mut Ctx) -> Result<(), Exec> {
+        for stmt in body {
+            self.exec_stmt(stmt, frame, ctx)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&self, stmt: &Stmt, frame: &mut Frame, ctx: &mut Ctx) -> Result<(), Exec> {
+        match stmt {
+            Stmt::Assign { name, value, line } => {
+                let v = self.eval_expr(value, frame, ctx, *line)?;
+                frame.vars.insert(name.clone(), v);
+                Ok(())
+            }
+            Stmt::Call(call) => {
+                self.builtin(call, frame, ctx)?;
+                Ok(())
+            }
+            Stmt::Compact { obj, dir, ignore, line } => {
+                let Some(Value::Obj(child)) = frame.vars.get(obj).cloned() else {
+                    return self.fail(*line, format!("`{obj}` is not an object"));
+                };
+                let Some(side) = Dir::parse(dir) else {
+                    return self.fail(*line, format!("unknown direction `{dir}`"));
+                };
+                let mut opts = CompactOptions::new();
+                for e in ignore {
+                    let v = self.eval_expr(e, frame, ctx, *line)?;
+                    let name = match v.as_str() {
+                        Ok(s) => s.to_string(),
+                        Err(m) => return self.fail(*line, m),
+                    };
+                    match self.tech.layer(&name) {
+                        Ok(l) => opts.ignore.push(l),
+                        Err(e) => return self.fail(*line, e.to_string()),
+                    }
+                }
+                let c = Compactor::new(self.tech);
+                if let Err(e) = c.compact(&mut frame.obj, &child, side, &opts) {
+                    return self.fail(*line, e.to_string());
+                }
+                Ok(())
+            }
+            Stmt::For { var, from, to, body, line } => {
+                let a = self
+                    .eval_expr(from, frame, ctx, *line)?
+                    .as_num()
+                    .map_err(|m| Exec::Fail(DslError::Runtime { line: *line, message: m }))?;
+                let b = self
+                    .eval_expr(to, frame, ctx, *line)?
+                    .as_num()
+                    .map_err(|m| Exec::Fail(DslError::Runtime { line: *line, message: m }))?;
+                let (a, b) = (a.round() as i64, b.round() as i64);
+                for i in a..=b {
+                    frame.vars.insert(var.clone(), Value::Num(i as f64));
+                    self.exec_block(body, frame, ctx)?;
+                }
+                Ok(())
+            }
+            Stmt::If { cond, then_body, else_body, line } => {
+                let c = self.eval_expr(cond, frame, ctx, *line)?;
+                if c.truthy() {
+                    self.exec_block(then_body, frame, ctx)
+                } else {
+                    self.exec_block(else_body, frame, ctx)
+                }
+            }
+            Stmt::Variant { arms, .. } => {
+                if ctx.cursor >= ctx.choices.len() {
+                    return Err(Exec::NeedChoice(arms.len()));
+                }
+                let pick = ctx.choices[ctx.cursor];
+                ctx.cursor += 1;
+                self.exec_block(&arms[pick.min(arms.len() - 1)], frame, ctx)
+            }
+        }
+    }
+
+    fn eval_expr(
+        &self,
+        expr: &Expr,
+        frame: &mut Frame,
+        ctx: &mut Ctx,
+        line: usize,
+    ) -> Result<Value, Exec> {
+        match expr {
+            Expr::Number(n) => Ok(Value::Num(*n)),
+            Expr::Str(s) => Ok(Value::Str(s.clone())),
+            Expr::Var(name) => match frame.vars.get(name) {
+                Some(v) => Ok(v.clone()),
+                // Unknown identifiers read as Unset so that `INBOX(layer,
+                // W, L)` works when W/L were omitted optional parameters.
+                None => Ok(Value::Unset),
+            },
+            Expr::Neg(e) => {
+                let v = self
+                    .eval_expr(e, frame, ctx, line)?
+                    .as_num()
+                    .map_err(|m| Exec::Fail(DslError::Runtime { line, message: m }))?;
+                Ok(Value::Num(-v))
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self
+                    .eval_expr(lhs, frame, ctx, line)?
+                    .as_num()
+                    .map_err(|m| Exec::Fail(DslError::Runtime { line, message: m }))?;
+                let b = self
+                    .eval_expr(rhs, frame, ctx, line)?
+                    .as_num()
+                    .map_err(|m| Exec::Fail(DslError::Runtime { line, message: m }))?;
+                let v = match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => {
+                        if b == 0.0 {
+                            return self.fail(line, "division by zero");
+                        }
+                        a / b
+                    }
+                    BinOp::Eq => f64::from(a == b),
+                    BinOp::Ne => f64::from(a != b),
+                    BinOp::Lt => f64::from(a < b),
+                    BinOp::Le => f64::from(a <= b),
+                    BinOp::Gt => f64::from(a > b),
+                    BinOp::Ge => f64::from(a >= b),
+                };
+                Ok(Value::Num(v))
+            }
+            Expr::Call(call) => {
+                if self.entities.contains_key(&call.name) {
+                    let bound = self.eval_args(call, frame, ctx)?;
+                    let obj = self.call_entity(call, bound, ctx)?;
+                    Ok(Value::Obj(obj))
+                } else {
+                    self.builtin(call, frame, ctx)
+                }
+            }
+        }
+    }
+
+    fn eval_args(
+        &self,
+        call: &Call,
+        frame: &mut Frame,
+        ctx: &mut Ctx,
+    ) -> Result<Vec<(Option<String>, Value)>, Exec> {
+        let mut out = Vec::new();
+        for e in &call.positional {
+            out.push((None, self.eval_expr(e, frame, ctx, call.line)?));
+        }
+        for (k, e) in &call.keyword {
+            out.push((Some(k.clone()), self.eval_expr(e, frame, ctx, call.line)?));
+        }
+        Ok(out)
+    }
+
+    fn call_entity(
+        &self,
+        call: &Call,
+        bound: Vec<(Option<String>, Value)>,
+        ctx: &mut Ctx,
+    ) -> Result<LayoutObject, Exec> {
+        let entity = self
+            .entities
+            .get(&call.name)
+            .cloned()
+            .ok_or_else(|| Exec::Fail(DslError::Runtime {
+                line: call.line,
+                message: format!("unknown entity `{}`", call.name),
+            }))?;
+        let mut frame = Frame {
+            vars: HashMap::new(),
+            obj: LayoutObject::new(entity.name.clone()),
+        };
+        // Bind parameters: positional first, then keywords; missing
+        // optionals become Unset, missing required are errors.
+        let mut pos = 0usize;
+        for (key, value) in bound {
+            match key {
+                None => {
+                    let Some(p) = entity.params.get(pos) else {
+                        return self.fail(call.line, "too many positional arguments");
+                    };
+                    frame.vars.insert(p.name.clone(), value);
+                    pos += 1;
+                }
+                Some(k) => {
+                    if !entity.params.iter().any(|p| p.name == k) {
+                        return self.fail(
+                            call.line,
+                            format!("`{}` has no parameter `{k}`", entity.name),
+                        );
+                    }
+                    frame.vars.insert(k, value);
+                }
+            }
+        }
+        for p in &entity.params {
+            if !frame.vars.contains_key(&p.name) {
+                if p.optional {
+                    frame.vars.insert(p.name.clone(), Value::Unset);
+                } else {
+                    return self.fail(
+                        call.line,
+                        format!("missing required parameter `{}`", p.name),
+                    );
+                }
+            }
+        }
+        self.exec_block(&entity.body, &mut frame, ctx)?;
+        Ok(frame.obj)
+    }
+
+    /// Geometry builtins operating on the current frame's object.
+    fn builtin(&self, call: &Call, frame: &mut Frame, ctx: &mut Ctx) -> Result<Value, Exec> {
+        let line = call.line;
+        let args = self.eval_args(call, frame, ctx)?;
+        let prim = Primitives::new(self.tech);
+        // Helpers over the bound argument list.
+        let get = |idx: usize, key: &str| -> Value {
+            let mut seen_pos = 0usize;
+            for (k, v) in &args {
+                match k {
+                    None => {
+                        if seen_pos == idx {
+                            return v.clone();
+                        }
+                        seen_pos += 1;
+                    }
+                    Some(k) if k == key => return v.clone(),
+                    _ => {}
+                }
+            }
+            Value::Unset
+        };
+        let layer_arg = |idx: usize, key: &str| -> Result<amgen_tech::Layer, Exec> {
+            let v = get(idx, key);
+            let name = v
+                .as_str()
+                .map_err(|m| Exec::Fail(DslError::Runtime { line, message: m }))?
+                .to_string();
+            self.tech
+                .layer(&name)
+                .map_err(|e| Exec::Fail(DslError::Runtime { line, message: e.to_string() }))
+        };
+        let dim_arg = |idx: usize, key: &str| -> Result<Option<amgen_geom::Coord>, Exec> {
+            get(idx, key)
+                .as_dim()
+                .map_err(|m| Exec::Fail(DslError::Runtime { line, message: m }))
+        };
+        match call.name.as_str() {
+            "INBOX" => {
+                let layer = layer_arg(0, "layer")?;
+                let w = dim_arg(1, "W")?;
+                let l = dim_arg(2, "L")?;
+                prim.inbox(&mut frame.obj, layer, w, l)
+                    .map_err(|e| Exec::Fail(DslError::Runtime { line, message: e.to_string() }))?;
+                Ok(Value::Unset)
+            }
+            "ARRAY" => {
+                let layer = layer_arg(0, "layer")?;
+                prim.array(&mut frame.obj, layer)
+                    .map_err(|e| Exec::Fail(DslError::Runtime { line, message: e.to_string() }))?;
+                Ok(Value::Unset)
+            }
+            "AROUND" => {
+                let layer = layer_arg(0, "layer")?;
+                let extra = dim_arg(1, "extra")?.unwrap_or(0);
+                prim.around(&mut frame.obj, layer, extra)
+                    .map_err(|e| Exec::Fail(DslError::Runtime { line, message: e.to_string() }))?;
+                Ok(Value::Unset)
+            }
+            "RING" => {
+                let layer = layer_arg(0, "layer")?;
+                let w = dim_arg(1, "W")?;
+                let cl = dim_arg(2, "clearance")?;
+                prim.ring(&mut frame.obj, layer, w, cl)
+                    .map_err(|e| Exec::Fail(DslError::Runtime { line, message: e.to_string() }))?;
+                Ok(Value::Unset)
+            }
+            "TWORECTS" => {
+                let la = layer_arg(0, "a")?;
+                let lb = layer_arg(1, "b")?;
+                let w = dim_arg(2, "W")?;
+                let l = dim_arg(3, "L")?;
+                prim.two_rects(&mut frame.obj, la, lb, w, l)
+                    .map_err(|e| Exec::Fail(DslError::Runtime { line, message: e.to_string() }))?;
+                Ok(Value::Unset)
+            }
+            "NET" => {
+                let name = get(0, "name");
+                let name = name
+                    .as_str()
+                    .map_err(|m| Exec::Fail(DslError::Runtime { line, message: m }))?
+                    .to_string();
+                let id = frame.obj.net(&name);
+                for s in frame.obj.shapes_mut() {
+                    if s.net.is_none() {
+                        s.net = Some(id);
+                    }
+                }
+                Ok(Value::Unset)
+            }
+            other => self.fail(line, format!("unknown function or entity `{other}`")),
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Tokenizer for the layout description language.
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal (micrometres).
+    Number(f64),
+    /// String literal (layer or net name).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `<` (also opens optional parameters)
+    Lt,
+    /// `>` (also closes optional parameters)
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// End of a logical line.
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+/// Lexing errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// 1-based line.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a source string. `//` and `#` start comments; blank lines
+/// collapse; every non-empty line ends in one `Newline` token.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line = i + 1;
+        let mut chars = strip_comment(raw).chars().peekable();
+        let mut emitted = false;
+        while let Some(&ch) = chars.peek() {
+            match ch {
+                ' ' | '\t' | '\r' => {
+                    chars.next();
+                }
+                '(' => push(&mut out, TokenKind::LParen, line, &mut chars, &mut emitted),
+                ')' => push(&mut out, TokenKind::RParen, line, &mut chars, &mut emitted),
+                ',' => push(&mut out, TokenKind::Comma, line, &mut chars, &mut emitted),
+                '+' => push(&mut out, TokenKind::Plus, line, &mut chars, &mut emitted),
+                '-' => push(&mut out, TokenKind::Minus, line, &mut chars, &mut emitted),
+                '*' => push(&mut out, TokenKind::Star, line, &mut chars, &mut emitted),
+                '/' => push(&mut out, TokenKind::Slash, line, &mut chars, &mut emitted),
+                '=' => {
+                    chars.next();
+                    if chars.peek() == Some(&'=') {
+                        chars.next();
+                        out.push(Token { kind: TokenKind::EqEq, line });
+                    } else {
+                        out.push(Token { kind: TokenKind::Eq, line });
+                    }
+                    emitted = true;
+                }
+                '!' => {
+                    chars.next();
+                    if chars.peek() == Some(&'=') {
+                        chars.next();
+                        out.push(Token { kind: TokenKind::Ne, line });
+                        emitted = true;
+                    } else {
+                        return Err(LexError { line, message: "stray `!`".into() });
+                    }
+                }
+                '<' => {
+                    chars.next();
+                    if chars.peek() == Some(&'=') {
+                        chars.next();
+                        out.push(Token { kind: TokenKind::Le, line });
+                    } else {
+                        out.push(Token { kind: TokenKind::Lt, line });
+                    }
+                    emitted = true;
+                }
+                '>' => {
+                    chars.next();
+                    if chars.peek() == Some(&'=') {
+                        chars.next();
+                        out.push(Token { kind: TokenKind::Ge, line });
+                    } else {
+                        out.push(Token { kind: TokenKind::Gt, line });
+                    }
+                    emitted = true;
+                }
+                '"' => {
+                    chars.next();
+                    let mut s = String::new();
+                    loop {
+                        match chars.next() {
+                            Some('"') => break,
+                            Some(c) => s.push(c),
+                            None => {
+                                return Err(LexError {
+                                    line,
+                                    message: "unterminated string".into(),
+                                })
+                            }
+                        }
+                    }
+                    out.push(Token { kind: TokenKind::Str(s), line });
+                    emitted = true;
+                }
+                c if c.is_ascii_digit() || c == '.' => {
+                    let mut s = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c.is_ascii_digit() || c == '.' {
+                            s.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let n: f64 = s
+                        .parse()
+                        .map_err(|_| LexError { line, message: format!("bad number `{s}`") })?;
+                    out.push(Token { kind: TokenKind::Number(n), line });
+                    emitted = true;
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut s = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c.is_ascii_alphanumeric() || c == '_' {
+                            s.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push(Token { kind: TokenKind::Ident(s), line });
+                    emitted = true;
+                }
+                other => {
+                    return Err(LexError { line, message: format!("unexpected `{other}`") })
+                }
+            }
+        }
+        if emitted {
+            out.push(Token { kind: TokenKind::Newline, line });
+        }
+    }
+    let last = out.last().map(|t| t.line).unwrap_or(1);
+    out.push(Token { kind: TokenKind::Eof, line: last });
+    Ok(out)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line.find("//").map(|i| i.min(line.len()));
+    let cut2 = line.find('#');
+    match (cut, cut2) {
+        (Some(a), Some(b)) => &line[..a.min(b)],
+        (Some(a), None) => &line[..a],
+        (None, Some(b)) => &line[..b],
+        (None, None) => line,
+    }
+}
+
+fn push(
+    out: &mut Vec<Token>,
+    kind: TokenKind,
+    line: usize,
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    emitted: &mut bool,
+) {
+    chars.next();
+    out.push(Token { kind, line });
+    *emitted = true;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_the_paper_call_line() {
+        let k = kinds(r#"gatecon = ContactRow(layer = "poly", W = 1)"#);
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("gatecon".into()),
+                TokenKind::Eq,
+                TokenKind::Ident("ContactRow".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("layer".into()),
+                TokenKind::Eq,
+                TokenKind::Str("poly".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("W".into()),
+                TokenKind::Eq,
+                TokenKind::Number(1.0),
+                TokenKind::RParen,
+                TokenKind::Newline,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn optional_param_brackets() {
+        let k = kinds("ENT Trans(<W>, <L>)");
+        assert!(k.contains(&TokenKind::Lt));
+        assert!(k.contains(&TokenKind::Gt));
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let k = kinds("compact(a, WEST, \"pdiff\") // step 3");
+        assert!(!k.iter().any(|t| matches!(t, TokenKind::Ident(s) if s == "step")));
+        let k = kinds("x = 1 # comment");
+        assert_eq!(k.len(), 5);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let k = kinds("IF a <= b");
+        assert!(k.contains(&TokenKind::Le));
+        let k = kinds("IF a != b");
+        assert!(k.contains(&TokenKind::Ne));
+        let k = kinds("IF a == b");
+        assert!(k.contains(&TokenKind::EqEq));
+    }
+
+    #[test]
+    fn numbers_with_decimals() {
+        let k = kinds("W = 2.5");
+        assert!(k.contains(&TokenKind::Number(2.5)));
+    }
+
+    #[test]
+    fn blank_lines_produce_no_newlines() {
+        let k = kinds("a = 1\n\n\nb = 2");
+        let newlines = k.iter().filter(|t| **t == TokenKind::Newline).count();
+        assert_eq!(newlines, 2);
+    }
+
+    #[test]
+    fn unterminated_string_errors_with_line() {
+        let e = lex("x = \"oops").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn stray_bang_errors() {
+        assert!(lex("x ! y").is_err());
+    }
+}

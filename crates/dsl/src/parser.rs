@@ -1,0 +1,472 @@
+//! Recursive-descent parser for the layout description language.
+
+use crate::ast::{BinOp, Call, Entity, Expr, Param, Program, Stmt};
+use crate::lexer::{lex, LexError, Token, TokenKind};
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError { line: e.line, message: e.message }
+    }
+}
+
+/// Parses a complete program.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn next(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { line: self.line(), message: message.into() })
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.peek() == kind {
+            self.next();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), TokenKind::Newline) {
+            self.next();
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s == kw)
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+        self.skip_newlines();
+        while !matches!(self.peek(), TokenKind::Eof) {
+            if self.at_keyword("ENT") {
+                prog.entities.push(self.entity()?);
+            } else {
+                prog.top.push(self.statement()?);
+            }
+            self.skip_newlines();
+        }
+        Ok(prog)
+    }
+
+    fn entity(&mut self) -> Result<Entity, ParseError> {
+        let line = self.line();
+        self.next(); // ENT
+        let name = self.ident("entity name")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !matches!(self.peek(), TokenKind::RParen) {
+            loop {
+                match self.next() {
+                    TokenKind::Ident(n) => params.push(Param { name: n, optional: false }),
+                    TokenKind::Lt => {
+                        let n = self.ident("parameter name")?;
+                        self.expect(&TokenKind::Gt, "`>`")?;
+                        params.push(Param { name: n, optional: true });
+                    }
+                    other => {
+                        return self
+                            .err(format!("expected parameter, found {other:?}"))
+                    }
+                }
+                if matches!(self.peek(), TokenKind::Comma) {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen, "`)`")?;
+        self.expect(&TokenKind::Newline, "end of line")?;
+        // Body runs until the next ENT or EOF.
+        let mut body = Vec::new();
+        self.skip_newlines();
+        while !matches!(self.peek(), TokenKind::Eof) && !self.at_keyword("ENT") {
+            body.push(self.statement()?);
+            self.skip_newlines();
+        }
+        Ok(Entity { name, params, body, line })
+    }
+
+    fn block(&mut self, terminators: &[&str]) -> Result<(Vec<Stmt>, String), ParseError> {
+        let mut body = Vec::new();
+        self.skip_newlines();
+        loop {
+            if matches!(self.peek(), TokenKind::Eof) {
+                return self.err(format!("missing {terminators:?}"));
+            }
+            for t in terminators {
+                if self.at_keyword(t) {
+                    let kw = (*t).to_string();
+                    self.next();
+                    // END/ELSE/OR may be followed by a newline.
+                    if matches!(self.peek(), TokenKind::Newline) {
+                        self.next();
+                    }
+                    return Ok((body, kw));
+                }
+            }
+            body.push(self.statement()?);
+            self.skip_newlines();
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        if self.at_keyword("FOR") {
+            self.next();
+            let var = self.ident("loop variable")?;
+            self.expect(&TokenKind::Eq, "`=`")?;
+            let from = self.expr()?;
+            if !self.at_keyword("TO") {
+                return self.err("expected `TO`");
+            }
+            self.next();
+            let to = self.expr()?;
+            self.expect(&TokenKind::Newline, "end of line")?;
+            let (body, _) = self.block(&["END"])?;
+            return Ok(Stmt::For { var, from, to, body, line });
+        }
+        if self.at_keyword("IF") {
+            self.next();
+            let cond = self.expr()?;
+            self.expect(&TokenKind::Newline, "end of line")?;
+            let (then_body, kw) = self.block(&["ELSE", "END"])?;
+            let else_body = if kw == "ELSE" {
+                let (e, _) = self.block(&["END"])?;
+                e
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If { cond, then_body, else_body, line });
+        }
+        if self.at_keyword("VARIANT") {
+            self.next();
+            if matches!(self.peek(), TokenKind::Newline) {
+                self.next();
+            }
+            let mut arms = Vec::new();
+            loop {
+                let (arm, kw) = self.block(&["OR", "END"])?;
+                arms.push(arm);
+                if kw == "END" {
+                    break;
+                }
+            }
+            return Ok(Stmt::Variant { arms, line });
+        }
+        if self.at_keyword("compact") {
+            self.next();
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let obj = self.ident("object name")?;
+            self.expect(&TokenKind::Comma, "`,`")?;
+            let dir = self.ident("direction")?;
+            let mut ignore = Vec::new();
+            while matches!(self.peek(), TokenKind::Comma) {
+                self.next();
+                ignore.push(self.expr()?);
+            }
+            self.expect(&TokenKind::RParen, "`)`")?;
+            self.expect(&TokenKind::Newline, "end of line")?;
+            return Ok(Stmt::Compact { obj, dir, ignore, line });
+        }
+        // Assignment or bare call.
+        let name = self.ident("statement")?;
+        match self.peek() {
+            TokenKind::Eq => {
+                self.next();
+                let value = self.expr()?;
+                self.expect(&TokenKind::Newline, "end of line")?;
+                Ok(Stmt::Assign { name, value, line })
+            }
+            TokenKind::LParen => {
+                let call = self.call_args(name, line)?;
+                self.expect(&TokenKind::Newline, "end of line")?;
+                Ok(Stmt::Call(call))
+            }
+            other => self.err(format!("expected `=` or `(`, found {other:?}")),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.next() {
+            TokenKind::Ident(s) => Ok(s),
+            other => self.err(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn call_args(&mut self, name: String, line: usize) -> Result<Call, ParseError> {
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut positional = Vec::new();
+        let mut keyword = Vec::new();
+        if !matches!(self.peek(), TokenKind::RParen) {
+            loop {
+                // Keyword argument: IDENT '=' expr (but not '==').
+                let is_kw = matches!(self.peek(), TokenKind::Ident(_))
+                    && matches!(self.tokens[self.pos + 1].kind, TokenKind::Eq);
+                if is_kw {
+                    let k = self.ident("argument name")?;
+                    self.next(); // '='
+                    let v = self.expr()?;
+                    keyword.push((k, v));
+                } else {
+                    positional.push(self.expr()?);
+                }
+                if matches!(self.peek(), TokenKind::Comma) {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen, "`)`")?;
+        Ok(Call { name, positional, keyword, line })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.additive()?;
+        let op = match self.peek() {
+            TokenKind::EqEq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.next();
+        let rhs = self.additive()?;
+        Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.next();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.next();
+            let rhs = self.unary()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if matches!(self.peek(), TokenKind::Minus) {
+            self.next();
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        match self.next() {
+            TokenKind::Number(n) => Ok(Expr::Number(n)),
+            TokenKind::Str(s) => Ok(Expr::Str(s)),
+            TokenKind::Ident(name) => {
+                if matches!(self.peek(), TokenKind::LParen) {
+                    Ok(Expr::Call(self.call_args(name, line)?))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG2: &str = r#"
+gatecon = ContactRow(layer = "poly", W = 1)
+
+ENT ContactRow(layer, <W>, <L>)
+  INBOX(layer, W, L)
+  INBOX("metal1")
+  ARRAY("contact")
+"#;
+
+    #[test]
+    fn parses_fig2() {
+        let p = parse(FIG2).unwrap();
+        assert_eq!(p.top.len(), 1);
+        assert_eq!(p.entities.len(), 1);
+        let e = &p.entities[0];
+        assert_eq!(e.name, "ContactRow");
+        assert_eq!(e.params.len(), 3);
+        assert!(!e.params[0].optional);
+        assert!(e.params[1].optional && e.params[2].optional);
+        assert_eq!(e.body.len(), 3);
+    }
+
+    const FIG7: &str = r#"
+diff = DiffPair(W = 10, L = 5)
+
+ENT Trans(<W>, <L>)
+  TWORECTS("poly", "pdiff", W, L)
+  polycon = ContactRow(layer = "poly", L = L)
+  diffcon = ContactRow(layer = "pdiff", W = W)
+  compact(polycon, SOUTH, "poly")   // step 1
+  compact(diffcon, SOUTH, "pdiff")  // step 2
+
+ENT DiffPair(<W>, <L>)
+  trans1 = Trans(W = W, L = L)
+  trans2 = trans1 // copy of trans1
+  diffcon = ContactRow(layer = "pdiff", W = W)
+  compact(trans1, WEST, "pdiff")  // step 3
+  compact(trans2, WEST, "pdiff")  // step 4
+  compact(diffcon, WEST, "pdiff") // step 5
+"#;
+
+    #[test]
+    fn parses_fig7() {
+        let p = parse(FIG7).unwrap();
+        assert_eq!(p.entities.len(), 2);
+        let trans = &p.entities[0];
+        assert_eq!(trans.body.len(), 5);
+        assert!(matches!(&trans.body[3], Stmt::Compact { obj, dir, ignore, .. }
+            if obj == "polycon" && dir == "SOUTH" && ignore.len() == 1));
+        let pair = &p.entities[1];
+        // `trans2 = trans1` is a plain variable assignment (object copy).
+        assert!(matches!(&pair.body[1], Stmt::Assign { name, value: Expr::Var(v), .. }
+            if name == "trans2" && v == "trans1"));
+    }
+
+    #[test]
+    fn parses_for_loop() {
+        let src = "ENT A(<n>)\nFOR i = 1 TO n\n  INBOX(\"poly\")\nEND\n";
+        let p = parse(src).unwrap();
+        assert!(matches!(&p.entities[0].body[0], Stmt::For { var, .. } if var == "i"));
+    }
+
+    #[test]
+    fn parses_if_else() {
+        let src = "ENT A(w)\nIF w > 5\n  INBOX(\"poly\", w)\nELSE\n  INBOX(\"poly\")\nEND\n";
+        let p = parse(src).unwrap();
+        let Stmt::If { then_body, else_body, .. } = &p.entities[0].body[0] else {
+            panic!("expected IF");
+        };
+        assert_eq!(then_body.len(), 1);
+        assert_eq!(else_body.len(), 1);
+    }
+
+    #[test]
+    fn parses_variant_arms() {
+        let src = "ENT A()\nVARIANT\n  INBOX(\"poly\")\nOR\n  INBOX(\"metal1\")\nOR\n  INBOX(\"pdiff\")\nEND\n";
+        let p = parse(src).unwrap();
+        let Stmt::Variant { arms, .. } = &p.entities[0].body[0] else {
+            panic!("expected VARIANT");
+        };
+        assert_eq!(arms.len(), 3);
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let p = parse("x = 1 + 2 * 3\n").unwrap();
+        let Stmt::Assign { value, .. } = &p.top[0] else { panic!() };
+        let Expr::Binary { op: BinOp::Add, rhs, .. } = value else {
+            panic!("+ at the top: {value:?}");
+        };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn missing_end_is_an_error() {
+        let e = parse("ENT A()\nFOR i = 1 TO 3\n  INBOX(\"poly\")\n").unwrap_err();
+        assert!(e.message.contains("END"));
+    }
+
+    #[test]
+    fn keyword_vs_comparison_in_args() {
+        // `W = 1` inside parens is a keyword argument, `W == 1` would be
+        // a comparison expression.
+        let p = parse("a = F(W = 1)\n").unwrap();
+        let Stmt::Assign { value: Expr::Call(c), .. } = &p.top[0] else { panic!() };
+        assert_eq!(c.keyword.len(), 1);
+        assert!(c.positional.is_empty());
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let p = parse("x = -2\n").unwrap();
+        let Stmt::Assign { value, .. } = &p.top[0] else { panic!() };
+        assert!(matches!(value, Expr::Neg(_)));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let e = parse("a = 1\nb = = 2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

@@ -1,0 +1,89 @@
+//! Runtime values of the layout description language.
+
+use amgen_db::LayoutObject;
+use amgen_geom::Coord;
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A number. Dimensions are micrometres (the paper writes `W = 10`
+    /// for a 10 µm width); loop counters are plain numbers.
+    Num(f64),
+    /// A string (layer or net name).
+    Str(String),
+    /// A layout object under construction or completed.
+    Obj(LayoutObject),
+    /// An omitted optional parameter — geometry functions substitute the
+    /// design-rule default.
+    Unset,
+}
+
+impl Value {
+    /// Converts a micrometre number to database units; `Unset` becomes
+    /// `None` (design-rule default), anything else is a type error.
+    pub fn as_dim(&self) -> Result<Option<Coord>, String> {
+        match self {
+            Value::Num(v) => Ok(Some((v * 1_000.0).round() as Coord)),
+            Value::Unset => Ok(None),
+            other => Err(format!("expected a dimension, got {}", other.kind())),
+        }
+    }
+
+    /// The numeric value, if any.
+    pub fn as_num(&self) -> Result<f64, String> {
+        match self {
+            Value::Num(v) => Ok(*v),
+            other => Err(format!("expected a number, got {}", other.kind())),
+        }
+    }
+
+    /// The string value, if any.
+    pub fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(format!("expected a string, got {}", other.kind())),
+        }
+    }
+
+    /// Truthiness: non-zero numbers are true.
+    pub fn truthy(&self) -> bool {
+        matches!(self, Value::Num(v) if *v != 0.0)
+    }
+
+    /// A short type name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Obj(_) => "object",
+            Value::Unset => "unset",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_convert_micrometres() {
+        assert_eq!(Value::Num(10.0).as_dim().unwrap(), Some(10_000));
+        assert_eq!(Value::Num(1.5).as_dim().unwrap(), Some(1_500));
+        assert_eq!(Value::Unset.as_dim().unwrap(), None);
+        assert!(Value::Str("x".into()).as_dim().is_err());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Num(1.0).truthy());
+        assert!(!Value::Num(0.0).truthy());
+        assert!(!Value::Str("x".into()).truthy());
+        assert!(!Value::Unset.truthy());
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(Value::Num(0.0).kind(), "number");
+        assert_eq!(Value::Unset.kind(), "unset");
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the language: printer/parser round trips over
+//! generated ASTs, and lexer robustness over arbitrary input.
+
+use amgen_dsl::ast::{BinOp, Call, Entity, Expr, Param, Program, Stmt};
+use amgen_dsl::lexer::lex;
+use amgen_dsl::parser::parse;
+use amgen_dsl::pretty::print_program;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_map(|s| s)
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(|n| Expr::Number(n as f64)),
+        "[a-z]{1,8}".prop_map(Expr::Str),
+        ident().prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul),
+                Just(BinOp::Lt), Just(BinOp::Ge), Just(BinOp::Eq),
+            ])
+                .prop_map(|(a, b, op)| Expr::Binary {
+                    op,
+                    lhs: Box::new(a),
+                    rhs: Box::new(b)
+                }),
+            inner.prop_map(|e| Expr::Neg(Box::new(e))),
+        ]
+    })
+}
+
+fn arb_call() -> impl Strategy<Value = Call> {
+    (
+        ident(),
+        prop::collection::vec(arb_expr(), 0..3),
+        prop::collection::vec((ident(), arb_expr()), 0..2),
+    )
+        .prop_map(|(name, positional, keyword)| Call {
+            name: format!("F{name}"),
+            positional,
+            keyword,
+            line: 0,
+        })
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (ident(), arb_expr()).prop_map(|(name, value)| Stmt::Assign {
+            name,
+            value,
+            line: 0
+        }),
+        arb_call().prop_map(Stmt::Call),
+        (ident(), prop_oneof![Just("NORTH"), Just("SOUTH"), Just("EAST"), Just("WEST")])
+            .prop_map(|(obj, dir)| Stmt::Compact {
+                obj,
+                dir: dir.to_string(),
+                ignore: vec![Expr::Str("poly".into())],
+                line: 0,
+            }),
+    ];
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        prop_oneof![
+            (ident(), arb_expr(), arb_expr(), prop::collection::vec(inner.clone(), 1..3))
+                .prop_map(|(var, from, to, body)| Stmt::For { var, from, to, body, line: 0 }),
+            (
+                arb_expr(),
+                prop::collection::vec(inner.clone(), 1..3),
+                prop::collection::vec(inner.clone(), 0..2)
+            )
+                .prop_map(|(cond, then_body, else_body)| Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    line: 0
+                }),
+            prop::collection::vec(prop::collection::vec(inner, 1..3), 2..3)
+                .prop_map(|arms| Stmt::Variant { arms, line: 0 }),
+        ]
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec(arb_stmt(), 0..4),
+        prop::collection::vec(
+            (
+                ident(),
+                prop::collection::vec((ident(), any::<bool>()), 0..3),
+                prop::collection::vec(arb_stmt(), 1..4),
+            ),
+            0..3,
+        ),
+    )
+        .prop_map(|(top, ents)| Program {
+            top,
+            entities: ents
+                .into_iter()
+                .map(|(name, params, body)| Entity {
+                    name: format!("E{name}"),
+                    params: {
+                        // De-duplicate parameter names.
+                        let mut seen = std::collections::HashSet::new();
+                        params
+                            .into_iter()
+                            .filter(|(n, _)| seen.insert(n.clone()))
+                            .map(|(name, optional)| Param { name, optional })
+                            .collect()
+                    },
+                    body,
+                    line: 0,
+                })
+                .collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print ∘ parse ∘ print = print: printing is a parser fixed point.
+    #[test]
+    fn printed_programs_reparse_to_the_same_print(prog in arb_program()) {
+        let printed = print_program(&prog);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed program must parse: {e}\n---\n{printed}"));
+        prop_assert_eq!(print_program(&reparsed), printed);
+    }
+
+    /// The lexer never panics on arbitrary input (errors are fine).
+    #[test]
+    fn lexer_total_on_arbitrary_input(s in "\\PC{0,200}") {
+        let _ = lex(&s);
+    }
+
+    /// The parser never panics on arbitrary token-ish input.
+    #[test]
+    fn parser_total_on_arbitrary_identifier_soup(
+        words in prop::collection::vec("[A-Za-z0-9=(),<>\"]{1,8}", 0..30)
+    ) {
+        let src = words.join(" ");
+        let _ = parse(&src);
+    }
+}

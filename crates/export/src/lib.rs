@@ -1,0 +1,16 @@
+//! Layout export: SVG for inspection, GDSII for interchange.
+//!
+//! The original environment showed *"a text window for the source code
+//! and a corresponding graphical view of the module"*; [`svg::render`]
+//! is this repository's stand-in for that live view — every generation
+//! step can be snapshotted to an SVG. [`gds::write_gds`] emits a binary
+//! GDSII stream so generated modules can enter a conventional flow.
+
+pub mod cif;
+pub mod gds;
+pub mod svg;
+
+pub use cif::{parse_cif_summary, write_cif, CifSummary};
+pub use gds::{parse_gds_summary, write_gds, GdsSummary};
+pub use svg::render as render_svg;
+pub use svg::render_legend;

@@ -1,0 +1,186 @@
+//! SVG rendering of layout objects.
+
+use amgen_db::LayoutObject;
+use amgen_tech::{LayerKind, Tech};
+
+/// Fill colour and opacity for a layer, chosen by kind with an index
+/// nudge so sibling layers stay distinguishable (the role of the paper's
+/// Fig. 4 fill patterns).
+fn style(tech: &Tech, layer: amgen_tech::Layer) -> (&'static str, f32) {
+    match tech.kind(layer) {
+        LayerKind::Diffusion => ("#2e8b57", 0.55),
+        LayerKind::Poly => ("#cc2222", 0.6),
+        LayerKind::Metal => {
+            if tech.layer_name(layer).ends_with('2') {
+                ("#9932cc", 0.45)
+            } else {
+                ("#1e66d0", 0.5)
+            }
+        }
+        LayerKind::Cut => ("#111111", 0.9),
+        LayerKind::Implant => ("#dddd44", 0.2),
+        LayerKind::Well => ("#888888", 0.15),
+        LayerKind::Buried => ("#cd853f", 0.3),
+        LayerKind::Other => ("#aaaaaa", 0.3),
+    }
+}
+
+/// Renders the object to a standalone SVG document (y axis flipped so
+/// north is up).
+///
+/// # Example
+/// ```
+/// use amgen_db::{LayoutObject, Shape};
+/// use amgen_geom::Rect;
+/// use amgen_tech::Tech;
+///
+/// let tech = Tech::bicmos_1u();
+/// let poly = tech.layer("poly").unwrap();
+/// let mut obj = LayoutObject::new("x");
+/// obj.push(Shape::new(poly, Rect::new(0, 0, 1_000, 5_000)));
+/// let svg = amgen_export::render_svg(&tech, &obj);
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("rect"));
+/// ```
+pub fn render(tech: &Tech, obj: &LayoutObject) -> String {
+    let bbox = obj.bbox().inflated(2_000);
+    let (w, h) = (bbox.width().max(1), bbox.height().max(1));
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {w} {h}\" \
+         width=\"800\" height=\"{}\">\n",
+        (800i64 * h / w).max(1)
+    ));
+    out.push_str(&format!(
+        "<title>{} ({} shapes)</title>\n",
+        obj.name(),
+        obj.len()
+    ));
+    out.push_str("<rect width=\"100%\" height=\"100%\" fill=\"#fcfcf8\"/>\n");
+    // Draw big under small so cuts stay visible.
+    let mut order: Vec<usize> = (0..obj.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(obj.shapes()[i].rect.area()));
+    for i in order {
+        let s = &obj.shapes()[i];
+        let (color, opacity) = style(tech, s.layer);
+        let x = s.rect.x0 - bbox.x0;
+        let y = bbox.y1 - s.rect.y1; // flip
+        out.push_str(&format!(
+            "<rect x=\"{x}\" y=\"{y}\" width=\"{}\" height=\"{}\" fill=\"{color}\" \
+             fill-opacity=\"{opacity}\" stroke=\"{color}\" stroke-width=\"20\">\
+             <title>{}</title></rect>\n",
+            s.rect.width(),
+            s.rect.height(),
+            tech.layer_name(s.layer),
+        ));
+    }
+    // Port markers.
+    for p in obj.ports() {
+        let x = p.rect.center().x - bbox.x0;
+        let y = bbox.y1 - p.rect.center().y;
+        out.push_str(&format!(
+            "<text x=\"{x}\" y=\"{y}\" font-size=\"900\" text-anchor=\"middle\" \
+             fill=\"#000\">{}</text>\n",
+            p.name
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders the layer legend — the reproduction of the paper's Fig. 4
+/// (*"Fill patterns for the layers"*): one swatch per layer of the
+/// technology with its name and kind.
+pub fn render_legend(tech: &Tech) -> String {
+    let row_h = 28;
+    let n = tech.layer_count();
+    let height = n as i64 * row_h + 20;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"360\" height=\"{height}\" \
+         viewBox=\"0 0 360 {height}\">\n"
+    ));
+    out.push_str(&format!("<title>layers of {}</title>\n", tech.name()));
+    out.push_str("<rect width=\"100%\" height=\"100%\" fill=\"#fcfcf8\"/>\n");
+    for (i, layer) in tech.layers().enumerate() {
+        let y = 10 + i as i64 * row_h;
+        let (color, opacity) = style(tech, layer);
+        out.push_str(&format!(
+            "<rect x=\"10\" y=\"{y}\" width=\"46\" height=\"20\" fill=\"{color}\" \
+             fill-opacity=\"{opacity}\" stroke=\"{color}\"/>\n"
+        ));
+        out.push_str(&format!(
+            "<text x=\"66\" y=\"{}\" font-size=\"14\" font-family=\"monospace\">{} ({})</text>\n",
+            y + 15,
+            tech.layer_name(layer),
+            tech.kind(layer).keyword(),
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amgen_db::Shape;
+    use amgen_geom::Rect;
+
+    #[test]
+    fn renders_every_shape_and_port() {
+        let t = Tech::bicmos_1u();
+        let poly = t.layer("poly").unwrap();
+        let m1 = t.layer("metal1").unwrap();
+        let mut obj = LayoutObject::new("demo");
+        obj.push(Shape::new(poly, Rect::new(0, 0, 1_000, 5_000)));
+        obj.push(Shape::new(m1, Rect::new(0, 0, 2_000, 2_000)));
+        obj.push_port(amgen_db::Port {
+            name: "g".into(),
+            layer: m1,
+            rect: Rect::new(0, 0, 2_000, 2_000),
+            net: None,
+        });
+        let svg = render(&t, &obj);
+        assert_eq!(svg.matches("<rect ").count(), 3, "background + 2 shapes");
+        assert!(svg.contains(">g</text>"));
+        assert!(svg.contains("poly"));
+        assert!(svg.contains("metal1"));
+    }
+
+    #[test]
+    fn empty_object_still_renders() {
+        let t = Tech::bicmos_1u();
+        let obj = LayoutObject::new("empty");
+        let svg = render(&t, &obj);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn legend_lists_every_layer() {
+        let t = Tech::bicmos_1u();
+        let legend = render_legend(&t);
+        for l in t.layers() {
+            assert!(
+                legend.contains(t.layer_name(l)),
+                "missing {}",
+                t.layer_name(l)
+            );
+        }
+        assert_eq!(legend.matches("<rect x=\"10\"").count(), t.layer_count());
+    }
+
+    #[test]
+    fn cuts_drawn_above_conductors() {
+        let t = Tech::bicmos_1u();
+        let m1 = t.layer("metal1").unwrap();
+        let ct = t.layer("contact").unwrap();
+        let mut obj = LayoutObject::new("x");
+        obj.push(Shape::new(ct, Rect::new(500, 500, 1_500, 1_500)));
+        obj.push(Shape::new(m1, Rect::new(0, 0, 2_000, 2_000)));
+        let svg = render(&t, &obj);
+        let metal_pos = svg.find("metal1").unwrap();
+        let cut_pos = svg.find("contact").unwrap();
+        assert!(metal_pos < cut_pos, "bigger metal first, cut on top");
+    }
+}

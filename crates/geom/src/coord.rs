@@ -1,0 +1,176 @@
+//! Scalar coordinate type, unit helpers and the Manhattan directions.
+
+/// A coordinate in database units (1 du = 1 nm).
+///
+/// `i64` gives ±9.2 × 10¹⁸ nm of range; chip-scale layouts use well under
+/// 10⁹, so all intermediate sums stay far from overflow. Areas are computed
+/// in [`i128`] (see [`crate::Rect::area`]).
+pub type Coord = i64;
+
+/// Converts nanometres to database units (identity, kept for readability).
+#[inline]
+pub const fn nm(v: i64) -> Coord {
+    v
+}
+
+/// Converts micrometres to database units.
+///
+/// # Example
+/// ```
+/// assert_eq!(amgen_geom::um(5), 5_000);
+/// ```
+#[inline]
+pub const fn um(v: i64) -> Coord {
+    v * 1_000
+}
+
+/// The two Manhattan axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Axis {
+    /// Horizontal (x) axis.
+    X,
+    /// Vertical (y) axis.
+    Y,
+}
+
+impl Axis {
+    /// Returns the perpendicular axis.
+    #[inline]
+    pub fn perp(self) -> Axis {
+        match self {
+            Axis::X => Axis::Y,
+            Axis::Y => Axis::X,
+        }
+    }
+}
+
+/// A compaction / abutment direction.
+///
+/// In the paper's language the direction is the **movement direction** of
+/// the compacted object: `compact(polycon, SOUTH, "poly")` slides the poly
+/// contact southwards until it rests against the existing structure at the
+/// minimum design-rule distance (Fig. 7 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dir {
+    /// Towards +y.
+    North,
+    /// Towards −y.
+    South,
+    /// Towards +x.
+    East,
+    /// Towards −x.
+    West,
+}
+
+impl Dir {
+    /// All four directions, in a fixed order.
+    pub const ALL: [Dir; 4] = [Dir::North, Dir::South, Dir::East, Dir::West];
+
+    /// The axis along which this direction moves.
+    #[inline]
+    pub fn axis(self) -> Axis {
+        match self {
+            Dir::North | Dir::South => Axis::Y,
+            Dir::East | Dir::West => Axis::X,
+        }
+    }
+
+    /// The opposite direction.
+    #[inline]
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::North => Dir::South,
+            Dir::South => Dir::North,
+            Dir::East => Dir::West,
+            Dir::West => Dir::East,
+        }
+    }
+
+    /// +1 if the direction increases its axis coordinate, −1 otherwise.
+    #[inline]
+    pub fn sign(self) -> Coord {
+        match self {
+            Dir::North | Dir::East => 1,
+            Dir::South | Dir::West => -1,
+        }
+    }
+
+    /// Parses a direction name as used by the layout description language
+    /// (`NORTH`, `SOUTH`, `EAST`, `WEST`, case-insensitive).
+    pub fn parse(s: &str) -> Option<Dir> {
+        match s.to_ascii_uppercase().as_str() {
+            "NORTH" | "N" | "UP" => Some(Dir::North),
+            "SOUTH" | "S" | "DOWN" => Some(Dir::South),
+            "EAST" | "E" | "RIGHT" => Some(Dir::East),
+            "WEST" | "W" | "LEFT" => Some(Dir::West),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Dir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Dir::North => "NORTH",
+            Dir::South => "SOUTH",
+            Dir::East => "EAST",
+            Dir::West => "WEST",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_helpers() {
+        assert_eq!(nm(250), 250);
+        assert_eq!(um(1), 1_000);
+        assert_eq!(um(592), 592_000);
+    }
+
+    #[test]
+    fn axis_perp_is_involution() {
+        assert_eq!(Axis::X.perp(), Axis::Y);
+        assert_eq!(Axis::Y.perp(), Axis::X);
+        for a in [Axis::X, Axis::Y] {
+            assert_eq!(a.perp().perp(), a);
+        }
+    }
+
+    #[test]
+    fn dir_axis_and_sign() {
+        assert_eq!(Dir::North.axis(), Axis::Y);
+        assert_eq!(Dir::East.axis(), Axis::X);
+        assert_eq!(Dir::North.sign(), 1);
+        assert_eq!(Dir::South.sign(), -1);
+        assert_eq!(Dir::East.sign(), 1);
+        assert_eq!(Dir::West.sign(), -1);
+    }
+
+    #[test]
+    fn dir_opposite_is_involution() {
+        for d in Dir::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_eq!(d.opposite().axis(), d.axis());
+            assert_eq!(d.opposite().sign(), -d.sign());
+        }
+    }
+
+    #[test]
+    fn dir_parse_accepts_dsl_spellings() {
+        assert_eq!(Dir::parse("SOUTH"), Some(Dir::South));
+        assert_eq!(Dir::parse("south"), Some(Dir::South));
+        assert_eq!(Dir::parse("W"), Some(Dir::West));
+        assert_eq!(Dir::parse("sideways"), None);
+    }
+
+    #[test]
+    fn dir_display_round_trips() {
+        for d in Dir::ALL {
+            assert_eq!(Dir::parse(&d.to_string()), Some(d));
+        }
+    }
+}

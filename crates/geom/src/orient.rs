@@ -1,0 +1,164 @@
+//! The eight Manhattan orientations (D4 symmetry group).
+//!
+//! Matched analog devices are placed in mirrored and rotated copies — the
+//! cross-coupled, common-centroid arrangements of the paper's §3 (blocks C
+//! and E). [`Orient`] applies those transforms to points and rectangles.
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// An element of the square's symmetry group: a rotation by a multiple of
+/// 90° optionally preceded by a mirror about the y-axis (`x → −x`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Orient {
+    /// Identity.
+    #[default]
+    R0,
+    /// Rotate 90° counter-clockwise.
+    R90,
+    /// Rotate 180°.
+    R180,
+    /// Rotate 270° counter-clockwise.
+    R270,
+    /// Mirror about the y-axis.
+    MX,
+    /// Mirror then rotate 90°.
+    MX90,
+    /// Mirror then rotate 180° (= mirror about the x-axis).
+    MX180,
+    /// Mirror then rotate 270°.
+    MX270,
+}
+
+impl Orient {
+    /// All eight orientations.
+    pub const ALL: [Orient; 8] = [
+        Orient::R0,
+        Orient::R90,
+        Orient::R180,
+        Orient::R270,
+        Orient::MX,
+        Orient::MX90,
+        Orient::MX180,
+        Orient::MX270,
+    ];
+
+    /// Applies the orientation to a point (about the origin).
+    pub fn apply_point(self, p: Point) -> Point {
+        let m = match self {
+            Orient::R0 | Orient::R90 | Orient::R180 | Orient::R270 => p,
+            _ => Point::new(-p.x, p.y),
+        };
+        match self {
+            Orient::R0 | Orient::MX => m,
+            Orient::R90 | Orient::MX90 => Point::new(-m.y, m.x),
+            Orient::R180 | Orient::MX180 => Point::new(-m.x, -m.y),
+            Orient::R270 | Orient::MX270 => Point::new(m.y, -m.x),
+        }
+    }
+
+    /// Applies the orientation to a rectangle (about the origin).
+    pub fn apply_rect(self, r: Rect) -> Rect {
+        let a = self.apply_point(r.ll());
+        let b = self.apply_point(r.ur());
+        Rect::new(a.x, a.y, b.x, b.y)
+    }
+
+    /// Composes two orientations: `self.then(o)` applies `self` first.
+    pub fn then(self, o: Orient) -> Orient {
+        // Composition found by probing two independent points.
+        let p1 = Point::new(1, 0);
+        let p2 = Point::new(0, 1);
+        let q1 = o.apply_point(self.apply_point(p1));
+        let q2 = o.apply_point(self.apply_point(p2));
+        for c in Orient::ALL {
+            if c.apply_point(p1) == q1 && c.apply_point(p2) == q2 {
+                return c;
+            }
+        }
+        unreachable!("D4 is closed under composition")
+    }
+
+    /// The inverse orientation.
+    pub fn inverse(self) -> Orient {
+        for c in Orient::ALL {
+            if self.then(c) == Orient::R0 {
+                return c;
+            }
+        }
+        unreachable!("every D4 element has an inverse")
+    }
+
+    /// True for the four mirrored orientations.
+    pub fn is_mirrored(self) -> bool {
+        matches!(self, Orient::MX | Orient::MX90 | Orient::MX180 | Orient::MX270)
+    }
+
+    /// True if the orientation swaps the x and y extents of a rectangle.
+    pub fn swaps_axes(self) -> bool {
+        matches!(self, Orient::R90 | Orient::R270 | Orient::MX90 | Orient::MX270)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotations_act_on_points() {
+        let p = Point::new(2, 1);
+        assert_eq!(Orient::R0.apply_point(p), p);
+        assert_eq!(Orient::R90.apply_point(p), Point::new(-1, 2));
+        assert_eq!(Orient::R180.apply_point(p), Point::new(-2, -1));
+        assert_eq!(Orient::R270.apply_point(p), Point::new(1, -2));
+        assert_eq!(Orient::MX.apply_point(p), Point::new(-2, 1));
+        assert_eq!(Orient::MX180.apply_point(p), Point::new(2, -1));
+    }
+
+    #[test]
+    fn rect_transform_preserves_area() {
+        let r = Rect::new(1, 2, 5, 9);
+        for o in Orient::ALL {
+            let t = o.apply_rect(r);
+            assert_eq!(t.area(), r.area(), "{o:?}");
+            if o.swaps_axes() {
+                assert_eq!(t.width(), r.height());
+            } else {
+                assert_eq!(t.width(), r.width());
+            }
+        }
+    }
+
+    #[test]
+    fn group_axioms() {
+        for a in Orient::ALL {
+            assert_eq!(a.then(Orient::R0), a);
+            assert_eq!(Orient::R0.then(a), a);
+            assert_eq!(a.then(a.inverse()), Orient::R0);
+            for b in Orient::ALL {
+                // Composition agrees with point action.
+                let p = Point::new(3, 7);
+                assert_eq!(
+                    a.then(b).apply_point(p),
+                    b.apply_point(a.apply_point(p)),
+                    "{a:?} then {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_subgroup_is_cyclic() {
+        assert_eq!(Orient::R90.then(Orient::R90), Orient::R180);
+        assert_eq!(Orient::R90.then(Orient::R180), Orient::R270);
+        assert_eq!(Orient::R90.then(Orient::R270), Orient::R0);
+    }
+
+    #[test]
+    fn mirror_classification() {
+        assert!(Orient::MX.is_mirrored());
+        assert!(!Orient::R180.is_mirrored());
+        assert!(Orient::R90.swaps_axes());
+        assert!(!Orient::MX.swaps_axes());
+    }
+}

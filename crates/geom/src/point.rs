@@ -1,0 +1,196 @@
+//! Planar points and displacement vectors.
+
+use crate::coord::{Axis, Coord, Dir};
+
+/// A point in the layout plane, in database units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: Coord,
+    /// Vertical coordinate.
+    pub y: Coord,
+}
+
+/// A displacement in the layout plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Vector {
+    /// Horizontal component.
+    pub dx: Coord,
+    /// Vertical component.
+    pub dy: Coord,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: Coord, y: Coord) -> Point {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0, y: 0 };
+
+    /// Returns the coordinate along `axis`.
+    #[inline]
+    pub fn along(self, axis: Axis) -> Coord {
+        match axis {
+            Axis::X => self.x,
+            Axis::Y => self.y,
+        }
+    }
+
+    /// Returns this point translated by `v`.
+    #[inline]
+    pub fn translated(self, v: Vector) -> Point {
+        Point::new(self.x + v.dx, self.y + v.dy)
+    }
+
+    /// The vector from `self` to `other`.
+    #[inline]
+    pub fn to(self, other: Point) -> Vector {
+        Vector::new(other.x - self.x, other.y - self.y)
+    }
+
+    /// Manhattan distance to `other`.
+    #[inline]
+    pub fn manhattan_distance(self, other: Point) -> Coord {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Mirrors the point about the vertical line `x = axis_x`.
+    #[inline]
+    pub fn mirrored_x(self, axis_x: Coord) -> Point {
+        Point::new(2 * axis_x - self.x, self.y)
+    }
+
+    /// Mirrors the point about the horizontal line `y = axis_y`.
+    #[inline]
+    pub fn mirrored_y(self, axis_y: Coord) -> Point {
+        Point::new(self.x, 2 * axis_y - self.y)
+    }
+}
+
+impl Vector {
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(dx: Coord, dy: Coord) -> Vector {
+        Vector { dx, dy }
+    }
+
+    /// The zero displacement.
+    pub const ZERO: Vector = Vector { dx: 0, dy: 0 };
+
+    /// A unit step of length `d` in direction `dir`.
+    #[inline]
+    pub fn step(dir: Dir, d: Coord) -> Vector {
+        match dir {
+            Dir::North => Vector::new(0, d),
+            Dir::South => Vector::new(0, -d),
+            Dir::East => Vector::new(d, 0),
+            Dir::West => Vector::new(-d, 0),
+        }
+    }
+
+    /// Component along `axis`.
+    #[inline]
+    pub fn along(self, axis: Axis) -> Coord {
+        match axis {
+            Axis::X => self.dx,
+            Axis::Y => self.dy,
+        }
+    }
+
+    /// Returns the negated vector.
+    #[inline]
+    pub fn negated(self) -> Vector {
+        Vector::new(-self.dx, -self.dy)
+    }
+}
+
+impl std::ops::Add<Vector> for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, v: Vector) -> Point {
+        self.translated(v)
+    }
+}
+
+impl std::ops::Sub<Vector> for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, v: Vector) -> Point {
+        self.translated(v.negated())
+    }
+}
+
+impl std::ops::Add for Vector {
+    type Output = Vector;
+    #[inline]
+    fn add(self, o: Vector) -> Vector {
+        Vector::new(self.dx + o.dx, self.dy + o.dy)
+    }
+}
+
+impl std::ops::Sub for Vector {
+    type Output = Vector;
+    #[inline]
+    fn sub(self, o: Vector) -> Vector {
+        Vector::new(self.dx - o.dx, self.dy - o.dy)
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translation_and_difference() {
+        let p = Point::new(3, 4);
+        let v = Vector::new(-1, 2);
+        assert_eq!(p + v, Point::new(2, 6));
+        assert_eq!((p + v) - v, p);
+        assert_eq!(p.to(p + v), v);
+    }
+
+    #[test]
+    fn step_matches_direction_sign() {
+        assert_eq!(Vector::step(Dir::North, 5), Vector::new(0, 5));
+        assert_eq!(Vector::step(Dir::South, 5), Vector::new(0, -5));
+        assert_eq!(Vector::step(Dir::East, 5), Vector::new(5, 0));
+        assert_eq!(Vector::step(Dir::West, 5), Vector::new(-5, 0));
+    }
+
+    #[test]
+    fn manhattan_distance_is_symmetric() {
+        let a = Point::new(0, 0);
+        let b = Point::new(3, -4);
+        assert_eq!(a.manhattan_distance(b), 7);
+        assert_eq!(b.manhattan_distance(a), 7);
+    }
+
+    #[test]
+    fn mirror_about_axes() {
+        let p = Point::new(3, 4);
+        assert_eq!(p.mirrored_x(0), Point::new(-3, 4));
+        assert_eq!(p.mirrored_x(5), Point::new(7, 4));
+        assert_eq!(p.mirrored_y(4), p);
+        assert_eq!(p.mirrored_x(5).mirrored_x(5), p);
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Vector::new(1, 2);
+        let b = Vector::new(3, -1);
+        assert_eq!(a + b, Vector::new(4, 1));
+        assert_eq!(a - b, Vector::new(-2, 3));
+        assert_eq!(a.negated() + a, Vector::ZERO);
+        assert_eq!(a.along(Axis::X), 1);
+        assert_eq!(a.along(Axis::Y), 2);
+    }
+}

@@ -1,0 +1,173 @@
+//! Rectilinear polygon → rectangle decomposition.
+//!
+//! The paper keeps the database rectangle-only: *"polygons are converted
+//! into simple rectangular structures"*. [`decompose`] slices a rectilinear
+//! polygon into horizontal slabs between consecutive distinct y
+//! coordinates of its vertices; inside each slab a parity scan over the
+//! vertical edges yields the covered x-ranges.
+
+use crate::coord::Coord;
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// Errors from polygon decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolyError {
+    /// Fewer than four vertices.
+    TooFewVertices(usize),
+    /// An edge is neither horizontal nor vertical.
+    NotRectilinear { from: Point, to: Point },
+    /// A slab had an odd number of crossing edges (self-intersecting or
+    /// degenerate outline).
+    OddCrossings { y: Coord },
+}
+
+impl std::fmt::Display for PolyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolyError::TooFewVertices(n) => {
+                write!(f, "rectilinear polygon needs at least 4 vertices, got {n}")
+            }
+            PolyError::NotRectilinear { from, to } => {
+                write!(f, "edge {from} -> {to} is neither horizontal nor vertical")
+            }
+            PolyError::OddCrossings { y } => {
+                write!(f, "odd number of edge crossings in slab starting at y={y}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolyError {}
+
+/// Decomposes a simple rectilinear polygon (vertices in order, implicitly
+/// closed) into disjoint rectangles covering exactly its interior.
+///
+/// # Example
+/// ```
+/// use amgen_geom::{poly::decompose, Point};
+/// // An L-shape.
+/// let l = [
+///     Point::new(0, 0), Point::new(10, 0), Point::new(10, 4),
+///     Point::new(4, 4), Point::new(4, 10), Point::new(0, 10),
+/// ];
+/// let rects = decompose(&l).unwrap();
+/// let area: i128 = rects.iter().map(|r| r.area()).sum();
+/// assert_eq!(area, 10 * 4 + 4 * 6);
+/// ```
+pub fn decompose(vertices: &[Point]) -> Result<Vec<Rect>, PolyError> {
+    if vertices.len() < 4 {
+        return Err(PolyError::TooFewVertices(vertices.len()));
+    }
+    // Collect vertical edges and validate rectilinearity.
+    let mut vedges: Vec<(Coord, Coord, Coord)> = Vec::new(); // (x, ylo, yhi)
+    let mut ys: Vec<Coord> = Vec::new();
+    let n = vertices.len();
+    for i in 0..n {
+        let a = vertices[i];
+        let b = vertices[(i + 1) % n];
+        if a.x == b.x && a.y != b.y {
+            vedges.push((a.x, a.y.min(b.y), a.y.max(b.y)));
+        } else if a.y == b.y && a.x != b.x {
+            // horizontal edge: only contributes y breakpoints
+        } else if a == b {
+            continue; // repeated vertex, ignore
+        } else {
+            return Err(PolyError::NotRectilinear { from: a, to: b });
+        }
+        ys.push(a.y);
+    }
+    ys.sort_unstable();
+    ys.dedup();
+    let mut rects = Vec::new();
+    for w in ys.windows(2) {
+        let (y0, y1) = (w[0], w[1]);
+        // Vertical edges crossing this slab, by x.
+        let mut xs: Vec<Coord> = vedges
+            .iter()
+            .filter(|&&(_, lo, hi)| lo <= y0 && hi >= y1)
+            .map(|&(x, _, _)| x)
+            .collect();
+        xs.sort_unstable();
+        if xs.len() % 2 != 0 {
+            return Err(PolyError::OddCrossings { y: y0 });
+        }
+        for pair in xs.chunks(2) {
+            if pair[0] != pair[1] {
+                rects.push(Rect::new(pair[0], y0, pair[1], y1));
+            }
+        }
+    }
+    Ok(rects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: Coord, y: Coord) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn rectangle_decomposes_to_itself() {
+        let sq = [p(0, 0), p(10, 0), p(10, 10), p(0, 10)];
+        assert_eq!(decompose(&sq).unwrap(), vec![Rect::new(0, 0, 10, 10)]);
+    }
+
+    #[test]
+    fn l_shape_two_slabs() {
+        let l = [p(0, 0), p(10, 0), p(10, 4), p(4, 4), p(4, 10), p(0, 10)];
+        let rects = decompose(&l).unwrap();
+        assert_eq!(rects.len(), 2);
+        let area: i128 = rects.iter().map(|r| r.area()).sum();
+        assert_eq!(area, 64);
+        for (i, a) in rects.iter().enumerate() {
+            for b in &rects[i + 1..] {
+                assert!(!a.overlaps(b));
+            }
+        }
+    }
+
+    #[test]
+    fn u_shape_has_split_slab() {
+        // A "U": outer 12x10, notch 4..8 x 4..10.
+        let u = [
+            p(0, 0), p(12, 0), p(12, 10), p(8, 10),
+            p(8, 4), p(4, 4), p(4, 10), p(0, 10),
+        ];
+        let rects = decompose(&u).unwrap();
+        let area: i128 = rects.iter().map(|r| r.area()).sum();
+        assert_eq!(area, 12 * 10 - 4 * 6);
+        // The slab above y=4 splits into two arms.
+        assert!(rects.iter().any(|r| r.x1 <= 4 && r.y0 >= 4));
+        assert!(rects.iter().any(|r| r.x0 >= 8 && r.y0 >= 4));
+    }
+
+    #[test]
+    fn diagonal_edge_is_rejected() {
+        let bad = [p(0, 0), p(10, 5), p(10, 10), p(0, 10)];
+        assert!(matches!(
+            decompose(&bad),
+            Err(PolyError::NotRectilinear { .. })
+        ));
+    }
+
+    #[test]
+    fn too_few_vertices_is_rejected() {
+        assert_eq!(
+            decompose(&[p(0, 0), p(1, 0)]),
+            Err(PolyError::TooFewVertices(2))
+        );
+    }
+
+    #[test]
+    fn reversed_winding_gives_same_cover() {
+        let l = [p(0, 0), p(10, 0), p(10, 4), p(4, 4), p(4, 10), p(0, 10)];
+        let mut rev = l;
+        rev.reverse();
+        let a: i128 = decompose(&l).unwrap().iter().map(|r| r.area()).sum();
+        let b: i128 = decompose(&rev).unwrap().iter().map(|r| r.area()).sum();
+        assert_eq!(a, b);
+    }
+}

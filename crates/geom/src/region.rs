@@ -1,0 +1,412 @@
+//! Rectangle sets with exact area bookkeeping and cover tests.
+//!
+//! [`Region`] implements the data structure behind the paper's latch-up
+//! rule check (Fig. 1): a list of "solid" rectangles from which enclosing
+//! "temporary" rectangles are subtracted one by one; the rule is fulfilled
+//! when nothing remains.
+
+use crate::coord::Coord;
+use crate::rect::Rect;
+
+/// A set of (possibly overlapping) rectangles.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Region {
+    rects: Vec<Rect>,
+}
+
+impl Region {
+    /// Creates an empty region.
+    pub fn new() -> Region {
+        Region::default()
+    }
+
+    /// Creates a region from one rectangle (empty rectangles are dropped).
+    pub fn from_rect(r: Rect) -> Region {
+        let mut reg = Region::new();
+        reg.push(r);
+        reg
+    }
+
+    /// Creates a region from rectangles (empty ones are dropped).
+    pub fn from_rects<I: IntoIterator<Item = Rect>>(rects: I) -> Region {
+        let mut reg = Region::new();
+        for r in rects {
+            reg.push(r);
+        }
+        reg
+    }
+
+    /// Adds a rectangle (no-op for empty rectangles).
+    pub fn push(&mut self, r: Rect) {
+        if !r.is_empty() {
+            self.rects.push(r);
+        }
+    }
+
+    /// The stored rectangles.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// True if nothing remains.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Number of stored rectangles.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// Bounding box of all rectangles.
+    pub fn bbox(&self) -> Rect {
+        self.rects
+            .iter()
+            .fold(Rect::EMPTY, |acc, r| acc.union_bbox(r))
+    }
+
+    /// Exact covered area, counting overlapping parts once.
+    ///
+    /// Uses a coordinate-compressed sweep; cost is O(n² log n) which is
+    /// ample for module-sized rectangle counts.
+    pub fn area(&self) -> i128 {
+        if self.rects.is_empty() {
+            return 0;
+        }
+        let mut xs: Vec<Coord> = Vec::with_capacity(self.rects.len() * 2);
+        for r in &self.rects {
+            xs.push(r.x0);
+            xs.push(r.x1);
+        }
+        xs.sort_unstable();
+        xs.dedup();
+        let mut total: i128 = 0;
+        for w in xs.windows(2) {
+            let (x0, x1) = (w[0], w[1]);
+            if x0 == x1 {
+                continue;
+            }
+            // Union of y-intervals of rects spanning this slab.
+            let mut ys: Vec<(Coord, Coord)> = self
+                .rects
+                .iter()
+                .filter(|r| r.x0 <= x0 && r.x1 >= x1)
+                .map(|r| (r.y0, r.y1))
+                .collect();
+            ys.sort_unstable();
+            let mut covered: i128 = 0;
+            let mut cur: Option<(Coord, Coord)> = None;
+            for (lo, hi) in ys {
+                match cur {
+                    None => cur = Some((lo, hi)),
+                    Some((clo, chi)) => {
+                        if lo > chi {
+                            covered += (chi - clo) as i128;
+                            cur = Some((lo, hi));
+                        } else {
+                            cur = Some((clo, chi.max(hi)));
+                        }
+                    }
+                }
+            }
+            if let Some((clo, chi)) = cur {
+                covered += (chi - clo) as i128;
+            }
+            total += covered * (x1 - x0) as i128;
+        }
+        total
+    }
+
+    /// Exact perimeter of the covered area (outer + hole boundaries),
+    /// counting overlapping parts once.
+    ///
+    /// Implemented by coordinate compression: the plane is cut into cells
+    /// by all rectangle edges; every cell boundary between a covered and
+    /// an uncovered cell contributes its length.
+    pub fn perimeter(&self) -> i128 {
+        if self.rects.is_empty() {
+            return 0;
+        }
+        let mut xs: Vec<Coord> = Vec::new();
+        let mut ys: Vec<Coord> = Vec::new();
+        for r in &self.rects {
+            xs.extend([r.x0, r.x1]);
+            ys.extend([r.y0, r.y1]);
+        }
+        xs.sort_unstable();
+        xs.dedup();
+        ys.sort_unstable();
+        ys.dedup();
+        let nx = xs.len() - 1;
+        let ny = ys.len() - 1;
+        // covered[i][j] for cell (xs[i]..xs[i+1]) x (ys[j]..ys[j+1]).
+        let mut covered = vec![false; nx * ny];
+        for r in &self.rects {
+            let i0 = xs.binary_search(&r.x0).expect("edge is a breakpoint");
+            let i1 = xs.binary_search(&r.x1).expect("edge is a breakpoint");
+            let j0 = ys.binary_search(&r.y0).expect("edge is a breakpoint");
+            let j1 = ys.binary_search(&r.y1).expect("edge is a breakpoint");
+            for i in i0..i1 {
+                for j in j0..j1 {
+                    covered[i * ny + j] = true;
+                }
+            }
+        }
+        let cell = |i: isize, j: isize| -> bool {
+            if i < 0 || j < 0 || i as usize >= nx || j as usize >= ny {
+                false
+            } else {
+                covered[i as usize * ny + j as usize]
+            }
+        };
+        let mut total: i128 = 0;
+        for i in 0..nx as isize {
+            for j in 0..ny as isize {
+                if !cell(i, j) {
+                    continue;
+                }
+                let w = (xs[i as usize + 1] - xs[i as usize]) as i128;
+                let h = (ys[j as usize + 1] - ys[j as usize]) as i128;
+                if !cell(i - 1, j) {
+                    total += h;
+                }
+                if !cell(i + 1, j) {
+                    total += h;
+                }
+                if !cell(i, j - 1) {
+                    total += w;
+                }
+                if !cell(i, j + 1) {
+                    total += w;
+                }
+            }
+        }
+        total
+    }
+
+    /// Subtracts one rectangle from every stored rectangle, replacing each
+    /// by its remainders — the paper's *"only the overlapping part is cut
+    /// while the remaining part of the rectangle is still stored in the
+    /// database"*.
+    pub fn subtract_rect(&mut self, cutter: Rect) {
+        if cutter.is_empty() {
+            return;
+        }
+        let mut out = Vec::with_capacity(self.rects.len());
+        for r in self.rects.drain(..) {
+            out.extend(r.subtract(&cutter));
+        }
+        self.rects = out;
+    }
+
+    /// Subtracts every rectangle of `other`.
+    pub fn subtract_region(&mut self, other: &Region) {
+        for c in &other.rects {
+            self.subtract_rect(*c);
+            if self.rects.is_empty() {
+                return;
+            }
+        }
+    }
+
+    /// True if the given cover rectangles jointly contain every rectangle
+    /// of this region — the latch-up cover test of Fig. 1.
+    ///
+    /// # Example
+    /// ```
+    /// use amgen_geom::{Rect, Region};
+    /// let active = Region::from_rect(Rect::new(0, 0, 8, 2));
+    /// assert!(active.covered_by([Rect::new(0, 0, 5, 2), Rect::new(4, 0, 8, 2)]));
+    /// assert!(!active.covered_by([Rect::new(0, 0, 5, 2)]));
+    /// ```
+    pub fn covered_by<I: IntoIterator<Item = Rect>>(&self, covers: I) -> bool {
+        let mut remaining = self.clone();
+        for c in covers {
+            remaining.subtract_rect(c);
+            if remaining.is_empty() {
+                return true;
+            }
+        }
+        remaining.is_empty()
+    }
+
+    /// True if any stored rectangle overlaps `r`.
+    pub fn intersects(&self, r: &Rect) -> bool {
+        self.rects.iter().any(|s| s.overlaps(r))
+    }
+
+    /// Translates the whole region.
+    pub fn translated(&self, v: crate::point::Vector) -> Region {
+        Region {
+            rects: self.rects.iter().map(|r| r.translated(v)).collect(),
+        }
+    }
+
+    /// Merges abutting/overlapping rectangles where possible by repeated
+    /// pairwise joins of rectangles whose union is itself a rectangle.
+    ///
+    /// Used by the compactor's auto-connect step after same-potential
+    /// geometry has been brought into contact.
+    pub fn normalize(&mut self) {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            'outer: for i in 0..self.rects.len() {
+                for j in (i + 1)..self.rects.len() {
+                    let a = self.rects[i];
+                    let b = self.rects[j];
+                    if let Some(m) = merge_pair(&a, &b) {
+                        self.rects[i] = m;
+                        self.rects.swap_remove(j);
+                        changed = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Merges two rectangles when one contains the other or their union is an
+/// exact rectangle (same x-range stacked in y, or same y-range side by
+/// side, touching or overlapping).
+fn merge_pair(a: &Rect, b: &Rect) -> Option<Rect> {
+    if a.contains_rect(b) {
+        return Some(*a);
+    }
+    if b.contains_rect(a) {
+        return Some(*b);
+    }
+    if a.x0 == b.x0 && a.x1 == b.x1 && a.y_range().touches(&b.y_range()) {
+        return Some(Rect::new(a.x0, a.y0.min(b.y0), a.x1, a.y1.max(b.y1)));
+    }
+    if a.y0 == b.y0 && a.y1 == b.y1 && a.x_range().touches(&b.x_range()) {
+        return Some(Rect::new(a.x0.min(b.x0), a.y0, a.x1.max(b.x1), a.y1));
+    }
+    None
+}
+
+impl FromIterator<Rect> for Region {
+    fn from_iter<T: IntoIterator<Item = Rect>>(iter: T) -> Region {
+        Region::from_rects(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_of_disjoint_rects() {
+        let reg = Region::from_rects([Rect::new(0, 0, 10, 10), Rect::new(20, 0, 30, 5)]);
+        assert_eq!(reg.area(), 150);
+    }
+
+    #[test]
+    fn area_counts_overlap_once() {
+        let reg = Region::from_rects([Rect::new(0, 0, 10, 10), Rect::new(5, 5, 15, 15)]);
+        assert_eq!(reg.area(), 100 + 100 - 25);
+    }
+
+    #[test]
+    fn area_of_empty_region() {
+        assert_eq!(Region::new().area(), 0);
+        assert_eq!(Region::from_rect(Rect::EMPTY).area(), 0);
+    }
+
+    #[test]
+    fn subtract_cuts_and_keeps_remainder() {
+        let mut reg = Region::from_rect(Rect::new(0, 0, 10, 10));
+        reg.subtract_rect(Rect::new(0, 0, 10, 6));
+        assert_eq!(reg.rects(), &[Rect::new(0, 6, 10, 10)]);
+        assert_eq!(reg.area(), 40);
+    }
+
+    #[test]
+    fn covered_by_two_partial_covers() {
+        let reg = Region::from_rect(Rect::new(0, 0, 100, 20));
+        assert!(reg.covered_by([Rect::new(-5, -5, 60, 25), Rect::new(50, -5, 105, 25)]));
+        assert!(!reg.covered_by([Rect::new(-5, -5, 60, 25), Rect::new(70, -5, 105, 25)]),
+            "a 10-wide gap remains uncovered");
+    }
+
+    #[test]
+    fn covered_by_empty_region_is_trivially_true() {
+        assert!(Region::new().covered_by([]));
+    }
+
+    #[test]
+    fn normalize_merges_stacked_rects() {
+        let mut reg = Region::from_rects([
+            Rect::new(0, 0, 10, 5),
+            Rect::new(0, 5, 10, 10),
+            Rect::new(0, 10, 10, 12),
+        ]);
+        reg.normalize();
+        assert_eq!(reg.rects(), &[Rect::new(0, 0, 10, 12)]);
+    }
+
+    #[test]
+    fn normalize_merges_contained_rects() {
+        let mut reg = Region::from_rects([Rect::new(0, 0, 10, 10), Rect::new(2, 2, 5, 5)]);
+        reg.normalize();
+        assert_eq!(reg.rects(), &[Rect::new(0, 0, 10, 10)]);
+    }
+
+    #[test]
+    fn normalize_keeps_l_shape_as_two_rects() {
+        let mut reg = Region::from_rects([Rect::new(0, 0, 10, 5), Rect::new(0, 5, 4, 10)]);
+        reg.normalize();
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.area(), 50 + 20);
+    }
+
+    #[test]
+    fn perimeter_of_single_rect() {
+        assert_eq!(Region::from_rect(Rect::new(0, 0, 10, 4)).perimeter(), 28);
+        assert_eq!(Region::new().perimeter(), 0);
+    }
+
+    #[test]
+    fn perimeter_of_abutting_rects_merges() {
+        let reg = Region::from_rects([Rect::new(0, 0, 10, 4), Rect::new(10, 0, 20, 4)]);
+        assert_eq!(reg.perimeter(), 2 * (20 + 4));
+    }
+
+    #[test]
+    fn perimeter_of_overlapping_rects() {
+        // Two 10x10 squares overlapping by 5 in x: outline is a 15x10
+        // rectangle.
+        let reg = Region::from_rects([Rect::new(0, 0, 10, 10), Rect::new(5, 0, 15, 10)]);
+        assert_eq!(reg.perimeter(), 2 * (15 + 10));
+    }
+
+    #[test]
+    fn perimeter_of_l_shape() {
+        let reg = Region::from_rects([Rect::new(0, 0, 10, 4), Rect::new(0, 4, 4, 10)]);
+        // L outline: 10 + 4 + 6 + 6 + 4 + 10 = 40.
+        assert_eq!(reg.perimeter(), 40);
+    }
+
+    #[test]
+    fn perimeter_of_disjoint_rects_adds() {
+        let reg = Region::from_rects([Rect::new(0, 0, 2, 2), Rect::new(10, 10, 12, 12)]);
+        assert_eq!(reg.perimeter(), 16);
+    }
+
+    #[test]
+    fn intersects_and_bbox() {
+        let reg = Region::from_rects([Rect::new(0, 0, 2, 2), Rect::new(8, 8, 12, 12)]);
+        assert!(reg.intersects(&Rect::new(1, 1, 9, 9)));
+        assert!(!reg.intersects(&Rect::new(3, 3, 7, 7)));
+        assert_eq!(reg.bbox(), Rect::new(0, 0, 12, 12));
+    }
+
+    #[test]
+    fn subtract_region_empties_when_fully_covered() {
+        let mut reg = Region::from_rect(Rect::new(0, 0, 4, 4));
+        let cover = Region::from_rects([Rect::new(0, 0, 2, 4), Rect::new(2, 0, 4, 4)]);
+        reg.subtract_region(&cover);
+        assert!(reg.is_empty());
+    }
+}

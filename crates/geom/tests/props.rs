@@ -1,0 +1,97 @@
+//! Property-based tests for the geometry kernel.
+
+use amgen_geom::{Orient, Point, Rect, Region};
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (-1000i64..1000, -1000i64..1000, 1i64..500, 1i64..500)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+proptest! {
+    /// Subtraction partitions the solid rectangle exactly: remainders are
+    /// disjoint, inside the solid, outside the cutter, and the areas add up.
+    #[test]
+    fn subtract_partitions_area(solid in arb_rect(), cutter in arb_rect()) {
+        let parts = solid.subtract(&cutter);
+        let cut = solid.intersection(&cutter).map_or(0, |o| o.area());
+        let rem: i128 = parts.iter().map(Rect::area).sum();
+        prop_assert_eq!(rem + cut, solid.area());
+        for (i, p) in parts.iter().enumerate() {
+            prop_assert!(!p.is_empty());
+            prop_assert!(solid.contains_rect(p));
+            prop_assert!(!p.overlaps(&cutter));
+            for q in &parts[i + 1..] {
+                prop_assert!(!p.overlaps(q));
+            }
+        }
+    }
+
+    /// At most four remainders ever result from one subtraction.
+    #[test]
+    fn subtract_yields_at_most_four(solid in arb_rect(), cutter in arb_rect()) {
+        prop_assert!(solid.subtract(&cutter).len() <= 4);
+    }
+
+    /// Intersection is commutative and contained in both operands.
+    #[test]
+    fn intersection_commutes(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+        }
+    }
+
+    /// Region area is monotone under push and never exceeds the bbox area.
+    #[test]
+    fn region_area_bounds(rects in prop::collection::vec(arb_rect(), 1..12)) {
+        let reg: Region = rects.iter().copied().collect();
+        let max_single = rects.iter().map(Rect::area).max().unwrap();
+        let sum: i128 = rects.iter().map(Rect::area).sum();
+        let area = reg.area();
+        prop_assert!(area >= max_single);
+        prop_assert!(area <= sum);
+        prop_assert!(area <= reg.bbox().area());
+    }
+
+    /// covered_by is equivalent to subtract-until-empty.
+    #[test]
+    fn covered_by_matches_subtraction(
+        solid in arb_rect(),
+        covers in prop::collection::vec(arb_rect(), 0..8),
+    ) {
+        let reg = Region::from_rect(solid);
+        let mut rem = Region::from_rect(solid);
+        for c in &covers {
+            rem.subtract_rect(*c);
+        }
+        prop_assert_eq!(reg.covered_by(covers), rem.is_empty());
+    }
+
+    /// normalize preserves covered area exactly.
+    #[test]
+    fn normalize_preserves_area(rects in prop::collection::vec(arb_rect(), 1..10)) {
+        let mut reg: Region = rects.iter().copied().collect();
+        let before = reg.area();
+        reg.normalize();
+        prop_assert_eq!(reg.area(), before);
+    }
+
+    /// Orientation transforms preserve rectangle area and are invertible.
+    #[test]
+    fn orient_preserves_area(r in arb_rect(), idx in 0usize..8) {
+        let o = Orient::ALL[idx];
+        let t = o.apply_rect(r);
+        prop_assert_eq!(t.area(), r.area());
+        prop_assert_eq!(o.inverse().apply_rect(t), r);
+    }
+
+    /// Point mirror is an involution.
+    #[test]
+    fn mirror_involution(x in -1000i64..1000, y in -1000i64..1000, ax in -1000i64..1000) {
+        let p = Point::new(x, y);
+        prop_assert_eq!(p.mirrored_x(ax).mirrored_x(ax), p);
+        prop_assert_eq!(p.mirrored_y(ax).mirrored_y(ax), p);
+    }
+}

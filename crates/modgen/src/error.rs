@@ -1,0 +1,74 @@
+//! Error type for module generation.
+
+/// Errors from the module generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModgenError {
+    /// A required layer is missing from the technology.
+    Tech(String),
+    /// A primitive shape function failed.
+    Prim(String),
+    /// A compaction step failed.
+    Compact(String),
+    /// A wiring step failed.
+    Route(String),
+    /// A parameter is out of range.
+    BadParam {
+        /// Parameter name.
+        param: &'static str,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ModgenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModgenError::Tech(m) => write!(f, "technology: {m}"),
+            ModgenError::Prim(m) => write!(f, "primitive: {m}"),
+            ModgenError::Compact(m) => write!(f, "compaction: {m}"),
+            ModgenError::Route(m) => write!(f, "routing: {m}"),
+            ModgenError::BadParam { param, message } => {
+                write!(f, "parameter `{param}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModgenError {}
+
+impl From<amgen_tech::TechError> for ModgenError {
+    fn from(e: amgen_tech::TechError) -> Self {
+        ModgenError::Tech(e.to_string())
+    }
+}
+
+impl From<amgen_prim::PrimError> for ModgenError {
+    fn from(e: amgen_prim::PrimError) -> Self {
+        ModgenError::Prim(e.to_string())
+    }
+}
+
+impl From<amgen_compact::CompactError> for ModgenError {
+    fn from(e: amgen_compact::CompactError) -> Self {
+        ModgenError::Compact(e.to_string())
+    }
+}
+
+impl From<amgen_route::RouteError> for ModgenError {
+    fn from(e: amgen_route::RouteError) -> Self {
+        ModgenError::Route(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_preserves_messages() {
+        let e: ModgenError = amgen_tech::TechError::UnknownLayer("x".into()).into();
+        assert!(e.to_string().contains('x'));
+        let e = ModgenError::BadParam { param: "fingers", message: "must be > 0".into() };
+        assert!(e.to_string().contains("fingers"));
+    }
+}

@@ -1,0 +1,48 @@
+//! The parameterizable analog module library.
+//!
+//! The paper's thesis is that *complex* module generators — not just
+//! single devices — make analog layout automation practical: *"the
+//! availability of complex generators, like a centroidal cross-coupled
+//! differential pair with its internal wiring and with substrate or well
+//! contacts, simplifies the placement and routing problem drastically and
+//! yields more optimal layouts."*
+//!
+//! Every generator here is written the way the paper prescribes: geometry
+//! comes from the primitive shape functions of [`amgen_prim`], assembly
+//! from the successive compactor of [`amgen_compact`], wiring from
+//! [`amgen_route`] — the designer-facing parameters are electrical
+//! (widths, lengths, finger counts), never coordinates.
+//!
+//! | module | paper reference |
+//! |---|---|
+//! | [`contact_row`](contact_row::contact_row) | Fig. 2/3 |
+//! | [`mos_transistor`] | the `Trans` entity of Fig. 7 |
+//! | [`diff_pair`](diffpair::diff_pair) | Figs. 6/7 |
+//! | [`interdigitated`](interdigit::interdigitated) | blocks A/C of §3 |
+//! | [`centroid_diff_pair`](centroid::centroid_diff_pair) | Fig. 10 / block E |
+//! | [`current_mirror`](mirror::current_mirror) | block B |
+//! | [`cascode_pair`](cascode::cascode_pair) | block A |
+//! | [`bipolar_npn`](bipolar::bipolar_npn) | block F |
+//! | [`guard_ring`](guard::guard_ring) | substrate contacts / latch-up |
+//! | [`baseline`] | the coordinate-level style of ref. \[11\] |
+
+pub mod baseline;
+pub mod bipolar;
+pub mod capacitor;
+pub mod cascode;
+pub mod centroid;
+pub mod contact_row;
+pub mod diffpair;
+pub mod diode;
+pub mod error;
+pub mod guard;
+pub mod interdigit;
+pub mod mirror;
+pub mod mos;
+pub mod quad;
+pub mod resistor;
+pub mod stacked;
+
+pub use contact_row::{contact_row, ContactRowParams};
+pub use error::ModgenError;
+pub use mos::{mos_transistor, MosParams, MosType};

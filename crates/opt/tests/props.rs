@@ -1,0 +1,67 @@
+//! Property tests for the order optimizer: the search result is never
+//! worse than any specific permutation it explored against.
+
+use amgen_compact::CompactOptions;
+use amgen_db::{LayoutObject, Shape};
+use amgen_geom::{Dir, Rect};
+use amgen_opt::{Optimizer, RatingWeights, SearchOptions, Step};
+use amgen_tech::Tech;
+use proptest::prelude::*;
+
+fn steps_from(spec: &[(i64, i64, usize)], tech: &Tech) -> Vec<Step> {
+    let poly = tech.layer("poly").unwrap();
+    spec.iter()
+        .map(|&(w, h, side)| {
+            let mut o = LayoutObject::new("s");
+            o.push(Shape::new(poly, Rect::new(0, 0, w * 1_000, h * 1_000)));
+            Step::new(o, Dir::ALL[side], CompactOptions::new())
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The optimizer's score is a lower bound over every permutation
+    /// (sampled via a shuffle seed) of the same steps.
+    #[test]
+    fn optimum_beats_any_permutation(
+        spec in prop::collection::vec((1i64..8, 1i64..8, 0usize..4), 2..5),
+        shuffle in prop::collection::vec(0usize..100, 2..5),
+    ) {
+        let tech = Tech::bicmos_1u();
+        let opt = Optimizer::new(&tech, RatingWeights::default());
+        let steps = steps_from(&spec, &tech);
+        let best = opt
+            .optimize_order(&steps, SearchOptions { keep_first: false, max_nodes: 100_000 })
+            .unwrap();
+        // Build one specific permutation derived from the shuffle values.
+        let mut order: Vec<usize> = (0..steps.len()).collect();
+        for (i, &s) in shuffle.iter().enumerate() {
+            let j = s % steps.len();
+            order.swap(i % steps.len(), j);
+        }
+        let permuted: Vec<Step> = order.iter().map(|&i| steps[i].clone()).collect();
+        let (_, perm_rating) = opt.build(&permuted).unwrap();
+        prop_assert!(
+            best.rating.score <= perm_rating.score + 1e-9,
+            "optimizer {} > permutation {} (order {order:?})",
+            best.rating.score,
+            perm_rating.score
+        );
+    }
+
+    /// The reported best order reproduces the reported rating exactly.
+    #[test]
+    fn reported_order_reproduces_rating(
+        spec in prop::collection::vec((1i64..8, 1i64..8, 0usize..4), 2..5),
+    ) {
+        let tech = Tech::bicmos_1u();
+        let opt = Optimizer::new(&tech, RatingWeights::default());
+        let steps = steps_from(&spec, &tech);
+        let best = opt.optimize_order(&steps, SearchOptions::default()).unwrap();
+        let reordered: Vec<Step> = best.order.iter().map(|&i| steps[i].clone()).collect();
+        let (_, rating) = opt.build(&reordered).unwrap();
+        prop_assert!((rating.score - best.rating.score).abs() < 1e-9);
+    }
+}

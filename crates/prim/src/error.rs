@@ -1,0 +1,62 @@
+//! Error type for primitive shape functions.
+
+/// Errors from the primitive shape functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrimError {
+    /// A structural primitive (`array`, `around`, `ring`, adaptors) was
+    /// applied to an object with no geometry to relate to.
+    EmptyObject {
+        /// The primitive that was called.
+        primitive: &'static str,
+    },
+    /// The named layer is not a cut layer but a cut array was requested.
+    NotACut {
+        /// The offending layer name.
+        layer: String,
+    },
+    /// A technology rule needed by the primitive is missing.
+    MissingRule(String),
+    /// The two wire rectangles handed to the angle adaptor do not form a
+    /// corner (they must overlap or abut in exactly one corner region).
+    NoCorner,
+}
+
+impl std::fmt::Display for PrimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrimError::EmptyObject { primitive } => {
+                write!(f, "`{primitive}` needs existing geometry in the object")
+            }
+            PrimError::NotACut { layer } => {
+                write!(f, "layer `{layer}` is not a cut layer; `array` places contacts/vias")
+            }
+            PrimError::MissingRule(r) => write!(f, "missing technology rule: {r}"),
+            PrimError::NoCorner => {
+                write!(f, "angle adaptor: the two wires do not meet in a corner")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrimError {}
+
+impl From<amgen_tech::TechError> for PrimError {
+    fn from(e: amgen_tech::TechError) -> PrimError {
+        PrimError::MissingRule(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        assert!(PrimError::EmptyObject { primitive: "array" }
+            .to_string()
+            .contains("array"));
+        assert!(PrimError::NotACut { layer: "poly".into() }
+            .to_string()
+            .contains("poly"));
+    }
+}

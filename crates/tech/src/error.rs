@@ -1,0 +1,59 @@
+//! Error type for technology construction and parsing.
+
+/// Errors raised while building or parsing a technology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TechError {
+    /// A rule or query referenced a layer name that does not exist.
+    UnknownLayer(String),
+    /// Two layers were declared with the same name.
+    DuplicateLayer(String),
+    /// A tech-file line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A required rule is missing from the deck.
+    MissingRule(String),
+    /// A rule value is out of range (negative width etc.).
+    InvalidValue {
+        /// The offending rule.
+        rule: String,
+        /// The value given.
+        value: i64,
+    },
+}
+
+impl std::fmt::Display for TechError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TechError::UnknownLayer(n) => write!(f, "unknown layer `{n}`"),
+            TechError::DuplicateLayer(n) => write!(f, "layer `{n}` declared twice"),
+            TechError::Parse { line, message } => {
+                write!(f, "tech file line {line}: {message}")
+            }
+            TechError::MissingRule(r) => write!(f, "technology is missing rule `{r}`"),
+            TechError::InvalidValue { rule, value } => {
+                write!(f, "rule `{rule}` has invalid value {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TechError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TechError::UnknownLayer("metal9".into());
+        assert!(e.to_string().contains("metal9"));
+        let e = TechError::Parse { line: 12, message: "bad token".into() };
+        assert!(e.to_string().contains("12"));
+        let e = TechError::InvalidValue { rule: "width poly".into(), value: -5 };
+        assert!(e.to_string().contains("-5"));
+    }
+}

@@ -1,0 +1,543 @@
+//! The technology rule database.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::error::TechError;
+use crate::layer::{Layer, LayerInfo, LayerKind};
+
+/// Coordinate type re-declared locally (1 du = 1 nm) to keep this crate
+/// free of a geometry dependency; it matches `amgen_geom::Coord`.
+pub type Coord = i64;
+
+static NEXT_TECH_ID: AtomicU32 = AtomicU32::new(1);
+
+/// Parasitic capacitance coefficients of a conductor layer.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CapCoeffs {
+    /// Area capacitance to substrate, in aF/µm².
+    pub area_af_per_um2: f64,
+    /// Fringe (perimeter) capacitance, in aF/µm.
+    pub fringe_af_per_um: f64,
+}
+
+/// A process technology: layers plus the design-rule tables.
+///
+/// Build one with [`Tech::builder`], [`Tech::parse`] (tech-file text) or
+/// use the built-in decks [`Tech::bicmos_1u`] / [`Tech::cmos_08`].
+#[derive(Debug, Clone)]
+pub struct Tech {
+    id: u32,
+    name: String,
+    grid: Coord,
+    latchup_distance: Coord,
+    layers: Vec<LayerInfo>,
+    by_name: HashMap<String, u16>,
+    min_width: Vec<Coord>,
+    min_space: HashMap<(u16, u16), Coord>,
+    enclosure: HashMap<(u16, u16), Coord>,
+    extension: HashMap<(u16, u16), Coord>,
+    cut_size: Vec<Option<Coord>>,
+    connections: Vec<(u16, u16, u16)>,
+    cap: Vec<CapCoeffs>,
+    sheet_res_mohm: Vec<Option<i64>>,
+    min_area_um2: Vec<f64>,
+}
+
+/// Incremental constructor for [`Tech`].
+#[derive(Debug)]
+pub struct TechBuilder {
+    tech: Tech,
+}
+
+impl Tech {
+    /// Starts building a technology with the given name.
+    pub fn builder(name: impl Into<String>) -> TechBuilder {
+        TechBuilder {
+            tech: Tech {
+                id: NEXT_TECH_ID.fetch_add(1, Ordering::Relaxed),
+                name: name.into(),
+                grid: 1,
+                latchup_distance: 0,
+                layers: Vec::new(),
+                by_name: HashMap::new(),
+                min_width: Vec::new(),
+                min_space: HashMap::new(),
+                enclosure: HashMap::new(),
+                extension: HashMap::new(),
+                cut_size: Vec::new(),
+                connections: Vec::new(),
+                cap: Vec::new(),
+                sheet_res_mohm: Vec::new(),
+                min_area_um2: Vec::new(),
+            },
+        }
+    }
+
+    /// Technology name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Unique id of this technology instance (brands [`Layer`] handles).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Manufacturing grid in du.
+    pub fn grid(&self) -> Coord {
+        self.grid
+    }
+
+    /// Maximum distance a substrate contact "covers" for the latch-up rule
+    /// (the half-size of the temporary rectangles of the paper's Fig. 1).
+    pub fn latchup_distance(&self) -> Coord {
+        self.latchup_distance
+    }
+
+    /// Looks a layer up by name.
+    pub fn layer(&self, name: &str) -> Result<Layer, TechError> {
+        self.by_name
+            .get(name)
+            .map(|&index| Layer { tech_id: self.id, index })
+            .ok_or_else(|| TechError::UnknownLayer(name.to_string()))
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Iterates over all layer handles.
+    pub fn layers(&self) -> impl Iterator<Item = Layer> + '_ {
+        let id = self.id;
+        (0..self.layers.len() as u16).map(move |index| Layer { tech_id: id, index })
+    }
+
+    fn check(&self, l: Layer) -> usize {
+        assert_eq!(
+            l.tech_id, self.id,
+            "layer handle from technology {} used with technology {} ({})",
+            l.tech_id, self.id, self.name
+        );
+        l.index as usize
+    }
+
+    /// Static info of a layer.
+    pub fn info(&self, l: Layer) -> &LayerInfo {
+        &self.layers[self.check(l)]
+    }
+
+    /// Layer name.
+    pub fn layer_name(&self, l: Layer) -> &str {
+        &self.info(l).name
+    }
+
+    /// Layer kind.
+    pub fn kind(&self, l: Layer) -> LayerKind {
+        self.info(l).kind
+    }
+
+    /// Minimum feature width of a layer (0 when unspecified).
+    pub fn min_width(&self, l: Layer) -> Coord {
+        self.min_width[self.check(l)]
+    }
+
+    /// Minimum spacing between shapes on `a` and `b`; `None` when the pair
+    /// is unconstrained (shapes may overlap freely, e.g. implant over
+    /// diffusion).
+    pub fn min_spacing(&self, a: Layer, b: Layer) -> Option<Coord> {
+        let (ia, ib) = (self.check(a) as u16, self.check(b) as u16);
+        let key = (ia.min(ib), ia.max(ib));
+        self.min_space.get(&key).copied()
+    }
+
+    /// Spacing required between *disconnected* shapes on `a` and `b`,
+    /// defaulting to 0 when no rule exists (the compactor may abut them).
+    pub fn clearance(&self, a: Layer, b: Layer) -> Coord {
+        self.min_spacing(a, b).unwrap_or(0)
+    }
+
+    /// Required enclosure of `inner` by `outer` on every side (0 when no
+    /// rule exists).
+    pub fn enclosure(&self, outer: Layer, inner: Layer) -> Coord {
+        let key = (self.check(outer) as u16, self.check(inner) as u16);
+        self.enclosure.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Required extension of `a` beyond `b` (e.g. poly gate past
+    /// diffusion); 0 when no rule exists.
+    pub fn extension(&self, a: Layer, b: Layer) -> Coord {
+        let key = (self.check(a) as u16, self.check(b) as u16);
+        self.extension.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Fixed square size of a cut layer.
+    pub fn cut_size(&self, l: Layer) -> Result<Coord, TechError> {
+        self.cut_size[self.check(l)]
+            .ok_or_else(|| TechError::MissingRule(format!("cutsize {}", self.layer_name(l))))
+    }
+
+    /// True if cut layer `cut` connects conductors `a` and `b` (in either
+    /// order).
+    pub fn connects(&self, cut: Layer, a: Layer, b: Layer) -> bool {
+        let (ic, ia, ib) = (
+            self.check(cut) as u16,
+            self.check(a) as u16,
+            self.check(b) as u16,
+        );
+        self.connections
+            .iter()
+            .any(|&(c, x, y)| c == ic && ((x == ia && y == ib) || (x == ib && y == ia)))
+    }
+
+    /// The conductor pairs connected by `cut`.
+    pub fn connected_pairs(&self, cut: Layer) -> Vec<(Layer, Layer)> {
+        let ic = self.check(cut) as u16;
+        self.connections
+            .iter()
+            .filter(|&&(c, _, _)| c == ic)
+            .map(|&(_, a, b)| {
+                (
+                    Layer { tech_id: self.id, index: a },
+                    Layer { tech_id: self.id, index: b },
+                )
+            })
+            .collect()
+    }
+
+    /// All declared connections `(cut, a, b)`.
+    pub fn connections(&self) -> Vec<(Layer, Layer, Layer)> {
+        self.connections
+            .iter()
+            .map(|&(c, a, b)| {
+                (
+                    Layer { tech_id: self.id, index: c },
+                    Layer { tech_id: self.id, index: a },
+                    Layer { tech_id: self.id, index: b },
+                )
+            })
+            .collect()
+    }
+
+    /// Parasitic capacitance coefficients of a layer (zero when unset).
+    pub fn cap_coeffs(&self, l: Layer) -> CapCoeffs {
+        self.cap[self.check(l)]
+    }
+
+    /// Sheet resistance in mΩ/□, if declared.
+    pub fn sheet_res_mohm(&self, l: Layer) -> Option<i64> {
+        self.sheet_res_mohm[self.check(l)]
+    }
+
+    /// Minimum area of a merged region on this layer, in µm² (0 when no
+    /// rule is declared).
+    pub fn min_area_um2(&self, l: Layer) -> f64 {
+        self.min_area_um2[self.check(l)]
+    }
+
+    /// Snaps a coordinate down to the manufacturing grid.
+    pub fn snap_down(&self, v: Coord) -> Coord {
+        v.div_euclid(self.grid) * self.grid
+    }
+
+    /// Snaps a coordinate up to the manufacturing grid.
+    pub fn snap_up(&self, v: Coord) -> Coord {
+        -self.snap_down(-v)
+    }
+}
+
+impl TechBuilder {
+    /// Sets the manufacturing grid (du).
+    pub fn grid(mut self, g: Coord) -> TechBuilder {
+        self.tech.grid = g.max(1);
+        self
+    }
+
+    /// Sets the latch-up coverage distance (du).
+    pub fn latchup_distance(mut self, d: Coord) -> TechBuilder {
+        self.tech.latchup_distance = d;
+        self
+    }
+
+    /// Declares a layer; errors on duplicates.
+    pub fn layer(
+        mut self,
+        name: &str,
+        kind: LayerKind,
+        gds_layer: i16,
+    ) -> Result<TechBuilder, TechError> {
+        if self.tech.by_name.contains_key(name) {
+            return Err(TechError::DuplicateLayer(name.to_string()));
+        }
+        let index = self.tech.layers.len() as u16;
+        self.tech.layers.push(LayerInfo::new(name, kind, gds_layer));
+        self.tech.by_name.insert(name.to_string(), index);
+        self.tech.min_width.push(0);
+        self.tech.cut_size.push(None);
+        self.tech.cap.push(CapCoeffs::default());
+        self.tech.sheet_res_mohm.push(None);
+        self.tech.min_area_um2.push(0.0);
+        Ok(self)
+    }
+
+    fn idx(&self, name: &str) -> Result<u16, TechError> {
+        self.tech
+            .by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| TechError::UnknownLayer(name.to_string()))
+    }
+
+    fn positive(rule: &str, v: Coord) -> Result<Coord, TechError> {
+        if v < 0 {
+            Err(TechError::InvalidValue { rule: rule.to_string(), value: v })
+        } else {
+            Ok(v)
+        }
+    }
+
+    /// Sets a minimum width rule.
+    pub fn width(mut self, layer: &str, w: Coord) -> Result<TechBuilder, TechError> {
+        let i = self.idx(layer)?;
+        self.tech.min_width[i as usize] = Self::positive(&format!("width {layer}"), w)?;
+        Ok(self)
+    }
+
+    /// Sets a (symmetric) minimum spacing rule between two layers.
+    pub fn space(mut self, a: &str, b: &str, s: Coord) -> Result<TechBuilder, TechError> {
+        let (ia, ib) = (self.idx(a)?, self.idx(b)?);
+        let s = Self::positive(&format!("space {a} {b}"), s)?;
+        self.tech.min_space.insert((ia.min(ib), ia.max(ib)), s);
+        Ok(self)
+    }
+
+    /// Sets a required enclosure of `inner` by `outer`.
+    pub fn enclose(mut self, outer: &str, inner: &str, e: Coord) -> Result<TechBuilder, TechError> {
+        let (io, ii) = (self.idx(outer)?, self.idx(inner)?);
+        let e = Self::positive(&format!("enclose {outer} {inner}"), e)?;
+        self.tech.enclosure.insert((io, ii), e);
+        Ok(self)
+    }
+
+    /// Sets a required extension of `a` beyond `b`.
+    pub fn extend(mut self, a: &str, b: &str, e: Coord) -> Result<TechBuilder, TechError> {
+        let (ia, ib) = (self.idx(a)?, self.idx(b)?);
+        let e = Self::positive(&format!("extend {a} {b}"), e)?;
+        self.tech.extension.insert((ia, ib), e);
+        Ok(self)
+    }
+
+    /// Sets the fixed square size of a cut layer.
+    pub fn cut_size(mut self, layer: &str, s: Coord) -> Result<TechBuilder, TechError> {
+        let i = self.idx(layer)?;
+        if s <= 0 {
+            return Err(TechError::InvalidValue { rule: format!("cutsize {layer}"), value: s });
+        }
+        self.tech.cut_size[i as usize] = Some(s);
+        Ok(self)
+    }
+
+    /// Declares that `cut` connects conductors `a` and `b`.
+    pub fn connect(mut self, cut: &str, a: &str, b: &str) -> Result<TechBuilder, TechError> {
+        let (ic, ia, ib) = (self.idx(cut)?, self.idx(a)?, self.idx(b)?);
+        self.tech.connections.push((ic, ia, ib));
+        Ok(self)
+    }
+
+    /// Sets capacitance coefficients (aF/µm², aF/µm).
+    pub fn cap(mut self, layer: &str, area: f64, fringe: f64) -> Result<TechBuilder, TechError> {
+        let i = self.idx(layer)?;
+        self.tech.cap[i as usize] = CapCoeffs { area_af_per_um2: area, fringe_af_per_um: fringe };
+        Ok(self)
+    }
+
+    /// Sets sheet resistance in mΩ/□.
+    pub fn sheet_res(mut self, layer: &str, mohm: i64) -> Result<TechBuilder, TechError> {
+        let i = self.idx(layer)?;
+        self.tech.sheet_res_mohm[i as usize] = Some(mohm);
+        Ok(self)
+    }
+
+    /// Sets a minimum-area rule in µm².
+    pub fn min_area(mut self, layer: &str, um2: f64) -> Result<TechBuilder, TechError> {
+        let i = self.idx(layer)?;
+        if um2 < 0.0 {
+            return Err(TechError::InvalidValue {
+                rule: format!("minarea {layer}"),
+                value: um2 as i64,
+            });
+        }
+        self.tech.min_area_um2[i as usize] = um2;
+        Ok(self)
+    }
+
+    /// Mutable access to the most recently declared layer (tech-file
+    /// parser support).
+    pub(crate) fn last_layer_mut(&mut self) -> Option<&mut LayerInfo> {
+        self.tech.layers.last_mut()
+    }
+
+    /// Validates and returns the technology.
+    ///
+    /// Every cut layer must have a cut size, and every connection's cut
+    /// must actually be a cut layer joining two conductors.
+    pub fn build(self) -> Result<Tech, TechError> {
+        let t = &self.tech;
+        for (i, info) in t.layers.iter().enumerate() {
+            if info.kind.is_cut() && t.cut_size[i].is_none() {
+                return Err(TechError::MissingRule(format!("cutsize {}", info.name)));
+            }
+        }
+        for &(c, a, b) in &t.connections {
+            if !t.layers[c as usize].kind.is_cut() {
+                return Err(TechError::InvalidValue {
+                    rule: format!("connect {}", t.layers[c as usize].name),
+                    value: c as i64,
+                });
+            }
+            for side in [a, b] {
+                if !t.layers[side as usize].kind.is_conductor() {
+                    return Err(TechError::InvalidValue {
+                        rule: format!(
+                            "connect {} {} {}",
+                            t.layers[c as usize].name,
+                            t.layers[a as usize].name,
+                            t.layers[b as usize].name
+                        ),
+                        value: side as i64,
+                    });
+                }
+            }
+        }
+        Ok(self.tech)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tech {
+        Tech::builder("tiny")
+            .grid(10)
+            .latchup_distance(5_000)
+            .layer("poly", LayerKind::Poly, 10)
+            .unwrap()
+            .layer("metal1", LayerKind::Metal, 20)
+            .unwrap()
+            .layer("contact", LayerKind::Cut, 15)
+            .unwrap()
+            .width("poly", 1_000)
+            .unwrap()
+            .space("poly", "poly", 1_500)
+            .unwrap()
+            .space("poly", "metal1", 0)
+            .unwrap()
+            .enclose("metal1", "contact", 500)
+            .unwrap()
+            .cut_size("contact", 1_000)
+            .unwrap()
+            .connect("contact", "poly", "metal1")
+            .unwrap()
+            .cap("metal1", 30.0, 80.0)
+            .unwrap()
+            .sheet_res("poly", 25_000)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lookups() {
+        let t = tiny();
+        let poly = t.layer("poly").unwrap();
+        let m1 = t.layer("metal1").unwrap();
+        let ct = t.layer("contact").unwrap();
+        assert_eq!(t.min_width(poly), 1_000);
+        assert_eq!(t.min_spacing(poly, poly), Some(1_500));
+        assert_eq!(t.min_spacing(poly, m1), Some(0));
+        assert_eq!(t.min_spacing(m1, ct), None);
+        assert_eq!(t.clearance(m1, ct), 0);
+        assert_eq!(t.enclosure(m1, ct), 500);
+        assert_eq!(t.enclosure(ct, m1), 0, "enclosure is directional");
+        assert_eq!(t.cut_size(ct).unwrap(), 1_000);
+        assert!(t.connects(ct, poly, m1));
+        assert!(t.connects(ct, m1, poly), "connection is symmetric");
+        assert_eq!(t.cap_coeffs(m1).area_af_per_um2, 30.0);
+        assert_eq!(t.sheet_res_mohm(poly), Some(25_000));
+        assert_eq!(t.sheet_res_mohm(m1), None);
+    }
+
+    #[test]
+    fn unknown_layer_is_an_error() {
+        let t = tiny();
+        assert!(matches!(t.layer("metal9"), Err(TechError::UnknownLayer(_))));
+    }
+
+    #[test]
+    fn duplicate_layer_rejected() {
+        let r = Tech::builder("x")
+            .layer("poly", LayerKind::Poly, 1)
+            .unwrap()
+            .layer("poly", LayerKind::Poly, 2);
+        assert!(matches!(r, Err(TechError::DuplicateLayer(_))));
+    }
+
+    #[test]
+    fn cut_layer_requires_cut_size() {
+        let r = Tech::builder("x")
+            .layer("contact", LayerKind::Cut, 1)
+            .unwrap()
+            .build();
+        assert!(matches!(r, Err(TechError::MissingRule(_))));
+    }
+
+    #[test]
+    fn connect_through_non_cut_rejected() {
+        let r = Tech::builder("x")
+            .layer("poly", LayerKind::Poly, 1)
+            .unwrap()
+            .layer("metal1", LayerKind::Metal, 2)
+            .unwrap()
+            .connect("poly", "poly", "metal1")
+            .unwrap()
+            .build();
+        assert!(matches!(r, Err(TechError::InvalidValue { .. })));
+    }
+
+    #[test]
+    fn negative_rule_value_rejected() {
+        let r = Tech::builder("x")
+            .layer("poly", LayerKind::Poly, 1)
+            .unwrap()
+            .width("poly", -5);
+        assert!(matches!(r, Err(TechError::InvalidValue { .. })));
+    }
+
+    #[test]
+    fn grid_snapping() {
+        let t = tiny();
+        assert_eq!(t.snap_down(1_234), 1_230);
+        assert_eq!(t.snap_up(1_234), 1_240);
+        assert_eq!(t.snap_down(-15), -20);
+        assert_eq!(t.snap_up(-15), -10);
+        assert_eq!(t.snap_up(1_240), 1_240);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer handle from technology")]
+    fn cross_tech_handle_panics() {
+        let t1 = tiny();
+        let t2 = tiny();
+        let foreign = t2.layer("poly").unwrap();
+        let _ = t1.min_width(foreign);
+    }
+
+    #[test]
+    fn layers_iterator_visits_all() {
+        let t = tiny();
+        let names: Vec<&str> = t.layers().map(|l| t.layer_name(l)).collect();
+        assert_eq!(names, ["poly", "metal1", "contact"]);
+    }
+}
