@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Repo CI gate: build, test, formatting and lints — all warnings fatal.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test --workspace -q
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings
+echo "ci: all checks passed"

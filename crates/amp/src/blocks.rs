@@ -67,66 +67,89 @@ pub fn build_amplifier(tech: &Tech) -> Result<(LayoutObject, AmpReport), ModgenE
     )?;
     let block_b = current_mirror(
         tech,
-        &MirrorParams::new(MosType::P).with_w(um(8)).with_side_fingers(1),
+        &MirrorParams::new(MosType::P)
+            .with_w(um(8))
+            .with_side_fingers(1),
     )?;
     let block_c = {
-        let mut p = CentroidParams::paper(MosType::N).with_w(um(8)).without_guard();
+        let mut p = CentroidParams::paper(MosType::N)
+            .with_w(um(8))
+            .without_guard();
         p.center_dummies = 0;
         p.side_dummies = 0;
         centroid_diff_pair(tech, &p)?
     };
-    let block_d = interdigitated(
-        tech,
-        &InterdigitParams::new(MosType::P, 2).with_w(um(8)),
-    )?;
+    let block_d = interdigitated(tech, &InterdigitParams::new(MosType::P, 2).with_w(um(8)))?;
     let block_e = centroid_diff_pair(
         tech,
-        &CentroidParams::paper(MosType::N).with_w(um(8)).with_l(um(1)),
+        &CentroidParams::paper(MosType::N)
+            .with_w(um(8))
+            .with_l(um(1)),
     )?;
     let block_f = bipolar_pair(tech, &NpnParams::new().with_emitter_l(um(12)))?;
 
     // ---- terminal renaming to global nets ------------------------------
-    let a = prep(tech, block_a, "a:", true, &[
-        ("s", "gnd"),
-        ("d", "bias"),
-        ("sub", "gnd"),
-    ])?;
-    let b = prep(tech, block_b, "b:", true, &[
-        ("s", "vdd"),
-        ("out", "bias"),
-        ("sub", "gnd"),
-    ])?;
+    let a = prep(
+        tech,
+        block_a,
+        "a:",
+        true,
+        &[("s", "gnd"), ("d", "bias"), ("sub", "gnd")],
+    )?;
+    let b = prep(
+        tech,
+        block_b,
+        "b:",
+        true,
+        &[("s", "vdd"), ("out", "bias"), ("sub", "gnd")],
+    )?;
     // Block C is flipped so its d2 bus becomes the bottom-most metal2 and
     // can reach the tail rail without crossing its sibling buses.
     let c = {
-        let mut p = prep(tech, block_c, "c:", true, &[
-            ("s", "gnd"),
-            ("d2", "tail"),
-            ("sub", "gnd"),
-        ])?;
+        let mut p = prep(
+            tech,
+            block_c,
+            "c:",
+            true,
+            &[("s", "gnd"), ("d2", "tail"), ("sub", "gnd")],
+        )?;
         let axis = p.bbox().center().y;
         p = p.mirrored_y(axis);
         p
     };
-    let d = prep(tech, block_d, "d:", true, &[
-        ("s", "vdd"),
-        ("d", "outstage"),
-        ("sub", "gnd"),
-    ])?;
+    let d = prep(
+        tech,
+        block_d,
+        "d:",
+        true,
+        &[("s", "vdd"), ("d", "outstage"), ("sub", "gnd")],
+    )?;
     // The paper's block E includes its own guard ring already.
-    let e = prep(tech, block_e, "e:", false, &[
-        ("s", "tail"),
-        ("d1", "outl"),
-        ("d2", "outr"),
-        ("sub", "gnd"),
-    ])?;
-    let f = prep(tech, block_f, "f:", false, &[
-        ("b", "outl"),
-        ("b_2", "outr"),
-        ("c", "vdd"),
-        ("c_2", "vdd"),
-        ("e_2", "outstage"),
-    ])?;
+    let e = prep(
+        tech,
+        block_e,
+        "e:",
+        false,
+        &[
+            ("s", "tail"),
+            ("d1", "outl"),
+            ("d2", "outr"),
+            ("sub", "gnd"),
+        ],
+    )?;
+    let f = prep(
+        tech,
+        block_f,
+        "f:",
+        false,
+        &[
+            ("b", "outl"),
+            ("b_2", "outr"),
+            ("c", "vdd"),
+            ("c_2", "vdd"),
+            ("e_2", "outstage"),
+        ],
+    )?;
 
     // ---- manual placement: one row, 15 µm streets ----------------------
     let street = um(15);
@@ -299,10 +322,14 @@ pub fn build_amplifier_cmos(tech: &Tech) -> Result<(LayoutObject, AmpReport), Mo
     )?;
     let block_b = current_mirror(
         tech,
-        &MirrorParams::new(MosType::P).with_w(um(8)).with_side_fingers(1),
+        &MirrorParams::new(MosType::P)
+            .with_w(um(8))
+            .with_side_fingers(1),
     )?;
     let block_c = {
-        let mut p = CentroidParams::paper(MosType::N).with_w(um(8)).without_guard();
+        let mut p = CentroidParams::paper(MosType::N)
+            .with_w(um(8))
+            .without_guard();
         p.center_dummies = 0;
         p.side_dummies = 0;
         centroid_diff_pair(tech, &p)?
@@ -310,35 +337,64 @@ pub fn build_amplifier_cmos(tech: &Tech) -> Result<(LayoutObject, AmpReport), Mo
     let block_d = interdigitated(tech, &InterdigitParams::new(MosType::P, 2).with_w(um(8)))?;
     let block_e = centroid_diff_pair(
         tech,
-        &CentroidParams::paper(MosType::N).with_w(um(8)).with_l(um(1)),
+        &CentroidParams::paper(MosType::N)
+            .with_w(um(8))
+            .with_l(um(1)),
     )?;
     let block_g = interdigitated(tech, &InterdigitParams::new(MosType::P, 2).with_w(um(10)))?;
 
-    let a = prep(tech, block_a, "a:", true, &[("s", "gnd"), ("d", "bias"), ("sub", "gnd")])?;
-    let b = prep(tech, block_b, "b:", true, &[("s", "vdd"), ("out", "bias"), ("sub", "gnd")])?;
+    let a = prep(
+        tech,
+        block_a,
+        "a:",
+        true,
+        &[("s", "gnd"), ("d", "bias"), ("sub", "gnd")],
+    )?;
+    let b = prep(
+        tech,
+        block_b,
+        "b:",
+        true,
+        &[("s", "vdd"), ("out", "bias"), ("sub", "gnd")],
+    )?;
     let c = {
-        let mut p = prep(tech, block_c, "c:", true, &[
-            ("s", "gnd"),
-            ("d2", "tail"),
-            ("sub", "gnd"),
-        ])?;
+        let mut p = prep(
+            tech,
+            block_c,
+            "c:",
+            true,
+            &[("s", "gnd"), ("d2", "tail"), ("sub", "gnd")],
+        )?;
         let axis = p.bbox().center().y;
         p = p.mirrored_y(axis);
         p
     };
-    let d = prep(tech, block_d, "d:", true, &[("s", "vdd"), ("d", "outstage"), ("sub", "gnd")])?;
-    let e = prep(tech, block_e, "e:", false, &[
-        ("s", "tail"),
-        ("d1", "outl"),
-        ("d2", "outr"),
-        ("sub", "gnd"),
-    ])?;
-    let g = prep(tech, block_g, "g:", true, &[
-        ("s", "vdd"),
-        ("g", "outl"),
-        ("d", "out"),
-        ("sub", "gnd"),
-    ])?;
+    let d = prep(
+        tech,
+        block_d,
+        "d:",
+        true,
+        &[("s", "vdd"), ("d", "outstage"), ("sub", "gnd")],
+    )?;
+    let e = prep(
+        tech,
+        block_e,
+        "e:",
+        false,
+        &[
+            ("s", "tail"),
+            ("d1", "outl"),
+            ("d2", "outr"),
+            ("sub", "gnd"),
+        ],
+    )?;
+    let g = prep(
+        tech,
+        block_g,
+        "g:",
+        true,
+        &[("s", "vdd"), ("g", "outl"), ("d", "out"), ("sub", "gnd")],
+    )?;
 
     let street = um(15);
     let mut amp = LayoutObject::new("cmos_amplifier");
@@ -393,7 +449,11 @@ pub fn build_amplifier_cmos(tech: &Tech) -> Result<(LayoutObject, AmpReport), Mo
     let p = tap(tech, &mut amp, "gnd", r, true, sx(3) + um(4)).map_err(ModgenError::Route)?;
     v_m1(tech, &mut amp, "gnd", p.x, p.y, y_gnd_top);
     via(tech, &mut amp, "gnd", Point::new(p.x, y_gnd_top)).map_err(ModgenError::Route)?;
-    for (port, x) in [("b:s", sx(2) - um(4)), ("d:s", sx(4) - um(4)), ("g:s", sx(6))] {
+    for (port, x) in [
+        ("b:s", sx(2) - um(4)),
+        ("d:s", sx(4) - um(4)),
+        ("g:s", sx(6)),
+    ] {
         let r = port_rect(&amp, port)?;
         let p = tap(tech, &mut amp, "vdd", r, true, x).map_err(ModgenError::Route)?;
         let _ = port;
@@ -476,7 +536,11 @@ mod tests {
                 .iter()
                 .filter(|x| x.kind == ViolationKind::Short)
                 .collect();
-            panic!("{} shorts: {:#?}", report.shorts, &shorts[..shorts.len().min(5)]);
+            panic!(
+                "{} shorts: {:#?}",
+                report.shorts,
+                &shorts[..shorts.len().min(5)]
+            );
         }
     }
 

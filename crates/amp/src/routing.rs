@@ -18,7 +18,14 @@ use amgen_route::Router;
 use amgen_tech::Tech;
 
 /// Pushes a horizontal metal2 segment (centred on `y`) and returns it.
-pub fn h_m2(tech: &Tech, obj: &mut LayoutObject, net: &str, y: Coord, xa: Coord, xb: Coord) -> Rect {
+pub fn h_m2(
+    tech: &Tech,
+    obj: &mut LayoutObject,
+    net: &str,
+    y: Coord,
+    xa: Coord,
+    xb: Coord,
+) -> Rect {
     let m2 = tech.layer("metal2").expect("metal2 exists");
     let w = tech.min_width(m2).max(2_000);
     let r = Rect::new(xa.min(xb), y - w / 2, xa.max(xb), y - w / 2 + w);
@@ -28,7 +35,14 @@ pub fn h_m2(tech: &Tech, obj: &mut LayoutObject, net: &str, y: Coord, xa: Coord,
 }
 
 /// Pushes a vertical metal1 segment (centred on `x`) and returns it.
-pub fn v_m1(tech: &Tech, obj: &mut LayoutObject, net: &str, x: Coord, ya: Coord, yb: Coord) -> Rect {
+pub fn v_m1(
+    tech: &Tech,
+    obj: &mut LayoutObject,
+    net: &str,
+    x: Coord,
+    ya: Coord,
+    yb: Coord,
+) -> Rect {
     let m1 = tech.layer("metal1").expect("metal1 exists");
     let w = tech.min_width(m1).max(2_000);
     let r = Rect::new(x - w / 2, ya.min(yb), x - w / 2 + w, ya.max(yb));

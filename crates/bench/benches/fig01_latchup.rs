@@ -50,5 +50,10 @@ fn bench_violation_report(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_subtraction, bench_cover_check, bench_violation_report);
+criterion_group!(
+    benches,
+    bench_subtraction,
+    bench_cover_check,
+    bench_violation_report
+);
 criterion_main!(benches);

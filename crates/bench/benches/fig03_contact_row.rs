@@ -17,7 +17,10 @@ fn bench_variants(c: &mut Criterion) {
     let variants: [(&str, ContactRowParams); 3] = [
         ("defaults", ContactRowParams::new()),
         ("w_given", ContactRowParams::new().with_w(um(10))),
-        ("w_and_l", ContactRowParams::new().with_w(um(8)).with_l(um(6))),
+        (
+            "w_and_l",
+            ContactRowParams::new().with_w(um(8)).with_l(um(6)),
+        ),
     ];
     let mut g = c.benchmark_group("fig03/native");
     for (name, params) in variants {
@@ -47,11 +50,18 @@ fn bench_dsl_interpreter(c: &mut Criterion) {
         let mut i = Interpreter::new(&tech);
         i.load(stdlib::FIG2_CONTACT_ROW).unwrap();
         b.iter(|| {
-            let out = i.run("row = ContactRow(layer = \"poly\", W = 10)\n").unwrap();
+            let out = i
+                .run("row = ContactRow(layer = \"poly\", W = 10)\n")
+                .unwrap();
             black_box(out["row"].len())
         })
     });
 }
 
-criterion_group!(benches, bench_variants, bench_width_scaling, bench_dsl_interpreter);
+criterion_group!(
+    benches,
+    bench_variants,
+    bench_width_scaling,
+    bench_dsl_interpreter
+);
 criterion_main!(benches);

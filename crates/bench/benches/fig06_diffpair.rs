@@ -37,8 +37,7 @@ fn bench_single_compaction_step(c: &mut Criterion) {
     // structure (the paper argues this stays cheap because no global edge
     // graph is kept).
     let tech = workloads::tech();
-    let finger = mos_finger(&tech, MosType::P, Some(um(10)), Some(um(2)), "g", "d", true)
-        .unwrap();
+    let finger = mos_finger(&tech, MosType::P, Some(um(10)), Some(um(2)), "g", "d", true).unwrap();
     let comp = Compactor::new(&tech);
     let diff = tech.layer("pdiff").unwrap();
     let opts = CompactOptions::new().ignoring(diff);
@@ -55,5 +54,10 @@ fn bench_single_compaction_step(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_native, bench_dsl, bench_single_compaction_step);
+criterion_group!(
+    benches,
+    bench_native,
+    bench_dsl,
+    bench_single_compaction_step
+);
 criterion_main!(benches);

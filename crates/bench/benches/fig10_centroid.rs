@@ -16,7 +16,9 @@ fn bench_paper_configuration(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig10");
     g.sample_size(10);
     g.bench_function("paper_configuration", |b| {
-        let p = CentroidParams::paper(MosType::N).with_w(um(6)).with_l(um(1));
+        let p = CentroidParams::paper(MosType::N)
+            .with_w(um(6))
+            .with_l(um(1));
         b.iter(|| black_box(centroid_diff_pair(&tech, &p).unwrap()).len())
     });
     g.finish();
@@ -28,7 +30,9 @@ fn bench_scaling_with_pairs(c: &mut Criterion) {
     g.sample_size(10);
     for pairs in [1usize, 2, 3] {
         g.bench_with_input(BenchmarkId::from_parameter(pairs), &pairs, |b, &pairs| {
-            let mut p = CentroidParams::paper(MosType::N).with_w(um(6)).without_guard();
+            let mut p = CentroidParams::paper(MosType::N)
+                .with_w(um(6))
+                .without_guard();
             p.pairs_per_side = pairs;
             b.iter(|| black_box(centroid_diff_pair(&tech, &p).unwrap()).len())
         });

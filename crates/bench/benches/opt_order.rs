@@ -43,6 +43,35 @@ fn bench_order_search(c: &mut Criterion) {
     g.finish();
 }
 
+/// Sequential vs. parallel branch-and-bound on the same 6-movable-square
+/// workload (7 steps total, ~6! orders before pruning).
+fn bench_parallel_vs_sequential(c: &mut Criterion) {
+    let tech = workloads::tech();
+    let opt = Optimizer::new(&tech, RatingWeights::default());
+    let s = steps(&tech, 6);
+    let mut g = c.benchmark_group("opt/order_search_par");
+    g.sample_size(10);
+    for (name, opts) in [
+        ("seq", SearchOptions::default()),
+        (
+            "seq_nodom",
+            SearchOptions {
+                dominance: false,
+                ..Default::default()
+            },
+        ),
+        ("par", SearchOptions::parallel()),
+    ] {
+        g.bench_with_input(BenchmarkId::new(name, 6), &s, |b, s| {
+            b.iter(|| {
+                let r = opt.optimize_order(s, opts).unwrap();
+                black_box((r.rating.score, r.explored, r.pruned, r.dominated))
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_single_order(c: &mut Criterion) {
     let tech = workloads::tech();
     let opt = Optimizer::new(&tech, RatingWeights::default());
@@ -52,5 +81,10 @@ fn bench_single_order(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_order_search, bench_single_order);
+criterion_group!(
+    benches,
+    bench_order_search,
+    bench_parallel_vs_sequential,
+    bench_single_order
+);
 criterion_main!(benches);

@@ -18,8 +18,7 @@ pub fn latchup_workload(tech: &Tech, n: usize, every: usize) -> LayoutObject {
     for i in 0..n {
         let x = i as i64 * um(12);
         obj.push(
-            Shape::new(pdiff, Rect::new(x, 0, x + um(8), um(6)))
-                .with_role(ShapeRole::DeviceActive),
+            Shape::new(pdiff, Rect::new(x, 0, x + um(8), um(6))).with_role(ShapeRole::DeviceActive),
         );
         if i % every == 0 {
             obj.push(
@@ -59,7 +58,9 @@ pub fn fig6_pair(tech: &Tech) -> LayoutObject {
 pub fn fig10_centroid(tech: &Tech) -> LayoutObject {
     centroid_diff_pair(
         tech,
-        &CentroidParams::paper(MosType::N).with_w(um(6)).with_l(um(1)),
+        &CentroidParams::paper(MosType::N)
+            .with_w(um(6))
+            .with_l(um(1)),
     )
     .unwrap()
 }

@@ -230,7 +230,11 @@ impl<'t> Compactor<'t> {
                 .tech
                 .min_spacing(a.layer, b.layer)
                 .map(|s| s + opts.extra_clearance)
-                .or(if a.keepout || b.keepout { Some(0) } else { None });
+                .or(if a.keepout || b.keepout {
+                    Some(0)
+                } else {
+                    None
+                });
         }
         if let Some(s) = self.tech.min_spacing(a.layer, b.layer) {
             return Some(s + opts.extra_clearance);
@@ -286,7 +290,12 @@ impl<'t> Compactor<'t> {
         let b = &main.shapes()[bi];
         if b.edges.is_variable(side) {
             if let Some(limit) = self.shrink_limit(main, bi, side) {
-                out.push(Shrink { in_main: true, index: bi, edge: side, limit });
+                out.push(Shrink {
+                    in_main: true,
+                    index: bi,
+                    edge: side,
+                    limit,
+                });
             }
         }
         // Object-side shape faces the opposite way.
@@ -294,7 +303,12 @@ impl<'t> Compactor<'t> {
         let e = side.opposite();
         if a.edges.is_variable(e) {
             if let Some(limit) = self.shrink_limit(obj, ai, e) {
-                out.push(Shrink { in_main: false, index: ai, edge: e, limit });
+                out.push(Shrink {
+                    in_main: false,
+                    index: ai,
+                    edge: e,
+                    limit,
+                });
             }
         }
         out
@@ -336,7 +350,11 @@ impl<'t> Compactor<'t> {
                 {
                     let enc = self.tech.enclosure(s.layer, other.layer);
                     let keep = other.rect.edge(edge) + inward * enc;
-                    limit = if inward > 0 { limit.max(keep) } else { limit.min(keep) };
+                    limit = if inward > 0 {
+                        limit.max(keep)
+                    } else {
+                        limit.min(keep)
+                    };
                 }
             }
         }
@@ -394,7 +412,7 @@ impl<'t> Compactor<'t> {
                     touching = true;
                     break;
                 }
-                if best.map_or(true, |(_, g)| gap < g) {
+                if best.is_none_or(|(_, g)| gap < g) {
                     best = Some((bi, gap));
                 }
             }
@@ -528,7 +546,9 @@ mod tests {
         let c = Compactor::new(&t);
         let mut main = LayoutObject::new("main");
         let obj = stripe(&t, "poly", 1_000, 5_000, None);
-        let r = c.compact(&mut main, &obj, Dir::West, &CompactOptions::new()).unwrap();
+        let r = c
+            .compact(&mut main, &obj, Dir::West, &CompactOptions::new())
+            .unwrap();
         assert_eq!(r.offset, Vector::ZERO);
         assert_eq!(main.bbox(), Rect::new(0, 0, 1_000, 5_000));
     }
@@ -553,8 +573,11 @@ mod tests {
         let s = t.min_spacing(poly, poly).unwrap();
         let mut main = LayoutObject::new("main");
         let obj = stripe(&t, "poly", 1_000, 5_000, None);
-        c.compact(&mut main, &obj, Dir::East, &CompactOptions::new()).unwrap();
-        let r = c.compact(&mut main, &obj, Dir::East, &CompactOptions::new()).unwrap();
+        c.compact(&mut main, &obj, Dir::East, &CompactOptions::new())
+            .unwrap();
+        let r = c
+            .compact(&mut main, &obj, Dir::East, &CompactOptions::new())
+            .unwrap();
         assert!(r.rule_bound);
         assert_eq!(main.bbox().width(), 1_000 + s + 1_000);
         // The second stripe is east of the first.
@@ -570,8 +593,10 @@ mod tests {
         for side in Dir::ALL {
             let mut main = LayoutObject::new("main");
             let obj = stripe(&t, "poly", 2_000, 2_000, None);
-            c.compact(&mut main, &obj, side, &CompactOptions::new()).unwrap();
-            c.compact(&mut main, &obj, side, &CompactOptions::new()).unwrap();
+            c.compact(&mut main, &obj, side, &CompactOptions::new())
+                .unwrap();
+            c.compact(&mut main, &obj, side, &CompactOptions::new())
+                .unwrap();
             let bb = main.bbox();
             let along = match side.axis() {
                 amgen_geom::Axis::X => bb.width(),
@@ -593,8 +618,11 @@ mod tests {
         let mut main = LayoutObject::new("main");
         let a = stripe(&t, "metal1", um(2), um(2), Some("vdd"));
         let b = stripe(&t, "metal1", um(2), um(2), Some("vdd"));
-        c.compact(&mut main, &a, Dir::East, &CompactOptions::new()).unwrap();
-        let r = c.compact(&mut main, &b, Dir::East, &CompactOptions::new()).unwrap();
+        c.compact(&mut main, &a, Dir::East, &CompactOptions::new())
+            .unwrap();
+        let r = c
+            .compact(&mut main, &b, Dir::East, &CompactOptions::new())
+            .unwrap();
         assert!(r.rule_bound);
         // Touching, not spaced: total width is exactly 4 um.
         assert_eq!(main.bbox().width(), um(4));
@@ -609,8 +637,10 @@ mod tests {
         let mut main = LayoutObject::new("main");
         let a = stripe(&t, "metal1", um(2), um(2), Some("vdd"));
         let b = stripe(&t, "metal1", um(2), um(2), Some("gnd"));
-        c.compact(&mut main, &a, Dir::East, &CompactOptions::new()).unwrap();
-        c.compact(&mut main, &b, Dir::East, &CompactOptions::new()).unwrap();
+        c.compact(&mut main, &a, Dir::East, &CompactOptions::new())
+            .unwrap();
+        c.compact(&mut main, &b, Dir::East, &CompactOptions::new())
+            .unwrap();
         assert_eq!(main.bbox().width(), um(4) + s);
     }
 
@@ -622,8 +652,11 @@ mod tests {
         let mut main = LayoutObject::new("main");
         let a = stripe(&t, "poly", um(2), um(2), None);
         let b = stripe(&t, "metal1", um(2), um(2), None);
-        c.compact(&mut main, &a, Dir::East, &CompactOptions::new()).unwrap();
-        let r = c.compact(&mut main, &b, Dir::East, &CompactOptions::new()).unwrap();
+        c.compact(&mut main, &a, Dir::East, &CompactOptions::new())
+            .unwrap();
+        let r = c
+            .compact(&mut main, &b, Dir::East, &CompactOptions::new())
+            .unwrap();
         assert!(!r.rule_bound);
         assert_eq!(main.bbox().width(), um(4), "bounding boxes abut");
     }
@@ -639,8 +672,11 @@ mod tests {
             o
         };
         let b = stripe(&t, "metal1", um(2), um(2), None);
-        c.compact(&mut main, &a, Dir::East, &CompactOptions::new()).unwrap();
-        let r = c.compact(&mut main, &b, Dir::East, &CompactOptions::new()).unwrap();
+        c.compact(&mut main, &a, Dir::East, &CompactOptions::new())
+            .unwrap();
+        let r = c
+            .compact(&mut main, &b, Dir::East, &CompactOptions::new())
+            .unwrap();
         assert!(r.rule_bound, "keepout makes the pair constraining");
         assert_eq!(main.bbox().width(), um(4));
         assert!(!main.shapes()[0].rect.overlaps(&main.shapes()[1].rect));
@@ -707,7 +743,9 @@ mod tests {
         // east metal edge is variable.
         let build_row = |variable: bool| -> LayoutObject {
             let mut row = LayoutObject::new("row");
-            let p = prim.inbox(&mut row, poly, Some(um(4)), Some(um(10))).unwrap();
+            let p = prim
+                .inbox(&mut row, poly, Some(um(4)), Some(um(10)))
+                .unwrap();
             let m = prim.inbox(&mut row, m1, None, None).unwrap();
             let cuts = prim.array(&mut row, ct).unwrap();
             let mut members = vec![p, m];
@@ -726,8 +764,13 @@ mod tests {
 
         let width_with = |variable: bool| -> (i64, CompactReport) {
             let mut main = LayoutObject::new("main");
-            c.compact(&mut main, &build_row(variable), Dir::West, &CompactOptions::new())
-                .unwrap();
+            c.compact(
+                &mut main,
+                &build_row(variable),
+                Dir::West,
+                &CompactOptions::new(),
+            )
+            .unwrap();
             let r = c
                 .compact(&mut main, &probe, Dir::East, &CompactOptions::new())
                 .unwrap();
@@ -752,7 +795,8 @@ mod tests {
         let s = t.min_spacing(poly, poly).unwrap();
         let mut main = LayoutObject::new("main");
         let obj = stripe(&t, "poly", 1_000, 5_000, None);
-        c.compact(&mut main, &obj, Dir::East, &CompactOptions::new()).unwrap();
+        c.compact(&mut main, &obj, Dir::East, &CompactOptions::new())
+            .unwrap();
         c.compact(
             &mut main,
             &obj,
@@ -776,8 +820,11 @@ mod tests {
         let mut b = LayoutObject::new("b");
         let nb = b.net("y");
         b.push(Shape::new(ct, Rect::new(0, 0, 1_000, 1_000)).with_net(nb));
-        c.compact(&mut main, &a, Dir::East, &CompactOptions::new()).unwrap();
-        let r = c.compact(&mut main, &b, Dir::East, &CompactOptions::new()).unwrap();
+        c.compact(&mut main, &a, Dir::East, &CompactOptions::new())
+            .unwrap();
+        let r = c
+            .compact(&mut main, &b, Dir::East, &CompactOptions::new())
+            .unwrap();
         assert!(r.rule_bound, "contact vs foreign metal constrains");
         let gap = main.shapes()[1]
             .rect
@@ -794,12 +841,15 @@ mod tests {
         let mut main = LayoutObject::new("main");
         // Main stripe at y in [0, 2 um].
         let a = stripe(&t, "poly", um(2), um(2), None);
-        c.compact(&mut main, &a, Dir::East, &CompactOptions::new()).unwrap();
+        c.compact(&mut main, &a, Dir::East, &CompactOptions::new())
+            .unwrap();
         // Object offset far north: its y-range clears the spacing, so it
         // slides past and falls back to bbox abutment.
         let mut b = LayoutObject::new("b");
         b.push(Shape::new(poly, Rect::new(0, um(2) + s, um(2), um(4) + s)));
-        let r = c.compact(&mut main, &b, Dir::East, &CompactOptions::new()).unwrap();
+        let r = c
+            .compact(&mut main, &b, Dir::East, &CompactOptions::new())
+            .unwrap();
         assert!(!r.rule_bound);
     }
 }

@@ -30,9 +30,7 @@ pub fn rebuild_group(tech: &Tech, obj: &mut LayoutObject, gid: usize) -> bool {
         .copied()
         .filter(|&i| obj.shapes()[i].layer == cut)
         .collect();
-    let net = cut_indices
-        .first()
-        .and_then(|&i| obj.shapes()[i].net);
+    let net = cut_indices.first().and_then(|&i| obj.shapes()[i].net);
     let prim = Primitives::new(tech);
     let others: Vec<Shape> = member_indices
         .iter()

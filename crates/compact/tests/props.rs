@@ -8,7 +8,14 @@ use amgen_geom::{Dir, Rect};
 use amgen_tech::Tech;
 use proptest::prelude::*;
 
-fn stripe(tech: &Tech, layer: &str, w: i64, h: i64, net: Option<&str>, keepout: bool) -> LayoutObject {
+fn stripe(
+    tech: &Tech,
+    layer: &str,
+    w: i64,
+    h: i64,
+    net: Option<&str>,
+    keepout: bool,
+) -> LayoutObject {
     let l = tech.layer(layer).unwrap();
     let mut o = LayoutObject::new("s");
     let mut s = Shape::new(l, Rect::new(0, 0, w, h));

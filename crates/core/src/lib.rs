@@ -71,7 +71,7 @@ pub mod prelude {
     pub use amgen_export::{render_svg, write_gds};
     pub use amgen_extract::Extractor;
     pub use amgen_geom::{um, Dir, Point, Rect, Region, Vector};
-    pub use amgen_opt::{Optimizer, RatingWeights};
+    pub use amgen_opt::{OptResult, Optimizer, RatingWeights, SearchOptions, Step};
     pub use amgen_prim::Primitives;
     pub use amgen_route::Router;
     pub use amgen_tech::Tech;

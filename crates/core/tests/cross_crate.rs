@@ -30,7 +30,11 @@ fn dsl_and_native_contact_rows_agree() {
             &modgen::ContactRowParams::new().with_w((w_um * 1_000.0) as i64),
         )
         .unwrap();
-        assert_eq!(out["row"].bbox().width(), native.bbox().width(), "W = {w_um}");
+        assert_eq!(
+            out["row"].bbox().width(),
+            native.bbox().width(),
+            "W = {w_um}"
+        );
         assert_eq!(out["row"].bbox().height(), native.bbox().height());
         assert_eq!(
             out["row"].shapes_on(ct).count(),

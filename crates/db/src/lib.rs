@@ -35,6 +35,8 @@
 
 pub mod object;
 pub mod shape;
+pub mod signature;
 
 pub use object::{Group, GroupId, LayoutObject, Port, RebuildKind};
 pub use shape::{EdgeFlags, NetId, Shape, ShapeRole};
+pub use signature::LayoutSignature;

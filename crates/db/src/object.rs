@@ -81,7 +81,10 @@ pub struct LayoutObject {
 impl LayoutObject {
     /// Creates an empty object.
     pub fn new(name: impl Into<String>) -> LayoutObject {
-        LayoutObject { name: name.into(), ..LayoutObject::default() }
+        LayoutObject {
+            name: name.into(),
+            ..LayoutObject::default()
+        }
     }
 
     /// The object's name.
@@ -106,7 +109,10 @@ impl LayoutObject {
 
     /// Looks up a net by name without creating it.
     pub fn find_net(&self, name: &str) -> Option<NetId> {
-        self.nets.iter().position(|n| n == name).map(|i| NetId(i as u32))
+        self.nets
+            .iter()
+            .position(|n| n == name)
+            .map(|i| NetId(i as u32))
     }
 
     /// The name of a net.
@@ -200,7 +206,11 @@ impl LayoutObject {
         for &i in &shapes {
             assert!(i < self.shapes.len(), "group index {i} out of range");
         }
-        self.groups.push(Group { name: name.into(), shapes, rebuild });
+        self.groups.push(Group {
+            name: name.into(),
+            shapes,
+            rebuild,
+        });
         GroupId((self.groups.len() - 1) as u32)
     }
 
@@ -359,11 +369,7 @@ impl LayoutObject {
     pub fn absorb(&mut self, other: &LayoutObject, v: Vector) -> usize {
         let offset = self.shapes.len();
         // Net remap by name.
-        let remap: Vec<NetId> = other
-            .nets
-            .iter()
-            .map(|n| self.net(n))
-            .collect();
+        let remap: Vec<NetId> = other.nets.iter().map(|n| self.net(n)).collect();
         for s in &other.shapes {
             let mut s = s.translated(v);
             s.net = s.net.map(|old| remap[old.index()]);
@@ -475,7 +481,11 @@ mod tests {
         let mut b = LayoutObject::new("b");
         let i0 = b.push(Shape::new(poly, Rect::new(0, 0, 4, 4)));
         let i1 = b.push(Shape::new(ct, Rect::new(1, 1, 2, 2)));
-        b.add_group("row", vec![i0, i1], Some(RebuildKind::ContactArray { cut: ct }));
+        b.add_group(
+            "row",
+            vec![i0, i1],
+            Some(RebuildKind::ContactArray { cut: ct }),
+        );
 
         a.absorb(&b, Vector::ZERO);
         assert_eq!(a.groups().len(), 1);
@@ -527,7 +537,12 @@ mod tests {
         let m1 = t.layer("metal1").unwrap();
         let mut obj = LayoutObject::new("x");
         obj.push(Shape::new(m1, Rect::new(0, 0, 10, 4)));
-        obj.push_port(Port { name: "p".into(), layer: m1, rect: Rect::new(0, 0, 2, 2), net: None });
+        obj.push_port(Port {
+            name: "p".into(),
+            layer: m1,
+            rect: Rect::new(0, 0, 2, 2),
+            net: None,
+        });
         obj.translate(Vector::new(5, 7));
         assert_eq!(obj.bbox(), Rect::new(5, 7, 15, 11));
         assert_eq!(obj.port("p").unwrap().rect, Rect::new(5, 7, 7, 9));
@@ -540,7 +555,12 @@ mod tests {
         let mut obj = LayoutObject::new("blk");
         let s = obj.net("s");
         obj.push(Shape::new(m1, Rect::new(0, 0, 10, 10)).with_net(s));
-        obj.push_port(Port { name: "s".into(), layer: m1, rect: Rect::new(0, 0, 10, 10), net: Some(s) });
+        obj.push_port(Port {
+            name: "s".into(),
+            layer: m1,
+            rect: Rect::new(0, 0, 10, 10),
+            net: Some(s),
+        });
         let p = obj.prefixed("b:");
         assert!(p.find_net("b:s").is_some());
         assert!(p.find_net("s").is_none());

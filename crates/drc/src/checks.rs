@@ -45,8 +45,7 @@ impl<'t> Drc<'t> {
             if rule_um2 <= 0.0 {
                 continue;
             }
-            let rects: Vec<amgen_geom::Rect> =
-                obj.shapes_on(layer).map(|s| s.rect).collect();
+            let rects: Vec<amgen_geom::Rect> = obj.shapes_on(layer).map(|s| s.rect).collect();
             if rects.is_empty() {
                 continue;
             }
@@ -71,9 +70,9 @@ impl<'t> Drc<'t> {
             }
             let mut clusters: std::collections::HashMap<usize, Vec<amgen_geom::Rect>> =
                 Default::default();
-            for i in 0..rects.len() {
+            for (i, rect) in rects.iter().enumerate() {
                 let r = find(&mut parent, i);
-                clusters.entry(r).or_default().push(rects[i]);
+                clusters.entry(r).or_default().push(*rect);
             }
             for cluster in clusters.values() {
                 let region: Region = cluster.iter().copied().collect();
@@ -159,8 +158,7 @@ impl<'t> Drc<'t> {
             ]
         };
         candidates.iter().any(|window| {
-            Region::from_rect(*window)
-                .covered_by(obj.shapes_on(s.layer).map(|o| o.rect))
+            Region::from_rect(*window).covered_by(obj.shapes_on(s.layer).map(|o| o.rect))
         })
     }
 
@@ -254,8 +252,9 @@ impl<'t> Drc<'t> {
                         })
                     };
                     match between {
-                        Some(bx) => Region::from_rect(bx)
-                            .covered_by(obj.shapes_on(a.layer).map(|s| s.rect)),
+                        Some(bx) => {
+                            Region::from_rect(bx).covered_by(obj.shapes_on(a.layer).map(|s| s.rect))
+                        }
                         None => false,
                     }
                 };
@@ -413,7 +412,8 @@ mod tests {
         let poly = t.layer("poly").unwrap();
         let pdiff = t.layer("pdiff").unwrap();
         let mut obj = LayoutObject::new("m");
-        prim.two_rects(&mut obj, poly, pdiff, Some(um(10)), Some(um(1))).unwrap();
+        prim.two_rects(&mut obj, poly, pdiff, Some(um(10)), Some(um(1)))
+            .unwrap();
         assert!(Drc::new(&t).check_spacing(&obj).is_empty());
     }
 

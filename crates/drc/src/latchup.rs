@@ -109,7 +109,10 @@ mod tests {
         let mut obj = LayoutObject::new("x");
         obj.push(active(pdiff, Rect::new(0, 0, um(10), um(4))));
         // Contact far beyond the coverage distance.
-        obj.push(subcon(pdiff, Rect::new(um(12) + 2 * d, 0, um(14) + 2 * d, um(2))));
+        obj.push(subcon(
+            pdiff,
+            Rect::new(um(12) + 2 * d, 0, um(14) + 2 * d, um(2)),
+        ));
         let v = check_latchup(&t, &obj);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].kind, ViolationKind::LatchUp);
@@ -168,9 +171,9 @@ mod tests {
         // Contact extents along one axis producing each overlap class once
         // inflated by the latch-up distance d.
         let cases = [
-            (-d, 9 * d),           // full cover
-            (-2 * d, 0),           // low part only
-            (8 * d, 10 * d),       // high part only
+            (-d, 9 * d),                // full cover
+            (-2 * d, 0),                // low part only
+            (8 * d, 10 * d),            // high part only
             (4 * d - 100, 4 * d + 100), // middle
         ];
         for &(x0, x1) in &cases {

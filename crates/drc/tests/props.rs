@@ -22,15 +22,20 @@ const LAYERS: [&str; 4] = ["poly", "metal1", "pdiff", "metal2"];
 const NETS: [&str; 3] = ["a", "b", "c"];
 
 fn arb_stripe() -> impl Strategy<Value = StripeSpec> {
-    (0usize..LAYERS.len(), 1i64..8, 1i64..8, 0usize..=NETS.len(), 0usize..4).prop_map(
-        |(layer, w, h, net, side)| StripeSpec {
+    (
+        0usize..LAYERS.len(),
+        1i64..8,
+        1i64..8,
+        0usize..=NETS.len(),
+        0usize..4,
+    )
+        .prop_map(|(layer, w, h, net, side)| StripeSpec {
             layer,
             w: w * 1_000,
             h: h * 1_000,
             net,
             side,
-        },
-    )
+        })
 }
 
 proptest! {

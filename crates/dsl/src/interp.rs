@@ -151,9 +151,15 @@ impl<'t> Interpreter<'t> {
         let prog = parse(src)?;
         self.register(&prog);
         let mut snapshots = Vec::new();
-        let mut frame = Frame { vars: HashMap::new(), obj: LayoutObject::new("top") };
+        let mut frame = Frame {
+            vars: HashMap::new(),
+            obj: LayoutObject::new("top"),
+        };
         for stmt in &prog.top {
-            let mut ctx = Ctx { choices: &[], cursor: 0 };
+            let mut ctx = Ctx {
+                choices: &[],
+                cursor: 0,
+            };
             match self.exec_stmt(stmt, &mut frame, &mut ctx) {
                 Ok(()) => {}
                 Err(Exec::NeedChoice(_)) => {
@@ -176,10 +182,7 @@ impl<'t> Interpreter<'t> {
                 .collect();
             snapshots.push((printed.trim_end().to_string(), state));
         }
-        let final_map = snapshots
-            .last()
-            .map(|(_, m)| m.clone())
-            .unwrap_or_default();
+        let final_map = snapshots.last().map(|(_, m)| m.clone()).unwrap_or_default();
         Ok((final_map, snapshots))
     }
 
@@ -197,8 +200,14 @@ impl<'t> Interpreter<'t> {
             if explored > self.max_variants {
                 return Err(DslError::TooManyVariants(self.max_variants));
             }
-            let mut ctx = Ctx { choices: &prefix, cursor: 0 };
-            let mut frame = Frame { vars: HashMap::new(), obj: LayoutObject::new("top") };
+            let mut ctx = Ctx {
+                choices: &prefix,
+                cursor: 0,
+            };
+            let mut frame = Frame {
+                vars: HashMap::new(),
+                obj: LayoutObject::new("top"),
+            };
             match self.exec_block(top, &mut frame, &mut ctx) {
                 Ok(()) => {
                     let map = frame
@@ -234,9 +243,10 @@ impl<'t> Interpreter<'t> {
         let variants = self.eval_entity_variants(name, args)?;
         let opt = Optimizer::new(self.tech, self.weights);
         let objs: Vec<LayoutObject> = variants;
-        let (idx, _) = opt
-            .select_variant(&objs)
-            .ok_or(DslError::Runtime { line: 0, message: "entity produced no variant".into() })?;
+        let (idx, _) = opt.select_variant(&objs).ok_or(DslError::Runtime {
+            line: 0,
+            message: "entity produced no variant".into(),
+        })?;
         Ok(objs.into_iter().nth(idx).expect("index from selection"))
     }
 
@@ -260,7 +270,10 @@ impl<'t> Interpreter<'t> {
             if explored > self.max_variants {
                 return Err(DslError::TooManyVariants(self.max_variants));
             }
-            let mut ctx = Ctx { choices: &prefix, cursor: 0 };
+            let mut ctx = Ctx {
+                choices: &prefix,
+                cursor: 0,
+            };
             let bound: Vec<(Option<String>, Value)> = args
                 .iter()
                 .map(|(k, v)| (Some(k.to_string()), v.clone()))
@@ -283,7 +296,10 @@ impl<'t> Interpreter<'t> {
     // ----- execution ---------------------------------------------------
 
     fn fail<T>(&self, line: usize, message: impl Into<String>) -> Result<T, Exec> {
-        Err(Exec::Fail(DslError::Runtime { line, message: message.into() }))
+        Err(Exec::Fail(DslError::Runtime {
+            line,
+            message: message.into(),
+        }))
     }
 
     fn exec_block(&self, body: &[Stmt], frame: &mut Frame, ctx: &mut Ctx) -> Result<(), Exec> {
@@ -304,7 +320,12 @@ impl<'t> Interpreter<'t> {
                 self.builtin(call, frame, ctx)?;
                 Ok(())
             }
-            Stmt::Compact { obj, dir, ignore, line } => {
+            Stmt::Compact {
+                obj,
+                dir,
+                ignore,
+                line,
+            } => {
                 let Some(Value::Obj(child)) = frame.vars.get(obj).cloned() else {
                     return self.fail(*line, format!("`{obj}` is not an object"));
                 };
@@ -329,15 +350,31 @@ impl<'t> Interpreter<'t> {
                 }
                 Ok(())
             }
-            Stmt::For { var, from, to, body, line } => {
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+                line,
+            } => {
                 let a = self
                     .eval_expr(from, frame, ctx, *line)?
                     .as_num()
-                    .map_err(|m| Exec::Fail(DslError::Runtime { line: *line, message: m }))?;
+                    .map_err(|m| {
+                        Exec::Fail(DslError::Runtime {
+                            line: *line,
+                            message: m,
+                        })
+                    })?;
                 let b = self
                     .eval_expr(to, frame, ctx, *line)?
                     .as_num()
-                    .map_err(|m| Exec::Fail(DslError::Runtime { line: *line, message: m }))?;
+                    .map_err(|m| {
+                        Exec::Fail(DslError::Runtime {
+                            line: *line,
+                            message: m,
+                        })
+                    })?;
                 let (a, b) = (a.round() as i64, b.round() as i64);
                 for i in a..=b {
                     frame.vars.insert(var.clone(), Value::Num(i as f64));
@@ -345,7 +382,12 @@ impl<'t> Interpreter<'t> {
                 }
                 Ok(())
             }
-            Stmt::If { cond, then_body, else_body, line } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                line,
+            } => {
                 let c = self.eval_expr(cond, frame, ctx, *line)?;
                 if c.truthy() {
                     self.exec_block(then_body, frame, ctx)
@@ -449,14 +491,12 @@ impl<'t> Interpreter<'t> {
         bound: Vec<(Option<String>, Value)>,
         ctx: &mut Ctx,
     ) -> Result<LayoutObject, Exec> {
-        let entity = self
-            .entities
-            .get(&call.name)
-            .cloned()
-            .ok_or_else(|| Exec::Fail(DslError::Runtime {
+        let entity = self.entities.get(&call.name).cloned().ok_or_else(|| {
+            Exec::Fail(DslError::Runtime {
                 line: call.line,
                 message: format!("unknown entity `{}`", call.name),
-            }))?;
+            })
+        })?;
         let mut frame = Frame {
             vars: HashMap::new(),
             obj: LayoutObject::new(entity.name.clone()),
@@ -528,9 +568,12 @@ impl<'t> Interpreter<'t> {
                 .as_str()
                 .map_err(|m| Exec::Fail(DslError::Runtime { line, message: m }))?
                 .to_string();
-            self.tech
-                .layer(&name)
-                .map_err(|e| Exec::Fail(DslError::Runtime { line, message: e.to_string() }))
+            self.tech.layer(&name).map_err(|e| {
+                Exec::Fail(DslError::Runtime {
+                    line,
+                    message: e.to_string(),
+                })
+            })
         };
         let dim_arg = |idx: usize, key: &str| -> Result<Option<amgen_geom::Coord>, Exec> {
             get(idx, key)
@@ -542,29 +585,45 @@ impl<'t> Interpreter<'t> {
                 let layer = layer_arg(0, "layer")?;
                 let w = dim_arg(1, "W")?;
                 let l = dim_arg(2, "L")?;
-                prim.inbox(&mut frame.obj, layer, w, l)
-                    .map_err(|e| Exec::Fail(DslError::Runtime { line, message: e.to_string() }))?;
+                prim.inbox(&mut frame.obj, layer, w, l).map_err(|e| {
+                    Exec::Fail(DslError::Runtime {
+                        line,
+                        message: e.to_string(),
+                    })
+                })?;
                 Ok(Value::Unset)
             }
             "ARRAY" => {
                 let layer = layer_arg(0, "layer")?;
-                prim.array(&mut frame.obj, layer)
-                    .map_err(|e| Exec::Fail(DslError::Runtime { line, message: e.to_string() }))?;
+                prim.array(&mut frame.obj, layer).map_err(|e| {
+                    Exec::Fail(DslError::Runtime {
+                        line,
+                        message: e.to_string(),
+                    })
+                })?;
                 Ok(Value::Unset)
             }
             "AROUND" => {
                 let layer = layer_arg(0, "layer")?;
                 let extra = dim_arg(1, "extra")?.unwrap_or(0);
-                prim.around(&mut frame.obj, layer, extra)
-                    .map_err(|e| Exec::Fail(DslError::Runtime { line, message: e.to_string() }))?;
+                prim.around(&mut frame.obj, layer, extra).map_err(|e| {
+                    Exec::Fail(DslError::Runtime {
+                        line,
+                        message: e.to_string(),
+                    })
+                })?;
                 Ok(Value::Unset)
             }
             "RING" => {
                 let layer = layer_arg(0, "layer")?;
                 let w = dim_arg(1, "W")?;
                 let cl = dim_arg(2, "clearance")?;
-                prim.ring(&mut frame.obj, layer, w, cl)
-                    .map_err(|e| Exec::Fail(DslError::Runtime { line, message: e.to_string() }))?;
+                prim.ring(&mut frame.obj, layer, w, cl).map_err(|e| {
+                    Exec::Fail(DslError::Runtime {
+                        line,
+                        message: e.to_string(),
+                    })
+                })?;
                 Ok(Value::Unset)
             }
             "TWORECTS" => {
@@ -572,8 +631,12 @@ impl<'t> Interpreter<'t> {
                 let lb = layer_arg(1, "b")?;
                 let w = dim_arg(2, "W")?;
                 let l = dim_arg(3, "L")?;
-                prim.two_rects(&mut frame.obj, la, lb, w, l)
-                    .map_err(|e| Exec::Fail(DslError::Runtime { line, message: e.to_string() }))?;
+                prim.two_rects(&mut frame.obj, la, lb, w, l).map_err(|e| {
+                    Exec::Fail(DslError::Runtime {
+                        line,
+                        message: e.to_string(),
+                    })
+                })?;
                 Ok(Value::Unset)
             }
             "NET" => {

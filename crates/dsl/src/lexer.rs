@@ -93,9 +93,15 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     chars.next();
                     if chars.peek() == Some(&'=') {
                         chars.next();
-                        out.push(Token { kind: TokenKind::EqEq, line });
+                        out.push(Token {
+                            kind: TokenKind::EqEq,
+                            line,
+                        });
                     } else {
-                        out.push(Token { kind: TokenKind::Eq, line });
+                        out.push(Token {
+                            kind: TokenKind::Eq,
+                            line,
+                        });
                     }
                     emitted = true;
                 }
@@ -103,19 +109,31 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     chars.next();
                     if chars.peek() == Some(&'=') {
                         chars.next();
-                        out.push(Token { kind: TokenKind::Ne, line });
+                        out.push(Token {
+                            kind: TokenKind::Ne,
+                            line,
+                        });
                         emitted = true;
                     } else {
-                        return Err(LexError { line, message: "stray `!`".into() });
+                        return Err(LexError {
+                            line,
+                            message: "stray `!`".into(),
+                        });
                     }
                 }
                 '<' => {
                     chars.next();
                     if chars.peek() == Some(&'=') {
                         chars.next();
-                        out.push(Token { kind: TokenKind::Le, line });
+                        out.push(Token {
+                            kind: TokenKind::Le,
+                            line,
+                        });
                     } else {
-                        out.push(Token { kind: TokenKind::Lt, line });
+                        out.push(Token {
+                            kind: TokenKind::Lt,
+                            line,
+                        });
                     }
                     emitted = true;
                 }
@@ -123,9 +141,15 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     chars.next();
                     if chars.peek() == Some(&'=') {
                         chars.next();
-                        out.push(Token { kind: TokenKind::Ge, line });
+                        out.push(Token {
+                            kind: TokenKind::Ge,
+                            line,
+                        });
                     } else {
-                        out.push(Token { kind: TokenKind::Gt, line });
+                        out.push(Token {
+                            kind: TokenKind::Gt,
+                            line,
+                        });
                     }
                     emitted = true;
                 }
@@ -144,7 +168,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                             }
                         }
                     }
-                    out.push(Token { kind: TokenKind::Str(s), line });
+                    out.push(Token {
+                        kind: TokenKind::Str(s),
+                        line,
+                    });
                     emitted = true;
                 }
                 c if c.is_ascii_digit() || c == '.' => {
@@ -157,10 +184,14 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                             break;
                         }
                     }
-                    let n: f64 = s
-                        .parse()
-                        .map_err(|_| LexError { line, message: format!("bad number `{s}`") })?;
-                    out.push(Token { kind: TokenKind::Number(n), line });
+                    let n: f64 = s.parse().map_err(|_| LexError {
+                        line,
+                        message: format!("bad number `{s}`"),
+                    })?;
+                    out.push(Token {
+                        kind: TokenKind::Number(n),
+                        line,
+                    });
                     emitted = true;
                 }
                 c if c.is_ascii_alphabetic() || c == '_' => {
@@ -173,20 +204,32 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                             break;
                         }
                     }
-                    out.push(Token { kind: TokenKind::Ident(s), line });
+                    out.push(Token {
+                        kind: TokenKind::Ident(s),
+                        line,
+                    });
                     emitted = true;
                 }
                 other => {
-                    return Err(LexError { line, message: format!("unexpected `{other}`") })
+                    return Err(LexError {
+                        line,
+                        message: format!("unexpected `{other}`"),
+                    })
                 }
             }
         }
         if emitted {
-            out.push(Token { kind: TokenKind::Newline, line });
+            out.push(Token {
+                kind: TokenKind::Newline,
+                line,
+            });
         }
     }
     let last = out.last().map(|t| t.line).unwrap_or(1);
-    out.push(Token { kind: TokenKind::Eof, line: last });
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line: last,
+    });
     Ok(out)
 }
 
@@ -255,7 +298,9 @@ mod tests {
     #[test]
     fn comments_are_stripped() {
         let k = kinds("compact(a, WEST, \"pdiff\") // step 3");
-        assert!(!k.iter().any(|t| matches!(t, TokenKind::Ident(s) if s == "step")));
+        assert!(!k
+            .iter()
+            .any(|t| matches!(t, TokenKind::Ident(s) if s == "step")));
         let k = kinds("x = 1 # comment");
         assert_eq!(k.len(), 5);
     }

@@ -22,7 +22,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> ParseError {
-        ParseError { line: e.line, message: e.message }
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
     }
 }
 
@@ -56,7 +59,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { line: self.line(), message: message.into() })
+        Err(ParseError {
+            line: self.line(),
+            message: message.into(),
+        })
     }
 
     fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
@@ -101,16 +107,19 @@ impl Parser {
         if !matches!(self.peek(), TokenKind::RParen) {
             loop {
                 match self.next() {
-                    TokenKind::Ident(n) => params.push(Param { name: n, optional: false }),
+                    TokenKind::Ident(n) => params.push(Param {
+                        name: n,
+                        optional: false,
+                    }),
                     TokenKind::Lt => {
                         let n = self.ident("parameter name")?;
                         self.expect(&TokenKind::Gt, "`>`")?;
-                        params.push(Param { name: n, optional: true });
+                        params.push(Param {
+                            name: n,
+                            optional: true,
+                        });
                     }
-                    other => {
-                        return self
-                            .err(format!("expected parameter, found {other:?}"))
-                    }
+                    other => return self.err(format!("expected parameter, found {other:?}")),
                 }
                 if matches!(self.peek(), TokenKind::Comma) {
                     self.next();
@@ -128,7 +137,12 @@ impl Parser {
             body.push(self.statement()?);
             self.skip_newlines();
         }
-        Ok(Entity { name, params, body, line })
+        Ok(Entity {
+            name,
+            params,
+            body,
+            line,
+        })
     }
 
     fn block(&mut self, terminators: &[&str]) -> Result<(Vec<Stmt>, String), ParseError> {
@@ -168,7 +182,13 @@ impl Parser {
             let to = self.expr()?;
             self.expect(&TokenKind::Newline, "end of line")?;
             let (body, _) = self.block(&["END"])?;
-            return Ok(Stmt::For { var, from, to, body, line });
+            return Ok(Stmt::For {
+                var,
+                from,
+                to,
+                body,
+                line,
+            });
         }
         if self.at_keyword("IF") {
             self.next();
@@ -181,7 +201,12 @@ impl Parser {
             } else {
                 Vec::new()
             };
-            return Ok(Stmt::If { cond, then_body, else_body, line });
+            return Ok(Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                line,
+            });
         }
         if self.at_keyword("VARIANT") {
             self.next();
@@ -211,7 +236,12 @@ impl Parser {
             }
             self.expect(&TokenKind::RParen, "`)`")?;
             self.expect(&TokenKind::Newline, "end of line")?;
-            return Ok(Stmt::Compact { obj, dir, ignore, line });
+            return Ok(Stmt::Compact {
+                obj,
+                dir,
+                ignore,
+                line,
+            });
         }
         // Assignment or bare call.
         let name = self.ident("statement")?;
@@ -263,7 +293,12 @@ impl Parser {
             }
         }
         self.expect(&TokenKind::RParen, "`)`")?;
-        Ok(Call { name, positional, keyword, line })
+        Ok(Call {
+            name,
+            positional,
+            keyword,
+            line,
+        })
     }
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
@@ -283,7 +318,11 @@ impl Parser {
         };
         self.next();
         let rhs = self.additive()?;
-        Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
     }
 
     fn additive(&mut self) -> Result<Expr, ParseError> {
@@ -296,7 +335,11 @@ impl Parser {
             };
             self.next();
             let rhs = self.multiplicative()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -310,7 +353,11 @@ impl Parser {
             };
             self.next();
             let rhs = self.unary()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -395,12 +442,16 @@ ENT DiffPair(<W>, <L>)
         assert_eq!(p.entities.len(), 2);
         let trans = &p.entities[0];
         assert_eq!(trans.body.len(), 5);
-        assert!(matches!(&trans.body[3], Stmt::Compact { obj, dir, ignore, .. }
-            if obj == "polycon" && dir == "SOUTH" && ignore.len() == 1));
+        assert!(
+            matches!(&trans.body[3], Stmt::Compact { obj, dir, ignore, .. }
+            if obj == "polycon" && dir == "SOUTH" && ignore.len() == 1)
+        );
         let pair = &p.entities[1];
         // `trans2 = trans1` is a plain variable assignment (object copy).
-        assert!(matches!(&pair.body[1], Stmt::Assign { name, value: Expr::Var(v), .. }
-            if name == "trans2" && v == "trans1"));
+        assert!(
+            matches!(&pair.body[1], Stmt::Assign { name, value: Expr::Var(v), .. }
+            if name == "trans2" && v == "trans1")
+        );
     }
 
     #[test]
@@ -414,7 +465,12 @@ ENT DiffPair(<W>, <L>)
     fn parses_if_else() {
         let src = "ENT A(w)\nIF w > 5\n  INBOX(\"poly\", w)\nELSE\n  INBOX(\"poly\")\nEND\n";
         let p = parse(src).unwrap();
-        let Stmt::If { then_body, else_body, .. } = &p.entities[0].body[0] else {
+        let Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } = &p.entities[0].body[0]
+        else {
             panic!("expected IF");
         };
         assert_eq!(then_body.len(), 1);
@@ -434,8 +490,15 @@ ENT DiffPair(<W>, <L>)
     #[test]
     fn arithmetic_precedence() {
         let p = parse("x = 1 + 2 * 3\n").unwrap();
-        let Stmt::Assign { value, .. } = &p.top[0] else { panic!() };
-        let Expr::Binary { op: BinOp::Add, rhs, .. } = value else {
+        let Stmt::Assign { value, .. } = &p.top[0] else {
+            panic!()
+        };
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = value
+        else {
             panic!("+ at the top: {value:?}");
         };
         assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
@@ -452,7 +515,13 @@ ENT DiffPair(<W>, <L>)
         // `W = 1` inside parens is a keyword argument, `W == 1` would be
         // a comparison expression.
         let p = parse("a = F(W = 1)\n").unwrap();
-        let Stmt::Assign { value: Expr::Call(c), .. } = &p.top[0] else { panic!() };
+        let Stmt::Assign {
+            value: Expr::Call(c),
+            ..
+        } = &p.top[0]
+        else {
+            panic!()
+        };
         assert_eq!(c.keyword.len(), 1);
         assert!(c.positional.is_empty());
     }
@@ -460,7 +529,9 @@ ENT DiffPair(<W>, <L>)
     #[test]
     fn negative_numbers() {
         let p = parse("x = -2\n").unwrap();
-        let Stmt::Assign { value, .. } = &p.top[0] else { panic!() };
+        let Stmt::Assign { value, .. } = &p.top[0] else {
+            panic!()
+        };
         assert!(matches!(value, Expr::Neg(_)));
     }
 

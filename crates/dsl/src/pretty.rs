@@ -63,7 +63,9 @@ pub fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
             print_call(c, out);
             out.push('\n');
         }
-        Stmt::Compact { obj, dir, ignore, .. } => {
+        Stmt::Compact {
+            obj, dir, ignore, ..
+        } => {
             indent(level, out);
             out.push_str("compact(");
             out.push_str(obj);
@@ -75,7 +77,13 @@ pub fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
             }
             out.push_str(")\n");
         }
-        Stmt::For { var, from, to, body, .. } => {
+        Stmt::For {
+            var,
+            from,
+            to,
+            body,
+            ..
+        } => {
             indent(level, out);
             out.push_str("FOR ");
             out.push_str(var);
@@ -90,7 +98,12 @@ pub fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
             indent(level, out);
             out.push_str("END\n");
         }
-        Stmt::If { cond, then_body, else_body, .. } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
             indent(level, out);
             out.push_str("IF ");
             print_expr(cond, out);

@@ -155,7 +155,13 @@ mod tests {
 
     #[test]
     fn all_stdlib_sources_parse() {
-        for src in [FIG2_CONTACT_ROW, FIG7_DIFF_PAIR, INTERDIGIT, STACKED, VARIANT_ROW] {
+        for src in [
+            FIG2_CONTACT_ROW,
+            FIG7_DIFF_PAIR,
+            INTERDIGIT,
+            STACKED,
+            VARIANT_ROW,
+        ] {
             crate::parser::parse(src).unwrap();
         }
     }
@@ -190,7 +196,9 @@ mod tests {
         let diff_cuts = out["m"]
             .shapes_on(ct)
             .filter(|c| {
-                out["m"].shapes_on(pdiff).any(|d| d.rect.contains_rect(&c.rect))
+                out["m"]
+                    .shapes_on(pdiff)
+                    .any(|d| d.rect.contains_rect(&c.rect))
             })
             .count();
         let one_row = {

@@ -19,10 +19,18 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul),
-                Just(BinOp::Lt), Just(BinOp::Ge), Just(BinOp::Eq),
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Ge),
+                    Just(BinOp::Eq),
+                ]
+            )
                 .prop_map(|(a, b, op)| Expr::Binary {
                     op,
                     lhs: Box::new(a),
@@ -55,7 +63,10 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
             line: 0
         }),
         arb_call().prop_map(Stmt::Call),
-        (ident(), prop_oneof![Just("NORTH"), Just("SOUTH"), Just("EAST"), Just("WEST")])
+        (
+            ident(),
+            prop_oneof![Just("NORTH"), Just("SOUTH"), Just("EAST"), Just("WEST")]
+        )
             .prop_map(|(obj, dir)| Stmt::Compact {
                 obj,
                 dir: dir.to_string(),
@@ -65,8 +76,19 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
     ];
     leaf.prop_recursive(2, 8, 3, |inner| {
         prop_oneof![
-            (ident(), arb_expr(), arb_expr(), prop::collection::vec(inner.clone(), 1..3))
-                .prop_map(|(var, from, to, body)| Stmt::For { var, from, to, body, line: 0 }),
+            (
+                ident(),
+                arb_expr(),
+                arb_expr(),
+                prop::collection::vec(inner.clone(), 1..3)
+            )
+                .prop_map(|(var, from, to, body)| Stmt::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                    line: 0
+                }),
             (
                 arb_expr(),
                 prop::collection::vec(inner.clone(), 1..3),

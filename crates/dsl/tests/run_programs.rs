@@ -63,9 +63,7 @@ fn fig7_diff_pair_builds_row_gate_row_gate_row() {
     let ct = t.layer("contact").unwrap();
     let diff_contacts = pair
         .shapes_on(ct)
-        .filter(|c| {
-            pair.shapes_on(pdiff).any(|d| d.rect.contains_rect(&c.rect))
-        })
+        .filter(|c| pair.shapes_on(pdiff).any(|d| d.rect.contains_rect(&c.rect)))
         .count();
     assert!(diff_contacts >= 3, "diffusion rows are contacted");
     let v = Drc::new(&t).check_spacing(pair);
@@ -118,7 +116,10 @@ fn variant_backtracking_selects_by_rating() {
     let variants = i
         .eval_entity_variants(
             "FlexRow",
-            &[("layer", Value::Str("poly".into())), ("S", Value::Num(10.0))],
+            &[
+                ("layer", Value::Str("poly".into())),
+                ("S", Value::Num(10.0)),
+            ],
         )
         .unwrap();
     assert_eq!(variants.len(), 2);
@@ -131,7 +132,10 @@ fn variant_backtracking_selects_by_rating() {
     let best = i
         .eval_entity(
             "FlexRow",
-            &[("layer", Value::Str("poly".into())), ("S", Value::Num(10.0))],
+            &[
+                ("layer", Value::Str("poly".into())),
+                ("S", Value::Num(10.0)),
+            ],
         )
         .unwrap();
     assert!(!best.is_empty());
@@ -188,7 +192,9 @@ fn missing_required_parameter_is_an_error() {
 fn unknown_layer_is_a_runtime_error() {
     let t = Tech::bicmos_1u();
     let mut i = interp(&t);
-    let e = i.run("x = ContactRow(layer = \"unobtainium\")\n").unwrap_err();
+    let e = i
+        .run("x = ContactRow(layer = \"unobtainium\")\n")
+        .unwrap_err();
     assert!(e.to_string().contains("unobtainium"));
 }
 
@@ -196,7 +202,8 @@ fn unknown_layer_is_a_runtime_error() {
 fn bad_direction_is_a_runtime_error() {
     let t = Tech::bicmos_1u();
     let mut i = interp(&t);
-    let src = "x = Bad()\n\nENT Bad()\n  r = ContactRow(layer = \"poly\")\n  compact(r, SIDEWAYS)\n";
+    let src =
+        "x = Bad()\n\nENT Bad()\n  r = ContactRow(layer = \"poly\")\n  compact(r, SIDEWAYS)\n";
     let e = i.run(src).unwrap_err();
     assert!(e.to_string().contains("SIDEWAYS"));
 }
@@ -206,7 +213,9 @@ fn fig2_works_in_the_cmos_deck_too() {
     // Technology independence: the same source, another rule deck.
     let t = Tech::cmos_08();
     let mut i = interp(&t);
-    let out = i.run("row = ContactRow(layer = \"poly\", W = 10)\n").unwrap();
+    let out = i
+        .run("row = ContactRow(layer = \"poly\", W = 10)\n")
+        .unwrap();
     let v = Drc::new(&t).check(&out["row"]);
     assert!(v.is_empty(), "{v:?}");
 }

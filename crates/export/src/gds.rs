@@ -39,7 +39,7 @@ fn record(out: &mut Vec<u8>, rectype: u8, datatype: u8, payload: &[u8]) {
 
 fn ascii_payload(s: &str) -> Vec<u8> {
     let mut p: Vec<u8> = s.bytes().collect();
-    if p.len() % 2 != 0 {
+    if !p.len().is_multiple_of(2) {
         p.push(0);
     }
     p
@@ -101,10 +101,20 @@ pub fn write_gds(tech: &Tech, obj: &LayoutObject) -> Vec<u8> {
     units.extend_from_slice(&gds_f64(1e-9)); // db unit in metres
     record(&mut out, UNITS, DT_F64, &units);
     record(&mut out, BGNSTR, DT_I16, &[0u8; 24]);
-    let name = if obj.name().is_empty() { "TOP" } else { obj.name() };
+    let name = if obj.name().is_empty() {
+        "TOP"
+    } else {
+        obj.name()
+    };
     let clean: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_uppercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_uppercase()
+            } else {
+                '_'
+            }
+        })
         .collect();
     record(&mut out, STRNAME, DT_ASCII, &ascii_payload(&clean));
     for s in obj.shapes() {
@@ -114,7 +124,12 @@ pub fn write_gds(tech: &Tech, obj: &LayoutObject) -> Vec<u8> {
         let info = tech.info(s.layer);
         record(&mut out, BOUNDARY, DT_NONE, &[]);
         record(&mut out, LAYER, DT_I16, &(info.gds_layer).to_be_bytes());
-        record(&mut out, DATATYPE, DT_I16, &(info.gds_datatype).to_be_bytes());
+        record(
+            &mut out,
+            DATATYPE,
+            DT_I16,
+            &(info.gds_datatype).to_be_bytes(),
+        );
         let r = s.rect;
         let pts: [(i64, i64); 5] = [
             (r.x0, r.y0),
@@ -198,7 +213,12 @@ pub fn parse_gds_summary(bytes: &[u8]) -> Result<GdsSummary, String> {
         return Err("stream ended without ENDLIB".into());
     }
     layers.sort_unstable();
-    Ok(GdsSummary { structure, boundaries, layers, bbox })
+    Ok(GdsSummary {
+        structure,
+        boundaries,
+        layers,
+        bbox,
+    })
 }
 
 #[cfg(test)]
@@ -219,10 +239,7 @@ mod tests {
         let s = parse_gds_summary(&bytes).unwrap();
         assert_eq!(s.structure, "MY_CELL");
         assert_eq!(s.boundaries, 2);
-        assert_eq!(
-            s.layers,
-            vec![t.info(poly).gds_layer, t.info(m1).gds_layer]
-        );
+        assert_eq!(s.layers, vec![t.info(poly).gds_layer, t.info(m1).gds_layer]);
         assert_eq!(s.bbox, (-500, 0, 2_000, 5_000));
     }
 

@@ -35,7 +35,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> UnionFind {
-        UnionFind { parent: (0..n).collect() }
+        UnionFind {
+            parent: (0..n).collect(),
+        }
     }
     fn find(&mut self, i: usize) -> usize {
         if self.parent[i] != i {
@@ -110,16 +112,16 @@ impl<'t> Extractor<'t> {
                     if !g.overlaps(&s.rect) {
                         continue;
                     }
-                    pieces = pieces
-                        .into_iter()
-                        .flat_map(|p| p.subtract(g))
-                        .collect();
+                    pieces = pieces.into_iter().flat_map(|p| p.subtract(g)).collect();
                 }
                 for rect in pieces {
                     frags.push(Frag { shape: i, rect });
                 }
             } else {
-                frags.push(Frag { shape: i, rect: s.rect });
+                frags.push(Frag {
+                    shape: i,
+                    rect: s.rect,
+                });
             }
         }
         let mut uf = UnionFind::new(frags.len());
@@ -156,7 +158,9 @@ impl<'t> Extractor<'t> {
             // Only fragments on layers this cut can connect matter.
             for (a, b) in self.tech.connected_pairs(cut_layer) {
                 for ol in [a, b] {
-                    let Some(members) = by_layer.get(&ol) else { continue };
+                    let Some(members) = by_layer.get(&ol) else {
+                        continue;
+                    };
                     for &oi in members {
                         if oi == ci || !cut_rect.overlaps(&frags[oi].rect) {
                             continue;
@@ -205,7 +209,10 @@ impl<'t> Extractor<'t> {
                     .collect();
                 declared.sort();
                 declared.dedup();
-                ExtractedNet { shapes: members, declared }
+                ExtractedNet {
+                    shapes: members,
+                    declared,
+                }
             })
             .collect();
         nets.sort_by(|a, b| a.shapes.cmp(&b.shapes));
@@ -310,7 +317,10 @@ mod tests {
         obj.push(Shape::new(m1, Rect::new(um(1), 0, um(3), um(2))).with_net(b));
         let conflicts = Extractor::new(&t).conflicts(&obj);
         assert_eq!(conflicts.len(), 1);
-        assert_eq!(conflicts[0].declared, vec!["gnd".to_string(), "vdd".to_string()]);
+        assert_eq!(
+            conflicts[0].declared,
+            vec!["gnd".to_string(), "vdd".to_string()]
+        );
     }
 
     #[test]
@@ -331,7 +341,10 @@ mod tests {
         let m1 = t.layer("metal1").unwrap();
         let mut obj = LayoutObject::new("x");
         for i in 0..5 {
-            obj.push(Shape::new(m1, Rect::new(i * um(2), 0, (i + 1) * um(2), um(2))));
+            obj.push(Shape::new(
+                m1,
+                Rect::new(i * um(2), 0, (i + 1) * um(2), um(2)),
+            ));
         }
         let nets = Extractor::new(&t).connectivity(&obj);
         assert_eq!(nets.len(), 1);

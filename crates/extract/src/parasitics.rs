@@ -35,11 +35,8 @@ impl<'t> Extractor<'t> {
                 let mut cap = 0.0f64;
                 let mut res = 0.0f64;
                 // Group the member shapes per layer.
-                let mut layers: Vec<amgen_tech::Layer> = net
-                    .shapes
-                    .iter()
-                    .map(|&i| obj.shapes()[i].layer)
-                    .collect();
+                let mut layers: Vec<amgen_tech::Layer> =
+                    net.shapes.iter().map(|&i| obj.shapes()[i].layer).collect();
                 layers.sort_unstable();
                 layers.dedup();
                 for layer in layers {
@@ -75,7 +72,12 @@ impl<'t> Extractor<'t> {
                 } else {
                     None
                 };
-                NetParasitics { name, shapes: net.shapes, cap_af: cap, res_mohm: res }
+                NetParasitics {
+                    name,
+                    shapes: net.shapes,
+                    cap_af: cap,
+                    res_mohm: res,
+                }
             })
             .collect()
     }
@@ -132,7 +134,11 @@ mod tests {
         assert_eq!(nets.len(), 1);
         let cc = t.cap_coeffs(m1);
         let expected = 15.0 * cc.area_af_per_um2 + 23.0 * cc.fringe_af_per_um;
-        assert!((nets[0].cap_af - expected).abs() < 1e-9, "{}", nets[0].cap_af);
+        assert!(
+            (nets[0].cap_af - expected).abs() < 1e-9,
+            "{}",
+            nets[0].cap_af
+        );
         assert_eq!(nets[0].name.as_deref(), Some("sig"));
         // Resistance: 10/1.5 squares at 70 mohm.
         let squares = um(10) as f64 / 1_500.0;

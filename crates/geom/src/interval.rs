@@ -20,7 +20,10 @@ impl Interval {
     /// Creates an interval, sorting the bounds.
     #[inline]
     pub fn new(a: Coord, b: Coord) -> Interval {
-        Interval { lo: a.min(b), hi: a.max(b) }
+        Interval {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
     }
 
     /// Length (`hi − lo`).
@@ -70,7 +73,10 @@ impl Interval {
         if !self.overlaps(other) {
             return None;
         }
-        Some(Interval { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) })
+        Some(Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        })
     }
 
     /// True if `other` lies fully inside `self`.
@@ -93,7 +99,10 @@ impl Interval {
         if other.is_empty() {
             return *self;
         }
-        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
     }
 }
 

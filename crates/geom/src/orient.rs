@@ -91,12 +91,18 @@ impl Orient {
 
     /// True for the four mirrored orientations.
     pub fn is_mirrored(self) -> bool {
-        matches!(self, Orient::MX | Orient::MX90 | Orient::MX180 | Orient::MX270)
+        matches!(
+            self,
+            Orient::MX | Orient::MX90 | Orient::MX180 | Orient::MX270
+        )
     }
 
     /// True if the orientation swaps the x and y extents of a rectangle.
     pub fn swaps_axes(self) -> bool {
-        matches!(self, Orient::R90 | Orient::R270 | Orient::MX90 | Orient::MX270)
+        matches!(
+            self,
+            Orient::R90 | Orient::R270 | Orient::MX90 | Orient::MX270
+        )
     }
 }
 

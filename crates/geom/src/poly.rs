@@ -89,7 +89,7 @@ pub fn decompose(vertices: &[Point]) -> Result<Vec<Rect>, PolyError> {
             .map(|&(x, _, _)| x)
             .collect();
         xs.sort_unstable();
-        if xs.len() % 2 != 0 {
+        if !xs.len().is_multiple_of(2) {
             return Err(PolyError::OddCrossings { y: y0 });
         }
         for pair in xs.chunks(2) {
@@ -133,8 +133,14 @@ mod tests {
     fn u_shape_has_split_slab() {
         // A "U": outer 12x10, notch 4..8 x 4..10.
         let u = [
-            p(0, 0), p(12, 0), p(12, 10), p(8, 10),
-            p(8, 4), p(4, 4), p(4, 10), p(0, 10),
+            p(0, 0),
+            p(12, 0),
+            p(12, 10),
+            p(8, 10),
+            p(8, 4),
+            p(4, 4),
+            p(4, 10),
+            p(0, 10),
         ];
         let rects = decompose(&u).unwrap();
         let area: i128 = rects.iter().map(|r| r.area()).sum();

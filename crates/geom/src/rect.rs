@@ -91,7 +91,12 @@ impl Rect {
     }
 
     /// The empty rectangle at the origin.
-    pub const EMPTY: Rect = Rect { x0: 0, y0: 0, x1: 0, y1: 0 };
+    pub const EMPTY: Rect = Rect {
+        x0: 0,
+        y0: 0,
+        x1: 0,
+        y1: 0,
+    };
 
     /// Width (`x1 − x0`, never negative).
     #[inline]
@@ -405,8 +410,14 @@ mod tests {
     #[test]
     fn new_normalises_corners() {
         assert_eq!(r(10, 10, 0, 0), r(0, 0, 10, 10));
-        assert_eq!(Rect::from_origin_size(Point::new(1, 2), 3, 4), r(1, 2, 4, 6));
-        assert_eq!(Rect::from_origin_size(Point::new(1, 2), -3, 4), r(-2, 2, 1, 6));
+        assert_eq!(
+            Rect::from_origin_size(Point::new(1, 2), 3, 4),
+            r(1, 2, 4, 6)
+        );
+        assert_eq!(
+            Rect::from_origin_size(Point::new(1, 2), -3, 4),
+            r(-2, 2, 1, 6)
+        );
     }
 
     #[test]
@@ -446,7 +457,10 @@ mod tests {
     fn overlap_and_abutment() {
         let a = r(0, 0, 10, 10);
         assert!(a.overlaps(&r(5, 5, 15, 15)));
-        assert!(!a.overlaps(&r(10, 0, 20, 10)), "edge-sharing is not overlap");
+        assert!(
+            !a.overlaps(&r(10, 0, 20, 10)),
+            "edge-sharing is not overlap"
+        );
         assert!(a.abuts(&r(10, 0, 20, 10)));
         assert!(a.abuts(&r(10, 10, 20, 20)), "corner contact abuts");
         assert!(!a.abuts(&r(11, 0, 20, 10)));
@@ -460,7 +474,10 @@ mod tests {
         assert!(a.contains_rect(&r(2, 2, 8, 8)));
         assert!(!a.contains_rect(&r(2, 2, 11, 8)));
         assert!(a.contains_point(Point::new(0, 0)));
-        assert!(!a.contains_point(Point::new(10, 10)), "half-open upper corner");
+        assert!(
+            !a.contains_point(Point::new(10, 10)),
+            "half-open upper corner"
+        );
     }
 
     #[test]
@@ -504,7 +521,11 @@ mod tests {
     fn subtract_disjoint_returns_self() {
         let a = r(0, 0, 10, 10);
         assert_eq!(a.subtract(&r(20, 20, 30, 30)), vec![a]);
-        assert_eq!(a.subtract(&r(10, 0, 20, 10)), vec![a], "abutting cutter removes nothing");
+        assert_eq!(
+            a.subtract(&r(10, 0, 20, 10)),
+            vec![a],
+            "abutting cutter removes nothing"
+        );
     }
 
     #[test]

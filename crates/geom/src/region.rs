@@ -326,8 +326,10 @@ mod tests {
     fn covered_by_two_partial_covers() {
         let reg = Region::from_rect(Rect::new(0, 0, 100, 20));
         assert!(reg.covered_by([Rect::new(-5, -5, 60, 25), Rect::new(50, -5, 105, 25)]));
-        assert!(!reg.covered_by([Rect::new(-5, -5, 60, 25), Rect::new(70, -5, 105, 25)]),
-            "a 10-wide gap remains uncovered");
+        assert!(
+            !reg.covered_by([Rect::new(-5, -5, 60, 25), Rect::new(70, -5, 105, 25)]),
+            "a 10-wide gap remains uncovered"
+        );
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub fn contact_row_by_coordinates(
     let contact = tech.layer("contact")?;
 
     // --- manual rule arithmetic -----------------------------------
-    let cut = tech.cut_size(contact).map_err(|e| ModgenError::Tech(e.to_string()))?;
+    let cut = tech
+        .cut_size(contact)
+        .map_err(|e| ModgenError::Tech(e.to_string()))?;
     let cut_space = tech
         .min_spacing(contact, contact)
         .ok_or_else(|| ModgenError::Tech("missing contact spacing".into()))?;

@@ -67,8 +67,17 @@ pub fn bipolar_npn(tech: &Tech, params: &NpnParams) -> Result<LayoutObject, Modg
     let b_net = main.net("b");
     let base_rect = main.bbox_on(base);
     let e_h = main.bbox_on(emitter).height();
-    let b_row = contact_row(tech, base, &ContactRowParams::new().with_l(e_h).with_net("b"))?;
-    c.compact(&mut main, &b_row, Dir::East, &CompactOptions::new().ignoring(base))?;
+    let b_row = contact_row(
+        tech,
+        base,
+        &ContactRowParams::new().with_l(e_h).with_net("b"),
+    )?;
+    c.compact(
+        &mut main,
+        &b_row,
+        Dir::East,
+        &CompactOptions::new().ignoring(base),
+    )?;
     let _ = (b_net, base_rect);
 
     // Buried subcollector around everything so far.
@@ -76,8 +85,17 @@ pub fn bipolar_npn(tech: &Tech, params: &NpnParams) -> Result<LayoutObject, Modg
 
     // Collector contact row directly on the buried layer (sinker stand-in),
     // attached west; its buried rectangle merges into the subcollector.
-    let sink = contact_row(tech, buried, &ContactRowParams::new().with_l(e_h).with_net("c"))?;
-    c.compact(&mut main, &sink, Dir::West, &CompactOptions::new().ignoring(buried))?;
+    let sink = contact_row(
+        tech,
+        buried,
+        &ContactRowParams::new().with_l(e_h).with_net("c"),
+    )?;
+    c.compact(
+        &mut main,
+        &sink,
+        Dir::West,
+        &CompactOptions::new().ignoring(buried),
+    )?;
     let _ = ndiff;
 
     let ports: Vec<Port> = ["e", "b", "c"]
@@ -115,7 +133,12 @@ pub fn bipolar_pair(tech: &Tech, params: &NpnParams) -> Result<LayoutObject, Mod
     for p in mirrored.ports() {
         let name = format!("{}_2", p.name);
         let net = right.find_net(&name);
-        right.push_port(Port { name, layer: p.layer, rect: p.rect, net });
+        right.push_port(Port {
+            name,
+            layer: p.layer,
+            rect: p.rect,
+            net,
+        });
     }
     main.absorb(&right, Vector::ZERO);
     Ok(main)
@@ -149,7 +172,10 @@ mod tests {
         let b = n.bbox_on(t.layer("base").unwrap());
         let bu = n.bbox_on(t.layer("buried").unwrap());
         let enc_be = t.enclosure(t.layer("base").unwrap(), t.layer("emitter").unwrap());
-        assert!(b.inflated(-enc_be).contains_rect(&e), "base encloses emitter");
+        assert!(
+            b.inflated(-enc_be).contains_rect(&e),
+            "base encloses emitter"
+        );
         assert!(bu.contains_rect(&b), "buried encloses base");
     }
 

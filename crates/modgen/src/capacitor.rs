@@ -67,10 +67,19 @@ pub fn mos_capacitor(
         poly,
         &ContactRowParams::new().with_w(side).with_net("top"),
     )?;
-    c.compact(&mut main, &pc, Dir::North, &CompactOptions::new().ignoring(poly))?;
+    c.compact(
+        &mut main,
+        &pc,
+        Dir::North,
+        &CompactOptions::new().ignoring(poly),
+    )?;
     // Bottom plate contacts on both sides, one net.
     let row = |_: ()| {
-        contact_row(tech, diff, &ContactRowParams::new().with_l(side).with_net("bot"))
+        contact_row(
+            tech,
+            diff,
+            &ContactRowParams::new().with_l(side).with_net("bot"),
+        )
     };
     c.compact(&mut main, &row(())?, Dir::West, &opts)?;
     c.compact(&mut main, &row(())?, Dir::East, &opts)?;
@@ -108,8 +117,7 @@ mod tests {
     #[test]
     fn plates_are_two_nets() {
         let t = tech();
-        let (m, _) = mos_capacitor(&t, &MosCapParams::new(MosType::N).with_side(um(12)))
-            .unwrap();
+        let (m, _) = mos_capacitor(&t, &MosCapParams::new(MosType::N).with_side(um(12))).unwrap();
         for n in Extractor::new(&t).connectivity(&m) {
             let top = n.declared.iter().any(|x| x == "top");
             let bot = n.declared.iter().any(|x| x == "bot");
@@ -122,8 +130,7 @@ mod tests {
     #[test]
     fn both_diffusion_rows_share_the_bot_net() {
         let t = tech();
-        let (m, _) = mos_capacitor(&t, &MosCapParams::new(MosType::N).with_side(um(12)))
-            .unwrap();
+        let (m, _) = mos_capacitor(&t, &MosCapParams::new(MosType::N).with_side(um(12))).unwrap();
         // Both bot rows exist — but as separate diffusion regions (the
         // plate's channel splits them); they share the declared name.
         let bots = Extractor::new(&t)
@@ -137,18 +144,15 @@ mod tests {
     #[test]
     fn value_scales_with_area() {
         let t = tech();
-        let (_, c10) = mos_capacitor(&t, &MosCapParams::new(MosType::N).with_side(um(10)))
-            .unwrap();
-        let (_, c20) = mos_capacitor(&t, &MosCapParams::new(MosType::N).with_side(um(20)))
-            .unwrap();
+        let (_, c10) = mos_capacitor(&t, &MosCapParams::new(MosType::N).with_side(um(10))).unwrap();
+        let (_, c20) = mos_capacitor(&t, &MosCapParams::new(MosType::N).with_side(um(20))).unwrap();
         assert!((c20 / c10 - 4.0).abs() < 0.01, "{c20} / {c10}");
     }
 
     #[test]
     fn spacing_clean() {
         let t = tech();
-        let (m, _) = mos_capacitor(&t, &MosCapParams::new(MosType::P).with_side(um(10)))
-            .unwrap();
+        let (m, _) = mos_capacitor(&t, &MosCapParams::new(MosType::P).with_side(um(10))).unwrap();
         let v = Drc::new(&t).check_spacing(&m);
         assert!(v.is_empty(), "{v:?}");
     }

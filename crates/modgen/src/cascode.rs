@@ -35,7 +35,12 @@ pub struct CascodeParams {
 impl CascodeParams {
     /// Two fingers per device.
     pub fn new(mos: MosType) -> CascodeParams {
-        CascodeParams { mos, fingers: 2, w: None, l: None }
+        CascodeParams {
+            mos,
+            fingers: 2,
+            w: None,
+            l: None,
+        }
     }
 
     /// Sets the per-finger width.
@@ -63,14 +68,14 @@ pub fn cascode_pair(tech: &Tech, params: &CascodeParams) -> Result<LayoutObject,
     let router = Router::new(tech);
     let m2 = tech.layer("metal2")?;
 
-    let mut lower_p = InterdigitParams::new(params.mos, params.fingers)
-        .with_nets("g_lo", "s", "mid");
+    let mut lower_p =
+        InterdigitParams::new(params.mos, params.fingers).with_nets("g_lo", "s", "mid");
     lower_p.w = params.w;
     lower_p.l = params.l;
     let lower = interdigitated(tech, &lower_p)?;
 
-    let mut upper_p = InterdigitParams::new(params.mos, params.fingers)
-        .with_nets("g_hi", "mid", "d");
+    let mut upper_p =
+        InterdigitParams::new(params.mos, params.fingers).with_nets("g_hi", "mid", "d");
     upper_p.w = params.w;
     upper_p.l = params.l;
     let upper = interdigitated(tech, &upper_p)?;

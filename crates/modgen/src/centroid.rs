@@ -109,7 +109,9 @@ fn gate_unit(
 ) -> Result<LayoutObject, ModgenError> {
     let poly = tech.layer("poly")?;
     let diff = tech.layer(mos.diff_layer())?;
-    let l = l.unwrap_or_else(|| tech.min_width(poly)).max(tech.min_width(poly));
+    let l = l
+        .unwrap_or_else(|| tech.min_width(poly))
+        .max(tech.min_width(poly));
     let gx = tech.extension(poly, diff);
     let dx = tech.extension(diff, poly);
     let (y0, y1) = match dev {
@@ -125,8 +127,7 @@ fn gate_unit(
     };
     obj.push(Shape::new(poly, Rect::new(0, y0, l, y1)).with_net(net));
     obj.push(
-        Shape::new(diff, Rect::new(-dx, 0, l + dx, w))
-            .with_role(amgen_db::ShapeRole::DeviceActive),
+        Shape::new(diff, Rect::new(-dx, 0, l + dx, w)).with_role(amgen_db::ShapeRole::DeviceActive),
     );
     Ok(obj)
 }
@@ -246,7 +247,12 @@ pub fn centroid_diff_pair(
     let g2 = main.net("g2");
     let a_span = a_cols.iter().fold(Rect::EMPTY, |acc, r| acc.union_bbox(r));
     let b_span = b_cols.iter().fold(Rect::EMPTY, |acc, r| acc.union_bbox(r));
-    let strap_a = Rect::new(a_span.x0, w + gx + REACH - strap_w, a_span.x1, w + gx + REACH);
+    let strap_a = Rect::new(
+        a_span.x0,
+        w + gx + REACH - strap_w,
+        a_span.x1,
+        w + gx + REACH,
+    );
     let strap_b = Rect::new(b_span.x0, -gx - REACH, b_span.x1, -gx - REACH + strap_w);
     main.push(Shape::new(poly, strap_a).with_net(g1));
     main.push(Shape::new(poly, strap_b).with_net(g2));
@@ -256,7 +262,11 @@ pub fn centroid_diff_pair(
     for (net, strap, above) in [("g1", strap_a, true), ("g2", strap_b, false)] {
         let mut pc = contact_row(tech, poly, &ContactRowParams::new().with_net(net))?;
         let pb = pc.bbox();
-        let dy = if above { strap.y1 - pb.y0 } else { strap.y0 - pb.y1 };
+        let dy = if above {
+            strap.y1 - pb.y0
+        } else {
+            strap.y0 - pb.y1
+        };
         pc.translate(Vector::new(center_x - pb.center().x, dy));
         main.absorb(&pc, Vector::ZERO);
     }
@@ -271,7 +281,12 @@ pub fn centroid_diff_pair(
     let span = main.bbox();
     let bus_s = Rect::new(span.x0, span.y0 - 2_000 - bus_w, span.x1, span.y0 - 2_000);
     let bus_d1 = Rect::new(span.x0, span.y1 + 2_000, span.x1, span.y1 + 2_000 + bus_w);
-    let bus_d2 = Rect::new(span.x0, bus_d1.y1 + 6_000, span.x1, bus_d1.y1 + 6_000 + bus_w);
+    let bus_d2 = Rect::new(
+        span.x0,
+        bus_d1.y1 + 6_000,
+        span.x1,
+        bus_d1.y1 + 6_000 + bus_w,
+    );
     let d1_id = main.net("d1");
     let d2_id = main.net("d2");
     let s_id = main.net("s");
@@ -307,9 +322,24 @@ pub fn centroid_diff_pair(
             }
         }
     }
-    main.push_port(Port { name: "d1".into(), layer: m2, rect: bus_d1, net: Some(d1_id) });
-    main.push_port(Port { name: "d2".into(), layer: m2, rect: bus_d2, net: Some(d2_id) });
-    main.push_port(Port { name: "s".into(), layer: m2, rect: bus_s, net: Some(s_id) });
+    main.push_port(Port {
+        name: "d1".into(),
+        layer: m2,
+        rect: bus_d1,
+        net: Some(d1_id),
+    });
+    main.push_port(Port {
+        name: "d2".into(),
+        layer: m2,
+        rect: bus_d2,
+        net: Some(d2_id),
+    });
+    main.push_port(Port {
+        name: "s".into(),
+        layer: m2,
+        rect: bus_s,
+        net: Some(s_id),
+    });
 
     // Implants / well.
     match params.mos {
@@ -354,7 +384,9 @@ mod tests {
     fn paper_module(t: &Tech) -> LayoutObject {
         centroid_diff_pair(
             t,
-            &CentroidParams::paper(MosType::N).with_w(um(6)).with_l(um(1)),
+            &CentroidParams::paper(MosType::N)
+                .with_w(um(6))
+                .with_l(um(1)),
         )
         .unwrap()
     }
@@ -373,7 +405,9 @@ mod tests {
         let t = tech();
         let m = centroid_diff_pair(
             &t,
-            &CentroidParams::paper(MosType::N).with_w(um(6)).without_guard(),
+            &CentroidParams::paper(MosType::N)
+                .with_w(um(6))
+                .without_guard(),
         )
         .unwrap();
         let poly = t.layer("poly").unwrap();
@@ -392,7 +426,9 @@ mod tests {
         // high, B columns reach low.
         let m = centroid_diff_pair(
             &t,
-            &CentroidParams::paper(MosType::N).with_w(um(6)).without_guard(),
+            &CentroidParams::paper(MosType::N)
+                .with_w(um(6))
+                .without_guard(),
         )
         .unwrap();
         let poly = t.layer("poly").unwrap();
@@ -409,10 +445,7 @@ mod tests {
         assert_eq!(b.len(), 4);
         let ca = device_centroid_x(&a);
         let cb = device_centroid_x(&b);
-        assert!(
-            (ca - cb).abs() < 1_000.0,
-            "centroids differ: {ca} vs {cb}"
-        );
+        assert!((ca - cb).abs() < 1_000.0, "centroids differ: {ca} vs {cb}");
     }
 
     #[test]
@@ -420,7 +453,13 @@ mod tests {
         let t = tech();
         let m = paper_module(&t);
         let counts = Router::new(&t).crossing_counts(&m);
-        let get = |n: &str| counts.iter().find(|(x, _)| x == n).map(|(_, c)| *c).unwrap_or(0);
+        let get = |n: &str| {
+            counts
+                .iter()
+                .find(|(x, _)| x == n)
+                .map(|(_, c)| *c)
+                .unwrap_or(0)
+        };
         assert_eq!(get("d1"), get("d2"), "{counts:?}");
         assert!(get("d1") > 0, "the drains do cross other nets");
     }
@@ -437,7 +476,9 @@ mod tests {
         let t = tech();
         let m = centroid_diff_pair(
             &t,
-            &CentroidParams::paper(MosType::N).with_w(um(6)).without_guard(),
+            &CentroidParams::paper(MosType::N)
+                .with_w(um(6))
+                .without_guard(),
         )
         .unwrap();
         assert!(!latchup::check_latchup(&t, &m).is_empty());

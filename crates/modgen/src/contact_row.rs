@@ -97,7 +97,11 @@ pub fn contact_row(
     let cuts = prim.array(&mut obj, contact)?;
     let mut members = vec![base, metal];
     members.extend(cuts.iter().copied());
-    obj.add_group("row", members, Some(RebuildKind::ContactArray { cut: contact }));
+    obj.add_group(
+        "row",
+        members,
+        Some(RebuildKind::ContactArray { cut: contact }),
+    );
     if let Some(name) = &params.net {
         let id = obj.net(name);
         for s in obj.shapes_mut() {
@@ -141,7 +145,11 @@ mod tests {
         let poly = t.layer("poly").unwrap();
         let row = contact_row(&t, poly, &ContactRowParams::new()).unwrap();
         let ct = t.layer("contact").unwrap();
-        assert_eq!(row.shapes_on(ct).count(), 1, "minimal row holds one contact");
+        assert_eq!(
+            row.shapes_on(ct).count(),
+            1,
+            "minimal row holds one contact"
+        );
         assert!(Drc::new(&t).check(&row).is_empty());
     }
 
@@ -149,14 +157,12 @@ mod tests {
     fn fig3_middle_w_given_l_minimal() {
         let t = tech();
         let poly = t.layer("poly").unwrap();
-        let row =
-            contact_row(&t, poly, &ContactRowParams::new().with_w(um(10))).unwrap();
+        let row = contact_row(&t, poly, &ContactRowParams::new().with_w(um(10))).unwrap();
         let ct = t.layer("contact").unwrap();
         let n = row.shapes_on(ct).count();
         assert!(n >= 4, "a 10 um row holds a row of contacts, got {n}");
         // One row only: all contacts share the y position.
-        let ys: std::collections::HashSet<i64> =
-            row.shapes_on(ct).map(|s| s.rect.y0).collect();
+        let ys: std::collections::HashSet<i64> = row.shapes_on(ct).map(|s| s.rect.y0).collect();
         assert_eq!(ys.len(), 1);
         assert!(Drc::new(&t).check(&row).is_empty());
     }
@@ -173,10 +179,8 @@ mod tests {
         .unwrap();
         let ct = t.layer("contact").unwrap();
         // 2-D array: more than one x and more than one y position.
-        let xs: std::collections::HashSet<i64> =
-            row.shapes_on(ct).map(|s| s.rect.x0).collect();
-        let ys: std::collections::HashSet<i64> =
-            row.shapes_on(ct).map(|s| s.rect.y0).collect();
+        let xs: std::collections::HashSet<i64> = row.shapes_on(ct).map(|s| s.rect.x0).collect();
+        let ys: std::collections::HashSet<i64> = row.shapes_on(ct).map(|s| s.rect.y0).collect();
         assert!(xs.len() > 1 && ys.len() > 1);
         assert!(Drc::new(&t).check(&row).is_empty());
     }
@@ -200,8 +204,7 @@ mod tests {
     fn port_carries_net_and_rect() {
         let t = tech();
         let poly = t.layer("poly").unwrap();
-        let row =
-            contact_row(&t, poly, &ContactRowParams::new().with_net("g")).unwrap();
+        let row = contact_row(&t, poly, &ContactRowParams::new().with_net("g")).unwrap();
         let p = row.port("g").unwrap();
         assert_eq!(p.rect, row.bbox_on(t.layer("metal1").unwrap()));
         assert!(p.net.is_some());
@@ -212,12 +215,7 @@ mod tests {
     fn variable_edges_are_marked() {
         let t = tech();
         let poly = t.layer("poly").unwrap();
-        let row = contact_row(
-            &t,
-            poly,
-            &ContactRowParams::new().with_variable_edges(),
-        )
-        .unwrap();
+        let row = contact_row(&t, poly, &ContactRowParams::new().with_variable_edges()).unwrap();
         let m1 = t.layer("metal1").unwrap();
         let metal = row.shapes_on(m1).next().unwrap();
         for d in Dir::ALL {
@@ -229,11 +227,13 @@ mod tests {
     fn works_in_the_cmos_deck_too() {
         let t = Tech::cmos_08();
         let ndiff = t.layer("ndiff").unwrap();
-        let row =
-            contact_row(&t, ndiff, &ContactRowParams::new().with_w(um(10))).unwrap();
+        let row = contact_row(&t, ndiff, &ContactRowParams::new().with_w(um(10))).unwrap();
         assert!(Drc::new(&t).check(&row).is_empty());
         let ct = t.layer("contact").unwrap();
-        assert!(row.shapes_on(ct).count() >= 5, "tighter rules fit more cuts");
+        assert!(
+            row.shapes_on(ct).count() >= 5,
+            "tighter rules fit more cuts"
+        );
     }
 
     #[test]

@@ -41,7 +41,12 @@ pub struct DiffPairParams {
 impl DiffPairParams {
     /// Minimum-size pair of the given polarity with implants.
     pub fn new(mos: MosType) -> DiffPairParams {
-        DiffPairParams { mos, w: None, l: None, implants: true }
+        DiffPairParams {
+            mos,
+            w: None,
+            l: None,
+            implants: true,
+        }
     }
 
     /// Sets the channel width.
@@ -114,7 +119,11 @@ mod tests {
     }
 
     fn pair(t: &Tech) -> LayoutObject {
-        diff_pair(t, &DiffPairParams::new(MosType::P).with_w(um(10)).with_l(um(2))).unwrap()
+        diff_pair(
+            t,
+            &DiffPairParams::new(MosType::P).with_w(um(10)).with_l(um(2)),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -170,9 +179,16 @@ mod tests {
         for n in &nets {
             let has_g1 = n.declared.iter().any(|x| x == "g1");
             let has_g2 = n.declared.iter().any(|x| x == "g2");
-            let has_sd = n.declared.iter().any(|x| x == "s" || x == "d1" || x == "d2");
+            let has_sd = n
+                .declared
+                .iter()
+                .any(|x| x == "s" || x == "d1" || x == "d2");
             assert!(!(has_g1 && has_g2), "gates shorted: {:?}", n.declared);
-            assert!(!((has_g1 || has_g2) && has_sd), "gate shorted to s/d: {:?}", n.declared);
+            assert!(
+                !((has_g1 || has_g2) && has_sd),
+                "gate shorted to s/d: {:?}",
+                n.declared
+            );
         }
     }
 
@@ -198,7 +214,10 @@ mod tests {
         let pdiff = t.layer("pdiff").unwrap();
         let single = crate::mos::mos_transistor(
             &t,
-            &crate::mos::MosParams::new(MosType::P).with_w(um(10)).with_l(um(2)).without_implants(),
+            &crate::mos::MosParams::new(MosType::P)
+                .with_w(um(10))
+                .with_l(um(2))
+                .without_implants(),
         )
         .unwrap();
         assert!(

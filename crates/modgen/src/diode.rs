@@ -27,7 +27,11 @@ pub struct DiodeParams {
 impl DiodeParams {
     /// A minimum diode of the given polarity.
     pub fn new(mos: MosType) -> DiodeParams {
-        DiodeParams { mos, w: None, l: None }
+        DiodeParams {
+            mos,
+            w: None,
+            l: None,
+        }
     }
 
     /// Sets the channel width.
@@ -81,7 +85,12 @@ pub fn diode_transistor(tech: &Tech, params: &DiodeParams) -> Result<LayoutObjec
     // Horizontal from the gate pad east to under the drain column, then
     // vertical up into the column.
     let hy = gate_pad.center().y;
-    let h = Rect::new(gate_pad.x1, hy - w1 / 2, drain_col.center().x + w1 / 2, hy - w1 / 2 + w1);
+    let h = Rect::new(
+        gate_pad.x1,
+        hy - w1 / 2,
+        drain_col.center().x + w1 / 2,
+        hy - w1 / 2 + w1,
+    );
     let v = Rect::new(
         drain_col.center().x - w1 / 2,
         hy - w1 / 2,

@@ -68,7 +68,10 @@ mod tests {
     fn conversion_preserves_messages() {
         let e: ModgenError = amgen_tech::TechError::UnknownLayer("x".into()).into();
         assert!(e.to_string().contains('x'));
-        let e = ModgenError::BadParam { param: "fingers", message: "must be > 0".into() };
+        let e = ModgenError::BadParam {
+            param: "fingers",
+            message: "must be > 0".into(),
+        };
         assert!(e.to_string().contains("fingers"));
     }
 }

@@ -25,7 +25,10 @@ pub struct GuardRingParams {
 
 impl Default for GuardRingParams {
     fn default() -> GuardRingParams {
-        GuardRingParams { net: "sub".into(), width: None }
+        GuardRingParams {
+            net: "sub".into(),
+            width: None,
+        }
     }
 }
 
@@ -57,7 +60,10 @@ pub fn guard_ring(
     let clearance = obj
         .shapes()
         .iter()
-        .map(|s| tech.clearance(pdiff, s.layer).max(tech.clearance(m1, s.layer)))
+        .map(|s| {
+            tech.clearance(pdiff, s.layer)
+                .max(tech.clearance(m1, s.layer))
+        })
         .max()
         .unwrap_or(0);
 
@@ -146,7 +152,10 @@ mod tests {
         let ringed = guard_ring(
             &t,
             &m,
-            &GuardRingParams { net: "gnd".into(), width: None },
+            &GuardRingParams {
+                net: "gnd".into(),
+                width: None,
+            },
         )
         .unwrap();
         assert!(ringed.port("gnd").is_some());
@@ -160,7 +169,10 @@ mod tests {
         let thick = guard_ring(
             &t,
             &m,
-            &GuardRingParams { net: "sub".into(), width: Some(um(5)) },
+            &GuardRingParams {
+                net: "sub".into(),
+                width: Some(um(5)),
+            },
         )
         .unwrap();
         assert!(thick.bbox().width() > thin.bbox().width());

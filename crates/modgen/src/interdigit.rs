@@ -131,7 +131,11 @@ pub fn interdigitated(tech: &Tech, params: &InterdigitParams) -> Result<LayoutOb
     for i in 0..params.fingers {
         let g = gate_unit(tech, params.mos, w, params.l, &params.g_net)?;
         c.compact(&mut main, &g, Dir::East, &opts)?;
-        let net = if i % 2 == 0 { &params.d_net } else { &params.s_net };
+        let net = if i % 2 == 0 {
+            &params.d_net
+        } else {
+            &params.s_net
+        };
         let r = row(net)?;
         let before = main.bbox().x1;
         c.compact(&mut main, &r, Dir::East, &opts)?;
@@ -148,11 +152,7 @@ pub fn interdigitated(tech: &Tech, params: &InterdigitParams) -> Result<LayoutOb
     main.push(Shape::new(poly, strap).with_net(g_id));
 
     // Gate contact row on the strap (west end).
-    let polycon = contact_row(
-        tech,
-        poly,
-        &ContactRowParams::new().with_net(&params.g_net),
-    )?;
+    let polycon = contact_row(tech, poly, &ContactRowParams::new().with_net(&params.g_net))?;
     let mut polycon = polycon;
     let pbox = polycon.bbox();
     polycon.translate(amgen_geom::Vector::new(
@@ -187,8 +187,18 @@ pub fn interdigitated(tech: &Tech, params: &InterdigitParams) -> Result<LayoutOb
         };
         main.push(Shape::new(m2, riser).with_net(id));
     }
-    main.push_port(Port { name: params.s_net.clone(), layer: m2, rect: s_bus, net: Some(s_id) });
-    main.push_port(Port { name: params.d_net.clone(), layer: m2, rect: d_bus, net: Some(d_id) });
+    main.push_port(Port {
+        name: params.s_net.clone(),
+        layer: m2,
+        rect: s_bus,
+        net: Some(s_id),
+    });
+    main.push_port(Port {
+        name: params.d_net.clone(),
+        layer: m2,
+        rect: d_bus,
+        net: Some(d_id),
+    });
 
     if params.implants {
         match params.mos {
@@ -221,7 +231,9 @@ mod tests {
     fn module(t: &Tech, fingers: usize) -> LayoutObject {
         interdigitated(
             t,
-            &InterdigitParams::new(MosType::N, fingers).with_w(um(8)).with_l(um(1)),
+            &InterdigitParams::new(MosType::N, fingers)
+                .with_w(um(8))
+                .with_l(um(1)),
         )
         .unwrap()
     }
@@ -230,7 +242,10 @@ mod tests {
     fn zero_fingers_is_rejected() {
         assert!(matches!(
             interdigitated(&tech(), &InterdigitParams::new(MosType::N, 0)),
-            Err(ModgenError::BadParam { param: "fingers", .. })
+            Err(ModgenError::BadParam {
+                param: "fingers",
+                ..
+            })
         ));
     }
 
@@ -258,8 +273,7 @@ mod tests {
         // with g.
         for n in &nets {
             assert!(
-                !n.declared.iter().any(|x| x == "g")
-                    || n.declared.len() == 1,
+                !n.declared.iter().any(|x| x == "g") || n.declared.len() == 1,
                 "gate shorted: {:?}",
                 n.declared
             );

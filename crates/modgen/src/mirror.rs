@@ -36,7 +36,12 @@ pub struct MirrorParams {
 impl MirrorParams {
     /// One output finger per side (2:1 mirror).
     pub fn new(mos: MosType) -> MirrorParams {
-        MirrorParams { mos, side_fingers: 1, w: None, l: None }
+        MirrorParams {
+            mos,
+            side_fingers: 1,
+            w: None,
+            l: None,
+        }
     }
 
     /// Sets the per-finger width.
@@ -101,9 +106,9 @@ pub fn current_mirror(tech: &Tech, params: &MirrorParams) -> Result<LayoutObject
     // with `side_fingers` out-pairs on each side of the diode pair.
     let n = params.side_fingers;
     let mut drain_plan: Vec<&str> = Vec::new();
-    drain_plan.extend(std::iter::repeat("out").take(n));
+    drain_plan.extend(std::iter::repeat_n("out", n));
     drain_plan.push("in");
-    drain_plan.extend(std::iter::repeat("out").take(n));
+    drain_plan.extend(std::iter::repeat_n("out", n));
     let mut row_centers: Vec<(String, Coord)> = Vec::new();
     let seed = row(tech, "s")?;
     c.compact(&mut main, &seed, Dir::West, &opts)?;
@@ -142,8 +147,18 @@ pub fn current_mirror(tech: &Tech, params: &MirrorParams) -> Result<LayoutObject
     // diode connection).
     let bus_w = tech.min_width(m2).max(2_000);
     let bspan = main.bbox();
-    let s_bus = Rect::new(bspan.x0, bspan.y0 - 2_000 - bus_w, bspan.x1, bspan.y0 - 2_000);
-    let out_bus = Rect::new(bspan.x0, bspan.y1 + 2_000, bspan.x1, bspan.y1 + 2_000 + bus_w);
+    let s_bus = Rect::new(
+        bspan.x0,
+        bspan.y0 - 2_000 - bus_w,
+        bspan.x1,
+        bspan.y0 - 2_000,
+    );
+    let out_bus = Rect::new(
+        bspan.x0,
+        bspan.y1 + 2_000,
+        bspan.x1,
+        bspan.y1 + 2_000 + bus_w,
+    );
     let s_id = main.net("s");
     let out_id = main.net("out");
     main.push(Shape::new(m2, s_bus).with_net(s_id));
@@ -183,8 +198,18 @@ pub fn current_mirror(tech: &Tech, params: &MirrorParams) -> Result<LayoutObject
         main.push(Shape::new(m1, jog).with_net(in_id));
     }
 
-    main.push_port(Port { name: "s".into(), layer: m2, rect: s_bus, net: Some(s_id) });
-    main.push_port(Port { name: "out".into(), layer: m2, rect: out_bus, net: Some(out_id) });
+    main.push_port(Port {
+        name: "s".into(),
+        layer: m2,
+        rect: s_bus,
+        net: Some(s_id),
+    });
+    main.push_port(Port {
+        name: "out".into(),
+        layer: m2,
+        rect: out_bus,
+        net: Some(out_id),
+    });
 
     match params.mos {
         MosType::N => {
@@ -213,8 +238,11 @@ mod tests {
     }
 
     fn mirror(t: &Tech) -> LayoutObject {
-        current_mirror(t, &MirrorParams::new(MosType::N).with_w(um(6)).with_l(um(1)))
-            .unwrap()
+        current_mirror(
+            t,
+            &MirrorParams::new(MosType::N).with_w(um(6)).with_l(um(1)),
+        )
+        .unwrap()
     }
 
     #[test]

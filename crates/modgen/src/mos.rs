@@ -169,15 +169,29 @@ pub fn mos_transistor(tech: &Tech, params: &MosParams) -> Result<LayoutObject, M
     let s_row = contact_row(
         tech,
         diff,
-        &ContactRowParams::new().with_l(w_actual).with_net(&params.s_net),
+        &ContactRowParams::new()
+            .with_l(w_actual)
+            .with_net(&params.s_net),
     )?;
-    c.compact(&mut main, &s_row, Dir::West, &CompactOptions::new().ignoring(diff))?;
+    c.compact(
+        &mut main,
+        &s_row,
+        Dir::West,
+        &CompactOptions::new().ignoring(diff),
+    )?;
     let d_row = contact_row(
         tech,
         diff,
-        &ContactRowParams::new().with_l(w_actual).with_net(&params.d_net),
+        &ContactRowParams::new()
+            .with_l(w_actual)
+            .with_net(&params.d_net),
     )?;
-    c.compact(&mut main, &d_row, Dir::East, &CompactOptions::new().ignoring(diff))?;
+    c.compact(
+        &mut main,
+        &d_row,
+        Dir::East,
+        &CompactOptions::new().ignoring(diff),
+    )?;
 
     // Decoration: implant, and n-well for PMOS.
     if params.implants {
@@ -228,9 +242,16 @@ pub fn mos_finger(
         let polycon = contact_row(
             tech,
             poly,
-            &ContactRowParams::new().with_net(g_net).with_variable_edges(),
+            &ContactRowParams::new()
+                .with_net(g_net)
+                .with_variable_edges(),
         )?;
-        c.compact(&mut main, &polycon, Dir::South, &CompactOptions::new().ignoring(poly))?;
+        c.compact(
+            &mut main,
+            &polycon,
+            Dir::South,
+            &CompactOptions::new().ignoring(poly),
+        )?;
     }
     let w_actual = main.bbox_on(diff).height();
     let row = contact_row(
@@ -238,7 +259,12 @@ pub fn mos_finger(
         diff,
         &ContactRowParams::new().with_l(w_actual).with_net(row_net),
     )?;
-    c.compact(&mut main, &row, Dir::East, &CompactOptions::new().ignoring(diff))?;
+    c.compact(
+        &mut main,
+        &row,
+        Dir::East,
+        &CompactOptions::new().ignoring(diff),
+    )?;
     Ok(main)
 }
 
@@ -256,8 +282,8 @@ mod tests {
     #[test]
     fn nmos_is_drc_clean() {
         let t = tech();
-        let m = mos_transistor(&t, &MosParams::new(MosType::N).with_w(um(10)).with_l(um(2)))
-            .unwrap();
+        let m =
+            mos_transistor(&t, &MosParams::new(MosType::N).with_w(um(10)).with_l(um(2))).unwrap();
         let v = Drc::new(&t).check_spacing(&m);
         assert!(v.is_empty(), "{v:?}");
         let v = Drc::new(&t).check_widths(&m);
@@ -299,8 +325,8 @@ mod tests {
     #[test]
     fn source_drain_rows_merge_into_diffusion() {
         let t = tech();
-        let m = mos_transistor(&t, &MosParams::new(MosType::N).with_w(um(10)).with_l(um(1)))
-            .unwrap();
+        let m =
+            mos_transistor(&t, &MosParams::new(MosType::N).with_w(um(10)).with_l(um(1))).unwrap();
         let ndiff = t.layer("ndiff").unwrap();
         // The diffusion shapes form one connected region spanning the rows
         // and the channel.
@@ -329,7 +355,9 @@ mod tests {
         let with = mos_transistor(&t, &MosParams::new(MosType::N).with_w(um(6))).unwrap();
         let without = mos_transistor(
             &t,
-            &MosParams::new(MosType::N).with_w(um(6)).without_gate_contact(),
+            &MosParams::new(MosType::N)
+                .with_w(um(6))
+                .without_gate_contact(),
         )
         .unwrap();
         assert!(without.len() < with.len());

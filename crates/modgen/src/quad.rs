@@ -34,7 +34,11 @@ pub struct QuadParams {
 impl QuadParams {
     /// A quad of the given polarity.
     pub fn new(mos: MosType) -> QuadParams {
-        QuadParams { mos, w: None, l: None }
+        QuadParams {
+            mos,
+            w: None,
+            l: None,
+        }
     }
 
     /// Sets the unit channel width.
@@ -91,7 +95,10 @@ fn quad_row(
 /// `d1`/`d2`, common source `s`; each appears in both rows, so the
 /// centroids of both devices coincide in x **and** y.
 pub fn common_centroid_quad(tech: &Tech, params: &QuadParams) -> Result<LayoutObject, ModgenError> {
-    let w = params.w.unwrap_or(6_000).max(tech.min_width(tech.layer(params.mos.diff_layer())?));
+    let w = params
+        .w
+        .unwrap_or(6_000)
+        .max(tech.min_width(tech.layer(params.mos.diff_layer())?));
     let c = Compactor::new(tech);
     let bottom = quad_row(tech, params.mos, w, params.l, ("g1", "d1"), ("g2", "d2"))?;
     let top = quad_row(tech, params.mos, w, params.l, ("g2", "d2"), ("g1", "d1"))?;
@@ -145,8 +152,7 @@ mod tests {
     }
 
     fn quad(t: &Tech) -> LayoutObject {
-        common_centroid_quad(t, &QuadParams::new(MosType::N).with_w(um(6)).with_l(um(1)))
-            .unwrap()
+        common_centroid_quad(t, &QuadParams::new(MosType::N).with_w(um(6)).with_l(um(1))).unwrap()
     }
 
     #[test]

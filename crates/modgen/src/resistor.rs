@@ -63,10 +63,16 @@ pub fn poly_resistor(
     params: &ResistorParams,
 ) -> Result<(LayoutObject, f64), ModgenError> {
     if params.legs == 0 {
-        return Err(ModgenError::BadParam { param: "legs", message: "must be at least 1".into() });
+        return Err(ModgenError::BadParam {
+            param: "legs",
+            message: "must be at least 1".into(),
+        });
     }
     let poly = tech.layer("poly")?;
-    let w = params.w.unwrap_or_else(|| tech.min_width(poly)).max(tech.min_width(poly));
+    let w = params
+        .w
+        .unwrap_or_else(|| tech.min_width(poly))
+        .max(tech.min_width(poly));
     let leg_l = params.leg_l.unwrap_or(10_000).max(3 * w);
     let pitch = w + tech.min_spacing(poly, poly).unwrap_or(w);
 
@@ -88,22 +94,38 @@ pub fn poly_resistor(
     }
     // Terminal contact rows, attached where the serpentine ends.
     let first_end_top = false; // leg 0 enters at the bottom
-    let last_end_top = params.legs % 2 == 0;
-    let head = contact_row(tech, poly, &ContactRowParams::new().with_net(&params.nets.0))?;
-    let tail = contact_row(tech, poly, &ContactRowParams::new().with_net(&params.nets.1))?;
+    let last_end_top = params.legs.is_multiple_of(2);
+    let head = contact_row(
+        tech,
+        poly,
+        &ContactRowParams::new().with_net(&params.nets.0),
+    )?;
+    let tail = contact_row(
+        tech,
+        poly,
+        &ContactRowParams::new().with_net(&params.nets.1),
+    )?;
     // Position by translation onto the leg ends, then absorb: the rows'
     // poly merges with the legs (same layer, head/tail nets vs unnamed —
     // geometric contact connects them).
     let mut head = head;
     let hb = head.bbox();
-    let hx = 0 + w / 2 - hb.center().x;
-    let hy = if first_end_top { leg_l - hb.y0 } else { -(hb.y1) };
+    let hx = (w / 2) - hb.center().x;
+    let hy = if first_end_top {
+        leg_l - hb.y0
+    } else {
+        -(hb.y1)
+    };
     head.translate(Vector::new(hx, hy));
     main.absorb(&head, Vector::ZERO);
     let mut tail = tail;
     let tb = tail.bbox();
     let tx = (params.legs as Coord - 1) * pitch + w / 2 - tb.center().x;
-    let ty = if last_end_top { leg_l - tb.y0 } else { -(tb.y1) };
+    let ty = if last_end_top {
+        leg_l - tb.y0
+    } else {
+        -(tb.y1)
+    };
     tail.translate(Vector::new(tx, ty));
     main.absorb(&tail, Vector::ZERO);
 
@@ -111,8 +133,8 @@ pub fn poly_resistor(
     let sheet = tech.sheet_res_mohm(poly).unwrap_or(0) as f64 / 1e3; // Ω/□
     let leg_squares = leg_l as f64 / w as f64;
     let elbow_squares = (pitch + w) as f64 / w as f64 - 1.0; // corner ≈ half square each
-    let squares = params.legs as f64 * leg_squares
-        + (params.legs as f64 - 1.0) * (elbow_squares - 1.0);
+    let squares =
+        params.legs as f64 * leg_squares + (params.legs as f64 - 1.0) * (elbow_squares - 1.0);
     Ok((main, squares * sheet))
 }
 
@@ -190,16 +212,9 @@ mod tests {
     #[test]
     fn value_scales_inverse_with_width() {
         let t = tech();
-        let (_, narrow) = poly_resistor(
-            &t,
-            &ResistorParams::new(4).with_leg_l(um(12)),
-        )
-        .unwrap();
-        let (_, wide) = poly_resistor(
-            &t,
-            &ResistorParams::new(4).with_leg_l(um(12)).with_w(um(2)),
-        )
-        .unwrap();
+        let (_, narrow) = poly_resistor(&t, &ResistorParams::new(4).with_leg_l(um(12))).unwrap();
+        let (_, wide) =
+            poly_resistor(&t, &ResistorParams::new(4).with_leg_l(um(12)).with_w(um(2))).unwrap();
         assert!(wide < narrow);
     }
 

@@ -38,7 +38,13 @@ pub struct StackedParams {
 impl StackedParams {
     /// A common-gate stack of `gates` devices.
     pub fn new(mos: MosType, gates: usize) -> StackedParams {
-        StackedParams { mos, gates, w: None, l: None, common_gate: true }
+        StackedParams {
+            mos,
+            gates,
+            w: None,
+            l: None,
+            common_gate: true,
+        }
     }
 
     /// Sets the channel width.
@@ -70,13 +76,19 @@ pub fn stacked_transistor(
     params: &StackedParams,
 ) -> Result<LayoutObject, ModgenError> {
     if params.gates == 0 {
-        return Err(ModgenError::BadParam { param: "gates", message: "must be at least 1".into() });
+        return Err(ModgenError::BadParam {
+            param: "gates",
+            message: "must be at least 1".into(),
+        });
     }
     let c = Compactor::new(tech);
     let prim = Primitives::new(tech);
     let poly = tech.layer("poly")?;
     let diff = tech.layer(params.mos.diff_layer())?;
-    let w = params.w.unwrap_or_else(|| tech.min_width(diff)).max(tech.min_width(diff));
+    let w = params
+        .w
+        .unwrap_or_else(|| tech.min_width(diff))
+        .max(tech.min_width(diff));
 
     let mut main = LayoutObject::new("stacked");
     let opts = CompactOptions::new().ignoring(diff);
@@ -105,7 +117,13 @@ pub fn stacked_transistor(
         let strap_w = tech.min_width(poly);
         let span = main.bbox_on(poly);
         let g_id = main.net("g");
-        main.push(Shape::new(poly, Rect::new(span.x0, span.y1, span.x1, span.y1 + strap_w)).with_net(g_id));
+        main.push(
+            Shape::new(
+                poly,
+                Rect::new(span.x0, span.y1, span.x1, span.y1 + strap_w),
+            )
+            .with_net(g_id),
+        );
         let mut pc = contact_row(tech, poly, &ContactRowParams::new().with_net("g"))?;
         let pb = pc.bbox();
         pc.translate(amgen_geom::Vector::new(
@@ -143,8 +161,7 @@ mod tests {
     #[test]
     fn stack_has_end_contacts_only() {
         let t = tech();
-        let m = stacked_transistor(&t, &StackedParams::new(MosType::N, 4).with_w(um(6)))
-            .unwrap();
+        let m = stacked_transistor(&t, &StackedParams::new(MosType::N, 4).with_w(um(6))).unwrap();
         // Exactly 3 contact-row groups: s row, d row, gate contact.
         assert_eq!(m.groups().len(), 3);
         let poly = t.layer("poly").unwrap();
@@ -158,8 +175,7 @@ mod tests {
     #[test]
     fn source_and_drain_are_isolated_through_the_stack() {
         let t = tech();
-        let m = stacked_transistor(&t, &StackedParams::new(MosType::N, 3).with_w(um(6)))
-            .unwrap();
+        let m = stacked_transistor(&t, &StackedParams::new(MosType::N, 3).with_w(um(6))).unwrap();
         // Gates split the diffusion: s and d never share a component.
         for n in Extractor::new(&t).connectivity(&m) {
             let has_s = n.declared.iter().any(|x| x == "s");
@@ -171,8 +187,7 @@ mod tests {
     #[test]
     fn common_gate_is_one_node() {
         let t = tech();
-        let m = stacked_transistor(&t, &StackedParams::new(MosType::N, 3).with_w(um(6)))
-            .unwrap();
+        let m = stacked_transistor(&t, &StackedParams::new(MosType::N, 3).with_w(um(6))).unwrap();
         let g_comps = Extractor::new(&t)
             .connectivity(&m)
             .into_iter()
@@ -186,15 +201,13 @@ mod tests {
         let t = tech();
         let m = stacked_transistor(
             &t,
-            &StackedParams::new(MosType::N, 3).with_w(um(6)).with_separate_gates(),
+            &StackedParams::new(MosType::N, 3)
+                .with_w(um(6))
+                .with_separate_gates(),
         )
         .unwrap();
         for n in Extractor::new(&t).connectivity(&m) {
-            let gates: Vec<_> = n
-                .declared
-                .iter()
-                .filter(|x| x.starts_with('g'))
-                .collect();
+            let gates: Vec<_> = n.declared.iter().filter(|x| x.starts_with('g')).collect();
             assert!(gates.len() <= 1, "{:?}", n.declared);
         }
     }
@@ -203,8 +216,8 @@ mod tests {
     fn stack_is_shorter_than_contacted_fingers() {
         // The point of stacking: no intermediate rows.
         let t = tech();
-        let stack = stacked_transistor(&t, &StackedParams::new(MosType::N, 4).with_w(um(6)))
-            .unwrap();
+        let stack =
+            stacked_transistor(&t, &StackedParams::new(MosType::N, 4).with_w(um(6))).unwrap();
         let fingers = crate::interdigit::interdigitated(
             &t,
             &crate::interdigit::InterdigitParams::new(MosType::N, 4).with_w(um(6)),
@@ -216,8 +229,7 @@ mod tests {
     #[test]
     fn spacing_clean() {
         let t = tech();
-        let m = stacked_transistor(&t, &StackedParams::new(MosType::P, 5).with_w(um(8)))
-            .unwrap();
+        let m = stacked_transistor(&t, &StackedParams::new(MosType::P, 5).with_w(um(8))).unwrap();
         let v = Drc::new(&t).check_spacing(&m);
         assert!(v.is_empty(), "{v:?}");
     }

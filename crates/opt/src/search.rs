@@ -1,0 +1,485 @@
+//! The parallel branch-and-bound engine behind
+//! [`Optimizer::optimize_order`](crate::Optimizer::optimize_order).
+//!
+//! # How the search works
+//!
+//! The permutation tree over compaction steps is explored by `workers`
+//! threads pulling frames from a shared LIFO deque:
+//!
+//! * **Branch and bound** — the bounding-box area of a partial layout is a
+//!   lower bound on every completion's score (boxes only grow, and the
+//!   electrical term is non-negative). The bound is applied **at push
+//!   time**, so pruned subtrees are never materialized on the deque, and
+//!   re-checked at pop time because the incumbent may have improved while
+//!   the frame was queued. The incumbent score is shared through an
+//!   [`AtomicU64`] holding the `f64` bit pattern, so every worker prunes
+//!   against the global best without locking.
+//! * **Subset-dominance memoization** — a table keyed by the bitmask of
+//!   placed steps plus the [`LayoutSignature`] of the partial layout.
+//!   Different orders of the same subset frequently produce the *same*
+//!   geometry; every arrival after the first is redundant (identical
+//!   layouts have identical completions) and is cut as `dominated`. The
+//!   signature makes the check O(1).
+//! * **Determinism** — among equal-scoring complete orders the
+//!   lexicographically smallest wins. Bound pruning is strict (`>`), so an
+//!   equal-score order is never pruned, and the dominance table keeps the
+//!   lexicographically smallest prefix per (subset, signature) class, so
+//!   the winning representative of every geometry class is always
+//!   explored. The result is identical for any worker count or thread
+//!   schedule.
+//! * **Budget exhaustion** — when `max_nodes` runs out before any complete
+//!   order was found, the deepest remaining partial frame is completed
+//!   greedily (cheapest next step first) and returned as a best-effort
+//!   result with [`OptResult::complete`] `== false`.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use amgen_compact::{CompactError, Compactor};
+use amgen_db::{LayoutObject, LayoutSignature};
+
+use crate::{OptResult, Optimizer, Rating, SearchOptions, Step};
+
+/// One node of the permutation tree.
+struct Frame {
+    /// The partial layout after compacting `order`.
+    main: LayoutObject,
+    /// Bitmask of placed step indices.
+    mask: u64,
+    /// The placement order so far.
+    order: Vec<usize>,
+    /// Area lower bound of this partial layout (memoized).
+    lb: f64,
+}
+
+/// The current best complete solution.
+struct Incumbent {
+    rating: Rating,
+    order: Vec<usize>,
+    layout: LayoutObject,
+}
+
+struct Deque {
+    frames: Vec<Frame>,
+    /// Number of frames currently being processed by workers.
+    active: usize,
+}
+
+/// Shared search state; everything workers touch.
+struct Shared<'a, 't> {
+    opt: &'a Optimizer<'t>,
+    steps: &'a [Step],
+    max_nodes: usize,
+    dominance: bool,
+    deque: Mutex<Deque>,
+    work: Condvar,
+    /// Bit pattern of the incumbent score (`f64::INFINITY` when none).
+    best_bits: AtomicU64,
+    best: Mutex<Option<Incumbent>>,
+    /// (mask, signature) → lexicographically smallest prefix that reached
+    /// this geometry class.
+    dom: Mutex<HashMap<(u64, LayoutSignature), Vec<usize>>>,
+    explored: AtomicUsize,
+    pruned: AtomicUsize,
+    dominated: AtomicUsize,
+    stop: AtomicBool,
+    exhausted: AtomicBool,
+    error: Mutex<Option<CompactError>>,
+}
+
+impl<'a, 't> Shared<'a, 't> {
+    /// The partial-layout lower bound: bounding-box area weighted by the
+    /// area term. Sound whenever `area_per_um2 >= 0` (bounding boxes only
+    /// grow and the capacitance term is non-negative).
+    fn lower_bound(&self, sig: &LayoutSignature) -> f64 {
+        sig.bbox.area() as f64 / 1e6 * self.opt.weights.area_per_um2
+    }
+
+    /// Strictly-worse check against the incumbent. Strict so that
+    /// equal-score orders survive for the lexicographic tie-break.
+    fn bound_prunes(&self, lb: f64) -> bool {
+        lb > f64::from_bits(self.best_bits.load(Ordering::Relaxed))
+    }
+
+    /// Records a complete order if it beats the incumbent (score first,
+    /// then lexicographically smallest order).
+    fn offer(&self, rating: Rating, order: Vec<usize>, layout: LayoutObject) {
+        let mut best = self.best.lock().unwrap();
+        let better = match &*best {
+            None => true,
+            Some(b) => match rating.score.total_cmp(&b.rating.score) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Equal => order < b.order,
+                std::cmp::Ordering::Greater => false,
+            },
+        };
+        if better {
+            // Publish the score for lock-free pruning reads. A CAS loop
+            // (not `fetch_min` on bits) so negative scores order correctly.
+            let mut cur = self.best_bits.load(Ordering::Relaxed);
+            loop {
+                if rating.score >= f64::from_bits(cur) {
+                    break;
+                }
+                match self.best_bits.compare_exchange_weak(
+                    cur,
+                    rating.score.to_bits(),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+            *best = Some(Incumbent {
+                rating,
+                order,
+                layout,
+            });
+        }
+    }
+
+    /// True if this (subset, geometry) class was already reached by a
+    /// lexicographically smaller prefix. Otherwise records `order` as the
+    /// class representative.
+    fn dominated(&self, mask: u64, sig: LayoutSignature, order: &[usize]) -> bool {
+        let mut dom = self.dom.lock().unwrap();
+        match dom.entry((mask, sig)) {
+            Entry::Occupied(mut e) => {
+                if e.get().as_slice() <= order {
+                    drop(dom);
+                    self.dominated.fetch_add(1, Ordering::Relaxed);
+                    true
+                } else {
+                    // A smaller prefix arrived late (parallel schedules can
+                    // do that): let it through so the lexicographic winner
+                    // is always explored.
+                    e.insert(order.to_vec());
+                    false
+                }
+            }
+            Entry::Vacant(v) => {
+                v.insert(order.to_vec());
+                false
+            }
+        }
+    }
+
+    fn record_error(&self, e: CompactError) {
+        self.error.lock().unwrap().get_or_insert(e);
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Builds a child frame (compacts step `i` onto `frame`), applying the
+    /// bound and dominance checks at push time. Returns `None` when the
+    /// child is cut.
+    fn make_child(&self, c: &Compactor<'_>, frame: &Frame, i: usize) -> Option<Frame> {
+        let step = &self.steps[i];
+        let mut main = frame.main.clone();
+        if let Err(e) = c.compact(&mut main, &step.obj, step.side, &step.opts) {
+            self.record_error(e);
+            return None;
+        }
+        let sig = main.signature();
+        let lb = self.lower_bound(&sig);
+        if self.bound_prunes(lb) {
+            self.pruned.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut order = Vec::with_capacity(frame.order.len() + 1);
+        order.extend_from_slice(&frame.order);
+        order.push(i);
+        let mask = frame.mask | (1 << i);
+        if self.dominance && self.dominated(mask, sig, &order) {
+            return None;
+        }
+        Some(Frame {
+            main,
+            mask,
+            order,
+            lb,
+        })
+    }
+
+    /// Processes one frame. Returns the frame back when the node budget is
+    /// exhausted so it stays available for the best-effort completion.
+    fn process(&self, c: &Compactor<'_>, frame: Frame) -> Option<Frame> {
+        // Re-check the bound: the incumbent may have improved while this
+        // frame sat on the deque.
+        if self.bound_prunes(frame.lb) {
+            self.pruned.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        // Claim a node from the budget.
+        if self.explored.fetch_add(1, Ordering::Relaxed) + 1 > self.max_nodes {
+            self.explored.fetch_sub(1, Ordering::Relaxed);
+            self.exhausted.store(true, Ordering::Relaxed);
+            self.stop.store(true, Ordering::Relaxed);
+            return Some(frame);
+        }
+        if frame.order.len() == self.steps.len() {
+            let rating = self.opt.rate(&frame.main);
+            self.offer(rating, frame.order, frame.main);
+            return None;
+        }
+        let mut children = Vec::new();
+        for i in 0..self.steps.len() {
+            if frame.mask & (1 << i) != 0 {
+                continue;
+            }
+            if let Some(child) = self.make_child(c, &frame, i) {
+                children.push(child);
+            }
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+        }
+        if !children.is_empty() {
+            let mut q = self.deque.lock().unwrap();
+            // LIFO: reversed push so the lowest step index is popped first
+            // (depth-first, left-to-right — matches the sequential order).
+            for ch in children.into_iter().rev() {
+                q.frames.push(ch);
+            }
+            drop(q);
+            self.work.notify_all();
+        }
+        None
+    }
+
+    /// The worker loop: pull a frame, process it, repeat until the tree is
+    /// drained or the search stopped.
+    fn worker(&self) {
+        let c = Compactor::new(self.opt.tech);
+        loop {
+            let frame = {
+                let mut q = self.deque.lock().unwrap();
+                loop {
+                    if self.stop.load(Ordering::Relaxed) {
+                        break None;
+                    }
+                    if let Some(f) = q.frames.pop() {
+                        q.active += 1;
+                        break Some(f);
+                    }
+                    if q.active == 0 {
+                        break None;
+                    }
+                    q = self.work.wait(q).unwrap();
+                }
+            };
+            let Some(frame) = frame else {
+                // Wake everyone so idle workers re-check the exit
+                // condition.
+                self.work.notify_all();
+                return;
+            };
+            let requeue = self.process(&c, frame);
+            let mut q = self.deque.lock().unwrap();
+            q.active -= 1;
+            if let Some(f) = requeue {
+                q.frames.push(f);
+            }
+            let done = q.active == 0 && q.frames.is_empty();
+            drop(q);
+            if done || self.stop.load(Ordering::Relaxed) {
+                self.work.notify_all();
+            }
+        }
+    }
+}
+
+/// Greedily completes a partial frame: repeatedly appends the unused step
+/// whose compaction yields the smallest partial layout (ties broken by
+/// lowest step index). Used as the best-effort answer when `max_nodes`
+/// expires before any complete order was found.
+fn greedy_complete(
+    opt: &Optimizer<'_>,
+    steps: &[Step],
+    mut frame: Frame,
+) -> Result<(LayoutObject, Vec<usize>), CompactError> {
+    let c = Compactor::new(opt.tech);
+    while frame.order.len() < steps.len() {
+        let mut choice: Option<(f64, usize, LayoutObject)> = None;
+        for (i, step) in steps.iter().enumerate() {
+            if frame.mask & (1 << i) != 0 {
+                continue;
+            }
+            let mut cand = frame.main.clone();
+            c.compact(&mut cand, &step.obj, step.side, &step.opts)?;
+            let score = cand.bbox().area() as f64 / 1e6 * opt.weights.area_per_um2;
+            // Strict `<` keeps the lowest index among ties.
+            if choice.as_ref().is_none_or(|(s, _, _)| score < *s) {
+                choice = Some((score, i, cand));
+            }
+        }
+        let (_, i, cand) = choice.expect("an unused step remains");
+        frame.main = cand;
+        frame.mask |= 1 << i;
+        frame.order.push(i);
+    }
+    Ok((frame.main, frame.order))
+}
+
+/// Runs the order search. See the module docs for the algorithm.
+pub(crate) fn run(
+    opt: &Optimizer<'_>,
+    steps: &[Step],
+    search: SearchOptions,
+) -> Result<OptResult, CompactError> {
+    let t0 = Instant::now();
+    if steps.is_empty() {
+        return Ok(OptResult {
+            order: Vec::new(),
+            layout: LayoutObject::new("module"),
+            rating: Rating {
+                area_um2: 0.0,
+                cap_af: 0.0,
+                score: 0.0,
+            },
+            explored: 0,
+            pruned: 0,
+            dominated: 0,
+            workers: 0,
+            wall: t0.elapsed(),
+            complete: true,
+        });
+    }
+    assert!(
+        steps.len() <= 64,
+        "optimize_order supports at most 64 steps ({} given); a {}-step \
+         permutation search would not terminate anyway",
+        steps.len(),
+        steps.len()
+    );
+    let workers = match search.workers {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+    .min(64);
+
+    let shared = Shared {
+        opt,
+        steps,
+        max_nodes: search.max_nodes,
+        dominance: search.dominance,
+        deque: Mutex::new(Deque {
+            frames: Vec::new(),
+            active: 0,
+        }),
+        work: Condvar::new(),
+        best_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+        best: Mutex::new(None),
+        dom: Mutex::new(HashMap::new()),
+        explored: AtomicUsize::new(0),
+        pruned: AtomicUsize::new(0),
+        dominated: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+        exhausted: AtomicBool::new(false),
+        error: Mutex::new(None),
+    };
+
+    // Seed the deque with the allowed first steps (reversed so index 0 is
+    // popped first).
+    {
+        let c = Compactor::new(opt.tech);
+        let first_choices: Vec<usize> = if search.keep_first {
+            vec![0]
+        } else {
+            (0..steps.len()).collect()
+        };
+        let mut q = shared.deque.lock().unwrap();
+        for &f in first_choices.iter().rev() {
+            let mut main = LayoutObject::new("module");
+            c.compact(&mut main, &steps[f].obj, steps[f].side, &steps[f].opts)?;
+            let sig = main.signature();
+            let lb = shared.lower_bound(&sig);
+            q.frames.push(Frame {
+                main,
+                mask: 1 << f,
+                order: vec![f],
+                lb,
+            });
+        }
+    }
+
+    if workers <= 1 {
+        shared.worker();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| shared.worker());
+            }
+        });
+    }
+
+    if let Some(e) = shared.error.lock().unwrap().take() {
+        return Err(e);
+    }
+
+    let explored = shared.explored.load(Ordering::Relaxed);
+    let pruned = shared.pruned.load(Ordering::Relaxed);
+    let dominated = shared.dominated.load(Ordering::Relaxed);
+    let complete = !shared.exhausted.load(Ordering::Relaxed);
+    let best = shared.best.into_inner().unwrap();
+
+    let (order, layout, rating) = match best {
+        Some(b) => (b.order, b.layout, b.rating),
+        None => {
+            // Node budget ran out before any complete order: finish the
+            // deepest remaining frame greedily (best-effort).
+            let frames = shared.deque.into_inner().unwrap().frames;
+            let deepest = frames.into_iter().max_by(|a, b| {
+                a.order
+                    .len()
+                    .cmp(&b.order.len())
+                    .then_with(|| b.order.cmp(&a.order))
+            });
+            let (layout, order) = match deepest {
+                Some(f) => greedy_complete(opt, steps, f)?,
+                // Defensive: the deque should never drain without a best,
+                // but if it does, greedy-complete from scratch (placing the
+                // pinned first step when `keep_first`).
+                None => {
+                    let mut start = Frame {
+                        main: LayoutObject::new("module"),
+                        mask: 0,
+                        order: Vec::new(),
+                        lb: 0.0,
+                    };
+                    if search.keep_first {
+                        let c = Compactor::new(opt.tech);
+                        c.compact(
+                            &mut start.main,
+                            &steps[0].obj,
+                            steps[0].side,
+                            &steps[0].opts,
+                        )?;
+                        start.mask = 1;
+                        start.order.push(0);
+                    }
+                    greedy_complete(opt, steps, start)?
+                }
+            };
+            let rating = opt.rate(&layout);
+            (order, layout, rating)
+        }
+    };
+
+    Ok(OptResult {
+        order,
+        layout,
+        rating,
+        explored,
+        pruned,
+        dominated,
+        workers,
+        wall: t0.elapsed(),
+        complete,
+    })
+}

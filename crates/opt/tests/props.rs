@@ -1,5 +1,6 @@
 //! Property tests for the order optimizer: the search result is never
-//! worse than any specific permutation it explored against.
+//! worse than any specific permutation it explored against, the parallel
+//! search agrees with the sequential one, and results are deterministic.
 
 use amgen_compact::CompactOptions;
 use amgen_db::{LayoutObject, Shape};
@@ -33,7 +34,10 @@ proptest! {
         let opt = Optimizer::new(&tech, RatingWeights::default());
         let steps = steps_from(&spec, &tech);
         let best = opt
-            .optimize_order(&steps, SearchOptions { keep_first: false, max_nodes: 100_000 })
+            .optimize_order(
+                &steps,
+                SearchOptions { keep_first: false, max_nodes: 100_000, ..Default::default() },
+            )
             .unwrap();
         // Build one specific permutation derived from the shuffle values.
         let mut order: Vec<usize> = (0..steps.len()).collect();
@@ -63,5 +67,54 @@ proptest! {
         let reordered: Vec<Step> = best.order.iter().map(|&i| steps[i].clone()).collect();
         let (_, rating) = opt.build(&reordered).unwrap();
         prop_assert!((rating.score - best.rating.score).abs() < 1e-9);
+    }
+
+    /// The parallel search returns the same best score — and, through the
+    /// lexicographic tie-break, the same best order — as the sequential
+    /// search, on random 3–6-step workloads.
+    #[test]
+    fn parallel_matches_sequential(
+        spec in prop::collection::vec((1i64..8, 1i64..8, 0usize..4), 3..7),
+    ) {
+        let tech = Tech::bicmos_1u();
+        let opt = Optimizer::new(&tech, RatingWeights::default());
+        let steps = steps_from(&spec, &tech);
+        let base = SearchOptions { keep_first: false, max_nodes: 1_000_000, ..Default::default() };
+        let seq = opt.optimize_order(&steps, base).unwrap();
+        let par = opt
+            .optimize_order(&steps, SearchOptions { workers: 4, ..base })
+            .unwrap();
+        prop_assert_eq!(seq.rating.score, par.rating.score);
+        prop_assert_eq!(&seq.order, &par.order);
+        // Dominance off must not change the answer either (it may only
+        // explore more).
+        let plain = opt
+            .optimize_order(&steps, SearchOptions { dominance: false, ..base })
+            .unwrap();
+        prop_assert_eq!(seq.rating.score, plain.rating.score);
+        prop_assert_eq!(&seq.order, &plain.order);
+        prop_assert!(seq.explored <= plain.explored);
+    }
+
+    /// Two runs with the same parallel configuration give identical
+    /// results, bit for bit — thread scheduling must not leak into the
+    /// answer.
+    #[test]
+    fn parallel_search_is_deterministic(
+        spec in prop::collection::vec((1i64..8, 1i64..8, 0usize..4), 3..7),
+    ) {
+        let tech = Tech::bicmos_1u();
+        let opt = Optimizer::new(&tech, RatingWeights::default());
+        let steps = steps_from(&spec, &tech);
+        let opts = SearchOptions {
+            keep_first: false,
+            max_nodes: 1_000_000,
+            workers: 4,
+            ..Default::default()
+        };
+        let a = opt.optimize_order(&steps, opts).unwrap();
+        let b = opt.optimize_order(&steps, opts).unwrap();
+        prop_assert_eq!(a.rating.score, b.rating.score);
+        prop_assert_eq!(a.order, b.order);
     }
 }

@@ -28,7 +28,10 @@ impl std::fmt::Display for PrimError {
                 write!(f, "`{primitive}` needs existing geometry in the object")
             }
             PrimError::NotACut { layer } => {
-                write!(f, "layer `{layer}` is not a cut layer; `array` places contacts/vias")
+                write!(
+                    f,
+                    "layer `{layer}` is not a cut layer; `array` places contacts/vias"
+                )
             }
             PrimError::MissingRule(r) => write!(f, "missing technology rule: {r}"),
             PrimError::NoCorner => {
@@ -55,8 +58,10 @@ mod tests {
         assert!(PrimError::EmptyObject { primitive: "array" }
             .to_string()
             .contains("array"));
-        assert!(PrimError::NotACut { layer: "poly".into() }
-            .to_string()
-            .contains("poly"));
+        assert!(PrimError::NotACut {
+            layer: "poly".into()
+        }
+        .to_string()
+        .contains("poly"));
     }
 }

@@ -84,15 +84,21 @@ impl<'t> Primitives<'t> {
         need_w: Coord,
         need_h: Coord,
     ) -> Rect {
-        let frame = self
-            .frame(obj, inner)
-            .unwrap_or_else(|| {
-                let c = obj.bbox().center();
-                Rect::new(c.x, c.y, c.x, c.y)
-            });
+        let frame = self.frame(obj, inner).unwrap_or_else(|| {
+            let c = obj.bbox().center();
+            Rect::new(c.x, c.y, c.x, c.y)
+        });
         let (fw, fh) = (frame.width().max(0), frame.height().max(0));
-        let ex = if need_w > fw { self.tech.snap_up((need_w - fw + 1) / 2) } else { 0 };
-        let ey = if need_h > fh { self.tech.snap_up((need_h - fh + 1) / 2) } else { 0 };
+        let ex = if need_w > fw {
+            self.tech.snap_up((need_w - fw + 1) / 2)
+        } else {
+            0
+        };
+        let ey = if need_h > fh {
+            self.tech.snap_up((need_h - fh + 1) / 2)
+        } else {
+            0
+        };
         if ex > 0 || ey > 0 {
             self.expand_all(obj, ex, ey);
         }
@@ -128,8 +134,16 @@ impl<'t> Primitives<'t> {
         let need_h = self.tech.snap_up(l.unwrap_or(min_w).max(min_w));
         let frame = self.ensure_frame(obj, layer, need_w, need_h);
         // Omitted dimensions fill the frame; explicit ones are centred.
-        let fw = if w.is_none() { frame.width().max(need_w) } else { need_w };
-        let fh = if l.is_none() { frame.height().max(need_h) } else { need_h };
+        let fw = if w.is_none() {
+            frame.width().max(need_w)
+        } else {
+            need_w
+        };
+        let fh = if l.is_none() {
+            frame.height().max(need_h)
+        } else {
+            need_h
+        };
         let rect = Rect::centered_at(frame.center(), fw, fh);
         Ok(obj.push(Shape::new(layer, rect)))
     }
@@ -141,18 +155,14 @@ impl<'t> Primitives<'t> {
     /// Returns an empty vector when not even one cut fits.
     pub fn array_in_frame(&self, frame: Rect, cut: Layer) -> Result<Vec<Rect>, PrimError> {
         if self.tech.kind(cut) != LayerKind::Cut {
-            return Err(PrimError::NotACut { layer: self.tech.layer_name(cut).to_string() });
+            return Err(PrimError::NotACut {
+                layer: self.tech.layer_name(cut).to_string(),
+            });
         }
         let size = self.tech.cut_size(cut)?;
-        let space = self
-            .tech
-            .min_spacing(cut, cut)
-            .ok_or_else(|| {
-                PrimError::MissingRule(format!(
-                    "space {0} {0}",
-                    self.tech.layer_name(cut)
-                ))
-            })?;
+        let space = self.tech.min_spacing(cut, cut).ok_or_else(|| {
+            PrimError::MissingRule(format!("space {0} {0}", self.tech.layer_name(cut)))
+        })?;
         let positions = |lo: Coord, hi: Coord| -> Vec<Coord> {
             let span = hi - lo;
             if span < size {
@@ -188,7 +198,9 @@ impl<'t> Primitives<'t> {
             return Err(PrimError::EmptyObject { primitive: "array" });
         }
         if self.tech.kind(cut) != LayerKind::Cut {
-            return Err(PrimError::NotACut { layer: self.tech.layer_name(cut).to_string() });
+            return Err(PrimError::NotACut {
+                layer: self.tech.layer_name(cut).to_string(),
+            });
         }
         let size = self.tech.cut_size(cut)?;
         let frame = self.ensure_frame(obj, cut, size, size);
@@ -213,7 +225,9 @@ impl<'t> Primitives<'t> {
         extra: Coord,
     ) -> Result<usize, PrimError> {
         if obj.is_empty() {
-            return Err(PrimError::EmptyObject { primitive: "around" });
+            return Err(PrimError::EmptyObject {
+                primitive: "around",
+            });
         }
         let mut r = Rect::EMPTY;
         for s in obj.shapes() {
@@ -246,9 +260,11 @@ impl<'t> Primitives<'t> {
         if obj.is_empty() {
             return Err(PrimError::EmptyObject { primitive: "ring" });
         }
-        let w = self
-            .tech
-            .snap_up(width.unwrap_or_else(|| self.tech.min_width(layer)).max(self.tech.grid()));
+        let w = self.tech.snap_up(
+            width
+                .unwrap_or_else(|| self.tech.min_width(layer))
+                .max(self.tech.grid()),
+        );
         let cl = clearance.unwrap_or_else(|| {
             obj.shapes()
                 .iter()
@@ -291,12 +307,14 @@ impl<'t> Primitives<'t> {
         w: Option<Coord>,
         l: Option<Coord>,
     ) -> Result<(usize, usize), PrimError> {
-        let w = self
-            .tech
-            .snap_up(w.unwrap_or_else(|| self.tech.min_width(diff)).max(self.tech.min_width(diff)));
-        let l = self
-            .tech
-            .snap_up(l.unwrap_or_else(|| self.tech.min_width(gate)).max(self.tech.min_width(gate)));
+        let w = self.tech.snap_up(
+            w.unwrap_or_else(|| self.tech.min_width(diff))
+                .max(self.tech.min_width(diff)),
+        );
+        let l = self.tech.snap_up(
+            l.unwrap_or_else(|| self.tech.min_width(gate))
+                .max(self.tech.min_width(gate)),
+        );
         let gate_ext = self.tech.extension(gate, diff);
         let diff_ext = self.tech.extension(diff, gate);
         let gate_rect = Rect::new(0, -gate_ext, l, w + gate_ext);
@@ -343,7 +361,7 @@ mod tests {
     use super::*;
     use amgen_geom::um;
 
-    fn setup() -> (Tech, ) {
+    fn setup() -> (Tech,) {
         (Tech::bicmos_1u(),)
     }
 
@@ -565,7 +583,9 @@ mod tests {
         let poly = t.layer("poly").unwrap();
         let pdiff = t.layer("pdiff").unwrap();
         let mut obj = LayoutObject::new("m");
-        let (gi, di) = p.two_rects(&mut obj, poly, pdiff, Some(um(10)), Some(um(1))).unwrap();
+        let (gi, di) = p
+            .two_rects(&mut obj, poly, pdiff, Some(um(10)), Some(um(1)))
+            .unwrap();
         let g = obj.shapes()[gi].rect;
         let d = obj.shapes()[di].rect;
         assert!(g.overlaps(&d), "gate crosses diffusion");

@@ -1,0 +1,623 @@
+//! An **offline drop-in subset of the proptest API**.
+//!
+//! The real `proptest` crate cannot be vendored in this environment, so
+//! this crate re-implements the slice of its surface the workspace uses:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_recursive` and `boxed`,
+//! * range / tuple / string-pattern / [`Just`] / `prop_oneof!` strategies,
+//! * `prop::collection::vec` and `prop::option::of`,
+//! * [`any`] for primitives,
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`,
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Generation is **deterministic** (a fixed seed derived from the test
+//! name) and there is **no shrinking**: a failing case prints the
+//! generated inputs and panics. That trades minimal counterexamples for
+//! zero dependencies and reproducible CI runs.
+
+pub mod test_runner {
+    /// Per-`proptest!` configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+pub mod rng {
+    /// SplitMix64: tiny, fast, reproducible.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Creates a generator from a seed.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng(seed ^ 0x9E37_79B9_7F4A_7C15)
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..n` (`n > 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+
+        /// Uniform `i64` in `lo..hi` (`lo < hi`).
+        pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+            let span = (hi as i128 - lo as i128) as u64;
+            lo.wrapping_add(self.below(span) as i64)
+        }
+
+        /// Uniform bool.
+        pub fn gen_bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::rng::TestRng;
+    use std::marker::PhantomData;
+    use std::sync::Arc;
+
+    /// A generator of values of type `Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a strategy
+    /// is just a deterministic function of the RNG state.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F, U>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map {
+                inner: self,
+                f,
+                _marker: PhantomData,
+            }
+        }
+
+        /// Builds a recursive strategy: `f` receives the strategy for the
+        /// recursive positions and returns the composite strategy. The
+        /// `depth` bound limits nesting; the remaining two parameters
+        /// (desired size, expected branch factor) are accepted for API
+        /// compatibility and ignored.
+        fn prop_recursive<F, S>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+            S: Strategy<Value = Self::Value> + 'static,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                cur = Union::new(vec![leaf.clone(), f(cur).boxed()]).boxed();
+            }
+            cur
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> BoxedStrategy<T> {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F, U> {
+        inner: S,
+        f: F,
+        _marker: PhantomData<fn() -> U>,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F, U>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between alternative strategies (`prop_oneof!`).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        /// Builds a union over the given alternatives (must be non-empty).
+        pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(
+                !alternatives.is_empty(),
+                "prop_oneof! needs at least one arm"
+            );
+            Union(alternatives)
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Union<T> {
+            Union(self.0.clone())
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.0.len() as u64) as usize;
+            self.0[i].generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A strategy from a plain generation function.
+    pub struct Gen<T, F: Fn(&mut TestRng) -> T>(F, PhantomData<fn() -> T>);
+
+    impl<T, F: Fn(&mut TestRng) -> T> Gen<T, F> {
+        /// Wraps `f` as a strategy.
+        pub fn new(f: F) -> Gen<T, F> {
+            Gen(f, PhantomData)
+        }
+    }
+
+    impl<T, F: Fn(&mut TestRng) -> T> Strategy for Gen<T, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.i64_in(self.start as i64, self.end as i64) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    rng.i64_in(lo as i64, hi as i64 + 1) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+
+    impl Strategy for &'static str {
+        type Value = String;
+        /// String-literal strategies are interpreted as a small regex
+        /// subset: sequences of literal characters, `[...]` classes (with
+        /// ranges and `\`-escapes) and `\PC` (any printable character),
+        /// each optionally followed by `{n}`, `{m,n}`, `?`, `*` or `+`.
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_pattern(self, rng)
+        }
+    }
+}
+
+pub mod string {
+    use crate::rng::TestRng;
+
+    /// One parsed pattern atom: a set of char ranges plus a repetition.
+    struct Atom {
+        ranges: Vec<(u32, u32)>, // inclusive codepoint ranges
+        min: u32,
+        max: u32,
+    }
+
+    const PRINTABLE: &[(u32, u32)] = &[(0x20, 0x7E)];
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let mut atoms = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let ranges: Vec<(u32, u32)> = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let c = chars.next().expect("unterminated [class]");
+                        match c {
+                            ']' => {
+                                if let Some(p) = prev {
+                                    set.push((p as u32, p as u32));
+                                }
+                                break;
+                            }
+                            '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                                let hi = chars.next().unwrap();
+                                let lo = prev.take().unwrap();
+                                set.push((lo as u32, hi as u32));
+                            }
+                            '\\' => {
+                                if let Some(p) = prev.replace(chars.next().unwrap()) {
+                                    set.push((p as u32, p as u32));
+                                }
+                            }
+                            c => {
+                                if let Some(p) = prev.replace(c) {
+                                    set.push((p as u32, p as u32));
+                                }
+                            }
+                        }
+                    }
+                    set
+                }
+                '\\' => match chars.next().expect("dangling escape") {
+                    'P' => {
+                        // `\PC` — "not a control character": printable.
+                        let class = chars.next().expect("\\P needs a class");
+                        assert_eq!(class, 'C', "only \\PC is supported");
+                        PRINTABLE.to_vec()
+                    }
+                    c => vec![(c as u32, c as u32)],
+                },
+                '.' => PRINTABLE.to_vec(),
+                c => vec![(c as u32, c as u32)],
+            };
+            // Optional quantifier.
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut lo = String::new();
+                    let mut hi = String::new();
+                    let mut in_hi = false;
+                    loop {
+                        match chars.next().expect("unterminated {quantifier}") {
+                            '}' => break,
+                            ',' => in_hi = true,
+                            d => {
+                                if in_hi {
+                                    hi.push(d)
+                                } else {
+                                    lo.push(d)
+                                }
+                            }
+                        }
+                    }
+                    let lo: u32 = lo.parse().expect("bad quantifier");
+                    let hi: u32 = if in_hi {
+                        hi.parse().expect("bad quantifier")
+                    } else {
+                        lo
+                    };
+                    (lo, hi)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            atoms.push(Atom { ranges, min, max });
+        }
+        atoms
+    }
+
+    /// Generates one string matching the supported pattern subset.
+    pub fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse(pattern) {
+            let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as u32;
+            let total: u64 = atom
+                .ranges
+                .iter()
+                .map(|&(lo, hi)| (hi - lo + 1) as u64)
+                .sum();
+            for _ in 0..n {
+                let mut pick = rng.below(total.max(1));
+                for &(lo, hi) in &atom.ranges {
+                    let span = (hi - lo + 1) as u64;
+                    if pick < span {
+                        out.push(char::from_u32(lo + pick as u32).unwrap_or('?'));
+                        break;
+                    }
+                    pick -= span;
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Accepted size specifications for [`vec`].
+    pub trait SizeRange {
+        /// Picks a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod option {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// See [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool() {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `None` or `Some(value)` with equal probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+pub mod arbitrary {
+    use crate::rng::TestRng;
+    use crate::strategy::{Gen, Strategy};
+
+    /// Types with a canonical strategy ([`any`]).
+    pub trait Arbitrary: Sized {
+        /// Returns the canonical strategy for the type.
+        fn arbitrary() -> impl Strategy<Value = Self>;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary() -> impl Strategy<Value = bool> {
+            Gen::new(|rng: &mut TestRng| rng.gen_bool())
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary() -> impl Strategy<Value = $t> {
+                    Gen::new(|rng: &mut TestRng| rng.next_u64() as $t)
+                }
+            }
+        )*};
+    }
+
+    arb_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> impl Strategy<Value = T> {
+        T::arbitrary()
+    }
+}
+
+/// Everything a `proptest!` user needs, for glob import.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// FNV-1a over the test name: a stable per-test seed.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Prints the generated inputs when a case panics.
+pub struct CaseGuard {
+    /// Formatted `name = value` pairs for the running case.
+    pub info: String,
+    /// Zero-based case index.
+    pub case: u32,
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("proptest: failing case #{}: {}", self.case, self.info);
+        }
+    }
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares property tests: each `fn` runs `cases` times over generated
+/// inputs (deterministic seed per test, no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::rng::TestRng::new($crate::seed_for(stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let guard = $crate::CaseGuard {
+                    info: [$(format!("{} = {:?}", stringify!($arg), $arg)),+].join(", "),
+                    case,
+                };
+                { $body }
+                drop(guard);
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}

@@ -48,7 +48,10 @@ impl std::fmt::Display for RouteError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RouteError::NoOverlap => {
-                write!(f, "landings share no projection overlap for a straight wire")
+                write!(
+                    f,
+                    "landings share no projection overlap for a straight wire"
+                )
             }
             RouteError::NotAConductor(l) => write!(f, "layer `{l}` is not a conductor"),
             RouteError::NotConnectable { cut, a, b } => {
@@ -82,12 +85,16 @@ impl<'t> Router<'t> {
         if self.tech.kind(layer).is_conductor() {
             Ok(())
         } else {
-            Err(RouteError::NotAConductor(self.tech.layer_name(layer).to_string()))
+            Err(RouteError::NotAConductor(
+                self.tech.layer_name(layer).to_string(),
+            ))
         }
     }
 
     fn wire_width(&self, layer: Layer, width: Option<Coord>) -> Coord {
-        width.unwrap_or_else(|| self.tech.min_width(layer)).max(self.tech.min_width(layer))
+        width
+            .unwrap_or_else(|| self.tech.min_width(layer))
+            .max(self.tech.min_width(layer))
     }
 
     /// Connects two landings with one straight wire on `layer`.
@@ -156,6 +163,7 @@ impl<'t> Router<'t> {
     /// Routes a Z: horizontal at `a.y` to `mid_x`, vertical to `b.y`,
     /// horizontal to `b.x`. Returns the shape indices (3 wires and 2
     /// corners).
+    #[allow(clippy::too_many_arguments)]
     pub fn z_route(
         &self,
         obj: &mut LayoutObject,
@@ -228,6 +236,7 @@ impl<'t> Router<'t> {
     /// that lets a riser cross a same-layer bus (each crossing the paper
     /// counts is exactly one such layer change). Returns the shape count
     /// added.
+    #[allow(clippy::too_many_arguments)]
     pub fn underpass_v(
         &self,
         obj: &mut LayoutObject,
@@ -325,7 +334,9 @@ impl<'t> Router<'t> {
         }
         for (i, a) in shapes.iter().enumerate() {
             for b in &shapes[i + 1..] {
-                let (Some(na), Some(nb)) = (a.net, b.net) else { continue };
+                let (Some(na), Some(nb)) = (a.net, b.net) else {
+                    continue;
+                };
                 if na == nb
                     || a.layer == b.layer
                     || !self.tech.kind(a.layer).is_conductor()
@@ -420,9 +431,20 @@ mod tests {
         let m1 = t.layer("metal1").unwrap();
         let mut obj = LayoutObject::new("w");
         let [h, v, c] = r
-            .l_route(&mut obj, m1, Point::new(0, 0), Point::new(um(10), um(8)), None, None)
+            .l_route(
+                &mut obj,
+                m1,
+                Point::new(0, 0),
+                Point::new(um(10), um(8)),
+                None,
+                None,
+            )
             .unwrap();
-        let (hr, vr, cr) = (obj.shapes()[h].rect, obj.shapes()[v].rect, obj.shapes()[c].rect);
+        let (hr, vr, cr) = (
+            obj.shapes()[h].rect,
+            obj.shapes()[v].rect,
+            obj.shapes()[c].rect,
+        );
         assert!(cr.overlaps(&hr) || cr.abuts(&hr));
         assert!(cr.overlaps(&vr) || cr.abuts(&vr));
         // The path is electrically continuous.
@@ -498,7 +520,8 @@ mod tests {
         // Stubs on metal2 at both ends, underpass in between.
         obj.push(Shape::new(m2, Rect::new(um(4), 0, um(6), um(2))));
         obj.push(Shape::new(m2, Rect::new(um(4), um(10), um(6), um(12))));
-        r.underpass_v(&mut obj, via, m1, m2, um(5), um(1), um(11), None).unwrap();
+        r.underpass_v(&mut obj, via, m1, m2, um(5), um(1), um(11), None)
+            .unwrap();
         let e = amgen_extract::Extractor::new(&t);
         assert_eq!(e.connectivity(&obj).len(), 1, "ends are connected");
         // The crossing span between the vias is metal1 only.
@@ -514,7 +537,10 @@ mod tests {
         let mut obj = LayoutObject::new("pair");
         let nl = obj.net("out_l");
         let nr = obj.net("out_r");
-        let path = [Rect::new(0, 0, um(4), um(1)), Rect::new(um(3), 0, um(4), um(6))];
+        let path = [
+            Rect::new(0, 0, um(4), um(1)),
+            Rect::new(um(3), 0, um(4), um(6)),
+        ];
         let axis = um(10);
         r.route_mirrored(&mut obj, m1, &path, axis, nl, nr).unwrap();
         assert_eq!(obj.len(), 4);
@@ -535,7 +561,10 @@ mod tests {
         let nl = obj.net("l");
         let nr = obj.net("r");
         let axis = um(10);
-        let path = [Rect::new(0, 0, um(4), um(1)), Rect::new(um(3), 0, um(4), um(6))];
+        let path = [
+            Rect::new(0, 0, um(4), um(1)),
+            Rect::new(um(3), 0, um(4), um(6)),
+        ];
         r.route_mirrored(&mut obj, m1, &path, axis, nl, nr).unwrap();
         assert!(r.check_mirror_pairs(&obj, axis, "l", "r").is_empty());
         // Break the symmetry: one extra shape on l only.
@@ -559,7 +588,8 @@ mod tests {
         obj.push(Shape::new(m2, Rect::new(0, um(2), um(20), um(4))).with_net(nx));
         // Mirrored vertical metal1 wires crossing the bus.
         let path = [Rect::new(um(2), 0, um(3), um(8))];
-        r.route_mirrored(&mut obj, m1, &path, um(10), nl, nr).unwrap();
+        r.route_mirrored(&mut obj, m1, &path, um(10), nl, nr)
+            .unwrap();
         let counts = r.crossing_counts(&obj);
         let get = |n: &str| counts.iter().find(|(x, _)| x == n).unwrap().1;
         assert_eq!(get("l"), get("r"), "identical crossings per net");

@@ -213,7 +213,10 @@ mod tests {
     fn cmos_deck_parses() {
         let t = Tech::cmos_08();
         assert_eq!(t.name(), "cmos_08");
-        assert!(t.layer("buried").is_err(), "plain CMOS has no bipolar layers");
+        assert!(
+            t.layer("buried").is_err(),
+            "plain CMOS has no bipolar layers"
+        );
     }
 
     #[test]

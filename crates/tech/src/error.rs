@@ -51,9 +51,15 @@ mod tests {
     fn display_messages_are_informative() {
         let e = TechError::UnknownLayer("metal9".into());
         assert!(e.to_string().contains("metal9"));
-        let e = TechError::Parse { line: 12, message: "bad token".into() };
+        let e = TechError::Parse {
+            line: 12,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("12"));
-        let e = TechError::InvalidValue { rule: "width poly".into(), value: -5 };
+        let e = TechError::InvalidValue {
+            rule: "width poly".into(),
+            value: -5,
+        };
         assert!(e.to_string().contains("-5"));
     }
 }

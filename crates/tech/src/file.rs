@@ -104,7 +104,10 @@ impl Tech {
             builder = Some(b);
         }
         builder
-            .ok_or(TechError::Parse { line: 0, message: "empty tech file".into() })?
+            .ok_or(TechError::Parse {
+                line: 0,
+                message: "empty tech file".into(),
+            })?
             .build()
     }
 
@@ -334,15 +337,15 @@ sheetres poly 25000
     #[test]
     fn rule_for_undeclared_layer_fails() {
         let deck = "tech x\nwidth poly 100\n";
-        assert!(matches!(
-            Tech::parse(deck),
-            Err(TechError::UnknownLayer(_))
-        ));
+        assert!(matches!(Tech::parse(deck), Err(TechError::UnknownLayer(_))));
     }
 
     #[test]
     fn duplicate_header_rejected() {
         let deck = "tech x\ntech y\n";
-        assert!(matches!(Tech::parse(deck), Err(TechError::Parse { line: 2, .. })));
+        assert!(matches!(
+            Tech::parse(deck),
+            Err(TechError::Parse { line: 2, .. })
+        ));
     }
 }

@@ -106,7 +106,12 @@ pub struct LayerInfo {
 impl LayerInfo {
     /// Creates layer info with datatype 0.
     pub fn new(name: impl Into<String>, kind: LayerKind, gds_layer: i16) -> LayerInfo {
-        LayerInfo { name: name.into(), kind, gds_layer, gds_datatype: 0 }
+        LayerInfo {
+            name: name.into(),
+            kind,
+            gds_layer,
+            gds_datatype: 0,
+        }
     }
 }
 

@@ -99,7 +99,10 @@ impl Tech {
     pub fn layer(&self, name: &str) -> Result<Layer, TechError> {
         self.by_name
             .get(name)
-            .map(|&index| Layer { tech_id: self.id, index })
+            .map(|&index| Layer {
+                tech_id: self.id,
+                index,
+            })
             .ok_or_else(|| TechError::UnknownLayer(name.to_string()))
     }
 
@@ -199,8 +202,14 @@ impl Tech {
             .filter(|&&(c, _, _)| c == ic)
             .map(|&(_, a, b)| {
                 (
-                    Layer { tech_id: self.id, index: a },
-                    Layer { tech_id: self.id, index: b },
+                    Layer {
+                        tech_id: self.id,
+                        index: a,
+                    },
+                    Layer {
+                        tech_id: self.id,
+                        index: b,
+                    },
                 )
             })
             .collect()
@@ -212,9 +221,18 @@ impl Tech {
             .iter()
             .map(|&(c, a, b)| {
                 (
-                    Layer { tech_id: self.id, index: c },
-                    Layer { tech_id: self.id, index: a },
-                    Layer { tech_id: self.id, index: b },
+                    Layer {
+                        tech_id: self.id,
+                        index: c,
+                    },
+                    Layer {
+                        tech_id: self.id,
+                        index: a,
+                    },
+                    Layer {
+                        tech_id: self.id,
+                        index: b,
+                    },
                 )
             })
             .collect()
@@ -291,7 +309,10 @@ impl TechBuilder {
 
     fn positive(rule: &str, v: Coord) -> Result<Coord, TechError> {
         if v < 0 {
-            Err(TechError::InvalidValue { rule: rule.to_string(), value: v })
+            Err(TechError::InvalidValue {
+                rule: rule.to_string(),
+                value: v,
+            })
         } else {
             Ok(v)
         }
@@ -332,7 +353,10 @@ impl TechBuilder {
     pub fn cut_size(mut self, layer: &str, s: Coord) -> Result<TechBuilder, TechError> {
         let i = self.idx(layer)?;
         if s <= 0 {
-            return Err(TechError::InvalidValue { rule: format!("cutsize {layer}"), value: s });
+            return Err(TechError::InvalidValue {
+                rule: format!("cutsize {layer}"),
+                value: s,
+            });
         }
         self.tech.cut_size[i as usize] = Some(s);
         Ok(self)
@@ -348,7 +372,10 @@ impl TechBuilder {
     /// Sets capacitance coefficients (aF/µm², aF/µm).
     pub fn cap(mut self, layer: &str, area: f64, fringe: f64) -> Result<TechBuilder, TechError> {
         let i = self.idx(layer)?;
-        self.tech.cap[i as usize] = CapCoeffs { area_af_per_um2: area, fringe_af_per_um: fringe };
+        self.tech.cap[i as usize] = CapCoeffs {
+            area_af_per_um2: area,
+            fringe_af_per_um: fringe,
+        };
         Ok(self)
     }
 

@@ -27,8 +27,14 @@ fn main() {
         report.height_um,
         report.width_um * report.height_um,
     );
-    println!("  built + checked + extracted in {:.2} s", elapsed.as_secs_f64());
-    println!("  shorts: {}   latch-up clean: {}", report.shorts, report.latchup_clean);
+    println!(
+        "  built + checked + extracted in {:.2} s",
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "  shorts: {}   latch-up clean: {}",
+        report.shorts, report.latchup_clean
+    );
     println!("  output net capacitance: {:.1} fF", report.output_cap_ff);
     assert_eq!(report.shorts, 0);
     assert!(report.latchup_clean);

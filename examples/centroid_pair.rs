@@ -14,7 +14,9 @@ use std::time::Instant;
 
 fn main() {
     let tech = Tech::bicmos_1u();
-    let params = CentroidParams::paper(MosType::N).with_w(um(6)).with_l(um(1));
+    let params = CentroidParams::paper(MosType::N)
+        .with_w(um(6))
+        .with_l(um(1));
     let t0 = Instant::now();
     let module = centroid_diff_pair(&tech, &params).expect("module builds");
     let elapsed = t0.elapsed();
@@ -30,7 +32,13 @@ fn main() {
 
     // "every net has identical crossings" — the audit.
     let counts = Router::new(&tech).crossing_counts(&module);
-    let get = |n: &str| counts.iter().find(|(x, _)| x == n).map(|(_, c)| *c).unwrap_or(0);
+    let get = |n: &str| {
+        counts
+            .iter()
+            .find(|(x, _)| x == n)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    };
     println!("  crossings: d1 = {}, d2 = {}", get("d1"), get("d2"));
     assert_eq!(get("d1"), get("d2"));
 

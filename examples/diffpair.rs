@@ -15,7 +15,10 @@ fn main() {
     interp.load(stdlib::FIG7_DIFF_PAIR).expect("load Fig. 7");
 
     println!("Fig. 7 source (as shipped in amgen_dsl::stdlib):");
-    for line in stdlib::FIG7_DIFF_PAIR.lines().filter(|l| !l.trim().is_empty()) {
+    for line in stdlib::FIG7_DIFF_PAIR
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+    {
         println!("  {line}");
     }
 

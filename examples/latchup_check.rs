@@ -21,14 +21,11 @@ fn main() {
 
     // A long active stripe, 3x the coverage distance.
     let mut obj = LayoutObject::new("demo");
-    obj.push(
-        Shape::new(pdiff, Rect::new(0, 0, 3 * d, um(6))).with_role(ShapeRole::DeviceActive),
-    );
+    obj.push(Shape::new(pdiff, Rect::new(0, 0, 3 * d, um(6))).with_role(ShapeRole::DeviceActive));
 
     // One contact at the west end: the east part stays uncovered.
     obj.push(
-        Shape::new(pdiff, Rect::new(-um(2), 0, 0, um(2)))
-            .with_role(ShapeRole::SubstrateContact),
+        Shape::new(pdiff, Rect::new(-um(2), 0, 0, um(2))).with_role(ShapeRole::SubstrateContact),
     );
     let rem = latchup::latchup_remainder(&tech, &obj);
     println!("with 1 contact: {} uncovered remainder rect(s)", rem.len());

@@ -1,0 +1,70 @@
+//! §2.4 optimization mode from the outside: search the compaction order
+//! of a handful of objects, sequentially and in parallel, and show the
+//! best-effort answer when the node budget is too small to finish.
+//!
+//! ```sh
+//! cargo run --release --example optimize_order
+//! ```
+
+use amgen::opt::{Optimizer, RatingWeights, SearchOptions, Step};
+use amgen::prelude::*;
+
+fn steps(tech: &Tech, k: usize) -> Vec<Step> {
+    let poly = tech.layer("poly").unwrap();
+    let mut seed = LayoutObject::new("L");
+    seed.push(Shape::new(poly, Rect::new(0, 0, um(1), um(8))));
+    seed.push(Shape::new(poly, Rect::new(0, 0, um(8), um(1))));
+    let mut out = vec![Step::new(seed, Dir::East, CompactOptions::new())];
+    for i in 0..k {
+        let y0 = (i as i64 % 3) * um(3);
+        let mut sq = LayoutObject::new("sq");
+        sq.push(Shape::new(poly, Rect::new(0, y0, um(2), y0 + um(2))));
+        out.push(Step::new(sq, Dir::East, CompactOptions::new()));
+    }
+    out
+}
+
+fn main() {
+    let tech = Tech::bicmos_1u();
+    let opt = Optimizer::new(&tech, RatingWeights::default());
+
+    let s = steps(&tech, 5);
+    let seq = opt.optimize_order(&s, SearchOptions::default()).unwrap();
+    let par = opt.optimize_order(&s, SearchOptions::parallel()).unwrap();
+    println!(
+        "sequential: score {:.1}, order {:?}, {} explored / {} pruned / {} dominated, {:.1} ms",
+        seq.rating.score,
+        seq.order,
+        seq.explored,
+        seq.pruned,
+        seq.dominated,
+        seq.wall.as_secs_f64() * 1e3
+    );
+    println!(
+        "parallel:   score {:.1}, order {:?}, {} workers, {:.1} ms",
+        par.rating.score,
+        par.order,
+        par.workers,
+        par.wall.as_secs_f64() * 1e3
+    );
+    assert_eq!(seq.order, par.order, "searches must agree");
+
+    // A budget far too small for 10 objects: the search reports a
+    // best-effort order (`complete: false`) instead of failing.
+    let s = steps(&tech, 9);
+    let tight = opt
+        .optimize_order(
+            &s,
+            SearchOptions {
+                max_nodes: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    println!(
+        "tight budget: complete = {}, order {:?}, score {:.1}",
+        tight.complete, tight.order, tight.rating.score
+    );
+    assert!(!tight.complete);
+    assert_eq!(tight.order.len(), s.len());
+}

@@ -58,8 +58,7 @@ fn fig1(tech: &Tech) {
             let mut obj = LayoutObject::new("case");
             obj.push(Shape::new(pdiff, solid).with_role(ShapeRole::DeviceActive));
             obj.push(
-                Shape::new(pdiff, Rect::new(x0, y0, x1, y1))
-                    .with_role(ShapeRole::SubstrateContact),
+                Shape::new(pdiff, Rect::new(x0, y0, x1, y1)).with_role(ShapeRole::SubstrateContact),
             );
             let rem = latchup::latchup_remainder(tech, &obj);
             let cover = Rect::new(x0, y0, x1, y1).inflated(d);
@@ -68,7 +67,10 @@ fn fig1(tech: &Tech) {
             if exact {
                 ok += 1;
             }
-            println!("  {hn:>6} x {vn:<6} remainders = {:2}  exact-area = {exact}", rem.len());
+            println!(
+                "  {hn:>6} x {vn:<6} remainders = {:2}  exact-area = {exact}",
+                rem.len()
+            );
         }
     }
     println!("  paper: systematic check of all 16 overlap cases | measured: {ok}/16 exact");
@@ -82,7 +84,10 @@ fn fig3(tech: &Tech) {
     let variants: [(&str, ContactRowParams); 3] = [
         ("W,L omitted", ContactRowParams::new()),
         ("W = 10 um ", ContactRowParams::new().with_w(um(10))),
-        ("W = 8, L = 6", ContactRowParams::new().with_w(um(8)).with_l(um(6))),
+        (
+            "W = 8, L = 6",
+            ContactRowParams::new().with_w(um(8)).with_l(um(6)),
+        ),
     ];
     println!("  paper: single contact | one row | 2-D array (shapes of Fig. 3)");
     for (name, p) in variants {
@@ -182,16 +187,16 @@ fn fig5(tech: &Tech) {
         let sig = probe.net("sig");
         probe.push(Shape::new(m1, Rect::new(0, 0, um(2), um(12))).with_net(sig));
         let mut main = LayoutObject::new("main");
-        comp.compact(&mut main, &row, Dir::West, &CompactOptions::new()).unwrap();
-        let r = comp.compact(&mut main, &probe, Dir::East, &CompactOptions::new()).unwrap();
+        comp.compact(&mut main, &row, Dir::West, &CompactOptions::new())
+            .unwrap();
+        let r = comp
+            .compact(&mut main, &probe, Dir::East, &CompactOptions::new())
+            .unwrap();
         (main.bbox().width(), r.shrunk_edges, r.rebuilt_groups)
     };
     let (w_fixed, _, _) = run(false);
     let (w_var, shrunk, rebuilt) = run(true);
-    println!(
-        "  fixed edges:    width {:5.1} um",
-        w_fixed as f64 / 1e3
-    );
+    println!("  fixed edges:    width {:5.1} um", w_fixed as f64 / 1e3);
     println!(
         "  variable edges: width {:5.1} um  ({} edge(s) moved, {} group(s) rebuilt)",
         w_var as f64 / 1e3,
@@ -243,9 +248,16 @@ fn fig6(tech: &Tech) {
         dsl_pair.bbox().height() as f64 / 1e3,
         dsl_ms
     );
-    println!("  paper: 2 transistors, 3 diffusion rows, 2 poly contacts | measured gates: {}", gates(dsl_pair));
+    println!(
+        "  paper: 2 transistors, 3 diffusion rows, 2 poly contacts | measured gates: {}",
+        gates(dsl_pair)
+    );
     std::fs::write("out/fig6_diffpair.svg", render_svg(tech, dsl_pair)).unwrap();
-    std::fs::write("out/fig6_diffpair.cif", amgen::export::write_cif(tech, dsl_pair)).unwrap();
+    std::fs::write(
+        "out/fig6_diffpair.cif",
+        amgen::export::write_cif(tech, dsl_pair),
+    )
+    .unwrap();
 }
 
 /// Figs. 8/9: the amplifier.
@@ -289,18 +301,30 @@ fn fig10(tech: &Tech) {
     let t0 = Instant::now();
     let m = centroid_diff_pair(
         tech,
-        &CentroidParams::paper(MosType::N).with_w(um(6)).with_l(um(1)),
+        &CentroidParams::paper(MosType::N)
+            .with_w(um(6))
+            .with_l(um(1)),
     )
     .unwrap();
     let ms = t0.elapsed().as_secs_f64() * 1e3;
     let counts = Router::new(tech).crossing_counts(&m);
-    let get = |n: &str| counts.iter().find(|(x, _)| x == n).map(|(_, c)| *c).unwrap_or(0);
+    let get = |n: &str| {
+        counts
+            .iter()
+            .find(|(x, _)| x == n)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    };
     let poly = tech.layer("poly").unwrap();
     let stripes = m
         .shapes_on(poly)
         .filter(|s| s.rect.height() > 3 * s.rect.width())
         .count();
-    println!("  {} shapes, {} gate fingers (8 active + 16 dummies)", m.len(), stripes);
+    println!(
+        "  {} shapes, {} gate fingers (8 active + 16 dummies)",
+        m.len(),
+        stripes
+    );
     println!(
         "  crossings d1 = {}, d2 = {} (paper: 'every net has identical crossings')",
         get("d1"),
@@ -335,10 +359,7 @@ fn significant_lines(src: &str) -> usize {
     src.lines()
         .map(str::trim)
         .filter(|l| {
-            !l.is_empty()
-                && !l.starts_with("//")
-                && !l.starts_with("#[")
-                && !l.starts_with("#!")
+            !l.is_empty() && !l.starts_with("//") && !l.starts_with("#[") && !l.starts_with("#!")
         })
         .count()
 }
@@ -380,11 +401,9 @@ fn opt_order(tech: &Tech) {
     }
     let opt = Optimizer::new(tech, RatingWeights::default());
     let (_, written) = opt.build(&steps).unwrap();
-    let t0 = Instant::now();
     let best = opt
         .optimize_order(&steps, SearchOptions::default())
         .unwrap();
-    let ms = t0.elapsed().as_secs_f64() * 1e3;
     println!(
         "  written order: area {:7.1} um^2 | optimized: {:7.1} um^2 ({:.0}% better)",
         written.area_um2,
@@ -392,7 +411,24 @@ fn opt_order(tech: &Tech) {
         100.0 * (written.area_um2 - best.rating.area_um2) / written.area_um2
     );
     println!(
-        "  search: {} nodes explored, {} pruned, best order {:?}, {ms:.1} ms",
-        best.explored, best.pruned, best.order
+        "  search: {} explored, {} pruned, {} dominated, best order {:?}, {:.1} ms",
+        best.explored,
+        best.pruned,
+        best.dominated,
+        best.order,
+        best.wall.as_secs_f64() * 1e3
+    );
+    let par = opt
+        .optimize_order(&steps, SearchOptions::parallel())
+        .unwrap();
+    assert_eq!(
+        par.order, best.order,
+        "parallel search must agree with sequential"
+    );
+    println!(
+        "  parallel ({} workers): {} explored, {:.1} ms",
+        par.workers,
+        par.explored,
+        par.wall.as_secs_f64() * 1e3
     );
 }

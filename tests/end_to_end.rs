@@ -44,8 +44,10 @@ fn fig5_variable_edges_reduce_area() {
         let sig = probe.net("sig");
         probe.push(Shape::new(m1, Rect::new(0, 0, um(2), um(12))).with_net(sig));
         let mut main = LayoutObject::new("main");
-        comp.compact(&mut main, &row, Dir::West, &CompactOptions::new()).unwrap();
-        comp.compact(&mut main, &probe, Dir::East, &CompactOptions::new()).unwrap();
+        comp.compact(&mut main, &row, Dir::West, &CompactOptions::new())
+            .unwrap();
+        comp.compact(&mut main, &probe, Dir::East, &CompactOptions::new())
+            .unwrap();
         main.bbox().width()
     };
     assert!(width(true) < width(false));
@@ -74,7 +76,9 @@ fn fig10_headline_properties() {
     let tech = Tech::bicmos_1u();
     let m = centroid_diff_pair(
         &tech,
-        &CentroidParams::paper(MosType::N).with_w(um(6)).with_l(um(1)),
+        &CentroidParams::paper(MosType::N)
+            .with_w(um(6))
+            .with_l(um(1)),
     )
     .unwrap();
     // 1. 8 active + 16 dummy fingers.

@@ -61,7 +61,9 @@ fn mos_library(tech: &Tech) -> Vec<(&'static str, LayoutObject)> {
             "centroid_1d",
             centroid_diff_pair(
                 tech,
-                &CentroidParams::paper(MosType::N).with_w(um(6)).without_guard(),
+                &CentroidParams::paper(MosType::N)
+                    .with_w(um(6))
+                    .without_guard(),
             )
             .unwrap(),
         ),
