@@ -7,4 +7,8 @@ cargo build --release
 cargo test --workspace -q
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+# Bench smoke: the rule-kernel microbench doubles as a fast end-to-end
+# exercise of the compiled RuleSet path.
+cargo bench -p amgen-bench --bench rule_lookup
 echo "ci: all checks passed"

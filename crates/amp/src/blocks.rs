@@ -1,5 +1,6 @@
 //! Block generation, placement and assembly of the amplifier.
 
+use amgen_core::{GenCtx, IntoGenCtx};
 use amgen_db::LayoutObject;
 use amgen_drc::{latchup, Drc, ViolationKind};
 use amgen_extract::Extractor;
@@ -11,7 +12,6 @@ use amgen_modgen::guard::{guard_ring, GuardRingParams};
 use amgen_modgen::interdigit::{interdigitated, InterdigitParams};
 use amgen_modgen::mirror::{current_mirror, MirrorParams};
 use amgen_modgen::{ModgenError, MosType};
-use amgen_tech::Tech;
 
 use crate::routing::{bus_end, enter_column, h_m2, tap, v_m1, via};
 
@@ -37,7 +37,7 @@ pub struct AmpReport {
 /// Builds one amplifier block: optional guard ring, prefix isolation of
 /// internal nets, terminal renaming to global net names.
 fn prep(
-    tech: &Tech,
+    tech: &GenCtx,
     block: LayoutObject,
     prefix: &str,
     guard: bool,
@@ -59,7 +59,8 @@ fn prep(
 /// streets, supply rails below, a signal channel above, and the global
 /// routes of the signal path (all vertical wiring on metal1 in the
 /// streets, all horizontal wiring on metal2 — see [`crate::routing`]).
-pub fn build_amplifier(tech: &Tech) -> Result<(LayoutObject, AmpReport), ModgenError> {
+pub fn build_amplifier(tech: impl IntoGenCtx) -> Result<(LayoutObject, AmpReport), ModgenError> {
+    let tech = &tech.into_gen_ctx();
     // ---- module generation (per-block matching styles of §3) ----------
     let block_a = cascode_pair(
         tech,
@@ -315,7 +316,10 @@ pub fn build_amplifier(tech: &Tech) -> Result<(LayoutObject, AmpReport), ModgenE
 /// stage (block G); everything else is generated from the same module
 /// library — the system-level demonstration that the whole flow, not
 /// just single modules, is technology independent.
-pub fn build_amplifier_cmos(tech: &Tech) -> Result<(LayoutObject, AmpReport), ModgenError> {
+pub fn build_amplifier_cmos(
+    tech: impl IntoGenCtx,
+) -> Result<(LayoutObject, AmpReport), ModgenError> {
+    let tech = &tech.into_gen_ctx();
     let block_a = cascode_pair(
         tech,
         &CascodeParams::new(MosType::N).with_w(um(8)).with_fingers(2),
@@ -511,6 +515,7 @@ pub fn build_amplifier_cmos(tech: &Tech) -> Result<(LayoutObject, AmpReport), Mo
 #[cfg(test)]
 mod tests {
     use super::*;
+    use amgen_tech::Tech;
 
     fn amp() -> (Tech, LayoutObject, AmpReport) {
         let t = Tech::bicmos_1u();
@@ -597,6 +602,7 @@ mod tests {
 #[cfg(test)]
 mod cmos_tests {
     use super::*;
+    use amgen_tech::Tech;
 
     #[test]
     fn cmos_variant_builds_clean_in_cmos_08() {

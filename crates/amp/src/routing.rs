@@ -12,21 +12,22 @@
 //! device columns; vertical metal1 freely crosses the metal2 rails,
 //! tracks and bus stubs of other nets — all crossings are inter-layer.
 
+use amgen_core::IntoGenCtx;
 use amgen_db::{LayoutObject, Shape};
 use amgen_geom::{Coord, Point, Rect};
 use amgen_route::Router;
-use amgen_tech::Tech;
 
 /// Pushes a horizontal metal2 segment (centred on `y`) and returns it.
 pub fn h_m2(
-    tech: &Tech,
+    tech: impl IntoGenCtx,
     obj: &mut LayoutObject,
     net: &str,
     y: Coord,
     xa: Coord,
     xb: Coord,
 ) -> Rect {
-    let m2 = tech.layer("metal2").expect("metal2 exists");
+    let tech = tech.into_gen_ctx();
+    let m2 = tech.metal2().expect("metal2 exists");
     let w = tech.min_width(m2).max(2_000);
     let r = Rect::new(xa.min(xb), y - w / 2, xa.max(xb), y - w / 2 + w);
     let id = obj.net(net);
@@ -36,14 +37,15 @@ pub fn h_m2(
 
 /// Pushes a vertical metal1 segment (centred on `x`) and returns it.
 pub fn v_m1(
-    tech: &Tech,
+    tech: impl IntoGenCtx,
     obj: &mut LayoutObject,
     net: &str,
     x: Coord,
     ya: Coord,
     yb: Coord,
 ) -> Rect {
-    let m1 = tech.layer("metal1").expect("metal1 exists");
+    let tech = tech.into_gen_ctx();
+    let m1 = tech.metal1().expect("metal1 exists");
     let w = tech.min_width(m1).max(2_000);
     let r = Rect::new(x - w / 2, ya.min(yb), x - w / 2 + w, ya.max(yb));
     let id = obj.net(net);
@@ -52,11 +54,17 @@ pub fn v_m1(
 }
 
 /// Places a metal1↔metal2 via stack at `p`.
-pub fn via(tech: &Tech, obj: &mut LayoutObject, net: &str, p: Point) -> Result<(), String> {
-    let router = Router::new(tech);
-    let m1 = tech.layer("metal1").map_err(|e| e.to_string())?;
-    let m2 = tech.layer("metal2").map_err(|e| e.to_string())?;
-    let v = tech.layer("via1").map_err(|e| e.to_string())?;
+pub fn via(
+    tech: impl IntoGenCtx,
+    obj: &mut LayoutObject,
+    net: &str,
+    p: Point,
+) -> Result<(), String> {
+    let tech = tech.into_gen_ctx();
+    let router = Router::new(&tech);
+    let m1 = tech.metal1().map_err(|e| e.to_string())?;
+    let m2 = tech.metal2().map_err(|e| e.to_string())?;
+    let v = tech.via1().map_err(|e| e.to_string())?;
     let id = obj.net(net);
     router
         .via_stack(obj, v, m1, m2, p, Some(id))
@@ -74,17 +82,18 @@ pub fn bus_end(rect: Rect, east: bool) -> Point {
 /// east/west end to `street_x`, with a via stack there. Returns the via
 /// point (on both metal1 and metal2).
 pub fn tap(
-    tech: &Tech,
+    tech: impl IntoGenCtx,
     obj: &mut LayoutObject,
     net: &str,
     port_rect: Rect,
     east: bool,
     street_x: Coord,
 ) -> Result<Point, String> {
+    let tech = tech.into_gen_ctx();
     let end = bus_end(port_rect, east);
-    h_m2(tech, obj, net, end.y, end.x, street_x);
+    h_m2(&tech, obj, net, end.y, end.x, street_x);
     let p = Point::new(street_x, end.y);
-    via(tech, obj, net, p)?;
+    via(&tech, obj, net, p)?;
     Ok(p)
 }
 
@@ -92,17 +101,18 @@ pub fn tap(
 /// port inside an unguarded module): metal2 from `street_x` to the
 /// column's centre at `entry_y`, via down into the column.
 pub fn enter_column(
-    tech: &Tech,
+    tech: impl IntoGenCtx,
     obj: &mut LayoutObject,
     net: &str,
     column: Rect,
     entry_y: Coord,
     street_x: Coord,
 ) -> Result<Point, String> {
+    let tech = tech.into_gen_ctx();
     let cx = column.center().x;
-    h_m2(tech, obj, net, entry_y, street_x, cx);
-    via(tech, obj, net, Point::new(cx, entry_y))?;
-    via(tech, obj, net, Point::new(street_x, entry_y))?;
+    h_m2(&tech, obj, net, entry_y, street_x, cx);
+    via(&tech, obj, net, Point::new(cx, entry_y))?;
+    via(&tech, obj, net, Point::new(street_x, entry_y))?;
     Ok(Point::new(street_x, entry_y))
 }
 
@@ -111,6 +121,7 @@ mod tests {
     use super::*;
     use amgen_extract::Extractor;
     use amgen_geom::um;
+    use amgen_tech::Tech;
 
     #[test]
     fn tap_plus_drop_connects_a_bus_to_a_rail() {

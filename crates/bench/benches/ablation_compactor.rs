@@ -16,7 +16,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 /// A simple module to chain: a poly/metal block pair.
-fn unit(tech: &Tech, i: usize) -> LayoutObject {
+fn unit(tech: &GenCtx, i: usize) -> LayoutObject {
     let poly = tech.layer("poly").unwrap();
     let m1 = tech.layer("metal1").unwrap();
     let mut o = LayoutObject::new("unit");
@@ -27,7 +27,7 @@ fn unit(tech: &Tech, i: usize) -> LayoutObject {
 }
 
 /// The paper's method: one successive step per object.
-fn successive(tech: &Tech, n: usize) -> i64 {
+fn successive(tech: &GenCtx, n: usize) -> i64 {
     let comp = Compactor::new(tech);
     let mut main = LayoutObject::new("main");
     for i in 0..n {
@@ -40,7 +40,7 @@ fn successive(tech: &Tech, n: usize) -> i64 {
 /// The strawman: keep every object separate; at each step rebuild the
 /// full pairwise constraint graph (every placed object vs every other)
 /// and solve all x positions from scratch with a longest-path sweep.
-fn full_graph(tech: &Tech, n: usize) -> i64 {
+fn full_graph(tech: &GenCtx, n: usize) -> i64 {
     let poly = tech.layer("poly").unwrap();
     let m1 = tech.layer("metal1").unwrap();
     let objs: Vec<LayoutObject> = (0..n).map(|i| unit(tech, i)).collect();
@@ -78,13 +78,14 @@ fn full_graph(tech: &Tech, n: usize) -> i64 {
 
 fn bench_ablation(c: &mut Criterion) {
     let tech = workloads::tech();
+    let ctx = (&tech).into_gen_ctx();
     let mut g = c.benchmark_group("ablation/compactor");
     for n in [8usize, 16, 32] {
         g.bench_with_input(BenchmarkId::new("successive", n), &n, |b, &n| {
-            b.iter(|| black_box(successive(&tech, n)))
+            b.iter(|| black_box(successive(&ctx, n)))
         });
         g.bench_with_input(BenchmarkId::new("full_graph", n), &n, |b, &n| {
-            b.iter(|| black_box(full_graph(&tech, n)))
+            b.iter(|| black_box(full_graph(&ctx, n)))
         });
     }
     g.finish();

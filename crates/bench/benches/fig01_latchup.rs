@@ -31,11 +31,12 @@ fn bench_subtraction(c: &mut Criterion) {
 
 fn bench_cover_check(c: &mut Criterion) {
     let tech = workloads::tech();
+    let ctx = (&tech).into_gen_ctx();
     let mut g = c.benchmark_group("fig01/latchup_check");
     for n in [8usize, 32, 128] {
         let obj = workloads::latchup_workload(&tech, n, 3);
         g.bench_with_input(BenchmarkId::from_parameter(n), &obj, |b, obj| {
-            b.iter(|| black_box(latchup::latchup_remainder(&tech, obj)).is_empty())
+            b.iter(|| black_box(latchup::latchup_remainder(&ctx, obj)).is_empty())
         });
     }
     g.finish();
@@ -43,10 +44,11 @@ fn bench_cover_check(c: &mut Criterion) {
 
 fn bench_violation_report(c: &mut Criterion) {
     let tech = workloads::tech();
+    let ctx = (&tech).into_gen_ctx();
     // Sparse contacts: the check must produce remainder rectangles.
     let obj = workloads::latchup_workload(&tech, 64, 64);
     c.bench_function("fig01/latchup_violations", |b| {
-        b.iter(|| black_box(latchup::check_latchup(&tech, &obj)).len())
+        b.iter(|| black_box(latchup::check_latchup(&ctx, &obj)).len())
     });
 }
 

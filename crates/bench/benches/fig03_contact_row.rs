@@ -13,6 +13,7 @@ use std::hint::black_box;
 
 fn bench_variants(c: &mut Criterion) {
     let tech = workloads::tech();
+    let ctx = (&tech).into_gen_ctx();
     let poly = tech.layer("poly").unwrap();
     let variants: [(&str, ContactRowParams); 3] = [
         ("defaults", ContactRowParams::new()),
@@ -25,7 +26,7 @@ fn bench_variants(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig03/native");
     for (name, params) in variants {
         g.bench_function(name, |b| {
-            b.iter(|| black_box(contact_row(&tech, poly, &params).unwrap()).len())
+            b.iter(|| black_box(contact_row(&ctx, poly, &params).unwrap()).len())
         });
     }
     g.finish();
@@ -33,12 +34,13 @@ fn bench_variants(c: &mut Criterion) {
 
 fn bench_width_scaling(c: &mut Criterion) {
     let tech = workloads::tech();
+    let ctx = (&tech).into_gen_ctx();
     let poly = tech.layer("poly").unwrap();
     let mut g = c.benchmark_group("fig03/width_scaling");
     for w in [um(4), um(16), um(64)] {
         g.bench_with_input(BenchmarkId::from_parameter(w / 1_000), &w, |b, &w| {
             let p = ContactRowParams::new().with_w(w);
-            b.iter(|| black_box(contact_row(&tech, poly, &p).unwrap()).len())
+            b.iter(|| black_box(contact_row(&ctx, poly, &p).unwrap()).len())
         });
     }
     g.finish();

@@ -13,9 +13,10 @@ use std::hint::black_box;
 
 fn bench_native(c: &mut Criterion) {
     let tech = workloads::tech();
+    let ctx = (&tech).into_gen_ctx();
     c.bench_function("fig06/native_diff_pair", |b| {
         let p = DiffPairParams::new(MosType::P).with_w(um(10)).with_l(um(2));
-        b.iter(|| black_box(diff_pair(&tech, &p).unwrap()).len())
+        b.iter(|| black_box(diff_pair(&ctx, &p).unwrap()).len())
     });
 }
 

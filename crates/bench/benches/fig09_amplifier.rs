@@ -12,11 +12,12 @@ use std::hint::black_box;
 
 fn bench_full_amplifier(c: &mut Criterion) {
     let tech = workloads::tech();
+    let ctx = (&tech).into_gen_ctx();
     let mut g = c.benchmark_group("fig09");
     g.sample_size(10);
     g.bench_function("amplifier_end_to_end", |b| {
         b.iter(|| {
-            let (amp, report) = build_amplifier(&tech).unwrap();
+            let (amp, report) = build_amplifier(&ctx).unwrap();
             black_box((amp.len(), report.width_um, report.height_um))
         })
     });

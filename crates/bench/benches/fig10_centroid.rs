@@ -13,19 +13,21 @@ use std::hint::black_box;
 
 fn bench_paper_configuration(c: &mut Criterion) {
     let tech = workloads::tech();
+    let ctx = (&tech).into_gen_ctx();
     let mut g = c.benchmark_group("fig10");
     g.sample_size(10);
     g.bench_function("paper_configuration", |b| {
         let p = CentroidParams::paper(MosType::N)
             .with_w(um(6))
             .with_l(um(1));
-        b.iter(|| black_box(centroid_diff_pair(&tech, &p).unwrap()).len())
+        b.iter(|| black_box(centroid_diff_pair(&ctx, &p).unwrap()).len())
     });
     g.finish();
 }
 
 fn bench_scaling_with_pairs(c: &mut Criterion) {
     let tech = workloads::tech();
+    let ctx = (&tech).into_gen_ctx();
     let mut g = c.benchmark_group("fig10/pairs_scaling");
     g.sample_size(10);
     for pairs in [1usize, 2, 3] {
@@ -34,7 +36,7 @@ fn bench_scaling_with_pairs(c: &mut Criterion) {
                 .with_w(um(6))
                 .without_guard();
             p.pairs_per_side = pairs;
-            b.iter(|| black_box(centroid_diff_pair(&tech, &p).unwrap()).len())
+            b.iter(|| black_box(centroid_diff_pair(&ctx, &p).unwrap()).len())
         });
     }
     g.finish();

@@ -1,8 +1,9 @@
 //! The constraint scan and placement engine.
 
+use amgen_core::{GenCtx, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Shape};
 use amgen_geom::{Coord, Dir, Rect, Vector};
-use amgen_tech::{LayerKind, Tech};
+use amgen_tech::{LayerKind, RuleSet};
 
 use crate::options::CompactOptions;
 use crate::rebuild::rebuild_group;
@@ -41,9 +42,9 @@ impl std::fmt::Display for CompactError {
 impl std::error::Error for CompactError {}
 
 /// The successive compactor, bound to one technology.
-#[derive(Debug, Clone, Copy)]
-pub struct Compactor<'t> {
-    tech: &'t Tech,
+#[derive(Debug, Clone)]
+pub struct Compactor {
+    ctx: GenCtx,
 }
 
 /// A candidate shrink action on a variable edge.
@@ -58,15 +59,23 @@ struct Shrink {
     limit: Coord,
 }
 
-impl<'t> Compactor<'t> {
-    /// Binds the compactor to a technology.
-    pub fn new(tech: &'t Tech) -> Compactor<'t> {
-        Compactor { tech }
+impl Compactor {
+    /// Binds the compactor to a generation context (or anything that
+    /// converts into one, e.g. `&Tech`).
+    pub fn new(ctx: impl IntoGenCtx) -> Compactor {
+        Compactor {
+            ctx: ctx.into_gen_ctx(),
+        }
     }
 
-    /// The bound technology.
-    pub fn tech(&self) -> &'t Tech {
-        self.tech
+    /// The shared generation context.
+    pub fn ctx(&self) -> &GenCtx {
+        &self.ctx
+    }
+
+    /// The compiled rule kernel.
+    pub fn rules(&self) -> &RuleSet {
+        &self.ctx
     }
 
     /// Slides `obj` against `main` from attachment side `side` and folds
@@ -85,8 +94,13 @@ impl<'t> Compactor<'t> {
         if obj.is_empty() {
             return Err(CompactError::EmptyObject);
         }
+        let t0 = std::time::Instant::now();
         if main.is_empty() {
             main.absorb(obj, Vector::ZERO);
+            self.ctx.metrics.add_objects_placed(1);
+            self.ctx
+                .metrics
+                .add_stage_nanos(Stage::Compact, t0.elapsed().as_nanos() as u64);
             return Ok(CompactReport {
                 offset: Vector::ZERO,
                 rule_bound: false,
@@ -144,7 +158,7 @@ impl<'t> Compactor<'t> {
                         .map(|(i, _)| i)
                         .collect();
                     for gid in gids {
-                        if rebuild_group(self.tech, target_obj, gid) {
+                        if rebuild_group(&self.ctx, target_obj, gid) {
                             rebuilt_groups += 1;
                         }
                     }
@@ -158,6 +172,13 @@ impl<'t> Compactor<'t> {
         let v = Vector::step_along(side.axis(), offset_along);
         let absorbed_at = main.absorb(&work, v);
         let bridges = self.bridge(main, absorbed_at, side, opts);
+        self.ctx.metrics.add_objects_placed(1);
+        for _ in 0..rebuilt_groups {
+            self.ctx.metrics.add_rebuild();
+        }
+        self.ctx
+            .metrics
+            .add_stage_nanos(Stage::Compact, t0.elapsed().as_nanos() as u64);
         Ok(CompactReport {
             offset: v,
             rule_bound,
@@ -227,7 +248,7 @@ impl<'t> Compactor<'t> {
                 return Some(0);
             }
             return self
-                .tech
+                .ctx
                 .min_spacing(a.layer, b.layer)
                 .map(|s| s + opts.extra_clearance)
                 .or(if a.keepout || b.keepout {
@@ -236,26 +257,26 @@ impl<'t> Compactor<'t> {
                     None
                 });
         }
-        if let Some(s) = self.tech.min_spacing(a.layer, b.layer) {
+        if let Some(s) = self.ctx.min_spacing(a.layer, b.layer) {
             return Some(s + opts.extra_clearance);
         }
         // A cut may not land on a foreign conductor it could short to.
         let cut_vs_conductor = |cut: &Shape, cond: &Shape| {
-            self.tech.kind(cut.layer) == LayerKind::Cut
-                && self.tech.kind(cond.layer).is_conductor()
+            self.ctx.kind(cut.layer) == LayerKind::Cut
+                && self.ctx.kind(cond.layer).is_conductor()
                 && self
-                    .tech
+                    .ctx
                     .connected_pairs(cut.layer)
                     .iter()
                     .any(|&(x, y)| x == cond.layer || y == cond.layer)
         };
         if cut_vs_conductor(a, b) || cut_vs_conductor(b, a) {
-            let cut_layer = if self.tech.kind(a.layer) == LayerKind::Cut {
+            let cut_layer = if self.ctx.kind(a.layer) == LayerKind::Cut {
                 a.layer
             } else {
                 b.layer
             };
-            let fallback = self.tech.min_spacing(cut_layer, cut_layer).unwrap_or(0);
+            let fallback = self.ctx.min_spacing(cut_layer, cut_layer).unwrap_or(0);
             return Some(fallback + opts.extra_clearance);
         }
         if a.keepout || b.keepout {
@@ -327,7 +348,7 @@ impl<'t> Compactor<'t> {
         let s = &obj.shapes()[index];
         let far = s.rect.edge(edge.opposite()); // the fixed opposite edge
         let inward = edge.sign();
-        let mut min_len = self.tech.min_width(s.layer);
+        let mut min_len = self.ctx.min_width(s.layer);
         let mut in_rebuild_group = false;
         for g in obj.groups() {
             if !g.shapes.contains(&index) {
@@ -335,8 +356,8 @@ impl<'t> Compactor<'t> {
             }
             if let Some(amgen_db::RebuildKind::ContactArray { cut }) = g.rebuild {
                 in_rebuild_group = true;
-                if let Ok(cs) = self.tech.cut_size(cut) {
-                    let need = cs + 2 * self.tech.enclosure(s.layer, cut);
+                if let Ok(cs) = self.ctx.cut_size(cut) {
+                    let need = cs + 2 * self.ctx.enclosure(s.layer, cut);
                     min_len = min_len.max(need);
                 }
             }
@@ -345,10 +366,9 @@ impl<'t> Compactor<'t> {
         if !in_rebuild_group {
             // Keep enclosing any cut currently inside this shape.
             for other in obj.shapes() {
-                if self.tech.kind(other.layer) == LayerKind::Cut
-                    && s.rect.contains_rect(&other.rect)
+                if self.ctx.kind(other.layer) == LayerKind::Cut && s.rect.contains_rect(&other.rect)
                 {
-                    let enc = self.tech.enclosure(s.layer, other.layer);
+                    let enc = self.ctx.enclosure(s.layer, other.layer);
                     let keep = other.rect.edge(edge) + inward * enc;
                     limit = if inward > 0 {
                         limit.max(keep)
@@ -381,7 +401,7 @@ impl<'t> Compactor<'t> {
         let mut new_shapes: Vec<Shape> = Vec::new();
         for ai in absorbed_at..main.len() {
             let a = main.shapes()[ai];
-            if !opts.is_ignored(a.layer) || !self.tech.kind(a.layer).is_conductor() {
+            if !opts.is_ignored(a.layer) || !self.ctx.kind(a.layer).is_conductor() {
                 continue;
             }
             // Find the nearest compatible neighbour: if some neighbour
@@ -428,7 +448,7 @@ impl<'t> Compactor<'t> {
                     .range(perp)
                     .intersection(&b.rect.range(perp))
                     .expect("positive overlap");
-                let min_w = self.tech.min_width(a.layer);
+                let min_w = self.ctx.min_width(a.layer);
                 let (plo, phi) = if pr.len() >= min_w {
                     (pr.lo, pr.hi)
                 } else {

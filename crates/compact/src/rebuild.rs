@@ -4,9 +4,9 @@
 //! contact row, *"the contact row was rebuilt and the array of
 //! contact-rectangles was recalculated"*.
 
+use amgen_core::IntoGenCtx;
 use amgen_db::{LayoutObject, RebuildKind, Shape};
 use amgen_prim::Primitives;
-use amgen_tech::Tech;
 
 /// Rebuilds the group at `gid` if it carries a rebuild rule.
 ///
@@ -17,7 +17,7 @@ use amgen_tech::Tech;
 ///
 /// If the recomputed frame cannot hold a single cut, the group is left
 /// untouched (the shrink limits of the engine should prevent this).
-pub fn rebuild_group(tech: &Tech, obj: &mut LayoutObject, gid: usize) -> bool {
+pub fn rebuild_group(ctx: impl IntoGenCtx, obj: &mut LayoutObject, gid: usize) -> bool {
     let Some(group) = obj.groups().get(gid) else {
         return false;
     };
@@ -31,7 +31,7 @@ pub fn rebuild_group(tech: &Tech, obj: &mut LayoutObject, gid: usize) -> bool {
         .filter(|&i| obj.shapes()[i].layer == cut)
         .collect();
     let net = cut_indices.first().and_then(|&i| obj.shapes()[i].net);
-    let prim = Primitives::new(tech);
+    let prim = Primitives::new(ctx);
     let others: Vec<Shape> = member_indices
         .iter()
         .copied()

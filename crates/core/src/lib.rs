@@ -10,7 +10,8 @@
 //! | subsystem | crate | paper section |
 //! |---|---|---|
 //! | geometry kernel (rect algebra, Fig. 1 subtraction) | [`geom`] | data model |
-//! | technology / design rules | [`tech`] | tech file |
+//! | technology / design rules, compiled [`RuleSet`](tech::RuleSet) kernel | [`tech`] | tech file |
+//! | shared generation context ([`GenCtx`](core::GenCtx)) and stage metrics | [`core`] | infrastructure |
 //! | layout database (shapes, edges, nets, objects) | [`db`] | §2.2–2.3 |
 //! | primitive shape functions (INBOX, ARRAY, ...) | [`prim`] | §2.2 |
 //! | successive compactor (variable edges, auto-connect) | [`compact`] | §2.3 |
@@ -47,9 +48,34 @@
 //! let row = &out["row"];
 //! assert!(Drc::new(&tech).check(row).is_empty());
 //! ```
+//!
+//! # The rule kernel and the generation context
+//!
+//! Every stage consumes design rules through a compiled
+//! [`RuleSet`](tech::RuleSet) — dense pairwise tables, interned layer
+//! handles, no strings or hashing in hot loops — carried in a shared
+//! [`GenCtx`](core::GenCtx). Passing `&Tech` anywhere compiles a kernel
+//! on the spot (the compatibility shim); for repeated generation build
+//! the context once, share it (workers bump the `Arc`), and read the
+//! per-stage counters afterwards:
+//!
+//! ```
+//! use amgen::modgen::{contact_row, ContactRowParams};
+//! use amgen::prelude::*;
+//!
+//! let tech = Tech::bicmos_1u();
+//! let ctx = (&tech).into_gen_ctx(); // compile the kernel once
+//! let poly = ctx.poly().unwrap(); // interned handle, no name lookup
+//! for _ in 0..3 {
+//!     contact_row(&ctx, poly, &ContactRowParams::new()).unwrap();
+//! }
+//! let m = ctx.snapshot();
+//! assert!(m.stage_nanos(Stage::Modgen) > 0);
+//! ```
 
 pub use amgen_amp as amp;
 pub use amgen_compact as compact;
+pub use amgen_core as core;
 pub use amgen_db as db;
 pub use amgen_drc as drc;
 pub use amgen_dsl as dsl;
@@ -65,6 +91,7 @@ pub use amgen_tech as tech;
 /// The most common types, for glob import.
 pub mod prelude {
     pub use amgen_compact::{CompactOptions, Compactor};
+    pub use amgen_core::{GenCtx, GenOptions, IntoGenCtx, Metrics, MetricsSnapshot, Stage};
     pub use amgen_db::{LayoutObject, Port, Shape, ShapeRole};
     pub use amgen_drc::Drc;
     pub use amgen_dsl::Interpreter;
@@ -74,5 +101,5 @@ pub mod prelude {
     pub use amgen_opt::{OptResult, Optimizer, RatingWeights, SearchOptions, Step};
     pub use amgen_prim::Primitives;
     pub use amgen_route::Router;
-    pub use amgen_tech::Tech;
+    pub use amgen_tech::{Layer, RuleSet, Tech};
 }

@@ -5,7 +5,7 @@
 use amgen::prelude::*;
 use amgen::{dsl, export, modgen};
 
-fn fig2_interp(tech: &Tech) -> Interpreter<'_> {
+fn fig2_interp(tech: &Tech) -> Interpreter {
     let mut i = Interpreter::new(tech);
     i.load(dsl::stdlib::FIG2_CONTACT_ROW).unwrap();
     i.load(dsl::stdlib::FIG7_DIFF_PAIR).unwrap();

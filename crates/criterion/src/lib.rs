@@ -8,7 +8,7 @@
 //! macros.
 //!
 //! Measurement is a plain wall-clock loop: a short warm-up sizes the
-//! batch so one sample takes roughly [`TARGET_SAMPLE`], then
+//! batch so one sample takes roughly `TARGET_SAMPLE`, then
 //! `sample_size` samples are taken and the median per-iteration time is
 //! printed. No statistics, plots or baselines — just honest numbers on
 //! stderr-free stdout, good enough to compare series within one run.

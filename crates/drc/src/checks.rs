@@ -1,37 +1,50 @@
 //! The rule checks: width, spacing, shorts, enclosure, cut size.
 
+use amgen_core::{GenCtx, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Shape};
 use amgen_geom::{Axis, Coord, Region};
-use amgen_tech::{LayerKind, Tech};
+use amgen_tech::{LayerKind, RuleSet};
 
 use crate::latchup;
 use crate::violation::{Violation, ViolationKind};
 
-/// The design-rule checker, bound to one technology.
-#[derive(Debug, Clone, Copy)]
-pub struct Drc<'t> {
-    tech: &'t Tech,
+/// The design-rule checker, bound to one generation context.
+#[derive(Debug, Clone)]
+pub struct Drc {
+    ctx: GenCtx,
 }
 
-impl<'t> Drc<'t> {
-    /// Binds the checker to a technology.
-    pub fn new(tech: &'t Tech) -> Drc<'t> {
-        Drc { tech }
+impl Drc {
+    /// Binds the checker to a generation context (or anything that
+    /// converts into one, e.g. `&Tech`).
+    pub fn new(ctx: impl IntoGenCtx) -> Drc {
+        Drc {
+            ctx: ctx.into_gen_ctx(),
+        }
     }
 
-    /// The bound technology.
-    pub fn tech(&self) -> &'t Tech {
-        self.tech
+    /// The shared generation context.
+    pub fn ctx(&self) -> &GenCtx {
+        &self.ctx
+    }
+
+    /// The compiled rule kernel.
+    pub fn rules(&self) -> &RuleSet {
+        &self.ctx
     }
 
     /// Runs every check and returns all violations.
     pub fn check(&self, obj: &LayoutObject) -> Vec<Violation> {
+        let t0 = std::time::Instant::now();
         let mut out = Vec::new();
         out.extend(self.check_widths(obj));
         out.extend(self.check_spacing(obj));
         out.extend(self.check_enclosures(obj));
         out.extend(self.check_min_area(obj));
-        out.extend(latchup::check_latchup(self.tech, obj));
+        out.extend(latchup::check_latchup(&self.ctx, obj));
+        self.ctx
+            .metrics
+            .add_stage_nanos(Stage::Drc, t0.elapsed().as_nanos() as u64);
         out
     }
 
@@ -39,9 +52,10 @@ impl<'t> Drc<'t> {
     /// or overlap form one region; its union area must reach the layer's
     /// `minarea` rule.
     pub fn check_min_area(&self, obj: &LayoutObject) -> Vec<Violation> {
+        self.ctx.metrics.add_drc_checks(1);
         let mut out = Vec::new();
-        for layer in self.tech.layers() {
-            let rule_um2 = self.tech.min_area_um2(layer);
+        for layer in self.ctx.layers() {
+            let rule_um2 = self.ctx.min_area_um2(layer);
             if rule_um2 <= 0.0 {
                 continue;
             }
@@ -83,7 +97,7 @@ impl<'t> Drc<'t> {
                         rect: region.bbox(),
                         message: format!(
                             "{} region area {area_um2:.2} um^2 < {rule_um2} um^2",
-                            self.tech.layer_name(layer)
+                            self.ctx.layer_name(layer)
                         ),
                     });
                 }
@@ -94,11 +108,12 @@ impl<'t> Drc<'t> {
 
     /// Minimum width / exact cut size per shape.
     pub fn check_widths(&self, obj: &LayoutObject) -> Vec<Violation> {
+        self.ctx.metrics.add_drc_checks(1);
         let mut out = Vec::new();
         for s in obj.shapes() {
-            let name = self.tech.layer_name(s.layer);
-            if self.tech.kind(s.layer) == LayerKind::Cut {
-                if let Ok(cs) = self.tech.cut_size(s.layer) {
+            let name = self.ctx.layer_name(s.layer);
+            if self.ctx.kind(s.layer) == LayerKind::Cut {
+                if let Ok(cs) = self.ctx.cut_size(s.layer) {
                     if s.rect.width() != cs || s.rect.height() != cs {
                         out.push(Violation {
                             kind: ViolationKind::CutSize,
@@ -113,7 +128,7 @@ impl<'t> Drc<'t> {
                 }
                 continue;
             }
-            let w = self.tech.min_width(s.layer);
+            let w = self.ctx.min_width(s.layer);
             let min_dim = s.rect.width().min(s.rect.height());
             if w > 0 && min_dim < w && !self.widened_is_covered(obj, s, w) {
                 out.push(Violation {
@@ -172,12 +187,13 @@ impl<'t> Drc<'t> {
     /// extracted net are also exempt (same-net spacing, e.g. two fingers
     /// of one diffusion joined by a strap between them).
     pub fn check_spacing(&self, obj: &LayoutObject) -> Vec<Violation> {
+        self.ctx.metrics.add_drc_checks(1);
         let mut out = Vec::new();
         let shapes = obj.shapes();
         // Connected components per shape (a gate-split diffusion shape
         // belongs to several), from geometric connectivity.
         let mut comp: Vec<Vec<usize>> = vec![Vec::new(); shapes.len()];
-        for (ci, net) in amgen_extract::Extractor::new(self.tech)
+        for (ci, net) in amgen_extract::Extractor::new(&self.ctx)
             .connectivity(obj)
             .iter()
             .enumerate()
@@ -189,7 +205,7 @@ impl<'t> Drc<'t> {
         for (i, a) in shapes.iter().enumerate() {
             for (jo, b) in shapes[i + 1..].iter().enumerate() {
                 let j = i + 1 + jo;
-                let Some(rule) = self.tech.min_spacing(a.layer, b.layer) else {
+                let Some(rule) = self.ctx.min_spacing(a.layer, b.layer) else {
                     continue;
                 };
                 if rule == 0 {
@@ -211,7 +227,7 @@ impl<'t> Drc<'t> {
                             rect: a.rect.intersection(&b.rect).unwrap_or(a.rect),
                             message: format!(
                                 "{} shapes on nets `{}` and `{}` touch",
-                                self.tech.layer_name(a.layer),
+                                self.ctx.layer_name(a.layer),
                                 obj.net_name(a.net.expect("defined")),
                                 obj.net_name(b.net.expect("defined")),
                             ),
@@ -264,8 +280,8 @@ impl<'t> Drc<'t> {
                         rect: a.rect.union_bbox(&b.rect),
                         message: format!(
                             "{} to {} gap {gap} < {rule}",
-                            self.tech.layer_name(a.layer),
-                            self.tech.layer_name(b.layer)
+                            self.ctx.layer_name(a.layer),
+                            self.ctx.layer_name(b.layer)
                         ),
                     });
                 }
@@ -277,17 +293,18 @@ impl<'t> Drc<'t> {
     /// Every cut must be enclosed (with margins) by both conductors of one
     /// of its connectable pairs; unions of same-layer shapes count.
     pub fn check_enclosures(&self, obj: &LayoutObject) -> Vec<Violation> {
+        self.ctx.metrics.add_drc_checks(1);
         let mut out = Vec::new();
         for s in obj.shapes() {
-            if self.tech.kind(s.layer) != LayerKind::Cut {
+            if self.ctx.kind(s.layer) != LayerKind::Cut {
                 continue;
             }
-            let pairs = self.tech.connected_pairs(s.layer);
+            let pairs = self.ctx.connected_pairs(s.layer);
             if pairs.is_empty() {
                 continue;
             }
             let enclosed_by = |layer: amgen_tech::Layer, shape: &Shape| -> bool {
-                let margin = self.tech.enclosure(layer, s.layer);
+                let margin = self.ctx.enclosure(layer, s.layer);
                 let need = Region::from_rect(shape.rect.inflated(margin));
                 need.covered_by(obj.shapes_on(layer).map(|c| c.rect))
             };
@@ -300,7 +317,7 @@ impl<'t> Drc<'t> {
                     rect: s.rect,
                     message: format!(
                         "{} cut not enclosed by any connectable conductor pair",
-                        self.tech.layer_name(s.layer)
+                        self.ctx.layer_name(s.layer)
                     ),
                 });
             }
@@ -315,6 +332,7 @@ mod tests {
     use amgen_db::Shape;
     use amgen_geom::{um, Rect};
     use amgen_prim::Primitives;
+    use amgen_tech::Tech;
 
     fn tech() -> Tech {
         Tech::bicmos_1u()
@@ -477,6 +495,7 @@ mod min_area_tests {
     use super::*;
     use amgen_db::Shape;
     use amgen_geom::{um, Rect};
+    use amgen_tech::Tech;
 
     #[test]
     fn tiny_isolated_metal_fails_min_area() {

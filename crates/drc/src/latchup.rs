@@ -11,15 +11,15 @@
 //! every subtraction resolves one of the 16 overlap cases into remainder
 //! rectangles. The rule passes when nothing remains.
 
+use amgen_core::IntoGenCtx;
 use amgen_db::{LayoutObject, ShapeRole};
 use amgen_geom::{Rect, Region};
-use amgen_tech::Tech;
 
 use crate::violation::{Violation, ViolationKind};
 
 /// The temporary coverage rectangles of all substrate contacts.
-pub fn coverage_rects(tech: &Tech, obj: &LayoutObject) -> Vec<Rect> {
-    let d = tech.latchup_distance();
+pub fn coverage_rects(ctx: impl IntoGenCtx, obj: &LayoutObject) -> Vec<Rect> {
+    let d = ctx.into_gen_ctx().latchup_distance();
     obj.shapes()
         .iter()
         .filter(|s| s.role == ShapeRole::SubstrateContact)
@@ -39,13 +39,14 @@ pub fn active_region(obj: &LayoutObject) -> Region {
 /// Runs the latch-up check, returning the **uncovered remainder** — empty
 /// when the rule is fulfilled. This exposes the intermediate result of
 /// Fig. 1 for inspection and for the reproduction harness.
-pub fn latchup_remainder(tech: &Tech, obj: &LayoutObject) -> Region {
+pub fn latchup_remainder(ctx: impl IntoGenCtx, obj: &LayoutObject) -> Region {
+    let ctx = ctx.into_gen_ctx();
     let mut remaining = active_region(obj);
-    if tech.latchup_distance() == 0 {
+    if ctx.latchup_distance() == 0 {
         // Technology does not state the rule: vacuously fulfilled.
         return Region::new();
     }
-    for cover in coverage_rects(tech, obj) {
+    for cover in coverage_rects(&ctx, obj) {
         remaining.subtract_rect(cover);
         if remaining.is_empty() {
             break;
@@ -57,8 +58,10 @@ pub fn latchup_remainder(tech: &Tech, obj: &LayoutObject) -> Region {
 /// The latch-up check as violations: one per uncovered remainder
 /// rectangle — the paper's *"additional substrate contacts have to be
 /// inserted"* diagnostics.
-pub fn check_latchup(tech: &Tech, obj: &LayoutObject) -> Vec<Violation> {
-    latchup_remainder(tech, obj)
+pub fn check_latchup(ctx: impl IntoGenCtx, obj: &LayoutObject) -> Vec<Violation> {
+    let ctx = ctx.into_gen_ctx();
+    ctx.metrics.add_drc_checks(1);
+    latchup_remainder(&ctx, obj)
         .rects()
         .iter()
         .map(|&rect| Violation {
@@ -66,7 +69,7 @@ pub fn check_latchup(tech: &Tech, obj: &LayoutObject) -> Vec<Violation> {
             rect,
             message: format!(
                 "active area not within {} of a substrate contact",
-                tech.latchup_distance()
+                ctx.latchup_distance()
             ),
         })
         .collect()
@@ -77,6 +80,7 @@ mod tests {
     use super::*;
     use amgen_db::Shape;
     use amgen_geom::um;
+    use amgen_tech::Tech;
 
     fn setup() -> (Tech, amgen_tech::Layer, amgen_tech::Layer) {
         let t = Tech::bicmos_1u();

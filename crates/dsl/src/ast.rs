@@ -110,6 +110,13 @@ pub enum Expr {
     Number(f64),
     /// String literal.
     Str(String),
+    /// A string literal resolved to a layer handle at bind time. The
+    /// parser never produces this variant; the interpreter's bind pass
+    /// rewrites [`Expr::Str`] into it when the string names a layer of
+    /// the bound technology, so execution needs no name lookup. The
+    /// original spelling is kept for printing and for contexts that
+    /// still want the string (net names shadowed by layer names).
+    Layer(amgen_tech::Layer, String),
     /// Variable reference.
     Var(String),
     /// Call producing a value (entity instantiation).

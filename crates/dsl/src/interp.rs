@@ -3,11 +3,12 @@
 use std::collections::{BTreeMap, HashMap};
 
 use amgen_compact::{CompactOptions, Compactor};
+use amgen_core::{GenCtx, IntoGenCtx, Stage};
 use amgen_db::LayoutObject;
 use amgen_geom::Dir;
 use amgen_opt::{Optimizer, RatingWeights};
 use amgen_prim::Primitives;
-use amgen_tech::Tech;
+use amgen_tech::RuleSet;
 
 use crate::ast::{BinOp, Call, Entity, Expr, Program, Stmt};
 use crate::parser::{parse, ParseError};
@@ -53,8 +54,8 @@ impl From<ParseError> for DslError {
 ///
 /// Entities accumulate across [`Interpreter::run`] calls, so a library
 /// source can be loaded first and instantiated later.
-pub struct Interpreter<'t> {
-    tech: &'t Tech,
+pub struct Interpreter {
+    ctx: GenCtx,
     entities: HashMap<String, Entity>,
     /// Cap on explored variant combinations (backtracking).
     pub max_variants: usize,
@@ -80,15 +81,25 @@ struct Frame {
     obj: LayoutObject,
 }
 
-impl<'t> Interpreter<'t> {
+impl Interpreter {
     /// Creates an interpreter.
-    pub fn new(tech: &'t Tech) -> Interpreter<'t> {
+    pub fn new(tech: impl IntoGenCtx) -> Interpreter {
         Interpreter {
-            tech,
+            ctx: tech.into_gen_ctx(),
             entities: HashMap::new(),
             max_variants: 64,
             weights: RatingWeights::default(),
         }
+    }
+
+    /// The shared generation context.
+    pub fn ctx(&self) -> &GenCtx {
+        &self.ctx
+    }
+
+    /// The compiled rule kernel.
+    pub fn rules(&self) -> &RuleSet {
+        &self.ctx.rules
     }
 
     /// Registers the entities of a source without running its top level.
@@ -100,7 +111,9 @@ impl<'t> Interpreter<'t> {
 
     fn register(&mut self, prog: &Program) {
         for e in &prog.entities {
-            self.entities.insert(e.name.clone(), e.clone());
+            let mut e = e.clone();
+            bind_block(&self.ctx, &mut e.body);
+            self.entities.insert(e.name.clone(), e);
         }
     }
 
@@ -113,10 +126,11 @@ impl<'t> Interpreter<'t> {
     /// combination whose objects rate best — the paper's rating function,
     /// area plus electrical conditions — is returned.
     pub fn run(&mut self, src: &str) -> Result<BTreeMap<String, LayoutObject>, DslError> {
-        let prog = parse(src)?;
+        let mut prog = parse(src)?;
         self.register(&prog);
+        bind_block(&self.ctx, &mut prog.top);
         let runs = self.run_variants(&prog.top)?;
-        let opt = Optimizer::new(self.tech, self.weights);
+        let opt = Optimizer::new(&self.ctx, self.weights);
         let best = runs
             .into_iter()
             .min_by(|a, b| {
@@ -148,8 +162,12 @@ impl<'t> Interpreter<'t> {
         ),
         DslError,
     > {
-        let prog = parse(src)?;
+        // Clone the counter handle so the timer does not pin `self`.
+        let metrics = std::sync::Arc::clone(&self.ctx.metrics);
+        let _timer = metrics.stage_timer(Stage::Dsl);
+        let mut prog = parse(src)?;
         self.register(&prog);
+        bind_block(&self.ctx, &mut prog.top);
         let mut snapshots = Vec::new();
         let mut frame = Frame {
             vars: HashMap::new(),
@@ -192,6 +210,7 @@ impl<'t> Interpreter<'t> {
         &self,
         top: &[Stmt],
     ) -> Result<Vec<BTreeMap<String, LayoutObject>>, DslError> {
+        let _timer = self.ctx.metrics.stage_timer(Stage::Dsl);
         let mut results = Vec::new();
         let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
         let mut explored = 0usize;
@@ -241,7 +260,7 @@ impl<'t> Interpreter<'t> {
         args: &[(&str, Value)],
     ) -> Result<LayoutObject, DslError> {
         let variants = self.eval_entity_variants(name, args)?;
-        let opt = Optimizer::new(self.tech, self.weights);
+        let opt = Optimizer::new(&self.ctx, self.weights);
         let objs: Vec<LayoutObject> = variants;
         let (idx, _) = opt.select_variant(&objs).ok_or(DslError::Runtime {
             line: 0,
@@ -256,6 +275,7 @@ impl<'t> Interpreter<'t> {
         name: &str,
         args: &[(&str, Value)],
     ) -> Result<Vec<LayoutObject>, DslError> {
+        let _timer = self.ctx.metrics.stage_timer(Stage::Dsl);
         let call = Call {
             name: name.to_string(),
             positional: Vec::new(),
@@ -335,16 +355,24 @@ impl<'t> Interpreter<'t> {
                 let mut opts = CompactOptions::new();
                 for e in ignore {
                     let v = self.eval_expr(e, frame, ctx, *line)?;
-                    let name = match v.as_str() {
-                        Ok(s) => s.to_string(),
-                        Err(m) => return self.fail(*line, m),
-                    };
-                    match self.tech.layer(&name) {
-                        Ok(l) => opts.ignore.push(l),
-                        Err(e) => return self.fail(*line, e.to_string()),
+                    // Bound programs carry the interned handle; a name
+                    // computed at runtime still resolves through the
+                    // front-end lookup.
+                    match v {
+                        Value::Layer(l, _) => opts.ignore.push(l),
+                        other => {
+                            let name = match other.as_str() {
+                                Ok(s) => s.to_string(),
+                                Err(m) => return self.fail(*line, m),
+                            };
+                            match self.ctx.layer(&name) {
+                                Ok(l) => opts.ignore.push(l),
+                                Err(e) => return self.fail(*line, e.to_string()),
+                            }
+                        }
                     }
                 }
-                let c = Compactor::new(self.tech);
+                let c = Compactor::new(&self.ctx);
                 if let Err(e) = c.compact(&mut frame.obj, &child, side, &opts) {
                     return self.fail(*line, e.to_string());
                 }
@@ -416,6 +444,7 @@ impl<'t> Interpreter<'t> {
         match expr {
             Expr::Number(n) => Ok(Value::Num(*n)),
             Expr::Str(s) => Ok(Value::Str(s.clone())),
+            Expr::Layer(l, name) => Ok(Value::Layer(*l, name.clone())),
             Expr::Var(name) => match frame.vars.get(name) {
                 Some(v) => Ok(v.clone()),
                 // Unknown identifiers read as Unset so that `INBOX(layer,
@@ -544,7 +573,7 @@ impl<'t> Interpreter<'t> {
     fn builtin(&self, call: &Call, frame: &mut Frame, ctx: &mut Ctx) -> Result<Value, Exec> {
         let line = call.line;
         let args = self.eval_args(call, frame, ctx)?;
-        let prim = Primitives::new(self.tech);
+        let prim = Primitives::new(&self.ctx);
         // Helpers over the bound argument list.
         let get = |idx: usize, key: &str| -> Value {
             let mut seen_pos = 0usize;
@@ -563,17 +592,24 @@ impl<'t> Interpreter<'t> {
             Value::Unset
         };
         let layer_arg = |idx: usize, key: &str| -> Result<amgen_tech::Layer, Exec> {
-            let v = get(idx, key);
-            let name = v
-                .as_str()
-                .map_err(|m| Exec::Fail(DslError::Runtime { line, message: m }))?
-                .to_string();
-            self.tech.layer(&name).map_err(|e| {
-                Exec::Fail(DslError::Runtime {
-                    line,
-                    message: e.to_string(),
-                })
-            })
+            // The bind pass interned literal layer names, so the common
+            // case is handle extraction; only names computed at runtime
+            // fall back to the front-end string lookup.
+            match get(idx, key) {
+                Value::Layer(l, _) => Ok(l),
+                v => {
+                    let name = v
+                        .as_str()
+                        .map_err(|m| Exec::Fail(DslError::Runtime { line, message: m }))?
+                        .to_string();
+                    self.ctx.layer(&name).map_err(|e| {
+                        Exec::Fail(DslError::Runtime {
+                            line,
+                            message: e.to_string(),
+                        })
+                    })
+                }
+            }
         };
         let dim_arg = |idx: usize, key: &str| -> Result<Option<amgen_geom::Coord>, Exec> {
             get(idx, key)
@@ -655,5 +691,79 @@ impl<'t> Interpreter<'t> {
             }
             other => self.fail(line, format!("unknown function or entity `{other}`")),
         }
+    }
+}
+
+// ----- bind pass --------------------------------------------------------
+//
+// The one place in the pipeline where layer *names* are resolved: every
+// string literal that names a layer of the bound technology is rewritten
+// to an interned [`Expr::Layer`] handle once, at program load, so
+// execution — including every iteration of a FOR loop and every variant
+// of a backtracking search — performs index arithmetic only. Strings
+// that do not name a layer (net names, directions) are left untouched,
+// and the handle keeps its spelling so string contexts still work.
+
+fn bind_block(ctx: &GenCtx, stmts: &mut [Stmt]) {
+    for s in stmts {
+        bind_stmt(ctx, s);
+    }
+}
+
+fn bind_stmt(ctx: &GenCtx, stmt: &mut Stmt) {
+    match stmt {
+        Stmt::Assign { value, .. } => bind_expr(ctx, value),
+        Stmt::Call(call) => bind_call(ctx, call),
+        Stmt::Compact { ignore, .. } => {
+            for e in ignore {
+                bind_expr(ctx, e);
+            }
+        }
+        Stmt::For { from, to, body, .. } => {
+            bind_expr(ctx, from);
+            bind_expr(ctx, to);
+            bind_block(ctx, body);
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
+            bind_expr(ctx, cond);
+            bind_block(ctx, then_body);
+            bind_block(ctx, else_body);
+        }
+        Stmt::Variant { arms, .. } => {
+            for arm in arms {
+                bind_block(ctx, arm);
+            }
+        }
+    }
+}
+
+fn bind_expr(ctx: &GenCtx, expr: &mut Expr) {
+    match expr {
+        Expr::Str(s) => {
+            if let Ok(l) = ctx.layer(s) {
+                *expr = Expr::Layer(l, std::mem::take(s));
+            }
+        }
+        Expr::Call(call) => bind_call(ctx, call),
+        Expr::Neg(inner) => bind_expr(ctx, inner),
+        Expr::Binary { lhs, rhs, .. } => {
+            bind_expr(ctx, lhs);
+            bind_expr(ctx, rhs);
+        }
+        Expr::Number(_) | Expr::Var(_) | Expr::Layer(..) => {}
+    }
+}
+
+fn bind_call(ctx: &GenCtx, call: &mut Call) {
+    for e in &mut call.positional {
+        bind_expr(ctx, e);
+    }
+    for (_, e) in &mut call.keyword {
+        bind_expr(ctx, e);
     }
 }

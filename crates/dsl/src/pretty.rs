@@ -177,6 +177,13 @@ pub fn print_expr(e: &Expr, out: &mut String) {
             out.push_str(s);
             out.push('"');
         }
+        // An interned layer prints as its source spelling, so a bound
+        // program pretty-prints identically to its unbound form.
+        Expr::Layer(_, name) => {
+            out.push('"');
+            out.push_str(name);
+            out.push('"');
+        }
         Expr::Var(v) => out.push_str(v),
         Expr::Call(c) => print_call(c, out),
         Expr::Neg(inner) => {

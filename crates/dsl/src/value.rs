@@ -2,6 +2,7 @@
 
 use amgen_db::LayoutObject;
 use amgen_geom::Coord;
+use amgen_tech::Layer;
 
 /// A runtime value.
 #[derive(Debug, Clone)]
@@ -11,6 +12,10 @@ pub enum Value {
     Num(f64),
     /// A string (layer or net name).
     Str(String),
+    /// A layer handle interned at bind time, keeping its source spelling
+    /// so contexts that want a string (net names, error messages) still
+    /// see one.
+    Layer(Layer, String),
     /// A layout object under construction or completed.
     Obj(LayoutObject),
     /// An omitted optional parameter — geometry functions substitute the
@@ -37,10 +42,12 @@ impl Value {
         }
     }
 
-    /// The string value, if any.
+    /// The string value, if any. An interned layer reads back as its
+    /// source spelling.
     pub fn as_str(&self) -> Result<&str, String> {
         match self {
             Value::Str(s) => Ok(s),
+            Value::Layer(_, name) => Ok(name),
             other => Err(format!("expected a string, got {}", other.kind())),
         }
     }
@@ -55,6 +62,7 @@ impl Value {
         match self {
             Value::Num(_) => "number",
             Value::Str(_) => "string",
+            Value::Layer(..) => "layer",
             Value::Obj(_) => "object",
             Value::Unset => "unset",
         }

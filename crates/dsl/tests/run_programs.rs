@@ -4,7 +4,7 @@ use amgen_drc::Drc;
 use amgen_dsl::{stdlib, DslError, Interpreter, Value};
 use amgen_tech::Tech;
 
-fn interp(t: &Tech) -> Interpreter<'_> {
+fn interp(t: &Tech) -> Interpreter {
     let mut i = Interpreter::new(t);
     i.load(stdlib::FIG2_CONTACT_ROW).unwrap();
     i.load(stdlib::FIG7_DIFF_PAIR).unwrap();

@@ -1,7 +1,8 @@
 //! Geometric connectivity extraction (union-find over shapes).
 
+use amgen_core::{GenCtx, IntoGenCtx, Stage};
 use amgen_db::LayoutObject;
-use amgen_tech::{LayerKind, Tech};
+use amgen_tech::{LayerKind, RuleSet};
 
 /// One electrically connected component of a layout.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,10 +24,10 @@ impl ExtractedNet {
     }
 }
 
-/// Connectivity/parasitic extractor bound to one technology.
-#[derive(Debug, Clone, Copy)]
-pub struct Extractor<'t> {
-    pub(crate) tech: &'t Tech,
+/// Connectivity/parasitic extractor bound to one generation context.
+#[derive(Debug, Clone)]
+pub struct Extractor {
+    pub(crate) ctx: GenCtx,
 }
 
 struct UnionFind {
@@ -54,15 +55,23 @@ impl UnionFind {
     }
 }
 
-impl<'t> Extractor<'t> {
-    /// Binds the extractor to a technology.
-    pub fn new(tech: &'t Tech) -> Extractor<'t> {
-        Extractor { tech }
+impl Extractor {
+    /// Binds the extractor to a generation context (or anything that
+    /// converts into one, e.g. `&Tech`).
+    pub fn new(ctx: impl IntoGenCtx) -> Extractor {
+        Extractor {
+            ctx: ctx.into_gen_ctx(),
+        }
     }
 
-    /// The bound technology.
-    pub fn tech(&self) -> &'t Tech {
-        self.tech
+    /// The shared generation context.
+    pub fn ctx(&self) -> &GenCtx {
+        &self.ctx
+    }
+
+    /// The compiled rule kernel.
+    pub fn rules(&self) -> &RuleSet {
+        &self.ctx
     }
 
     /// Extracts the electrically connected components.
@@ -88,11 +97,12 @@ impl<'t> Extractor<'t> {
     /// A diffusion shape crossed by a gate belongs to every component one
     /// of its fragments joined (its two halves are different nets).
     pub fn connectivity(&self, obj: &LayoutObject) -> Vec<ExtractedNet> {
+        let t0 = std::time::Instant::now();
         let shapes = obj.shapes();
         // Gate regions that cut diffusion.
         let gates: Vec<amgen_geom::Rect> = shapes
             .iter()
-            .filter(|s| self.tech.kind(s.layer) == LayerKind::Poly)
+            .filter(|s| self.ctx.kind(s.layer) == LayerKind::Poly)
             .map(|s| s.rect)
             .collect();
         // Fragment table.
@@ -102,7 +112,7 @@ impl<'t> Extractor<'t> {
         }
         let mut frags: Vec<Frag> = Vec::new();
         for (i, s) in shapes.iter().enumerate() {
-            let k = self.tech.kind(s.layer);
+            let k = self.ctx.kind(s.layer);
             if !(k.is_conductor() || k == LayerKind::Cut) {
                 continue;
             }
@@ -134,7 +144,7 @@ impl<'t> Extractor<'t> {
             by_layer.entry(shapes[f.shape].layer).or_default().push(fi);
         }
         for (layer, members) in &by_layer {
-            if !self.tech.kind(*layer).is_conductor() {
+            if !self.ctx.kind(*layer).is_conductor() {
                 continue;
             }
             for (p, &i) in members.iter().enumerate() {
@@ -149,14 +159,14 @@ impl<'t> Extractor<'t> {
         // Cuts.
         for ci in 0..frags.len() {
             let cut_layer = shapes[frags[ci].shape].layer;
-            if self.tech.kind(cut_layer) != LayerKind::Cut {
+            if self.ctx.kind(cut_layer) != LayerKind::Cut {
                 continue;
             }
             let cut_rect = frags[ci].rect;
             let mut metal_side: Vec<usize> = Vec::new();
             let mut device_side: Vec<usize> = Vec::new();
             // Only fragments on layers this cut can connect matter.
-            for (a, b) in self.tech.connected_pairs(cut_layer) {
+            for &(a, b) in self.ctx.connected_pairs(cut_layer) {
                 for ol in [a, b] {
                     let Some(members) = by_layer.get(&ol) else {
                         continue;
@@ -165,7 +175,7 @@ impl<'t> Extractor<'t> {
                         if oi == ci || !cut_rect.overlaps(&frags[oi].rect) {
                             continue;
                         }
-                        if self.tech.kind(ol) == LayerKind::Metal {
+                        if self.ctx.kind(ol) == LayerKind::Metal {
                             if !metal_side.contains(&oi) {
                                 metal_side.push(oi);
                             }
@@ -216,6 +226,9 @@ impl<'t> Extractor<'t> {
             })
             .collect();
         nets.sort_by(|a, b| a.shapes.cmp(&b.shapes));
+        self.ctx
+            .metrics
+            .add_stage_nanos(Stage::Extract, t0.elapsed().as_nanos() as u64);
         nets
     }
 
@@ -234,6 +247,7 @@ mod tests {
     use super::*;
     use amgen_db::Shape;
     use amgen_geom::{um, Rect};
+    use amgen_tech::Tech;
 
     fn tech() -> Tech {
         Tech::bicmos_1u()

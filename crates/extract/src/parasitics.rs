@@ -22,13 +22,13 @@ pub struct NetParasitics {
     pub res_mohm: f64,
 }
 
-impl<'t> Extractor<'t> {
+impl Extractor {
     /// Extracts connectivity and computes parasitics for every net.
     ///
     /// Overlapping same-layer geometry is merged before the capacitance
     /// integral, so abutting rectangles are not double counted.
     pub fn parasitics(&self, obj: &LayoutObject) -> Vec<NetParasitics> {
-        let tech = self.tech();
+        let tech = self.rules();
         self.connectivity(obj)
             .into_iter()
             .map(|net| {
@@ -102,14 +102,15 @@ impl<'t> Extractor<'t> {
 /// Capacitance of a single isolated rectangle on a layer (helper for
 /// tests and quick estimates), in attofarads.
 pub fn rect_cap_af(
-    tech: &amgen_tech::Tech,
+    ctx: impl amgen_core::IntoGenCtx,
     layer: amgen_tech::Layer,
     rect: amgen_geom::Rect,
 ) -> f64 {
-    if tech.kind(layer) == LayerKind::Cut {
+    let ctx = ctx.into_gen_ctx();
+    if ctx.kind(layer) == LayerKind::Cut {
         return 0.0;
     }
-    let cc = tech.cap_coeffs(layer);
+    let cc = ctx.cap_coeffs(layer);
     let area_um2 = rect.area() as f64 / 1e6;
     let perim_um = 2.0 * (rect.width() + rect.height()) as f64 / 1e3;
     area_um2 * cc.area_af_per_um2 + perim_um * cc.fringe_af_per_um

@@ -1,0 +1,387 @@
+//! The shared generation context threaded through every pipeline stage.
+//!
+//! Every stage of the module generator — primitive shape functions,
+//! the successive compactor and its rebuild hooks, DRC, extraction,
+//! routing, the module library, the language interpreter and the order
+//! optimizer — is design-rule driven: rule lookup is the innermost loop
+//! of the whole system. [`GenCtx`] packages the compiled, immutable
+//! [`RuleSet`] kernel together with generation options and cheap atomic
+//! [`Metrics`] so that all stages consume *one* shared context:
+//!
+//! * `rules` is an [`Arc<RuleSet>`] — cloning a `GenCtx` (for a parallel
+//!   search worker, say) bumps a reference count instead of deep-cloning
+//!   the rule database;
+//! * `GenCtx` derefs to [`RuleSet`], so `ctx.min_spacing(a, b)` works
+//!   anywhere a `&Tech` query used to;
+//! * `metrics` carries relaxed atomic per-stage counters (objects
+//!   placed, group rebuilds, DRC checks, wall time per stage) plus the
+//!   kernel's rule-query counter, surfaced via [`GenCtx::snapshot`].
+//!
+//! Construction is cheap to write at every call site thanks to the
+//! [`IntoGenCtx`] compat shim: APIs accept `impl IntoGenCtx`, so a
+//! `&Tech` (compiled on the spot), a `&GenCtx` (shared) or an owned
+//! `GenCtx` all work.
+//!
+//! ```
+//! use amgen_core::GenCtx;
+//! use amgen_tech::Tech;
+//!
+//! let tech = Tech::bicmos_1u();
+//! let ctx = GenCtx::from_tech(&tech);
+//! let poly = ctx.poly().unwrap();
+//! assert_eq!(ctx.min_width(poly), tech.min_width(poly));
+//! let worker = ctx.clone(); // Arc bump, not a rule-table copy
+//! assert!(std::sync::Arc::ptr_eq(&ctx.rules, &worker.rules));
+//! ```
+
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use amgen_tech::{RuleSet, Tech};
+
+/// Options that apply to a whole generation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GenOptions {
+    /// Count every rule query in the kernel (off by default; the counter
+    /// costs one relaxed atomic add per query when enabled).
+    pub count_rule_queries: bool,
+}
+
+/// The pipeline stages instrumented by [`Metrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Primitive shape functions.
+    Prim,
+    /// The successive compactor.
+    Compact,
+    /// Design-rule checking (incl. latch-up).
+    Drc,
+    /// Connectivity / parasitic extraction.
+    Extract,
+    /// Wiring routines.
+    Route,
+    /// The module library generators.
+    Modgen,
+    /// The language interpreter.
+    Dsl,
+    /// The compaction-order optimizer.
+    Opt,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 8] = [
+        Stage::Prim,
+        Stage::Compact,
+        Stage::Drc,
+        Stage::Extract,
+        Stage::Route,
+        Stage::Modgen,
+        Stage::Dsl,
+        Stage::Opt,
+    ];
+
+    /// Short lower-case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Prim => "prim",
+            Stage::Compact => "compact",
+            Stage::Drc => "drc",
+            Stage::Extract => "extract",
+            Stage::Route => "route",
+            Stage::Modgen => "modgen",
+            Stage::Dsl => "dsl",
+            Stage::Opt => "opt",
+        }
+    }
+}
+
+/// Cheap per-stage counters, shared by all clones of a [`GenCtx`].
+///
+/// All counters are relaxed atomics: incrementing from parallel search
+/// workers is safe and nearly free, and a torn read can at worst lag a
+/// concurrent writer by a few events.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    objects_placed: AtomicU64,
+    rebuilds: AtomicU64,
+    drc_checks: AtomicU64,
+    stage_nanos: [AtomicU64; Stage::ALL.len()],
+}
+
+impl Metrics {
+    /// A fresh, all-zero metrics block.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Records `n` objects placed into a layout.
+    #[inline]
+    pub fn add_objects_placed(&self, n: u64) {
+        self.objects_placed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one contact-array group rebuild.
+    #[inline]
+    pub fn add_rebuild(&self) {
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` individual DRC checks.
+    #[inline]
+    pub fn add_drc_checks(&self, n: u64) {
+        self.drc_checks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds wall time to a stage's bucket.
+    #[inline]
+    pub fn add_stage_nanos(&self, stage: Stage, nanos: u64) {
+        self.stage_nanos[stage as usize].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Runs `f`, charging its wall time to `stage`.
+    pub fn time<R>(&self, stage: Stage, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.add_stage_nanos(stage, t0.elapsed().as_nanos() as u64);
+        r
+    }
+
+    /// Wall nanoseconds charged to a stage so far.
+    pub fn stage_nanos(&self, stage: Stage) -> u64 {
+        self.stage_nanos[stage as usize].load(Ordering::Relaxed)
+    }
+
+    /// An RAII guard that charges the wall time from its creation to its
+    /// drop against `stage` — the ergonomic form of [`Metrics::time`] for
+    /// functions with early returns.
+    pub fn stage_timer(&self, stage: Stage) -> StageTimer<'_> {
+        StageTimer {
+            metrics: self,
+            stage,
+            start: Instant::now(),
+        }
+    }
+}
+
+/// Guard returned by [`Metrics::stage_timer`]; adds the elapsed wall time
+/// to the stage bucket when dropped.
+#[derive(Debug)]
+pub struct StageTimer<'m> {
+    metrics: &'m Metrics,
+    stage: Stage,
+    start: Instant,
+}
+
+impl Drop for StageTimer<'_> {
+    fn drop(&mut self) {
+        self.metrics
+            .add_stage_nanos(self.stage, self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+/// A point-in-time copy of all counters, for reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Rule queries answered by the kernel (0 unless counting was on).
+    pub rule_queries: u64,
+    /// Objects placed into layouts.
+    pub objects_placed: u64,
+    /// Contact-array group rebuilds performed by the compactor.
+    pub rebuilds: u64,
+    /// Individual DRC checks run.
+    pub drc_checks: u64,
+    /// Wall nanoseconds per stage, in [`Stage::ALL`] order.
+    pub stage_nanos: [u64; Stage::ALL.len()],
+}
+
+impl MetricsSnapshot {
+    /// Wall nanoseconds charged to one stage.
+    pub fn stage_nanos(&self, stage: Stage) -> u64 {
+        self.stage_nanos[stage as usize]
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rule_queries={} objects_placed={} rebuilds={} drc_checks={}",
+            self.rule_queries, self.objects_placed, self.rebuilds, self.drc_checks
+        )?;
+        for stage in Stage::ALL {
+            let ns = self.stage_nanos(stage);
+            if ns > 0 {
+                write!(f, " {}={:.3}ms", stage.name(), ns as f64 / 1e6)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The shared generation context: compiled rules + options + metrics.
+///
+/// Clone freely — both heavy members sit behind [`Arc`]s, so a clone is
+/// two reference-count bumps. Rule queries go straight through
+/// [`Deref`] to the [`RuleSet`] kernel.
+#[derive(Debug, Clone)]
+pub struct GenCtx {
+    /// The compiled, immutable design-rule kernel.
+    pub rules: Arc<RuleSet>,
+    /// Run-wide options.
+    pub options: GenOptions,
+    /// Shared counters.
+    pub metrics: Arc<Metrics>,
+}
+
+impl GenCtx {
+    /// Wraps an already-compiled kernel.
+    pub fn new(rules: Arc<RuleSet>) -> GenCtx {
+        GenCtx {
+            rules,
+            options: GenOptions::default(),
+            metrics: Arc::new(Metrics::new()),
+        }
+    }
+
+    /// Compiles `tech` and wraps the result.
+    pub fn from_tech(tech: &Tech) -> GenCtx {
+        GenCtx::new(tech.compile_arc())
+    }
+
+    /// Applies options (enabling the kernel's query counter when asked).
+    #[must_use]
+    pub fn with_options(mut self, options: GenOptions) -> GenCtx {
+        self.options = options;
+        self.rules.set_query_counting(options.count_rule_queries);
+        self
+    }
+
+    /// Reads all counters into a report-ready snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut stage_nanos = [0u64; Stage::ALL.len()];
+        for (slot, stage) in stage_nanos.iter_mut().zip(Stage::ALL) {
+            *slot = self.metrics.stage_nanos(stage);
+        }
+        MetricsSnapshot {
+            rule_queries: self.rules.rule_queries(),
+            objects_placed: self.metrics.objects_placed.load(Ordering::Relaxed),
+            rebuilds: self.metrics.rebuilds.load(Ordering::Relaxed),
+            drc_checks: self.metrics.drc_checks.load(Ordering::Relaxed),
+            stage_nanos,
+        }
+    }
+}
+
+impl Deref for GenCtx {
+    type Target = RuleSet;
+
+    #[inline]
+    fn deref(&self) -> &RuleSet {
+        &self.rules
+    }
+}
+
+/// Compat shim: lets every stage constructor accept a `&Tech` (compiled
+/// on the spot — convenient in tests and one-shot tools), a `&GenCtx`
+/// (the cheap, shared hot path) or an owned `GenCtx`/`Arc<RuleSet>`.
+pub trait IntoGenCtx {
+    /// Converts into an owned context.
+    fn into_gen_ctx(self) -> GenCtx;
+}
+
+impl IntoGenCtx for GenCtx {
+    fn into_gen_ctx(self) -> GenCtx {
+        self
+    }
+}
+
+impl IntoGenCtx for &GenCtx {
+    fn into_gen_ctx(self) -> GenCtx {
+        self.clone()
+    }
+}
+
+impl IntoGenCtx for &Tech {
+    fn into_gen_ctx(self) -> GenCtx {
+        GenCtx::from_tech(self)
+    }
+}
+
+impl IntoGenCtx for Arc<RuleSet> {
+    fn into_gen_ctx(self) -> GenCtx {
+        GenCtx::new(self)
+    }
+}
+
+impl IntoGenCtx for &Arc<RuleSet> {
+    fn into_gen_ctx(self) -> GenCtx {
+        GenCtx::new(Arc::clone(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_rules_and_metrics() {
+        let ctx = GenCtx::from_tech(&Tech::bicmos_1u());
+        let clone = ctx.clone();
+        assert!(Arc::ptr_eq(&ctx.rules, &clone.rules));
+        assert!(Arc::ptr_eq(&ctx.metrics, &clone.metrics));
+        clone.metrics.add_rebuild();
+        assert_eq!(ctx.snapshot().rebuilds, 1);
+    }
+
+    #[test]
+    fn deref_reaches_the_kernel() {
+        let tech = Tech::bicmos_1u();
+        let ctx = GenCtx::from_tech(&tech);
+        let poly = ctx.layer("poly").unwrap();
+        assert_eq!(ctx.min_width(poly), tech.min_width(poly));
+        assert_eq!(ctx.grid(), tech.grid());
+    }
+
+    #[test]
+    fn query_counting_flows_into_snapshots() {
+        let ctx = GenCtx::from_tech(&Tech::bicmos_1u()).with_options(GenOptions {
+            count_rule_queries: true,
+        });
+        let poly = ctx.poly().unwrap();
+        let _ = ctx.min_width(poly);
+        let _ = ctx.clearance(poly, poly);
+        assert_eq!(ctx.snapshot().rule_queries, 2);
+    }
+
+    #[test]
+    fn stage_timing_accumulates() {
+        let ctx = GenCtx::from_tech(&Tech::bicmos_1u());
+        let out = ctx.metrics.time(Stage::Compact, || 7);
+        assert_eq!(out, 7);
+        ctx.metrics.add_stage_nanos(Stage::Compact, 1);
+        let snap = ctx.snapshot();
+        assert!(snap.stage_nanos(Stage::Compact) >= 1);
+        assert_eq!(snap.stage_nanos(Stage::Route), 0);
+        let line = snap.to_string();
+        assert!(line.contains("compact="), "{line}");
+    }
+
+    #[test]
+    fn into_gen_ctx_accepts_all_forms() {
+        fn take(ctx: impl IntoGenCtx) -> GenCtx {
+            ctx.into_gen_ctx()
+        }
+        let tech = Tech::bicmos_1u();
+        let a = take(&tech);
+        let b = take(&a);
+        assert!(Arc::ptr_eq(&a.rules, &b.rules));
+        let rules = tech.compile_arc();
+        let c = take(&rules);
+        let d = take(rules);
+        assert!(Arc::ptr_eq(&c.rules, &d.rules));
+        let _ = take(c);
+    }
+}

@@ -12,9 +12,9 @@
 //! experiment harness compares the line counts (`T-code` in
 //! EXPERIMENTS.md).
 
+use amgen_core::{IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Shape};
 use amgen_geom::{Coord, Rect};
-use amgen_tech::Tech;
 
 use crate::error::ModgenError;
 
@@ -30,13 +30,15 @@ pub const BASELINE_SOURCE: &str = include_str!("baseline.rs");
 /// Every coordinate below is derived manually — exactly the style the
 /// paper's language replaces.
 pub fn contact_row_by_coordinates(
-    tech: &Tech,
+    tech: impl IntoGenCtx,
     layer_name: &str,
     w: Coord,
 ) -> Result<LayoutObject, ModgenError> {
+    let tech = &tech.into_gen_ctx();
+    let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let layer = tech.layer(layer_name)?;
-    let metal1 = tech.layer("metal1")?;
-    let contact = tech.layer("contact")?;
+    let metal1 = tech.metal1()?;
+    let contact = tech.contact()?;
 
     // --- manual rule arithmetic -----------------------------------
     let cut = tech
@@ -104,6 +106,7 @@ mod tests {
     use crate::contact_row::{contact_row, ContactRowParams};
     use amgen_drc::Drc;
     use amgen_geom::um;
+    use amgen_tech::Tech;
 
     fn tech() -> Tech {
         Tech::bicmos_1u()

@@ -10,10 +10,10 @@
 //! compaction steps.
 
 use amgen_compact::{CompactOptions, Compactor};
+use amgen_core::{IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Port};
 use amgen_geom::{Coord, Dir, Vector};
 use amgen_prim::Primitives;
-use amgen_tech::Tech;
 
 use crate::contact_row::{contact_row, ContactRowParams};
 use crate::error::ModgenError;
@@ -40,13 +40,15 @@ impl NpnParams {
 }
 
 /// Generates a single npn transistor. Ports: `e`, `b`, `c`.
-pub fn bipolar_npn(tech: &Tech, params: &NpnParams) -> Result<LayoutObject, ModgenError> {
+pub fn bipolar_npn(tech: impl IntoGenCtx, params: &NpnParams) -> Result<LayoutObject, ModgenError> {
+    let tech = &tech.into_gen_ctx();
+    let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let prim = Primitives::new(tech);
     let c = Compactor::new(tech);
-    let base = tech.layer("base")?;
-    let emitter = tech.layer("emitter")?;
-    let buried = tech.layer("buried")?;
-    let ndiff = tech.layer("ndiff")?;
+    let base = tech.base()?;
+    let emitter = tech.emitter()?;
+    let buried = tech.buried()?;
+    let ndiff = tech.ndiff()?;
 
     // Emitter contact row: emitter diffusion + metal + contacts.
     let mut e_row = contact_row(tech, emitter, &ContactRowParams::new().with_net("e"))?;
@@ -108,9 +110,14 @@ pub fn bipolar_npn(tech: &Tech, params: &NpnParams) -> Result<LayoutObject, Modg
 
 /// A symmetric npn pair: two devices mirrored about a common axis, the
 /// block-F arrangement.
-pub fn bipolar_pair(tech: &Tech, params: &NpnParams) -> Result<LayoutObject, ModgenError> {
+pub fn bipolar_pair(
+    tech: impl IntoGenCtx,
+    params: &NpnParams,
+) -> Result<LayoutObject, ModgenError> {
+    let tech = &tech.into_gen_ctx();
+    let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let single = bipolar_npn(tech, params)?;
-    let buried = tech.layer("buried")?;
+    let buried = tech.buried()?;
     let space = tech.min_spacing(buried, buried).unwrap_or(5_000);
     let mut main = LayoutObject::new("npn_pair");
     main.absorb(&single, Vector::ZERO);
@@ -150,6 +157,7 @@ mod tests {
     use amgen_drc::Drc;
     use amgen_extract::Extractor;
     use amgen_geom::um;
+    use amgen_tech::Tech;
 
     fn tech() -> Tech {
         Tech::bicmos_1u()

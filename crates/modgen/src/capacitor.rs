@@ -7,10 +7,10 @@
 //! the poly layer gives the nominal value.
 
 use amgen_compact::{CompactOptions, Compactor};
+use amgen_core::{IntoGenCtx, Stage};
 use amgen_db::LayoutObject;
 use amgen_geom::{Coord, Dir};
 use amgen_prim::Primitives;
-use amgen_tech::Tech;
 
 use crate::contact_row::{contact_row, ContactRowParams};
 use crate::error::ModgenError;
@@ -43,13 +43,15 @@ impl MosCapParams {
 /// Returns the module and the estimated plate capacitance in fF (area ×
 /// the poly area coefficient — a stand-in for the oxide capacitance).
 pub fn mos_capacitor(
-    tech: &Tech,
+    tech: impl IntoGenCtx,
     params: &MosCapParams,
 ) -> Result<(LayoutObject, f64), ModgenError> {
+    let tech = &tech.into_gen_ctx();
+    let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let c = Compactor::new(tech);
     let prim = Primitives::new(tech);
-    let poly = tech.layer("poly")?;
-    let diff = tech.layer(params.mos.diff_layer())?;
+    let poly = tech.poly()?;
+    let diff = params.mos.diff(tech)?;
     let side = params.side.unwrap_or(10_000).max(4_000);
 
     // The plate crossing: a "transistor" with W = L = side.
@@ -86,13 +88,13 @@ pub fn mos_capacitor(
 
     match params.mos {
         MosType::N => {
-            let nplus = tech.layer("nplus")?;
+            let nplus = tech.nplus()?;
             prim.around(&mut main, nplus, 0)?;
         }
         MosType::P => {
-            let pplus = tech.layer("pplus")?;
+            let pplus = tech.pplus()?;
             prim.around(&mut main, pplus, 0)?;
-            let nwell = tech.layer("nwell")?;
+            let nwell = tech.nwell()?;
             prim.around(&mut main, nwell, 0)?;
         }
     }
@@ -109,6 +111,7 @@ mod tests {
     use amgen_drc::Drc;
     use amgen_extract::Extractor;
     use amgen_geom::um;
+    use amgen_tech::Tech;
 
     fn tech() -> Tech {
         Tech::bicmos_1u()

@@ -10,10 +10,10 @@
 //! and are joined with one straight metal2 wire.
 
 use amgen_compact::{CompactOptions, Compactor};
+use amgen_core::{IntoGenCtx, Stage};
 use amgen_db::LayoutObject;
 use amgen_geom::{Coord, Dir};
 use amgen_route::Router;
-use amgen_tech::Tech;
 
 use crate::error::ModgenError;
 use crate::interdigit::{interdigitated, InterdigitParams};
@@ -63,10 +63,15 @@ impl CascodeParams {
 /// Ports: `g_lo`, `g_hi` (the two gate nodes), `s` (bottom source), `d`
 /// (top drain); the internal node `mid` joins the lower drain to the
 /// upper source.
-pub fn cascode_pair(tech: &Tech, params: &CascodeParams) -> Result<LayoutObject, ModgenError> {
+pub fn cascode_pair(
+    tech: impl IntoGenCtx,
+    params: &CascodeParams,
+) -> Result<LayoutObject, ModgenError> {
+    let tech = &tech.into_gen_ctx();
+    let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let c = Compactor::new(tech);
     let router = Router::new(tech);
-    let m2 = tech.layer("metal2")?;
+    let m2 = tech.metal2()?;
 
     let mut lower_p =
         InterdigitParams::new(params.mos, params.fingers).with_nets("g_lo", "s", "mid");
@@ -90,14 +95,14 @@ pub fn cascode_pair(tech: &Tech, params: &CascodeParams) -> Result<LayoutObject,
         .iter()
         .find(|p| p.name == "mid" && p.layer == m2)
         .map(|p| p.rect)
-        .expect("lower mid bus");
+        .ok_or_else(|| ModgenError::Route("cascode: lower `mid` bus port not found".into()))?;
     let upper_mid = main
         .ports()
         .iter()
         .rev()
         .find(|p| p.name == "mid" && p.layer == m2)
         .map(|p| p.rect)
-        .expect("upper mid bus");
+        .ok_or_else(|| ModgenError::Route("cascode: upper `mid` bus port not found".into()))?;
     let mid_id = main.net("mid");
     router.straight(&mut main, m2, lower_mid, upper_mid, None, Some(mid_id))?;
     Ok(main)
@@ -109,6 +114,7 @@ mod tests {
     use amgen_drc::Drc;
     use amgen_extract::Extractor;
     use amgen_geom::um;
+    use amgen_tech::Tech;
 
     fn tech() -> Tech {
         Tech::bicmos_1u()

@@ -20,11 +20,11 @@
 //! as `d2`'s risers cross `d1`'s.
 
 use amgen_compact::{CompactOptions, Compactor};
+use amgen_core::{GenCtx, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Port, Shape};
 use amgen_geom::{Coord, Dir, Point, Rect, Vector};
 use amgen_prim::Primitives;
 use amgen_route::Router;
-use amgen_tech::Tech;
 
 use crate::contact_row::{contact_row, ContactRowParams};
 use crate::error::ModgenError;
@@ -101,14 +101,14 @@ const REACH: Coord = 2_500;
 /// One gate finger: poly stripe reaching up (A), down (B) or neither
 /// (dummy), over a diffusion band segment.
 fn gate_unit(
-    tech: &Tech,
+    tech: &GenCtx,
     mos: MosType,
     dev: Device,
     w: Coord,
     l: Option<Coord>,
 ) -> Result<LayoutObject, ModgenError> {
-    let poly = tech.layer("poly")?;
-    let diff = tech.layer(mos.diff_layer())?;
+    let poly = tech.poly()?;
+    let diff = mos.diff(tech)?;
     let l = l
         .unwrap_or_else(|| tech.min_width(poly))
         .max(tech.min_width(poly));
@@ -136,9 +136,11 @@ fn gate_unit(
 /// (metal2 buses), common source `s`, and `sub` when the guard ring is
 /// enabled.
 pub fn centroid_diff_pair(
-    tech: &Tech,
+    tech: impl IntoGenCtx,
     params: &CentroidParams,
 ) -> Result<LayoutObject, ModgenError> {
+    let tech = &tech.into_gen_ctx();
+    let _timer = tech.metrics.stage_timer(Stage::Modgen);
     if params.pairs_per_side == 0 {
         return Err(ModgenError::BadParam {
             param: "pairs_per_side",
@@ -148,11 +150,11 @@ pub fn centroid_diff_pair(
     let c = Compactor::new(tech);
     let router = Router::new(tech);
     let prim = Primitives::new(tech);
-    let poly = tech.layer("poly")?;
-    let diff = tech.layer(params.mos.diff_layer())?;
-    let m1 = tech.layer("metal1")?;
-    let m2 = tech.layer("metal2")?;
-    let via = tech.layer("via1")?;
+    let poly = tech.poly()?;
+    let diff = params.mos.diff(tech)?;
+    let m1 = tech.metal1()?;
+    let m2 = tech.metal2()?;
+    let via = tech.via1()?;
     let w = params.w.unwrap_or(6_000).max(4_000);
     let gx = tech.extension(poly, diff);
 
@@ -184,7 +186,7 @@ pub fn centroid_diff_pair(
 
     let mut main = LayoutObject::new("centroid_pair");
     let opts = CompactOptions::new().ignoring(diff);
-    let s_row = |tech: &Tech| -> Result<LayoutObject, ModgenError> {
+    let s_row = |tech: &GenCtx| -> Result<LayoutObject, ModgenError> {
         contact_row(tech, diff, &ContactRowParams::new().with_l(w).with_net("s"))
     };
 
@@ -344,13 +346,13 @@ pub fn centroid_diff_pair(
     // Implants / well.
     match params.mos {
         MosType::N => {
-            let nplus = tech.layer("nplus")?;
+            let nplus = tech.nplus()?;
             prim.around(&mut main, nplus, 0)?;
         }
         MosType::P => {
-            let pplus = tech.layer("pplus")?;
+            let pplus = tech.pplus()?;
             prim.around(&mut main, pplus, 0)?;
-            let nwell = tech.layer("nwell")?;
+            let nwell = tech.nwell()?;
             prim.around(&mut main, nwell, 0)?;
         }
     }
@@ -376,6 +378,7 @@ mod tests {
     use amgen_drc::{latchup, Drc};
     use amgen_extract::Extractor;
     use amgen_geom::um;
+    use amgen_tech::Tech;
 
     fn tech() -> Tech {
         Tech::bicmos_1u()

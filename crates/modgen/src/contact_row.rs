@@ -9,10 +9,11 @@
 //!   ARRAY("contact")
 //! ```
 
+use amgen_core::{IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Port, RebuildKind};
 use amgen_geom::{Coord, Dir};
 use amgen_prim::Primitives;
-use amgen_tech::{Layer, Tech};
+use amgen_tech::Layer;
 
 use crate::error::ModgenError;
 
@@ -84,13 +85,15 @@ impl ContactRowParams {
 /// assert!(row.port("c").is_some());
 /// ```
 pub fn contact_row(
-    tech: &Tech,
+    tech: impl IntoGenCtx,
     layer: Layer,
     params: &ContactRowParams,
 ) -> Result<LayoutObject, ModgenError> {
+    let tech = &tech.into_gen_ctx();
+    let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let prim = Primitives::new(tech);
-    let metal1 = tech.layer("metal1")?;
-    let contact = tech.layer("contact")?;
+    let metal1 = tech.metal1()?;
+    let contact = tech.contact()?;
     let mut obj = LayoutObject::new(format!("contact_row:{}", tech.layer_name(layer)));
     let base = prim.inbox(&mut obj, layer, params.w, params.l)?;
     let metal = prim.inbox(&mut obj, metal1, None, None)?;
@@ -134,6 +137,7 @@ mod tests {
     use amgen_drc::Drc;
     use amgen_extract::Extractor;
     use amgen_geom::um;
+    use amgen_tech::Tech;
 
     fn tech() -> Tech {
         Tech::bicmos_1u()

@@ -15,11 +15,11 @@
 //! shared between the devices.
 
 use amgen_compact::{CompactOptions, Compactor};
+use amgen_core::{IntoGenCtx, Stage};
 use amgen_db::LayoutObject;
 use amgen_geom::Coord;
 use amgen_geom::Dir;
 use amgen_prim::Primitives;
-use amgen_tech::Tech;
 
 use crate::contact_row::{contact_row, ContactRowParams};
 use crate::error::ModgenError;
@@ -68,10 +68,15 @@ impl DiffPairParams {
 ///
 /// Net/port names: gates `g1`/`g2`, drains `d1`/`d2` (outer rows), common
 /// source `s` (the shared middle row).
-pub fn diff_pair(tech: &Tech, params: &DiffPairParams) -> Result<LayoutObject, ModgenError> {
+pub fn diff_pair(
+    tech: impl IntoGenCtx,
+    params: &DiffPairParams,
+) -> Result<LayoutObject, ModgenError> {
+    let tech = &tech.into_gen_ctx();
+    let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let c = Compactor::new(tech);
     let prim = Primitives::new(tech);
-    let diff = tech.layer(params.mos.diff_layer())?;
+    let diff = params.mos.diff(tech)?;
 
     // trans1 carries its own east row (drain d1); trans2 is "a copy of
     // trans1" with its row becoming the shared source when it lands west.
@@ -93,13 +98,13 @@ pub fn diff_pair(tech: &Tech, params: &DiffPairParams) -> Result<LayoutObject, M
     if params.implants {
         match params.mos {
             MosType::N => {
-                let nplus = tech.layer("nplus")?;
+                let nplus = tech.nplus()?;
                 prim.around(&mut main, nplus, 0)?;
             }
             MosType::P => {
-                let pplus = tech.layer("pplus")?;
+                let pplus = tech.pplus()?;
                 prim.around(&mut main, pplus, 0)?;
-                let nwell = tech.layer("nwell")?;
+                let nwell = tech.nwell()?;
                 prim.around(&mut main, nwell, 0)?;
             }
         }
@@ -113,6 +118,7 @@ mod tests {
     use amgen_drc::Drc;
     use amgen_extract::Extractor;
     use amgen_geom::um;
+    use amgen_tech::Tech;
 
     fn tech() -> Tech {
         Tech::bicmos_1u()

@@ -6,9 +6,9 @@
 //! transistor plus one metal1 strap from the gate contact to the drain
 //! row.
 
+use amgen_core::{IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Shape};
 use amgen_geom::{Coord, Rect};
-use amgen_tech::Tech;
 
 use crate::error::ModgenError;
 use crate::mos::{mos_transistor, MosParams, MosType};
@@ -51,7 +51,12 @@ impl DiodeParams {
 
 /// Generates the diode-connected transistor. The anode (gate + drain) is
 /// net `a`, the source is net `s`. Ports: `a`, `s`.
-pub fn diode_transistor(tech: &Tech, params: &DiodeParams) -> Result<LayoutObject, ModgenError> {
+pub fn diode_transistor(
+    tech: impl IntoGenCtx,
+    params: &DiodeParams,
+) -> Result<LayoutObject, ModgenError> {
+    let tech = &tech.into_gen_ctx();
+    let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let mut p = MosParams::new(params.mos).with_nets("a", "s", "a");
     p.w = params.w;
     p.l = params.l;
@@ -59,7 +64,7 @@ pub fn diode_transistor(tech: &Tech, params: &DiodeParams) -> Result<LayoutObjec
     // Strap the gate contact row to the drain row: both carry net "a".
     // The gate contact sits south of the gate, the drain row east — an
     // L on metal1 joins them.
-    let m1 = tech.layer("metal1")?;
+    let m1 = tech.metal1()?;
     let a = m
         .find_net("a")
         .ok_or_else(|| ModgenError::Route("net `a` missing".into()))?;
@@ -108,6 +113,7 @@ mod tests {
     use amgen_drc::Drc;
     use amgen_extract::Extractor;
     use amgen_geom::um;
+    use amgen_tech::Tech;
 
     fn tech() -> Tech {
         Tech::bicmos_1u()

@@ -6,10 +6,10 @@
 //! a contacted diffusion ring whose shapes carry
 //! [`ShapeRole::SubstrateContact`] so the check can find them.
 
+use amgen_core::{IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Port, Shape, ShapeRole};
 use amgen_geom::{Coord, Rect};
 use amgen_prim::Primitives;
-use amgen_tech::Tech;
 
 use crate::error::ModgenError;
 
@@ -36,14 +36,16 @@ impl Default for GuardRingParams {
 /// the combined module. The ring's diffusion carries
 /// [`ShapeRole::SubstrateContact`] — it provides latch-up coverage.
 pub fn guard_ring(
-    tech: &Tech,
+    tech: impl IntoGenCtx,
     core: &LayoutObject,
     params: &GuardRingParams,
 ) -> Result<LayoutObject, ModgenError> {
+    let tech = &tech.into_gen_ctx();
+    let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let prim = Primitives::new(tech);
-    let pdiff = tech.layer("pdiff")?;
-    let m1 = tech.layer("metal1")?;
-    let ct = tech.layer("contact")?;
+    let pdiff = tech.pdiff()?;
+    let m1 = tech.metal1()?;
+    let ct = tech.contact()?;
 
     let mut obj = core.clone();
     let net = obj.net(&params.net);

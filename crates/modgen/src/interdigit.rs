@@ -6,11 +6,11 @@
 //! metal2 buses collecting the source and drain rows.
 
 use amgen_compact::{CompactOptions, Compactor};
+use amgen_core::{GenCtx, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Port, Shape};
 use amgen_geom::{Coord, Dir, Point, Rect};
 use amgen_prim::Primitives;
 use amgen_route::Router;
-use amgen_tech::Tech;
 
 use crate::contact_row::{contact_row, ContactRowParams};
 use crate::error::ModgenError;
@@ -80,15 +80,15 @@ impl InterdigitParams {
 /// Internal: builds one bare gate finger (poly stripe + diffusion band
 /// segment, no contacts).
 fn gate_unit(
-    tech: &Tech,
+    tech: &GenCtx,
     mos: MosType,
     w: Coord,
     l: Option<Coord>,
     g_net: &str,
 ) -> Result<LayoutObject, ModgenError> {
     let prim = Primitives::new(tech);
-    let poly = tech.layer("poly")?;
-    let diff = tech.layer(mos.diff_layer())?;
+    let poly = tech.poly()?;
+    let diff = mos.diff(tech)?;
     let mut obj = LayoutObject::new("gate");
     let (gi, _) = prim.two_rects(&mut obj, poly, diff, Some(w), l)?;
     let id = obj.net(g_net);
@@ -100,7 +100,12 @@ fn gate_unit(
 ///
 /// Ports: the gate (`g_net`, on the poly contact row), the source bus and
 /// the drain bus (`s_net`/`d_net`, on metal2).
-pub fn interdigitated(tech: &Tech, params: &InterdigitParams) -> Result<LayoutObject, ModgenError> {
+pub fn interdigitated(
+    tech: impl IntoGenCtx,
+    params: &InterdigitParams,
+) -> Result<LayoutObject, ModgenError> {
+    let tech = &tech.into_gen_ctx();
+    let _timer = tech.metrics.stage_timer(Stage::Modgen);
     if params.fingers == 0 {
         return Err(ModgenError::BadParam {
             param: "fingers",
@@ -110,11 +115,11 @@ pub fn interdigitated(tech: &Tech, params: &InterdigitParams) -> Result<LayoutOb
     let c = Compactor::new(tech);
     let prim = Primitives::new(tech);
     let router = Router::new(tech);
-    let poly = tech.layer("poly")?;
-    let diff = tech.layer(params.mos.diff_layer())?;
-    let m1 = tech.layer("metal1")?;
-    let m2 = tech.layer("metal2")?;
-    let via = tech.layer("via1")?;
+    let poly = tech.poly()?;
+    let diff = params.mos.diff(tech)?;
+    let m1 = tech.metal1()?;
+    let m2 = tech.metal2()?;
+    let via = tech.via1()?;
     let w = params.w.unwrap_or(6_000).max(4_000);
 
     let mut main = LayoutObject::new("interdigit");
@@ -203,13 +208,13 @@ pub fn interdigitated(tech: &Tech, params: &InterdigitParams) -> Result<LayoutOb
     if params.implants {
         match params.mos {
             MosType::N => {
-                let nplus = tech.layer("nplus")?;
+                let nplus = tech.nplus()?;
                 prim.around(&mut main, nplus, 0)?;
             }
             MosType::P => {
-                let pplus = tech.layer("pplus")?;
+                let pplus = tech.pplus()?;
                 prim.around(&mut main, pplus, 0)?;
-                let nwell = tech.layer("nwell")?;
+                let nwell = tech.nwell()?;
                 prim.around(&mut main, nwell, 0)?;
             }
         }
@@ -223,6 +228,7 @@ mod tests {
     use amgen_drc::Drc;
     use amgen_extract::Extractor;
     use amgen_geom::um;
+    use amgen_tech::Tech;
 
     fn tech() -> Tech {
         Tech::bicmos_1u()

@@ -9,11 +9,11 @@
 //! device sits in the middle, `n` output fingers flank it on each side.
 
 use amgen_compact::{CompactOptions, Compactor};
+use amgen_core::{GenCtx, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Port, Shape};
 use amgen_geom::{Coord, Dir, Point, Rect};
 use amgen_prim::Primitives;
 use amgen_route::Router;
-use amgen_tech::Tech;
 
 use crate::contact_row::{contact_row, ContactRowParams};
 use crate::error::ModgenError;
@@ -69,7 +69,12 @@ impl MirrorParams {
 /// Generates the symmetric current mirror. All gates share the `in` net
 /// (the diode connection ties the middle drain to the gates). Ports:
 /// `in`, `out`, `s`.
-pub fn current_mirror(tech: &Tech, params: &MirrorParams) -> Result<LayoutObject, ModgenError> {
+pub fn current_mirror(
+    tech: impl IntoGenCtx,
+    params: &MirrorParams,
+) -> Result<LayoutObject, ModgenError> {
+    let tech = &tech.into_gen_ctx();
+    let _timer = tech.metrics.stage_timer(Stage::Modgen);
     if params.side_fingers == 0 {
         return Err(ModgenError::BadParam {
             param: "side_fingers",
@@ -79,25 +84,25 @@ pub fn current_mirror(tech: &Tech, params: &MirrorParams) -> Result<LayoutObject
     let c = Compactor::new(tech);
     let prim = Primitives::new(tech);
     let router = Router::new(tech);
-    let poly = tech.layer("poly")?;
-    let diff = tech.layer(params.mos.diff_layer())?;
-    let m1 = tech.layer("metal1")?;
-    let m2 = tech.layer("metal2")?;
-    let via = tech.layer("via1")?;
+    let poly = tech.poly()?;
+    let diff = params.mos.diff(tech)?;
+    let m1 = tech.metal1()?;
+    let m2 = tech.metal2()?;
+    let via = tech.via1()?;
     let w = params.w.unwrap_or(6_000).max(4_000);
 
     let mut main = LayoutObject::new("current_mirror");
     let opts = CompactOptions::new().ignoring(diff);
 
     // Gate finger (all gates on net "in": the mirror's input node).
-    let gate = |_tech: &Tech| -> Result<LayoutObject, ModgenError> {
+    let gate = |_tech: &GenCtx| -> Result<LayoutObject, ModgenError> {
         let mut obj = LayoutObject::new("gate");
         let (gi, _) = prim.two_rects(&mut obj, poly, diff, Some(w), params.l)?;
         let id = obj.net("in");
         obj.shapes_mut()[gi].net = Some(id);
         Ok(obj)
     };
-    let row = |tech: &Tech, net: &str| -> Result<LayoutObject, ModgenError> {
+    let row = |tech: &GenCtx, net: &str| -> Result<LayoutObject, ModgenError> {
         contact_row(tech, diff, &ContactRowParams::new().with_l(w).with_net(net))
     };
 
@@ -180,10 +185,9 @@ pub fn current_mirror(tech: &Tech, params: &MirrorParams) -> Result<LayoutObject
     // Diode connection: a metal1 riser from the middle drain row up to
     // the gate contact row, plus a horizontal jog when their x positions
     // differ.
-    let (_, in_x) = row_centers
-        .iter()
-        .find(|(n, _)| n == "in")
-        .expect("middle drain row exists");
+    let (_, in_x) = row_centers.iter().find(|(n, _)| n == "in").ok_or_else(|| {
+        ModgenError::Route("current_mirror: middle `in` drain row missing".into())
+    })?;
     let m1_w = tech.min_width(m1);
     let diode = Rect::new(in_x - m1_w / 2, w / 2, in_x - m1_w / 2 + m1_w, pc_rect.y1);
     main.push(Shape::new(m1, diode).with_net(in_id));
@@ -213,13 +217,13 @@ pub fn current_mirror(tech: &Tech, params: &MirrorParams) -> Result<LayoutObject
 
     match params.mos {
         MosType::N => {
-            let nplus = tech.layer("nplus")?;
+            let nplus = tech.nplus()?;
             prim.around(&mut main, nplus, 0)?;
         }
         MosType::P => {
-            let pplus = tech.layer("pplus")?;
+            let pplus = tech.pplus()?;
             prim.around(&mut main, pplus, 0)?;
-            let nwell = tech.layer("nwell")?;
+            let nwell = tech.nwell()?;
             prim.around(&mut main, nwell, 0)?;
         }
     }
@@ -232,6 +236,7 @@ mod tests {
     use amgen_drc::Drc;
     use amgen_extract::Extractor;
     use amgen_geom::um;
+    use amgen_tech::Tech;
 
     fn tech() -> Tech {
         Tech::bicmos_1u()

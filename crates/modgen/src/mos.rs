@@ -18,10 +18,10 @@
 //! diffusion-contacts could be placed closer to the transistors"*.
 
 use amgen_compact::{CompactOptions, Compactor};
+use amgen_core::{IntoGenCtx, Stage};
 use amgen_db::LayoutObject;
 use amgen_geom::{Coord, Dir};
 use amgen_prim::Primitives;
-use amgen_tech::Tech;
 
 use crate::contact_row::{contact_row, ContactRowParams};
 use crate::error::ModgenError;
@@ -41,6 +41,17 @@ impl MosType {
         match self {
             MosType::N => "ndiff",
             MosType::P => "pdiff",
+        }
+    }
+
+    /// The interned diffusion layer for this polarity — no string lookup.
+    pub fn diff(
+        self,
+        rules: &amgen_tech::RuleSet,
+    ) -> Result<amgen_tech::Layer, amgen_tech::TechError> {
+        match self {
+            MosType::N => rules.ndiff(),
+            MosType::P => rules.pdiff(),
         }
     }
 }
@@ -123,11 +134,16 @@ impl MosParams {
 /// Generates a contacted MOS transistor: gate crossing, gate contact row
 /// (south), and source/drain contact rows merged into the diffusion
 /// (west/east). Ports are named after the three net parameters.
-pub fn mos_transistor(tech: &Tech, params: &MosParams) -> Result<LayoutObject, ModgenError> {
+pub fn mos_transistor(
+    tech: impl IntoGenCtx,
+    params: &MosParams,
+) -> Result<LayoutObject, ModgenError> {
+    let tech = &tech.into_gen_ctx();
+    let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let prim = Primitives::new(tech);
     let c = Compactor::new(tech);
-    let poly = tech.layer("poly")?;
-    let diff = tech.layer(params.mos.diff_layer())?;
+    let poly = tech.poly()?;
+    let diff = params.mos.diff(tech)?;
 
     // TWORECTS: the gate crossing.
     let mut core = LayoutObject::new("trans");
@@ -197,13 +213,13 @@ pub fn mos_transistor(tech: &Tech, params: &MosParams) -> Result<LayoutObject, M
     if params.implants {
         match params.mos {
             MosType::N => {
-                let nplus = tech.layer("nplus")?;
+                let nplus = tech.nplus()?;
                 prim.around(&mut main, nplus, 0)?;
             }
             MosType::P => {
-                let pplus = tech.layer("pplus")?;
+                let pplus = tech.pplus()?;
                 prim.around(&mut main, pplus, 0)?;
-                let nwell = tech.layer("nwell")?;
+                let nwell = tech.nwell()?;
                 prim.around(&mut main, nwell, 0)?;
             }
         }
@@ -218,7 +234,7 @@ pub fn mos_transistor(tech: &Tech, params: &MosParams) -> Result<LayoutObject, M
 /// which is how the differential pair of Fig. 6 gets *"two transistors,
 /// three diffusion-contact-rows and two poly-contacts"*.
 pub fn mos_finger(
-    tech: &Tech,
+    tech: impl IntoGenCtx,
     mos: MosType,
     w: Option<Coord>,
     l: Option<Coord>,
@@ -226,10 +242,12 @@ pub fn mos_finger(
     row_net: &str,
     gate_contact: bool,
 ) -> Result<LayoutObject, ModgenError> {
+    let tech = &tech.into_gen_ctx();
+    let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let prim = Primitives::new(tech);
     let c = Compactor::new(tech);
-    let poly = tech.layer("poly")?;
-    let diff = tech.layer(mos.diff_layer())?;
+    let poly = tech.poly()?;
+    let diff = mos.diff(tech)?;
 
     let mut core = LayoutObject::new("finger");
     let (gate_idx, _) = prim.two_rects(&mut core, poly, diff, w, l)?;
@@ -274,6 +292,7 @@ mod tests {
     use amgen_drc::Drc;
     use amgen_extract::Extractor;
     use amgen_geom::um;
+    use amgen_tech::Tech;
 
     fn tech() -> Tech {
         Tech::bicmos_1u()

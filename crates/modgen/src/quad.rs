@@ -11,10 +11,10 @@
 //! enclosing module can wire diagonals on its preferred layers).
 
 use amgen_compact::{CompactOptions, Compactor};
+use amgen_core::{GenCtx, IntoGenCtx, Stage};
 use amgen_db::LayoutObject;
 use amgen_geom::{Coord, Dir};
 use amgen_prim::Primitives;
-use amgen_tech::Tech;
 
 use crate::contact_row::{contact_row, ContactRowParams};
 use crate::error::ModgenError;
@@ -59,7 +59,7 @@ impl QuadParams {
 /// One row: `S g(first) D(first) S g(second) D(second) S` built by
 /// successive compaction; gates carry the given nets, drains likewise.
 fn quad_row(
-    tech: &Tech,
+    tech: &GenCtx,
     mos: MosType,
     w: Coord,
     l: Option<Coord>,
@@ -68,8 +68,8 @@ fn quad_row(
 ) -> Result<LayoutObject, ModgenError> {
     let prim = Primitives::new(tech);
     let c = Compactor::new(tech);
-    let poly = tech.layer("poly")?;
-    let diff = tech.layer(mos.diff_layer())?;
+    let poly = tech.poly()?;
+    let diff = mos.diff(tech)?;
     let mut main = LayoutObject::new("row");
     let opts = CompactOptions::new().ignoring(diff);
     let row = |net: &str| contact_row(tech, diff, &ContactRowParams::new().with_l(w).with_net(net));
@@ -94,11 +94,16 @@ fn quad_row(
 /// Generates the `A B / B A` quad. Gate nets `g1`/`g2`, drain nets
 /// `d1`/`d2`, common source `s`; each appears in both rows, so the
 /// centroids of both devices coincide in x **and** y.
-pub fn common_centroid_quad(tech: &Tech, params: &QuadParams) -> Result<LayoutObject, ModgenError> {
+pub fn common_centroid_quad(
+    tech: impl IntoGenCtx,
+    params: &QuadParams,
+) -> Result<LayoutObject, ModgenError> {
+    let tech = &tech.into_gen_ctx();
+    let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let w = params
         .w
         .unwrap_or(6_000)
-        .max(tech.min_width(tech.layer(params.mos.diff_layer())?));
+        .max(tech.min_width(params.mos.diff(tech)?));
     let c = Compactor::new(tech);
     let bottom = quad_row(tech, params.mos, w, params.l, ("g1", "d1"), ("g2", "d2"))?;
     let top = quad_row(tech, params.mos, w, params.l, ("g2", "d2"), ("g1", "d1"))?;
@@ -108,13 +113,13 @@ pub fn common_centroid_quad(tech: &Tech, params: &QuadParams) -> Result<LayoutOb
     let prim = Primitives::new(tech);
     match params.mos {
         MosType::N => {
-            let nplus = tech.layer("nplus")?;
+            let nplus = tech.nplus()?;
             prim.around(&mut main, nplus, 0)?;
         }
         MosType::P => {
-            let pplus = tech.layer("pplus")?;
+            let pplus = tech.pplus()?;
             prim.around(&mut main, pplus, 0)?;
-            let nwell = tech.layer("nwell")?;
+            let nwell = tech.nwell()?;
             prim.around(&mut main, nwell, 0)?;
         }
     }
@@ -122,8 +127,10 @@ pub fn common_centroid_quad(tech: &Tech, params: &QuadParams) -> Result<LayoutOb
 }
 
 /// The centroid (mean centre) of the gate stripes carrying a net.
-pub fn gate_centroid(tech: &Tech, obj: &LayoutObject, net: &str) -> Option<(f64, f64)> {
-    let poly = tech.layer("poly").ok()?;
+pub fn gate_centroid(tech: impl IntoGenCtx, obj: &LayoutObject, net: &str) -> Option<(f64, f64)> {
+    let tech = &tech.into_gen_ctx();
+    let _timer = tech.metrics.stage_timer(Stage::Modgen);
+    let poly = tech.poly().ok()?;
     let id = obj.find_net(net)?;
     let centers: Vec<(f64, f64)> = obj
         .shapes_on(poly)
@@ -146,6 +153,7 @@ mod tests {
     use amgen_drc::Drc;
     use amgen_extract::Extractor;
     use amgen_geom::um;
+    use amgen_tech::Tech;
 
     fn tech() -> Tech {
         Tech::bicmos_1u()

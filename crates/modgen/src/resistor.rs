@@ -8,9 +8,9 @@
 //! for ratio-critical feedback networks.
 
 use amgen_compact::{CompactOptions, Compactor};
+use amgen_core::{IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Shape};
 use amgen_geom::{Coord, Dir, Rect, Vector};
-use amgen_tech::Tech;
 
 use crate::contact_row::{contact_row, ContactRowParams};
 use crate::error::ModgenError;
@@ -59,16 +59,18 @@ impl ResistorParams {
 /// Returns the module and its nominal resistance in Ω (squares × sheet
 /// resistance, corners counted as half squares).
 pub fn poly_resistor(
-    tech: &Tech,
+    tech: impl IntoGenCtx,
     params: &ResistorParams,
 ) -> Result<(LayoutObject, f64), ModgenError> {
+    let tech = &tech.into_gen_ctx();
+    let _timer = tech.metrics.stage_timer(Stage::Modgen);
     if params.legs == 0 {
         return Err(ModgenError::BadParam {
             param: "legs",
             message: "must be at least 1".into(),
         });
     }
-    let poly = tech.layer("poly")?;
+    let poly = tech.poly()?;
     let w = params
         .w
         .unwrap_or_else(|| tech.min_width(poly))
@@ -142,10 +144,12 @@ pub fn poly_resistor(
 /// the same gradient — the resistor analogue of the inter-digitated
 /// transistor.
 pub fn matched_resistor_pair(
-    tech: &Tech,
+    tech: impl IntoGenCtx,
     legs_per_device: usize,
     leg_l: Coord,
 ) -> Result<(LayoutObject, f64, f64), ModgenError> {
+    let tech = &tech.into_gen_ctx();
+    let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let (ra, va) = poly_resistor(
         tech,
         &ResistorParams {
@@ -182,6 +186,7 @@ mod tests {
     use amgen_drc::Drc;
     use amgen_extract::Extractor;
     use amgen_geom::um;
+    use amgen_tech::Tech;
 
     fn tech() -> Tech {
         Tech::bicmos_1u()

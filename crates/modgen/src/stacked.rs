@@ -10,10 +10,10 @@
 //! the two ends.
 
 use amgen_compact::{CompactOptions, Compactor};
+use amgen_core::{IntoGenCtx, Stage};
 use amgen_db::LayoutObject;
 use amgen_geom::{Coord, Dir};
 use amgen_prim::Primitives;
-use amgen_tech::Tech;
 
 use crate::contact_row::{contact_row, ContactRowParams};
 use crate::error::ModgenError;
@@ -72,9 +72,11 @@ impl StackedParams {
 /// Generates the stack: `S g g … g D` with contact rows at the ends only.
 /// Ports: `s`, `d`, and `g` (common) or `g1..gn`.
 pub fn stacked_transistor(
-    tech: &Tech,
+    tech: impl IntoGenCtx,
     params: &StackedParams,
 ) -> Result<LayoutObject, ModgenError> {
+    let tech = &tech.into_gen_ctx();
+    let _timer = tech.metrics.stage_timer(Stage::Modgen);
     if params.gates == 0 {
         return Err(ModgenError::BadParam {
             param: "gates",
@@ -83,8 +85,8 @@ pub fn stacked_transistor(
     }
     let c = Compactor::new(tech);
     let prim = Primitives::new(tech);
-    let poly = tech.layer("poly")?;
-    let diff = tech.layer(params.mos.diff_layer())?;
+    let poly = tech.poly()?;
+    let diff = params.mos.diff(tech)?;
     let w = params
         .w
         .unwrap_or_else(|| tech.min_width(diff))
@@ -134,13 +136,13 @@ pub fn stacked_transistor(
     }
     match params.mos {
         MosType::N => {
-            let nplus = tech.layer("nplus")?;
+            let nplus = tech.nplus()?;
             prim.around(&mut main, nplus, 0)?;
         }
         MosType::P => {
-            let pplus = tech.layer("pplus")?;
+            let pplus = tech.pplus()?;
             prim.around(&mut main, pplus, 0)?;
-            let nwell = tech.layer("nwell")?;
+            let nwell = tech.nwell()?;
             prim.around(&mut main, nwell, 0)?;
         }
     }
@@ -153,6 +155,7 @@ mod tests {
     use amgen_drc::Drc;
     use amgen_extract::Extractor;
     use amgen_geom::um;
+    use amgen_tech::Tech;
 
     fn tech() -> Tech {
         Tech::bicmos_1u()

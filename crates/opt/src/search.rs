@@ -39,6 +39,7 @@ use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use amgen_compact::{CompactError, Compactor};
+use amgen_core::Stage;
 use amgen_db::{LayoutObject, LayoutSignature};
 
 use crate::{OptResult, Optimizer, Rating, SearchOptions, Step};
@@ -69,8 +70,8 @@ struct Deque {
 }
 
 /// Shared search state; everything workers touch.
-struct Shared<'a, 't> {
-    opt: &'a Optimizer<'t>,
+struct Shared<'a> {
+    opt: &'a Optimizer,
     steps: &'a [Step],
     max_nodes: usize,
     dominance: bool,
@@ -90,7 +91,7 @@ struct Shared<'a, 't> {
     error: Mutex<Option<CompactError>>,
 }
 
-impl<'a, 't> Shared<'a, 't> {
+impl<'a> Shared<'a> {
     /// The partial-layout lower bound: bounding-box area weighted by the
     /// area term. Sound whenever `area_per_um2 >= 0` (bounding boxes only
     /// grow and the capacitance term is non-negative).
@@ -176,7 +177,7 @@ impl<'a, 't> Shared<'a, 't> {
     /// Builds a child frame (compacts step `i` onto `frame`), applying the
     /// bound and dominance checks at push time. Returns `None` when the
     /// child is cut.
-    fn make_child(&self, c: &Compactor<'_>, frame: &Frame, i: usize) -> Option<Frame> {
+    fn make_child(&self, c: &Compactor, frame: &Frame, i: usize) -> Option<Frame> {
         let step = &self.steps[i];
         let mut main = frame.main.clone();
         if let Err(e) = c.compact(&mut main, &step.obj, step.side, &step.opts) {
@@ -206,7 +207,7 @@ impl<'a, 't> Shared<'a, 't> {
 
     /// Processes one frame. Returns the frame back when the node budget is
     /// exhausted so it stays available for the best-effort completion.
-    fn process(&self, c: &Compactor<'_>, frame: Frame) -> Option<Frame> {
+    fn process(&self, c: &Compactor, frame: Frame) -> Option<Frame> {
         // Re-check the bound: the incumbent may have improved while this
         // frame sat on the deque.
         if self.bound_prunes(frame.lb) {
@@ -253,7 +254,13 @@ impl<'a, 't> Shared<'a, 't> {
     /// The worker loop: pull a frame, process it, repeat until the tree is
     /// drained or the search stopped.
     fn worker(&self) {
-        let c = Compactor::new(self.opt.tech);
+        // Workers share the compiled rule kernel by bumping the `Arc`
+        // refcount — no per-worker recompilation or `Tech` clone.
+        let c = Compactor::new(&self.opt.ctx);
+        debug_assert!(
+            std::sync::Arc::ptr_eq(&c.ctx().rules, &self.opt.ctx.rules),
+            "worker must share the optimizer's rule kernel allocation"
+        );
         loop {
             let frame = {
                 let mut q = self.deque.lock().unwrap();
@@ -297,11 +304,15 @@ impl<'a, 't> Shared<'a, 't> {
 /// lowest step index). Used as the best-effort answer when `max_nodes`
 /// expires before any complete order was found.
 fn greedy_complete(
-    opt: &Optimizer<'_>,
+    opt: &Optimizer,
     steps: &[Step],
     mut frame: Frame,
 ) -> Result<(LayoutObject, Vec<usize>), CompactError> {
-    let c = Compactor::new(opt.tech);
+    let c = Compactor::new(&opt.ctx);
+    debug_assert!(
+        std::sync::Arc::ptr_eq(&c.ctx().rules, &opt.ctx.rules),
+        "greedy completion must share the optimizer's rule kernel allocation"
+    );
     while frame.order.len() < steps.len() {
         let mut choice: Option<(f64, usize, LayoutObject)> = None;
         for (i, step) in steps.iter().enumerate() {
@@ -326,7 +337,7 @@ fn greedy_complete(
 
 /// Runs the order search. See the module docs for the algorithm.
 pub(crate) fn run(
-    opt: &Optimizer<'_>,
+    opt: &Optimizer,
     steps: &[Step],
     search: SearchOptions,
 ) -> Result<OptResult, CompactError> {
@@ -346,6 +357,7 @@ pub(crate) fn run(
             workers: 0,
             wall: t0.elapsed(),
             complete: true,
+            metrics: opt.ctx.snapshot(),
         });
     }
     assert!(
@@ -387,7 +399,7 @@ pub(crate) fn run(
     // Seed the deque with the allowed first steps (reversed so index 0 is
     // popped first).
     {
-        let c = Compactor::new(opt.tech);
+        let c = Compactor::new(&opt.ctx);
         let first_choices: Vec<usize> = if search.keep_first {
             vec![0]
         } else {
@@ -453,7 +465,7 @@ pub(crate) fn run(
                         lb: 0.0,
                     };
                     if search.keep_first {
-                        let c = Compactor::new(opt.tech);
+                        let c = Compactor::new(&opt.ctx);
                         c.compact(
                             &mut start.main,
                             &steps[0].obj,
@@ -471,6 +483,9 @@ pub(crate) fn run(
         }
     };
 
+    opt.ctx
+        .metrics
+        .add_stage_nanos(Stage::Opt, t0.elapsed().as_nanos() as u64);
     Ok(OptResult {
         order,
         layout,
@@ -481,5 +496,6 @@ pub(crate) fn run(
         workers,
         wall: t0.elapsed(),
         complete,
+        metrics: opt.ctx.snapshot(),
     })
 }

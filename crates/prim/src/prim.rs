@@ -1,8 +1,9 @@
 //! The primitive shape functions.
 
+use amgen_core::{GenCtx, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, NetId, Shape, ShapeRole};
 use amgen_geom::{Coord, Rect};
-use amgen_tech::{Layer, LayerKind, Tech};
+use amgen_tech::{Layer, LayerKind, RuleSet};
 
 use crate::error::PrimError;
 
@@ -11,20 +12,28 @@ use crate::error::PrimError;
 /// All functions take the object being built; sizes are **minimums** —
 /// when a rectangle cannot be placed inside the existing geometry, the
 /// outer rectangles are expanded automatically (paper §2.2).
-#[derive(Debug, Clone, Copy)]
-pub struct Primitives<'t> {
-    tech: &'t Tech,
+#[derive(Debug, Clone)]
+pub struct Primitives {
+    ctx: GenCtx,
 }
 
-impl<'t> Primitives<'t> {
-    /// Binds the primitives to a technology.
-    pub fn new(tech: &'t Tech) -> Primitives<'t> {
-        Primitives { tech }
+impl Primitives {
+    /// Binds the primitives to a generation context (or anything that
+    /// converts into one, e.g. `&Tech`).
+    pub fn new(ctx: impl IntoGenCtx) -> Primitives {
+        Primitives {
+            ctx: ctx.into_gen_ctx(),
+        }
     }
 
-    /// The bound technology.
-    pub fn tech(&self) -> &'t Tech {
-        self.tech
+    /// The shared generation context.
+    pub fn ctx(&self) -> &GenCtx {
+        &self.ctx
+    }
+
+    /// The compiled rule kernel.
+    pub fn rules(&self) -> &RuleSet {
+        &self.ctx
     }
 
     /// The frame inside which a shape on `inner` may be placed: the
@@ -43,10 +52,10 @@ impl<'t> Primitives<'t> {
     {
         let mut frame: Option<Rect> = None;
         for s in shapes {
-            if self.tech.kind(s.layer) == LayerKind::Cut {
+            if self.ctx.kind(s.layer) == LayerKind::Cut {
                 continue;
             }
-            let margin = self.tech.enclosure(s.layer, inner);
+            let margin = self.ctx.enclosure(s.layer, inner);
             let avail = s.rect.inflated(-margin);
             frame = Some(match frame {
                 None => avail,
@@ -68,7 +77,7 @@ impl<'t> Primitives<'t> {
             return;
         }
         for s in obj.shapes_mut() {
-            if self.tech.kind(s.layer) != LayerKind::Cut {
+            if self.ctx.kind(s.layer) != LayerKind::Cut {
                 s.rect = s.rect.inflated_xy(ex, ey);
             }
         }
@@ -90,12 +99,12 @@ impl<'t> Primitives<'t> {
         });
         let (fw, fh) = (frame.width().max(0), frame.height().max(0));
         let ex = if need_w > fw {
-            self.tech.snap_up((need_w - fw + 1) / 2)
+            self.ctx.snap_up((need_w - fw + 1) / 2)
         } else {
             0
         };
         let ey = if need_h > fh {
-            self.tech.snap_up((need_h - fh + 1) / 2)
+            self.ctx.snap_up((need_h - fh + 1) / 2)
         } else {
             0
         };
@@ -123,15 +132,16 @@ impl<'t> Primitives<'t> {
         w: Option<Coord>,
         l: Option<Coord>,
     ) -> Result<usize, PrimError> {
-        let min_w = self.tech.min_width(layer).max(self.tech.grid());
+        let _timer = self.ctx.metrics.stage_timer(Stage::Prim);
+        let min_w = self.ctx.min_width(layer).max(self.ctx.grid());
         if obj.is_empty() {
-            let w = self.tech.snap_up(w.unwrap_or(min_w).max(min_w));
-            let l = self.tech.snap_up(l.unwrap_or(min_w).max(min_w));
+            let w = self.ctx.snap_up(w.unwrap_or(min_w).max(min_w));
+            let l = self.ctx.snap_up(l.unwrap_or(min_w).max(min_w));
             return Ok(obj.push(Shape::new(layer, Rect::new(0, 0, w, l))));
         }
         // Minimum acceptable size: explicit value or layer minimum.
-        let need_w = self.tech.snap_up(w.unwrap_or(min_w).max(min_w));
-        let need_h = self.tech.snap_up(l.unwrap_or(min_w).max(min_w));
+        let need_w = self.ctx.snap_up(w.unwrap_or(min_w).max(min_w));
+        let need_h = self.ctx.snap_up(l.unwrap_or(min_w).max(min_w));
         let frame = self.ensure_frame(obj, layer, need_w, need_h);
         // Omitted dimensions fill the frame; explicit ones are centred.
         let fw = if w.is_none() {
@@ -154,14 +164,14 @@ impl<'t> Primitives<'t> {
     ///
     /// Returns an empty vector when not even one cut fits.
     pub fn array_in_frame(&self, frame: Rect, cut: Layer) -> Result<Vec<Rect>, PrimError> {
-        if self.tech.kind(cut) != LayerKind::Cut {
+        if self.ctx.kind(cut) != LayerKind::Cut {
             return Err(PrimError::NotACut {
-                layer: self.tech.layer_name(cut).to_string(),
+                layer: self.ctx.layer_name(cut).to_string(),
             });
         }
-        let size = self.tech.cut_size(cut)?;
-        let space = self.tech.min_spacing(cut, cut).ok_or_else(|| {
-            PrimError::MissingRule(format!("space {0} {0}", self.tech.layer_name(cut)))
+        let size = self.ctx.cut_size(cut)?;
+        let space = self.ctx.min_spacing(cut, cut).ok_or_else(|| {
+            PrimError::MissingRule(format!("space {0} {0}", self.ctx.layer_name(cut)))
         })?;
         let positions = |lo: Coord, hi: Coord| -> Vec<Coord> {
             let span = hi - lo;
@@ -194,15 +204,16 @@ impl<'t> Primitives<'t> {
     /// equidistant cut squares; expands the outers so that at least one
     /// fits (paper §2.2). Returns the new shapes' indices.
     pub fn array(&self, obj: &mut LayoutObject, cut: Layer) -> Result<Vec<usize>, PrimError> {
+        let _timer = self.ctx.metrics.stage_timer(Stage::Prim);
         if obj.is_empty() {
             return Err(PrimError::EmptyObject { primitive: "array" });
         }
-        if self.tech.kind(cut) != LayerKind::Cut {
+        if self.ctx.kind(cut) != LayerKind::Cut {
             return Err(PrimError::NotACut {
-                layer: self.tech.layer_name(cut).to_string(),
+                layer: self.ctx.layer_name(cut).to_string(),
             });
         }
-        let size = self.tech.cut_size(cut)?;
+        let size = self.ctx.cut_size(cut)?;
         let frame = self.ensure_frame(obj, cut, size, size);
         let rects = self.array_in_frame(frame, cut)?;
         debug_assert!(!rects.is_empty(), "frame was expanded to fit one cut");
@@ -224,6 +235,7 @@ impl<'t> Primitives<'t> {
         layer: Layer,
         extra: Coord,
     ) -> Result<usize, PrimError> {
+        let _timer = self.ctx.metrics.stage_timer(Stage::Prim);
         if obj.is_empty() {
             return Err(PrimError::EmptyObject {
                 primitive: "around",
@@ -231,11 +243,11 @@ impl<'t> Primitives<'t> {
         }
         let mut r = Rect::EMPTY;
         for s in obj.shapes() {
-            let margin = self.tech.enclosure(layer, s.layer) + extra;
+            let margin = self.ctx.enclosure(layer, s.layer) + extra;
             r = r.union_bbox(&s.rect.inflated(margin));
         }
         // Honour the layer's own minimum width.
-        let min_w = self.tech.min_width(layer);
+        let min_w = self.ctx.min_width(layer);
         if r.width() < min_w || r.height() < min_w {
             r = Rect::centered_at(r.center(), r.width().max(min_w), r.height().max(min_w));
         }
@@ -257,18 +269,19 @@ impl<'t> Primitives<'t> {
         width: Option<Coord>,
         clearance: Option<Coord>,
     ) -> Result<[usize; 4], PrimError> {
+        let _timer = self.ctx.metrics.stage_timer(Stage::Prim);
         if obj.is_empty() {
             return Err(PrimError::EmptyObject { primitive: "ring" });
         }
-        let w = self.tech.snap_up(
+        let w = self.ctx.snap_up(
             width
-                .unwrap_or_else(|| self.tech.min_width(layer))
-                .max(self.tech.grid()),
+                .unwrap_or_else(|| self.ctx.min_width(layer))
+                .max(self.ctx.grid()),
         );
         let cl = clearance.unwrap_or_else(|| {
             obj.shapes()
                 .iter()
-                .map(|s| self.tech.clearance(layer, s.layer))
+                .map(|s| self.ctx.clearance(layer, s.layer))
                 .max()
                 .unwrap_or(0)
         });
@@ -307,16 +320,17 @@ impl<'t> Primitives<'t> {
         w: Option<Coord>,
         l: Option<Coord>,
     ) -> Result<(usize, usize), PrimError> {
-        let w = self.tech.snap_up(
-            w.unwrap_or_else(|| self.tech.min_width(diff))
-                .max(self.tech.min_width(diff)),
+        let _timer = self.ctx.metrics.stage_timer(Stage::Prim);
+        let w = self.ctx.snap_up(
+            w.unwrap_or_else(|| self.ctx.min_width(diff))
+                .max(self.ctx.min_width(diff)),
         );
-        let l = self.tech.snap_up(
-            l.unwrap_or_else(|| self.tech.min_width(gate))
-                .max(self.tech.min_width(gate)),
+        let l = self.ctx.snap_up(
+            l.unwrap_or_else(|| self.ctx.min_width(gate))
+                .max(self.ctx.min_width(gate)),
         );
-        let gate_ext = self.tech.extension(gate, diff);
-        let diff_ext = self.tech.extension(diff, gate);
+        let gate_ext = self.ctx.extension(gate, diff);
+        let diff_ext = self.ctx.extension(diff, gate);
         let gate_rect = Rect::new(0, -gate_ext, l, w + gate_ext);
         let diff_rect = Rect::new(-diff_ext, 0, l + diff_ext, w);
         let gi = obj.push(Shape::new(gate, gate_rect));
@@ -360,6 +374,7 @@ impl<'t> Primitives<'t> {
 mod tests {
     use super::*;
     use amgen_geom::um;
+    use amgen_tech::Tech;
 
     fn setup() -> (Tech,) {
         (Tech::bicmos_1u(),)

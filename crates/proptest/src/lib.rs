@@ -3,10 +3,10 @@
 //! The real `proptest` crate cannot be vendored in this environment, so
 //! this crate re-implements the slice of its surface the workspace uses:
 //!
-//! * the [`Strategy`] trait with `prop_map`, `prop_recursive` and `boxed`,
-//! * range / tuple / string-pattern / [`Just`] / `prop_oneof!` strategies,
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`, `prop_recursive` and `boxed`,
+//! * range / tuple / string-pattern / [`Just`](strategy::Just) / `prop_oneof!` strategies,
 //! * `prop::collection::vec` and `prop::option::of`,
-//! * [`any`] for primitives,
+//! * [`any`](arbitrary::any) for primitives,
 //! * the [`proptest!`] macro with `#![proptest_config(...)]`,
 //! * `prop_assert!` / `prop_assert_eq!`.
 //!
@@ -430,7 +430,7 @@ pub mod collection {
     use crate::rng::TestRng;
     use crate::strategy::Strategy;
 
-    /// Accepted size specifications for [`vec`].
+    /// Accepted size specifications for [`vec()`].
     pub trait SizeRange {
         /// Picks a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
@@ -455,7 +455,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S, R> {
         element: S,
         size: R,

@@ -18,10 +18,11 @@
 //! * [`Router::crossing_counts`] — the per-net crossing audit used to
 //!   verify the "identical crossings" property.
 
+use amgen_core::{GenCtx, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, NetId, Shape};
 use amgen_geom::{Coord, Point, Rect};
 use amgen_prim::Primitives;
-use amgen_tech::{Layer, LayerKind, Tech};
+use amgen_tech::{Layer, LayerKind, RuleSet};
 
 /// Errors from the wiring routines.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,37 +65,45 @@ impl std::fmt::Display for RouteError {
 
 impl std::error::Error for RouteError {}
 
-/// The wiring routines, bound to one technology.
-#[derive(Debug, Clone, Copy)]
-pub struct Router<'t> {
-    tech: &'t Tech,
+/// The wiring routines, bound to one generation context.
+#[derive(Debug, Clone)]
+pub struct Router {
+    ctx: GenCtx,
 }
 
-impl<'t> Router<'t> {
-    /// Binds the router to a technology.
-    pub fn new(tech: &'t Tech) -> Router<'t> {
-        Router { tech }
+impl Router {
+    /// Binds the router to a generation context (or anything that
+    /// converts into one, e.g. `&Tech`).
+    pub fn new(ctx: impl IntoGenCtx) -> Router {
+        Router {
+            ctx: ctx.into_gen_ctx(),
+        }
     }
 
-    /// The bound technology.
-    pub fn tech(&self) -> &'t Tech {
-        self.tech
+    /// The shared generation context.
+    pub fn ctx(&self) -> &GenCtx {
+        &self.ctx
+    }
+
+    /// The compiled rule kernel.
+    pub fn rules(&self) -> &RuleSet {
+        &self.ctx
     }
 
     fn conductor(&self, layer: Layer) -> Result<(), RouteError> {
-        if self.tech.kind(layer).is_conductor() {
+        if self.ctx.kind(layer).is_conductor() {
             Ok(())
         } else {
             Err(RouteError::NotAConductor(
-                self.tech.layer_name(layer).to_string(),
+                self.ctx.layer_name(layer).to_string(),
             ))
         }
     }
 
     fn wire_width(&self, layer: Layer, width: Option<Coord>) -> Coord {
         width
-            .unwrap_or_else(|| self.tech.min_width(layer))
-            .max(self.tech.min_width(layer))
+            .unwrap_or_else(|| self.ctx.min_width(layer))
+            .max(self.ctx.min_width(layer))
     }
 
     /// Connects two landings with one straight wire on `layer`.
@@ -111,6 +120,7 @@ impl<'t> Router<'t> {
         width: Option<Coord>,
         net: Option<NetId>,
     ) -> Result<usize, RouteError> {
+        let t0 = std::time::Instant::now();
         self.conductor(layer)?;
         let w = self.wire_width(layer, width);
         let xo = from.x_range().intersection(&to.x_range());
@@ -132,7 +142,11 @@ impl<'t> Router<'t> {
         if let Some(n) = net {
             s = s.with_net(n);
         }
-        Ok(obj.push(s))
+        let i = obj.push(s);
+        self.ctx
+            .metrics
+            .add_stage_nanos(Stage::Route, t0.elapsed().as_nanos() as u64);
+        Ok(i)
     }
 
     /// Routes an L from point `a` to point `b`: a horizontal segment at
@@ -147,16 +161,20 @@ impl<'t> Router<'t> {
         width: Option<Coord>,
         net: Option<NetId>,
     ) -> Result<[usize; 3], RouteError> {
+        let t0 = std::time::Instant::now();
         self.conductor(layer)?;
         let w = self.wire_width(layer, width);
         let h = Rect::new(a.x.min(b.x), a.y - w / 2, a.x.max(b.x), a.y - w / 2 + w);
         let v = Rect::new(b.x - w / 2, a.y.min(b.y), b.x - w / 2 + w, a.y.max(b.y));
-        let prim = Primitives::new(self.tech);
+        let prim = Primitives::new(&self.ctx);
         let hi = obj.push(with_net(Shape::new(layer, h), net));
         let vi = obj.push(with_net(Shape::new(layer, v), net));
         let ci = prim
             .angle_adaptor(obj, layer, h, v, net)
             .map_err(|e| RouteError::Prim(e.to_string()))?;
+        self.ctx
+            .metrics
+            .add_stage_nanos(Stage::Route, t0.elapsed().as_nanos() as u64);
         Ok([hi, vi, ci])
     }
 
@@ -174,12 +192,13 @@ impl<'t> Router<'t> {
         width: Option<Coord>,
         net: Option<NetId>,
     ) -> Result<Vec<usize>, RouteError> {
+        let t0 = std::time::Instant::now();
         self.conductor(layer)?;
         let w = self.wire_width(layer, width);
         let h1 = Rect::new(a.x.min(mid_x), a.y - w / 2, a.x.max(mid_x), a.y - w / 2 + w);
         let v = Rect::new(mid_x - w / 2, a.y.min(b.y), mid_x - w / 2 + w, a.y.max(b.y));
         let h2 = Rect::new(mid_x.min(b.x), b.y - w / 2, mid_x.max(b.x), b.y - w / 2 + w);
-        let prim = Primitives::new(self.tech);
+        let prim = Primitives::new(&self.ctx);
         let mut out = vec![
             obj.push(with_net(Shape::new(layer, h1), net)),
             obj.push(with_net(Shape::new(layer, v), net)),
@@ -193,6 +212,9 @@ impl<'t> Router<'t> {
             prim.angle_adaptor(obj, layer, h2, v, net)
                 .map_err(|e| RouteError::Prim(e.to_string()))?,
         );
+        self.ctx
+            .metrics
+            .add_stage_nanos(Stage::Route, t0.elapsed().as_nanos() as u64);
         Ok(out)
     }
 
@@ -207,26 +229,30 @@ impl<'t> Router<'t> {
         at: Point,
         net: Option<NetId>,
     ) -> Result<[usize; 3], RouteError> {
-        if self.tech.kind(cut) != LayerKind::Cut || !self.tech.connects(cut, a, b) {
+        let t0 = std::time::Instant::now();
+        if self.ctx.kind(cut) != LayerKind::Cut || !self.ctx.connects(cut, a, b) {
             return Err(RouteError::NotConnectable {
-                cut: self.tech.layer_name(cut).to_string(),
-                a: self.tech.layer_name(a).to_string(),
-                b: self.tech.layer_name(b).to_string(),
+                cut: self.ctx.layer_name(cut).to_string(),
+                a: self.ctx.layer_name(a).to_string(),
+                b: self.ctx.layer_name(b).to_string(),
             });
         }
         let cs = self
-            .tech
+            .ctx
             .cut_size(cut)
             .map_err(|e| RouteError::Prim(e.to_string()))?;
         let cut_rect = Rect::centered_at(at, cs, cs);
         let pad = |layer: Layer| -> Rect {
-            let e = self.tech.enclosure(layer, cut);
-            let side = (cs + 2 * e).max(self.tech.min_width(layer));
+            let e = self.ctx.enclosure(layer, cut);
+            let side = (cs + 2 * e).max(self.ctx.min_width(layer));
             Rect::centered_at(at, side, side)
         };
         let ia = obj.push(with_net(Shape::new(a, pad(a)), net));
         let ic = obj.push(with_net(Shape::new(cut, cut_rect), net));
         let ib = obj.push(with_net(Shape::new(b, pad(b)), net));
+        self.ctx
+            .metrics
+            .add_stage_nanos(Stage::Route, t0.elapsed().as_nanos() as u64);
         Ok([ia, ic, ib])
     }
 
@@ -251,7 +277,7 @@ impl<'t> Router<'t> {
         let before = obj.len();
         self.via_stack(obj, cut, lower, upper, Point::new(x, y_from), net)?;
         self.via_stack(obj, cut, lower, upper, Point::new(x, y_to), net)?;
-        let w = self.tech.min_width(lower);
+        let w = self.ctx.min_width(lower);
         let rect = Rect::new(x - w / 2, y_from.min(y_to), x - w / 2 + w, y_from.max(y_to));
         obj.push(with_net(Shape::new(lower, rect), net));
         Ok(obj.len() - before)
@@ -339,8 +365,8 @@ impl<'t> Router<'t> {
                 };
                 if na == nb
                     || a.layer == b.layer
-                    || !self.tech.kind(a.layer).is_conductor()
-                    || !self.tech.kind(b.layer).is_conductor()
+                    || !self.ctx.kind(a.layer).is_conductor()
+                    || !self.ctx.kind(b.layer).is_conductor()
                     || !a.rect.overlaps(&b.rect)
                 {
                     continue;
@@ -364,6 +390,7 @@ fn with_net(s: Shape, net: Option<NetId>) -> Shape {
 mod tests {
     use super::*;
     use amgen_geom::um;
+    use amgen_tech::Tech;
 
     fn tech() -> Tech {
         Tech::bicmos_1u()

@@ -39,8 +39,10 @@ pub mod builtin;
 pub mod error;
 pub mod file;
 pub mod layer;
+pub mod ruleset;
 pub mod tech;
 
 pub use error::TechError;
 pub use layer::{Layer, LayerInfo, LayerKind};
+pub use ruleset::RuleSet;
 pub use tech::{CapCoeffs, Tech};

@@ -1,0 +1,598 @@
+//! The compiled design-rule kernel.
+//!
+//! [`Tech`] is the *editable* rule database: string-keyed layers and
+//! `HashMap`-backed pair rules, convenient for the tech-file parser and
+//! the builder but wrong for the innermost loop of the generator, where
+//! every primitive placement and compaction probe asks for a spacing or
+//! an enclosure. [`RuleSet`] is the same information compiled once into
+//! dense `n_layers × n_layers` tables and flat per-layer arrays so that
+//! every hot-path query is a bounds-checked array index — no hashing, no
+//! string comparison, no allocation.
+//!
+//! A `RuleSet` keeps the technology id of the [`Tech`] it was compiled
+//! from, so [`Layer`] handles interchange freely between the two; using a
+//! handle from a different technology still panics, exactly like `Tech`.
+//!
+//! The kernel also interns the *well-known* layer names the module
+//! library relies on (`poly`, `metal1`, `contact`, ...) at compile time;
+//! generators fetch them through accessors like [`RuleSet::poly`] that
+//! return a proper [`TechError`] when a deck lacks the layer, instead of
+//! resolving strings per call.
+//!
+//! For observability the kernel carries an optional rule-query counter
+//! (see [`RuleSet::set_query_counting`]); it is off by default so the
+//! per-query cost is a single relaxed load.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::TechError;
+use crate::layer::{Layer, LayerInfo, LayerKind};
+use crate::tech::{CapCoeffs, Coord, Tech};
+
+/// Sentinel in the dense spacing table for "no rule declared" (the pair
+/// is unconstrained and may overlap freely). Distinct from an explicit
+/// `space a b 0` rule, which compacts to abutment but forbids nothing.
+const NO_SPACE_RULE: Coord = Coord::MIN;
+/// Sentinel in the flat cut-size array for non-cut layers.
+const NO_CUT_SIZE: Coord = -1;
+/// Sentinel in the flat sheet-resistance array for "not declared".
+const NO_SHEET_RES: i64 = i64::MIN;
+
+/// The layer names interned at compile time for the module library.
+const KNOWN_NAMES: [&str; 13] = [
+    "poly", "metal1", "metal2", "contact", "via1", "ndiff", "pdiff", "nwell", "nplus", "pplus",
+    "base", "emitter", "buried",
+];
+
+/// A compiled, immutable design-rule kernel.
+///
+/// Built once from a [`Tech`] via [`Tech::compile`] (or
+/// [`Tech::compile_arc`] for sharing) and then consumed read-only by
+/// every pipeline stage. All pair rules live in dense `n × n` tables
+/// indexed by `a.index() * n + b.index()`; all per-layer rules live in
+/// flat arrays.
+#[derive(Debug)]
+pub struct RuleSet {
+    tech_id: u32,
+    name: String,
+    grid: Coord,
+    latchup_distance: Coord,
+    n: usize,
+    infos: Vec<LayerInfo>,
+    /// Name → index, used only by the front ends (dsl binding, tests).
+    by_name: HashMap<String, u16>,
+    min_width: Vec<Coord>,
+    /// Symmetric; both `(a,b)` and `(b,a)` entries are filled.
+    space: Vec<Coord>,
+    /// Directional: `enclosure[outer * n + inner]`.
+    enclosure: Vec<Coord>,
+    /// Directional: `extension[a * n + b]`.
+    extension: Vec<Coord>,
+    cut_size: Vec<Coord>,
+    cap: Vec<CapCoeffs>,
+    sheet_res_mohm: Vec<i64>,
+    min_area_um2: Vec<f64>,
+    /// All declared `(cut, a, b)` connections, as resolved handles.
+    connections: Vec<(Layer, Layer, Layer)>,
+    /// Per-layer slice of conductor pairs connected by that cut layer.
+    cut_pairs: Vec<Vec<(Layer, Layer)>>,
+    /// Interned well-known handles, in [`KNOWN_NAMES`] order.
+    known: [Option<Layer>; KNOWN_NAMES.len()],
+    counting: AtomicBool,
+    queries: AtomicU64,
+}
+
+impl Tech {
+    /// Compiles this technology into a dense [`RuleSet`] kernel.
+    pub fn compile(&self) -> RuleSet {
+        let n = self.layers.len();
+        let id = self.id;
+        let at = |i: u16| Layer {
+            tech_id: id,
+            index: i,
+        };
+
+        let mut space = vec![NO_SPACE_RULE; n * n];
+        for (&(a, b), &s) in &self.min_space {
+            space[a as usize * n + b as usize] = s;
+            space[b as usize * n + a as usize] = s;
+        }
+        let mut enclosure = vec![0; n * n];
+        for (&(o, i), &e) in &self.enclosure {
+            enclosure[o as usize * n + i as usize] = e;
+        }
+        let mut extension = vec![0; n * n];
+        for (&(a, b), &e) in &self.extension {
+            extension[a as usize * n + b as usize] = e;
+        }
+        let mut cut_pairs = vec![Vec::new(); n];
+        for &(c, a, b) in &self.connections {
+            cut_pairs[c as usize].push((at(a), at(b)));
+        }
+        let known = KNOWN_NAMES.map(|name| self.by_name.get(name).map(|&i| at(i)));
+
+        RuleSet {
+            tech_id: id,
+            name: self.name.clone(),
+            grid: self.grid,
+            latchup_distance: self.latchup_distance,
+            n,
+            infos: self.layers.clone(),
+            by_name: self.by_name.clone(),
+            min_width: self.min_width.clone(),
+            space,
+            enclosure,
+            extension,
+            cut_size: self
+                .cut_size
+                .iter()
+                .map(|c| c.unwrap_or(NO_CUT_SIZE))
+                .collect(),
+            cap: self.cap.clone(),
+            sheet_res_mohm: self
+                .sheet_res_mohm
+                .iter()
+                .map(|r| r.unwrap_or(NO_SHEET_RES))
+                .collect(),
+            min_area_um2: self.min_area_um2.clone(),
+            connections: self
+                .connections
+                .iter()
+                .map(|&(c, a, b)| (at(c), at(a), at(b)))
+                .collect(),
+            cut_pairs,
+            known,
+            counting: AtomicBool::new(false),
+            queries: AtomicU64::new(0),
+        }
+    }
+
+    /// Compiles into a shareable [`Arc<RuleSet>`] — the form every
+    /// pipeline stage holds.
+    pub fn compile_arc(&self) -> Arc<RuleSet> {
+        Arc::new(self.compile())
+    }
+}
+
+impl RuleSet {
+    /// Parses tech-file text and compiles it in one step.
+    pub fn parse(text: &str) -> Result<RuleSet, TechError> {
+        Ok(Tech::parse(text)?.compile())
+    }
+
+    #[inline]
+    fn count(&self) {
+        if self.counting.load(Ordering::Relaxed) {
+            self.queries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    fn check(&self, l: Layer) -> usize {
+        assert_eq!(
+            l.tech_id, self.tech_id,
+            "layer handle from technology {} used with technology {} ({})",
+            l.tech_id, self.tech_id, self.name
+        );
+        l.index as usize
+    }
+
+    /// Technology name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Id of the technology this kernel was compiled from (brands
+    /// [`Layer`] handles — they interchange with the source [`Tech`]).
+    pub fn id(&self) -> u32 {
+        self.tech_id
+    }
+
+    /// Manufacturing grid in du.
+    #[inline]
+    pub fn grid(&self) -> Coord {
+        self.grid
+    }
+
+    /// Maximum distance a substrate contact "covers" for the latch-up
+    /// rule.
+    #[inline]
+    pub fn latchup_distance(&self) -> Coord {
+        self.latchup_distance
+    }
+
+    /// Looks a layer up by name. Front-end use only (dsl binding,
+    /// tech-file tooling, tests); generators hold interned handles.
+    pub fn layer(&self, name: &str) -> Result<Layer, TechError> {
+        self.by_name
+            .get(name)
+            .map(|&index| Layer {
+                tech_id: self.tech_id,
+                index,
+            })
+            .ok_or_else(|| TechError::UnknownLayer(name.to_string()))
+    }
+
+    /// Number of layers.
+    #[inline]
+    pub fn layer_count(&self) -> usize {
+        self.n
+    }
+
+    /// Iterates over all layer handles.
+    pub fn layers(&self) -> impl Iterator<Item = Layer> + '_ {
+        let id = self.tech_id;
+        (0..self.n as u16).map(move |index| Layer { tech_id: id, index })
+    }
+
+    /// Static info of a layer.
+    #[inline]
+    pub fn info(&self, l: Layer) -> &LayerInfo {
+        &self.infos[self.check(l)]
+    }
+
+    /// Layer name.
+    #[inline]
+    pub fn layer_name(&self, l: Layer) -> &str {
+        &self.info(l).name
+    }
+
+    /// Layer kind.
+    #[inline]
+    pub fn kind(&self, l: Layer) -> LayerKind {
+        self.info(l).kind
+    }
+
+    /// Minimum feature width of a layer (0 when unspecified).
+    #[inline]
+    pub fn min_width(&self, l: Layer) -> Coord {
+        self.count();
+        self.min_width[self.check(l)]
+    }
+
+    /// Minimum spacing between shapes on `a` and `b`; `None` when the
+    /// pair is unconstrained.
+    #[inline]
+    pub fn min_spacing(&self, a: Layer, b: Layer) -> Option<Coord> {
+        self.count();
+        let s = self.space[self.check(a) * self.n + self.check(b)];
+        (s != NO_SPACE_RULE).then_some(s)
+    }
+
+    /// Spacing required between *disconnected* shapes on `a` and `b`,
+    /// defaulting to 0 when no rule exists.
+    #[inline]
+    pub fn clearance(&self, a: Layer, b: Layer) -> Coord {
+        self.count();
+        let s = self.space[self.check(a) * self.n + self.check(b)];
+        if s == NO_SPACE_RULE {
+            0
+        } else {
+            s
+        }
+    }
+
+    /// Required enclosure of `inner` by `outer` on every side (0 when no
+    /// rule exists).
+    #[inline]
+    pub fn enclosure(&self, outer: Layer, inner: Layer) -> Coord {
+        self.count();
+        self.enclosure[self.check(outer) * self.n + self.check(inner)]
+    }
+
+    /// Required extension of `a` beyond `b`; 0 when no rule exists.
+    #[inline]
+    pub fn extension(&self, a: Layer, b: Layer) -> Coord {
+        self.count();
+        self.extension[self.check(a) * self.n + self.check(b)]
+    }
+
+    /// Fixed square size of a cut layer.
+    #[inline]
+    pub fn cut_size(&self, l: Layer) -> Result<Coord, TechError> {
+        self.count();
+        let s = self.cut_size[self.check(l)];
+        if s == NO_CUT_SIZE {
+            Err(TechError::MissingRule(format!(
+                "cutsize {}",
+                self.layer_name(l)
+            )))
+        } else {
+            Ok(s)
+        }
+    }
+
+    /// True if cut layer `cut` connects conductors `a` and `b` (in
+    /// either order).
+    #[inline]
+    pub fn connects(&self, cut: Layer, a: Layer, b: Layer) -> bool {
+        self.count();
+        let (ia, ib) = (self.check(a), self.check(b));
+        self.cut_pairs[self.check(cut)].iter().any(|&(x, y)| {
+            (x.index as usize == ia && y.index as usize == ib)
+                || (x.index as usize == ib && y.index as usize == ia)
+        })
+    }
+
+    /// The conductor pairs connected by `cut` — a borrowed slice; the
+    /// compact/drc inner loops iterate this without allocating.
+    #[inline]
+    pub fn connected_pairs(&self, cut: Layer) -> &[(Layer, Layer)] {
+        self.count();
+        &self.cut_pairs[self.check(cut)]
+    }
+
+    /// All declared connections `(cut, a, b)`.
+    pub fn connections(&self) -> &[(Layer, Layer, Layer)] {
+        &self.connections
+    }
+
+    /// Parasitic capacitance coefficients of a layer (zero when unset).
+    #[inline]
+    pub fn cap_coeffs(&self, l: Layer) -> CapCoeffs {
+        self.count();
+        self.cap[self.check(l)]
+    }
+
+    /// Sheet resistance in mΩ/□, if declared.
+    #[inline]
+    pub fn sheet_res_mohm(&self, l: Layer) -> Option<i64> {
+        self.count();
+        let r = self.sheet_res_mohm[self.check(l)];
+        (r != NO_SHEET_RES).then_some(r)
+    }
+
+    /// Minimum area of a merged region on this layer, in µm² (0 when no
+    /// rule is declared).
+    #[inline]
+    pub fn min_area_um2(&self, l: Layer) -> f64 {
+        self.count();
+        self.min_area_um2[self.check(l)]
+    }
+
+    /// Snaps a coordinate down to the manufacturing grid.
+    #[inline]
+    pub fn snap_down(&self, v: Coord) -> Coord {
+        v.div_euclid(self.grid) * self.grid
+    }
+
+    /// Snaps a coordinate up to the manufacturing grid.
+    #[inline]
+    pub fn snap_up(&self, v: Coord) -> Coord {
+        -self.snap_down(-v)
+    }
+
+    // ---- query counting ------------------------------------------------
+
+    /// Enables or disables the rule-query counter. Off by default, so the
+    /// steady-state cost is a single relaxed boolean load per query.
+    pub fn set_query_counting(&self, on: bool) {
+        self.counting.store(on, Ordering::Relaxed);
+    }
+
+    /// Number of rule queries answered since the last reset (0 unless
+    /// counting was enabled).
+    pub fn rule_queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Resets the rule-query counter.
+    pub fn reset_rule_queries(&self) {
+        self.queries.store(0, Ordering::Relaxed);
+    }
+
+    // ---- interned well-known layers ------------------------------------
+
+    #[inline]
+    fn known(&self, slot: usize) -> Result<Layer, TechError> {
+        self.known[slot].ok_or_else(|| TechError::UnknownLayer(KNOWN_NAMES[slot].to_string()))
+    }
+
+    /// The interned `poly` layer.
+    pub fn poly(&self) -> Result<Layer, TechError> {
+        self.known(0)
+    }
+
+    /// The interned `metal1` layer.
+    pub fn metal1(&self) -> Result<Layer, TechError> {
+        self.known(1)
+    }
+
+    /// The interned `metal2` layer.
+    pub fn metal2(&self) -> Result<Layer, TechError> {
+        self.known(2)
+    }
+
+    /// The interned `contact` layer.
+    pub fn contact(&self) -> Result<Layer, TechError> {
+        self.known(3)
+    }
+
+    /// The interned `via1` layer.
+    pub fn via1(&self) -> Result<Layer, TechError> {
+        self.known(4)
+    }
+
+    /// The interned `ndiff` layer.
+    pub fn ndiff(&self) -> Result<Layer, TechError> {
+        self.known(5)
+    }
+
+    /// The interned `pdiff` layer.
+    pub fn pdiff(&self) -> Result<Layer, TechError> {
+        self.known(6)
+    }
+
+    /// The interned `nwell` layer.
+    pub fn nwell(&self) -> Result<Layer, TechError> {
+        self.known(7)
+    }
+
+    /// The interned `nplus` implant layer.
+    pub fn nplus(&self) -> Result<Layer, TechError> {
+        self.known(8)
+    }
+
+    /// The interned `pplus` implant layer.
+    pub fn pplus(&self) -> Result<Layer, TechError> {
+        self.known(9)
+    }
+
+    /// The interned bipolar `base` layer.
+    pub fn base(&self) -> Result<Layer, TechError> {
+        self.known(10)
+    }
+
+    /// The interned bipolar `emitter` layer.
+    pub fn emitter(&self) -> Result<Layer, TechError> {
+        self.known(11)
+    }
+
+    /// The interned `buried` (subcollector) layer.
+    pub fn buried(&self) -> Result<Layer, TechError> {
+        self.known(12)
+    }
+}
+
+/// Rule equivalence: every dense table element-wise equal, plus the layer
+/// roster, grid and latch-up distance. Technology ids and the query
+/// counter are deliberately ignored — two decks parsed from the same text
+/// are equal even though their handles don't interchange.
+impl PartialEq for RuleSet {
+    fn eq(&self, other: &RuleSet) -> bool {
+        let pairs_eq = |a: &[(Layer, Layer)], b: &[(Layer, Layer)]| {
+            a.len() == b.len()
+                && a.iter()
+                    .zip(b)
+                    .all(|(x, y)| x.0.index == y.0.index && x.1.index == y.1.index)
+        };
+        self.name == other.name
+            && self.grid == other.grid
+            && self.latchup_distance == other.latchup_distance
+            && self.n == other.n
+            && self.infos == other.infos
+            && self.min_width == other.min_width
+            && self.space == other.space
+            && self.enclosure == other.enclosure
+            && self.extension == other.extension
+            && self.cut_size == other.cut_size
+            && self.cap == other.cap
+            && self.sheet_res_mohm == other.sheet_res_mohm
+            && self.min_area_um2 == other.min_area_um2
+            && self
+                .cut_pairs
+                .iter()
+                .zip(&other.cut_pairs)
+                .all(|(a, b)| pairs_eq(a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiled_queries_match_the_source_tech() {
+        for t in [Tech::bicmos_1u(), Tech::cmos_08()] {
+            let r = t.compile();
+            assert_eq!(r.id(), t.id());
+            assert_eq!(r.layer_count(), t.layer_count());
+            for a in t.layers() {
+                assert_eq!(r.min_width(a), t.min_width(a));
+                assert_eq!(r.cut_size(a).ok(), t.cut_size(a).ok());
+                assert_eq!(r.cap_coeffs(a), t.cap_coeffs(a));
+                assert_eq!(r.sheet_res_mohm(a), t.sheet_res_mohm(a));
+                assert_eq!(r.min_area_um2(a), t.min_area_um2(a));
+                assert_eq!(r.kind(a), t.kind(a));
+                assert_eq!(r.layer_name(a), t.layer_name(a));
+                for b in t.layers() {
+                    assert_eq!(r.min_spacing(a, b), t.min_spacing(a, b));
+                    assert_eq!(r.clearance(a, b), t.clearance(a, b));
+                    assert_eq!(r.enclosure(a, b), t.enclosure(a, b));
+                    assert_eq!(r.extension(a, b), t.extension(a, b));
+                    for c in t.layers() {
+                        if t.kind(c).is_cut() {
+                            assert_eq!(r.connects(c, a, b), t.connects(c, a, b));
+                        }
+                    }
+                }
+                if t.kind(a).is_cut() {
+                    assert_eq!(r.connected_pairs(a), t.connected_pairs(a).as_slice());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn handles_interchange_with_the_source_tech() {
+        let t = Tech::bicmos_1u();
+        let r = t.compile();
+        let poly = t.layer("poly").unwrap();
+        assert_eq!(r.min_width(poly), t.min_width(poly));
+        let poly2 = r.layer("poly").unwrap();
+        assert_eq!(poly, poly2);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer handle from technology")]
+    fn cross_tech_handle_panics() {
+        let r = Tech::bicmos_1u().compile();
+        let foreign = Tech::cmos_08().layer("poly").unwrap();
+        let _ = r.min_width(foreign);
+    }
+
+    #[test]
+    fn query_counter_is_gated() {
+        let r = Tech::bicmos_1u().compile();
+        let poly = r.poly().unwrap();
+        let _ = r.min_width(poly);
+        assert_eq!(r.rule_queries(), 0, "counting is off by default");
+        r.set_query_counting(true);
+        let _ = r.min_width(poly);
+        let _ = r.min_spacing(poly, poly);
+        assert_eq!(r.rule_queries(), 2);
+        r.reset_rule_queries();
+        assert_eq!(r.rule_queries(), 0);
+    }
+
+    #[test]
+    fn well_known_layers_are_interned() {
+        let r = Tech::bicmos_1u().compile();
+        assert_eq!(r.poly().unwrap(), r.layer("poly").unwrap());
+        assert_eq!(r.emitter().unwrap(), r.layer("emitter").unwrap());
+        let c = Tech::cmos_08().compile();
+        assert!(c.base().is_err(), "plain CMOS deck has no bipolar layers");
+    }
+
+    #[test]
+    fn explicit_zero_space_differs_from_no_rule() {
+        let t = Tech::bicmos_1u();
+        let r = t.compile();
+        let mut saw_zero = false;
+        let mut saw_none = false;
+        for a in t.layers() {
+            for b in t.layers() {
+                match r.min_spacing(a, b) {
+                    Some(0) => saw_zero = true,
+                    None => saw_none = true,
+                    _ => {}
+                }
+                assert_eq!(r.min_spacing(a, b), t.min_spacing(a, b));
+            }
+        }
+        assert!(saw_none, "deck has unconstrained pairs");
+        let _ = saw_zero;
+    }
+
+    #[test]
+    fn ruleset_equality_ignores_tech_id() {
+        let a = Tech::bicmos_1u().compile();
+        let b = Tech::bicmos_1u().compile();
+        assert_ne!(a.id(), b.id());
+        assert_eq!(a, b);
+        let c = Tech::cmos_08().compile();
+        assert_ne!(a, c);
+    }
+}

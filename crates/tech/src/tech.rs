@@ -27,21 +27,21 @@ pub struct CapCoeffs {
 /// use the built-in decks [`Tech::bicmos_1u`] / [`Tech::cmos_08`].
 #[derive(Debug, Clone)]
 pub struct Tech {
-    id: u32,
-    name: String,
-    grid: Coord,
-    latchup_distance: Coord,
-    layers: Vec<LayerInfo>,
-    by_name: HashMap<String, u16>,
-    min_width: Vec<Coord>,
-    min_space: HashMap<(u16, u16), Coord>,
-    enclosure: HashMap<(u16, u16), Coord>,
-    extension: HashMap<(u16, u16), Coord>,
-    cut_size: Vec<Option<Coord>>,
-    connections: Vec<(u16, u16, u16)>,
-    cap: Vec<CapCoeffs>,
-    sheet_res_mohm: Vec<Option<i64>>,
-    min_area_um2: Vec<f64>,
+    pub(crate) id: u32,
+    pub(crate) name: String,
+    pub(crate) grid: Coord,
+    pub(crate) latchup_distance: Coord,
+    pub(crate) layers: Vec<LayerInfo>,
+    pub(crate) by_name: HashMap<String, u16>,
+    pub(crate) min_width: Vec<Coord>,
+    pub(crate) min_space: HashMap<(u16, u16), Coord>,
+    pub(crate) enclosure: HashMap<(u16, u16), Coord>,
+    pub(crate) extension: HashMap<(u16, u16), Coord>,
+    pub(crate) cut_size: Vec<Option<Coord>>,
+    pub(crate) connections: Vec<(u16, u16, u16)>,
+    pub(crate) cap: Vec<CapCoeffs>,
+    pub(crate) sheet_res_mohm: Vec<Option<i64>>,
+    pub(crate) min_area_um2: Vec<f64>,
 }
 
 /// Incremental constructor for [`Tech`].
