@@ -7,7 +7,12 @@ cargo build --release
 cargo test --workspace -q
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
+# The analyzer crate is new surface — hold it to the same bar explicitly.
+cargo clippy -p amgen-lint --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+# Lint gate: every DSL program in the repo must lint clean — the .amg
+# example sets and the embedded paper programs, warnings fatal.
+cargo run --release -q --bin amgen-lint -- --deny-warnings --time --examples examples/*.amg
 # Bench smoke: the rule-kernel microbench doubles as a fast end-to-end
 # exercise of the compiled RuleSet path.
 cargo bench -p amgen-bench --bench rule_lookup

@@ -19,6 +19,7 @@
 //! | design rule checker (incl. latch-up, Fig. 1) | [`drc`] | §2.1 |
 //! | connectivity & parasitic extraction | [`extract`] | §2.4, §3 |
 //! | the layout description language | [`dsl`] | §2.1 |
+//! | static analyzer for generator programs | [`lint`] | tooling |
 //! | wiring routines (symmetric routing, Fig. 10) | [`route`] | §2, §3 |
 //! | module library (contact rows → centroid pairs) | [`modgen`] | §2.5, §3 |
 //! | SVG / GDSII export | [`export`] | tooling |
@@ -82,6 +83,7 @@ pub use amgen_dsl as dsl;
 pub use amgen_export as export;
 pub use amgen_extract as extract;
 pub use amgen_geom as geom;
+pub use amgen_lint as lint;
 pub use amgen_modgen as modgen;
 pub use amgen_opt as opt;
 pub use amgen_prim as prim;

@@ -1,4 +1,10 @@
 //! Abstract syntax of the layout description language.
+//!
+//! Every node carries the [`Span`] of its source text; programs built in
+//! code (tests, generators) use [`Span::NONE`]. Spans never influence
+//! semantics — [`strip_spans`] erases them for structural comparison.
+
+use crate::span::Span;
 
 /// A complete source file: top-level statements plus entity declarations.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -18,8 +24,8 @@ pub struct Entity {
     pub params: Vec<Param>,
     /// Body statements.
     pub body: Vec<Stmt>,
-    /// Source line of the declaration.
-    pub line: usize,
+    /// Span of the declaration's name.
+    pub span: Span,
 }
 
 /// A formal parameter.
@@ -30,6 +36,8 @@ pub struct Param {
     /// True for `<param>` — omitted arguments default to unset, which the
     /// geometry functions interpret as the design-rule minimum.
     pub optional: bool,
+    /// Span of the parameter name in the `ENT` header.
+    pub span: Span,
 }
 
 /// Statements.
@@ -41,8 +49,8 @@ pub enum Stmt {
         name: String,
         /// Value.
         value: Expr,
-        /// Source line.
-        line: usize,
+        /// Span of the target name.
+        span: Span,
     },
     /// A bare call (`INBOX(...)`, `ARRAY(...)`, ...).
     Call(Call),
@@ -54,8 +62,10 @@ pub enum Stmt {
         dir: String,
         /// Irrelevant layers for this step.
         ignore: Vec<Expr>,
-        /// Source line.
-        line: usize,
+        /// Span of the `compact` keyword.
+        span: Span,
+        /// Span of the direction identifier.
+        dir_span: Span,
     },
     /// `FOR v = a TO b ... END`
     For {
@@ -67,8 +77,8 @@ pub enum Stmt {
         to: Expr,
         /// Body.
         body: Vec<Stmt>,
-        /// Source line.
-        line: usize,
+        /// Span of the `FOR` keyword.
+        span: Span,
     },
     /// `IF cond ... [ELSE ...] END`
     If {
@@ -78,16 +88,35 @@ pub enum Stmt {
         then_body: Vec<Stmt>,
         /// Else branch.
         else_body: Vec<Stmt>,
-        /// Source line.
-        line: usize,
+        /// Span of the `IF` keyword.
+        span: Span,
     },
     /// `VARIANT ... OR ... END` — topology alternatives (backtracking).
     Variant {
         /// The alternative bodies.
         arms: Vec<Vec<Stmt>>,
-        /// Source line.
-        line: usize,
+        /// Span of the `VARIANT` keyword.
+        span: Span,
     },
+}
+
+impl Stmt {
+    /// The statement's anchor span (its keyword or target name).
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Assign { span, .. }
+            | Stmt::Compact { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::Variant { span, .. } => *span,
+            Stmt::Call(c) => c.span,
+        }
+    }
+
+    /// 1-based source line of the statement (0 when synthesized).
+    pub fn line(&self) -> usize {
+        self.span().line as usize
+    }
 }
 
 /// A call with positional and keyword arguments.
@@ -97,28 +126,35 @@ pub struct Call {
     pub name: String,
     /// Positional arguments.
     pub positional: Vec<Expr>,
-    /// Keyword arguments.
-    pub keyword: Vec<(String, Expr)>,
-    /// Source line.
-    pub line: usize,
+    /// Keyword arguments; the span locates the keyword name.
+    pub keyword: Vec<(String, Span, Expr)>,
+    /// Span of the callee name.
+    pub span: Span,
+}
+
+impl Call {
+    /// 1-based source line of the callee (0 when synthesized).
+    pub fn line(&self) -> usize {
+        self.span.line as usize
+    }
 }
 
 /// Expressions.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Numeric literal (micrometres).
-    Number(f64),
+    Number(f64, Span),
     /// String literal.
-    Str(String),
+    Str(String, Span),
     /// A string literal resolved to a layer handle at bind time. The
     /// parser never produces this variant; the interpreter's bind pass
     /// rewrites [`Expr::Str`] into it when the string names a layer of
     /// the bound technology, so execution needs no name lookup. The
     /// original spelling is kept for printing and for contexts that
     /// still want the string (net names shadowed by layer names).
-    Layer(amgen_tech::Layer, String),
+    Layer(amgen_tech::Layer, String, Span),
     /// Variable reference.
-    Var(String),
+    Var(String, Span),
     /// Call producing a value (entity instantiation).
     Call(Call),
     /// Binary operation.
@@ -129,9 +165,26 @@ pub enum Expr {
         lhs: Box<Expr>,
         /// Right operand.
         rhs: Box<Expr>,
+        /// Span covering both operands.
+        span: Span,
     },
     /// Unary negation.
-    Neg(Box<Expr>),
+    Neg(Box<Expr>, Span),
+}
+
+impl Expr {
+    /// The expression's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Number(_, span)
+            | Expr::Str(_, span)
+            | Expr::Layer(_, _, span)
+            | Expr::Var(_, span)
+            | Expr::Neg(_, span)
+            | Expr::Binary { span, .. } => *span,
+            Expr::Call(c) => c.span,
+        }
+    }
 }
 
 /// Binary operators.
@@ -174,5 +227,111 @@ impl std::fmt::Display for BinOp {
             BinOp::Ge => ">=",
         };
         f.write_str(s)
+    }
+}
+
+// ----- span erasure -----------------------------------------------------
+
+/// Resets every span in the program to [`Span::NONE`] — used to compare
+/// programs structurally (e.g. parse ∘ print round trips, where the
+/// re-parsed AST has different positions but identical structure).
+pub fn strip_spans(p: &mut Program) {
+    for s in &mut p.top {
+        strip_stmt(s);
+    }
+    for e in &mut p.entities {
+        e.span = Span::NONE;
+        for par in &mut e.params {
+            par.span = Span::NONE;
+        }
+        for s in &mut e.body {
+            strip_stmt(s);
+        }
+    }
+}
+
+fn strip_stmt(s: &mut Stmt) {
+    match s {
+        Stmt::Assign { value, span, .. } => {
+            *span = Span::NONE;
+            strip_expr(value);
+        }
+        Stmt::Call(c) => strip_call(c),
+        Stmt::Compact {
+            ignore,
+            span,
+            dir_span,
+            ..
+        } => {
+            *span = Span::NONE;
+            *dir_span = Span::NONE;
+            for e in ignore {
+                strip_expr(e);
+            }
+        }
+        Stmt::For {
+            from,
+            to,
+            body,
+            span,
+            ..
+        } => {
+            *span = Span::NONE;
+            strip_expr(from);
+            strip_expr(to);
+            for s in body {
+                strip_stmt(s);
+            }
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            span,
+        } => {
+            *span = Span::NONE;
+            strip_expr(cond);
+            for s in then_body.iter_mut().chain(else_body) {
+                strip_stmt(s);
+            }
+        }
+        Stmt::Variant { arms, span } => {
+            *span = Span::NONE;
+            for arm in arms {
+                for s in arm {
+                    strip_stmt(s);
+                }
+            }
+        }
+    }
+}
+
+fn strip_call(c: &mut Call) {
+    c.span = Span::NONE;
+    for e in &mut c.positional {
+        strip_expr(e);
+    }
+    for (_, kspan, e) in &mut c.keyword {
+        *kspan = Span::NONE;
+        strip_expr(e);
+    }
+}
+
+fn strip_expr(e: &mut Expr) {
+    match e {
+        Expr::Number(_, span)
+        | Expr::Str(_, span)
+        | Expr::Layer(_, _, span)
+        | Expr::Var(_, span) => *span = Span::NONE,
+        Expr::Call(c) => strip_call(c),
+        Expr::Binary { lhs, rhs, span, .. } => {
+            *span = Span::NONE;
+            strip_expr(lhs);
+            strip_expr(rhs);
+        }
+        Expr::Neg(inner, span) => {
+            *span = Span::NONE;
+            strip_expr(inner);
+        }
     }
 }

@@ -102,6 +102,13 @@ impl Interpreter {
         &self.ctx.rules
     }
 
+    /// The registered entities, in arbitrary order. Static tooling (the
+    /// `amgen-lint` checker) reads these to resolve cross-source entity
+    /// references against the interpreter's accumulated library.
+    pub fn entities(&self) -> impl Iterator<Item = &Entity> {
+        self.entities.values()
+    }
+
     /// Registers the entities of a source without running its top level.
     pub fn load(&mut self, src: &str) -> Result<(), DslError> {
         let prog = parse(src)?;
@@ -131,15 +138,16 @@ impl Interpreter {
         bind_block(&self.ctx, &mut prog.top);
         let runs = self.run_variants(&prog.top)?;
         let opt = Optimizer::new(&self.ctx, self.weights);
-        let best = runs
-            .into_iter()
+        runs.into_iter()
             .min_by(|a, b| {
                 let ra: f64 = a.values().map(|o| opt.rate(o).score).sum();
                 let rb: f64 = b.values().map(|o| opt.rate(o).score).sum();
                 ra.total_cmp(&rb)
             })
-            .expect("at least one completed run");
-        Ok(best)
+            .ok_or(DslError::Runtime {
+                line: 0,
+                message: "no variant combination completed".into(),
+            })
     }
 
     /// Runs a program and additionally returns a **snapshot after every
@@ -182,7 +190,7 @@ impl Interpreter {
                 Ok(()) => {}
                 Err(Exec::NeedChoice(_)) => {
                     return Err(DslError::Runtime {
-                        line: 0,
+                        line: stmt.line(),
                         message: "run_traced does not support VARIANT programs".into(),
                     })
                 }
@@ -266,7 +274,10 @@ impl Interpreter {
             line: 0,
             message: "entity produced no variant".into(),
         })?;
-        Ok(objs.into_iter().nth(idx).expect("index from selection"))
+        objs.into_iter().nth(idx).ok_or(DslError::Runtime {
+            line: 0,
+            message: "variant selection out of range".into(),
+        })
     }
 
     /// Instantiates an entity, returning **all** topology variants.
@@ -280,7 +291,7 @@ impl Interpreter {
             name: name.to_string(),
             positional: Vec::new(),
             keyword: Vec::new(),
-            line: 0,
+            span: crate::span::Span::NONE,
         };
         let mut results = Vec::new();
         let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
@@ -330,9 +341,10 @@ impl Interpreter {
     }
 
     fn exec_stmt(&self, stmt: &Stmt, frame: &mut Frame, ctx: &mut Ctx) -> Result<(), Exec> {
+        let line = stmt.line();
         match stmt {
-            Stmt::Assign { name, value, line } => {
-                let v = self.eval_expr(value, frame, ctx, *line)?;
+            Stmt::Assign { name, value, .. } => {
+                let v = self.eval_expr(value, frame, ctx, line)?;
                 frame.vars.insert(name.clone(), v);
                 Ok(())
             }
@@ -341,20 +353,17 @@ impl Interpreter {
                 Ok(())
             }
             Stmt::Compact {
-                obj,
-                dir,
-                ignore,
-                line,
+                obj, dir, ignore, ..
             } => {
                 let Some(Value::Obj(child)) = frame.vars.get(obj).cloned() else {
-                    return self.fail(*line, format!("`{obj}` is not an object"));
+                    return self.fail(line, format!("`{obj}` is not an object"));
                 };
                 let Some(side) = Dir::parse(dir) else {
-                    return self.fail(*line, format!("unknown direction `{dir}`"));
+                    return self.fail(line, format!("unknown direction `{dir}`"));
                 };
                 let mut opts = CompactOptions::new();
                 for e in ignore {
-                    let v = self.eval_expr(e, frame, ctx, *line)?;
+                    let v = self.eval_expr(e, frame, ctx, line)?;
                     // Bound programs carry the interned handle; a name
                     // computed at runtime still resolves through the
                     // front-end lookup.
@@ -363,18 +372,18 @@ impl Interpreter {
                         other => {
                             let name = match other.as_str() {
                                 Ok(s) => s.to_string(),
-                                Err(m) => return self.fail(*line, m),
+                                Err(m) => return self.fail(line, m),
                             };
                             match self.ctx.layer(&name) {
                                 Ok(l) => opts.ignore.push(l),
-                                Err(e) => return self.fail(*line, e.to_string()),
+                                Err(e) => return self.fail(line, e.to_string()),
                             }
                         }
                     }
                 }
                 let c = Compactor::new(&self.ctx);
                 if let Err(e) = c.compact(&mut frame.obj, &child, side, &opts) {
-                    return self.fail(*line, e.to_string());
+                    return self.fail(line, e.to_string());
                 }
                 Ok(())
             }
@@ -383,26 +392,16 @@ impl Interpreter {
                 from,
                 to,
                 body,
-                line,
+                ..
             } => {
                 let a = self
-                    .eval_expr(from, frame, ctx, *line)?
+                    .eval_expr(from, frame, ctx, line)?
                     .as_num()
-                    .map_err(|m| {
-                        Exec::Fail(DslError::Runtime {
-                            line: *line,
-                            message: m,
-                        })
-                    })?;
+                    .map_err(|m| Exec::Fail(DslError::Runtime { line, message: m }))?;
                 let b = self
-                    .eval_expr(to, frame, ctx, *line)?
+                    .eval_expr(to, frame, ctx, line)?
                     .as_num()
-                    .map_err(|m| {
-                        Exec::Fail(DslError::Runtime {
-                            line: *line,
-                            message: m,
-                        })
-                    })?;
+                    .map_err(|m| Exec::Fail(DslError::Runtime { line, message: m }))?;
                 let (a, b) = (a.round() as i64, b.round() as i64);
                 for i in a..=b {
                     frame.vars.insert(var.clone(), Value::Num(i as f64));
@@ -414,9 +413,9 @@ impl Interpreter {
                 cond,
                 then_body,
                 else_body,
-                line,
+                ..
             } => {
-                let c = self.eval_expr(cond, frame, ctx, *line)?;
+                let c = self.eval_expr(cond, frame, ctx, line)?;
                 if c.truthy() {
                     self.exec_block(then_body, frame, ctx)
                 } else {
@@ -424,6 +423,9 @@ impl Interpreter {
                 }
             }
             Stmt::Variant { arms, .. } => {
+                if arms.is_empty() {
+                    return self.fail(line, "VARIANT has no arms");
+                }
                 if ctx.cursor >= ctx.choices.len() {
                     return Err(Exec::NeedChoice(arms.len()));
                 }
@@ -442,23 +444,23 @@ impl Interpreter {
         line: usize,
     ) -> Result<Value, Exec> {
         match expr {
-            Expr::Number(n) => Ok(Value::Num(*n)),
-            Expr::Str(s) => Ok(Value::Str(s.clone())),
-            Expr::Layer(l, name) => Ok(Value::Layer(*l, name.clone())),
-            Expr::Var(name) => match frame.vars.get(name) {
+            Expr::Number(n, _) => Ok(Value::Num(*n)),
+            Expr::Str(s, _) => Ok(Value::Str(s.clone())),
+            Expr::Layer(l, name, _) => Ok(Value::Layer(*l, name.clone())),
+            Expr::Var(name, _) => match frame.vars.get(name) {
                 Some(v) => Ok(v.clone()),
                 // Unknown identifiers read as Unset so that `INBOX(layer,
                 // W, L)` works when W/L were omitted optional parameters.
                 None => Ok(Value::Unset),
             },
-            Expr::Neg(e) => {
+            Expr::Neg(e, _) => {
                 let v = self
                     .eval_expr(e, frame, ctx, line)?
                     .as_num()
                     .map_err(|m| Exec::Fail(DslError::Runtime { line, message: m }))?;
                 Ok(Value::Num(-v))
             }
-            Expr::Binary { op, lhs, rhs } => {
+            Expr::Binary { op, lhs, rhs, .. } => {
                 let a = self
                     .eval_expr(lhs, frame, ctx, line)?
                     .as_num()
@@ -506,10 +508,10 @@ impl Interpreter {
     ) -> Result<Vec<(Option<String>, Value)>, Exec> {
         let mut out = Vec::new();
         for e in &call.positional {
-            out.push((None, self.eval_expr(e, frame, ctx, call.line)?));
+            out.push((None, self.eval_expr(e, frame, ctx, call.line())?));
         }
-        for (k, e) in &call.keyword {
-            out.push((Some(k.clone()), self.eval_expr(e, frame, ctx, call.line)?));
+        for (k, _, e) in &call.keyword {
+            out.push((Some(k.clone()), self.eval_expr(e, frame, ctx, call.line())?));
         }
         Ok(out)
     }
@@ -522,7 +524,7 @@ impl Interpreter {
     ) -> Result<LayoutObject, Exec> {
         let entity = self.entities.get(&call.name).cloned().ok_or_else(|| {
             Exec::Fail(DslError::Runtime {
-                line: call.line,
+                line: call.line(),
                 message: format!("unknown entity `{}`", call.name),
             })
         })?;
@@ -537,7 +539,7 @@ impl Interpreter {
             match key {
                 None => {
                     let Some(p) = entity.params.get(pos) else {
-                        return self.fail(call.line, "too many positional arguments");
+                        return self.fail(call.line(), "too many positional arguments");
                     };
                     frame.vars.insert(p.name.clone(), value);
                     pos += 1;
@@ -545,7 +547,7 @@ impl Interpreter {
                 Some(k) => {
                     if !entity.params.iter().any(|p| p.name == k) {
                         return self.fail(
-                            call.line,
+                            call.line(),
                             format!("`{}` has no parameter `{k}`", entity.name),
                         );
                     }
@@ -559,7 +561,7 @@ impl Interpreter {
                     frame.vars.insert(p.name.clone(), Value::Unset);
                 } else {
                     return self.fail(
-                        call.line,
+                        call.line(),
                         format!("missing required parameter `{}`", p.name),
                     );
                 }
@@ -571,7 +573,7 @@ impl Interpreter {
 
     /// Geometry builtins operating on the current frame's object.
     fn builtin(&self, call: &Call, frame: &mut Frame, ctx: &mut Ctx) -> Result<Value, Exec> {
-        let line = call.line;
+        let line = call.line();
         let args = self.eval_args(call, frame, ctx)?;
         let prim = Primitives::new(&self.ctx);
         // Helpers over the bound argument list.
@@ -744,18 +746,18 @@ fn bind_stmt(ctx: &GenCtx, stmt: &mut Stmt) {
 
 fn bind_expr(ctx: &GenCtx, expr: &mut Expr) {
     match expr {
-        Expr::Str(s) => {
+        Expr::Str(s, span) => {
             if let Ok(l) = ctx.layer(s) {
-                *expr = Expr::Layer(l, std::mem::take(s));
+                *expr = Expr::Layer(l, std::mem::take(s), *span);
             }
         }
         Expr::Call(call) => bind_call(ctx, call),
-        Expr::Neg(inner) => bind_expr(ctx, inner),
+        Expr::Neg(inner, _) => bind_expr(ctx, inner),
         Expr::Binary { lhs, rhs, .. } => {
             bind_expr(ctx, lhs);
             bind_expr(ctx, rhs);
         }
-        Expr::Number(_) | Expr::Var(_) | Expr::Layer(..) => {}
+        Expr::Number(..) | Expr::Var(..) | Expr::Layer(..) => {}
     }
 }
 
@@ -763,7 +765,7 @@ fn bind_call(ctx: &GenCtx, call: &mut Call) {
     for e in &mut call.positional {
         bind_expr(ctx, e);
     }
-    for (_, e) in &mut call.keyword {
+    for (_, _, e) in &mut call.keyword {
         bind_expr(ctx, e);
     }
 }

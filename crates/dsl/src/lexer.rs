@@ -1,12 +1,21 @@
 //! Tokenizer for the layout description language.
 
-/// A token with its 1-based source line.
+use crate::span::Span;
+
+/// A token with its source span.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// Token kind and payload.
     pub kind: TokenKind,
-    /// 1-based source line.
-    pub line: usize,
+    /// Source location (line, column, byte range).
+    pub span: Span,
+}
+
+impl Token {
+    /// 1-based source line (shorthand for `span.line`).
+    pub fn line(&self) -> usize {
+        self.span.line as usize
+    }
 }
 
 /// Token kinds.
@@ -52,18 +61,48 @@ pub enum TokenKind {
     Eof,
 }
 
+/// Human-readable token text for error messages: punctuation prints as
+/// `` `(` ``, payload tokens print their source text.
+impl std::fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Number(n) => write!(f, "`{n}`"),
+            TokenKind::Str(s) => write!(f, "`\"{s}\"`"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Eq => f.write_str("`=`"),
+            TokenKind::EqEq => f.write_str("`==`"),
+            TokenKind::Ne => f.write_str("`!=`"),
+            TokenKind::Lt => f.write_str("`<`"),
+            TokenKind::Gt => f.write_str("`>`"),
+            TokenKind::Le => f.write_str("`<=`"),
+            TokenKind::Ge => f.write_str("`>=`"),
+            TokenKind::Plus => f.write_str("`+`"),
+            TokenKind::Minus => f.write_str("`-`"),
+            TokenKind::Star => f.write_str("`*`"),
+            TokenKind::Slash => f.write_str("`/`"),
+            TokenKind::Newline => f.write_str("end of line"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
 /// Lexing errors.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LexError {
     /// 1-based line.
     pub line: usize,
+    /// 1-based byte column within the line.
+    pub col: usize,
     /// Explanation.
     pub message: String,
 }
 
 impl std::fmt::Display for LexError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}:{}: {}", self.line, self.col, self.message)
     }
 }
 
@@ -73,164 +112,179 @@ impl std::error::Error for LexError {}
 /// collapse; every non-empty line ends in one `Newline` token.
 pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
     let mut out = Vec::new();
-    for (i, raw) in src.lines().enumerate() {
+    let mut line_start = 0usize; // byte offset of the current line
+    for (i, raw) in src.split('\n').enumerate() {
         let line = i + 1;
-        let mut chars = strip_comment(raw).chars().peekable();
-        let mut emitted = false;
-        while let Some(&ch) = chars.peek() {
+        let text = strip_comment(raw);
+        let mut lx = LineLexer {
+            text,
+            line,
+            line_start,
+            pos: 0,
+            out: &mut out,
+        };
+        lx.run()?;
+        line_start += raw.len() + 1; // +1 for the '\n'
+    }
+    let end = src.len() as u32;
+    let last_line = out.last().map(|t| t.span.line).unwrap_or(1);
+    out.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::new(last_line, 1, end, end),
+    });
+    Ok(out)
+}
+
+/// Lexes one (comment-stripped) source line.
+struct LineLexer<'a> {
+    text: &'a str,
+    line: usize,
+    /// Byte offset of the line's first byte in the whole source.
+    line_start: usize,
+    /// Byte position within `text`.
+    pos: usize,
+    out: &'a mut Vec<Token>,
+}
+
+impl LineLexer<'_> {
+    fn peek(&self) -> Option<char> {
+        self.text[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    /// A span from byte `from` (within the line) to the current position.
+    fn span_from(&self, from: usize) -> Span {
+        Span::new(
+            self.line as u32,
+            from as u32 + 1,
+            (self.line_start + from) as u32,
+            (self.line_start + self.pos) as u32,
+        )
+    }
+
+    fn push(&mut self, kind: TokenKind, from: usize) {
+        let span = self.span_from(from);
+        self.out.push(Token { kind, span });
+    }
+
+    fn err<T>(&self, from: usize, message: impl Into<String>) -> Result<T, LexError> {
+        Err(LexError {
+            line: self.line,
+            col: from + 1,
+            message: message.into(),
+        })
+    }
+
+    fn run(&mut self) -> Result<(), LexError> {
+        let emitted_before = self.out.len();
+        while let Some(ch) = self.peek() {
+            let from = self.pos;
             match ch {
                 ' ' | '\t' | '\r' => {
-                    chars.next();
+                    self.bump();
                 }
-                '(' => push(&mut out, TokenKind::LParen, line, &mut chars, &mut emitted),
-                ')' => push(&mut out, TokenKind::RParen, line, &mut chars, &mut emitted),
-                ',' => push(&mut out, TokenKind::Comma, line, &mut chars, &mut emitted),
-                '+' => push(&mut out, TokenKind::Plus, line, &mut chars, &mut emitted),
-                '-' => push(&mut out, TokenKind::Minus, line, &mut chars, &mut emitted),
-                '*' => push(&mut out, TokenKind::Star, line, &mut chars, &mut emitted),
-                '/' => push(&mut out, TokenKind::Slash, line, &mut chars, &mut emitted),
+                '(' => self.single(TokenKind::LParen),
+                ')' => self.single(TokenKind::RParen),
+                ',' => self.single(TokenKind::Comma),
+                '+' => self.single(TokenKind::Plus),
+                '-' => self.single(TokenKind::Minus),
+                '*' => self.single(TokenKind::Star),
+                '/' => self.single(TokenKind::Slash),
                 '=' => {
-                    chars.next();
-                    if chars.peek() == Some(&'=') {
-                        chars.next();
-                        out.push(Token {
-                            kind: TokenKind::EqEq,
-                            line,
-                        });
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(TokenKind::EqEq, from);
                     } else {
-                        out.push(Token {
-                            kind: TokenKind::Eq,
-                            line,
-                        });
+                        self.push(TokenKind::Eq, from);
                     }
-                    emitted = true;
                 }
                 '!' => {
-                    chars.next();
-                    if chars.peek() == Some(&'=') {
-                        chars.next();
-                        out.push(Token {
-                            kind: TokenKind::Ne,
-                            line,
-                        });
-                        emitted = true;
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(TokenKind::Ne, from);
                     } else {
-                        return Err(LexError {
-                            line,
-                            message: "stray `!`".into(),
-                        });
+                        return self.err(from, "stray `!`");
                     }
                 }
                 '<' => {
-                    chars.next();
-                    if chars.peek() == Some(&'=') {
-                        chars.next();
-                        out.push(Token {
-                            kind: TokenKind::Le,
-                            line,
-                        });
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(TokenKind::Le, from);
                     } else {
-                        out.push(Token {
-                            kind: TokenKind::Lt,
-                            line,
-                        });
+                        self.push(TokenKind::Lt, from);
                     }
-                    emitted = true;
                 }
                 '>' => {
-                    chars.next();
-                    if chars.peek() == Some(&'=') {
-                        chars.next();
-                        out.push(Token {
-                            kind: TokenKind::Ge,
-                            line,
-                        });
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(TokenKind::Ge, from);
                     } else {
-                        out.push(Token {
-                            kind: TokenKind::Gt,
-                            line,
-                        });
+                        self.push(TokenKind::Gt, from);
                     }
-                    emitted = true;
                 }
                 '"' => {
-                    chars.next();
+                    self.bump();
                     let mut s = String::new();
                     loop {
-                        match chars.next() {
+                        match self.bump() {
                             Some('"') => break,
                             Some(c) => s.push(c),
-                            None => {
-                                return Err(LexError {
-                                    line,
-                                    message: "unterminated string".into(),
-                                })
-                            }
+                            None => return self.err(from, "unterminated string"),
                         }
                     }
-                    out.push(Token {
-                        kind: TokenKind::Str(s),
-                        line,
-                    });
-                    emitted = true;
+                    self.push(TokenKind::Str(s), from);
                 }
                 c if c.is_ascii_digit() || c == '.' => {
                     let mut s = String::new();
-                    while let Some(&c) = chars.peek() {
+                    while let Some(c) = self.peek() {
                         if c.is_ascii_digit() || c == '.' {
                             s.push(c);
-                            chars.next();
+                            self.bump();
                         } else {
                             break;
                         }
                     }
-                    let n: f64 = s.parse().map_err(|_| LexError {
-                        line,
-                        message: format!("bad number `{s}`"),
-                    })?;
-                    out.push(Token {
-                        kind: TokenKind::Number(n),
-                        line,
-                    });
-                    emitted = true;
+                    match s.parse::<f64>() {
+                        Ok(n) => self.push(TokenKind::Number(n), from),
+                        Err(_) => return self.err(from, format!("bad number `{s}`")),
+                    }
                 }
                 c if c.is_ascii_alphabetic() || c == '_' => {
                     let mut s = String::new();
-                    while let Some(&c) = chars.peek() {
+                    while let Some(c) = self.peek() {
                         if c.is_ascii_alphanumeric() || c == '_' {
                             s.push(c);
-                            chars.next();
+                            self.bump();
                         } else {
                             break;
                         }
                     }
-                    out.push(Token {
-                        kind: TokenKind::Ident(s),
-                        line,
-                    });
-                    emitted = true;
+                    self.push(TokenKind::Ident(s), from);
                 }
-                other => {
-                    return Err(LexError {
-                        line,
-                        message: format!("unexpected `{other}`"),
-                    })
-                }
+                other => return self.err(from, format!("unexpected `{other}`")),
             }
         }
-        if emitted {
-            out.push(Token {
-                kind: TokenKind::Newline,
-                line,
-            });
+        if self.out.len() > emitted_before {
+            let from = self.pos;
+            self.push(TokenKind::Newline, from);
         }
+        Ok(())
     }
-    let last = out.last().map(|t| t.line).unwrap_or(1);
-    out.push(Token {
-        kind: TokenKind::Eof,
-        line: last,
-    });
-    Ok(out)
+
+    fn single(&mut self, kind: TokenKind) {
+        let from = self.pos;
+        self.bump();
+        self.push(kind, from);
+    }
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -242,18 +296,6 @@ fn strip_comment(line: &str) -> &str {
         (None, Some(b)) => &line[..b],
         (None, None) => line,
     }
-}
-
-fn push(
-    out: &mut Vec<Token>,
-    kind: TokenKind,
-    line: usize,
-    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
-    emitted: &mut bool,
-) {
-    chars.next();
-    out.push(Token { kind, line });
-    *emitted = true;
 }
 
 #[cfg(test)]
@@ -332,10 +374,46 @@ mod tests {
     fn unterminated_string_errors_with_line() {
         let e = lex("x = \"oops").unwrap_err();
         assert_eq!(e.line, 1);
+        assert_eq!(e.col, 5);
     }
 
     #[test]
     fn stray_bang_errors() {
         assert!(lex("x ! y").is_err());
+    }
+
+    #[test]
+    fn spans_carry_line_column_and_byte_range() {
+        let src = "a = 1\nbb = \"poly\"";
+        let toks = lex(src).unwrap();
+        // `bb` on line 2, column 1, bytes 6..8.
+        let bb = toks
+            .iter()
+            .find(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "bb"))
+            .unwrap();
+        assert_eq!((bb.span.line, bb.span.col), (2, 1));
+        assert_eq!((bb.span.start, bb.span.end), (6, 8));
+        assert_eq!(&src[bb.span.start as usize..bb.span.end as usize], "bb");
+        // The string literal spans its quotes.
+        let s = toks
+            .iter()
+            .find(|t| matches!(&t.kind, TokenKind::Str(_)))
+            .unwrap();
+        assert_eq!(&src[s.span.start as usize..s.span.end as usize], "\"poly\"");
+        assert_eq!(s.span.col, 6);
+    }
+
+    #[test]
+    fn error_columns_point_at_the_offender() {
+        let e = lex("x = 1 $ 2").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 7));
+    }
+
+    #[test]
+    fn token_kinds_render_human_text() {
+        assert_eq!(TokenKind::Ident("foo".into()).to_string(), "`foo`");
+        assert_eq!(TokenKind::Str("poly".into()).to_string(), "`\"poly\"`");
+        assert_eq!(TokenKind::Newline.to_string(), "end of line");
+        assert_eq!(TokenKind::Le.to_string(), "`<=`");
     }
 }

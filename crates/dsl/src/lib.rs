@@ -62,8 +62,10 @@ pub mod interp;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
+pub mod span;
 pub mod stdlib;
 pub mod value;
 
 pub use interp::{DslError, Interpreter};
+pub use span::Span;
 pub use value::Value;

@@ -2,19 +2,24 @@
 
 use crate::ast::{BinOp, Call, Entity, Expr, Param, Program, Stmt};
 use crate::lexer::{lex, LexError, Token, TokenKind};
+use crate::span::Span;
 
 /// Parse errors.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
     /// 1-based source line.
     pub line: usize,
+    /// 1-based byte column within the line.
+    pub col: usize,
+    /// Span of the offending token (or error position).
+    pub span: Span,
     /// Explanation.
     pub message: String,
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}:{}: {}", self.line, self.col, self.message)
     }
 }
 
@@ -22,8 +27,11 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> ParseError {
+        let span = Span::new(e.line as u32, e.col as u32, 0, 0);
         ParseError {
             line: e.line,
+            col: e.col,
+            span,
             message: e.message,
         }
     }
@@ -46,8 +54,8 @@ impl Parser {
         &self.tokens[self.pos].kind
     }
 
-    fn line(&self) -> usize {
-        self.tokens[self.pos].line
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
     }
 
     fn next(&mut self) -> TokenKind {
@@ -59,8 +67,11 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        let span = self.span();
         Err(ParseError {
-            line: self.line(),
+            line: span.line as usize,
+            col: span.col as usize,
+            span,
             message: message.into(),
         })
     }
@@ -70,7 +81,7 @@ impl Parser {
             self.next();
             Ok(())
         } else {
-            self.err(format!("expected {what}, found {:?}", self.peek()))
+            self.err(format!("expected {what}, found {}", self.peek()))
         }
     }
 
@@ -99,27 +110,31 @@ impl Parser {
     }
 
     fn entity(&mut self) -> Result<Entity, ParseError> {
-        let line = self.line();
         self.next(); // ENT
+        let span = self.span();
         let name = self.ident("entity name")?;
         self.expect(&TokenKind::LParen, "`(`")?;
         let mut params = Vec::new();
         if !matches!(self.peek(), TokenKind::RParen) {
             loop {
+                let pspan = self.span();
                 match self.next() {
                     TokenKind::Ident(n) => params.push(Param {
                         name: n,
                         optional: false,
+                        span: pspan,
                     }),
                     TokenKind::Lt => {
+                        let pspan = self.span();
                         let n = self.ident("parameter name")?;
                         self.expect(&TokenKind::Gt, "`>`")?;
                         params.push(Param {
                             name: n,
                             optional: true,
+                            span: pspan,
                         });
                     }
-                    other => return self.err(format!("expected parameter, found {other:?}")),
+                    other => return self.err(format!("expected parameter, found {other}")),
                 }
                 if matches!(self.peek(), TokenKind::Comma) {
                     self.next();
@@ -141,7 +156,7 @@ impl Parser {
             name,
             params,
             body,
-            line,
+            span,
         })
     }
 
@@ -169,14 +184,14 @@ impl Parser {
     }
 
     fn statement(&mut self) -> Result<Stmt, ParseError> {
-        let line = self.line();
+        let span = self.span();
         if self.at_keyword("FOR") {
             self.next();
             let var = self.ident("loop variable")?;
             self.expect(&TokenKind::Eq, "`=`")?;
             let from = self.expr()?;
             if !self.at_keyword("TO") {
-                return self.err("expected `TO`");
+                return self.err(format!("expected `TO`, found {}", self.peek()));
             }
             self.next();
             let to = self.expr()?;
@@ -187,7 +202,7 @@ impl Parser {
                 from,
                 to,
                 body,
-                line,
+                span,
             });
         }
         if self.at_keyword("IF") {
@@ -205,7 +220,7 @@ impl Parser {
                 cond,
                 then_body,
                 else_body,
-                line,
+                span,
             });
         }
         if self.at_keyword("VARIANT") {
@@ -221,13 +236,14 @@ impl Parser {
                     break;
                 }
             }
-            return Ok(Stmt::Variant { arms, line });
+            return Ok(Stmt::Variant { arms, span });
         }
         if self.at_keyword("compact") {
             self.next();
             self.expect(&TokenKind::LParen, "`(`")?;
             let obj = self.ident("object name")?;
             self.expect(&TokenKind::Comma, "`,`")?;
+            let dir_span = self.span();
             let dir = self.ident("direction")?;
             let mut ignore = Vec::new();
             while matches!(self.peek(), TokenKind::Comma) {
@@ -240,7 +256,8 @@ impl Parser {
                 obj,
                 dir,
                 ignore,
-                line,
+                span,
+                dir_span,
             });
         }
         // Assignment or bare call.
@@ -250,25 +267,25 @@ impl Parser {
                 self.next();
                 let value = self.expr()?;
                 self.expect(&TokenKind::Newline, "end of line")?;
-                Ok(Stmt::Assign { name, value, line })
+                Ok(Stmt::Assign { name, value, span })
             }
             TokenKind::LParen => {
-                let call = self.call_args(name, line)?;
+                let call = self.call_args(name, span)?;
                 self.expect(&TokenKind::Newline, "end of line")?;
                 Ok(Stmt::Call(call))
             }
-            other => self.err(format!("expected `=` or `(`, found {other:?}")),
+            other => self.err(format!("expected `=` or `(` after `{name}`, found {other}")),
         }
     }
 
     fn ident(&mut self, what: &str) -> Result<String, ParseError> {
         match self.next() {
             TokenKind::Ident(s) => Ok(s),
-            other => self.err(format!("expected {what}, found {other:?}")),
+            other => self.err(format!("expected {what}, found {other}")),
         }
     }
 
-    fn call_args(&mut self, name: String, line: usize) -> Result<Call, ParseError> {
+    fn call_args(&mut self, name: String, span: Span) -> Result<Call, ParseError> {
         self.expect(&TokenKind::LParen, "`(`")?;
         let mut positional = Vec::new();
         let mut keyword = Vec::new();
@@ -278,10 +295,11 @@ impl Parser {
                 let is_kw = matches!(self.peek(), TokenKind::Ident(_))
                     && matches!(self.tokens[self.pos + 1].kind, TokenKind::Eq);
                 if is_kw {
+                    let kspan = self.span();
                     let k = self.ident("argument name")?;
                     self.next(); // '='
                     let v = self.expr()?;
-                    keyword.push((k, v));
+                    keyword.push((k, kspan, v));
                 } else {
                     positional.push(self.expr()?);
                 }
@@ -297,7 +315,7 @@ impl Parser {
             name,
             positional,
             keyword,
-            line,
+            span,
         })
     }
 
@@ -318,10 +336,12 @@ impl Parser {
         };
         self.next();
         let rhs = self.additive()?;
+        let span = lhs.span().join(rhs.span());
         Ok(Expr::Binary {
             op,
             lhs: Box::new(lhs),
             rhs: Box::new(rhs),
+            span,
         })
     }
 
@@ -335,10 +355,12 @@ impl Parser {
             };
             self.next();
             let rhs = self.multiplicative()?;
+            let span = lhs.span().join(rhs.span());
             lhs = Expr::Binary {
                 op,
                 lhs: Box::new(lhs),
                 rhs: Box::new(rhs),
+                span,
             };
         }
     }
@@ -353,32 +375,37 @@ impl Parser {
             };
             self.next();
             let rhs = self.unary()?;
+            let span = lhs.span().join(rhs.span());
             lhs = Expr::Binary {
                 op,
                 lhs: Box::new(lhs),
                 rhs: Box::new(rhs),
+                span,
             };
         }
     }
 
     fn unary(&mut self) -> Result<Expr, ParseError> {
         if matches!(self.peek(), TokenKind::Minus) {
+            let span = self.span();
             self.next();
-            return Ok(Expr::Neg(Box::new(self.unary()?)));
+            let inner = self.unary()?;
+            let span = span.join(inner.span());
+            return Ok(Expr::Neg(Box::new(inner), span));
         }
         self.primary()
     }
 
     fn primary(&mut self) -> Result<Expr, ParseError> {
-        let line = self.line();
+        let span = self.span();
         match self.next() {
-            TokenKind::Number(n) => Ok(Expr::Number(n)),
-            TokenKind::Str(s) => Ok(Expr::Str(s)),
+            TokenKind::Number(n) => Ok(Expr::Number(n, span)),
+            TokenKind::Str(s) => Ok(Expr::Str(s, span)),
             TokenKind::Ident(name) => {
                 if matches!(self.peek(), TokenKind::LParen) {
-                    Ok(Expr::Call(self.call_args(name, line)?))
+                    Ok(Expr::Call(self.call_args(name, span)?))
                 } else {
-                    Ok(Expr::Var(name))
+                    Ok(Expr::Var(name, span))
                 }
             }
             TokenKind::LParen => {
@@ -386,7 +413,12 @@ impl Parser {
                 self.expect(&TokenKind::RParen, "`)`")?;
                 Ok(e)
             }
-            other => self.err(format!("expected expression, found {other:?}")),
+            other => Err(ParseError {
+                line: span.line as usize,
+                col: span.col as usize,
+                span,
+                message: format!("expected expression, found {other}"),
+            }),
         }
     }
 }
@@ -449,7 +481,7 @@ ENT DiffPair(<W>, <L>)
         let pair = &p.entities[1];
         // `trans2 = trans1` is a plain variable assignment (object copy).
         assert!(
-            matches!(&pair.body[1], Stmt::Assign { name, value: Expr::Var(v), .. }
+            matches!(&pair.body[1], Stmt::Assign { name, value: Expr::Var(v, _), .. }
             if name == "trans2" && v == "trans1")
         );
     }
@@ -532,12 +564,54 @@ ENT DiffPair(<W>, <L>)
         let Stmt::Assign { value, .. } = &p.top[0] else {
             panic!()
         };
-        assert!(matches!(value, Expr::Neg(_)));
+        assert!(matches!(value, Expr::Neg(..)));
     }
 
     #[test]
-    fn error_reports_line() {
+    fn error_reports_line_and_column() {
         let e = parse("a = 1\nb = = 2\n").unwrap_err();
         assert_eq!(e.line, 2);
+        assert_eq!(e.col, 5);
+    }
+
+    #[test]
+    fn errors_name_the_offending_token() {
+        let e = parse("a = 1\nb = = 2\n").unwrap_err();
+        assert!(e.message.contains("`=`"), "{}", e.message);
+        let e = parse("compact(a b)\n").unwrap_err();
+        assert!(e.message.contains("`b`"), "{}", e.message);
+    }
+
+    #[test]
+    fn ast_spans_point_into_the_source() {
+        let src = "x = ContactRow(layer = \"poly\")\n";
+        let p = parse(src).unwrap();
+        let Stmt::Assign { value, span, .. } = &p.top[0] else {
+            panic!()
+        };
+        assert_eq!(&src[span.start as usize..span.end as usize], "x");
+        let Expr::Call(c) = value else { panic!() };
+        assert_eq!(
+            &src[c.span.start as usize..c.span.end as usize],
+            "ContactRow"
+        );
+        let (k, kspan, v) = &c.keyword[0];
+        assert_eq!(k, "layer");
+        assert_eq!(&src[kspan.start as usize..kspan.end as usize], "layer");
+        assert_eq!(
+            &src[v.span().start as usize..v.span().end as usize],
+            "\"poly\""
+        );
+    }
+
+    #[test]
+    fn binary_spans_cover_both_operands() {
+        let src = "x = 1 + 2 * 3\n";
+        let p = parse(src).unwrap();
+        let Stmt::Assign { value, .. } = &p.top[0] else {
+            panic!()
+        };
+        let s = value.span();
+        assert_eq!(&src[s.start as usize..s.end as usize], "1 + 2 * 3");
     }
 }

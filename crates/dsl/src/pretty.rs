@@ -150,7 +150,7 @@ fn print_call(c: &Call, out: &mut String) {
         first = false;
         print_expr(e, out);
     }
-    for (k, e) in &c.keyword {
+    for (k, _, e) in &c.keyword {
         if !first {
             out.push_str(", ");
         }
@@ -165,33 +165,33 @@ fn print_call(c: &Call, out: &mut String) {
 /// Prints one expression (fully parenthesised where nesting requires it).
 pub fn print_expr(e: &Expr, out: &mut String) {
     match e {
-        Expr::Number(n) => {
+        Expr::Number(n, _) => {
             if n.fract() == 0.0 && n.abs() < 1e15 {
                 out.push_str(&format!("{}", *n as i64));
             } else {
                 out.push_str(&format!("{n}"));
             }
         }
-        Expr::Str(s) => {
+        Expr::Str(s, _) => {
             out.push('"');
             out.push_str(s);
             out.push('"');
         }
         // An interned layer prints as its source spelling, so a bound
         // program pretty-prints identically to its unbound form.
-        Expr::Layer(_, name) => {
+        Expr::Layer(_, name, _) => {
             out.push('"');
             out.push_str(name);
             out.push('"');
         }
-        Expr::Var(v) => out.push_str(v),
+        Expr::Var(v, _) => out.push_str(v),
         Expr::Call(c) => print_call(c, out),
-        Expr::Neg(inner) => {
+        Expr::Neg(inner, _) => {
             out.push_str("-(");
             print_expr(inner, out);
             out.push(')');
         }
-        Expr::Binary { op, lhs, rhs } => {
+        Expr::Binary { op, lhs, rhs, .. } => {
             out.push('(');
             print_expr(lhs, out);
             out.push(' ');

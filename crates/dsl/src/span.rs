@@ -1,0 +1,124 @@
+//! Source spans: where a token, expression or statement came from.
+//!
+//! A [`Span`] is a half-open byte range into the original source string
+//! plus the 1-based line and column of its first byte. Spans are carried
+//! from the lexer through the parser into every AST node so that
+//! downstream tooling — the static analyzer's diagnostics above all —
+//! can point at the exact offending text instead of a whole line.
+//!
+//! A zero span ([`Span::NONE`]) marks synthesized nodes (programs built
+//! in code rather than parsed); renderers treat `line == 0` as "no
+//! location".
+
+/// A source location: byte range plus human line/column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based source line of the first byte; 0 for synthesized nodes.
+    pub line: u32,
+    /// 1-based byte column of the first byte within its line; 0 for
+    /// synthesized nodes.
+    pub col: u32,
+    /// Byte offset of the first byte in the source string.
+    pub start: u32,
+    /// Byte offset one past the last byte (half-open).
+    pub end: u32,
+}
+
+impl Span {
+    /// The empty span of synthesized nodes.
+    pub const NONE: Span = Span {
+        line: 0,
+        col: 0,
+        start: 0,
+        end: 0,
+    };
+
+    /// A span from explicit parts.
+    pub fn new(line: u32, col: u32, start: u32, end: u32) -> Span {
+        Span {
+            line,
+            col,
+            start,
+            end,
+        }
+    }
+
+    /// True for the spans of synthesized (non-parsed) nodes.
+    pub fn is_none(&self) -> bool {
+        self.line == 0
+    }
+
+    /// Length of the spanned text in bytes (at least 1 for rendering a
+    /// caret even on empty spans).
+    pub fn len(&self) -> usize {
+        (self.end.saturating_sub(self.start)).max(1) as usize
+    }
+
+    /// Never empty for rendering purposes; see [`Span::len`].
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The smallest span covering both `self` and `other`. A `NONE`
+    /// operand yields the other span unchanged.
+    pub fn join(self, other: Span) -> Span {
+        if self.is_none() {
+            return other;
+        }
+        if other.is_none() {
+            return self;
+        }
+        let (first, last) = if self.start <= other.start {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        Span {
+            line: first.line,
+            col: first.col,
+            start: first.start,
+            end: first.end.max(last.end),
+        }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_none() {
+            write!(f, "<unknown>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_covers_both_operands() {
+        let a = Span::new(1, 1, 0, 3);
+        let b = Span::new(1, 7, 6, 10);
+        let j = a.join(b);
+        assert_eq!((j.start, j.end), (0, 10));
+        assert_eq!((j.line, j.col), (1, 1));
+        assert_eq!(b.join(a), j);
+    }
+
+    #[test]
+    fn none_is_a_join_identity() {
+        let a = Span::new(2, 4, 10, 12);
+        assert_eq!(Span::NONE.join(a), a);
+        assert_eq!(a.join(Span::NONE), a);
+        assert!(Span::NONE.is_none());
+        assert_eq!(Span::NONE.to_string(), "<unknown>");
+        assert_eq!(a.to_string(), "2:4");
+    }
+
+    #[test]
+    fn len_is_at_least_one() {
+        assert_eq!(Span::NONE.len(), 1);
+        assert_eq!(Span::new(1, 1, 5, 9).len(), 4);
+    }
+}

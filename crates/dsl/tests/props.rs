@@ -1,10 +1,11 @@
 //! Property tests for the language: printer/parser round trips over
 //! generated ASTs, and lexer robustness over arbitrary input.
 
-use amgen_dsl::ast::{BinOp, Call, Entity, Expr, Param, Program, Stmt};
+use amgen_dsl::ast::{strip_spans, BinOp, Call, Entity, Expr, Param, Program, Stmt};
 use amgen_dsl::lexer::lex;
 use amgen_dsl::parser::parse;
 use amgen_dsl::pretty::print_program;
+use amgen_dsl::span::Span;
 use proptest::prelude::*;
 
 fn ident() -> impl Strategy<Value = String> {
@@ -13,9 +14,9 @@ fn ident() -> impl Strategy<Value = String> {
 
 fn arb_expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
-        (0i64..1000).prop_map(|n| Expr::Number(n as f64)),
-        "[a-z]{1,8}".prop_map(Expr::Str),
-        ident().prop_map(Expr::Var),
+        (0i64..1000).prop_map(|n| Expr::Number(n as f64, Span::NONE)),
+        "[a-z]{1,8}".prop_map(|s| Expr::Str(s, Span::NONE)),
+        ident().prop_map(|v| Expr::Var(v, Span::NONE)),
     ];
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
@@ -34,9 +35,10 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 .prop_map(|(a, b, op)| Expr::Binary {
                     op,
                     lhs: Box::new(a),
-                    rhs: Box::new(b)
+                    rhs: Box::new(b),
+                    span: Span::NONE,
                 }),
-            inner.prop_map(|e| Expr::Neg(Box::new(e))),
+            inner.prop_map(|e| Expr::Neg(Box::new(e), Span::NONE)),
         ]
     })
 }
@@ -50,8 +52,11 @@ fn arb_call() -> impl Strategy<Value = Call> {
         .prop_map(|(name, positional, keyword)| Call {
             name: format!("F{name}"),
             positional,
-            keyword,
-            line: 0,
+            keyword: keyword
+                .into_iter()
+                .map(|(k, e)| (k, Span::NONE, e))
+                .collect(),
+            span: Span::NONE,
         })
 }
 
@@ -60,7 +65,7 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
         (ident(), arb_expr()).prop_map(|(name, value)| Stmt::Assign {
             name,
             value,
-            line: 0
+            span: Span::NONE,
         }),
         arb_call().prop_map(Stmt::Call),
         (
@@ -70,8 +75,9 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
             .prop_map(|(obj, dir)| Stmt::Compact {
                 obj,
                 dir: dir.to_string(),
-                ignore: vec![Expr::Str("poly".into())],
-                line: 0,
+                ignore: vec![Expr::Str("poly".into(), Span::NONE)],
+                span: Span::NONE,
+                dir_span: Span::NONE,
             }),
     ];
     leaf.prop_recursive(2, 8, 3, |inner| {
@@ -87,7 +93,7 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
                     from,
                     to,
                     body,
-                    line: 0
+                    span: Span::NONE,
                 }),
             (
                 arb_expr(),
@@ -98,10 +104,14 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
                     cond,
                     then_body,
                     else_body,
-                    line: 0
+                    span: Span::NONE,
                 }),
-            prop::collection::vec(prop::collection::vec(inner, 1..3), 2..3)
-                .prop_map(|arms| Stmt::Variant { arms, line: 0 }),
+            prop::collection::vec(prop::collection::vec(inner, 1..3), 2..3).prop_map(|arms| {
+                Stmt::Variant {
+                    arms,
+                    span: Span::NONE,
+                }
+            }),
         ]
     })
 }
@@ -130,11 +140,15 @@ fn arb_program() -> impl Strategy<Value = Program> {
                         params
                             .into_iter()
                             .filter(|(n, _)| seen.insert(n.clone()))
-                            .map(|(name, optional)| Param { name, optional })
+                            .map(|(name, optional)| Param {
+                                name,
+                                optional,
+                                span: Span::NONE,
+                            })
                             .collect()
                     },
                     body,
-                    line: 0,
+                    span: Span::NONE,
                 })
                 .collect(),
         })
@@ -150,6 +164,29 @@ proptest! {
         let reparsed = parse(&printed)
             .unwrap_or_else(|e| panic!("printed program must parse: {e}\n---\n{printed}"));
         prop_assert_eq!(print_program(&reparsed), printed);
+    }
+
+    /// parse ∘ print ∘ parse = parse structurally: for programs the
+    /// analyzer accepts without findings, re-parsing the printed form
+    /// yields the identical AST once spans are erased.
+    #[test]
+    fn lint_clean_sources_round_trip_structurally(idx in 0usize..5) {
+        let src = [
+            amgen_dsl::stdlib::FIG2_CONTACT_ROW,
+            amgen_dsl::stdlib::FIG7_DIFF_PAIR,
+            amgen_dsl::stdlib::INTERDIGIT,
+            amgen_dsl::stdlib::CENTROID_PLACEMENT,
+            amgen_dsl::stdlib::VARIANT_ROW,
+        ][idx];
+        let mut linter = amgen_lint::Linter::new();
+        linter.load(amgen_dsl::stdlib::FIG2_CONTACT_ROW).unwrap();
+        prop_assert!(linter.lint_source(src).is_empty(), "stdlib source must be lint-clean");
+        let mut first = parse(src).unwrap();
+        let printed = print_program(&first);
+        let mut second = parse(&printed).unwrap();
+        strip_spans(&mut first);
+        strip_spans(&mut second);
+        prop_assert_eq!(first, second);
     }
 
     /// The lexer never panics on arbitrary input (errors are fine).

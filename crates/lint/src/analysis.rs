@@ -1,0 +1,463 @@
+//! Shared analysis infrastructure: callee signatures, argument
+//! expectations, AST walkers, constant folding, name suggestions.
+
+use std::collections::HashMap;
+
+use amgen_dsl::ast::{BinOp, Call, Entity, Expr, Program, Stmt};
+use amgen_dsl::span::Span;
+use amgen_tech::RuleSet;
+
+/// What a callee expects in one argument position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Expect {
+    /// A layer name (string literal, layer handle, or layer-kind var).
+    Layer,
+    /// A dimension in micrometres.
+    Num,
+    /// Any string (net names).
+    Str,
+    /// Unconstrained (entity parameters with no inferred kind).
+    Any,
+}
+
+/// One builtin parameter.
+pub(crate) struct BuiltinArg {
+    pub name: &'static str,
+    pub expect: Expect,
+    pub required: bool,
+}
+
+/// A builtin's full signature.
+pub(crate) struct BuiltinSig {
+    pub name: &'static str,
+    pub args: &'static [BuiltinArg],
+}
+
+macro_rules! barg {
+    ($name:literal, $expect:ident, $required:literal) => {
+        BuiltinArg {
+            name: $name,
+            expect: Expect::$expect,
+            required: $required,
+        }
+    };
+}
+
+/// The geometry builtins of the language, mirroring the interpreter's
+/// dispatch table (`interp.rs::builtin`). Required/optional matches what
+/// the runtime tolerates: layers must be present, dimensions default to
+/// the design-rule minimum when unset.
+pub(crate) const BUILTINS: &[BuiltinSig] = &[
+    BuiltinSig {
+        name: "INBOX",
+        args: &[
+            barg!("layer", Layer, true),
+            barg!("W", Num, false),
+            barg!("L", Num, false),
+        ],
+    },
+    BuiltinSig {
+        name: "ARRAY",
+        args: &[barg!("layer", Layer, true)],
+    },
+    BuiltinSig {
+        name: "AROUND",
+        args: &[barg!("layer", Layer, true), barg!("extra", Num, false)],
+    },
+    BuiltinSig {
+        name: "RING",
+        args: &[
+            barg!("layer", Layer, true),
+            barg!("W", Num, false),
+            barg!("clearance", Num, false),
+        ],
+    },
+    BuiltinSig {
+        name: "TWORECTS",
+        args: &[
+            barg!("a", Layer, true),
+            barg!("b", Layer, true),
+            barg!("W", Num, false),
+            barg!("L", Num, false),
+        ],
+    },
+    BuiltinSig {
+        name: "NET",
+        args: &[barg!("name", Str, true)],
+    },
+];
+
+/// Looks up a builtin signature by name.
+pub(crate) fn builtin(name: &str) -> Option<&'static BuiltinSig> {
+    BUILTINS.iter().find(|b| b.name == name)
+}
+
+/// One entity parameter as the linter sees it.
+#[derive(Debug, Clone)]
+pub(crate) struct ParamSig {
+    pub name: String,
+    pub optional: bool,
+    /// True once the fixpoint proves the parameter flows into a layer
+    /// position inside the body.
+    pub is_layer: bool,
+}
+
+/// An entity's callable surface.
+#[derive(Debug, Clone)]
+pub(crate) struct EntitySig {
+    pub params: Vec<ParamSig>,
+    /// Span of the defining `ENT` name.
+    pub span: Span,
+    /// Index of the defining file within the linted set (`None` for
+    /// preloaded library entities).
+    pub file: Option<usize>,
+    /// Library entities are "soft": redefinition by a linted file is the
+    /// interpreter's normal reload behaviour, not a duplicate.
+    pub soft: bool,
+}
+
+impl EntitySig {
+    pub fn from_entity(e: &Entity, file: Option<usize>, soft: bool) -> EntitySig {
+        EntitySig {
+            params: e
+                .params
+                .iter()
+                .map(|p| ParamSig {
+                    name: p.name.clone(),
+                    optional: p.optional,
+                    is_layer: false,
+                })
+                .collect(),
+            span: e.span,
+            file,
+            soft,
+        }
+    }
+}
+
+/// Everything the passes share: the signature table and (optionally) the
+/// compiled rule kernel for layer-name validation.
+pub(crate) struct Analysis<'a> {
+    pub sigs: HashMap<String, EntitySig>,
+    pub rules: Option<&'a RuleSet>,
+}
+
+/// Resolves every argument of `call` to what the callee expects there.
+/// Unknown callees and surplus arguments yield [`Expect::Any`] — pass 1
+/// reports those separately.
+pub(crate) fn expectations<'c>(
+    call: &'c Call,
+    sigs: &HashMap<String, EntitySig>,
+) -> Vec<(Expect, &'c Expr)> {
+    let mut out = Vec::new();
+    if let Some(b) = builtin(&call.name) {
+        for (i, e) in call.positional.iter().enumerate() {
+            let expect = b.args.get(i).map_or(Expect::Any, |a| a.expect);
+            out.push((expect, e));
+        }
+        for (k, _, e) in &call.keyword {
+            let expect = b
+                .args
+                .iter()
+                .find(|a| a.name == *k)
+                .map_or(Expect::Any, |a| a.expect);
+            out.push((expect, e));
+        }
+    } else if let Some(sig) = sigs.get(&call.name) {
+        let expect_of = |p: &ParamSig| {
+            if p.is_layer {
+                Expect::Layer
+            } else {
+                Expect::Any
+            }
+        };
+        for (i, e) in call.positional.iter().enumerate() {
+            let expect = sig.params.get(i).map_or(Expect::Any, expect_of);
+            out.push((expect, e));
+        }
+        for (k, _, e) in &call.keyword {
+            let expect = sig
+                .params
+                .iter()
+                .find(|p| p.name == *k)
+                .map_or(Expect::Any, expect_of);
+            out.push((expect, e));
+        }
+    } else {
+        for e in &call.positional {
+            out.push((Expect::Any, e));
+        }
+        for (_, _, e) in &call.keyword {
+            out.push((Expect::Any, e));
+        }
+    }
+    out
+}
+
+/// Marks entity parameters that flow into layer positions. Runs to a
+/// fixpoint so a parameter forwarded through a chain of entity calls
+/// (`E1.p` passed as `E2.layer` passed to `INBOX`) is still found.
+pub(crate) fn mark_layer_params(entities: &[&Entity], sigs: &mut HashMap<String, EntitySig>) {
+    loop {
+        let mut updates: Vec<(String, String)> = Vec::new();
+        for ent in entities {
+            let Some(sig) = sigs.get(&ent.name) else {
+                continue;
+            };
+            let param_names: Vec<&str> = sig.params.iter().map(|p| p.name.as_str()).collect();
+            let mut candidates: Vec<String> = Vec::new();
+            // `compact` ignore lists are layer positions too.
+            walk_stmts(&ent.body, &mut |s| {
+                if let Stmt::Compact { ignore, .. } = s {
+                    for e in ignore {
+                        if let Expr::Var(v, _) = e {
+                            candidates.push(v.clone());
+                        }
+                    }
+                }
+            });
+            walk_calls(&ent.body, &mut |c| {
+                for (expect, arg) in expectations(c, sigs) {
+                    if expect == Expect::Layer {
+                        if let Expr::Var(v, _) = arg {
+                            candidates.push(v.clone());
+                        }
+                    }
+                }
+            });
+            for v in candidates {
+                if param_names.contains(&v.as_str()) {
+                    let already = sigs[&ent.name]
+                        .params
+                        .iter()
+                        .any(|p| p.name == v && p.is_layer);
+                    if !already {
+                        updates.push((ent.name.clone(), v));
+                    }
+                }
+            }
+        }
+        if updates.is_empty() {
+            return;
+        }
+        for (ent, param) in updates {
+            if let Some(sig) = sigs.get_mut(&ent) {
+                for p in &mut sig.params {
+                    if p.name == param {
+                        p.is_layer = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ----- walkers ----------------------------------------------------------
+
+/// One lexical scope: the top level or an entity body.
+pub(crate) struct Scope<'p> {
+    pub entity: Option<&'p Entity>,
+    pub body: &'p [Stmt],
+}
+
+/// The scopes of a program, top level first.
+pub(crate) fn scopes(p: &Program) -> Vec<Scope<'_>> {
+    let mut out = vec![Scope {
+        entity: None,
+        body: &p.top,
+    }];
+    for e in &p.entities {
+        out.push(Scope {
+            entity: Some(e),
+            body: &e.body,
+        });
+    }
+    out
+}
+
+/// Pre-order walk over statements, recursing into nested bodies.
+pub(crate) fn walk_stmts<'p>(stmts: &'p [Stmt], f: &mut impl FnMut(&'p Stmt)) {
+    for s in stmts {
+        f(s);
+        match s {
+            Stmt::For { body, .. } => walk_stmts(body, f),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                walk_stmts(then_body, f);
+                walk_stmts(else_body, f);
+            }
+            Stmt::Variant { arms, .. } => {
+                for arm in arms {
+                    walk_stmts(arm, f);
+                }
+            }
+            Stmt::Assign { .. } | Stmt::Call(_) | Stmt::Compact { .. } => {}
+        }
+    }
+}
+
+/// Pre-order walk over an expression tree, including call arguments.
+pub(crate) fn walk_expr<'p>(e: &'p Expr, f: &mut impl FnMut(&'p Expr)) {
+    f(e);
+    match e {
+        Expr::Call(c) => {
+            for a in &c.positional {
+                walk_expr(a, f);
+            }
+            for (_, _, a) in &c.keyword {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        Expr::Neg(inner, _) => walk_expr(inner, f),
+        Expr::Number(..) | Expr::Str(..) | Expr::Layer(..) | Expr::Var(..) => {}
+    }
+}
+
+/// Walks the expressions directly attached to one statement (conditions,
+/// bounds, values, arguments) — not the statements nested inside it.
+pub(crate) fn walk_exprs_in_stmt<'p>(s: &'p Stmt, f: &mut impl FnMut(&'p Expr)) {
+    match s {
+        Stmt::Assign { value, .. } => walk_expr(value, f),
+        Stmt::Call(c) => {
+            for a in &c.positional {
+                walk_expr(a, f);
+            }
+            for (_, _, a) in &c.keyword {
+                walk_expr(a, f);
+            }
+        }
+        Stmt::Compact { ignore, .. } => {
+            for e in ignore {
+                walk_expr(e, f);
+            }
+        }
+        Stmt::For { from, to, .. } => {
+            walk_expr(from, f);
+            walk_expr(to, f);
+        }
+        Stmt::If { cond, .. } => walk_expr(cond, f),
+        Stmt::Variant { .. } => {}
+    }
+}
+
+/// Visits every [`Call`] in a statement list: statement-position calls
+/// and calls nested anywhere in expressions.
+pub(crate) fn walk_calls<'p>(stmts: &'p [Stmt], f: &mut impl FnMut(&'p Call)) {
+    walk_stmts(stmts, &mut |s| {
+        if let Stmt::Call(c) = s {
+            f(c);
+        }
+        walk_exprs_in_stmt(s, &mut |e| {
+            if let Expr::Call(c) = e {
+                f(c);
+            }
+        });
+    });
+}
+
+// ----- constant folding -------------------------------------------------
+
+/// Folds a constant expression to its numeric value. Division by a
+/// constant zero folds to `None` (pass 5 reports it explicitly);
+/// anything referencing variables or calls is not constant.
+pub(crate) fn fold(e: &Expr) -> Option<f64> {
+    match e {
+        Expr::Number(n, _) => Some(*n),
+        Expr::Neg(inner, _) => fold(inner).map(|v| -v),
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let a = fold(lhs)?;
+            let b = fold(rhs)?;
+            Some(match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return None;
+                    }
+                    a / b
+                }
+                BinOp::Eq => f64::from(a == b),
+                BinOp::Ne => f64::from(a != b),
+                BinOp::Lt => f64::from(a < b),
+                BinOp::Le => f64::from(a <= b),
+                BinOp::Gt => f64::from(a > b),
+                BinOp::Ge => f64::from(a >= b),
+            })
+        }
+        Expr::Str(..) | Expr::Layer(..) | Expr::Var(..) | Expr::Call(_) => None,
+    }
+}
+
+// ----- name suggestions -------------------------------------------------
+
+/// Classic Levenshtein distance (names are short; quadratic is fine).
+pub(crate) fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for i in 1..=a.len() {
+        cur[0] = i;
+        for j in 1..=b.len() {
+            let sub = usize::from(a[i - 1] != b[j - 1]);
+            cur[j] = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + sub);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The closest candidate within an edit distance of 2 — the classic
+/// "did you mean" hint.
+pub(crate) fn suggest<'a>(name: &str, candidates: impl Iterator<Item = &'a str>) -> Option<String> {
+    candidates
+        .map(|c| (edit_distance(name, c), c))
+        .filter(|(d, _)| *d <= 2)
+        .min_by_key(|(d, _)| *d)
+        .map(|(_, c)| c.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("poly", "poly"), 0);
+        assert_eq!(edit_distance("polyy", "poly"), 1);
+        assert_eq!(edit_distance("metal", "metal1"), 1);
+        assert_eq!(edit_distance("abc", "xyz"), 3);
+    }
+
+    #[test]
+    fn suggest_picks_the_nearest_within_two() {
+        let cands = ["poly", "metal1", "contact"];
+        assert_eq!(
+            suggest("polyy", cands.iter().copied()),
+            Some("poly".to_string())
+        );
+        assert_eq!(suggest("zzzzzz", cands.iter().copied()), None);
+    }
+
+    #[test]
+    fn fold_handles_arithmetic_and_rejects_vars() {
+        use amgen_dsl::parser::parse;
+        let p = parse("x = (1 + 2) * 3\ny = w + 1\n").unwrap();
+        let amgen_dsl::ast::Stmt::Assign { value, .. } = &p.top[0] else {
+            panic!()
+        };
+        assert_eq!(fold(value), Some(9.0));
+        let amgen_dsl::ast::Stmt::Assign { value, .. } = &p.top[1] else {
+            panic!()
+        };
+        assert_eq!(fold(value), None);
+    }
+}

@@ -1,0 +1,182 @@
+//! Diagnostics: what a lint pass reports.
+
+use amgen_dsl::span::Span;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but executable — the interpreter would proceed.
+    Warning,
+    /// The program cannot run correctly (or at all).
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The fixed catalogue of diagnostic codes. Hundreds group by pass:
+/// `E0xx` symbols, `E1xx` kinds, `E2xx` layers, `W3xx` dead code,
+/// `E4xx` constants. `E000` is reserved for syntax errors surfaced
+/// through the linter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// E000: the source did not parse.
+    SyntaxError,
+    /// E001: call to a name that is neither a builtin nor a known entity.
+    UnknownCallee,
+    /// W002: an entity name is defined more than once in the linted set.
+    DuplicateEntity,
+    /// E003: more positional arguments than the callee has parameters.
+    TooManyArgs,
+    /// E004: keyword argument that matches no parameter of the callee.
+    UnknownParam,
+    /// E005: a required parameter is not supplied.
+    MissingParam,
+    /// W006: a variable is read before any assignment reaches it.
+    UndefinedVar,
+    /// W007: a parameter name repeats in an `ENT` header.
+    DuplicateParam,
+    /// E008: `compact` direction is not NORTH/SOUTH/EAST/WEST.
+    BadDirection,
+    /// E101: operator applied to an operand kind it cannot take.
+    KindMismatch,
+    /// E102: argument kind does not fit the callee's parameter.
+    ArgKindMismatch,
+    /// E201: a layer-name literal is not a layer of the technology.
+    UnknownLayer,
+    /// W301: an entity parameter is never used in its body.
+    UnusedParam,
+    /// W302: a variable assigned in an entity body is never read.
+    UnusedVar,
+    /// W303: an `IF` branch is statically unreachable.
+    UnreachableBranch,
+    /// W304: a `VARIANT` arm repeats an earlier arm verbatim.
+    RedundantVariant,
+    /// E401: constant division by zero.
+    DivisionByZero,
+    /// E402: a constant dimension is negative.
+    NegativeDimension,
+    /// W403: a `FOR` range is statically empty.
+    EmptyLoop,
+}
+
+impl Code {
+    /// Every code, in numeric order — fixtures iterate this to prove
+    /// coverage.
+    pub const ALL: &'static [Code] = &[
+        Code::SyntaxError,
+        Code::UnknownCallee,
+        Code::DuplicateEntity,
+        Code::TooManyArgs,
+        Code::UnknownParam,
+        Code::MissingParam,
+        Code::UndefinedVar,
+        Code::DuplicateParam,
+        Code::BadDirection,
+        Code::KindMismatch,
+        Code::ArgKindMismatch,
+        Code::UnknownLayer,
+        Code::UnusedParam,
+        Code::UnusedVar,
+        Code::UnreachableBranch,
+        Code::RedundantVariant,
+        Code::DivisionByZero,
+        Code::NegativeDimension,
+        Code::EmptyLoop,
+    ];
+
+    /// The stable textual code (`E201`, `W301`, ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::SyntaxError => "E000",
+            Code::UnknownCallee => "E001",
+            Code::DuplicateEntity => "W002",
+            Code::TooManyArgs => "E003",
+            Code::UnknownParam => "E004",
+            Code::MissingParam => "E005",
+            Code::UndefinedVar => "W006",
+            Code::DuplicateParam => "W007",
+            Code::BadDirection => "E008",
+            Code::KindMismatch => "E101",
+            Code::ArgKindMismatch => "E102",
+            Code::UnknownLayer => "E201",
+            Code::UnusedParam => "W301",
+            Code::UnusedVar => "W302",
+            Code::UnreachableBranch => "W303",
+            Code::RedundantVariant => "W304",
+            Code::DivisionByZero => "E401",
+            Code::NegativeDimension => "E402",
+            Code::EmptyLoop => "W403",
+        }
+    }
+
+    /// The code's intrinsic severity (`E` codes error, `W` codes warn).
+    pub fn severity(self) -> Severity {
+        if self.as_str().starts_with('E') {
+            Severity::Error
+        } else {
+            Severity::Warning
+        }
+    }
+}
+
+impl std::fmt::Display for Code {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: a code, where, and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub code: Code,
+    /// Error or warning (defaults to the code's intrinsic severity).
+    pub severity: Severity,
+    /// Offending source range ([`Span::NONE`] when no location applies).
+    pub span: Span,
+    /// Human explanation of the finding.
+    pub message: String,
+    /// Optional fix-it hint rendered as `= help: ...`.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic at `span` with the code's default severity.
+    pub fn new(code: Code, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            span,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Attaches a help line.
+    pub fn with_help(mut self, help: impl Into<String>) -> Diagnostic {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// True for error-severity findings.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {} ({})",
+            self.severity, self.code, self.message, self.span
+        )
+    }
+}

@@ -1,0 +1,233 @@
+//! `amgen-lint`: a multi-pass static analyzer for generator programs.
+//!
+//! The interpreter runs generator programs; this crate reads them. Five
+//! passes walk the parsed AST **before** any geometry is built:
+//!
+//! 1. **Symbols** — unknown callees, arity and parameter-name checks,
+//!    duplicate entities, reads no assignment reaches (E001–E008).
+//! 2. **Kinds** — flow-insensitive inference over value kinds flags
+//!    arithmetic on strings, objects used as dimensions (E101, E102).
+//! 3. **Layers** — statically-known layer-name literals are resolved
+//!    against the compiled [`RuleSet`] interning table, with "did you
+//!    mean" hints (E201).
+//! 4. **Dead code** — unused parameters and locals, unreachable `IF`
+//!    branches, `VARIANT` arms the backtracker explores for nothing
+//!    (W301–W304).
+//! 5. **Constants** — folded division by zero, negative dimensions,
+//!    statically empty loops (E401–W403).
+//!
+//! Every finding is a [`Diagnostic`] with a stable code and a byte-exact
+//! [`Span`](amgen_dsl::span::Span); [`render()`] turns it into a
+//! rustc-style snippet with carets.
+//!
+//! # Example
+//!
+//! ```
+//! use amgen_lint::{Linter, Code};
+//! use amgen_tech::Tech;
+//!
+//! let mut l = Linter::with_rules(Tech::bicmos_1u().compile_arc());
+//! let diags = l.lint_source("x = ContactRow(layer = \"polyy\")\n");
+//! assert!(diags.iter().any(|d| d.code == Code::UnknownCallee));
+//! ```
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use amgen_db::LayoutObject;
+use amgen_dsl::ast::{Entity, Program};
+use amgen_dsl::interp::{DslError, Interpreter};
+use amgen_dsl::parser::parse;
+use amgen_tech::RuleSet;
+
+pub mod diag;
+pub mod render;
+
+mod analysis;
+mod passes;
+
+pub use diag::{Code, Diagnostic, Severity};
+pub use render::{render, render_all};
+
+use analysis::{mark_layer_params, Analysis, EntitySig};
+
+/// The analyzer. Holds an optional technology (for layer validation) and
+/// a library of preloaded entity signatures (for cross-source calls).
+#[derive(Default)]
+pub struct Linter {
+    rules: Option<Arc<RuleSet>>,
+    library: Vec<Entity>,
+}
+
+impl Linter {
+    /// A linter with no technology bound — pass 3 (layer validation) is
+    /// skipped, everything else runs.
+    pub fn new() -> Linter {
+        Linter::default()
+    }
+
+    /// A linter validating layer names against a compiled rule kernel.
+    pub fn with_rules(rules: Arc<RuleSet>) -> Linter {
+        Linter {
+            rules: Some(rules),
+            library: Vec::new(),
+        }
+    }
+
+    /// Preregisters the entities of a library source so programs that
+    /// call across sources resolve (`DiffPair` needs `ContactRow`).
+    /// Library entities are *not* linted and redefining one is not a
+    /// duplicate — that mirrors the interpreter's reload semantics.
+    pub fn load(&mut self, src: &str) -> Result<(), amgen_dsl::parser::ParseError> {
+        let prog = parse(src)?;
+        self.library.extend(prog.entities);
+        Ok(())
+    }
+
+    /// Preregisters already-parsed entities (e.g. from a running
+    /// [`Interpreter`]'s accumulated library).
+    pub fn load_entities(&mut self, entities: impl IntoIterator<Item = Entity>) {
+        self.library.extend(entities);
+    }
+
+    /// Lints one self-contained source. Convenience for
+    /// [`Linter::lint_set`] with a single anonymous file.
+    pub fn lint_source(&self, src: &str) -> Vec<Diagnostic> {
+        self.lint_set(&[("<input>", src)]).pop().unwrap_or_default()
+    }
+
+    /// Lints a set of sources as one program: entities defined anywhere
+    /// in the set are callable from every file, and defining the same
+    /// entity twice within the set is a duplicate (W002). Returns one
+    /// diagnostic list per input file, in order.
+    pub fn lint_set(&self, files: &[(&str, &str)]) -> Vec<Vec<Diagnostic>> {
+        let mut per_file: Vec<Vec<Diagnostic>> = vec![Vec::new(); files.len()];
+        let mut programs: Vec<Option<Program>> = Vec::with_capacity(files.len());
+        for (i, (_, src)) in files.iter().enumerate() {
+            match parse(src) {
+                Ok(p) => programs.push(Some(p)),
+                Err(e) => {
+                    per_file[i].push(Diagnostic::new(
+                        Code::SyntaxError,
+                        e.span,
+                        e.message.clone(),
+                    ));
+                    programs.push(None);
+                }
+            }
+        }
+
+        // Signature table: soft library entries first, then the set.
+        let mut sigs: HashMap<String, EntitySig> = HashMap::new();
+        for e in &self.library {
+            sigs.insert(e.name.clone(), EntitySig::from_entity(e, None, true));
+        }
+        for (i, prog) in programs.iter().enumerate() {
+            let Some(prog) = prog else { continue };
+            for ent in &prog.entities {
+                if let Some(prev) = sigs.get(&ent.name) {
+                    if !prev.soft {
+                        let mut d = Diagnostic::new(
+                            Code::DuplicateEntity,
+                            ent.span,
+                            format!("entity `{}` is defined more than once", ent.name),
+                        );
+                        let at = match prev.file {
+                            Some(f) if f != i => {
+                                format!("{}:{}", files[f].0, prev.span.line)
+                            }
+                            _ => format!("line {}", prev.span.line),
+                        };
+                        d = d.with_help(format!(
+                            "previous definition at {at}; the later definition wins"
+                        ));
+                        per_file[i].push(d);
+                    }
+                }
+                sigs.insert(
+                    ent.name.clone(),
+                    EntitySig::from_entity(ent, Some(i), false),
+                );
+            }
+        }
+
+        // Infer which entity parameters are layer names (fixpoint over
+        // every body we can see, library included).
+        let bodies: Vec<&Entity> = self
+            .library
+            .iter()
+            .chain(programs.iter().flatten().flat_map(|p| p.entities.iter()))
+            .collect();
+        mark_layer_params(&bodies, &mut sigs);
+
+        let a = Analysis {
+            sigs,
+            rules: self.rules.as_deref(),
+        };
+        for (i, prog) in programs.iter().enumerate() {
+            let Some(prog) = prog else { continue };
+            let out = &mut per_file[i];
+            passes::symbols::run(prog, &a, out);
+            passes::kinds::run(prog, &a, out);
+            passes::layers::run(prog, &a, out);
+            passes::deadcode::run(prog, &a, out);
+            passes::consts::run(prog, &a, out);
+            out.sort_by_key(|d| (d.span.start, d.span.line, d.code));
+            out.dedup();
+        }
+        per_file
+    }
+}
+
+/// True when any diagnostic in the batch is an error.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(Diagnostic::is_error)
+}
+
+// ----- interpreter front-end integration --------------------------------
+
+/// Why a checked run refused to execute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckError {
+    /// The linter found errors (all diagnostics are included, warnings
+    /// too, so callers can render the full picture).
+    Lint(Vec<Diagnostic>),
+    /// The program linted clean (or warnings only) but failed at runtime.
+    Run(DslError),
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::Lint(diags) => {
+                let errors = diags.iter().filter(|d| d.is_error()).count();
+                write!(f, "lint found {errors} error(s); program not run")
+            }
+            CheckError::Run(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Lints a source against an interpreter's technology and accumulated
+/// entity library, without running it.
+pub fn check(interp: &Interpreter, src: &str) -> Vec<Diagnostic> {
+    let mut l = Linter::with_rules(Arc::clone(&interp.ctx().rules));
+    l.load_entities(interp.entities().cloned());
+    l.lint_source(src)
+}
+
+/// The opt-in `check` step for the interpreter front-end: lint first,
+/// execute only when no *errors* were found (warnings pass through).
+pub fn checked_run(
+    interp: &mut Interpreter,
+    src: &str,
+) -> Result<BTreeMap<String, LayoutObject>, CheckError> {
+    let diags = check(interp, src);
+    if has_errors(&diags) {
+        return Err(CheckError::Lint(diags));
+    }
+    interp.run(src).map_err(CheckError::Run)
+}

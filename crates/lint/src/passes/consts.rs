@@ -1,0 +1,87 @@
+//! Pass 5 — constant-folding sanity checks.
+//!
+//! Folds constant subexpressions and flags what can never work: division
+//! by a constant zero (E401), constant negative dimensions flowing into
+//! geometry (E402), and `FOR` ranges that are statically empty (W403).
+
+use amgen_dsl::ast::{BinOp, Expr, Program, Stmt};
+
+use crate::analysis::{
+    expectations, fold, scopes, walk_calls, walk_exprs_in_stmt, walk_stmts, Analysis, Expect,
+};
+use crate::diag::{Code, Diagnostic};
+
+pub(crate) fn run(prog: &Program, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    for scope in scopes(prog) {
+        // E401: any division whose divisor folds to zero.
+        walk_stmts(scope.body, &mut |s| {
+            walk_exprs_in_stmt(s, &mut |e| {
+                if let Expr::Binary {
+                    op: BinOp::Div,
+                    rhs,
+                    ..
+                } = e
+                {
+                    if fold(rhs) == Some(0.0) {
+                        out.push(
+                            Diagnostic::new(Code::DivisionByZero, rhs.span(), "division by zero")
+                                .with_help("the interpreter aborts the program here"),
+                        );
+                    }
+                }
+            });
+
+            // W403: statically empty loop range.
+            if let Stmt::For { from, to, span, .. } = s {
+                if let (Some(lo), Some(hi)) = (fold(from), fold(to)) {
+                    if lo > hi {
+                        out.push(
+                            Diagnostic::new(
+                                Code::EmptyLoop,
+                                *span,
+                                format!("FOR range {lo}..{hi} never executes"),
+                            )
+                            .with_help("the body is dead; swap the bounds or remove the loop"),
+                        );
+                    }
+                }
+            }
+        });
+
+        // E402: constant negative dimension in a geometry position.
+        walk_calls(scope.body, &mut |c| {
+            let known_entity = a.sigs.contains_key(&c.name);
+            for (expect, arg) in expectations(c, &a.sigs) {
+                let dim_position = expect == Expect::Num;
+                if dim_position {
+                    check_negative(arg, &c.name, out);
+                }
+            }
+            // Entity parameters carry no kind, but the W/L convention is
+            // universal in generator programs — a constant negative width
+            // or length is wrong wherever it lands.
+            if known_entity {
+                for (k, _, arg) in &c.keyword {
+                    if k == "W" || k == "L" {
+                        check_negative(arg, &c.name, out);
+                    }
+                }
+            }
+        });
+    }
+}
+
+fn check_negative(arg: &Expr, callee: &str, out: &mut Vec<Diagnostic>) {
+    if let Some(v) = fold(arg) {
+        if v < 0.0 {
+            out.push(
+                Diagnostic::new(
+                    Code::NegativeDimension,
+                    arg.span(),
+                    format!("`{callee}` is given a negative dimension ({v})"),
+                )
+                .with_help("widths, lengths and spacings are non-negative micrometres"),
+            );
+        }
+    }
+}

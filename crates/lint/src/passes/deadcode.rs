@@ -1,0 +1,135 @@
+//! Pass 4 — dead code and unused parameters.
+//!
+//! Flags entity parameters never referenced in their body (W301) and
+//! entity-local variables assigned but never read (W302) — top-level
+//! variables are exempt, they are the program's outputs, as are `FOR`
+//! loop counters, which idiomatically just count. Constant `IF`
+//! conditions make a branch statically unreachable (W303), and a
+//! `VARIANT` arm that repeats an earlier arm verbatim can never rate
+//! differently, so the backtracking search explores it for nothing
+//! (W304).
+
+use std::collections::{HashMap, HashSet};
+
+use amgen_dsl::ast::{strip_spans, Expr, Program, Stmt};
+use amgen_dsl::span::Span;
+
+use crate::analysis::{fold, scopes, walk_exprs_in_stmt, walk_stmts, Analysis};
+use crate::diag::{Code, Diagnostic};
+
+pub(crate) fn run(prog: &Program, _a: &Analysis, out: &mut Vec<Diagnostic>) {
+    for e in &prog.entities {
+        // Every name read anywhere in the body.
+        let mut used: HashSet<&str> = HashSet::new();
+        walk_stmts(&e.body, &mut |s| {
+            if let Stmt::Compact { obj, .. } = s {
+                used.insert(obj.as_str());
+            }
+            walk_exprs_in_stmt(s, &mut |ex| {
+                if let Expr::Var(v, _) = ex {
+                    used.insert(v.as_str());
+                }
+            });
+        });
+
+        for p in &e.params {
+            if !used.contains(p.name.as_str()) {
+                out.push(
+                    Diagnostic::new(
+                        Code::UnusedParam,
+                        p.span,
+                        format!("parameter `{}` of `{}` is never used", p.name, e.name),
+                    )
+                    .with_help("remove it or wire it into the body"),
+                );
+            }
+        }
+
+        // First assignment site per never-read local.
+        let params: HashSet<&str> = e.params.iter().map(|p| p.name.as_str()).collect();
+        let mut first_assign: HashMap<&str, Span> = HashMap::new();
+        walk_stmts(&e.body, &mut |s| {
+            if let Stmt::Assign { name, span, .. } = s {
+                first_assign.entry(name.as_str()).or_insert(*span);
+            }
+        });
+        let mut unused: Vec<(&str, Span)> = first_assign
+            .into_iter()
+            .filter(|(name, _)| !used.contains(name) && !params.contains(name))
+            .collect();
+        unused.sort_by_key(|(_, span)| span.start);
+        for (name, span) in unused {
+            out.push(
+                Diagnostic::new(
+                    Code::UnusedVar,
+                    span,
+                    format!("`{name}` is assigned but never read"),
+                )
+                .with_help("drop the assignment or use the value"),
+            );
+        }
+    }
+
+    // W303 / W304 apply everywhere, top level included.
+    for scope in scopes(prog) {
+        walk_stmts(scope.body, &mut |s| match s {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                span,
+            } => {
+                if let Some(v) = fold(cond) {
+                    let truthy = v != 0.0;
+                    let dead = if truthy { else_body } else { then_body };
+                    if !dead.is_empty() {
+                        out.push(
+                            Diagnostic::new(
+                                Code::UnreachableBranch,
+                                *span,
+                                format!(
+                                    "condition is always {}; the {} branch is unreachable",
+                                    if truthy { "true" } else { "false" },
+                                    if truthy { "ELSE" } else { "THEN" },
+                                ),
+                            )
+                            .with_help("remove the branch or make the condition depend on inputs"),
+                        );
+                    }
+                }
+            }
+            Stmt::Variant { arms, span } => {
+                let canonical: Vec<Program> = arms
+                    .iter()
+                    .map(|arm| {
+                        let mut p = Program {
+                            top: arm.clone(),
+                            entities: Vec::new(),
+                        };
+                        strip_spans(&mut p);
+                        p
+                    })
+                    .collect();
+                for j in 1..arms.len() {
+                    if let Some(i) = (0..j).find(|&i| canonical[i] == canonical[j]) {
+                        let at = arms[j].first().map(|s| s.span()).unwrap_or(*span);
+                        out.push(
+                            Diagnostic::new(
+                                Code::RedundantVariant,
+                                at,
+                                format!(
+                                    "variant arm {} repeats arm {}; backtracking explores it \
+                                     for nothing",
+                                    j + 1,
+                                    i + 1
+                                ),
+                            )
+                            .with_help("delete the duplicate arm"),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        });
+    }
+}

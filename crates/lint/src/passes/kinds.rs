@@ -1,0 +1,241 @@
+//! Pass 2 — flow-insensitive kind inference over value kinds.
+//!
+//! Tracks the kind (number, string, layer, object) each variable could
+//! hold, walking straight through the statement list and merging at
+//! control-flow joins (conflicting kinds become unknown). Flags operator
+//! misuse — arithmetic on strings or objects (E101) — and arguments whose
+//! kind cannot fit the callee's parameter (E102): a number where a layer
+//! is required, an object used as a dimension, `compact` applied to a
+//! non-object.
+
+use std::collections::HashMap;
+
+use amgen_dsl::ast::{Call, Expr, Program, Stmt};
+
+use crate::analysis::{scopes, Analysis, Expect};
+use crate::diag::{Code, Diagnostic};
+
+/// The linter's value-kind lattice; `Unknown` is the top element and
+/// never produces a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kind {
+    Num,
+    Str,
+    Layer,
+    Obj,
+    Unknown,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Num => "a number",
+            Kind::Str => "a string",
+            Kind::Layer => "a layer",
+            Kind::Obj => "an object",
+            Kind::Unknown => "an unknown value",
+        }
+    }
+
+    /// Can a value of this kind appear where `expect` is required?
+    /// (`Unset` flows everywhere at runtime, hence `Unknown` always fits.)
+    fn fits(self, expect: Expect) -> bool {
+        match expect {
+            Expect::Layer => matches!(self, Kind::Str | Kind::Layer | Kind::Unknown),
+            Expect::Num => matches!(self, Kind::Num | Kind::Unknown),
+            // Layer handles keep their spelling, so they satisfy string
+            // contexts (net names shadowed by layer names).
+            Expect::Str => matches!(self, Kind::Str | Kind::Layer | Kind::Unknown),
+            Expect::Any => true,
+        }
+    }
+}
+
+type Env = HashMap<String, Kind>;
+
+pub(crate) fn run(prog: &Program, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    for scope in scopes(prog) {
+        let mut env: Env = Env::new();
+        if let Some(e) = scope.entity {
+            let sig = a.sigs.get(&e.name);
+            for p in &e.params {
+                let is_layer = sig
+                    .map(|s| s.params.iter().any(|q| q.name == p.name && q.is_layer))
+                    .unwrap_or(false);
+                env.insert(
+                    p.name.clone(),
+                    if is_layer { Kind::Layer } else { Kind::Unknown },
+                );
+            }
+        }
+        check_block(scope.body, &mut env, a, out);
+    }
+}
+
+fn check_block(stmts: &[Stmt], env: &mut Env, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { name, value, .. } => {
+                let k = kind_of(value, env, a, out);
+                env.insert(name.clone(), k);
+            }
+            Stmt::Call(c) => {
+                check_call(c, env, a, out);
+            }
+            Stmt::Compact {
+                obj, ignore, span, ..
+            } => {
+                if let Some(k) = env.get(obj) {
+                    if !matches!(k, Kind::Obj | Kind::Unknown) {
+                        out.push(
+                            Diagnostic::new(
+                                Code::ArgKindMismatch,
+                                *span,
+                                format!("`{obj}` holds {} but compact needs an object", k.name()),
+                            )
+                            .with_help("assign it an entity instantiation first"),
+                        );
+                    }
+                }
+                for e in ignore {
+                    let k = kind_of(e, env, a, out);
+                    if !k.fits(Expect::Layer) {
+                        out.push(Diagnostic::new(
+                            Code::ArgKindMismatch,
+                            e.span(),
+                            format!("ignore list expects layer names, found {}", k.name()),
+                        ));
+                    }
+                }
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+                ..
+            } => {
+                for bound in [from, to] {
+                    let k = kind_of(bound, env, a, out);
+                    if !k.fits(Expect::Num) {
+                        out.push(Diagnostic::new(
+                            Code::KindMismatch,
+                            bound.span(),
+                            format!("FOR bound must be a number, found {}", k.name()),
+                        ));
+                    }
+                }
+                env.insert(var.clone(), Kind::Num);
+                check_block(body, env, a, out);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                kind_of(cond, env, a, out);
+                let mut then_env = env.clone();
+                check_block(then_body, &mut then_env, a, out);
+                let mut else_env = env.clone();
+                check_block(else_body, &mut else_env, a, out);
+                merge(env, then_env);
+                merge(env, else_env);
+            }
+            Stmt::Variant { arms, .. } => {
+                let snapshots: Vec<Env> = arms
+                    .iter()
+                    .map(|arm| {
+                        let mut arm_env = env.clone();
+                        check_block(arm, &mut arm_env, a, out);
+                        arm_env
+                    })
+                    .collect();
+                for s in snapshots {
+                    merge(env, s);
+                }
+            }
+        }
+    }
+}
+
+/// Joins a branch environment into the base: a variable bound to
+/// different kinds on different paths degrades to `Unknown`.
+fn merge(base: &mut Env, branch: Env) {
+    for (name, k) in branch {
+        match base.get(&name) {
+            None => {
+                base.insert(name, k);
+            }
+            Some(existing) if *existing == k => {}
+            Some(_) => {
+                base.insert(name, Kind::Unknown);
+            }
+        }
+    }
+}
+
+fn kind_of(e: &Expr, env: &Env, a: &Analysis, out: &mut Vec<Diagnostic>) -> Kind {
+    match e {
+        Expr::Number(..) => Kind::Num,
+        Expr::Str(..) => Kind::Str,
+        Expr::Layer(..) => Kind::Layer,
+        Expr::Var(name, _) => env.get(name).copied().unwrap_or(Kind::Unknown),
+        Expr::Neg(inner, _) => {
+            let k = kind_of(inner, env, a, out);
+            if !k.fits(Expect::Num) {
+                out.push(Diagnostic::new(
+                    Code::KindMismatch,
+                    inner.span(),
+                    format!("cannot negate {}", k.name()),
+                ));
+            }
+            Kind::Num
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            for side in [lhs, rhs] {
+                let k = kind_of(side, env, a, out);
+                if !k.fits(Expect::Num) {
+                    out.push(
+                        Diagnostic::new(
+                            Code::KindMismatch,
+                            side.span(),
+                            format!("cannot apply `{op}` to {}", k.name()),
+                        )
+                        .with_help("arithmetic and comparison work on numbers only"),
+                    );
+                }
+            }
+            Kind::Num
+        }
+        Expr::Call(c) => check_call(c, env, a, out),
+    }
+}
+
+/// Checks a call's arguments against the callee's expectations and
+/// returns the call's result kind: entity instantiations yield objects,
+/// builtins yield nothing usable (unset).
+fn check_call(c: &Call, env: &Env, a: &Analysis, out: &mut Vec<Diagnostic>) -> Kind {
+    for (expect, arg) in crate::analysis::expectations(c, &a.sigs) {
+        let k = kind_of(arg, env, a, out);
+        if !k.fits(expect) {
+            let what = match expect {
+                Expect::Layer => "a layer name",
+                Expect::Num => "a dimension (number)",
+                Expect::Str => "a string",
+                Expect::Any => unreachable!("Any fits every kind"),
+            };
+            out.push(Diagnostic::new(
+                Code::ArgKindMismatch,
+                arg.span(),
+                format!("`{}` expects {what} here, found {}", c.name, k.name()),
+            ));
+        }
+    }
+    if a.sigs.contains_key(&c.name) {
+        Kind::Obj
+    } else {
+        // Builtins return unset; unknown callees were reported by pass 1.
+        Kind::Unknown
+    }
+}

@@ -1,0 +1,64 @@
+//! Pass 3 — layer-name validation against the compiled rule kernel.
+//!
+//! Every statically-known layer-name literal — builtin layer arguments,
+//! `compact` ignore lists, and arguments to entity parameters the
+//! fixpoint proved flow into layer positions — is resolved against the
+//! bound technology's [`RuleSet`] interning table. Misspellings get a
+//! "did you mean" hint computed over the deck's actual layer names
+//! (E201). The pass is skipped when the linter has no technology bound.
+
+use amgen_dsl::ast::{Expr, Program, Stmt};
+use amgen_dsl::span::Span;
+
+use crate::analysis::{expectations, walk_calls, walk_stmts, Analysis, Expect};
+use crate::diag::{Code, Diagnostic};
+
+pub(crate) fn run(prog: &Program, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    let Some(rules) = a.rules else {
+        return;
+    };
+
+    let check = |name: &str, span: Span, out: &mut Vec<Diagnostic>| {
+        if rules.layer(name).is_err() {
+            let mut d = Diagnostic::new(
+                Code::UnknownLayer,
+                span,
+                format!("unknown layer `{name}` (technology `{}`)", rules.name()),
+            );
+            let cands = rules.layers().map(|l| rules.layer_name(l));
+            if let Some(s) = suggest_layer(name, cands) {
+                d = d.with_help(format!("did you mean `{s}`?"));
+            }
+            out.push(d);
+        }
+    };
+
+    let mut bodies: Vec<&[Stmt]> = vec![&prog.top];
+    for e in &prog.entities {
+        bodies.push(&e.body);
+    }
+    for body in bodies {
+        walk_calls(body, &mut |c| {
+            for (expect, arg) in expectations(c, &a.sigs) {
+                if expect == Expect::Layer {
+                    if let Expr::Str(s, span) = arg {
+                        check(s, *span, out);
+                    }
+                }
+            }
+        });
+        walk_stmts(body, &mut |s| {
+            if let Stmt::Compact { ignore, .. } = s {
+                for e in ignore {
+                    if let Expr::Str(name, span) = e {
+                        check(name, *span, out);
+                    }
+                }
+            }
+        });
+    }
+}
+
+fn suggest_layer<'a>(name: &str, cands: impl Iterator<Item = &'a str>) -> Option<String> {
+    crate::analysis::suggest(name, cands)
+}

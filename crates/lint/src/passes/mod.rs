@@ -1,0 +1,10 @@
+//! The analyzer's passes, in running order. Each pass is independent —
+//! all run even when earlier ones report errors, so one lint invocation
+//! shows everything at once. Only a parse failure (E000) short-circuits:
+//! there is no AST to analyze.
+
+pub(crate) mod consts;
+pub(crate) mod deadcode;
+pub(crate) mod kinds;
+pub(crate) mod layers;
+pub(crate) mod symbols;

@@ -1,0 +1,246 @@
+//! Pass 1 — symbol and entity resolution.
+//!
+//! Resolves every call site against the builtin table and the entity
+//! signature set: unknown callees (E001), arity overruns (E003), unknown
+//! keyword parameters (E004), missing required parameters (E005). Tracks
+//! definite assignment through the statement list to flag reads that no
+//! assignment reaches (W006 — a warning, because the runtime deliberately
+//! reads unknown names as *unset* so omitted optional parameters flow
+//! through). Also checks `ENT` headers for repeated parameter names
+//! (W007) and `compact` directions (E008).
+
+use std::collections::HashSet;
+
+use amgen_dsl::ast::{Call, Expr, Program, Stmt};
+use amgen_geom::Dir;
+
+use crate::analysis::{builtin, scopes, suggest, Analysis};
+use crate::diag::{Code, Diagnostic};
+
+pub(crate) fn run(prog: &Program, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    // W007: duplicate parameter names in ENT headers.
+    for e in &prog.entities {
+        let mut seen = HashSet::new();
+        for p in &e.params {
+            if !seen.insert(p.name.as_str()) {
+                out.push(
+                    Diagnostic::new(
+                        Code::DuplicateParam,
+                        p.span,
+                        format!("parameter `{}` is declared twice in `{}`", p.name, e.name),
+                    )
+                    .with_help("later arguments silently overwrite earlier ones"),
+                );
+            }
+        }
+    }
+
+    for scope in scopes(prog) {
+        let mut defined: HashSet<String> = scope
+            .entity
+            .map(|e| e.params.iter().map(|p| p.name.clone()).collect())
+            .unwrap_or_default();
+        check_block(scope.body, &mut defined, a, out);
+    }
+}
+
+fn check_block(
+    stmts: &[Stmt],
+    defined: &mut HashSet<String>,
+    a: &Analysis,
+    out: &mut Vec<Diagnostic>,
+) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { name, value, .. } => {
+                check_expr(value, defined, a, out);
+                defined.insert(name.clone());
+            }
+            Stmt::Call(c) => check_call(c, defined, a, out),
+            Stmt::Compact {
+                obj,
+                dir,
+                ignore,
+                span,
+                dir_span,
+            } => {
+                if !defined.contains(obj) {
+                    out.push(
+                        Diagnostic::new(
+                            Code::UndefinedVar,
+                            *span,
+                            format!("`{obj}` is compacted before any assignment reaches it"),
+                        )
+                        .with_help("assign it an object first"),
+                    );
+                }
+                if Dir::parse(dir).is_none() {
+                    out.push(
+                        Diagnostic::new(
+                            Code::BadDirection,
+                            *dir_span,
+                            format!("unknown compaction direction `{dir}`"),
+                        )
+                        .with_help("use NORTH, SOUTH, EAST or WEST"),
+                    );
+                }
+                for e in ignore {
+                    check_expr(e, defined, a, out);
+                }
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+                ..
+            } => {
+                check_expr(from, defined, a, out);
+                check_expr(to, defined, a, out);
+                defined.insert(var.clone());
+                check_block(body, defined, a, out);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                check_expr(cond, defined, a, out);
+                // Optimistic merge: a name assigned in either branch
+                // counts as defined afterwards — W006 targets reads that
+                // *no* path can reach, not conservative may-analysis.
+                let mut then_set = defined.clone();
+                check_block(then_body, &mut then_set, a, out);
+                let mut else_set = defined.clone();
+                check_block(else_body, &mut else_set, a, out);
+                defined.extend(then_set);
+                defined.extend(else_set);
+            }
+            Stmt::Variant { arms, .. } => {
+                let mut merged = HashSet::new();
+                for arm in arms {
+                    let mut arm_set = defined.clone();
+                    check_block(arm, &mut arm_set, a, out);
+                    merged.extend(arm_set);
+                }
+                defined.extend(merged);
+            }
+        }
+    }
+}
+
+fn check_expr(e: &Expr, defined: &HashSet<String>, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    match e {
+        Expr::Var(name, span) => {
+            if !defined.contains(name) {
+                out.push(
+                    Diagnostic::new(
+                        Code::UndefinedVar,
+                        *span,
+                        format!("`{name}` is read before any assignment reaches it"),
+                    )
+                    .with_help("it evaluates as unset; assign it or declare a parameter"),
+                );
+            }
+        }
+        Expr::Call(c) => check_call(c, defined, a, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            check_expr(lhs, defined, a, out);
+            check_expr(rhs, defined, a, out);
+        }
+        Expr::Neg(inner, _) => check_expr(inner, defined, a, out),
+        Expr::Number(..) | Expr::Str(..) | Expr::Layer(..) => {}
+    }
+}
+
+fn check_call(c: &Call, defined: &HashSet<String>, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    // (callee name, param names in order, required param names)
+    let resolved: Option<(Vec<&str>, Vec<&str>)> = if let Some(b) = builtin(&c.name) {
+        Some((
+            b.args.iter().map(|p| p.name).collect(),
+            b.args
+                .iter()
+                .filter(|p| p.required)
+                .map(|p| p.name)
+                .collect(),
+        ))
+    } else if let Some(sig) = a.sigs.get(&c.name) {
+        Some((
+            sig.params.iter().map(|p| p.name.as_str()).collect(),
+            sig.params
+                .iter()
+                .filter(|p| !p.optional)
+                .map(|p| p.name.as_str())
+                .collect(),
+        ))
+    } else {
+        let mut d = Diagnostic::new(
+            Code::UnknownCallee,
+            c.span,
+            format!("call to unknown function or entity `{}`", c.name),
+        );
+        let cands = crate::analysis::BUILTINS
+            .iter()
+            .map(|b| b.name)
+            .chain(a.sigs.keys().map(String::as_str));
+        if let Some(s) = suggest(&c.name, cands) {
+            d = d.with_help(format!("did you mean `{s}`?"));
+        }
+        out.push(d);
+        None
+    };
+
+    if let Some((params, required)) = resolved {
+        if c.positional.len() > params.len() {
+            out.push(
+                Diagnostic::new(
+                    Code::TooManyArgs,
+                    c.span,
+                    format!(
+                        "`{}` takes at most {} argument(s) but {} are given",
+                        c.name,
+                        params.len(),
+                        c.positional.len()
+                    ),
+                )
+                .with_help(format!("its parameters are ({})", params.join(", "))),
+            );
+        }
+        for (k, kspan, _) in &c.keyword {
+            if !params.contains(&k.as_str()) {
+                let mut d = Diagnostic::new(
+                    Code::UnknownParam,
+                    *kspan,
+                    format!("`{}` has no parameter `{k}`", c.name),
+                );
+                if let Some(s) = suggest(k, params.iter().copied()) {
+                    d = d.with_help(format!("did you mean `{s}`?"));
+                }
+                out.push(d);
+            }
+        }
+        for (i, r) in required.iter().enumerate() {
+            let pos_index = params.iter().position(|p| p == r).unwrap_or(i);
+            let by_position = pos_index < c.positional.len();
+            let by_keyword = c.keyword.iter().any(|(k, _, _)| k == r);
+            if !by_position && !by_keyword {
+                out.push(
+                    Diagnostic::new(
+                        Code::MissingParam,
+                        c.span,
+                        format!("`{}` requires parameter `{r}`", c.name),
+                    )
+                    .with_help(format!("pass it positionally or as `{r} = ...`")),
+                );
+            }
+        }
+    }
+
+    for e in &c.positional {
+        check_expr(e, defined, a, out);
+    }
+    for (_, _, e) in &c.keyword {
+        check_expr(e, defined, a, out);
+    }
+}

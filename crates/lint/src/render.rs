@@ -1,0 +1,89 @@
+//! Terminal renderer: rustc-style snippets with carets under the span.
+
+use crate::diag::Diagnostic;
+
+/// Renders one diagnostic against its source text.
+///
+/// ```text
+/// error[E201]: unknown layer `polyy`
+///  --> diffpair.amg:3:10
+///   |
+/// 3 |   INBOX("polyy")
+///   |         ^^^^^^^
+///   = help: did you mean `poly`?
+/// ```
+pub fn render(file: &str, src: &str, d: &Diagnostic) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{}[{}]: {}\n", d.severity, d.code, d.message));
+    if d.span.is_none() {
+        out.push_str(&format!(" --> {file}\n"));
+    } else {
+        let line_no = d.span.line as usize;
+        let col = d.span.col as usize;
+        out.push_str(&format!(" --> {file}:{line_no}:{col}\n"));
+        if let Some(text) = src.split('\n').nth(line_no - 1) {
+            let text = text.trim_end_matches('\r');
+            let gutter = line_no.to_string();
+            let pad = " ".repeat(gutter.len());
+            // Clamp the caret run to the visible line.
+            let width = d.span.len().min(text.len().saturating_sub(col - 1)).max(1);
+            out.push_str(&format!("{pad} |\n"));
+            out.push_str(&format!("{gutter} | {text}\n"));
+            out.push_str(&format!(
+                "{pad} | {}{}\n",
+                " ".repeat(col.saturating_sub(1)),
+                "^".repeat(width)
+            ));
+        }
+    }
+    if let Some(help) = &d.help {
+        out.push_str(&format!(" = help: {help}\n"));
+    }
+    out
+}
+
+/// Renders a batch of diagnostics followed by a one-line tally.
+pub fn render_all(file: &str, src: &str, diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&render(file, src, d));
+        out.push('\n');
+    }
+    let errors = diags.iter().filter(|d| d.is_error()).count();
+    let warnings = diags.len() - errors;
+    if !diags.is_empty() {
+        out.push_str(&format!(
+            "{file}: {errors} error(s), {warnings} warning(s)\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Code, Diagnostic};
+    use amgen_dsl::span::Span;
+
+    #[test]
+    fn renders_caret_under_the_span() {
+        let src = "x = 1\ny = \"polyy\"\n";
+        // "polyy" with quotes: line 2, col 5, bytes 10..17.
+        let d = Diagnostic::new(Code::UnknownLayer, Span::new(2, 5, 10, 17), "unknown layer")
+            .with_help("did you mean `poly`?");
+        let r = render("t.amg", src, &d);
+        assert!(r.contains("error[E201]: unknown layer"), "{r}");
+        assert!(r.contains(" --> t.amg:2:5"), "{r}");
+        assert!(r.contains("2 | y = \"polyy\""), "{r}");
+        assert!(r.contains("  |     ^^^^^^^"), "{r}");
+        assert!(r.contains(" = help: did you mean `poly`?"), "{r}");
+    }
+
+    #[test]
+    fn spanless_diagnostics_render_without_snippet() {
+        let d = Diagnostic::new(Code::SyntaxError, Span::NONE, "boom");
+        let r = render("t.amg", "", &d);
+        assert!(r.contains("error[E000]: boom"), "{r}");
+        assert!(!r.contains('^'), "{r}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Golden diagnostic-output tests: one fixture per diagnostic code.
+//!
+//! Each `tests/fixtures/<code>_<name>.amg` is linted with the built-in
+//! technology and the Fig. 2 contact row preloaded as a library; the
+//! rendered output must match the `.expected` file byte for byte, and
+//! the fixture must actually trigger the code it is named after.
+//!
+//! Regenerate expectations after an intentional renderer or message
+//! change with `UPDATE_EXPECTED=1 cargo test -p amgen-lint`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use amgen_lint::{render_all, Code, Linter};
+use amgen_tech::Tech;
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn lint_rendered(name: &str, src: &str) -> String {
+    let mut l = Linter::with_rules(Tech::bicmos_1u().compile_arc());
+    l.load(amgen_dsl::stdlib::FIG2_CONTACT_ROW).unwrap();
+    render_all(name, src, &l.lint_source(src))
+}
+
+#[test]
+fn every_code_has_a_fixture() {
+    let dir = fixtures_dir();
+    for code in Code::ALL {
+        let prefix = format!("{}_", code.as_str().to_lowercase());
+        let found = fs::read_dir(&dir).unwrap().any(|e| {
+            e.unwrap()
+                .file_name()
+                .to_string_lossy()
+                .starts_with(&prefix)
+        });
+        assert!(found, "no fixture for {code} (expected {prefix}*.amg)");
+    }
+}
+
+#[test]
+fn fixtures_match_golden_output_and_trigger_their_code() {
+    let update = std::env::var_os("UPDATE_EXPECTED").is_some();
+    let mut checked = 0usize;
+    for entry in fs::read_dir(fixtures_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("amg") {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let src = fs::read_to_string(&path).unwrap();
+        let rendered = lint_rendered(&name, &src);
+
+        // The fixture's file name declares which code it exercises.
+        let code = name.split('_').next().unwrap().to_uppercase();
+        assert!(
+            rendered.contains(&format!("[{code}]")),
+            "{name} does not trigger {code}:\n{rendered}"
+        );
+
+        let expected_path = path.with_extension("expected");
+        if update {
+            fs::write(&expected_path, &rendered).unwrap();
+        } else {
+            let expected = fs::read_to_string(&expected_path).unwrap_or_else(|_| {
+                panic!("missing {expected_path:?}; run UPDATE_EXPECTED=1 cargo test")
+            });
+            assert_eq!(
+                rendered, expected,
+                "{name} diverged from golden output (UPDATE_EXPECTED=1 to regenerate)"
+            );
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= Code::ALL.len(),
+        "expected at least one fixture per code"
+    );
+}

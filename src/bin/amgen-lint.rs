@@ -1,0 +1,164 @@
+//! `amgen-lint`: command-line front end of the static analyzer.
+//!
+//! Lints generator programs (`.amg` sources) without running them. All
+//! files of one invocation are linted as a single set — entities defined
+//! in any file are callable from every other, so split libraries like
+//! `contact_row.amg` + `diffpair.amg` resolve.
+//!
+//! ```text
+//! amgen-lint examples/*.amg            lint a file set
+//! amgen-lint --examples                lint the embedded paper programs
+//! amgen-lint --stdlib main.amg         preload the embedded library first
+//! amgen-lint --deny-warnings ...       CI gate: warnings fail too
+//! amgen-lint --time ...                report lint wall time
+//! ```
+//!
+//! Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use amgen::lint::{render_all, Diagnostic, Linter};
+use amgen::tech::Tech;
+
+struct Opts {
+    deny_warnings: bool,
+    examples: bool,
+    stdlib: bool,
+    time: bool,
+    files: Vec<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: amgen-lint [--deny-warnings] [--examples] [--stdlib] [--time] [file.amg ...]\n\
+         \n\
+         Lints generator programs against the built-in technology.\n\
+         All files given in one invocation are linted as one set.\n\
+         --examples adds the embedded paper programs (Figs. 2, 7, ...).\n\
+         --stdlib preloads the embedded module library for the file set.\n\
+         --deny-warnings exits non-zero on warnings as well as errors."
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Opts, ExitCode> {
+    let mut opts = Opts {
+        deny_warnings: false,
+        examples: false,
+        stdlib: false,
+        time: false,
+        files: Vec::new(),
+    };
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--examples" => opts.examples = true,
+            "--stdlib" => opts.stdlib = true,
+            "--time" => opts.time = true,
+            "-h" | "--help" => return Err(usage()),
+            f if !f.starts_with('-') => opts.files.push(f.to_string()),
+            other => {
+                eprintln!("amgen-lint: unknown flag `{other}`");
+                return Err(usage());
+            }
+        }
+    }
+    if opts.files.is_empty() && !opts.examples {
+        return Err(usage());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+
+    let rules = Tech::bicmos_1u().compile_arc();
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for f in &opts.files {
+        match std::fs::read_to_string(f) {
+            Ok(src) => sources.push((f.clone(), src)),
+            Err(e) => {
+                eprintln!("amgen-lint: cannot read `{f}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let t0 = Instant::now();
+    let mut findings: Vec<(String, String, Vec<Diagnostic>)> = Vec::new();
+
+    // The files of one invocation form one set.
+    if !sources.is_empty() {
+        let mut linter = Linter::with_rules(rules.clone());
+        if opts.stdlib {
+            use amgen::dsl::stdlib;
+            for lib in [
+                stdlib::FIG2_CONTACT_ROW,
+                stdlib::FIG7_DIFF_PAIR,
+                stdlib::INTERDIGIT,
+                stdlib::STACKED,
+                stdlib::CENTROID_PLACEMENT,
+                stdlib::VARIANT_ROW,
+            ] {
+                linter.load(lib).expect("embedded library parses");
+            }
+        }
+        let set: Vec<(&str, &str)> = sources
+            .iter()
+            .map(|(n, s)| (n.as_str(), s.as_str()))
+            .collect();
+        for ((name, src), diags) in sources.iter().zip(linter.lint_set(&set)) {
+            findings.push((name.clone(), src.clone(), diags));
+        }
+    }
+
+    // The embedded paper programs are libraries over the Fig. 2 contact
+    // row; each is linted on its own with that library preloaded.
+    if opts.examples {
+        use amgen::dsl::stdlib;
+        let mut linter = Linter::with_rules(rules);
+        linter
+            .load(stdlib::FIG2_CONTACT_ROW)
+            .expect("embedded library parses");
+        for (name, src) in [
+            ("<stdlib:FIG2_CONTACT_ROW>", stdlib::FIG2_CONTACT_ROW),
+            ("<stdlib:FIG7_DIFF_PAIR>", stdlib::FIG7_DIFF_PAIR),
+            ("<stdlib:INTERDIGIT>", stdlib::INTERDIGIT),
+            ("<stdlib:STACKED>", stdlib::STACKED),
+            ("<stdlib:CENTROID_PLACEMENT>", stdlib::CENTROID_PLACEMENT),
+            ("<stdlib:VARIANT_ROW>", stdlib::VARIANT_ROW),
+        ] {
+            findings.push((name.to_string(), src.to_string(), linter.lint_source(src)));
+        }
+    }
+
+    let elapsed = t0.elapsed();
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for (name, src, diags) in &findings {
+        errors += diags.iter().filter(|d| d.is_error()).count();
+        warnings += diags.iter().filter(|d| !d.is_error()).count();
+        if !diags.is_empty() {
+            print!("{}", render_all(name, src, diags));
+        }
+    }
+
+    let checked = findings.len();
+    if opts.time {
+        eprintln!("amgen-lint: {checked} source(s) in {elapsed:.2?}");
+    }
+    if errors > 0 || (opts.deny_warnings && warnings > 0) {
+        eprintln!("amgen-lint: {errors} error(s), {warnings} warning(s)");
+        ExitCode::from(1)
+    } else {
+        if warnings > 0 {
+            eprintln!("amgen-lint: {warnings} warning(s)");
+        }
+        ExitCode::SUCCESS
+    }
+}
