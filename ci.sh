@@ -5,6 +5,9 @@ cd "$(dirname "$0")"
 
 cargo build --release
 cargo test --workspace -q
+# Rustdoc examples are part of the contract (amgen-core and amgen-trace
+# warn on missing docs; their doc-examples must keep compiling and passing).
+cargo test --doc --workspace -q
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 # The analyzer crate is new surface — hold it to the same bar explicitly.
@@ -16,4 +19,11 @@ cargo run --release -q --bin amgen-lint -- --deny-warnings --time --examples exa
 # Bench smoke: the rule-kernel microbench doubles as a fast end-to-end
 # exercise of the compiled RuleSet path.
 cargo bench -p amgen-bench --bench rule_lookup
+# Tracing overhead smoke: the coarse-traced Fig. 6 generator must stay
+# within 10% of the untraced run (the bench asserts and exits nonzero).
+cargo bench -p amgen-bench --bench trace_overhead
+# Documentation gate: every relative link in README/DESIGN/docs must
+# resolve (the checker also runs as part of the workspace tests above;
+# kept explicit so a docs-only change can run it alone).
+cargo test -q --test doc_links
 echo "ci: all checks passed"

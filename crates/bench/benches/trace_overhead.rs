@@ -1,0 +1,177 @@
+//! Tracing overhead: each figure workload is timed twice on the same
+//! shared `GenCtx` — once with the sink disabled (the shipping default:
+//! every probe is one relaxed atomic load) and once recording — and the
+//! pair is printed side by side with the measured overhead.
+//!
+//! Doubles as the CI smoke gate: the traced Fig. 6 generator must stay
+//! within 10% of the untraced one, or the bench exits nonzero.
+//!
+//! Measurement matches the stub-criterion loop (warm-up sizes a ~10 ms
+//! batch, then `SAMPLES` batches; median per-iteration time), but is
+//! hand-rolled so the two series can be compared programmatically. The
+//! recording run drains the sink between samples (off the clock) — the
+//! number reported is the cost of *recording*, the exporters run once
+//! per process in real use.
+
+use amgen::drc::latchup::check_latchup;
+use amgen::modgen::centroid::{centroid_diff_pair, CentroidParams};
+use amgen::modgen::diffpair::{diff_pair, DiffPairParams};
+use amgen::modgen::{contact_row, ContactRowParams, MosType};
+use amgen::opt::{Optimizer, RatingWeights, SearchOptions, Step};
+use amgen::prelude::*;
+use amgen_bench::workloads;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const SAMPLES: usize = 15;
+const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+
+struct Stats {
+    lo: Duration,
+    median: Duration,
+    hi: Duration,
+}
+
+/// Times `f` like the stub criterion does; `between_samples` runs with
+/// the clock stopped (the traced series drains the sink there).
+fn measure<F: FnMut(), G: FnMut()>(mut f: F, mut between_samples: G) -> Stats {
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = t.elapsed();
+        if elapsed >= TARGET_SAMPLE || iters >= 1 << 20 {
+            break;
+        }
+        let scale = (TARGET_SAMPLE.as_nanos() / elapsed.as_nanos().max(1)).max(2);
+        iters = iters.saturating_mul(scale as u64).min(1 << 20);
+    }
+    between_samples();
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(t.elapsed() / iters as u32);
+        between_samples();
+    }
+    samples.sort();
+    Stats {
+        lo: samples[0],
+        median: samples[samples.len() / 2],
+        hi: samples[samples.len() - 1],
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Runs one workload at each tracing level; returns the
+/// coarse-traced/untraced ratio of the **fastest** samples — on a noisy
+/// shared machine the minimum is far more reproducible than the median
+/// (preemption only ever adds time). The workload receives the context
+/// to generate with.
+fn series(name: &str, tech: &Tech, run: &dyn Fn(&GenCtx)) -> f64 {
+    let mut los = Vec::new();
+    for (mode, detail) in [
+        ("untraced", Detail::Off),
+        ("traced", Detail::Coarse),
+        ("traced_fine", Detail::Fine),
+    ] {
+        let ctx = GenCtx::from_tech(tech).with_tracing_at(detail);
+        let s = measure(
+            || run(&ctx),
+            || {
+                black_box(ctx.trace.drain().events.len());
+            },
+        );
+        println!(
+            "{:<50} time: [{} {} {}]",
+            format!("trace/{name}/{mode}"),
+            fmt_dur(s.lo),
+            fmt_dur(s.median),
+            fmt_dur(s.hi)
+        );
+        los.push(s.lo.as_nanos().max(1) as f64);
+    }
+    let ratio = los[1] / los[0];
+    println!(
+        "{:<50} {:+.1}% coarse / {:+.1}% fine recording overhead",
+        "",
+        (ratio - 1.0) * 100.0,
+        (los[2] / los[0] - 1.0) * 100.0
+    );
+    ratio
+}
+
+/// The opt_order bench's L-shape workload at `k` movable squares.
+fn opt_steps(tech: &Tech, k: usize) -> Vec<Step> {
+    let poly = tech.layer("poly").unwrap();
+    let mut seed = LayoutObject::new("L");
+    seed.push(Shape::new(poly, Rect::new(0, 0, um(1), um(8))));
+    seed.push(Shape::new(poly, Rect::new(0, 0, um(8), um(1))));
+    let mut out = vec![Step::new(seed, Dir::East, CompactOptions::new())];
+    for i in 0..k {
+        let y0 = (i as i64 % 3) * um(3);
+        let mut sq = LayoutObject::new("sq");
+        sq.push(Shape::new(poly, Rect::new(0, y0, um(2), y0 + um(2))));
+        out.push(Step::new(sq, Dir::East, CompactOptions::new()));
+    }
+    out
+}
+
+fn main() {
+    let tech = workloads::tech();
+    let latchup = workloads::latchup_workload(&tech, 32, 3);
+    let poly = tech.layer("poly").unwrap();
+
+    series("fig01_latchup32", &tech, &|ctx| {
+        black_box(check_latchup(ctx, &latchup).len());
+    });
+    series("fig03_contact_row", &tech, &|ctx| {
+        black_box(
+            contact_row(ctx, poly, &ContactRowParams::new())
+                .unwrap()
+                .len(),
+        );
+    });
+    let fig06 = series("fig06_diff_pair", &tech, &|ctx| {
+        let p = DiffPairParams::new(MosType::P).with_w(um(10)).with_l(um(2));
+        black_box(diff_pair(ctx, &p).unwrap().len());
+    });
+    series("fig10_centroid", &tech, &|ctx| {
+        let p = CentroidParams::paper(MosType::N)
+            .with_w(um(6))
+            .with_l(um(1));
+        black_box(centroid_diff_pair(ctx, &p).unwrap().len());
+    });
+    let steps = opt_steps(&tech, 4);
+    series("opt_order_k4", &tech, &|ctx| {
+        let opt = Optimizer::new(ctx, RatingWeights::default());
+        let r = opt
+            .optimize_order(&steps, SearchOptions::default())
+            .unwrap();
+        black_box((r.rating.score, r.explored));
+    });
+
+    // CI smoke: recording must stay cheap on the Fig. 6 path.
+    assert!(
+        fig06 <= 1.10,
+        "traced fig06 is {:.1}% over untraced (budget 10%)",
+        (fig06 - 1.0) * 100.0
+    );
+    println!("trace overhead smoke: fig06 within 10% budget");
+}

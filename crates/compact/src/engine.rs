@@ -95,12 +95,21 @@ impl Compactor {
             return Err(CompactError::EmptyObject);
         }
         let t0 = std::time::Instant::now();
+        let mut span = self
+            .ctx
+            .span_fine(Stage::Compact, || amgen_core::name!("step:{}", obj.name()));
+        let bbox_before = if span.is_recording() {
+            Some(main.bbox())
+        } else {
+            None
+        };
         if main.is_empty() {
             main.absorb(obj, Vector::ZERO);
             self.ctx.metrics.add_objects_placed(1);
             self.ctx
                 .metrics
                 .add_stage_nanos(Stage::Compact, t0.elapsed().as_nanos() as u64);
+            span.arg("absorbed_first", 1i64);
             return Ok(CompactReport {
                 offset: Vector::ZERO,
                 rule_bound: false,
@@ -179,6 +188,16 @@ impl Compactor {
         self.ctx
             .metrics
             .add_stage_nanos(Stage::Compact, t0.elapsed().as_nanos() as u64);
+        if let Some(before) = bbox_before {
+            let after = main.bbox();
+            span.arg("offset", offset_along);
+            span.arg("rule_bound", rule_bound as i64);
+            span.arg("shrunk_edges", shrunk_edges);
+            span.arg("rebuilt_groups", rebuilt_groups);
+            span.arg("bridges", bridges);
+            span.arg("bbox_dw", after.width() - before.width());
+            span.arg("bbox_dh", after.height() - before.height());
+        }
         Ok(CompactReport {
             offset: v,
             rule_bound,

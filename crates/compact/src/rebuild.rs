@@ -18,12 +18,16 @@ use amgen_prim::Primitives;
 /// If the recomputed frame cannot hold a single cut, the group is left
 /// untouched (the shrink limits of the engine should prevent this).
 pub fn rebuild_group(ctx: impl IntoGenCtx, obj: &mut LayoutObject, gid: usize) -> bool {
+    let ctx = ctx.into_gen_ctx();
     let Some(group) = obj.groups().get(gid) else {
         return false;
     };
     let Some(RebuildKind::ContactArray { cut }) = group.rebuild else {
         return false;
     };
+    let mut span = ctx.span_fine(amgen_core::Stage::Compact, || {
+        format!("rebuild:{}", group.name)
+    });
     let member_indices: Vec<usize> = group.shapes.clone();
     let cut_indices: Vec<usize> = member_indices
         .iter()
@@ -31,7 +35,7 @@ pub fn rebuild_group(ctx: impl IntoGenCtx, obj: &mut LayoutObject, gid: usize) -
         .filter(|&i| obj.shapes()[i].layer == cut)
         .collect();
     let net = cut_indices.first().and_then(|&i| obj.shapes()[i].net);
-    let prim = Primitives::new(ctx);
+    let prim = Primitives::new(&ctx);
     let others: Vec<Shape> = member_indices
         .iter()
         .copied()
@@ -62,6 +66,8 @@ pub fn rebuild_group(ctx: impl IntoGenCtx, obj: &mut LayoutObject, gid: usize) -
         }
         added.push(obj.push(s));
     }
+    span.arg("cuts_before", old_rects.len());
+    span.arg("cuts_after", added.len());
     obj.extend_group(amgen_db::GroupId::from_index(gid), added);
     true
 }

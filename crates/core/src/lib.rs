@@ -12,6 +12,7 @@
 //! | geometry kernel (rect algebra, Fig. 1 subtraction) | [`geom`] | data model |
 //! | technology / design rules, compiled [`RuleSet`](tech::RuleSet) kernel | [`tech`] | tech file |
 //! | shared generation context ([`GenCtx`](core::GenCtx)) and stage metrics | [`core`] | infrastructure |
+//! | structured event tracing, Chrome-trace export | [`trace`] | tooling |
 //! | layout database (shapes, edges, nets, objects) | [`db`] | §2.2–2.3 |
 //! | primitive shape functions (INBOX, ARRAY, ...) | [`prim`] | §2.2 |
 //! | successive compactor (variable edges, auto-connect) | [`compact`] | §2.3 |
@@ -89,6 +90,7 @@ pub use amgen_opt as opt;
 pub use amgen_prim as prim;
 pub use amgen_route as route;
 pub use amgen_tech as tech;
+pub use amgen_trace as trace;
 
 /// The most common types, for glob import.
 pub mod prelude {
@@ -104,4 +106,5 @@ pub mod prelude {
     pub use amgen_prim::Primitives;
     pub use amgen_route::Router;
     pub use amgen_tech::{Layer, RuleSet, Tech};
+    pub use amgen_trace::{Detail, Trace, TraceSink};
 }

@@ -69,13 +69,29 @@ pub struct Group {
 /// growing main object. Accordingly [`LayoutObject`] supports cloning,
 /// transformation and [`absorb`](LayoutObject::absorb); it does not keep
 /// references to children.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct LayoutObject {
     name: String,
     shapes: Vec<Shape>,
     nets: Vec<String>,
     ports: Vec<Port>,
     groups: Vec<Group>,
+    /// Lazily computed bounding box. Invalidated by every geometry
+    /// mutation; [`absorb`](LayoutObject::absorb) updates it in place so
+    /// the successive compactor never rescans the whole grown structure.
+    bbox: std::sync::OnceLock<Rect>,
+}
+
+/// Equality is over the logical content; whether the bounding box
+/// happens to be cached is not observable.
+impl PartialEq for LayoutObject {
+    fn eq(&self, other: &LayoutObject) -> bool {
+        self.name == other.name
+            && self.shapes == other.shapes
+            && self.nets == other.nets
+            && self.ports == other.ports
+            && self.groups == other.groups
+    }
 }
 
 impl LayoutObject {
@@ -127,6 +143,10 @@ impl LayoutObject {
 
     /// Adds a shape, returning its index.
     pub fn push(&mut self, s: Shape) -> usize {
+        if let Some(bb) = self.bbox.get() {
+            let bb = bb.union_bbox(&s.rect);
+            self.bbox = bb.into();
+        }
         self.shapes.push(s);
         self.shapes.len() - 1
     }
@@ -136,8 +156,10 @@ impl LayoutObject {
         &self.shapes
     }
 
-    /// Mutable access to all shapes.
+    /// Mutable access to all shapes. Drops the cached bounding box —
+    /// the caller may move any edge.
     pub fn shapes_mut(&mut self) -> &mut [Shape] {
+        self.bbox.take();
         &mut self.shapes
     }
 
@@ -156,11 +178,14 @@ impl LayoutObject {
         self.shapes.len()
     }
 
-    /// Bounding box over all shapes.
+    /// Bounding box over all shapes. Cached: the first call scans, later
+    /// calls are a load until the geometry is next mutated.
     pub fn bbox(&self) -> Rect {
-        self.shapes
-            .iter()
-            .fold(Rect::EMPTY, |acc, s| acc.union_bbox(&s.rect))
+        *self.bbox.get_or_init(|| {
+            self.shapes
+                .iter()
+                .fold(Rect::EMPTY, |acc, s| acc.union_bbox(&s.rect))
+        })
     }
 
     /// Bounding box over one layer.
@@ -244,6 +269,7 @@ impl LayoutObject {
                 next += 1;
             }
         }
+        self.bbox.take();
         let mut keep = Vec::with_capacity(next);
         for (i, s) in self.shapes.drain(..).enumerate() {
             if !removed[i] {
@@ -269,6 +295,7 @@ impl LayoutObject {
 
     /// Translates all geometry (shapes and ports).
     pub fn translate(&mut self, v: Vector) {
+        self.bbox.take();
         for s in &mut self.shapes {
             *s = s.translated(v);
         }
@@ -284,6 +311,7 @@ impl LayoutObject {
     #[must_use]
     pub fn mirrored_x(&self, axis_x: i64) -> LayoutObject {
         let mut out = self.clone();
+        out.bbox.take();
         for s in &mut out.shapes {
             *s = s.mirrored_x(axis_x);
         }
@@ -302,6 +330,7 @@ impl LayoutObject {
     #[must_use]
     pub fn mirrored_y(&self, axis_y: i64) -> LayoutObject {
         let mut out = self.clone();
+        out.bbox.take();
         for s in &mut out.shapes {
             *s = s.mirrored_y(axis_y);
         }
@@ -367,6 +396,15 @@ impl LayoutObject {
     /// indices shifted). Returns the index offset at which `other`'s
     /// shapes were appended.
     pub fn absorb(&mut self, other: &LayoutObject, v: Vector) -> usize {
+        // Incremental cache update: the union's bounding box is the
+        // union of the two bounding boxes, no rescan needed.
+        if let Some(bb) = self.bbox.take() {
+            if other.shapes.is_empty() {
+                self.bbox = bb.into();
+            } else {
+                self.bbox = bb.union_bbox(&other.bbox().translated(v)).into();
+            }
+        }
         let offset = self.shapes.len();
         // Net remap by name.
         let remap: Vec<NetId> = other.nets.iter().map(|n| self.net(n)).collect();
@@ -442,6 +480,46 @@ mod tests {
         assert_eq!(obj.bbox_on(poly), Rect::new(0, 0, 10, 10));
         assert_eq!(obj.bbox_on(m1), Rect::new(20, 0, 40, 5));
         assert!(obj.bbox_on(t.layer("metal2").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn bbox_cache_tracks_every_mutation() {
+        let t = tech();
+        let poly = t.layer("poly").unwrap();
+        let scan = |o: &LayoutObject| {
+            o.shapes()
+                .iter()
+                .fold(Rect::EMPTY, |acc, s| acc.union_bbox(&s.rect))
+        };
+        let mut obj = LayoutObject::new("x");
+        obj.push(Shape::new(poly, Rect::new(0, 0, 10, 10)));
+        assert_eq!(obj.bbox(), scan(&obj));
+        // push after a cached read extends the cache.
+        obj.push(Shape::new(poly, Rect::new(20, -5, 30, 5)));
+        assert_eq!(obj.bbox(), scan(&obj));
+        // Mutating an edge through shapes_mut invalidates.
+        obj.shapes_mut()[1].rect = Rect::new(20, -5, 50, 5);
+        assert_eq!(obj.bbox(), scan(&obj));
+        // translate invalidates.
+        obj.translate(Vector::new(7, 3));
+        assert_eq!(obj.bbox(), scan(&obj));
+        // absorb updates incrementally (cache was warm).
+        let mut other = LayoutObject::new("y");
+        other.push(Shape::new(poly, Rect::new(0, 0, 100, 2)));
+        obj.absorb(&other, Vector::new(-200, 0));
+        assert_eq!(obj.bbox(), scan(&obj));
+        // remove_shapes invalidates.
+        obj.remove_shapes(&[2]);
+        assert_eq!(obj.bbox(), scan(&obj));
+        // Mirrors recompute on the copy.
+        assert_eq!(obj.mirrored_x(3).bbox(), scan(&obj.mirrored_x(3)));
+        assert_eq!(obj.mirrored_y(-1).bbox(), scan(&obj.mirrored_y(-1)));
+        // Cache state is invisible to equality.
+        let warm = obj.clone();
+        warm.bbox();
+        let mut cold = obj.clone();
+        cold.shapes_mut();
+        assert_eq!(warm, cold);
     }
 
     #[test]

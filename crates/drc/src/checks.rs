@@ -36,6 +36,9 @@ impl Drc {
     /// Runs every check and returns all violations.
     pub fn check(&self, obj: &LayoutObject) -> Vec<Violation> {
         let t0 = std::time::Instant::now();
+        let mut span = self
+            .ctx
+            .span(Stage::Drc, || amgen_core::name!("check:{}", obj.name()));
         let mut out = Vec::new();
         out.extend(self.check_widths(obj));
         out.extend(self.check_spacing(obj));
@@ -45,6 +48,8 @@ impl Drc {
         self.ctx
             .metrics
             .add_stage_nanos(Stage::Drc, t0.elapsed().as_nanos() as u64);
+        span.arg("shapes", obj.len());
+        span.arg("violations", out.len());
         out
     }
 

@@ -61,7 +61,11 @@ pub fn latchup_remainder(ctx: impl IntoGenCtx, obj: &LayoutObject) -> Region {
 pub fn check_latchup(ctx: impl IntoGenCtx, obj: &LayoutObject) -> Vec<Violation> {
     let ctx = ctx.into_gen_ctx();
     ctx.metrics.add_drc_checks(1);
-    latchup_remainder(&ctx, obj)
+    let mut span = ctx.span(amgen_core::Stage::Drc, || "latchup");
+    let remaining = latchup_remainder(&ctx, obj);
+    span.arg("uncovered", remaining.rects().len());
+    drop(span);
+    remaining
         .rects()
         .iter()
         .map(|&rect| Violation {

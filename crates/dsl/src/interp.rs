@@ -219,6 +219,7 @@ impl Interpreter {
         top: &[Stmt],
     ) -> Result<Vec<BTreeMap<String, LayoutObject>>, DslError> {
         let _timer = self.ctx.metrics.stage_timer(Stage::Dsl);
+        let mut span = self.ctx.span(Stage::Dsl, || "run_variants");
         let mut results = Vec::new();
         let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
         let mut explored = 0usize;
@@ -257,6 +258,8 @@ impl Interpreter {
                 Err(Exec::Fail(e)) => return Err(e),
             }
         }
+        span.arg("explored", explored);
+        span.arg("completed", results.len());
         Ok(results)
     }
 
@@ -567,7 +570,11 @@ impl Interpreter {
                 }
             }
         }
+        let mut span = self
+            .ctx
+            .span(Stage::Dsl, || amgen_core::name!("entity:{}", entity.name));
         self.exec_block(&entity.body, &mut frame, ctx)?;
+        span.arg("shapes", frame.obj.len());
         Ok(frame.obj)
     }
 

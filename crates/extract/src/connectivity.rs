@@ -98,6 +98,10 @@ impl Extractor {
     /// of its fragments joined (its two halves are different nets).
     pub fn connectivity(&self, obj: &LayoutObject) -> Vec<ExtractedNet> {
         let t0 = std::time::Instant::now();
+        let mut span = self
+            .ctx
+            .span(Stage::Extract, || format!("connectivity:{}", obj.name()));
+        span.arg("shapes", obj.len());
         let shapes = obj.shapes();
         // Gate regions that cut diffusion.
         let gates: Vec<amgen_geom::Rect> = shapes

@@ -1,5 +1,6 @@
 //! Per-net parasitic estimation.
 
+use amgen_core::Stage;
 use amgen_db::LayoutObject;
 use amgen_geom::Region;
 use amgen_tech::LayerKind;
@@ -28,6 +29,9 @@ impl Extractor {
     /// Overlapping same-layer geometry is merged before the capacitance
     /// integral, so abutting rectangles are not double counted.
     pub fn parasitics(&self, obj: &LayoutObject) -> Vec<NetParasitics> {
+        let _span = self
+            .ctx
+            .span(Stage::Extract, || format!("parasitics:{}", obj.name()));
         let tech = self.rules();
         self.connectivity(obj)
             .into_iter()

@@ -14,8 +14,13 @@
 //! * `GenCtx` derefs to [`RuleSet`], so `ctx.min_spacing(a, b)` works
 //!   anywhere a `&Tech` query used to;
 //! * `metrics` carries relaxed atomic per-stage counters (objects
-//!   placed, group rebuilds, DRC checks, wall time per stage) plus the
-//!   kernel's rule-query counter, surfaced via [`GenCtx::snapshot`].
+//!   placed, group rebuilds, DRC checks, optimizer search statistics,
+//!   wall time per stage) plus the kernel's rule-query counter,
+//!   surfaced via [`GenCtx::snapshot`];
+//! * `trace` carries a shared [`TraceSink`] recording structured span /
+//!   instant events per stage — disabled by default (one branch per
+//!   call site), switched on with [`GenCtx::with_tracing`] and drained
+//!   into a Chrome-trace JSON or the [`GenCtx::run_report`] text.
 //!
 //! Construction is cheap to write at every call site thanks to the
 //! [`IntoGenCtx`] compat shim: APIs accept `impl IntoGenCtx`, so a
@@ -34,12 +39,17 @@
 //! assert!(std::sync::Arc::ptr_eq(&ctx.rules, &worker.rules));
 //! ```
 
+#![warn(missing_docs)]
+
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use amgen_tech::{RuleSet, Tech};
+pub use amgen_trace::Detail;
+pub use amgen_trace::{name, Name};
+use amgen_trace::{Span, TraceSink};
 
 /// Options that apply to a whole generation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -108,6 +118,9 @@ pub struct Metrics {
     objects_placed: AtomicU64,
     rebuilds: AtomicU64,
     drc_checks: AtomicU64,
+    opt_explored: AtomicU64,
+    opt_pruned: AtomicU64,
+    opt_dominated: AtomicU64,
     stage_nanos: [AtomicU64; Stage::ALL.len()],
 }
 
@@ -133,6 +146,24 @@ impl Metrics {
     #[inline]
     pub fn add_drc_checks(&self, n: u64) {
         self.drc_checks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` search nodes expanded by the order optimizer.
+    #[inline]
+    pub fn add_opt_explored(&self, n: u64) {
+        self.opt_explored.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` search nodes cut by the optimizer's bound.
+    #[inline]
+    pub fn add_opt_pruned(&self, n: u64) {
+        self.opt_pruned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` search nodes cut by the optimizer's dominance memo.
+    #[inline]
+    pub fn add_opt_dominated(&self, n: u64) {
+        self.opt_dominated.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Adds wall time to a stage's bucket.
@@ -183,6 +214,18 @@ impl Drop for StageTimer<'_> {
 }
 
 /// A point-in-time copy of all counters, for reports.
+///
+/// ```
+/// use amgen_core::GenCtx;
+/// use amgen_tech::Tech;
+///
+/// let ctx = GenCtx::from_tech(&Tech::bicmos_1u());
+/// ctx.metrics.add_rebuild();
+/// ctx.metrics.add_opt_explored(3);
+/// let snap = ctx.snapshot();
+/// assert_eq!((snap.rebuilds, snap.opt_explored), (1, 3));
+/// assert!(snap.to_string().contains("rebuilds=1"));
+/// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Rule queries answered by the kernel (0 unless counting was on).
@@ -193,6 +236,12 @@ pub struct MetricsSnapshot {
     pub rebuilds: u64,
     /// Individual DRC checks run.
     pub drc_checks: u64,
+    /// Search nodes expanded by the order optimizer.
+    pub opt_explored: u64,
+    /// Optimizer nodes cut by the incumbent bound.
+    pub opt_pruned: u64,
+    /// Optimizer nodes cut by the dominance memo.
+    pub opt_dominated: u64,
     /// Wall nanoseconds per stage, in [`Stage::ALL`] order.
     pub stage_nanos: [u64; Stage::ALL.len()],
 }
@@ -211,6 +260,13 @@ impl std::fmt::Display for MetricsSnapshot {
             "rule_queries={} objects_placed={} rebuilds={} drc_checks={}",
             self.rule_queries, self.objects_placed, self.rebuilds, self.drc_checks
         )?;
+        if self.opt_explored + self.opt_pruned + self.opt_dominated > 0 {
+            write!(
+                f,
+                " opt_explored={} opt_pruned={} opt_dominated={}",
+                self.opt_explored, self.opt_pruned, self.opt_dominated
+            )?;
+        }
         for stage in Stage::ALL {
             let ns = self.stage_nanos(stage);
             if ns > 0 {
@@ -234,6 +290,9 @@ pub struct GenCtx {
     pub options: GenOptions,
     /// Shared counters.
     pub metrics: Arc<Metrics>,
+    /// Shared structured-event sink (disabled until
+    /// [`with_tracing`](GenCtx::with_tracing) / `trace.set_enabled`).
+    pub trace: Arc<TraceSink>,
 }
 
 impl GenCtx {
@@ -243,6 +302,7 @@ impl GenCtx {
             rules,
             options: GenOptions::default(),
             metrics: Arc::new(Metrics::new()),
+            trace: Arc::new(TraceSink::new()),
         }
     }
 
@@ -259,6 +319,81 @@ impl GenCtx {
         self
     }
 
+    /// Switches structured-event tracing on (or off) for this context
+    /// and every clone sharing its sink.
+    ///
+    /// ```
+    /// use amgen_core::{GenCtx, Stage};
+    /// use amgen_tech::Tech;
+    ///
+    /// let ctx = GenCtx::from_tech(&Tech::bicmos_1u()).with_tracing(true);
+    /// {
+    ///     let mut span = ctx.span(Stage::Compact, || "step:row");
+    ///     span.arg("shrunk_edges", 2i64);
+    /// }
+    /// let trace = ctx.trace.drain();
+    /// assert_eq!(trace.events.len(), 2); // begin + end
+    /// assert_eq!(trace.events[0].cat, "compact");
+    /// ```
+    #[must_use]
+    pub fn with_tracing(self, on: bool) -> GenCtx {
+        self.trace.set_enabled(on);
+        self
+    }
+
+    /// Like [`with_tracing`](GenCtx::with_tracing) but with an explicit
+    /// recording depth — [`Detail::Fine`] adds per-primitive-call and
+    /// per-search-node events on top of the stage-level spans.
+    #[must_use]
+    pub fn with_tracing_at(self, detail: Detail) -> GenCtx {
+        self.trace.set_detail(detail);
+        self
+    }
+
+    /// Opens a trace span charged to `stage` (the stage name becomes the
+    /// event category). The name closure runs only when tracing is on,
+    /// so formatted names are free on the disabled path.
+    #[inline]
+    pub fn span<N, F>(&self, stage: Stage, name: F) -> Span<'_>
+    where
+        N: Into<amgen_trace::Name>,
+        F: FnOnce() -> N,
+    {
+        self.trace.span(stage.name(), name)
+    }
+
+    /// Records a point event charged to `stage`.
+    #[inline]
+    pub fn trace_instant<N, F>(&self, stage: Stage, name: F)
+    where
+        N: Into<amgen_trace::Name>,
+        F: FnOnce() -> N,
+    {
+        self.trace.instant(stage.name(), name)
+    }
+
+    /// Opens a span recorded only at [`Detail::Fine`] — for interior
+    /// events frequent enough that recording them rivals the traced
+    /// work itself (one primitive call, one optimizer node).
+    #[inline]
+    pub fn span_fine<N, F>(&self, stage: Stage, name: F) -> Span<'_>
+    where
+        N: Into<amgen_trace::Name>,
+        F: FnOnce() -> N,
+    {
+        self.trace.span_fine(stage.name(), name)
+    }
+
+    /// Records a point event only at [`Detail::Fine`].
+    #[inline]
+    pub fn trace_instant_fine<N, F>(&self, stage: Stage, name: F)
+    where
+        N: Into<amgen_trace::Name>,
+        F: FnOnce() -> N,
+    {
+        self.trace.instant_fine(stage.name(), name)
+    }
+
     /// Reads all counters into a report-ready snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut stage_nanos = [0u64; Stage::ALL.len()];
@@ -270,8 +405,22 @@ impl GenCtx {
             objects_placed: self.metrics.objects_placed.load(Ordering::Relaxed),
             rebuilds: self.metrics.rebuilds.load(Ordering::Relaxed),
             drc_checks: self.metrics.drc_checks.load(Ordering::Relaxed),
+            opt_explored: self.metrics.opt_explored.load(Ordering::Relaxed),
+            opt_pruned: self.metrics.opt_pruned.load(Ordering::Relaxed),
+            opt_dominated: self.metrics.opt_dominated.load(Ordering::Relaxed),
             stage_nanos,
         }
+    }
+
+    /// The combined run report: the recorded trace rendered as the
+    /// hierarchical text report (per-stage self/total time, hottest
+    /// entities, instant counters), followed by the [`MetricsSnapshot`]
+    /// counter line — both read from this context, so the numbers come
+    /// from one source of truth. Does not clear the trace buffers.
+    pub fn run_report(&self) -> String {
+        let mut out = self.trace.snapshot_events().report(10);
+        out.push_str(&format!("\nmetrics: {}\n", self.snapshot()));
+        out
     }
 }
 
@@ -367,6 +516,26 @@ mod tests {
         assert_eq!(snap.stage_nanos(Stage::Route), 0);
         let line = snap.to_string();
         assert!(line.contains("compact="), "{line}");
+    }
+
+    #[test]
+    fn tracing_is_shared_and_reported() {
+        let ctx = GenCtx::from_tech(&Tech::bicmos_1u()).with_tracing(true);
+        let clone = ctx.clone();
+        assert!(Arc::ptr_eq(&ctx.trace, &clone.trace));
+        {
+            let mut span = clone.span(Stage::Opt, || "expand");
+            span.arg("node", 4u64);
+        }
+        ctx.trace_instant(Stage::Opt, || "prune");
+        ctx.metrics.add_opt_pruned(1);
+        let report = ctx.run_report();
+        assert!(report.contains("opt:expand"), "{report}");
+        assert!(report.contains("opt:prune"), "{report}");
+        assert!(report.contains("opt_pruned=1"), "{report}");
+        // run_report is non-destructive; the drain empties the buffers.
+        assert_eq!(ctx.trace.drain().events.len(), 3);
+        assert!(ctx.trace.drain().events.is_empty());
     }
 
     #[test]

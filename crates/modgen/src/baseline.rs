@@ -36,6 +36,7 @@ pub fn contact_row_by_coordinates(
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
+    let _span = tech.span(Stage::Modgen, || "contact_row_by_coordinates");
     let layer = tech.layer(layer_name)?;
     let metal1 = tech.metal1()?;
     let contact = tech.contact()?;

@@ -43,6 +43,7 @@ impl NpnParams {
 pub fn bipolar_npn(tech: impl IntoGenCtx, params: &NpnParams) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
+    let _span = tech.span(Stage::Modgen, || "bipolar_npn");
     let prim = Primitives::new(tech);
     let c = Compactor::new(tech);
     let base = tech.base()?;
@@ -116,6 +117,7 @@ pub fn bipolar_pair(
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
+    let _span = tech.span(Stage::Modgen, || "bipolar_pair");
     let single = bipolar_npn(tech, params)?;
     let buried = tech.buried()?;
     let space = tech.min_spacing(buried, buried).unwrap_or(5_000);

@@ -48,6 +48,7 @@ pub fn mos_capacitor(
 ) -> Result<(LayoutObject, f64), ModgenError> {
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
+    let _span = tech.span(Stage::Modgen, || "mos_capacitor");
     let c = Compactor::new(tech);
     let prim = Primitives::new(tech);
     let poly = tech.poly()?;

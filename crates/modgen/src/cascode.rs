@@ -69,6 +69,7 @@ pub fn cascode_pair(
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
+    let _span = tech.span(Stage::Modgen, || "cascode_pair");
     let c = Compactor::new(tech);
     let router = Router::new(tech);
     let m2 = tech.metal2()?;

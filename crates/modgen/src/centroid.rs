@@ -141,6 +141,7 @@ pub fn centroid_diff_pair(
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
+    let _span = tech.span(Stage::Modgen, || "centroid_diff_pair");
     if params.pairs_per_side == 0 {
         return Err(ModgenError::BadParam {
             param: "pairs_per_side",

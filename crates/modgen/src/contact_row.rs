@@ -91,6 +91,7 @@ pub fn contact_row(
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
+    let _span = tech.span(Stage::Modgen, || "contact_row");
     let prim = Primitives::new(tech);
     let metal1 = tech.metal1()?;
     let contact = tech.contact()?;

@@ -74,6 +74,7 @@ pub fn diff_pair(
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
+    let _span = tech.span(Stage::Modgen, || "diff_pair");
     let c = Compactor::new(tech);
     let prim = Primitives::new(tech);
     let diff = params.mos.diff(tech)?;

@@ -57,6 +57,7 @@ pub fn diode_transistor(
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
+    let _span = tech.span(Stage::Modgen, || "diode_transistor");
     let mut p = MosParams::new(params.mos).with_nets("a", "s", "a");
     p.w = params.w;
     p.l = params.l;

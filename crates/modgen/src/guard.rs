@@ -42,6 +42,7 @@ pub fn guard_ring(
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
+    let _span = tech.span(Stage::Modgen, || "guard_ring");
     let prim = Primitives::new(tech);
     let pdiff = tech.pdiff()?;
     let m1 = tech.metal1()?;

@@ -106,6 +106,7 @@ pub fn interdigitated(
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
+    let _span = tech.span(Stage::Modgen, || "interdigitated");
     if params.fingers == 0 {
         return Err(ModgenError::BadParam {
             param: "fingers",

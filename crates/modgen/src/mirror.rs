@@ -75,6 +75,7 @@ pub fn current_mirror(
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
+    let _span = tech.span(Stage::Modgen, || "current_mirror");
     if params.side_fingers == 0 {
         return Err(ModgenError::BadParam {
             param: "side_fingers",

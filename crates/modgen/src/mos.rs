@@ -140,6 +140,7 @@ pub fn mos_transistor(
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
+    let _span = tech.span(Stage::Modgen, || "mos_transistor");
     let prim = Primitives::new(tech);
     let c = Compactor::new(tech);
     let poly = tech.poly()?;
@@ -244,6 +245,7 @@ pub fn mos_finger(
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
+    let _span = tech.span(Stage::Modgen, || "mos_finger");
     let prim = Primitives::new(tech);
     let c = Compactor::new(tech);
     let poly = tech.poly()?;

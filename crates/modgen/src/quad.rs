@@ -100,6 +100,7 @@ pub fn common_centroid_quad(
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
+    let _span = tech.span(Stage::Modgen, || "common_centroid_quad");
     let w = params
         .w
         .unwrap_or(6_000)
@@ -130,6 +131,7 @@ pub fn common_centroid_quad(
 pub fn gate_centroid(tech: impl IntoGenCtx, obj: &LayoutObject, net: &str) -> Option<(f64, f64)> {
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
+    let _span = tech.span(Stage::Modgen, || "gate_centroid");
     let poly = tech.poly().ok()?;
     let id = obj.find_net(net)?;
     let centers: Vec<(f64, f64)> = obj

@@ -64,6 +64,7 @@ pub fn poly_resistor(
 ) -> Result<(LayoutObject, f64), ModgenError> {
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
+    let _span = tech.span(Stage::Modgen, || "poly_resistor");
     if params.legs == 0 {
         return Err(ModgenError::BadParam {
             param: "legs",
@@ -150,6 +151,7 @@ pub fn matched_resistor_pair(
 ) -> Result<(LayoutObject, f64, f64), ModgenError> {
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
+    let _span = tech.span(Stage::Modgen, || "matched_resistor_pair");
     let (ra, va) = poly_resistor(
         tech,
         &ResistorParams {

@@ -77,6 +77,7 @@ pub fn stacked_transistor(
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
+    let _span = tech.span(Stage::Modgen, || "stacked_transistor");
     if params.gates == 0 {
         return Err(ModgenError::BadParam {
             param: "gates",

@@ -118,6 +118,17 @@ impl<'a> Shared<'a> {
             },
         };
         if better {
+            self.opt.ctx.trace.instant_args(
+                "opt",
+                || "incumbent",
+                || {
+                    vec![
+                        ("score", rating.score.into()),
+                        ("area_um2", rating.area_um2.into()),
+                        ("depth", order.len().into()),
+                    ]
+                },
+            );
             // Publish the score for lock-free pruning reads. A CAS loop
             // (not `fetch_min` on bits) so negative scores order correctly.
             let mut cur = self.best_bits.load(Ordering::Relaxed);
@@ -153,6 +164,7 @@ impl<'a> Shared<'a> {
                 if e.get().as_slice() <= order {
                     drop(dom);
                     self.dominated.fetch_add(1, Ordering::Relaxed);
+                    self.opt.ctx.trace.instant_fine("opt", || "dominated");
                     true
                 } else {
                     // A smaller prefix arrived late (parallel schedules can
@@ -188,6 +200,7 @@ impl<'a> Shared<'a> {
         let lb = self.lower_bound(&sig);
         if self.bound_prunes(lb) {
             self.pruned.fetch_add(1, Ordering::Relaxed);
+            self.opt.ctx.trace.instant_fine("opt", || "prune:push");
             return None;
         }
         let mut order = Vec::with_capacity(frame.order.len() + 1);
@@ -212,6 +225,7 @@ impl<'a> Shared<'a> {
         // frame sat on the deque.
         if self.bound_prunes(frame.lb) {
             self.pruned.fetch_add(1, Ordering::Relaxed);
+            self.opt.ctx.trace.instant_fine("opt", || "prune:pop");
             return None;
         }
         // Claim a node from the budget.
@@ -226,6 +240,11 @@ impl<'a> Shared<'a> {
             self.offer(rating, frame.order, frame.main);
             return None;
         }
+        // One span per node expansion; named by depth so the track stays
+        // readable (per-node names would be millions of unique strings).
+        let mut span = self.opt.ctx.trace.span_fine("opt", || {
+            amgen_core::name!("expand:depth{}", frame.order.len())
+        });
         let mut children = Vec::new();
         for i in 0..self.steps.len() {
             if frame.mask & (1 << i) != 0 {
@@ -238,6 +257,8 @@ impl<'a> Shared<'a> {
                 break;
             }
         }
+        span.arg("children", children.len());
+        drop(span);
         if !children.is_empty() {
             let mut q = self.deque.lock().unwrap();
             // LIFO: reversed push so the lowest step index is popped first
@@ -252,8 +273,17 @@ impl<'a> Shared<'a> {
     }
 
     /// The worker loop: pull a frame, process it, repeat until the tree is
-    /// drained or the search stopped.
-    fn worker(&self) {
+    /// drained or the search stopped. `index` is `Some` for spawned
+    /// workers, which get their own named trace track.
+    fn worker(&self, index: Option<usize>) {
+        if let Some(w) = index {
+            // No-op unless tracing is on; names this worker's track in
+            // the Chrome export (`opt-worker-0`, `opt-worker-1`, ...).
+            self.opt
+                .ctx
+                .trace
+                .set_thread_name(format!("opt-worker-{w}"));
+        }
         // Workers share the compiled rule kernel by bumping the `Arc`
         // refcount — no per-worker recompilation or `Tech` clone.
         let c = Compactor::new(&self.opt.ctx);
@@ -375,6 +405,10 @@ pub(crate) fn run(
     }
     .min(64);
 
+    let mut search_span = opt.ctx.span(Stage::Opt, || "search");
+    search_span.arg("steps", steps.len());
+    search_span.arg("workers", workers);
+
     let shared = Shared {
         opt,
         steps,
@@ -421,11 +455,12 @@ pub(crate) fn run(
     }
 
     if workers <= 1 {
-        shared.worker();
+        shared.worker(None);
     } else {
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| shared.worker());
+            for w in 0..workers {
+                let shared = &shared;
+                scope.spawn(move || shared.worker(Some(w)));
             }
         });
     }
@@ -438,6 +473,14 @@ pub(crate) fn run(
     let pruned = shared.pruned.load(Ordering::Relaxed);
     let dominated = shared.dominated.load(Ordering::Relaxed);
     let complete = !shared.exhausted.load(Ordering::Relaxed);
+    // The search statistics also live in the shared metrics so the run
+    // report and `OptResult` read the same numbers.
+    opt.ctx.metrics.add_opt_explored(explored as u64);
+    opt.ctx.metrics.add_opt_pruned(pruned as u64);
+    opt.ctx.metrics.add_opt_dominated(dominated as u64);
+    search_span.arg("explored", explored);
+    search_span.arg("pruned", pruned);
+    search_span.arg("dominated", dominated);
     let best = shared.best.into_inner().unwrap();
 
     let (order, layout, rating) = match best {

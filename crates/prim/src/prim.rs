@@ -133,6 +133,7 @@ impl Primitives {
         l: Option<Coord>,
     ) -> Result<usize, PrimError> {
         let _timer = self.ctx.metrics.stage_timer(Stage::Prim);
+        let _span = self.ctx.span_fine(Stage::Prim, || "inbox");
         let min_w = self.ctx.min_width(layer).max(self.ctx.grid());
         if obj.is_empty() {
             let w = self.ctx.snap_up(w.unwrap_or(min_w).max(min_w));
@@ -205,6 +206,7 @@ impl Primitives {
     /// fits (paper §2.2). Returns the new shapes' indices.
     pub fn array(&self, obj: &mut LayoutObject, cut: Layer) -> Result<Vec<usize>, PrimError> {
         let _timer = self.ctx.metrics.stage_timer(Stage::Prim);
+        let _span = self.ctx.span_fine(Stage::Prim, || "array");
         if obj.is_empty() {
             return Err(PrimError::EmptyObject { primitive: "array" });
         }
@@ -236,6 +238,7 @@ impl Primitives {
         extra: Coord,
     ) -> Result<usize, PrimError> {
         let _timer = self.ctx.metrics.stage_timer(Stage::Prim);
+        let _span = self.ctx.span_fine(Stage::Prim, || "around");
         if obj.is_empty() {
             return Err(PrimError::EmptyObject {
                 primitive: "around",
@@ -270,6 +273,7 @@ impl Primitives {
         clearance: Option<Coord>,
     ) -> Result<[usize; 4], PrimError> {
         let _timer = self.ctx.metrics.stage_timer(Stage::Prim);
+        let _span = self.ctx.span_fine(Stage::Prim, || "ring");
         if obj.is_empty() {
             return Err(PrimError::EmptyObject { primitive: "ring" });
         }
@@ -321,6 +325,7 @@ impl Primitives {
         l: Option<Coord>,
     ) -> Result<(usize, usize), PrimError> {
         let _timer = self.ctx.metrics.stage_timer(Stage::Prim);
+        let _span = self.ctx.span_fine(Stage::Prim, || "two_rects");
         let w = self.ctx.snap_up(
             w.unwrap_or_else(|| self.ctx.min_width(diff))
                 .max(self.ctx.min_width(diff)),

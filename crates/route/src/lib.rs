@@ -121,6 +121,7 @@ impl Router {
         net: Option<NetId>,
     ) -> Result<usize, RouteError> {
         let t0 = std::time::Instant::now();
+        let _span = self.ctx.span(Stage::Route, || "straight");
         self.conductor(layer)?;
         let w = self.wire_width(layer, width);
         let xo = from.x_range().intersection(&to.x_range());
@@ -162,6 +163,7 @@ impl Router {
         net: Option<NetId>,
     ) -> Result<[usize; 3], RouteError> {
         let t0 = std::time::Instant::now();
+        let _span = self.ctx.span(Stage::Route, || "l_route");
         self.conductor(layer)?;
         let w = self.wire_width(layer, width);
         let h = Rect::new(a.x.min(b.x), a.y - w / 2, a.x.max(b.x), a.y - w / 2 + w);
@@ -193,6 +195,7 @@ impl Router {
         net: Option<NetId>,
     ) -> Result<Vec<usize>, RouteError> {
         let t0 = std::time::Instant::now();
+        let _span = self.ctx.span(Stage::Route, || "z_route");
         self.conductor(layer)?;
         let w = self.wire_width(layer, width);
         let h1 = Rect::new(a.x.min(mid_x), a.y - w / 2, a.x.max(mid_x), a.y - w / 2 + w);
@@ -230,6 +233,7 @@ impl Router {
         net: Option<NetId>,
     ) -> Result<[usize; 3], RouteError> {
         let t0 = std::time::Instant::now();
+        let _span = self.ctx.span(Stage::Route, || "via_stack");
         if self.ctx.kind(cut) != LayerKind::Cut || !self.ctx.connects(cut, a, b) {
             return Err(RouteError::NotConnectable {
                 cut: self.ctx.layer_name(cut).to_string(),
@@ -274,6 +278,7 @@ impl Router {
         y_to: Coord,
         net: Option<NetId>,
     ) -> Result<usize, RouteError> {
+        let _span = self.ctx.span(Stage::Route, || "underpass_v");
         let before = obj.len();
         self.via_stack(obj, cut, lower, upper, Point::new(x, y_from), net)?;
         self.via_stack(obj, cut, lower, upper, Point::new(x, y_to), net)?;
@@ -296,6 +301,7 @@ impl Router {
         net_l: NetId,
         net_r: NetId,
     ) -> Result<usize, RouteError> {
+        let _span = self.ctx.span(Stage::Route, || "route_mirrored");
         self.conductor(layer)?;
         for &r in path {
             obj.push(Shape::new(layer, r).with_net(net_l));

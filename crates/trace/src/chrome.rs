@@ -1,0 +1,161 @@
+//! Chrome `trace_event` JSON exporter.
+//!
+//! Emits the *JSON Object Format* (`{"traceEvents": [...]}`) understood
+//! by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): one
+//! `B`/`E` pair per span, `i` for instants (thread scope), and `M`
+//! metadata records naming the process and each named thread track.
+//! Timestamps are microseconds with nanosecond precision kept in the
+//! fractional part. The output is a pure function of the [`Trace`], so
+//! golden tests compare it byte-for-byte.
+
+use crate::{ArgValue, Event, Phase, Trace};
+
+/// The fixed pid used for all events — one process, many tracks.
+const PID: u32 = 1;
+
+/// Serializes a drained trace to Chrome JSON. See the module docs.
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let mut out = String::with_capacity(64 + trace.events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+
+    // Process metadata first, then named thread tracks, then the events.
+    let mut records: Vec<String> = Vec::new();
+    records.push(format!(
+        "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{{\"name\":\"amgen\"}}}}"
+    ));
+    for th in &trace.threads {
+        if let Some(name) = &th.name {
+            records.push(format!(
+                "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":{}}}}}",
+                th.tid,
+                json_string(name)
+            ));
+        }
+    }
+    for ev in &trace.events {
+        records.push(event_record(ev));
+    }
+    for rec in records {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&rec);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+fn event_record(ev: &Event) -> String {
+    let ph = match ev.phase {
+        Phase::Begin => "B",
+        Phase::End => "E",
+        Phase::Instant => "i",
+    };
+    let mut rec = format!(
+        "{{\"ph\":\"{ph}\",\"pid\":{PID},\"tid\":{},\"ts\":{},\"cat\":{},\"name\":{}",
+        ev.tid,
+        micros(ev.t_ns),
+        json_string(ev.cat),
+        json_string(&ev.name),
+    );
+    if ev.phase == Phase::Instant {
+        rec.push_str(",\"s\":\"t\""); // thread-scoped instant
+    }
+    if !ev.args.is_empty() {
+        rec.push_str(",\"args\":{");
+        for (i, (key, value)) in ev.args.iter().enumerate() {
+            if i > 0 {
+                rec.push(',');
+            }
+            rec.push_str(&json_string(key));
+            rec.push(':');
+            rec.push_str(&arg_json(value));
+        }
+        rec.push('}');
+    }
+    rec.push('}');
+    rec
+}
+
+/// Nanoseconds → microsecond timestamp string, nanosecond precision
+/// preserved in three fixed decimals (deterministic formatting).
+fn micros(t_ns: u64) -> String {
+    format!("{}.{:03}", t_ns / 1_000, t_ns % 1_000)
+}
+
+fn arg_json(value: &ArgValue) -> String {
+    match value {
+        ArgValue::Int(i) => i.to_string(),
+        ArgValue::Float(f) => {
+            if f.is_finite() {
+                // `{:?}` keeps a decimal point (1.0, not 1) and round-trips.
+                format!("{f:?}")
+            } else {
+                // JSON has no Inf/NaN — degrade to a string.
+                format!("\"{f}\"")
+            }
+        }
+        ArgValue::Str(s) => json_string(s),
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, Phase, ThreadInfo, Trace};
+
+    #[test]
+    fn timestamps_are_fractional_micros() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(1_234), "1.234");
+        assert_eq!(micros(1_000_007), "1000.007");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn instants_carry_thread_scope_and_args() {
+        let trace = Trace {
+            events: vec![
+                Event::new(500, 2, Phase::Instant, "opt", "prune").with_arg("bound", 12.5f64)
+            ],
+            threads: vec![ThreadInfo {
+                tid: 2,
+                name: Some("opt-worker-2".into()),
+            }],
+        };
+        let json = to_chrome_json(&trace);
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"s\":\"t\""));
+        assert!(json.contains("\"bound\":12.5"));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"opt-worker-2\""));
+    }
+}

@@ -1,0 +1,919 @@
+//! Low-overhead structured event tracing for the generation pipeline.
+//!
+//! The compactor and the order optimizer make thousands of small
+//! decisions — abutment steps, contact-array rebuilds, pruned search
+//! orders — that aggregate counters cannot explain. This crate records
+//! them as **typed events** (span begin/end pairs and instant markers,
+//! each with a category, a name and small key/value arguments) into a
+//! [`TraceSink`] that is cheap enough to leave compiled into every hot
+//! path:
+//!
+//! * the **disabled path costs one branch** — [`TraceSink::enabled`] is a
+//!   relaxed atomic load, and span names/arguments are built lazily, so
+//!   nothing allocates until tracing is switched on;
+//! * recording has **two detail levels** — [`Detail::Coarse`] captures
+//!   stage-level spans (a module-generator call, a DRC run, an optimizer
+//!   search), [`Detail::Fine`] adds the high-frequency interior events
+//!   (every compaction step, primitive shape function and optimizer node
+//!   expansion) that cost real time on sub-microsecond paths;
+//! * the **enabled path is contention-free** — every thread writes to its
+//!   own buffer (registered on first use, kept alive by the sink even
+//!   after the thread exits), so parallel optimizer workers never
+//!   serialize on a shared log;
+//! * events are **drained on demand** into a [`Trace`], which exports to
+//!   the Chrome `trace_event` JSON format (loadable in `chrome://tracing`
+//!   and [Perfetto](https://ui.perfetto.dev)) or renders as a plain-text
+//!   hierarchical run report.
+//!
+//! # Example
+//!
+//! ```
+//! use amgen_trace::TraceSink;
+//!
+//! let sink = TraceSink::new();
+//! sink.set_enabled(true);
+//! {
+//!     let mut span = sink.span("compact", || "step:row");
+//!     span.arg("shrunk_edges", 2i64);
+//!     sink.instant("compact", || "rebuild");
+//! } // span ends here
+//! let trace = sink.drain();
+//! assert_eq!(trace.events.len(), 3); // begin + instant + end
+//! let json = trace.to_chrome_json();
+//! assert!(json.contains("\"ph\":\"B\"") && json.contains("step:row"));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+pub mod chrome;
+pub mod report;
+
+/// How much a [`TraceSink`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Detail {
+    /// Nothing — every probe is one relaxed atomic load.
+    Off,
+    /// Stage-level spans: module-generator and entity calls, DRC /
+    /// extraction / routing runs, the optimizer search and its
+    /// incumbents. Cheap enough to leave on around whole benches.
+    Coarse,
+    /// Everything: adds per-compaction-step and per-primitive-call
+    /// spans, group rebuilds and per-search-node events. Full
+    /// flame-graph fidelity; measurably slows paths whose real work is
+    /// well under a microsecond.
+    Fine,
+}
+
+/// The phase of one trace event (a subset of the Chrome phases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A span opened (`ph: "B"`).
+    Begin,
+    /// A span closed (`ph: "E"`).
+    End,
+    /// A point event with no duration (`ph: "i"`).
+    Instant,
+}
+
+/// A small typed argument value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// An integer (counts, coordinates, deltas).
+    Int(i64),
+    /// A float (scores, ratios).
+    Float(f64),
+    /// A string (entity names, layers).
+    Str(String),
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> ArgValue {
+        ArgValue::Int(v)
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> ArgValue {
+        ArgValue::Int(v as i64)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> ArgValue {
+        ArgValue::Int(v as i64)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> ArgValue {
+        ArgValue::Float(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> ArgValue {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> ArgValue {
+        ArgValue::Str(v)
+    }
+}
+
+/// Bytes a [`Name`] can hold without touching the heap — sized so the
+/// inline variant is no larger than the `String` one.
+const NAME_INLINE_CAP: usize = 30;
+
+#[derive(Clone)]
+enum NameRepr {
+    Static(&'static str),
+    Inline(u8, [u8; NAME_INLINE_CAP]),
+    Owned(String),
+}
+
+/// An event name: a static string, a short string stored **inline**, or
+/// a heap `String`. Formatted names up to 30 bytes never allocate —
+/// build them with the [`name!`] macro on hot paths:
+///
+/// ```
+/// use amgen_trace::{name, Name};
+///
+/// let n: Name = name!("step:{}", "finger");
+/// assert_eq!(n, "step:finger");
+/// ```
+#[derive(Clone)]
+pub struct Name(NameRepr);
+
+impl Name {
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        match &self.0 {
+            NameRepr::Static(s) => s,
+            // Inline bytes are whole `str` fragments concatenated by
+            // `fmt::Write`, so they are always valid UTF-8.
+            NameRepr::Inline(len, buf) => std::str::from_utf8(&buf[..*len as usize]).unwrap_or(""),
+            NameRepr::Owned(s) => s,
+        }
+    }
+
+    /// Builds a name from preformatted arguments (what [`name!`]
+    /// expands to), spilling to the heap only past the inline capacity.
+    pub fn format(args: std::fmt::Arguments<'_>) -> Name {
+        if let Some(s) = args.as_str() {
+            return Name(NameRepr::Static(s));
+        }
+        struct W {
+            len: usize,
+            buf: [u8; NAME_INLINE_CAP],
+            spill: Option<String>,
+        }
+        impl std::fmt::Write for W {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                if let Some(sp) = &mut self.spill {
+                    sp.push_str(s);
+                    return Ok(());
+                }
+                let b = s.as_bytes();
+                if self.len + b.len() <= NAME_INLINE_CAP {
+                    self.buf[self.len..self.len + b.len()].copy_from_slice(b);
+                    self.len += b.len();
+                } else {
+                    let mut sp = String::with_capacity(self.len + b.len() + 16);
+                    sp.push_str(std::str::from_utf8(&self.buf[..self.len]).unwrap_or(""));
+                    sp.push_str(s);
+                    self.spill = Some(sp);
+                }
+                Ok(())
+            }
+        }
+        let mut w = W {
+            len: 0,
+            buf: [0; NAME_INLINE_CAP],
+            spill: None,
+        };
+        let _ = std::fmt::write(&mut w, args);
+        match w.spill {
+            Some(s) => Name(NameRepr::Owned(s)),
+            None => Name(NameRepr::Inline(w.len as u8, w.buf)),
+        }
+    }
+}
+
+/// Formats an event name without allocating when the result fits the
+/// inline buffer: `sink.span("compact", || name!("step:{}", obj))`.
+#[macro_export]
+macro_rules! name {
+    ($($arg:tt)*) => { $crate::Name::format(core::format_args!($($arg)*)) };
+}
+
+impl Default for Name {
+    fn default() -> Name {
+        Name(NameRepr::Static(""))
+    }
+}
+
+impl From<&'static str> for Name {
+    fn from(s: &'static str) -> Name {
+        Name(NameRepr::Static(s))
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Name {
+        Name(NameRepr::Owned(s))
+    }
+}
+
+impl From<Cow<'static, str>> for Name {
+    fn from(s: Cow<'static, str>) -> Name {
+        match s {
+            Cow::Borrowed(s) => Name(NameRepr::Static(s)),
+            Cow::Owned(s) => Name(NameRepr::Owned(s)),
+        }
+    }
+}
+
+impl std::ops::Deref for Name {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Name {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Name) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for Name {}
+
+impl PartialEq<str> for Name {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Name {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl std::fmt::Display for Name {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::fmt::Debug for Name {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Nanoseconds since the sink's epoch (its creation).
+    pub t_ns: u64,
+    /// The recording thread's track id (registration order, 0-based).
+    pub tid: u32,
+    /// Begin / End / Instant.
+    pub phase: Phase,
+    /// Event category — by convention the pipeline stage name
+    /// (`"compact"`, `"opt"`, `"dsl"`, ...).
+    pub cat: &'static str,
+    /// Event name (`"step:row"`, `"expand"`, `"rebuild"`, ...).
+    pub name: Name,
+    /// Key/value arguments; carried on `End` and `Instant` events.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl Event {
+    /// Builds an event explicitly — the exporters are pure functions of
+    /// `Trace`, so tests construct fixed event lists with this.
+    pub fn new(
+        t_ns: u64,
+        tid: u32,
+        phase: Phase,
+        cat: &'static str,
+        name: impl Into<Name>,
+    ) -> Event {
+        Event {
+            t_ns,
+            tid,
+            phase,
+            cat,
+            name: name.into(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Attaches an argument (builder style).
+    #[must_use]
+    pub fn with_arg(mut self, key: &'static str, value: impl Into<ArgValue>) -> Event {
+        self.args.push((key, value.into()));
+        self
+    }
+}
+
+/// One thread's track in a drained [`Trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadInfo {
+    /// Track id (registration order with the sink).
+    pub tid: u32,
+    /// Optional display name (set via [`TraceSink::set_thread_name`]).
+    pub name: Option<String>,
+}
+
+/// A per-thread event buffer. The sink holds an `Arc` so the buffer
+/// survives its thread (scoped optimizer workers end before the drain).
+struct Shard {
+    tid: u32,
+    name: Mutex<Option<String>>,
+    /// Locked only by the owning thread (appends) and the drain — in
+    /// steady state the lock is uncontended.
+    events: Mutex<Vec<Event>>,
+}
+
+thread_local! {
+    /// Shards this thread registered, keyed by the owning sink's unique
+    /// id (so the cache can hold the `Arc` directly — no upgrade on the
+    /// hot path, and a new sink can never collide with a dead one).
+    static LOCAL_SHARDS: RefCell<Vec<(u64, Arc<Shard>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Source of unique [`TraceSink`] ids.
+static NEXT_SINK_ID: AtomicU64 = AtomicU64::new(0);
+
+/// The event collector threaded through the generation context.
+///
+/// Disabled by default; every recording entry point starts with the
+/// [`enabled`](TraceSink::enabled) branch, and name/argument closures run
+/// only when it passes, so an attached-but-disabled sink costs one
+/// relaxed atomic load per call site.
+#[derive(Debug)]
+pub struct TraceSink {
+    /// The current [`Detail`] as its discriminant (0 / 1 / 2).
+    level: AtomicU8,
+    /// Unique per process; keys the thread-local shard cache.
+    id: u64,
+    epoch: Instant,
+    /// Raw counter reading taken together with `epoch`; event stamps are
+    /// stored as counter deltas and scaled to nanoseconds at drain time.
+    epoch_ticks: u64,
+    shards: Mutex<Vec<Arc<Shard>>>,
+}
+
+/// Reads the raw timestamp counter: one `rdtsc` on x86_64 (a fraction of
+/// a `clock_gettime` call), the monotonic clock elsewhere. Raw ticks are
+/// meaningless on their own — [`TraceSink::collect`] measures the tick
+/// rate against `epoch` when converting to nanoseconds, so no up-front
+/// calibration is needed. Assumes an invariant TSC (any x86_64 part from
+/// the last decade); on exotic hardware the fallback still works.
+#[inline]
+fn now_ticks(epoch: &Instant) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let _ = epoch;
+        // SAFETY: `rdtsc` is unprivileged and baseline on x86_64.
+        unsafe { core::arch::x86_64::_rdtsc() }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        epoch.elapsed().as_nanos() as u64
+    }
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard").field("tid", &self.tid).finish()
+    }
+}
+
+impl Default for TraceSink {
+    fn default() -> TraceSink {
+        TraceSink::new()
+    }
+}
+
+impl TraceSink {
+    /// A fresh, **disabled** sink.
+    pub fn new() -> TraceSink {
+        let epoch = Instant::now();
+        TraceSink {
+            level: AtomicU8::new(Detail::Off as u8),
+            id: NEXT_SINK_ID.fetch_add(1, Ordering::Relaxed),
+            epoch_ticks: now_ticks(&epoch),
+            epoch,
+            shards: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether events are being recorded at all. The one branch every
+    /// instrumentation site pays when tracing is off.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.level.load(Ordering::Relaxed) > Detail::Off as u8
+    }
+
+    /// Whether high-frequency interior events are being recorded too.
+    #[inline]
+    pub fn fine(&self) -> bool {
+        self.level.load(Ordering::Relaxed) > Detail::Coarse as u8
+    }
+
+    /// The current recording depth.
+    pub fn detail(&self) -> Detail {
+        match self.level.load(Ordering::Relaxed) {
+            0 => Detail::Off,
+            1 => Detail::Coarse,
+            _ => Detail::Fine,
+        }
+    }
+
+    /// Sets the recording depth. Spans already open keep recording
+    /// their end events so begin/end stay balanced.
+    pub fn set_detail(&self, detail: Detail) {
+        self.level.store(detail as u8, Ordering::Relaxed);
+    }
+
+    /// Switches recording on ([`Detail::Coarse`]) or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.set_detail(if on { Detail::Coarse } else { Detail::Off });
+    }
+
+    /// Raw ticks since the sink was created ([`collect`](Self::collect)
+    /// scales them to nanoseconds).
+    #[inline]
+    fn now_raw(&self) -> u64 {
+        now_ticks(&self.epoch).wrapping_sub(self.epoch_ticks)
+    }
+
+    /// This thread's shard, registering it with the sink on first use.
+    fn shard(&self) -> Arc<Shard> {
+        LOCAL_SHARDS.with(|local| {
+            let mut local = local.borrow_mut();
+            for (k, shard) in local.iter() {
+                if *k == self.id {
+                    return Arc::clone(shard);
+                }
+            }
+            let mut shards = self.shards.lock().unwrap();
+            let shard = Arc::new(Shard {
+                tid: shards.len() as u32,
+                name: Mutex::new(None),
+                // Preallocated so the first few hundred events never
+                // realloc; `drain` keeps the capacity via `append`.
+                events: Mutex::new(Vec::with_capacity(256)),
+            });
+            shards.push(Arc::clone(&shard));
+            drop(shards);
+            // Dead sinks leave their cache entry's Arc as the only
+            // strong reference — evict those while we're here anyway.
+            local.retain(|(_, s)| Arc::strong_count(s) > 1);
+            local.push((self.id, Arc::clone(&shard)));
+            shard
+        })
+    }
+
+    /// Names the calling thread's track (e.g. `opt-worker-3`); the name
+    /// appears in the Chrome export and the run report. No-op while the
+    /// sink is disabled.
+    pub fn set_thread_name(&self, name: impl Into<String>) {
+        if !self.enabled() {
+            return;
+        }
+        *self.shard().name.lock().unwrap() = Some(name.into());
+    }
+
+    fn record(
+        &self,
+        phase: Phase,
+        cat: &'static str,
+        name: Name,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        // `t_ns` holds raw ticks until `collect` scales the batch.
+        let t_ns = self.now_raw();
+        let shard = self.shard();
+        let ev = Event {
+            t_ns,
+            tid: shard.tid,
+            phase,
+            cat,
+            name,
+            args,
+        };
+        shard.events.lock().unwrap().push(ev);
+    }
+
+    /// Opens a span. The name closure runs only when the sink is
+    /// enabled, so formatted names are free on the disabled path:
+    ///
+    /// ```
+    /// use amgen_trace::TraceSink;
+    /// let sink = TraceSink::new(); // disabled
+    /// let _span = sink.span("compact", || format!("step:{}", "row"));
+    /// assert!(sink.drain().events.is_empty()); // nothing was recorded
+    /// ```
+    #[inline]
+    pub fn span<N, F>(&self, cat: &'static str, name: F) -> Span<'_>
+    where
+        N: Into<Name>,
+        F: FnOnce() -> N,
+    {
+        if !self.enabled() {
+            return Span::inert(cat);
+        }
+        // The begin event is *deferred*: the guard remembers the open
+        // timestamp and pushes begin + end together on drop — one shard
+        // access and no name clone per span. `drain` re-sorts by
+        // timestamp, which restores begin/end nesting order.
+        Span {
+            sink: Some(self),
+            cat,
+            name: name().into(),
+            begin_raw: self.now_raw(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Opens a span recorded only at [`Detail::Fine`] — for
+    /// high-frequency interior work (a single primitive call, one
+    /// optimizer node) whose tracing cost rivals the work itself.
+    #[inline]
+    pub fn span_fine<N, F>(&self, cat: &'static str, name: F) -> Span<'_>
+    where
+        N: Into<Name>,
+        F: FnOnce() -> N,
+    {
+        if !self.fine() {
+            return Span::inert(cat);
+        }
+        self.span(cat, name)
+    }
+
+    /// Records a point event (no duration).
+    #[inline]
+    pub fn instant<N, F>(&self, cat: &'static str, name: F)
+    where
+        N: Into<Name>,
+        F: FnOnce() -> N,
+    {
+        if !self.enabled() {
+            return;
+        }
+        self.record(Phase::Instant, cat, name().into(), Vec::new());
+    }
+
+    /// Records a point event only at [`Detail::Fine`].
+    #[inline]
+    pub fn instant_fine<N, F>(&self, cat: &'static str, name: F)
+    where
+        N: Into<Name>,
+        F: FnOnce() -> N,
+    {
+        if !self.fine() {
+            return;
+        }
+        self.record(Phase::Instant, cat, name().into(), Vec::new());
+    }
+
+    /// Records a point event with arguments; the argument closure runs
+    /// only when the sink is enabled.
+    #[inline]
+    pub fn instant_args<N, F, A>(&self, cat: &'static str, name: F, args: A)
+    where
+        N: Into<Name>,
+        F: FnOnce() -> N,
+        A: FnOnce() -> Vec<(&'static str, ArgValue)>,
+    {
+        if !self.enabled() {
+            return;
+        }
+        self.record(Phase::Instant, cat, name().into(), args());
+    }
+
+    /// Takes all recorded events, leaving the buffers empty. Events are
+    /// sorted by time (per-thread order preserved among equal stamps).
+    pub fn drain(&self) -> Trace {
+        self.collect(true)
+    }
+
+    /// Copies all recorded events without clearing the buffers.
+    pub fn snapshot_events(&self) -> Trace {
+        self.collect(false)
+    }
+
+    fn collect(&self, take: bool) -> Trace {
+        // Measure the tick rate against the wall clock over the sink's
+        // whole lifetime — by drain time that baseline is long enough
+        // that the scale factor is accurate to well under a percent.
+        let elapsed_ns = self.epoch.elapsed().as_nanos() as u64;
+        let elapsed_ticks = self.now_raw();
+        let scale = if elapsed_ticks == 0 {
+            1.0
+        } else {
+            elapsed_ns as f64 / elapsed_ticks as f64
+        };
+        let shards = self.shards.lock().unwrap();
+        let mut events = Vec::new();
+        let mut threads = Vec::new();
+        for shard in shards.iter() {
+            let mut buf = shard.events.lock().unwrap();
+            if take {
+                events.append(&mut buf);
+            } else {
+                events.extend(buf.iter().cloned());
+            }
+            threads.push(ThreadInfo {
+                tid: shard.tid,
+                name: shard.name.lock().unwrap().clone(),
+            });
+        }
+        // Sort on the *raw* stamps: a span pushes its begin event only
+        // at drop (after any inner spans), so per-shard buffer order is
+        // not time order, and raw counter readings are effectively
+        // unique while scaled ones can tie and break nesting.
+        events.sort_by_key(|e| e.t_ns);
+        for e in &mut events {
+            e.t_ns = (e.t_ns as f64 * scale) as u64;
+        }
+        Trace { events, threads }
+    }
+}
+
+/// RAII span guard returned by [`TraceSink::span`]: records the span's
+/// begin and end events together when dropped (the begin timestamp was
+/// captured at open). Inert — a no-op holding no allocation — when the
+/// sink was disabled. The name travels on the begin event and the
+/// attached arguments on the end event, which carries an empty name.
+#[derive(Debug)]
+pub struct Span<'s> {
+    sink: Option<&'s TraceSink>,
+    cat: &'static str,
+    name: Name,
+    /// Raw counter reading at span open.
+    begin_raw: u64,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+impl Span<'_> {
+    /// The no-op span handed out while recording is off.
+    fn inert(cat: &'static str) -> Span<'static> {
+        Span {
+            sink: None,
+            cat,
+            name: Name::default(),
+            begin_raw: 0,
+            args: Vec::new(),
+        }
+    }
+
+    /// True when the span will be recorded — use to skip computing
+    /// expensive argument values on the disabled path.
+    #[inline]
+    pub fn is_recording(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Attaches an argument, carried on the span's end event.
+    #[inline]
+    pub fn arg(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        if self.sink.is_some() {
+            if self.args.is_empty() {
+                self.args.reserve(8);
+            }
+            self.args.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(sink) = self.sink.take() {
+            // Stamp the end first so the span's duration does not
+            // include the shard lookup below.
+            let end_raw = sink.now_raw();
+            let shard = sink.shard();
+            let tid = shard.tid;
+            let mut buf = shard.events.lock().unwrap();
+            buf.push(Event {
+                t_ns: self.begin_raw,
+                tid,
+                phase: Phase::Begin,
+                cat: self.cat,
+                name: std::mem::take(&mut self.name),
+                args: Vec::new(),
+            });
+            buf.push(Event {
+                t_ns: end_raw,
+                tid,
+                phase: Phase::End,
+                cat: self.cat,
+                name: Name::default(),
+                args: std::mem::take(&mut self.args),
+            });
+        }
+    }
+}
+
+/// A drained set of events, ready for export.
+///
+/// ```
+/// use amgen_trace::{Event, Phase, Trace};
+///
+/// let trace = Trace {
+///     events: vec![
+///         Event::new(1_000, 0, Phase::Begin, "compact", "step:row"),
+///         Event::new(9_000, 0, Phase::End, "compact", "step:row").with_arg("bridges", 1i64),
+///     ],
+///     threads: vec![],
+/// };
+/// assert!(trace.to_chrome_json().starts_with("{\"traceEvents\":["));
+/// assert!(trace.report(5).contains("compact"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// All events, sorted by `t_ns`.
+    pub events: Vec<Event>,
+    /// The threads (tracks) that recorded, in tid order.
+    pub threads: Vec<ThreadInfo>,
+}
+
+impl Trace {
+    /// Serializes to Chrome `trace_event` JSON — load the string (saved
+    /// as a `.json` file) in `chrome://tracing` or Perfetto.
+    pub fn to_chrome_json(&self) -> String {
+        chrome::to_chrome_json(self)
+    }
+
+    /// Writes the Chrome JSON to a file.
+    pub fn write_chrome_file(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_chrome_json())
+    }
+
+    /// Renders the plain-text hierarchical run report (per-category
+    /// self/total time, the `top_n` hottest span names, instant-event
+    /// counters).
+    pub fn report(&self, top_n: usize) -> String {
+        report::render(self, top_n)
+    }
+}
+
+/// Scans the process arguments for `--trace <path>` / `--trace=<path>`,
+/// falling back to the `AMGEN_TRACE` environment variable — the shared
+/// convention of the workspace's binaries and examples.
+pub fn trace_path_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--trace=") {
+            return Some(std::path::PathBuf::from(p));
+        }
+    }
+    std::env::var_os("AMGEN_TRACE").map(std::path::PathBuf::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = TraceSink::new();
+        assert!(!sink.enabled());
+        {
+            let mut s = sink.span("compact", || -> &'static str {
+                panic!("name closure must not run when disabled")
+            });
+            #[allow(unreachable_code)]
+            s.arg("k", 1i64);
+        }
+        sink.instant("opt", || -> &'static str { panic!("must not run") });
+        assert!(sink.drain().events.is_empty());
+    }
+
+    #[test]
+    fn spans_balance_and_nest() {
+        let sink = TraceSink::new();
+        sink.set_enabled(true);
+        {
+            let _outer = sink.span("dsl", || "outer");
+            let mut inner = sink.span("compact", || "inner");
+            inner.arg("n", 3i64);
+        }
+        let t = sink.drain();
+        let phases: Vec<Phase> = t.events.iter().map(|e| e.phase).collect();
+        assert_eq!(
+            phases,
+            vec![Phase::Begin, Phase::Begin, Phase::End, Phase::End]
+        );
+        // The name rides on the begin event, the args on the end event
+        // (which carries an empty name — matched by category).
+        assert_eq!(t.events[1].name, "inner");
+        assert_eq!(t.events[2].name, "");
+        assert_eq!(t.events[2].cat, "compact");
+        assert_eq!(t.events[2].args, vec![("n", ArgValue::Int(3))]);
+        // Drain cleared the buffers.
+        assert!(sink.drain().events.is_empty());
+    }
+
+    #[test]
+    fn threads_get_distinct_tracks() {
+        let sink = TraceSink::new();
+        sink.set_enabled(true);
+        sink.instant("main", || "here");
+        std::thread::scope(|scope| {
+            for i in 0..3 {
+                let sink = &sink;
+                scope.spawn(move || {
+                    sink.set_thread_name(format!("worker-{i}"));
+                    let _s = sink.span("opt", || "work");
+                });
+            }
+        });
+        let t = sink.drain();
+        let tids: std::collections::HashSet<u32> = t.events.iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 4, "main + three workers: {t:?}");
+        assert_eq!(t.threads.len(), 4);
+        let names: Vec<_> = t.threads.iter().filter_map(|th| th.name.clone()).collect();
+        assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn toggling_mid_span_keeps_the_end_event() {
+        let sink = TraceSink::new();
+        sink.set_enabled(true);
+        let span = sink.span("drc", || "check");
+        sink.set_enabled(false);
+        drop(span);
+        let t = sink.drain();
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.events[1].phase, Phase::End);
+    }
+
+    #[test]
+    fn two_sinks_do_not_share_shards() {
+        let a = TraceSink::new();
+        let b = TraceSink::new();
+        a.set_enabled(true);
+        b.set_enabled(true);
+        a.instant("x", || "a");
+        b.instant("x", || "b");
+        assert_eq!(a.drain().events.len(), 1);
+        assert_eq!(b.drain().events.len(), 1);
+    }
+
+    #[test]
+    fn fine_probes_record_only_at_fine_detail() {
+        let sink = TraceSink::new();
+        sink.set_enabled(true); // Coarse
+        assert_eq!(sink.detail(), Detail::Coarse);
+        {
+            let _coarse = sink.span("compact", || "step:row");
+            let _fine = sink.span_fine("prim", || -> &'static str {
+                panic!("fine name closure must not run at coarse detail")
+            });
+            sink.instant_fine("opt", || -> &'static str {
+                panic!("fine name closure must not run at coarse detail")
+            });
+        }
+        assert_eq!(sink.drain().events.len(), 2); // the coarse pair only
+
+        sink.set_detail(Detail::Fine);
+        {
+            let _coarse = sink.span("compact", || "step:row");
+            let _fine = sink.span_fine("prim", || "inbox");
+            sink.instant_fine("opt", || "prune");
+        }
+        assert_eq!(sink.drain().events.len(), 5);
+    }
+
+    #[test]
+    fn trace_path_parsing_ignores_unrelated_args() {
+        // Only checks the env fallback: args of the test harness have no
+        // --trace flag.
+        std::env::remove_var("AMGEN_TRACE");
+        assert!(trace_path_from_args().is_none());
+    }
+}

@@ -1,0 +1,218 @@
+//! Plain-text hierarchical run report.
+//!
+//! Replays the event stream per thread, matching span begin/end pairs on
+//! a stack, and aggregates:
+//!
+//! * per-**category** (pipeline stage) total time of top-level spans and
+//!   *self* time of all spans (duration minus nested children), so a
+//!   stage that mostly waits on a sub-stage shows up honestly;
+//! * the top-N hottest span **names** by accumulated duration — this is
+//!   where per-entity / per-object hot spots surface;
+//! * **counters**: instant events grouped by `cat:name` (rebuilds,
+//!   optimizer prunes, incumbents, ...).
+//!
+//! The renderer is a pure function of the [`Trace`], so it works both on
+//! live drains and on reconstructed event lists in tests.
+
+use crate::{Phase, Trace};
+use std::collections::HashMap;
+
+struct Open {
+    cat: &'static str,
+    name: String,
+    begin_ns: u64,
+    child_ns: u64,
+}
+
+#[derive(Default)]
+struct CatStat {
+    total_ns: u64, // top-level spans only
+    self_ns: u64,  // all spans, minus children
+    spans: u64,
+}
+
+/// Renders the report; `top_n` bounds the hottest-entities table.
+pub fn render(trace: &Trace, top_n: usize) -> String {
+    let mut stacks: HashMap<u32, Vec<Open>> = HashMap::new();
+    let mut cats: Vec<(&'static str, CatStat)> = Vec::new();
+    // span (cat, name) → (accumulated duration, count)
+    type NameKey = (&'static str, String);
+    let mut names: HashMap<NameKey, (u64, u64)> = HashMap::new();
+    let mut counters: HashMap<(&'static str, String), u64> = HashMap::new();
+    let mut unmatched_ends = 0u64;
+
+    let cat_stat = |cats: &mut Vec<(&'static str, CatStat)>, cat: &'static str| -> usize {
+        match cats.iter().position(|(c, _)| *c == cat) {
+            Some(i) => i,
+            None => {
+                cats.push((cat, CatStat::default()));
+                cats.len() - 1
+            }
+        }
+    };
+
+    for ev in &trace.events {
+        let stack = stacks.entry(ev.tid).or_default();
+        match ev.phase {
+            Phase::Begin => stack.push(Open {
+                cat: ev.cat,
+                name: ev.name.to_string(),
+                begin_ns: ev.t_ns,
+                child_ns: 0,
+            }),
+            Phase::End => {
+                // Tolerate imbalance (a drain between begin and end):
+                // only close a frame that matches this end's cat.
+                let Some(top) = stack.last() else {
+                    unmatched_ends += 1;
+                    continue;
+                };
+                if top.cat != ev.cat {
+                    unmatched_ends += 1;
+                    continue;
+                }
+                let open = stack.pop().unwrap();
+                let dur = ev.t_ns.saturating_sub(open.begin_ns);
+                let i = cat_stat(&mut cats, open.cat);
+                cats[i].1.self_ns += dur.saturating_sub(open.child_ns);
+                cats[i].1.spans += 1;
+                if let Some(parent) = stack.last_mut() {
+                    parent.child_ns += dur;
+                } else {
+                    cats[i].1.total_ns += dur;
+                }
+                let e = names.entry((open.cat, open.name)).or_insert((0, 0));
+                e.0 += dur;
+                e.1 += 1;
+            }
+            Phase::Instant => {
+                *counters.entry((ev.cat, ev.name.to_string())).or_insert(0) += 1;
+            }
+        }
+    }
+    let unclosed: usize = stacks.values().map(Vec::len).sum();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace report — {} events across {} thread(s)\n",
+        trace.events.len(),
+        trace.threads.len().max(stacks.len())
+    ));
+
+    if !cats.is_empty() {
+        cats.sort_by_key(|(_, st)| std::cmp::Reverse(st.self_ns));
+        out.push_str("\nper-stage time (total = top-level spans, self = minus children)\n");
+        out.push_str(&format!(
+            "  {:<10} {:>12} {:>12} {:>8}\n",
+            "stage", "total", "self", "spans"
+        ));
+        for (cat, st) in &cats {
+            out.push_str(&format!(
+                "  {:<10} {:>12} {:>12} {:>8}\n",
+                cat,
+                fmt_ns(st.total_ns),
+                fmt_ns(st.self_ns),
+                st.spans
+            ));
+        }
+    }
+
+    if !names.is_empty() && top_n > 0 {
+        let mut hot: Vec<(NameKey, (u64, u64))> = names.into_iter().collect();
+        hot.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then_with(|| a.0.cmp(&b.0)));
+        hot.truncate(top_n);
+        out.push_str(&format!("\nhottest entities (top {top_n} by span time)\n"));
+        for (rank, ((cat, name), (dur, count))) in hot.iter().enumerate() {
+            out.push_str(&format!(
+                "  {:>2}. {:<28} {:>12}  ×{}\n",
+                rank + 1,
+                format!("{cat}:{name}"),
+                fmt_ns(*dur),
+                count
+            ));
+        }
+    }
+
+    if !counters.is_empty() {
+        let mut counts: Vec<((&'static str, String), u64)> = counters.into_iter().collect();
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out.push_str("\ncounters (instant events)\n");
+        for ((cat, name), n) in counts {
+            out.push_str(&format!("  {:<32} {:>8}\n", format!("{cat}:{name}"), n));
+        }
+    }
+
+    if unclosed > 0 || unmatched_ends > 0 {
+        out.push_str(&format!(
+            "\n({unclosed} span(s) still open, {unmatched_ends} unmatched end(s) — partial drain?)\n"
+        ));
+    }
+    out
+}
+
+/// Human duration: picks ns / µs / ms / s to keep 3-4 significant digits.
+fn fmt_ns(ns: u64) -> String {
+    if ns < 10_000 {
+        format!("{ns}ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, Phase, Trace};
+
+    fn ev(t: u64, phase: Phase, cat: &'static str, name: &str) -> Event {
+        Event::new(t, 0, phase, cat, name.to_string())
+    }
+
+    #[test]
+    fn self_time_excludes_children() {
+        let trace = Trace {
+            events: vec![
+                ev(0, Phase::Begin, "dsl", "run"),
+                ev(100, Phase::Begin, "compact", "step:a"),
+                ev(700, Phase::End, "compact", "step:a"),
+                ev(1_000, Phase::End, "dsl", "run"),
+                ev(1_100, Phase::Instant, "compact", "rebuild"),
+            ],
+            threads: vec![],
+        };
+        let report = render(&trace, 5);
+        // dsl: total 1000, self 400; compact nested: total 0 (not top-level), self 600.
+        assert!(report.contains("dsl"), "{report}");
+        assert!(report.contains("1000ns"), "{report}");
+        assert!(report.contains("400ns"), "{report}");
+        assert!(report.contains("600ns"), "{report}");
+        assert!(report.contains("compact:rebuild"), "{report}");
+        assert!(!report.contains("still open"), "{report}");
+    }
+
+    #[test]
+    fn partial_drains_are_reported_not_miscounted() {
+        let trace = Trace {
+            events: vec![
+                ev(0, Phase::Begin, "opt", "expand"),
+                ev(50, Phase::End, "drc", "check"), // end with no matching begin
+            ],
+            threads: vec![],
+        };
+        let report = render(&trace, 5);
+        assert!(report.contains("1 span(s) still open"), "{report}");
+        assert!(report.contains("1 unmatched end(s)"), "{report}");
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(25_500), "25.5µs");
+        assert_eq!(fmt_ns(12_000_000), "12.0ms");
+        assert_eq!(fmt_ns(12_000_000_000), "12.00s");
+    }
+}

@@ -1,0 +1,86 @@
+//! Golden-file test for the Chrome `trace_event` exporter.
+//!
+//! A fixed, hand-built [`Trace`] must serialize byte for byte to
+//! `tests/golden/chrome_basic.json`. The exporter is a pure function of
+//! the trace (timestamps are carried in the events, never read from the
+//! clock), so the output is fully deterministic.
+//!
+//! Regenerate after an intentional format change with
+//! `UPDATE_EXPECTED=1 cargo test -p amgen-trace`.
+
+use std::path::{Path, PathBuf};
+
+use amgen_trace::{Event, Phase, ThreadInfo, Trace};
+
+fn golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/chrome_basic.json")
+}
+
+/// A small trace exercising every record kind the exporter emits:
+/// thread-name metadata, nested spans, a second worker track, sub-µs
+/// timestamps, an instant event, and args of all three value types
+/// (including a string that needs JSON escaping).
+fn fixture() -> Trace {
+    let events = vec![
+        Event::new(0, 0, Phase::Begin, "opt", "search"),
+        Event::new(1_500, 1, Phase::Begin, "opt", "expand:depth0"),
+        Event::new(2_000, 0, Phase::Instant, "opt", "incumbent")
+            .with_arg("score", 12.5)
+            .with_arg("depth", 3i64),
+        Event::new(4_250, 1, Phase::End, "opt", "expand:depth0").with_arg("children", 4i64),
+        Event::new(9_000, 0, Phase::End, "opt", "search")
+            .with_arg("note", "quote \" backslash \\ newline \n done")
+            .with_arg("explored", 17i64),
+    ];
+    let threads = vec![
+        ThreadInfo {
+            tid: 0,
+            name: Some("main".to_string()),
+        },
+        ThreadInfo {
+            tid: 1,
+            name: Some("opt-worker-0".to_string()),
+        },
+    ];
+    Trace { events, threads }
+}
+
+#[test]
+fn chrome_json_matches_golden_file() {
+    let rendered = fixture().to_chrome_json();
+    let path = golden_path();
+    if std::env::var_os("UPDATE_EXPECTED").is_some() {
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing {path:?}; run UPDATE_EXPECTED=1 cargo test"));
+    assert_eq!(
+        rendered, expected,
+        "Chrome JSON diverged from golden file (UPDATE_EXPECTED=1 to regenerate)"
+    );
+}
+
+#[test]
+fn golden_fixture_covers_the_format() {
+    // Belt and braces alongside the byte comparison: the fixture must
+    // keep exercising each structural feature the golden file locks in.
+    let json = fixture().to_chrome_json();
+    for needle in [
+        "\"traceEvents\":[",               // container
+        "\"displayTimeUnit\":\"ms\"",      // trailing metadata
+        "\"ph\":\"M\"",                    // thread_name metadata records
+        "\"name\":\"thread_name\"",        //
+        "\"opt-worker-0\"",                // worker track naming
+        "\"ph\":\"B\"",                    // span begin
+        "\"ph\":\"E\"",                    // span end
+        "\"ph\":\"i\"",                    // instant event...
+        "\"s\":\"t\"",                     // ...with thread scope
+        "\"ts\":1.500",                    // sub-µs timestamp formatting
+        "\"score\":12.5",                  // float arg
+        "\"depth\":3",                     // int arg
+        "\\\" backslash \\\\ newline \\n", // string escaping
+    ] {
+        assert!(json.contains(needle), "missing {needle:?} in:\n{json}");
+    }
+}

@@ -4,6 +4,9 @@
 //!
 //! ```sh
 //! cargo run --release --example optimize_order
+//! # with a Chrome trace of the search (one track per optimizer worker —
+//! # load the file in chrome://tracing or https://ui.perfetto.dev):
+//! cargo run --release --example optimize_order -- --trace opt.json
 //! ```
 
 use amgen::opt::{Optimizer, RatingWeights, SearchOptions, Step};
@@ -26,11 +29,30 @@ fn steps(tech: &Tech, k: usize) -> Vec<Step> {
 
 fn main() {
     let tech = Tech::bicmos_1u();
-    let opt = Optimizer::new(&tech, RatingWeights::default());
+    let trace_path = amgen::trace::trace_path_from_args();
+    // Full detail: a one-shot run wants every node expansion in the
+    // trace, not just the stage-level spans.
+    let ctx = GenCtx::from_tech(&tech).with_tracing_at(if trace_path.is_some() {
+        Detail::Fine
+    } else {
+        Detail::Off
+    });
+    let opt = Optimizer::new(&ctx, RatingWeights::default());
 
     let s = steps(&tech, 5);
     let seq = opt.optimize_order(&s, SearchOptions::default()).unwrap();
-    let par = opt.optimize_order(&s, SearchOptions::parallel()).unwrap();
+    // Pin the worker count (instead of auto-sizing to the CPU count) so
+    // the parallel search — and its per-worker trace tracks — looks the
+    // same on every machine. The result is schedule-independent.
+    let par = opt
+        .optimize_order(
+            &s,
+            SearchOptions {
+                workers: 4,
+                ..SearchOptions::parallel()
+            },
+        )
+        .unwrap();
     println!(
         "sequential: score {:.1}, order {:?}, {} explored / {} pruned / {} dominated, {:.1} ms",
         seq.rating.score,
@@ -67,4 +89,10 @@ fn main() {
     );
     assert!(!tight.complete);
     assert_eq!(tight.order.len(), s.len());
+
+    if let Some(path) = trace_path {
+        println!("\n{}", ctx.run_report());
+        ctx.trace.drain().write_chrome_file(&path).unwrap();
+        println!("chrome trace written to {}", path.display());
+    }
 }

@@ -3,6 +3,8 @@
 //!
 //! ```sh
 //! cargo run --example quickstart
+//! # with a Chrome trace of every pipeline stage (chrome://tracing):
+//! cargo run --example quickstart -- --trace quickstart.json
 //! ```
 
 use amgen::prelude::*;
@@ -22,8 +24,16 @@ ENT ContactRow(layer, <W>, <L>)
   ARRAY("contact")
 "#;
 
-    // 3. Run it.
-    let mut interp = Interpreter::new(&tech);
+    // 3. Run it — through a shared generation context so the optional
+    //    `--trace` flag sees every stage (DSL, primitives, compaction,
+    //    DRC) on one timeline.
+    let trace_path = amgen::trace::trace_path_from_args();
+    let ctx = GenCtx::from_tech(&tech).with_tracing_at(if trace_path.is_some() {
+        Detail::Fine
+    } else {
+        Detail::Off
+    });
+    let mut interp = Interpreter::new(&ctx);
     let objects = interp.run(source).expect("program runs");
     let row = &objects["row"];
     println!(
@@ -36,7 +46,7 @@ ENT ContactRow(layer, <W>, <L>)
 
     // 4. Verify the design rules (the environment already guaranteed
     //    them; the checker is the independent referee).
-    let violations = Drc::new(&tech).check(row);
+    let violations = Drc::new(&ctx).check(row);
     println!("DRC: {} violation(s)", violations.len());
     assert!(violations.is_empty());
 
@@ -45,4 +55,14 @@ ENT ContactRow(layer, <W>, <L>)
     std::fs::write("out/quickstart.svg", render_svg(&tech, row)).expect("write svg");
     std::fs::write("out/quickstart.gds", write_gds(&tech, row)).expect("write gds");
     println!("wrote out/quickstart.svg and out/quickstart.gds");
+
+    // 6. Optionally dump the structured trace + run report.
+    if let Some(path) = trace_path {
+        println!("\n{}", ctx.run_report());
+        ctx.trace
+            .drain()
+            .write_chrome_file(&path)
+            .expect("write trace");
+        println!("chrome trace written to {}", path.display());
+    }
 }

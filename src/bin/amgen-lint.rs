@@ -26,6 +26,7 @@ struct Opts {
     examples: bool,
     stdlib: bool,
     time: bool,
+    trace: Option<std::path::PathBuf>,
     files: Vec<String>,
 }
 
@@ -37,7 +38,8 @@ fn usage() -> ExitCode {
          All files given in one invocation are linted as one set.\n\
          --examples adds the embedded paper programs (Figs. 2, 7, ...).\n\
          --stdlib preloads the embedded module library for the file set.\n\
-         --deny-warnings exits non-zero on warnings as well as errors."
+         --deny-warnings exits non-zero on warnings as well as errors.\n\
+         --trace out.json writes a Chrome-trace of the run (per-source spans)."
     );
     ExitCode::from(2)
 }
@@ -48,14 +50,21 @@ fn parse_args() -> Result<Opts, ExitCode> {
         examples: false,
         stdlib: false,
         time: false,
+        trace: amgen::trace::trace_path_from_args(),
         files: Vec::new(),
     };
-    for a in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
         match a.as_str() {
             "--deny-warnings" => opts.deny_warnings = true,
             "--examples" => opts.examples = true,
             "--stdlib" => opts.stdlib = true,
             "--time" => opts.time = true,
+            // Value already picked up by `trace_path_from_args`.
+            "--trace" => {
+                args.next();
+            }
+            a if a.starts_with("--trace=") => {}
             "-h" | "--help" => return Err(usage()),
             f if !f.starts_with('-') => opts.files.push(f.to_string()),
             other => {
@@ -77,6 +86,8 @@ fn main() -> ExitCode {
     };
 
     let rules = Tech::bicmos_1u().compile_arc();
+    let sink = amgen::trace::TraceSink::new();
+    sink.set_enabled(opts.trace.is_some());
     let mut sources: Vec<(String, String)> = Vec::new();
     for f in &opts.files {
         match std::fs::read_to_string(f) {
@@ -111,7 +122,11 @@ fn main() -> ExitCode {
             .iter()
             .map(|(n, s)| (n.as_str(), s.as_str()))
             .collect();
-        for ((name, src), diags) in sources.iter().zip(linter.lint_set(&set)) {
+        let diags_per_source = {
+            let _span = sink.span("lint", || format!("lint_set:{} file(s)", set.len()));
+            linter.lint_set(&set)
+        };
+        for ((name, src), diags) in sources.iter().zip(diags_per_source) {
             findings.push((name.clone(), src.clone(), diags));
         }
     }
@@ -132,11 +147,23 @@ fn main() -> ExitCode {
             ("<stdlib:CENTROID_PLACEMENT>", stdlib::CENTROID_PLACEMENT),
             ("<stdlib:VARIANT_ROW>", stdlib::VARIANT_ROW),
         ] {
-            findings.push((name.to_string(), src.to_string(), linter.lint_source(src)));
+            let diags = {
+                let mut span = sink.span("lint", || format!("lint:{name}"));
+                let diags = linter.lint_source(src);
+                span.arg("diagnostics", diags.len());
+                diags
+            };
+            findings.push((name.to_string(), src.to_string(), diags));
         }
     }
 
     let elapsed = t0.elapsed();
+    if let Some(path) = &opts.trace {
+        if let Err(e) = sink.drain().write_chrome_file(path) {
+            eprintln!("amgen-lint: cannot write trace `{}`: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
 
     let mut errors = 0usize;
     let mut warnings = 0usize;

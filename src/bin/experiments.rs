@@ -25,19 +25,39 @@ fn header(title: &str) {
 fn main() {
     let tech = Tech::bicmos_1u();
     std::fs::create_dir_all("out").expect("create out/");
+    // `--trace out.json` (or AMGEN_TRACE=out.json) records every figure
+    // into one Chrome-trace file; stages sharing `ctx` contribute spans.
+    let trace_path = amgen::trace::trace_path_from_args();
+    let ctx = GenCtx::from_tech(&tech).with_tracing_at(if trace_path.is_some() {
+        Detail::Fine
+    } else {
+        Detail::Off
+    });
 
-    fig1(&tech);
-    fig3(&tech);
-    fig4(&tech);
-    fig5(&tech);
-    fig6(&tech);
-    fig9(&tech);
-    fig10(&tech);
-    code_length();
-    opt_order(&tech);
-    catalog(&tech);
+    let figure = |name: &'static str, f: &dyn Fn()| {
+        let _span = ctx.trace.span("experiments", || name);
+        f();
+    };
+    figure("fig1", &|| fig1(&tech));
+    figure("fig3", &|| fig3(&tech));
+    figure("fig4", &|| fig4(&tech));
+    figure("fig5", &|| fig5(&tech, &ctx));
+    figure("fig6", &|| fig6(&tech, &ctx));
+    figure("fig9", &|| fig9(&tech));
+    figure("fig10", &|| fig10(&tech, &ctx));
+    figure("code_length", &code_length);
+    figure("opt_order", &|| opt_order(&tech, &ctx));
+    figure("catalog", &|| catalog(&tech, &ctx));
     println!();
     println!("done — SVG/GDS/CIF artifacts in out/");
+    if let Some(path) = trace_path {
+        println!("{}", ctx.run_report());
+        ctx.trace
+            .drain()
+            .write_chrome_file(&path)
+            .expect("write trace");
+        println!("chrome trace written to {}", path.display());
+    }
 }
 
 /// Fig. 1: the 16 overlap cases of the latch-up subtraction.
@@ -118,7 +138,7 @@ fn fig4(tech: &Tech) {
 }
 
 /// The whole module library: one line per generator (sizes, check).
-fn catalog(tech: &Tech) {
+fn catalog(tech: &Tech, ctx: &GenCtx) {
     use amgen::modgen::capacitor::{mos_capacitor, MosCapParams};
     use amgen::modgen::cascode::{cascode_pair, CascodeParams};
     use amgen::modgen::diode::{diode_transistor, DiodeParams};
@@ -130,7 +150,7 @@ fn catalog(tech: &Tech) {
     use amgen::modgen::{contact_row, mos_transistor, ContactRowParams, MosParams, MosType};
 
     header("Module library catalogue");
-    let drc = Drc::new(tech);
+    let drc = Drc::new(ctx);
     let print_row = |name: &str, m: &LayoutObject, extra: String| {
         let bb = m.bbox();
         let shorts = drc
@@ -149,40 +169,40 @@ fn catalog(tech: &Tech) {
         assert!(amgen::export::parse_cif_summary(&cif).is_ok());
     };
     let poly = tech.layer("poly").unwrap();
-    let row = contact_row(tech, poly, &ContactRowParams::new().with_w(um(10))).unwrap();
+    let row = contact_row(ctx, poly, &ContactRowParams::new().with_w(um(10))).unwrap();
     print_row("contact_row", &row, String::new());
-    let m = mos_transistor(tech, &MosParams::new(MosType::N).with_w(um(10))).unwrap();
+    let m = mos_transistor(ctx, &MosParams::new(MosType::N).with_w(um(10))).unwrap();
     print_row("mos_transistor", &m, String::new());
-    let m = interdigitated(tech, &InterdigitParams::new(MosType::N, 4).with_w(um(8))).unwrap();
+    let m = interdigitated(ctx, &InterdigitParams::new(MosType::N, 4).with_w(um(8))).unwrap();
     print_row("interdigitated x4", &m, String::new());
-    let m = stacked_transistor(tech, &StackedParams::new(MosType::N, 4).with_w(um(6))).unwrap();
+    let m = stacked_transistor(ctx, &StackedParams::new(MosType::N, 4).with_w(um(6))).unwrap();
     print_row("stacked x4", &m, String::new());
-    let m = diode_transistor(tech, &DiodeParams::new(MosType::N).with_w(um(8))).unwrap();
+    let m = diode_transistor(ctx, &DiodeParams::new(MosType::N).with_w(um(8))).unwrap();
     print_row("diode_connected", &m, String::new());
-    let m = current_mirror(tech, &MirrorParams::new(MosType::N).with_w(um(6))).unwrap();
+    let m = current_mirror(ctx, &MirrorParams::new(MosType::N).with_w(um(6))).unwrap();
     print_row("current_mirror", &m, String::new());
-    let m = cascode_pair(tech, &CascodeParams::new(MosType::N).with_w(um(6))).unwrap();
+    let m = cascode_pair(ctx, &CascodeParams::new(MosType::N).with_w(um(6))).unwrap();
     print_row("cascode_pair", &m, String::new());
-    let m = common_centroid_quad(tech, &QuadParams::new(MosType::N).with_w(um(6))).unwrap();
+    let m = common_centroid_quad(ctx, &QuadParams::new(MosType::N).with_w(um(6))).unwrap();
     print_row("centroid_quad (2-D)", &m, String::new());
-    let (m, ohms) = poly_resistor(tech, &ResistorParams::new(6).with_leg_l(um(15))).unwrap();
+    let (m, ohms) = poly_resistor(ctx, &ResistorParams::new(6).with_leg_l(um(15))).unwrap();
     print_row("poly_resistor", &m, format!("≈ {ohms:.0} Ω"));
-    let (m, ff) = mos_capacitor(tech, &MosCapParams::new(MosType::N).with_side(um(12))).unwrap();
+    let (m, ff) = mos_capacitor(ctx, &MosCapParams::new(MosType::N).with_side(um(12))).unwrap();
     print_row("mos_capacitor", &m, format!("≈ {ff:.2} fF"));
 }
 
 /// Fig. 5: auto-connect and the variable-edge ablation.
-fn fig5(tech: &Tech) {
+fn fig5(tech: &Tech, ctx: &GenCtx) {
     header("Fig. 5 — variable edges (fixed vs variable ablation)");
     let poly = tech.layer("poly").unwrap();
     let m1 = tech.layer("metal1").unwrap();
-    let comp = Compactor::new(tech);
+    let comp = Compactor::new(ctx);
     let run = |variable: bool| -> (i64, usize, usize) {
         let mut p = ContactRowParams::new().with_w(um(4)).with_l(um(12));
         if variable {
             p = p.with_variable_edges();
         }
-        let row = contact_row(tech, poly, &p).unwrap();
+        let row = contact_row(ctx, poly, &p).unwrap();
         let mut probe = LayoutObject::new("probe");
         let sig = probe.net("sig");
         probe.push(Shape::new(m1, Rect::new(0, 0, um(2), um(12))).with_net(sig));
@@ -210,16 +230,16 @@ fn fig5(tech: &Tech) {
 }
 
 /// Figs. 6/7: the differential pair, native and through the DSL.
-fn fig6(tech: &Tech) {
+fn fig6(tech: &Tech, ctx: &GenCtx) {
     header("Figs. 6/7 — MOS differential pair");
     let t0 = Instant::now();
     let native = diff_pair(
-        tech,
+        ctx,
         &DiffPairParams::new(MosType::P).with_w(um(10)).with_l(um(2)),
     )
     .unwrap();
     let native_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let mut interp = Interpreter::new(tech);
+    let mut interp = Interpreter::new(ctx);
     interp.load(stdlib::FIG2_CONTACT_ROW).unwrap();
     interp.load(stdlib::FIG7_DIFF_PAIR).unwrap();
     let t0 = Instant::now();
@@ -296,18 +316,18 @@ fn fig9(tech: &Tech) {
 }
 
 /// Fig. 10: the centroid pair.
-fn fig10(tech: &Tech) {
+fn fig10(tech: &Tech, ctx: &GenCtx) {
     header("Fig. 10 — centroidal cross-coupled pair (block E)");
     let t0 = Instant::now();
     let m = centroid_diff_pair(
-        tech,
+        ctx,
         &CentroidParams::paper(MosType::N)
             .with_w(um(6))
             .with_l(um(1)),
     )
     .unwrap();
     let ms = t0.elapsed().as_secs_f64() * 1e3;
-    let counts = Router::new(tech).crossing_counts(&m);
+    let counts = Router::new(ctx).crossing_counts(&m);
     let get = |n: &str| {
         counts
             .iter()
@@ -332,7 +352,7 @@ fn fig10(tech: &Tech) {
     );
     println!(
         "  latch-up clean = {} (substrate contacts included in the module)",
-        latchup::check_latchup(tech, &m).is_empty()
+        latchup::check_latchup(ctx, &m).is_empty()
     );
     println!("  build time {ms:.1} ms (paper: 5 s on 1996 hardware)");
     std::fs::write("out/fig10_centroid.svg", render_svg(tech, &m)).unwrap();
@@ -343,7 +363,7 @@ fn fig10(tech: &Tech) {
         .map(str::trim)
         .filter(|l| !l.is_empty() && !l.starts_with("//"))
         .count();
-    let mut i = Interpreter::new(tech);
+    let mut i = Interpreter::new(ctx);
     i.load(stdlib::FIG2_CONTACT_ROW).unwrap();
     i.load(stdlib::CENTROID_PLACEMENT).unwrap();
     let out = i
@@ -386,7 +406,7 @@ fn code_length() {
 }
 
 /// §2.4: the optimization mode.
-fn opt_order(tech: &Tech) {
+fn opt_order(tech: &Tech, ctx: &GenCtx) {
     header("T-opt — compaction-order optimization (section 2.4)");
     let poly = tech.layer("poly").unwrap();
     let mut seed = LayoutObject::new("L");
@@ -399,7 +419,7 @@ fn opt_order(tech: &Tech) {
         sq.push(Shape::new(poly, Rect::new(0, y0, um(2), y0 + um(2))));
         steps.push(Step::new(sq, Dir::East, CompactOptions::new()));
     }
-    let opt = Optimizer::new(tech, RatingWeights::default());
+    let opt = Optimizer::new(ctx, RatingWeights::default());
     let (_, written) = opt.build(&steps).unwrap();
     let best = opt
         .optimize_order(&steps, SearchOptions::default())

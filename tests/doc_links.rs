@@ -1,0 +1,104 @@
+//! Dead-link checker for the repo's markdown documentation: every
+//! relative link target in README.md, DESIGN.md and docs/*.md must
+//! exist on disk. External (http/mailto) and pure-anchor links are
+//! skipped; `#fragment` suffixes on file links are stripped (anchor
+//! names are not verified, only the file).
+
+use std::path::{Path, PathBuf};
+
+/// Extracts the targets of inline markdown links `[text](target)` from
+/// `src`, ignoring fenced code blocks (``` ... ```) and inline code
+/// spans, where bracket-paren sequences are code, not links.
+fn link_targets(src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in src.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        let mut in_code = false;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'`' => in_code = !in_code,
+                b']' if !in_code && i + 1 < bytes.len() && bytes[i + 1] == b'(' => {
+                    // Scan to the matching close paren (targets here
+                    // never contain nested parens).
+                    if let Some(off) = line[i + 2..].find(')') {
+                        out.push(line[i + 2..i + 2 + off].to_string());
+                        i += 2 + off;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+fn check_file(doc: &Path, root: &Path, dead: &mut Vec<String>) {
+    let src = std::fs::read_to_string(doc)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", doc.display()));
+    let dir = doc.parent().unwrap_or(root);
+    for target in link_targets(&src) {
+        let t = target.trim();
+        if t.is_empty()
+            || t.starts_with('#')
+            || t.starts_with("http://")
+            || t.starts_with("https://")
+            || t.starts_with("mailto:")
+        {
+            continue;
+        }
+        let path_part = t.split('#').next().unwrap();
+        let resolved = dir.join(path_part);
+        if !resolved.exists() {
+            dead.push(format!(
+                "{}: `{t}` -> {}",
+                doc.display(),
+                resolved.display()
+            ));
+        }
+    }
+}
+
+#[test]
+fn relative_doc_links_resolve() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut docs = vec![root.join("README.md"), root.join("DESIGN.md")];
+    for entry in std::fs::read_dir(root.join("docs")).expect("docs/ exists") {
+        let p = entry.unwrap().path();
+        if p.extension().is_some_and(|e| e == "md") {
+            docs.push(p);
+        }
+    }
+    assert!(
+        docs.len() >= 4,
+        "expected README, DESIGN and docs/*.md, got {docs:?}"
+    );
+
+    let mut dead = Vec::new();
+    for doc in &docs {
+        check_file(doc, &root, &mut dead);
+    }
+    assert!(dead.is_empty(), "dead relative links:\n{}", dead.join("\n"));
+}
+
+#[test]
+fn link_extraction_handles_code_and_fences() {
+    let src = "\
+[a](docs/A.md) and [b](../B.md#frag)\n\
+`not [a](link.md)` in code\n\
+```\n\
+[fenced](nope.md)\n\
+```\n\
+plain ](stray.md) counts\n";
+    let t = link_targets(src);
+    assert_eq!(t, vec!["docs/A.md", "../B.md#frag", "stray.md"]);
+}
