@@ -22,6 +22,20 @@ cargo bench -p amgen-bench --bench rule_lookup
 # Tracing overhead smoke: the coarse-traced Fig. 6 generator must stay
 # within 10% of the untraced run (the bench asserts and exits nonzero).
 cargo bench -p amgen-bench --bench trace_overhead
+# Chaos gate: the seeded fault-injection sweep over the figure workloads
+# (no panic escapes a public API, every failure is typed and staged, the
+# optimizer never wedges) runs in release to also exercise the optimized
+# unwind paths.
+cargo test --release -q -p amgen-faults
+# Panic isolation depends on unwinding: reject any attempt to switch a
+# workspace crate (or profile) to panic="abort".
+if grep -rn 'panic *= *"abort"' --include=Cargo.toml .; then
+    echo 'ci: panic="abort" would break catch_unwind worker isolation' >&2
+    exit 1
+fi
+# Robustness overhead smoke: budget-armed fig06 <= 102% of plain, a
+# never-firing hook <= 105% (the bench asserts and exits nonzero).
+cargo bench -p amgen-bench --bench fault_overhead
 # Documentation gate: every relative link in README/DESIGN/docs must
 # resolve (the checker also runs as part of the workspace tests above;
 # kept explicit so a docs-only change can run it alone).

@@ -1,6 +1,6 @@
 //! The constraint scan and placement engine.
 
-use amgen_core::{GenCtx, IntoGenCtx, Stage};
+use amgen_core::{FaultSite, GenCtx, GenError, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Shape};
 use amgen_geom::{Coord, Dir, Rect, Vector};
 use amgen_tech::{LayerKind, RuleSet};
@@ -26,20 +26,43 @@ pub struct CompactReport {
 
 /// Errors from a compaction step.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CompactError {
     /// The object to compact has no shapes.
     EmptyObject,
+    /// Budget exhaustion, cancellation or an injected fault, from the
+    /// shared generation context.
+    Gen(GenError),
 }
 
 impl std::fmt::Display for CompactError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CompactError::EmptyObject => write!(f, "cannot compact an empty object"),
+            CompactError::Gen(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for CompactError {}
+
+impl From<GenError> for CompactError {
+    fn from(e: GenError) -> CompactError {
+        CompactError::Gen(e)
+    }
+}
+
+impl From<CompactError> for GenError {
+    /// Unifies compaction failures under the `amgen-core` error: typed
+    /// robustness errors pass through untouched, stage-specific ones are
+    /// wrapped with [`Stage::Compact`] context.
+    fn from(e: CompactError) -> GenError {
+        match e {
+            CompactError::Gen(g) => g,
+            other => GenError::stage_msg(Stage::Compact, other.to_string()),
+        }
+    }
+}
 
 /// The successive compactor, bound to one technology.
 #[derive(Debug, Clone)]
@@ -94,6 +117,10 @@ impl Compactor {
         if obj.is_empty() {
             return Err(CompactError::EmptyObject);
         }
+        // Robustness checkpoint: one compaction step of budget, the
+        // shared cancellation/deadline probe, and the chaos-test hook.
+        self.ctx.charge_compact_step()?;
+        self.ctx.fault_check(FaultSite::CompactStep, obj.name())?;
         let t0 = std::time::Instant::now();
         let mut span = self
             .ctx

@@ -25,6 +25,7 @@
 //! | module library (contact rows → centroid pairs) | [`modgen`] | §2.5, §3 |
 //! | SVG / GDSII export | [`export`] | tooling |
 //! | the BiCMOS amplifier example | [`amp`] | §3, Figs. 8–10 |
+//! | deterministic fault injection (chaos testing) | [`faults`] | tooling |
 //!
 //! # Quickstart
 //!
@@ -83,6 +84,7 @@ pub use amgen_drc as drc;
 pub use amgen_dsl as dsl;
 pub use amgen_export as export;
 pub use amgen_extract as extract;
+pub use amgen_faults as faults;
 pub use amgen_geom as geom;
 pub use amgen_lint as lint;
 pub use amgen_modgen as modgen;
@@ -95,12 +97,16 @@ pub use amgen_trace as trace;
 /// The most common types, for glob import.
 pub mod prelude {
     pub use amgen_compact::{CompactOptions, Compactor};
-    pub use amgen_core::{GenCtx, GenOptions, IntoGenCtx, Metrics, MetricsSnapshot, Stage};
+    pub use amgen_core::{
+        Budget, CancelToken, FaultAction, FaultHook, FaultSite, GenCtx, GenError, GenErrorKind,
+        GenOptions, GenResult, IntoGenCtx, Metrics, MetricsSnapshot, Resource, Stage,
+    };
     pub use amgen_db::{LayoutObject, Port, Shape, ShapeRole};
     pub use amgen_drc::Drc;
     pub use amgen_dsl::Interpreter;
     pub use amgen_export::{render_svg, write_gds};
     pub use amgen_extract::Extractor;
+    pub use amgen_faults::FaultPlan;
     pub use amgen_geom::{um, Dir, Point, Rect, Region, Vector};
     pub use amgen_opt::{OptResult, Optimizer, RatingWeights, SearchOptions, Step};
     pub use amgen_prim::Primitives;

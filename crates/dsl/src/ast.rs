@@ -117,6 +117,19 @@ impl Stmt {
     pub fn line(&self) -> usize {
         self.span().line as usize
     }
+
+    /// Short static name of the statement kind (fault-injection detail,
+    /// diagnostics).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Stmt::Assign { .. } => "assign",
+            Stmt::Call(_) => "call",
+            Stmt::Compact { .. } => "compact",
+            Stmt::For { .. } => "for",
+            Stmt::If { .. } => "if",
+            Stmt::Variant { .. } => "variant",
+        }
+    }
 }
 
 /// A call with positional and keyword arguments.

@@ -3,7 +3,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use amgen_compact::{CompactOptions, Compactor};
-use amgen_core::{GenCtx, IntoGenCtx, Stage};
+use amgen_core::{FaultSite, GenCtx, GenError, IntoGenCtx, Resource, Stage};
 use amgen_db::LayoutObject;
 use amgen_geom::Dir;
 use amgen_opt::{Optimizer, RatingWeights};
@@ -16,7 +16,12 @@ use crate::value::Value;
 
 /// Errors from parsing or executing the language.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum DslError {
+    /// Budget exhaustion, cancellation or an injected fault, from the
+    /// shared generation context. Raised by the per-statement fuel meter,
+    /// the entity recursion cap, and any primitive the program invokes.
+    Gen(GenError),
     /// Lexing/parsing failed.
     Parse(ParseError),
     /// Execution failed.
@@ -33,6 +38,7 @@ pub enum DslError {
 impl std::fmt::Display for DslError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            DslError::Gen(e) => write!(f, "{e}"),
             DslError::Parse(e) => write!(f, "parse error: {e}"),
             DslError::Runtime { line, message } => write!(f, "line {line}: {message}"),
             DslError::TooManyVariants(n) => {
@@ -47,6 +53,24 @@ impl std::error::Error for DslError {}
 impl From<ParseError> for DslError {
     fn from(e: ParseError) -> DslError {
         DslError::Parse(e)
+    }
+}
+
+impl From<GenError> for DslError {
+    fn from(e: GenError) -> DslError {
+        DslError::Gen(e)
+    }
+}
+
+impl From<DslError> for GenError {
+    /// Unifies interpreter failures under the `amgen-core` error: typed
+    /// robustness errors pass through, language-specific ones are wrapped
+    /// with [`Stage::Dsl`] context.
+    fn from(e: DslError) -> GenError {
+        match e {
+            DslError::Gen(g) => g,
+            other => GenError::stage_msg(Stage::Dsl, other.to_string()),
+        }
     }
 }
 
@@ -74,6 +98,10 @@ enum Exec {
 struct Ctx<'a> {
     choices: &'a [usize],
     cursor: usize,
+    /// Current entity-call nesting depth, checked against the budget's
+    /// recursion cap so runaway (mutually) recursive entities surface as
+    /// a typed error instead of a native stack overflow.
+    depth: usize,
 }
 
 struct Frame {
@@ -185,6 +213,7 @@ impl Interpreter {
             let mut ctx = Ctx {
                 choices: &[],
                 cursor: 0,
+                depth: 0,
             };
             match self.exec_stmt(stmt, &mut frame, &mut ctx) {
                 Ok(()) => {}
@@ -231,6 +260,7 @@ impl Interpreter {
             let mut ctx = Ctx {
                 choices: &prefix,
                 cursor: 0,
+                depth: 0,
             };
             let mut frame = Frame {
                 vars: HashMap::new(),
@@ -307,6 +337,7 @@ impl Interpreter {
             let mut ctx = Ctx {
                 choices: &prefix,
                 cursor: 0,
+                depth: 0,
             };
             let bound: Vec<(Option<String>, Value)> = args
                 .iter()
@@ -336,6 +367,22 @@ impl Interpreter {
         }))
     }
 
+    /// Wraps a stage failure with the statement's source line — except
+    /// typed robustness errors (budget exhaustion, cancellation, injected
+    /// faults), which pass through as [`DslError::Gen`] so callers can
+    /// still match on them.
+    fn stage_fail(line: usize, e: impl Into<GenError> + ToString) -> Exec {
+        let text = e.to_string();
+        let g: GenError = e.into();
+        match g.kind {
+            amgen_core::GenErrorKind::Stage(_) => Exec::Fail(DslError::Runtime {
+                line,
+                message: text,
+            }),
+            _ => Exec::Fail(DslError::Gen(g)),
+        }
+    }
+
     fn exec_block(&self, body: &[Stmt], frame: &mut Frame, ctx: &mut Ctx) -> Result<(), Exec> {
         for stmt in body {
             self.exec_stmt(stmt, frame, ctx)?;
@@ -345,6 +392,15 @@ impl Interpreter {
 
     fn exec_stmt(&self, stmt: &Stmt, frame: &mut Frame, ctx: &mut Ctx) -> Result<(), Exec> {
         let line = stmt.line();
+        // Every statement costs one unit of fuel, so any program — huge
+        // FOR ranges and recursive entities included — terminates within
+        // a finite budget with a typed error instead of hanging.
+        self.ctx
+            .charge_fuel(1, Stage::Dsl)
+            .map_err(|e| Exec::Fail(DslError::Gen(e)))?;
+        self.ctx
+            .fault_check(FaultSite::DslStmt, stmt.kind_name())
+            .map_err(|e| Exec::Fail(DslError::Gen(e)))?;
         match stmt {
             Stmt::Assign { name, value, .. } => {
                 let v = self.eval_expr(value, frame, ctx, line)?;
@@ -386,7 +442,7 @@ impl Interpreter {
                 }
                 let c = Compactor::new(&self.ctx);
                 if let Err(e) = c.compact(&mut frame.obj, &child, side, &opts) {
-                    return self.fail(line, e.to_string());
+                    return Err(Self::stage_fail(line, e));
                 }
                 Ok(())
             }
@@ -573,7 +629,15 @@ impl Interpreter {
         let mut span = self
             .ctx
             .span(Stage::Dsl, || amgen_core::name!("entity:{}", entity.name));
-        self.exec_block(&entity.body, &mut frame, ctx)?;
+        if ctx.depth >= self.ctx.limits.budget().max_recursion {
+            return Err(Exec::Fail(DslError::Gen(
+                GenError::budget(Stage::Dsl, Resource::Recursion).with_entity(&entity.name),
+            )));
+        }
+        ctx.depth += 1;
+        let executed = self.exec_block(&entity.body, &mut frame, ctx);
+        ctx.depth -= 1;
+        executed?;
         span.arg("shapes", frame.obj.len());
         Ok(frame.obj)
     }
@@ -630,45 +694,29 @@ impl Interpreter {
                 let layer = layer_arg(0, "layer")?;
                 let w = dim_arg(1, "W")?;
                 let l = dim_arg(2, "L")?;
-                prim.inbox(&mut frame.obj, layer, w, l).map_err(|e| {
-                    Exec::Fail(DslError::Runtime {
-                        line,
-                        message: e.to_string(),
-                    })
-                })?;
+                prim.inbox(&mut frame.obj, layer, w, l)
+                    .map_err(|e| Self::stage_fail(line, e))?;
                 Ok(Value::Unset)
             }
             "ARRAY" => {
                 let layer = layer_arg(0, "layer")?;
-                prim.array(&mut frame.obj, layer).map_err(|e| {
-                    Exec::Fail(DslError::Runtime {
-                        line,
-                        message: e.to_string(),
-                    })
-                })?;
+                prim.array(&mut frame.obj, layer)
+                    .map_err(|e| Self::stage_fail(line, e))?;
                 Ok(Value::Unset)
             }
             "AROUND" => {
                 let layer = layer_arg(0, "layer")?;
                 let extra = dim_arg(1, "extra")?.unwrap_or(0);
-                prim.around(&mut frame.obj, layer, extra).map_err(|e| {
-                    Exec::Fail(DslError::Runtime {
-                        line,
-                        message: e.to_string(),
-                    })
-                })?;
+                prim.around(&mut frame.obj, layer, extra)
+                    .map_err(|e| Self::stage_fail(line, e))?;
                 Ok(Value::Unset)
             }
             "RING" => {
                 let layer = layer_arg(0, "layer")?;
                 let w = dim_arg(1, "W")?;
                 let cl = dim_arg(2, "clearance")?;
-                prim.ring(&mut frame.obj, layer, w, cl).map_err(|e| {
-                    Exec::Fail(DslError::Runtime {
-                        line,
-                        message: e.to_string(),
-                    })
-                })?;
+                prim.ring(&mut frame.obj, layer, w, cl)
+                    .map_err(|e| Self::stage_fail(line, e))?;
                 Ok(Value::Unset)
             }
             "TWORECTS" => {
@@ -676,12 +724,8 @@ impl Interpreter {
                 let lb = layer_arg(1, "b")?;
                 let w = dim_arg(2, "W")?;
                 let l = dim_arg(3, "L")?;
-                prim.two_rects(&mut frame.obj, la, lb, w, l).map_err(|e| {
-                    Exec::Fail(DslError::Runtime {
-                        line,
-                        message: e.to_string(),
-                    })
-                })?;
+                prim.two_rects(&mut frame.obj, la, lb, w, l)
+                    .map_err(|e| Self::stage_fail(line, e))?;
                 Ok(Value::Unset)
             }
             "NET" => {

@@ -1,0 +1,270 @@
+//! Deterministic, seed-driven fault injection for the generator pipeline.
+//!
+//! The pipeline crates poll `GenCtx::fault_check` at their existing
+//! instrumentation points — primitive calls, rule lookups, compaction
+//! steps, module-generator entries, wiring routines, optimizer workers
+//! and interpreter statements ([`FaultSite`]). When no hook is installed
+//! that poll is a single branch; the [`FaultPlan`] here is the reference
+//! hook the chaos suite installs to answer the question the paper's
+//! interactive environment raised implicitly: *what happens to a
+//! generator when any step of it can fail?*
+//!
+//! # Determinism
+//!
+//! A plan's decisions depend only on its construction (seed, rules) and
+//! the per-site occurrence count. Running the same single-threaded
+//! pipeline twice with equal plans therefore injects at the identical
+//! step — failures found by a seed sweep are replayable by seed. (Under
+//! the parallel optimizer the occurrence *order* across worker threads
+//! is scheduling-dependent; determinism there is per-occurrence-index,
+//! not per-wall-clock.)
+//!
+//! ```
+//! use amgen_core::{FaultHook, FaultSite, FaultAction};
+//! use amgen_faults::FaultPlan;
+//!
+//! // Fail the third compaction step; decisions replay exactly.
+//! let plan = FaultPlan::new(7).fail_nth(FaultSite::CompactStep, 3);
+//! let fire = |p: &FaultPlan| {
+//!     (1..=4)
+//!         .map(|_| p.decide(FaultSite::CompactStep, "obj"))
+//!         .collect::<Vec<_>>()
+//! };
+//! assert_eq!(
+//!     fire(&plan),
+//!     [FaultAction::Proceed, FaultAction::Proceed, FaultAction::Fail, FaultAction::Proceed]
+//! );
+//! assert_eq!(plan.injected(), 1);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use amgen_core::{FaultAction, FaultHook, FaultSite};
+
+/// SplitMix64 — the standard 64-bit avalanche mixer. Small, fast, and
+/// plenty for turning (seed, site, occurrence) into an unbiased coin.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Position of a site in [`FaultSite::ALL`] (the counter index).
+fn site_index(site: FaultSite) -> usize {
+    FaultSite::ALL
+        .iter()
+        .position(|s| *s == site)
+        .expect("FaultSite::ALL covers every site")
+}
+
+/// When a rule fires, relative to the site's occurrence counter.
+#[derive(Debug, Clone, Copy)]
+enum Trigger {
+    /// Exactly the `n`-th occurrence (1-based).
+    Nth(u64),
+    /// Every occurrence independently, with this probability, decided by
+    /// the seeded hash of (site, occurrence).
+    Rate(f64),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Rule {
+    site: FaultSite,
+    trigger: Trigger,
+    action: FaultAction,
+}
+
+/// A deterministic injection plan: which [`FaultSite`]s fire, when, and
+/// whether they fail (typed error) or panic (exercising `catch_unwind`
+/// isolation). Install on a context with `GenCtx::with_faults`.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<Rule>,
+    occurrences: [AtomicU64; FaultSite::ALL.len()],
+    injected: AtomicU64,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the given seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Fail the `n`-th occurrence (1-based) of `site` with a typed error.
+    #[must_use]
+    pub fn fail_nth(mut self, site: FaultSite, n: u64) -> FaultPlan {
+        self.rules.push(Rule {
+            site,
+            trigger: Trigger::Nth(n),
+            action: FaultAction::Fail,
+        });
+        self
+    }
+
+    /// Panic at the `n`-th occurrence (1-based) of `site`.
+    #[must_use]
+    pub fn panic_nth(mut self, site: FaultSite, n: u64) -> FaultPlan {
+        self.rules.push(Rule {
+            site,
+            trigger: Trigger::Nth(n),
+            action: FaultAction::Panic,
+        });
+        self
+    }
+
+    /// Fail each occurrence of `site` independently with probability
+    /// `rate` (clamped to `0.0..=1.0`), seed-deterministically.
+    #[must_use]
+    pub fn fail_rate(mut self, site: FaultSite, rate: f64) -> FaultPlan {
+        self.rules.push(Rule {
+            site,
+            trigger: Trigger::Rate(rate.clamp(0.0, 1.0)),
+            action: FaultAction::Fail,
+        });
+        self
+    }
+
+    /// Panic at each occurrence of `site` independently with probability
+    /// `rate` (clamped to `0.0..=1.0`), seed-deterministically.
+    #[must_use]
+    pub fn panic_rate(mut self, site: FaultSite, rate: f64) -> FaultPlan {
+        self.rules.push(Rule {
+            site,
+            trigger: Trigger::Rate(rate.clamp(0.0, 1.0)),
+            action: FaultAction::Panic,
+        });
+        self
+    }
+
+    /// Wraps the plan for `GenCtx::with_faults`, keeping a handle for
+    /// reading the counters after the run.
+    pub fn build(self) -> (Arc<FaultPlan>, Arc<dyn FaultHook>) {
+        let plan = Arc::new(self);
+        let hook: Arc<dyn FaultHook> = plan.clone();
+        (plan, hook)
+    }
+
+    /// Total occurrences observed at `site` so far.
+    pub fn occurrences(&self, site: FaultSite) -> u64 {
+        self.occurrences[site_index(site)].load(Ordering::Relaxed)
+    }
+
+    /// Total faults (fail or panic) this plan has injected.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// The seeded coin for one (site, occurrence) pair.
+    fn fires(&self, site: FaultSite, occurrence: u64, rate: f64) -> bool {
+        let h = splitmix64(
+            self.seed
+                ^ (site_index(site) as u64).wrapping_mul(0xa076_1d64_78bd_642f)
+                ^ occurrence.wrapping_mul(0xe703_7ed1_a0b4_28db),
+        );
+        // Map to [0, 1): 53 mantissa bits, the standard conversion.
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        u < rate
+    }
+}
+
+impl FaultHook for FaultPlan {
+    fn decide(&self, site: FaultSite, _detail: &str) -> FaultAction {
+        let occ = self.occurrences[site_index(site)].fetch_add(1, Ordering::Relaxed) + 1;
+        for rule in &self.rules {
+            if rule.site != site {
+                continue;
+            }
+            let fires = match rule.trigger {
+                Trigger::Nth(n) => occ == n,
+                Trigger::Rate(r) => self.fires(site, occ, r),
+            };
+            if fires {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return rule.action;
+            }
+        }
+        FaultAction::Proceed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_always_proceeds() {
+        let p = FaultPlan::new(1);
+        for site in FaultSite::ALL {
+            for _ in 0..10 {
+                assert_eq!(p.decide(site, "x"), FaultAction::Proceed);
+            }
+        }
+        assert_eq!(p.injected(), 0);
+        assert_eq!(p.occurrences(FaultSite::PrimCall), 10);
+    }
+
+    #[test]
+    fn nth_targeting_fires_exactly_once() {
+        let p = FaultPlan::new(1).fail_nth(FaultSite::PrimCall, 3);
+        let decisions: Vec<FaultAction> =
+            (0..5).map(|_| p.decide(FaultSite::PrimCall, "x")).collect();
+        assert_eq!(
+            decisions,
+            [
+                FaultAction::Proceed,
+                FaultAction::Proceed,
+                FaultAction::Fail,
+                FaultAction::Proceed,
+                FaultAction::Proceed,
+            ]
+        );
+        assert_eq!(p.injected(), 1);
+        // Other sites are untouched.
+        assert_eq!(p.decide(FaultSite::CompactStep, "x"), FaultAction::Proceed);
+    }
+
+    #[test]
+    fn rate_decisions_replay_by_seed() {
+        let run = |seed: u64| -> Vec<FaultAction> {
+            let p = FaultPlan::new(seed).fail_rate(FaultSite::DslStmt, 0.5);
+            (0..64).map(|_| p.decide(FaultSite::DslStmt, "s")).collect()
+        };
+        assert_eq!(run(42), run(42), "same seed, same decisions");
+        assert_ne!(run(42), run(43), "different seed, different decisions");
+        let fails = run(42).iter().filter(|a| **a == FaultAction::Fail).count();
+        assert!(
+            (10..=54).contains(&fails),
+            "a 0.5 rate over 64 draws should fire roughly half the time, got {fails}"
+        );
+    }
+
+    #[test]
+    fn rate_bounds_are_exact() {
+        let never = FaultPlan::new(9).fail_rate(FaultSite::RouteCall, 0.0);
+        let always = FaultPlan::new(9).panic_rate(FaultSite::RouteCall, 1.0);
+        for _ in 0..32 {
+            assert_eq!(
+                never.decide(FaultSite::RouteCall, "r"),
+                FaultAction::Proceed
+            );
+            assert_eq!(always.decide(FaultSite::RouteCall, "r"), FaultAction::Panic);
+        }
+    }
+
+    #[test]
+    fn build_shares_the_counters() {
+        let (plan, hook) = FaultPlan::new(5)
+            .fail_nth(FaultSite::ModgenEntry, 1)
+            .build();
+        assert_eq!(hook.decide(FaultSite::ModgenEntry, "m"), FaultAction::Fail);
+        assert_eq!(plan.injected(), 1);
+        assert_eq!(plan.occurrences(FaultSite::ModgenEntry), 1);
+    }
+}

@@ -1,0 +1,242 @@
+//! Chaos suite: deterministic fault-injection sweeps over the paper's
+//! figure workloads.
+//!
+//! The contract under test is the pipeline-wide robustness layer:
+//!
+//! * no panic escapes a public generator API under `Fail` injection at
+//!   any site,
+//! * every injected failure surfaces as a typed [`GenError`] carrying
+//!   the site's stage,
+//! * the parallel optimizer survives injected worker panics — it returns
+//!   a valid layout or a typed error, never a wedged thread.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use amgen::modgen::centroid::{centroid_diff_pair, CentroidParams};
+use amgen::modgen::diffpair::{diff_pair, DiffPairParams};
+use amgen::modgen::{contact_row, ContactRowParams, MosType};
+use amgen::prelude::*;
+
+fn tech() -> Tech {
+    Tech::bicmos_1u()
+}
+
+/// Fig. 1 — a latch-up workload built through the primitives, then
+/// rule-checked. Exercises the prim fault sites and the checker.
+fn fig01_latchup(ctx: &GenCtx) -> Result<(), GenError> {
+    let prim = Primitives::new(ctx);
+    let pdiff = ctx.layer("pdiff").expect("pdiff exists in bicmos_1u");
+    let mut obj = LayoutObject::new("latchup");
+    for i in 0..8i64 {
+        let mut stripe = LayoutObject::new("stripe");
+        prim.inbox(&mut stripe, pdiff, Some(um(8)), Some(um(6)))?;
+        for s in stripe.shapes() {
+            obj.push(
+                Shape::new(s.layer, s.rect.translated(Vector::new(i * um(12), 0)))
+                    .with_role(ShapeRole::DeviceActive),
+            );
+        }
+    }
+    let _report = Drc::new(ctx).check(&obj);
+    Ok(())
+}
+
+/// Fig. 3 — the parameterized contact row.
+fn fig03_contact_row(ctx: &GenCtx) -> Result<(), GenError> {
+    let poly = ctx.layer("poly").expect("poly exists in bicmos_1u");
+    contact_row(ctx, poly, &ContactRowParams::new().with_w(um(10)))?;
+    Ok(())
+}
+
+/// Fig. 6 — the differential pair.
+fn fig06_diff_pair(ctx: &GenCtx) -> Result<(), GenError> {
+    diff_pair(
+        ctx,
+        &DiffPairParams::new(MosType::P).with_w(um(10)).with_l(um(2)),
+    )?;
+    Ok(())
+}
+
+/// Fig. 10 — the common-centroid pair in the paper's configuration.
+fn fig10_centroid(ctx: &GenCtx) -> Result<(), GenError> {
+    centroid_diff_pair(
+        ctx,
+        &CentroidParams::paper(MosType::N)
+            .with_w(um(6))
+            .with_l(um(1)),
+    )?;
+    Ok(())
+}
+
+/// Fig. 2 — the contact row written in the language (interpreter path).
+fn fig02_dsl(ctx: &GenCtx) -> Result<(), GenError> {
+    let mut interp = Interpreter::new(ctx.clone());
+    interp.run(
+        r#"
+row = ContactRow(layer = "poly", W = 10)
+
+ENT ContactRow(layer, <W>, <L>)
+  INBOX(layer, W, L)
+  INBOX("metal1")
+  ARRAY("contact")
+"#,
+    )?;
+    Ok(())
+}
+
+type Workload = fn(&GenCtx) -> Result<(), GenError>;
+
+const WORKLOADS: [(&str, Workload); 5] = [
+    ("fig01_latchup", fig01_latchup),
+    ("fig03_contact_row", fig03_contact_row),
+    ("fig06_diff_pair", fig06_diff_pair),
+    ("fig10_centroid", fig10_centroid),
+    ("fig02_dsl", fig02_dsl),
+];
+
+/// Every (site, nth-occurrence, workload) combination: the run must
+/// return — no panic — and fail (with the injected, stage-tagged error)
+/// exactly when the injection fired.
+#[test]
+fn fail_injection_sweep_is_typed_and_panic_free() {
+    let t = tech();
+    for site in FaultSite::ALL {
+        for n in [1, 2, 5, 25] {
+            for (name, workload) in WORKLOADS {
+                let (plan, hook) = FaultPlan::new(0xC0FFEE).fail_nth(site, n).build();
+                let ctx = (&t).into_gen_ctx().with_faults(hook);
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| workload(&ctx))).unwrap_or_else(|_| {
+                        panic!("panic escaped {name} with Fail injected at {site} (n={n})")
+                    });
+                let fired = plan.injected() > 0;
+                match outcome {
+                    Ok(()) => assert!(
+                        !fired,
+                        "{name}: injection at {site} (n={n}) fired but the run succeeded"
+                    ),
+                    Err(e) => {
+                        assert!(
+                            fired,
+                            "{name}: failed without an injection at {site} (n={n}): {e}"
+                        );
+                        assert!(e.is_injected(), "{name}: untyped failure at {site}: {e}");
+                        assert_eq!(
+                            e.stage,
+                            site.stage(),
+                            "{name}: injected failure lost its stage context: {e}"
+                        );
+                        assert_eq!(ctx.snapshot().faults_injected, plan.injected());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Seed-rate sweep: random-looking (but replayable) failures at every
+/// site simultaneously. Runs must never panic and never return anything
+/// but Ok or a typed error.
+#[test]
+fn seeded_rate_sweep_never_panics() {
+    let t = tech();
+    for seed in 0..8u64 {
+        let mut plan = FaultPlan::new(seed);
+        for site in FaultSite::ALL {
+            plan = plan.fail_rate(site, 0.02);
+        }
+        let (plan, hook) = plan.build();
+        let ctx = (&t).into_gen_ctx().with_faults(hook);
+        for (name, workload) in WORKLOADS {
+            let outcome = catch_unwind(AssertUnwindSafe(|| workload(&ctx)))
+                .unwrap_or_else(|_| panic!("panic escaped {name} at seed {seed}"));
+            if let Err(e) = outcome {
+                assert!(
+                    e.is_injected(),
+                    "{name} seed {seed}: failure was not the injected fault: {e}"
+                );
+            }
+        }
+        // Determinism: replaying the same seed injects identically.
+        let mut replay = FaultPlan::new(seed);
+        for site in FaultSite::ALL {
+            replay = replay.fail_rate(site, 0.02);
+        }
+        let (replay, hook2) = replay.build();
+        let ctx2 = (&t).into_gen_ctx().with_faults(hook2);
+        for (_, workload) in WORKLOADS {
+            let _ = catch_unwind(AssertUnwindSafe(|| workload(&ctx2)));
+        }
+        assert_eq!(
+            replay.injected(),
+            plan.injected(),
+            "seed {seed} must replay identically"
+        );
+    }
+}
+
+/// The optimizer under injected worker panics: for every seed the search
+/// must hand back a full valid order (panicked branches pruned) or a
+/// typed error — and return at all (no wedged Condvar wait).
+#[test]
+fn optimizer_survives_injected_worker_panics() {
+    let t = tech();
+    let poly = t.layer("poly").unwrap();
+    let steps: Vec<Step> = (0..5i64)
+        .map(|i| {
+            let mut o = LayoutObject::new("s");
+            o.push(Shape::new(poly, Rect::new(0, 0, um(2 + i % 3), um(2))));
+            Step::new(o, Dir::ALL[(i as usize) % 4], CompactOptions::new())
+        })
+        .collect();
+    for seed in 0..6u64 {
+        let (plan, hook) = FaultPlan::new(seed)
+            .panic_rate(FaultSite::OptWorker, 0.4)
+            .build();
+        let ctx = (&t).into_gen_ctx().with_faults(hook);
+        let opt = Optimizer::new(&ctx, RatingWeights::default());
+        let r = opt.optimize_order(
+            &steps,
+            SearchOptions {
+                keep_first: false,
+                workers: 4,
+                ..Default::default()
+            },
+        );
+        match r {
+            Ok(res) => {
+                let mut sorted = res.order.clone();
+                sorted.sort_unstable();
+                assert_eq!(
+                    sorted,
+                    (0..steps.len()).collect::<Vec<_>>(),
+                    "seed {seed}: result must be a valid permutation"
+                );
+                assert_eq!(
+                    res.metrics.opt_panics,
+                    plan.injected(),
+                    "seed {seed}: every injected panic must be recorded"
+                );
+            }
+            Err(e) => {
+                let g: GenError = e.into();
+                assert!(
+                    g.is_injected() || matches!(g.kind, GenErrorKind::WorkerPanic(_)),
+                    "seed {seed}: optimizer failure must be typed: {g}"
+                );
+            }
+        }
+    }
+}
+
+/// Budgets and injection compose: a cancelled context beats the fault
+/// hook to the checkpoint, and the error stays typed.
+#[test]
+fn cancellation_wins_over_injection() {
+    let t = tech();
+    let (_, hook) = FaultPlan::new(1).fail_nth(FaultSite::PrimCall, 1).build();
+    let ctx = (&t).into_gen_ctx().with_faults(hook);
+    ctx.cancel_token().cancel();
+    let err = fig03_contact_row(&ctx).unwrap_err();
+    assert!(err.is_cancelled(), "{err}");
+}

@@ -51,6 +51,12 @@ pub use amgen_trace::Detail;
 pub use amgen_trace::{name, Name};
 use amgen_trace::{Span, TraceSink};
 
+pub mod robust;
+pub use robust::{
+    Budget, CancelToken, FaultAction, FaultHook, FaultSite, GenError, GenErrorKind, GenResult,
+    Limits, Resource,
+};
+
 /// Options that apply to a whole generation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GenOptions {
@@ -121,6 +127,8 @@ pub struct Metrics {
     opt_explored: AtomicU64,
     opt_pruned: AtomicU64,
     opt_dominated: AtomicU64,
+    opt_panics: AtomicU64,
+    faults_injected: AtomicU64,
     stage_nanos: [AtomicU64; Stage::ALL.len()],
 }
 
@@ -164,6 +172,18 @@ impl Metrics {
     #[inline]
     pub fn add_opt_dominated(&self, n: u64) {
         self.opt_dominated.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one optimizer worker panic that was caught and isolated.
+    #[inline]
+    pub fn add_opt_panic(&self) {
+        self.opt_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one injected fault that fired (testing only).
+    #[inline]
+    pub fn add_fault_injected(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Adds wall time to a stage's bucket.
@@ -242,6 +262,10 @@ pub struct MetricsSnapshot {
     pub opt_pruned: u64,
     /// Optimizer nodes cut by the dominance memo.
     pub opt_dominated: u64,
+    /// Optimizer worker panics caught and isolated.
+    pub opt_panics: u64,
+    /// Injected faults that fired (always 0 outside chaos testing).
+    pub faults_injected: u64,
     /// Wall nanoseconds per stage, in [`Stage::ALL`] order.
     pub stage_nanos: [u64; Stage::ALL.len()],
 }
@@ -266,6 +290,12 @@ impl std::fmt::Display for MetricsSnapshot {
                 " opt_explored={} opt_pruned={} opt_dominated={}",
                 self.opt_explored, self.opt_pruned, self.opt_dominated
             )?;
+        }
+        if self.opt_panics > 0 {
+            write!(f, " opt_panics={}", self.opt_panics)?;
+        }
+        if self.faults_injected > 0 {
+            write!(f, " faults_injected={}", self.faults_injected)?;
         }
         for stage in Stage::ALL {
             let ns = self.stage_nanos(stage);
@@ -293,6 +323,13 @@ pub struct GenCtx {
     /// Shared structured-event sink (disabled until
     /// [`with_tracing`](GenCtx::with_tracing) / `trace.set_enabled`).
     pub trace: Arc<TraceSink>,
+    /// Shared resource budget, wall deadline and cancellation flag
+    /// (unlimited by default; armed with [`GenCtx::with_budget`]).
+    pub limits: Arc<Limits>,
+    /// Optional fault-injection hook — `None` in production (one branch
+    /// per probed site); installed by chaos tests via
+    /// [`GenCtx::with_faults`].
+    pub faults: Option<Arc<dyn FaultHook>>,
 }
 
 impl GenCtx {
@@ -303,6 +340,8 @@ impl GenCtx {
             options: GenOptions::default(),
             metrics: Arc::new(Metrics::new()),
             trace: Arc::new(TraceSink::new()),
+            limits: Arc::new(Limits::default()),
+            faults: None,
         }
     }
 
@@ -394,6 +433,104 @@ impl GenCtx {
         self.trace.instant_fine(stage.name(), name)
     }
 
+    /// Arms a resource [`Budget`] for this context and every clone made
+    /// from it. The wall deadline (if any) starts counting immediately;
+    /// a fresh [`CancelToken`] is created — fetch it with
+    /// [`cancel_token`](GenCtx::cancel_token) *after* this call.
+    ///
+    /// ```
+    /// use amgen_core::{Budget, GenCtx, Resource, Stage};
+    /// use amgen_tech::Tech;
+    ///
+    /// let ctx = GenCtx::from_tech(&Tech::bicmos_1u())
+    ///     .with_budget(Budget::unlimited().with_dsl_fuel(10));
+    /// assert!(ctx.charge_fuel(10, Stage::Dsl).is_ok());
+    /// let e = ctx.charge_fuel(1, Stage::Dsl).unwrap_err();
+    /// assert!(e.is_budget_exhausted());
+    /// ```
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> GenCtx {
+        self.limits = Arc::new(budget.arm());
+        self
+    }
+
+    /// Installs a fault-injection hook (chaos testing; see the
+    /// `amgen-faults` crate). Production contexts leave this `None` and
+    /// pay one branch per probed site.
+    #[must_use]
+    pub fn with_faults(mut self, hook: Arc<dyn FaultHook>) -> GenCtx {
+        self.faults = Some(hook);
+        self
+    }
+
+    /// Removes any installed fault hook.
+    #[must_use]
+    pub fn without_faults(mut self) -> GenCtx {
+        self.faults = None;
+        self
+    }
+
+    /// A clone of the run's cancellation token: hand it to a supervisor
+    /// thread and call [`CancelToken::cancel`] to stop the run at the
+    /// next checkpoint of any stage.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.limits.cancel_token()
+    }
+
+    /// Charges interpreter fuel (and observes cancellation/deadline).
+    #[inline]
+    pub fn charge_fuel(&self, n: u64, stage: Stage) -> Result<(), GenError> {
+        self.limits.charge_fuel(n, stage)
+    }
+
+    /// Charges one compaction step (and observes cancellation/deadline).
+    #[inline]
+    pub fn charge_compact_step(&self) -> Result<(), GenError> {
+        self.limits.charge_compact_step()
+    }
+
+    /// Cancellation + deadline probe for stages without a metered
+    /// resource of their own.
+    #[inline]
+    pub fn checkpoint(&self, stage: Stage) -> Result<(), GenError> {
+        self.limits.checkpoint(stage)
+    }
+
+    /// Probes the fault hook at `site`. `Ok(())` with no installed hook
+    /// (the production fast path — one branch); a firing hook returns a
+    /// typed [`GenErrorKind::Fault`] or panics (for
+    /// [`FaultAction::Panic`] plans exercising isolation), and is
+    /// counted in [`Metrics`] and the trace.
+    #[inline]
+    pub fn fault_check(&self, site: FaultSite, detail: &str) -> Result<(), GenError> {
+        let Some(hook) = &self.faults else {
+            return Ok(());
+        };
+        self.fault_check_slow(hook.clone(), site, detail)
+    }
+
+    #[cold]
+    fn fault_check_slow(
+        &self,
+        hook: Arc<dyn FaultHook>,
+        site: FaultSite,
+        detail: &str,
+    ) -> Result<(), GenError> {
+        match hook.decide(site, detail) {
+            FaultAction::Proceed => Ok(()),
+            FaultAction::Fail => {
+                self.metrics.add_fault_injected();
+                self.trace_instant(site.stage(), || name!("fault:{}", site.name()));
+                Err(GenError::fault(site.stage(), site, detail))
+            }
+            FaultAction::Panic => {
+                self.metrics.add_fault_injected();
+                self.trace_instant(site.stage(), || name!("fault_panic:{}", site.name()));
+                panic!("injected fault panic at {} ({detail})", site.name());
+            }
+        }
+    }
+
     /// Reads all counters into a report-ready snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut stage_nanos = [0u64; Stage::ALL.len()];
@@ -408,6 +545,8 @@ impl GenCtx {
             opt_explored: self.metrics.opt_explored.load(Ordering::Relaxed),
             opt_pruned: self.metrics.opt_pruned.load(Ordering::Relaxed),
             opt_dominated: self.metrics.opt_dominated.load(Ordering::Relaxed),
+            opt_panics: self.metrics.opt_panics.load(Ordering::Relaxed),
+            faults_injected: self.metrics.faults_injected.load(Ordering::Relaxed),
             stage_nanos,
         }
     }

@@ -1,0 +1,631 @@
+//! The robustness layer: budgets, cooperative cancellation, the unified
+//! generation error, and the fault-injection hook.
+//!
+//! The environment is meant to run unattended inside a synthesis loop —
+//! the optimizer permutes compaction orders, the language backtracks over
+//! topology variants — so a single pathological generator program or rule
+//! deck must never hang or crash the whole search. This module gives
+//! every pipeline stage one shared contract:
+//!
+//! * [`Budget`] caps the resources a run may consume (interpreter fuel,
+//!   entity recursion depth, compaction steps, optimizer nodes, wall
+//!   time). Exhaustion surfaces as a typed
+//!   [`GenErrorKind::BudgetExhausted`], never as a hang or a panic.
+//! * [`CancelToken`] cooperatively cancels a run from another thread;
+//!   every stage checks it at its existing instrumentation points and
+//!   surfaces [`GenErrorKind::Cancelled`].
+//! * [`GenError`] unifies the per-stage error types (`DslError`,
+//!   `PrimError`, `CompactError`, `ModgenError`, `RouteError`) behind one
+//!   `amgen-core` type carrying the failing [`Stage`] and
+//!   the entity being generated.
+//! * [`FaultHook`] is a zero-cost-when-disabled injection point: a test
+//!   harness (the `amgen-faults` crate) installs a deterministic,
+//!   seed-driven hook and the chaos suite proves that no injected
+//!   failure — including worker panics — escapes a public API untyped.
+//!
+//! All live state ([`Limits`]) sits behind the `GenCtx`'s `Arc`, so
+//! parallel search workers share one fuel pool, one deadline and one
+//! cancellation flag.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::Stage;
+
+// ----- budget -----------------------------------------------------------
+
+/// Resource caps for one generation run. All caps default to *unlimited*
+/// except the entity recursion depth, which is always finite: unbounded
+/// recursion overflows the native stack, and a stack overflow aborts the
+/// process instead of unwinding — no cap, no isolation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Interpreter fuel: statements the language interpreter may execute
+    /// (`u64::MAX` = unlimited). Bounds unbounded `FOR` loops.
+    pub dsl_fuel: u64,
+    /// Maximum entity-call nesting depth in the interpreter. Always
+    /// finite (default 64): recursion beyond it is a typed error, not a
+    /// native stack overflow.
+    pub max_recursion: usize,
+    /// Compaction steps the run may perform (`u64::MAX` = unlimited).
+    /// One step = one `Compactor::compact` call, wherever it happens —
+    /// the interpreter, a module generator or an optimizer worker.
+    pub max_compact_steps: u64,
+    /// Search nodes the order optimizer may expand (`u64::MAX` =
+    /// unlimited). The effective cap is the minimum of this and the
+    /// optimizer's own `SearchOptions::max_nodes`.
+    pub max_opt_nodes: u64,
+    /// Wall-clock deadline measured from [`Budget::arm`] (i.e. from
+    /// `GenCtx::with_budget`). `None` = no deadline. The optimizer treats
+    /// expiry as *degradation* (return the incumbent, flagged); every
+    /// other stage surfaces a typed error.
+    pub wall: Option<Duration>,
+}
+
+/// The default recursion cap. Deep enough for any real module hierarchy
+/// (the paper's deepest example nests three entities), shallow enough
+/// that a runaway recursive entity errors long before the native stack
+/// is at risk.
+pub const DEFAULT_MAX_RECURSION: usize = 64;
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget::unlimited()
+    }
+}
+
+impl Budget {
+    /// No caps except the always-on recursion depth.
+    pub fn unlimited() -> Budget {
+        Budget {
+            dsl_fuel: u64::MAX,
+            max_recursion: DEFAULT_MAX_RECURSION,
+            max_compact_steps: u64::MAX,
+            max_opt_nodes: u64::MAX,
+            wall: None,
+        }
+    }
+
+    /// Caps interpreter fuel.
+    #[must_use]
+    pub fn with_dsl_fuel(mut self, fuel: u64) -> Budget {
+        self.dsl_fuel = fuel;
+        self
+    }
+
+    /// Caps entity recursion depth.
+    #[must_use]
+    pub fn with_max_recursion(mut self, depth: usize) -> Budget {
+        self.max_recursion = depth;
+        self
+    }
+
+    /// Caps compaction steps.
+    #[must_use]
+    pub fn with_max_compact_steps(mut self, steps: u64) -> Budget {
+        self.max_compact_steps = steps;
+        self
+    }
+
+    /// Caps optimizer node expansions.
+    #[must_use]
+    pub fn with_max_opt_nodes(mut self, nodes: u64) -> Budget {
+        self.max_opt_nodes = nodes;
+        self
+    }
+
+    /// Sets a wall-clock deadline relative to arming.
+    #[must_use]
+    pub fn with_wall(mut self, wall: Duration) -> Budget {
+        self.wall = Some(wall);
+        self
+    }
+
+    /// Resolves the budget into live, shareable state. The wall deadline
+    /// starts counting *now*.
+    pub fn arm(self) -> Limits {
+        Limits {
+            deadline: self.wall.map(|w| Instant::now() + w),
+            budget: self,
+            fuel_used: AtomicU64::new(0),
+            compact_steps: AtomicU64::new(0),
+            cancel: CancelToken::new(),
+        }
+    }
+}
+
+/// Live budget state shared by every clone of a `GenCtx`: the armed
+/// [`Budget`], the consumption counters, the resolved deadline and the
+/// run's [`CancelToken`].
+#[derive(Debug)]
+pub struct Limits {
+    budget: Budget,
+    fuel_used: AtomicU64,
+    compact_steps: AtomicU64,
+    deadline: Option<Instant>,
+    cancel: CancelToken,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Budget::unlimited().arm()
+    }
+}
+
+impl Limits {
+    /// The armed budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// The run's cancellation token (clone it to cancel from elsewhere).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Interpreter fuel consumed so far.
+    pub fn fuel_used(&self) -> u64 {
+        self.fuel_used.load(Ordering::Relaxed)
+    }
+
+    /// Compaction steps consumed so far.
+    pub fn compact_steps(&self) -> u64 {
+        self.compact_steps.load(Ordering::Relaxed)
+    }
+
+    /// The resolved wall deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// True once the wall deadline has passed.
+    #[inline]
+    pub fn deadline_expired(&self) -> bool {
+        match self.deadline {
+            None => false,
+            Some(d) => Instant::now() >= d,
+        }
+    }
+
+    /// Charges `n` units of interpreter fuel.
+    #[inline]
+    pub fn charge_fuel(&self, n: u64, stage: Stage) -> Result<(), GenError> {
+        // `fetch_add` even on the unlimited path: one relaxed RMW per
+        // statement is noise next to interpreting the statement, and the
+        // counter doubles as an observability metric.
+        let used = self.fuel_used.fetch_add(n, Ordering::Relaxed) + n;
+        if used > self.budget.dsl_fuel {
+            return Err(GenError::budget(stage, Resource::DslFuel));
+        }
+        self.checkpoint(stage)
+    }
+
+    /// Charges one compaction step.
+    #[inline]
+    pub fn charge_compact_step(&self) -> Result<(), GenError> {
+        let used = self.compact_steps.fetch_add(1, Ordering::Relaxed) + 1;
+        if used > self.budget.max_compact_steps {
+            return Err(GenError::budget(Stage::Compact, Resource::CompactSteps));
+        }
+        self.checkpoint(Stage::Compact)
+    }
+
+    /// Cancellation + deadline check; the cheap probe every stage calls
+    /// at its instrumentation points. One relaxed atomic load when no
+    /// deadline is armed.
+    #[inline]
+    pub fn checkpoint(&self, stage: Stage) -> Result<(), GenError> {
+        if self.cancel.is_cancelled() {
+            return Err(GenError::cancelled(stage));
+        }
+        if self.deadline_expired() {
+            return Err(GenError::budget(stage, Resource::Wall));
+        }
+        Ok(())
+    }
+}
+
+// ----- cancellation -----------------------------------------------------
+
+/// A cooperative cancellation flag. Clones share the flag; any clone may
+/// [`cancel`](CancelToken::cancel), every pipeline stage polls
+/// [`is_cancelled`](CancelToken::is_cancelled) at its instrumentation
+/// points and unwinds with a typed [`GenErrorKind::Cancelled`].
+///
+/// ```
+/// use amgen_core::CancelToken;
+///
+/// let t = CancelToken::new();
+/// let watcher = t.clone();
+/// assert!(!watcher.is_cancelled());
+/// t.cancel();
+/// assert!(watcher.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// True once any clone has cancelled.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+// ----- the unified error ------------------------------------------------
+
+/// The budgeted resource that ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// Interpreter statement fuel.
+    DslFuel,
+    /// Entity-call recursion depth.
+    Recursion,
+    /// Compaction steps.
+    CompactSteps,
+    /// Optimizer node expansions.
+    OptNodes,
+    /// The wall-clock deadline.
+    Wall,
+}
+
+impl Resource {
+    /// Short lower-case name for messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            Resource::DslFuel => "dsl fuel",
+            Resource::Recursion => "recursion depth",
+            Resource::CompactSteps => "compaction steps",
+            Resource::OptNodes => "optimizer nodes",
+            Resource::Wall => "wall deadline",
+        }
+    }
+}
+
+/// What went wrong, independent of where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GenErrorKind {
+    /// A [`Budget`] resource ran out.
+    BudgetExhausted(Resource),
+    /// The run's [`CancelToken`] was cancelled.
+    Cancelled,
+    /// A parallel worker panicked; the payload message was captured and
+    /// the worker's branch pruned.
+    WorkerPanic(String),
+    /// A deterministic injected fault (testing only; see `amgen-faults`).
+    Fault {
+        /// The injection site that fired.
+        site: FaultSite,
+        /// Call-site detail (entity or object name).
+        detail: String,
+    },
+    /// A stage-specific failure, carried as its rendered message. The
+    /// typed original stays available in the stage crate's own error.
+    Stage(String),
+}
+
+/// The unified generation error: *what* failed ([`GenErrorKind`]),
+/// *where* in the pipeline ([`Stage`]), and — when known — *which
+/// entity* was being generated.
+///
+/// Every per-stage error type converts into `GenError` (the stage crates
+/// implement `From`), so callers that drive the whole pipeline can match
+/// one type:
+///
+/// ```
+/// use amgen_core::{GenError, GenErrorKind, Resource, Stage};
+///
+/// let e = GenError::budget(Stage::Dsl, Resource::DslFuel).with_entity("DiffPair");
+/// assert!(e.is_budget_exhausted());
+/// assert_eq!(e.stage, Stage::Dsl);
+/// assert_eq!(e.to_string(), "dsl: entity `DiffPair`: budget exhausted: dsl fuel");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenError {
+    /// The pipeline stage that failed.
+    pub stage: Stage,
+    /// The entity / module being generated, when known.
+    pub entity: Option<String>,
+    /// The failure itself.
+    pub kind: GenErrorKind,
+}
+
+impl GenError {
+    /// A budget-exhaustion error.
+    pub fn budget(stage: Stage, resource: Resource) -> GenError {
+        GenError {
+            stage,
+            entity: None,
+            kind: GenErrorKind::BudgetExhausted(resource),
+        }
+    }
+
+    /// A cancellation error.
+    pub fn cancelled(stage: Stage) -> GenError {
+        GenError {
+            stage,
+            entity: None,
+            kind: GenErrorKind::Cancelled,
+        }
+    }
+
+    /// A captured worker panic.
+    pub fn worker_panic(stage: Stage, message: impl Into<String>) -> GenError {
+        GenError {
+            stage,
+            entity: None,
+            kind: GenErrorKind::WorkerPanic(message.into()),
+        }
+    }
+
+    /// An injected fault.
+    pub fn fault(stage: Stage, site: FaultSite, detail: impl Into<String>) -> GenError {
+        GenError {
+            stage,
+            entity: None,
+            kind: GenErrorKind::Fault {
+                site,
+                detail: detail.into(),
+            },
+        }
+    }
+
+    /// A stage-specific failure carried as a message.
+    pub fn stage_msg(stage: Stage, message: impl Into<String>) -> GenError {
+        GenError {
+            stage,
+            entity: None,
+            kind: GenErrorKind::Stage(message.into()),
+        }
+    }
+
+    /// Attaches (or overrides) the generating entity's name.
+    #[must_use]
+    pub fn with_entity(mut self, entity: impl Into<String>) -> GenError {
+        self.entity = Some(entity.into());
+        self
+    }
+
+    /// Attaches the entity only when none is recorded yet — outer frames
+    /// add context without clobbering the innermost one.
+    #[must_use]
+    pub fn or_entity(mut self, entity: impl Into<String>) -> GenError {
+        if self.entity.is_none() {
+            self.entity = Some(entity.into());
+        }
+        self
+    }
+
+    /// True for any [`GenErrorKind::BudgetExhausted`].
+    pub fn is_budget_exhausted(&self) -> bool {
+        matches!(self.kind, GenErrorKind::BudgetExhausted(_))
+    }
+
+    /// True for [`GenErrorKind::Cancelled`].
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self.kind, GenErrorKind::Cancelled)
+    }
+
+    /// True for [`GenErrorKind::Fault`] (injected by a test harness).
+    pub fn is_injected(&self) -> bool {
+        matches!(self.kind, GenErrorKind::Fault { .. })
+    }
+}
+
+impl std::fmt::Display for GenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: ", self.stage.name())?;
+        if let Some(e) = &self.entity {
+            write!(f, "entity `{e}`: ")?;
+        }
+        match &self.kind {
+            GenErrorKind::BudgetExhausted(r) => write!(f, "budget exhausted: {}", r.name()),
+            GenErrorKind::Cancelled => write!(f, "cancelled"),
+            GenErrorKind::WorkerPanic(m) => write!(f, "worker panic: {m}"),
+            GenErrorKind::Fault { site, detail } => {
+                write!(f, "injected fault at {}", site.name())?;
+                if detail.is_empty() {
+                    Ok(())
+                } else {
+                    write!(f, " ({detail})")
+                }
+            }
+            GenErrorKind::Stage(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+/// Shorthand for pipeline-driving results.
+pub type GenResult<T> = Result<T, GenError>;
+
+// ----- fault injection --------------------------------------------------
+
+/// The injection points instrumented across the pipeline. Each is a spot
+/// where real deployments have seen real failures: a rule deck missing an
+/// entry, a compaction step on degenerate geometry, a module generator
+/// aborting, a worker thread dying mid-search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FaultSite {
+    /// A design-rule lookup inside a primitive shape function.
+    RuleLookup,
+    /// A primitive shape function call.
+    PrimCall,
+    /// One successive-compaction step.
+    CompactStep,
+    /// Entry into a module-library generator.
+    ModgenEntry,
+    /// A wiring-routine call.
+    RouteCall,
+    /// One optimizer worker node expansion (supports panic injection to
+    /// exercise `catch_unwind` isolation).
+    OptWorker,
+    /// One interpreter statement.
+    DslStmt,
+}
+
+impl FaultSite {
+    /// All sites, for sweeps.
+    pub const ALL: [FaultSite; 7] = [
+        FaultSite::RuleLookup,
+        FaultSite::PrimCall,
+        FaultSite::CompactStep,
+        FaultSite::ModgenEntry,
+        FaultSite::RouteCall,
+        FaultSite::OptWorker,
+        FaultSite::DslStmt,
+    ];
+
+    /// Short name for messages and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::RuleLookup => "rule_lookup",
+            FaultSite::PrimCall => "prim_call",
+            FaultSite::CompactStep => "compact_step",
+            FaultSite::ModgenEntry => "modgen_entry",
+            FaultSite::RouteCall => "route_call",
+            FaultSite::OptWorker => "opt_worker",
+            FaultSite::DslStmt => "dsl_stmt",
+        }
+    }
+
+    /// The pipeline stage a site belongs to.
+    pub fn stage(self) -> Stage {
+        match self {
+            FaultSite::RuleLookup | FaultSite::PrimCall => Stage::Prim,
+            FaultSite::CompactStep => Stage::Compact,
+            FaultSite::ModgenEntry => Stage::Modgen,
+            FaultSite::RouteCall => Stage::Route,
+            FaultSite::OptWorker => Stage::Opt,
+            FaultSite::DslStmt => Stage::Dsl,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What an installed hook decided for one occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Let the occurrence proceed normally.
+    Proceed,
+    /// Fail it with a typed [`GenErrorKind::Fault`].
+    Fail,
+    /// Panic at the site (exercises panic-isolation paths).
+    Panic,
+}
+
+/// A fault-injection decision hook. Installed on a `GenCtx` with
+/// `with_faults`; when none is installed the per-site cost is one branch
+/// on an `Option`. Implementations must be deterministic for a given
+/// construction (the chaos suite relies on replayable sweeps) — the
+/// `amgen-faults` crate provides the seed-driven reference
+/// implementation.
+pub trait FaultHook: Send + Sync + std::fmt::Debug {
+    /// Decides the fate of one occurrence at `site`. `detail` names the
+    /// concrete entity/object, for targeted plans.
+    fn decide(&self, site: FaultSite, detail: &str) -> FaultAction;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_charges_freely() {
+        let l = Budget::unlimited().arm();
+        for _ in 0..1000 {
+            l.charge_fuel(1, Stage::Dsl).unwrap();
+            l.charge_compact_step().unwrap();
+        }
+        assert_eq!(l.fuel_used(), 1000);
+        assert_eq!(l.compact_steps(), 1000);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_typed() {
+        let l = Budget::unlimited().with_dsl_fuel(3).arm();
+        assert!(l.charge_fuel(3, Stage::Dsl).is_ok());
+        let e = l.charge_fuel(1, Stage::Dsl).unwrap_err();
+        assert_eq!(e.kind, GenErrorKind::BudgetExhausted(Resource::DslFuel));
+        assert_eq!(e.stage, Stage::Dsl);
+        assert!(e.is_budget_exhausted());
+    }
+
+    #[test]
+    fn compact_step_cap_is_typed() {
+        let l = Budget::unlimited().with_max_compact_steps(2).arm();
+        assert!(l.charge_compact_step().is_ok());
+        assert!(l.charge_compact_step().is_ok());
+        let e = l.charge_compact_step().unwrap_err();
+        assert_eq!(
+            e.kind,
+            GenErrorKind::BudgetExhausted(Resource::CompactSteps)
+        );
+    }
+
+    #[test]
+    fn cancellation_reaches_checkpoints() {
+        let l = Budget::unlimited().arm();
+        let t = l.cancel_token();
+        assert!(l.checkpoint(Stage::Opt).is_ok());
+        t.cancel();
+        let e = l.checkpoint(Stage::Opt).unwrap_err();
+        assert!(e.is_cancelled());
+        assert_eq!(e.stage, Stage::Opt);
+        // Fuel charges observe cancellation too.
+        assert!(l.charge_fuel(1, Stage::Dsl).unwrap_err().is_cancelled());
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let l = Budget::unlimited().with_wall(Duration::ZERO).arm();
+        let e = l.checkpoint(Stage::Compact).unwrap_err();
+        assert_eq!(e.kind, GenErrorKind::BudgetExhausted(Resource::Wall));
+    }
+
+    #[test]
+    fn display_carries_stage_and_entity() {
+        let e = GenError::stage_msg(Stage::Modgen, "boom").with_entity("DiffPair");
+        assert_eq!(e.to_string(), "modgen: entity `DiffPair`: boom");
+        let e = GenError::fault(Stage::Prim, FaultSite::RuleLookup, "poly");
+        assert_eq!(e.to_string(), "prim: injected fault at rule_lookup (poly)");
+        let e = GenError::worker_panic(Stage::Opt, "bad frame");
+        assert!(e.to_string().contains("worker panic"));
+    }
+
+    #[test]
+    fn or_entity_keeps_the_innermost() {
+        let e = GenError::cancelled(Stage::Dsl)
+            .or_entity("Inner")
+            .or_entity("Outer");
+        assert_eq!(e.entity.as_deref(), Some("Inner"));
+    }
+
+    #[test]
+    fn site_metadata_is_consistent() {
+        for site in FaultSite::ALL {
+            assert!(!site.name().is_empty());
+            let _ = site.stage();
+            assert_eq!(site.to_string(), site.name());
+        }
+    }
+}

@@ -12,7 +12,7 @@
 //! experiment harness compares the line counts (`T-code` in
 //! EXPERIMENTS.md).
 
-use amgen_core::{IntoGenCtx, Stage};
+use amgen_core::{FaultSite, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Shape};
 use amgen_geom::{Coord, Rect};
 
@@ -37,6 +37,8 @@ pub fn contact_row_by_coordinates(
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "contact_row_by_coordinates");
+    tech.checkpoint(Stage::Modgen)?;
+    tech.fault_check(FaultSite::ModgenEntry, "contact_row_by_coordinates")?;
     let layer = tech.layer(layer_name)?;
     let metal1 = tech.metal1()?;
     let contact = tech.contact()?;
@@ -114,37 +116,39 @@ mod tests {
     }
 
     #[test]
-    fn baseline_row_matches_generator_footprint() {
+    fn baseline_row_matches_generator_footprint() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let poly = t.layer("poly").unwrap();
+        let poly = t.layer("poly")?;
         for w in [um(4), um(10), um(16)] {
-            let gen = contact_row(&t, poly, &ContactRowParams::new().with_w(w)).unwrap();
-            let base = contact_row_by_coordinates(&t, "poly", w).unwrap();
+            let gen = contact_row(&t, poly, &ContactRowParams::new().with_w(w))?;
+            let base = contact_row_by_coordinates(&t, "poly", w)?;
             assert_eq!(
                 gen.bbox().width(),
                 base.bbox().width(),
                 "width differs at w={w}"
             );
             assert_eq!(gen.bbox().height(), base.bbox().height());
-            let ct = t.layer("contact").unwrap();
+            let ct = t.layer("contact")?;
             assert_eq!(
                 gen.shapes_on(ct).count(),
                 base.shapes_on(ct).count(),
                 "contact count differs at w={w}"
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn baseline_row_is_drc_clean() {
+    fn baseline_row_is_drc_clean() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let row = contact_row_by_coordinates(&t, "pdiff", um(12)).unwrap();
+        let row = contact_row_by_coordinates(&t, "pdiff", um(12))?;
         let v = Drc::new(&t).check(&row);
         assert!(v.is_empty(), "{v:?}");
+        Ok(())
     }
 
     #[test]
-    fn baseline_breaks_in_the_other_technology_shape() {
+    fn baseline_breaks_in_the_other_technology_shape() -> Result<(), Box<dyn std::error::Error>> {
         // The point of the paper: the generator port to another deck is
         // free, the hand-coordinate version must be re-derived. Here both
         // happen to consume rules through the API, so the baseline *does*
@@ -152,10 +156,11 @@ mod tests {
         // enclosures are equal. Assert the decks keep that assumption so
         // the comparison stays fair.
         for t in [Tech::bicmos_1u(), Tech::cmos_08()] {
-            let poly = t.layer("poly").unwrap();
-            let ct = t.layer("contact").unwrap();
-            let m1 = t.layer("metal1").unwrap();
+            let poly = t.layer("poly")?;
+            let ct = t.layer("contact")?;
+            let m1 = t.layer("metal1")?;
             assert_eq!(t.enclosure(poly, ct), t.enclosure(m1, ct), "{}", t.name());
         }
+        Ok(())
     }
 }

@@ -10,7 +10,7 @@
 //! compaction steps.
 
 use amgen_compact::{CompactOptions, Compactor};
-use amgen_core::{IntoGenCtx, Stage};
+use amgen_core::{FaultSite, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Port};
 use amgen_geom::{Coord, Dir, Vector};
 use amgen_prim::Primitives;
@@ -44,6 +44,8 @@ pub fn bipolar_npn(tech: impl IntoGenCtx, params: &NpnParams) -> Result<LayoutOb
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "bipolar_npn");
+    tech.checkpoint(Stage::Modgen)?;
+    tech.fault_check(FaultSite::ModgenEntry, "bipolar_npn")?;
     let prim = Primitives::new(tech);
     let c = Compactor::new(tech);
     let base = tech.base()?;
@@ -118,6 +120,8 @@ pub fn bipolar_pair(
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "bipolar_pair");
+    tech.checkpoint(Stage::Modgen)?;
+    tech.fault_check(FaultSite::ModgenEntry, "bipolar_pair")?;
     let single = bipolar_npn(tech, params)?;
     let buried = tech.buried()?;
     let space = tech.min_spacing(buried, buried).unwrap_or(5_000);
@@ -166,33 +170,35 @@ mod tests {
     }
 
     #[test]
-    fn npn_has_three_terminals() {
+    fn npn_has_three_terminals() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let n = bipolar_npn(&t, &NpnParams::new()).unwrap();
+        let n = bipolar_npn(&t, &NpnParams::new())?;
         for p in ["e", "b", "c"] {
             assert!(n.port(p).is_some(), "missing {p}");
         }
+        Ok(())
     }
 
     #[test]
-    fn emitter_inside_base_inside_buried() {
+    fn emitter_inside_base_inside_buried() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let n = bipolar_npn(&t, &NpnParams::new().with_emitter_l(um(6))).unwrap();
-        let e = n.bbox_on(t.layer("emitter").unwrap());
-        let b = n.bbox_on(t.layer("base").unwrap());
-        let bu = n.bbox_on(t.layer("buried").unwrap());
-        let enc_be = t.enclosure(t.layer("base").unwrap(), t.layer("emitter").unwrap());
+        let n = bipolar_npn(&t, &NpnParams::new().with_emitter_l(um(6)))?;
+        let e = n.bbox_on(t.layer("emitter")?);
+        let b = n.bbox_on(t.layer("base")?);
+        let bu = n.bbox_on(t.layer("buried")?);
+        let enc_be = t.enclosure(t.layer("base")?, t.layer("emitter")?);
         assert!(
             b.inflated(-enc_be).contains_rect(&e),
             "base encloses emitter"
         );
         assert!(bu.contains_rect(&b), "buried encloses base");
+        Ok(())
     }
 
     #[test]
-    fn collector_reaches_the_buried_layer() {
+    fn collector_reaches_the_buried_layer() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let n = bipolar_npn(&t, &NpnParams::new()).unwrap();
+        let n = bipolar_npn(&t, &NpnParams::new())?;
         // The extracted "c" component must contain the buried shape
         // (diffusion sinker overlaps buried → connected).
         let nets = Extractor::new(&t).connectivity(&n);
@@ -200,34 +206,37 @@ mod tests {
             .iter()
             .find(|x| x.declared.iter().any(|d| d == "c"))
             .expect("collector net");
-        let buried = t.layer("buried").unwrap();
+        let buried = t.layer("buried")?;
         assert!(
             c_comp.shapes.iter().any(|&i| n.shapes()[i].layer == buried),
             "sinker contacts the subcollector"
         );
+        Ok(())
     }
 
     #[test]
-    fn terminals_stay_separate() {
+    fn terminals_stay_separate() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let n = bipolar_npn(&t, &NpnParams::new()).unwrap();
+        let n = bipolar_npn(&t, &NpnParams::new())?;
         for comp in Extractor::new(&t).connectivity(&n) {
             assert!(comp.declared.len() <= 1, "short: {:?}", comp.declared);
         }
+        Ok(())
     }
 
     #[test]
-    fn npn_is_enclosure_clean() {
+    fn npn_is_enclosure_clean() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let n = bipolar_npn(&t, &NpnParams::new().with_emitter_l(um(4))).unwrap();
+        let n = bipolar_npn(&t, &NpnParams::new().with_emitter_l(um(4)))?;
         let v = Drc::new(&t).check_enclosures(&n);
         assert!(v.is_empty(), "{v:?}");
+        Ok(())
     }
 
     #[test]
-    fn pair_is_mirrored_and_separate() {
+    fn pair_is_mirrored_and_separate() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let p = bipolar_pair(&t, &NpnParams::new()).unwrap();
+        let p = bipolar_pair(&t, &NpnParams::new())?;
         for name in ["e", "b", "c", "e_2", "b_2", "c_2"] {
             assert!(p.port(name).is_some(), "missing {name}");
         }
@@ -237,13 +246,15 @@ mod tests {
             let two = comp.declared.iter().any(|d| d.ends_with("_2"));
             assert!(!(one && two), "devices shorted: {:?}", comp.declared);
         }
+        Ok(())
     }
 
     #[test]
-    fn pair_buried_spacing_is_respected() {
+    fn pair_buried_spacing_is_respected() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let p = bipolar_pair(&t, &NpnParams::new()).unwrap();
+        let p = bipolar_pair(&t, &NpnParams::new())?;
         let v = Drc::new(&t).check_spacing(&p);
         assert!(v.is_empty(), "{v:?}");
+        Ok(())
     }
 }

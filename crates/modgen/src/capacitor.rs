@@ -7,7 +7,7 @@
 //! the poly layer gives the nominal value.
 
 use amgen_compact::{CompactOptions, Compactor};
-use amgen_core::{IntoGenCtx, Stage};
+use amgen_core::{FaultSite, IntoGenCtx, Stage};
 use amgen_db::LayoutObject;
 use amgen_geom::{Coord, Dir};
 use amgen_prim::Primitives;
@@ -49,6 +49,8 @@ pub fn mos_capacitor(
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "mos_capacitor");
+    tech.checkpoint(Stage::Modgen)?;
+    tech.fault_check(FaultSite::ModgenEntry, "mos_capacitor")?;
     let c = Compactor::new(tech);
     let prim = Primitives::new(tech);
     let poly = tech.poly()?;
@@ -119,9 +121,9 @@ mod tests {
     }
 
     #[test]
-    fn plates_are_two_nets() {
+    fn plates_are_two_nets() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let (m, _) = mos_capacitor(&t, &MosCapParams::new(MosType::N).with_side(um(12))).unwrap();
+        let (m, _) = mos_capacitor(&t, &MosCapParams::new(MosType::N).with_side(um(12)))?;
         for n in Extractor::new(&t).connectivity(&m) {
             let top = n.declared.iter().any(|x| x == "top");
             let bot = n.declared.iter().any(|x| x == "bot");
@@ -129,12 +131,13 @@ mod tests {
         }
         assert!(m.port("top").is_some());
         assert!(m.port("bot").is_some());
+        Ok(())
     }
 
     #[test]
-    fn both_diffusion_rows_share_the_bot_net() {
+    fn both_diffusion_rows_share_the_bot_net() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let (m, _) = mos_capacitor(&t, &MosCapParams::new(MosType::N).with_side(um(12))).unwrap();
+        let (m, _) = mos_capacitor(&t, &MosCapParams::new(MosType::N).with_side(um(12)))?;
         // Both bot rows exist — but as separate diffusion regions (the
         // plate's channel splits them); they share the declared name.
         let bots = Extractor::new(&t)
@@ -143,21 +146,24 @@ mod tests {
             .filter(|n| n.declared.iter().any(|x| x == "bot"))
             .count();
         assert!(bots >= 1);
+        Ok(())
     }
 
     #[test]
-    fn value_scales_with_area() {
+    fn value_scales_with_area() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let (_, c10) = mos_capacitor(&t, &MosCapParams::new(MosType::N).with_side(um(10))).unwrap();
-        let (_, c20) = mos_capacitor(&t, &MosCapParams::new(MosType::N).with_side(um(20))).unwrap();
+        let (_, c10) = mos_capacitor(&t, &MosCapParams::new(MosType::N).with_side(um(10)))?;
+        let (_, c20) = mos_capacitor(&t, &MosCapParams::new(MosType::N).with_side(um(20)))?;
         assert!((c20 / c10 - 4.0).abs() < 0.01, "{c20} / {c10}");
+        Ok(())
     }
 
     #[test]
-    fn spacing_clean() {
+    fn spacing_clean() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let (m, _) = mos_capacitor(&t, &MosCapParams::new(MosType::P).with_side(um(10))).unwrap();
+        let (m, _) = mos_capacitor(&t, &MosCapParams::new(MosType::P).with_side(um(10)))?;
         let v = Drc::new(&t).check_spacing(&m);
         assert!(v.is_empty(), "{v:?}");
+        Ok(())
     }
 }

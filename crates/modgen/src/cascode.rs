@@ -10,7 +10,7 @@
 //! and are joined with one straight metal2 wire.
 
 use amgen_compact::{CompactOptions, Compactor};
-use amgen_core::{IntoGenCtx, Stage};
+use amgen_core::{FaultSite, IntoGenCtx, Stage};
 use amgen_db::LayoutObject;
 use amgen_geom::{Coord, Dir};
 use amgen_route::Router;
@@ -70,6 +70,8 @@ pub fn cascode_pair(
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "cascode_pair");
+    tech.checkpoint(Stage::Modgen)?;
+    tech.fault_check(FaultSite::ModgenEntry, "cascode_pair")?;
     let c = Compactor::new(tech);
     let router = Router::new(tech);
     let m2 = tech.metal2()?;

@@ -20,7 +20,7 @@
 //! as `d2`'s risers cross `d1`'s.
 
 use amgen_compact::{CompactOptions, Compactor};
-use amgen_core::{GenCtx, IntoGenCtx, Stage};
+use amgen_core::{FaultSite, GenCtx, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Port, Shape};
 use amgen_geom::{Coord, Dir, Point, Rect, Vector};
 use amgen_prim::Primitives;
@@ -142,6 +142,8 @@ pub fn centroid_diff_pair(
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "centroid_diff_pair");
+    tech.checkpoint(Stage::Modgen)?;
+    tech.fault_check(FaultSite::ModgenEntry, "centroid_diff_pair")?;
     if params.pairs_per_side == 0 {
         return Err(ModgenError::BadParam {
             param: "pairs_per_side",
@@ -405,26 +407,26 @@ mod tests {
     }
 
     #[test]
-    fn gate_finger_count_matches_plan() {
+    fn gate_finger_count_matches_plan() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
         let m = centroid_diff_pair(
             &t,
             &CentroidParams::paper(MosType::N)
                 .with_w(um(6))
                 .without_guard(),
-        )
-        .unwrap();
-        let poly = t.layer("poly").unwrap();
+        )?;
+        let poly = t.layer("poly")?;
         // Vertical poly stripes: 4+4 active + 8+4+4 dummies = 24.
         let stripes = m
             .shapes_on(poly)
             .filter(|s| s.rect.height() > 3 * s.rect.width())
             .count();
         assert_eq!(stripes, 24);
+        Ok(())
     }
 
     #[test]
-    fn devices_share_a_centroid() {
+    fn devices_share_a_centroid() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
         // Re-derive the columns from the built module: A columns reach
         // high, B columns reach low.
@@ -433,16 +435,15 @@ mod tests {
             &CentroidParams::paper(MosType::N)
                 .with_w(um(6))
                 .without_guard(),
-        )
-        .unwrap();
-        let poly = t.layer("poly").unwrap();
+        )?;
+        let poly = t.layer("poly")?;
         let stripes: Vec<Rect> = m
             .shapes_on(poly)
             .filter(|s| s.rect.height() > 3 * s.rect.width())
             .map(|s| s.rect)
             .collect();
-        let y_top = stripes.iter().map(|r| r.y1).max().unwrap();
-        let y_bot = stripes.iter().map(|r| r.y0).min().unwrap();
+        let y_top = stripes.iter().map(|r| r.y1).max().ok_or("no stripes")?;
+        let y_bot = stripes.iter().map(|r| r.y0).min().ok_or("no stripes")?;
         let a: Vec<Rect> = stripes.iter().copied().filter(|r| r.y1 == y_top).collect();
         let b: Vec<Rect> = stripes.iter().copied().filter(|r| r.y0 == y_bot).collect();
         assert_eq!(a.len(), 4);
@@ -450,6 +451,7 @@ mod tests {
         let ca = device_centroid_x(&a);
         let cb = device_centroid_x(&b);
         assert!((ca - cb).abs() < 1_000.0, "centroids differ: {ca} vs {cb}");
+        Ok(())
     }
 
     #[test]
@@ -476,16 +478,16 @@ mod tests {
     }
 
     #[test]
-    fn latchup_fails_without_guard_ring() {
+    fn latchup_fails_without_guard_ring() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
         let m = centroid_diff_pair(
             &t,
             &CentroidParams::paper(MosType::N)
                 .with_w(um(6))
                 .without_guard(),
-        )
-        .unwrap();
+        )?;
         assert!(!latchup::check_latchup(&t, &m).is_empty());
+        Ok(())
     }
 
     #[test]
@@ -523,15 +525,16 @@ mod tests {
     }
 
     #[test]
-    fn more_pairs_grow_the_module() {
+    fn more_pairs_grow_the_module() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
         let mut small = CentroidParams::paper(MosType::N).without_guard();
         small.center_dummies = 2;
         small.side_dummies = 1;
         let mut big = small.clone();
         big.pairs_per_side = 2;
-        let a = centroid_diff_pair(&t, &small).unwrap();
-        let b = centroid_diff_pair(&t, &big).unwrap();
+        let a = centroid_diff_pair(&t, &small)?;
+        let b = centroid_diff_pair(&t, &big)?;
         assert!(b.bbox().width() > a.bbox().width());
+        Ok(())
     }
 }

@@ -9,7 +9,7 @@
 //!   ARRAY("contact")
 //! ```
 
-use amgen_core::{IntoGenCtx, Stage};
+use amgen_core::{FaultSite, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Port, RebuildKind};
 use amgen_geom::{Coord, Dir};
 use amgen_prim::Primitives;
@@ -92,6 +92,8 @@ pub fn contact_row(
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "contact_row");
+    tech.checkpoint(Stage::Modgen)?;
+    tech.fault_check(FaultSite::ModgenEntry, "contact_row")?;
     let prim = Primitives::new(tech);
     let metal1 = tech.metal1()?;
     let contact = tech.contact()?;
@@ -145,111 +147,117 @@ mod tests {
     }
 
     #[test]
-    fn fig3_left_both_params_omitted() {
+    fn fig3_left_both_params_omitted() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let poly = t.layer("poly").unwrap();
-        let row = contact_row(&t, poly, &ContactRowParams::new()).unwrap();
-        let ct = t.layer("contact").unwrap();
+        let poly = t.layer("poly")?;
+        let row = contact_row(&t, poly, &ContactRowParams::new())?;
+        let ct = t.layer("contact")?;
         assert_eq!(
             row.shapes_on(ct).count(),
             1,
             "minimal row holds one contact"
         );
         assert!(Drc::new(&t).check(&row).is_empty());
+        Ok(())
     }
 
     #[test]
-    fn fig3_middle_w_given_l_minimal() {
+    fn fig3_middle_w_given_l_minimal() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let poly = t.layer("poly").unwrap();
-        let row = contact_row(&t, poly, &ContactRowParams::new().with_w(um(10))).unwrap();
-        let ct = t.layer("contact").unwrap();
+        let poly = t.layer("poly")?;
+        let row = contact_row(&t, poly, &ContactRowParams::new().with_w(um(10)))?;
+        let ct = t.layer("contact")?;
         let n = row.shapes_on(ct).count();
         assert!(n >= 4, "a 10 um row holds a row of contacts, got {n}");
         // One row only: all contacts share the y position.
         let ys: std::collections::HashSet<i64> = row.shapes_on(ct).map(|s| s.rect.y0).collect();
         assert_eq!(ys.len(), 1);
         assert!(Drc::new(&t).check(&row).is_empty());
+        Ok(())
     }
 
     #[test]
-    fn fig3_right_both_given() {
+    fn fig3_right_both_given() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let poly = t.layer("poly").unwrap();
+        let poly = t.layer("poly")?;
         let row = contact_row(
             &t,
             poly,
             &ContactRowParams::new().with_w(um(8)).with_l(um(6)),
-        )
-        .unwrap();
-        let ct = t.layer("contact").unwrap();
+        )?;
+        let ct = t.layer("contact")?;
         // 2-D array: more than one x and more than one y position.
         let xs: std::collections::HashSet<i64> = row.shapes_on(ct).map(|s| s.rect.x0).collect();
         let ys: std::collections::HashSet<i64> = row.shapes_on(ct).map(|s| s.rect.y0).collect();
         assert!(xs.len() > 1 && ys.len() > 1);
         assert!(Drc::new(&t).check(&row).is_empty());
+        Ok(())
     }
 
     #[test]
-    fn row_is_one_electrical_net() {
+    fn row_is_one_electrical_net() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let pdiff = t.layer("pdiff").unwrap();
+        let pdiff = t.layer("pdiff")?;
         let row = contact_row(
             &t,
             pdiff,
             &ContactRowParams::new().with_w(um(12)).with_net("s"),
-        )
-        .unwrap();
+        )?;
         let nets = Extractor::new(&t).connectivity(&row);
         assert_eq!(nets.len(), 1);
         assert_eq!(nets[0].declared, vec!["s".to_string()]);
+        Ok(())
     }
 
     #[test]
-    fn port_carries_net_and_rect() {
+    fn port_carries_net_and_rect() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let poly = t.layer("poly").unwrap();
-        let row = contact_row(&t, poly, &ContactRowParams::new().with_net("g")).unwrap();
-        let p = row.port("g").unwrap();
-        assert_eq!(p.rect, row.bbox_on(t.layer("metal1").unwrap()));
+        let poly = t.layer("poly")?;
+        let row = contact_row(&t, poly, &ContactRowParams::new().with_net("g"))?;
+        let p = row.port("g").ok_or("missing port g")?;
+        assert_eq!(p.rect, row.bbox_on(t.layer("metal1")?));
         assert!(p.net.is_some());
         assert!(row.port("c").is_none(), "single port, named after the net");
+        Ok(())
     }
 
     #[test]
-    fn variable_edges_are_marked() {
+    fn variable_edges_are_marked() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let poly = t.layer("poly").unwrap();
-        let row = contact_row(&t, poly, &ContactRowParams::new().with_variable_edges()).unwrap();
-        let m1 = t.layer("metal1").unwrap();
-        let metal = row.shapes_on(m1).next().unwrap();
+        let poly = t.layer("poly")?;
+        let row = contact_row(&t, poly, &ContactRowParams::new().with_variable_edges())?;
+        let m1 = t.layer("metal1")?;
+        let metal = row.shapes_on(m1).next().ok_or("no metal1 shape")?;
         for d in Dir::ALL {
             assert!(metal.edges.is_variable(d));
         }
+        Ok(())
     }
 
     #[test]
-    fn works_in_the_cmos_deck_too() {
+    fn works_in_the_cmos_deck_too() -> Result<(), Box<dyn std::error::Error>> {
         let t = Tech::cmos_08();
-        let ndiff = t.layer("ndiff").unwrap();
-        let row = contact_row(&t, ndiff, &ContactRowParams::new().with_w(um(10))).unwrap();
+        let ndiff = t.layer("ndiff")?;
+        let row = contact_row(&t, ndiff, &ContactRowParams::new().with_w(um(10)))?;
         assert!(Drc::new(&t).check(&row).is_empty());
-        let ct = t.layer("contact").unwrap();
+        let ct = t.layer("contact")?;
         assert!(
             row.shapes_on(ct).count() >= 5,
             "tighter rules fit more cuts"
         );
+        Ok(())
     }
 
     #[test]
-    fn group_is_rebuildable() {
+    fn group_is_rebuildable() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let poly = t.layer("poly").unwrap();
-        let row = contact_row(&t, poly, &ContactRowParams::new()).unwrap();
+        let poly = t.layer("poly")?;
+        let row = contact_row(&t, poly, &ContactRowParams::new())?;
         assert_eq!(row.groups().len(), 1);
         assert!(matches!(
             row.groups()[0].rebuild,
             Some(RebuildKind::ContactArray { .. })
         ));
+        Ok(())
     }
 }

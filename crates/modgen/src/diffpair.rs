@@ -15,7 +15,7 @@
 //! shared between the devices.
 
 use amgen_compact::{CompactOptions, Compactor};
-use amgen_core::{IntoGenCtx, Stage};
+use amgen_core::{FaultSite, IntoGenCtx, Stage};
 use amgen_db::LayoutObject;
 use amgen_geom::Coord;
 use amgen_geom::Dir;
@@ -75,6 +75,8 @@ pub fn diff_pair(
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "diff_pair");
+    tech.checkpoint(Stage::Modgen)?;
+    tech.fault_check(FaultSite::ModgenEntry, "diff_pair")?;
     let c = Compactor::new(tech);
     let prim = Primitives::new(tech);
     let diff = params.mos.diff(tech)?;
@@ -147,20 +149,21 @@ mod tests {
     }
 
     #[test]
-    fn row_gate_row_gate_row_from_west_to_east() {
+    fn row_gate_row_gate_row_from_west_to_east() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
         let p = pair(&t);
         // The shared s row lies strictly between the two gate x-ranges.
-        let g1 = p.port("g1").unwrap().rect.center().x;
-        let g2 = p.port("g2").unwrap().rect.center().x;
-        let s = p.port("s").unwrap().rect.center().x;
-        let d1 = p.port("d1").unwrap().rect.center().x;
-        let d2 = p.port("d2").unwrap().rect.center().x;
+        let g1 = p.port("g1").ok_or("missing port g1")?.rect.center().x;
+        let g2 = p.port("g2").ok_or("missing port g2")?.rect.center().x;
+        let s = p.port("s").ok_or("missing port s")?.rect.center().x;
+        let d1 = p.port("d1").ok_or("missing port d1")?.rect.center().x;
+        let d2 = p.port("d2").ok_or("missing port d2")?.rect.center().x;
         let (lo_g, hi_g) = (g1.min(g2), g1.max(g2));
         assert!(lo_g < s && s < hi_g, "source row between the gates");
         assert!(d1 < lo_g || d1 > hi_g, "d1 outside");
         assert!(d2 < lo_g || d2 > hi_g, "d2 outside");
         assert!((d1 < lo_g) != (d2 < lo_g), "drains on opposite sides");
+        Ok(())
     }
 
     #[test]
@@ -200,17 +203,18 @@ mod tests {
     }
 
     #[test]
-    fn nmos_pair_works_too() {
+    fn nmos_pair_works_too() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let p = diff_pair(&t, &DiffPairParams::new(MosType::N).with_w(um(6))).unwrap();
+        let p = diff_pair(&t, &DiffPairParams::new(MosType::N).with_w(um(6)))?;
         let v = Drc::new(&t).check_spacing(&p);
         assert!(v.is_empty(), "{v:?}");
-        let nplus = t.layer("nplus").unwrap();
+        let nplus = t.layer("nplus")?;
         assert!(!p.bbox_on(nplus).is_empty());
+        Ok(())
     }
 
     #[test]
-    fn compaction_shares_the_middle_row() {
+    fn compaction_shares_the_middle_row() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
         // Pair width is clearly less than two standalone fingers plus an
         // extra row: the middle row is shared.
@@ -218,28 +222,29 @@ mod tests {
         // Two standalone transistors need four diffusion rows; the pair
         // gets by with three by sharing the middle one. Compare active
         // extents (wells/implants inflate the pair's bounding box).
-        let pdiff = t.layer("pdiff").unwrap();
+        let pdiff = t.layer("pdiff")?;
         let single = crate::mos::mos_transistor(
             &t,
             &crate::mos::MosParams::new(MosType::P)
                 .with_w(um(10))
                 .with_l(um(2))
                 .without_implants(),
-        )
-        .unwrap();
+        )?;
         assert!(
             p.bbox_on(pdiff).width() < 2 * single.bbox_on(pdiff).width(),
             "{} vs 2 x {}",
             p.bbox_on(pdiff).width(),
             single.bbox_on(pdiff).width()
         );
+        Ok(())
     }
 
     #[test]
-    fn works_in_cmos_deck() {
+    fn works_in_cmos_deck() -> Result<(), Box<dyn std::error::Error>> {
         let t = Tech::cmos_08();
-        let p = diff_pair(&t, &DiffPairParams::new(MosType::N).with_w(um(8))).unwrap();
+        let p = diff_pair(&t, &DiffPairParams::new(MosType::N).with_w(um(8)))?;
         let v = Drc::new(&t).check_spacing(&p);
         assert!(v.is_empty(), "{v:?}");
+        Ok(())
     }
 }

@@ -6,7 +6,7 @@
 //! transistor plus one metal1 strap from the gate contact to the drain
 //! row.
 
-use amgen_core::{IntoGenCtx, Stage};
+use amgen_core::{FaultSite, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Shape};
 use amgen_geom::{Coord, Rect};
 
@@ -58,6 +58,8 @@ pub fn diode_transistor(
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "diode_transistor");
+    tech.checkpoint(Stage::Modgen)?;
+    tech.fault_check(FaultSite::ModgenEntry, "diode_transistor")?;
     let mut p = MosParams::new(params.mos).with_nets("a", "s", "a");
     p.w = params.w;
     p.l = params.l;
@@ -121,9 +123,9 @@ mod tests {
     }
 
     #[test]
-    fn anode_joins_gate_and_drain() {
+    fn anode_joins_gate_and_drain() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let m = diode_transistor(&t, &DiodeParams::new(MosType::N).with_w(um(8))).unwrap();
+        let m = diode_transistor(&t, &DiodeParams::new(MosType::N).with_w(um(8)))?;
         let nets = Extractor::new(&t).connectivity(&m);
         let a_comp = nets
             .iter()
@@ -131,40 +133,44 @@ mod tests {
             .expect("anode extracted");
         // The anode component contains poly (the gate) and diffusion (the
         // drain row).
-        let poly = t.layer("poly").unwrap();
-        let nd = t.layer("ndiff").unwrap();
+        let poly = t.layer("poly")?;
+        let nd = t.layer("ndiff")?;
         assert!(a_comp.shapes.iter().any(|&i| m.shapes()[i].layer == poly));
         assert!(a_comp.shapes.iter().any(|&i| m.shapes()[i].layer == nd));
+        Ok(())
     }
 
     #[test]
-    fn source_stays_separate() {
+    fn source_stays_separate() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let m = diode_transistor(&t, &DiodeParams::new(MosType::N).with_w(um(8))).unwrap();
+        let m = diode_transistor(&t, &DiodeParams::new(MosType::N).with_w(um(8)))?;
         for n in Extractor::new(&t).connectivity(&m) {
             let has_a = n.declared.iter().any(|x| x == "a");
             let has_s = n.declared.iter().any(|x| x == "s");
             assert!(!(has_a && has_s), "{:?}", n.declared);
         }
+        Ok(())
     }
 
     #[test]
-    fn no_shorts_in_drc() {
+    fn no_shorts_in_drc() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let m = diode_transistor(&t, &DiodeParams::new(MosType::N).with_w(um(8))).unwrap();
+        let m = diode_transistor(&t, &DiodeParams::new(MosType::N).with_w(um(8)))?;
         let shorts: Vec<_> = Drc::new(&t)
             .check_spacing(&m)
             .into_iter()
             .filter(|v| v.kind == amgen_drc::ViolationKind::Short)
             .collect();
         assert!(shorts.is_empty(), "{shorts:?}");
+        Ok(())
     }
 
     #[test]
-    fn pmos_diode_works() {
+    fn pmos_diode_works() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let m = diode_transistor(&t, &DiodeParams::new(MosType::P).with_w(um(6))).unwrap();
+        let m = diode_transistor(&t, &DiodeParams::new(MosType::P).with_w(um(6)))?;
         assert!(m.port("a").is_some());
         assert!(m.port("s").is_some());
+        Ok(())
     }
 }

@@ -1,8 +1,16 @@
 //! Error type for module generation.
 
+use amgen_core::{GenError, Stage};
+
 /// Errors from the module generators.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ModgenError {
+    /// Budget exhaustion, cancellation or an injected fault, from the
+    /// shared generation context. Typed robustness errors raised by the
+    /// lower stages (primitives, compaction, routing) pass through here
+    /// unstringified so callers can still match on the kind.
+    Gen(GenError),
     /// A required layer is missing from the technology.
     Tech(String),
     /// A primitive shape function failed.
@@ -23,6 +31,7 @@ pub enum ModgenError {
 impl std::fmt::Display for ModgenError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ModgenError::Gen(e) => write!(f, "{e}"),
             ModgenError::Tech(m) => write!(f, "technology: {m}"),
             ModgenError::Prim(m) => write!(f, "primitive: {m}"),
             ModgenError::Compact(m) => write!(f, "compaction: {m}"),
@@ -36,6 +45,24 @@ impl std::fmt::Display for ModgenError {
 
 impl std::error::Error for ModgenError {}
 
+impl From<GenError> for ModgenError {
+    fn from(e: GenError) -> Self {
+        ModgenError::Gen(e)
+    }
+}
+
+impl From<ModgenError> for GenError {
+    /// Unifies module-generation failures under the `amgen-core` error:
+    /// typed robustness errors pass through, stage-specific ones are
+    /// wrapped with [`Stage::Modgen`] context.
+    fn from(e: ModgenError) -> GenError {
+        match e {
+            ModgenError::Gen(g) => g,
+            other => GenError::stage_msg(Stage::Modgen, other.to_string()),
+        }
+    }
+}
+
 impl From<amgen_tech::TechError> for ModgenError {
     fn from(e: amgen_tech::TechError) -> Self {
         ModgenError::Tech(e.to_string())
@@ -44,25 +71,35 @@ impl From<amgen_tech::TechError> for ModgenError {
 
 impl From<amgen_prim::PrimError> for ModgenError {
     fn from(e: amgen_prim::PrimError) -> Self {
-        ModgenError::Prim(e.to_string())
+        match e {
+            amgen_prim::PrimError::Gen(g) => ModgenError::Gen(g),
+            other => ModgenError::Prim(other.to_string()),
+        }
     }
 }
 
 impl From<amgen_compact::CompactError> for ModgenError {
     fn from(e: amgen_compact::CompactError) -> Self {
-        ModgenError::Compact(e.to_string())
+        match e {
+            amgen_compact::CompactError::Gen(g) => ModgenError::Gen(g),
+            other => ModgenError::Compact(other.to_string()),
+        }
     }
 }
 
 impl From<amgen_route::RouteError> for ModgenError {
     fn from(e: amgen_route::RouteError) -> Self {
-        ModgenError::Route(e.to_string())
+        match e {
+            amgen_route::RouteError::Gen(g) => ModgenError::Gen(g),
+            other => ModgenError::Route(other.to_string()),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use amgen_core::Resource;
 
     #[test]
     fn conversion_preserves_messages() {
@@ -73,5 +110,15 @@ mod tests {
             message: "must be > 0".into(),
         };
         assert!(e.to_string().contains("fingers"));
+    }
+
+    #[test]
+    fn typed_robustness_errors_survive_nesting() {
+        let g = GenError::budget(Stage::Prim, Resource::DslFuel);
+        let p = amgen_prim::PrimError::Gen(g.clone());
+        let m: ModgenError = p.into();
+        assert!(matches!(&m, ModgenError::Gen(e) if e.is_budget_exhausted()));
+        let back: GenError = m.into();
+        assert_eq!(back, g);
     }
 }

@@ -6,7 +6,7 @@
 //! a contacted diffusion ring whose shapes carry
 //! [`ShapeRole::SubstrateContact`] so the check can find them.
 
-use amgen_core::{IntoGenCtx, Stage};
+use amgen_core::{FaultSite, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Port, Shape, ShapeRole};
 use amgen_geom::{Coord, Rect};
 use amgen_prim::Primitives;
@@ -43,6 +43,8 @@ pub fn guard_ring(
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "guard_ring");
+    tech.checkpoint(Stage::Modgen)?;
+    tech.fault_check(FaultSite::ModgenEntry, "guard_ring")?;
     let prim = Primitives::new(tech);
     let pdiff = tech.pdiff()?;
     let m1 = tech.metal1()?;
@@ -111,21 +113,22 @@ mod tests {
     }
 
     #[test]
-    fn ring_makes_a_transistor_latchup_clean() {
+    fn ring_makes_a_transistor_latchup_clean() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let m = mos_transistor(&t, &MosParams::new(MosType::N).with_w(um(10))).unwrap();
+        let m = mos_transistor(&t, &MosParams::new(MosType::N).with_w(um(10)))?;
         // Without a ring the active area is uncovered.
         assert!(!latchup::check_latchup(&t, &m).is_empty());
-        let ringed = guard_ring(&t, &m, &GuardRingParams::default()).unwrap();
+        let ringed = guard_ring(&t, &m, &GuardRingParams::default())?;
         assert!(latchup::check_latchup(&t, &ringed).is_empty());
+        Ok(())
     }
 
     #[test]
-    fn ring_has_contacts_on_all_four_sides() {
+    fn ring_has_contacts_on_all_four_sides() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let m = mos_transistor(&t, &MosParams::new(MosType::N).with_w(um(8))).unwrap();
-        let ringed = guard_ring(&t, &m, &GuardRingParams::default()).unwrap();
-        let ct = t.layer("contact").unwrap();
+        let m = mos_transistor(&t, &MosParams::new(MosType::N).with_w(um(8)))?;
+        let ringed = guard_ring(&t, &m, &GuardRingParams::default())?;
+        let ct = t.layer("contact")?;
         let core_bbox = m.bbox();
         let ring_cuts: Vec<_> = ringed
             .shapes_on(ct)
@@ -135,23 +138,25 @@ mod tests {
         assert!(ring_cuts.iter().any(|s| s.rect.y0 >= core_bbox.y1), "north");
         assert!(ring_cuts.iter().any(|s| s.rect.x1 <= core_bbox.x0), "west");
         assert!(ring_cuts.iter().any(|s| s.rect.x0 >= core_bbox.x1), "east");
+        Ok(())
     }
 
     #[test]
-    fn ring_is_drc_clean_around_a_device() {
+    fn ring_is_drc_clean_around_a_device() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let m = mos_transistor(&t, &MosParams::new(MosType::N).with_w(um(8))).unwrap();
-        let ringed = guard_ring(&t, &m, &GuardRingParams::default()).unwrap();
+        let m = mos_transistor(&t, &MosParams::new(MosType::N).with_w(um(8)))?;
+        let ringed = guard_ring(&t, &m, &GuardRingParams::default())?;
         let v = Drc::new(&t).check_spacing(&ringed);
         assert!(v.is_empty(), "{v:?}");
         let v = Drc::new(&t).check_enclosures(&ringed);
         assert!(v.is_empty(), "{v:?}");
+        Ok(())
     }
 
     #[test]
-    fn ring_port_and_net() {
+    fn ring_port_and_net() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let m = mos_transistor(&t, &MosParams::new(MosType::N)).unwrap();
+        let m = mos_transistor(&t, &MosParams::new(MosType::N))?;
         let ringed = guard_ring(
             &t,
             &m,
@@ -159,16 +164,16 @@ mod tests {
                 net: "gnd".into(),
                 width: None,
             },
-        )
-        .unwrap();
+        )?;
         assert!(ringed.port("gnd").is_some());
+        Ok(())
     }
 
     #[test]
-    fn explicit_width_is_respected_as_minimum() {
+    fn explicit_width_is_respected_as_minimum() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let m = mos_transistor(&t, &MosParams::new(MosType::N)).unwrap();
-        let thin = guard_ring(&t, &m, &GuardRingParams::default()).unwrap();
+        let m = mos_transistor(&t, &MosParams::new(MosType::N))?;
+        let thin = guard_ring(&t, &m, &GuardRingParams::default())?;
         let thick = guard_ring(
             &t,
             &m,
@@ -176,8 +181,8 @@ mod tests {
                 net: "sub".into(),
                 width: Some(um(5)),
             },
-        )
-        .unwrap();
+        )?;
         assert!(thick.bbox().width() > thin.bbox().width());
+        Ok(())
     }
 }

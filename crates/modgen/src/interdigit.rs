@@ -6,7 +6,7 @@
 //! metal2 buses collecting the source and drain rows.
 
 use amgen_compact::{CompactOptions, Compactor};
-use amgen_core::{GenCtx, IntoGenCtx, Stage};
+use amgen_core::{FaultSite, GenCtx, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Port, Shape};
 use amgen_geom::{Coord, Dir, Point, Rect};
 use amgen_prim::Primitives;
@@ -107,6 +107,8 @@ pub fn interdigitated(
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "interdigitated");
+    tech.checkpoint(Stage::Modgen)?;
+    tech.fault_check(FaultSite::ModgenEntry, "interdigitated")?;
     if params.fingers == 0 {
         return Err(ModgenError::BadParam {
             param: "fingers",
@@ -257,17 +259,18 @@ mod tests {
     }
 
     #[test]
-    fn finger_count_matches() {
+    fn finger_count_matches() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
         let m = module(&t, 4);
         // 4 gate stripes + 1 strap + 1 polycon base = 6 poly shapes
         // minimum; count the vertical gate stripes (taller than wide).
-        let poly = t.layer("poly").unwrap();
+        let poly = t.layer("poly")?;
         let stripes = m
             .shapes_on(poly)
             .filter(|s| s.rect.height() > s.rect.width())
             .count();
         assert_eq!(stripes, 4);
+        Ok(())
     }
 
     #[test]
@@ -294,13 +297,14 @@ mod tests {
     }
 
     #[test]
-    fn buses_are_ports() {
+    fn buses_are_ports() -> Result<(), Box<dyn std::error::Error>> {
         let m = module(&tech(), 3);
         assert!(m.port("s").is_some());
         assert!(m.port("d").is_some());
-        let s = m.port("s").unwrap().rect;
-        let d = m.port("d").unwrap().rect;
+        let s = m.port("s").ok_or("missing port s")?.rect;
+        let d = m.port("d").ok_or("missing port d")?.rect;
         assert!(!s.overlaps(&d));
+        Ok(())
     }
 
     #[test]

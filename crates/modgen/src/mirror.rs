@@ -9,7 +9,7 @@
 //! device sits in the middle, `n` output fingers flank it on each side.
 
 use amgen_compact::{CompactOptions, Compactor};
-use amgen_core::{GenCtx, IntoGenCtx, Stage};
+use amgen_core::{FaultSite, GenCtx, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Port, Shape};
 use amgen_geom::{Coord, Dir, Point, Rect};
 use amgen_prim::Primitives;
@@ -76,6 +76,8 @@ pub fn current_mirror(
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "current_mirror");
+    tech.checkpoint(Stage::Modgen)?;
+    tech.fault_check(FaultSite::ModgenEntry, "current_mirror")?;
     if params.side_fingers == 0 {
         return Err(ModgenError::BadParam {
             param: "side_fingers",
@@ -274,7 +276,7 @@ mod tests {
     }
 
     #[test]
-    fn diode_connection_ties_gate_to_middle_drain() {
+    fn diode_connection_ties_gate_to_middle_drain() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
         let m = mirror(&t);
         // The extracted "in" component contains both poly (gates) and
@@ -283,12 +285,13 @@ mod tests {
         let in_comp = nets
             .iter()
             .find(|n| n.declared.iter().any(|x| x == "in"))
-            .unwrap();
-        let poly = t.layer("poly").unwrap();
-        let diff = t.layer("ndiff").unwrap();
+            .ok_or("no net `in`")?;
+        let poly = t.layer("poly")?;
+        let diff = t.layer("ndiff")?;
         let has_poly = in_comp.shapes.iter().any(|&i| m.shapes()[i].layer == poly);
         let has_diff = in_comp.shapes.iter().any(|&i| m.shapes()[i].layer == diff);
         assert!(has_poly && has_diff, "diode-connected");
+        Ok(())
     }
 
     #[test]
@@ -305,10 +308,10 @@ mod tests {
     }
 
     #[test]
-    fn layout_is_left_right_symmetric_in_finger_count() {
+    fn layout_is_left_right_symmetric_in_finger_count() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
         let m = mirror(&t);
-        let poly = t.layer("poly").unwrap();
+        let poly = t.layer("poly")?;
         let cx = m.bbox().center().x;
         let stripes: Vec<i64> = m
             .shapes_on(poly)
@@ -318,6 +321,7 @@ mod tests {
         let left = stripes.iter().filter(|&&x| x < cx).count();
         let right = stripes.iter().filter(|&&x| x > cx).count();
         assert_eq!(left, right, "equal fingers on both sides of the diode");
+        Ok(())
     }
 
     #[test]
@@ -337,7 +341,7 @@ mod tests {
     }
 
     #[test]
-    fn bigger_ratio_builds_more_fingers() {
+    fn bigger_ratio_builds_more_fingers() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
         let a = mirror(&t);
         let b = current_mirror(
@@ -346,8 +350,8 @@ mod tests {
                 .with_w(um(6))
                 .with_l(um(1))
                 .with_side_fingers(2),
-        )
-        .unwrap();
+        )?;
         assert!(b.bbox().width() > a.bbox().width());
+        Ok(())
     }
 }

@@ -18,7 +18,7 @@
 //! diffusion-contacts could be placed closer to the transistors"*.
 
 use amgen_compact::{CompactOptions, Compactor};
-use amgen_core::{IntoGenCtx, Stage};
+use amgen_core::{FaultSite, IntoGenCtx, Stage};
 use amgen_db::LayoutObject;
 use amgen_geom::{Coord, Dir};
 use amgen_prim::Primitives;
@@ -141,6 +141,8 @@ pub fn mos_transistor(
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "mos_transistor");
+    tech.checkpoint(Stage::Modgen)?;
+    tech.fault_check(FaultSite::ModgenEntry, "mos_transistor")?;
     let prim = Primitives::new(tech);
     let c = Compactor::new(tech);
     let poly = tech.poly()?;
@@ -246,6 +248,8 @@ pub fn mos_finger(
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "mos_finger");
+    tech.checkpoint(Stage::Modgen)?;
+    tech.fault_check(FaultSite::ModgenEntry, "mos_finger")?;
     let prim = Primitives::new(tech);
     let c = Compactor::new(tech);
     let poly = tech.poly()?;
@@ -301,34 +305,35 @@ mod tests {
     }
 
     #[test]
-    fn nmos_is_drc_clean() {
+    fn nmos_is_drc_clean() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let m =
-            mos_transistor(&t, &MosParams::new(MosType::N).with_w(um(10)).with_l(um(2))).unwrap();
+        let m = mos_transistor(&t, &MosParams::new(MosType::N).with_w(um(10)).with_l(um(2)))?;
         let v = Drc::new(&t).check_spacing(&m);
         assert!(v.is_empty(), "{v:?}");
         let v = Drc::new(&t).check_widths(&m);
         assert!(v.is_empty(), "{v:?}");
         let v = Drc::new(&t).check_enclosures(&m);
         assert!(v.is_empty(), "{v:?}");
+        Ok(())
     }
 
     #[test]
-    fn pmos_gets_well_and_implant() {
+    fn pmos_gets_well_and_implant() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let m = mos_transistor(&t, &MosParams::new(MosType::P).with_w(um(8))).unwrap();
-        let nwell = t.layer("nwell").unwrap();
-        let pdiff = t.layer("pdiff").unwrap();
+        let m = mos_transistor(&t, &MosParams::new(MosType::P).with_w(um(8)))?;
+        let nwell = t.layer("nwell")?;
+        let pdiff = t.layer("pdiff")?;
         let well = m.bbox_on(nwell);
         assert!(!well.is_empty());
         let enc = t.enclosure(nwell, pdiff);
         assert!(well.inflated(-enc).contains_rect(&m.bbox_on(pdiff)));
+        Ok(())
     }
 
     #[test]
-    fn terminals_are_three_distinct_nets() {
+    fn terminals_are_three_distinct_nets() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let m = mos_transistor(&t, &MosParams::new(MosType::N).with_w(um(10))).unwrap();
+        let m = mos_transistor(&t, &MosParams::new(MosType::N).with_w(um(10)))?;
         let nets = Extractor::new(&t).connectivity(&m);
         // The gate net, source net and drain net are distinct components
         // (diffusion under the gate merges s and d geometrically only via
@@ -341,14 +346,14 @@ mod tests {
         assert!(m.port("g").is_some());
         assert!(m.port("s").is_some());
         assert!(m.port("d").is_some());
+        Ok(())
     }
 
     #[test]
-    fn source_drain_rows_merge_into_diffusion() {
+    fn source_drain_rows_merge_into_diffusion() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let m =
-            mos_transistor(&t, &MosParams::new(MosType::N).with_w(um(10)).with_l(um(1))).unwrap();
-        let ndiff = t.layer("ndiff").unwrap();
+        let m = mos_transistor(&t, &MosParams::new(MosType::N).with_w(um(10)).with_l(um(1)))?;
+        let ndiff = t.layer("ndiff")?;
         // The diffusion shapes form one connected region spanning the rows
         // and the channel.
         let region: amgen_geom::Region = m.shapes_on(ndiff).map(|s| s.rect).collect();
@@ -368,51 +373,54 @@ mod tests {
             assert!(region.intersects(&probe), "diffusion gap at x={x}");
             x += step;
         }
+        Ok(())
     }
 
     #[test]
-    fn gate_contact_can_be_omitted() {
+    fn gate_contact_can_be_omitted() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let with = mos_transistor(&t, &MosParams::new(MosType::N).with_w(um(6))).unwrap();
+        let with = mos_transistor(&t, &MosParams::new(MosType::N).with_w(um(6)))?;
         let without = mos_transistor(
             &t,
             &MosParams::new(MosType::N)
                 .with_w(um(6))
                 .without_gate_contact(),
-        )
-        .unwrap();
+        )?;
         assert!(without.len() < with.len());
         assert!(without.port("g").is_none());
         assert!(without.bbox().height() < with.bbox().height());
+        Ok(())
     }
 
     #[test]
-    fn custom_net_names_become_ports() {
+    fn custom_net_names_become_ports() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
         let m = mos_transistor(
             &t,
             &MosParams::new(MosType::N).with_nets("bias", "vss", "out"),
-        )
-        .unwrap();
+        )?;
         assert!(m.port("bias").is_some());
         assert!(m.port("vss").is_some());
         assert!(m.port("out").is_some());
+        Ok(())
     }
 
     #[test]
-    fn minimum_device_works_in_both_decks() {
+    fn minimum_device_works_in_both_decks() -> Result<(), Box<dyn std::error::Error>> {
         for t in [Tech::bicmos_1u(), Tech::cmos_08()] {
-            let m = mos_transistor(&t, &MosParams::new(MosType::N)).unwrap();
+            let m = mos_transistor(&t, &MosParams::new(MosType::N))?;
             let v = Drc::new(&t).check_spacing(&m);
             assert!(v.is_empty(), "{}: {v:?}", t.name());
         }
+        Ok(())
     }
 
     #[test]
-    fn wider_channel_grows_the_device() {
+    fn wider_channel_grows_the_device() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let a = mos_transistor(&t, &MosParams::new(MosType::N).with_w(um(5))).unwrap();
-        let b = mos_transistor(&t, &MosParams::new(MosType::N).with_w(um(20))).unwrap();
+        let a = mos_transistor(&t, &MosParams::new(MosType::N).with_w(um(5)))?;
+        let b = mos_transistor(&t, &MosParams::new(MosType::N).with_w(um(20)))?;
         assert!(b.bbox().height() > a.bbox().height());
+        Ok(())
     }
 }

@@ -11,7 +11,7 @@
 //! enclosing module can wire diagonals on its preferred layers).
 
 use amgen_compact::{CompactOptions, Compactor};
-use amgen_core::{GenCtx, IntoGenCtx, Stage};
+use amgen_core::{FaultSite, GenCtx, IntoGenCtx, Stage};
 use amgen_db::LayoutObject;
 use amgen_geom::{Coord, Dir};
 use amgen_prim::Primitives;
@@ -101,6 +101,8 @@ pub fn common_centroid_quad(
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "common_centroid_quad");
+    tech.checkpoint(Stage::Modgen)?;
+    tech.fault_check(FaultSite::ModgenEntry, "common_centroid_quad")?;
     let w = params
         .w
         .unwrap_or(6_000)
@@ -166,12 +168,12 @@ mod tests {
     }
 
     #[test]
-    fn four_units_two_per_device() {
+    fn four_units_two_per_device() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
         let q = quad(&t);
-        let poly = t.layer("poly").unwrap();
-        let g1 = q.find_net("g1").unwrap();
-        let g2 = q.find_net("g2").unwrap();
+        let poly = t.layer("poly")?;
+        let g1 = q.find_net("g1").ok_or("missing net g1")?;
+        let g2 = q.find_net("g2").ok_or("missing net g2")?;
         let count = |net| {
             q.shapes_on(poly)
                 .filter(|s| s.net == Some(net) && s.rect.height() > 3 * s.rect.width())
@@ -179,16 +181,18 @@ mod tests {
         };
         assert_eq!(count(g1), 4, "2 fingers x 2 rows per device");
         assert_eq!(count(g2), 4);
+        Ok(())
     }
 
     #[test]
-    fn centroids_coincide_in_both_axes() {
+    fn centroids_coincide_in_both_axes() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
         let q = quad(&t);
-        let (x1, y1) = gate_centroid(&t, &q, "g1").unwrap();
-        let (x2, y2) = gate_centroid(&t, &q, "g2").unwrap();
+        let (x1, y1) = gate_centroid(&t, &q, "g1").ok_or("no centroid for g1")?;
+        let (x2, y2) = gate_centroid(&t, &q, "g2").ok_or("no centroid for g2")?;
         assert!((x1 - x2).abs() < 1_000.0, "x centroids: {x1} vs {x2}");
         assert!((y1 - y2).abs() < 1_000.0, "y centroids: {y1} vs {y2}");
+        Ok(())
     }
 
     #[test]
@@ -221,15 +225,16 @@ mod tests {
     }
 
     #[test]
-    fn bbox_overlap_between_rows_is_none() {
+    fn bbox_overlap_between_rows_is_none() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
         let q = quad(&t);
         // The two diffusion bands (rows) stay separate: count distinct
         // y-bands of diffusion.
-        let nd = t.layer("ndiff").unwrap();
+        let nd = t.layer("ndiff")?;
         let mut y0s: Vec<i64> = q.shapes_on(nd).map(|s| s.rect.y0).collect();
         y0s.sort_unstable();
         y0s.dedup();
         assert!(y0s.len() >= 2);
+        Ok(())
     }
 }

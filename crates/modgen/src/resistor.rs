@@ -8,7 +8,7 @@
 //! for ratio-critical feedback networks.
 
 use amgen_compact::{CompactOptions, Compactor};
-use amgen_core::{IntoGenCtx, Stage};
+use amgen_core::{FaultSite, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Shape};
 use amgen_geom::{Coord, Dir, Rect, Vector};
 
@@ -65,6 +65,8 @@ pub fn poly_resistor(
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "poly_resistor");
+    tech.checkpoint(Stage::Modgen)?;
+    tech.fault_check(FaultSite::ModgenEntry, "poly_resistor")?;
     if params.legs == 0 {
         return Err(ModgenError::BadParam {
             param: "legs",
@@ -152,6 +154,8 @@ pub fn matched_resistor_pair(
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "matched_resistor_pair");
+    tech.checkpoint(Stage::Modgen)?;
+    tech.fault_check(FaultSite::ModgenEntry, "matched_resistor_pair")?;
     let (ra, va) = poly_resistor(
         tech,
         &ResistorParams {
@@ -195,48 +199,55 @@ mod tests {
     }
 
     #[test]
-    fn serpentine_is_one_resistive_net() {
+    fn serpentine_is_one_resistive_net() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let (m, _) = poly_resistor(&t, &ResistorParams::new(5).with_leg_l(um(12))).unwrap();
+        let (m, _) = poly_resistor(&t, &ResistorParams::new(5).with_leg_l(um(12)))?;
         // Everything poly + the two contact rows form one component
         // (a resistor is one conductor); terminals both appear in it.
         let nets = Extractor::new(&t).connectivity(&m);
-        let comp = nets.iter().max_by_key(|n| n.shapes.len()).unwrap();
+        let comp = nets
+            .iter()
+            .max_by_key(|n| n.shapes.len())
+            .ok_or("no nets")?;
         assert!(comp.declared.iter().any(|d| d == "p"));
         assert!(comp.declared.iter().any(|d| d == "n"));
+        Ok(())
     }
 
     #[test]
-    fn value_scales_with_legs() {
+    fn value_scales_with_legs() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let (_, v3) = poly_resistor(&t, &ResistorParams::new(3).with_leg_l(um(12))).unwrap();
-        let (_, v6) = poly_resistor(&t, &ResistorParams::new(6).with_leg_l(um(12))).unwrap();
+        let (_, v3) = poly_resistor(&t, &ResistorParams::new(3).with_leg_l(um(12)))?;
+        let (_, v6) = poly_resistor(&t, &ResistorParams::new(6).with_leg_l(um(12)))?;
         assert!(v6 > 1.8 * v3, "{v6} vs {v3}");
         // Sanity: 25 Ω/□ poly, 12 µm legs of 1 µm width ≈ 12 squares/leg.
         assert!(v3 > 3.0 * 12.0 * 20.0);
+        Ok(())
     }
 
     #[test]
-    fn value_scales_inverse_with_width() {
+    fn value_scales_inverse_with_width() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let (_, narrow) = poly_resistor(&t, &ResistorParams::new(4).with_leg_l(um(12))).unwrap();
+        let (_, narrow) = poly_resistor(&t, &ResistorParams::new(4).with_leg_l(um(12)))?;
         let (_, wide) =
-            poly_resistor(&t, &ResistorParams::new(4).with_leg_l(um(12)).with_w(um(2))).unwrap();
+            poly_resistor(&t, &ResistorParams::new(4).with_leg_l(um(12)).with_w(um(2)))?;
         assert!(wide < narrow);
+        Ok(())
     }
 
     #[test]
-    fn serpentine_is_spacing_clean() {
+    fn serpentine_is_spacing_clean() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let (m, _) = poly_resistor(&t, &ResistorParams::new(6).with_leg_l(um(15))).unwrap();
+        let (m, _) = poly_resistor(&t, &ResistorParams::new(6).with_leg_l(um(15)))?;
         let v = Drc::new(&t).check_spacing(&m);
         assert!(v.is_empty(), "{v:?}");
+        Ok(())
     }
 
     #[test]
-    fn matched_pair_values_agree() {
+    fn matched_pair_values_agree() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let (m, va, vb) = matched_resistor_pair(&t, 4, um(12)).unwrap();
+        let (m, va, vb) = matched_resistor_pair(&t, 4, um(12))?;
         assert_eq!(va, vb);
         // Devices remain electrically separate.
         for n in Extractor::new(&t).connectivity(&m) {
@@ -244,6 +255,7 @@ mod tests {
             let b = n.declared.iter().any(|d| d.starts_with("b_"));
             assert!(!(a && b), "{:?}", n.declared);
         }
+        Ok(())
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! the two ends.
 
 use amgen_compact::{CompactOptions, Compactor};
-use amgen_core::{IntoGenCtx, Stage};
+use amgen_core::{FaultSite, IntoGenCtx, Stage};
 use amgen_db::LayoutObject;
 use amgen_geom::{Coord, Dir};
 use amgen_prim::Primitives;
@@ -78,6 +78,8 @@ pub fn stacked_transistor(
     let tech = &tech.into_gen_ctx();
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "stacked_transistor");
+    tech.checkpoint(Stage::Modgen)?;
+    tech.fault_check(FaultSite::ModgenEntry, "stacked_transistor")?;
     if params.gates == 0 {
         return Err(ModgenError::BadParam {
             param: "gates",
@@ -163,78 +165,81 @@ mod tests {
     }
 
     #[test]
-    fn stack_has_end_contacts_only() {
+    fn stack_has_end_contacts_only() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let m = stacked_transistor(&t, &StackedParams::new(MosType::N, 4).with_w(um(6))).unwrap();
+        let m = stacked_transistor(&t, &StackedParams::new(MosType::N, 4).with_w(um(6)))?;
         // Exactly 3 contact-row groups: s row, d row, gate contact.
         assert_eq!(m.groups().len(), 3);
-        let poly = t.layer("poly").unwrap();
+        let poly = t.layer("poly")?;
         let gates = m
             .shapes_on(poly)
             .filter(|s| s.rect.height() > 3 * s.rect.width())
             .count();
         assert_eq!(gates, 4);
+        Ok(())
     }
 
     #[test]
-    fn source_and_drain_are_isolated_through_the_stack() {
+    fn source_and_drain_are_isolated_through_the_stack() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let m = stacked_transistor(&t, &StackedParams::new(MosType::N, 3).with_w(um(6))).unwrap();
+        let m = stacked_transistor(&t, &StackedParams::new(MosType::N, 3).with_w(um(6)))?;
         // Gates split the diffusion: s and d never share a component.
         for n in Extractor::new(&t).connectivity(&m) {
             let has_s = n.declared.iter().any(|x| x == "s");
             let has_d = n.declared.iter().any(|x| x == "d");
             assert!(!(has_s && has_d), "{:?}", n.declared);
         }
+        Ok(())
     }
 
     #[test]
-    fn common_gate_is_one_node() {
+    fn common_gate_is_one_node() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let m = stacked_transistor(&t, &StackedParams::new(MosType::N, 3).with_w(um(6))).unwrap();
+        let m = stacked_transistor(&t, &StackedParams::new(MosType::N, 3).with_w(um(6)))?;
         let g_comps = Extractor::new(&t)
             .connectivity(&m)
             .into_iter()
             .filter(|n| n.declared.iter().any(|x| x == "g"))
             .count();
         assert_eq!(g_comps, 1);
+        Ok(())
     }
 
     #[test]
-    fn separate_gates_stay_separate() {
+    fn separate_gates_stay_separate() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
         let m = stacked_transistor(
             &t,
             &StackedParams::new(MosType::N, 3)
                 .with_w(um(6))
                 .with_separate_gates(),
-        )
-        .unwrap();
+        )?;
         for n in Extractor::new(&t).connectivity(&m) {
             let gates: Vec<_> = n.declared.iter().filter(|x| x.starts_with('g')).collect();
             assert!(gates.len() <= 1, "{:?}", n.declared);
         }
+        Ok(())
     }
 
     #[test]
-    fn stack_is_shorter_than_contacted_fingers() {
+    fn stack_is_shorter_than_contacted_fingers() -> Result<(), Box<dyn std::error::Error>> {
         // The point of stacking: no intermediate rows.
         let t = tech();
-        let stack =
-            stacked_transistor(&t, &StackedParams::new(MosType::N, 4).with_w(um(6))).unwrap();
+        let stack = stacked_transistor(&t, &StackedParams::new(MosType::N, 4).with_w(um(6)))?;
         let fingers = crate::interdigit::interdigitated(
             &t,
             &crate::interdigit::InterdigitParams::new(MosType::N, 4).with_w(um(6)),
-        )
-        .unwrap();
+        )?;
         assert!(stack.bbox().width() < fingers.bbox().width());
+        Ok(())
     }
 
     #[test]
-    fn spacing_clean() {
+    fn spacing_clean() -> Result<(), Box<dyn std::error::Error>> {
         let t = tech();
-        let m = stacked_transistor(&t, &StackedParams::new(MosType::P, 5).with_w(um(8))).unwrap();
+        let m = stacked_transistor(&t, &StackedParams::new(MosType::P, 5).with_w(um(8)))?;
         let v = Drc::new(&t).check_spacing(&m);
         assert!(v.is_empty(), "{v:?}");
+        Ok(())
     }
 }

@@ -34,15 +34,45 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, LockResult, Mutex};
 use std::time::Instant;
 
 use amgen_compact::{CompactError, Compactor};
-use amgen_core::Stage;
+use amgen_core::{FaultSite, GenError, GenErrorKind, Resource, Stage};
 use amgen_db::{LayoutObject, LayoutSignature};
 
 use crate::{OptResult, Optimizer, Rating, SearchOptions, Step};
+
+/// Recovers the guard from a possibly poisoned lock. A worker that
+/// panicked mid-frame (see the `catch_unwind` in the worker loop) poisons
+/// whatever mutex it held; the shared state itself stays consistent —
+/// every update is a single push/insert — so the search keeps going
+/// instead of cascading panics through every other worker.
+fn unpoison<T>(r: LockResult<T>) -> T {
+    r.unwrap_or_else(|p| p.into_inner())
+}
+
+/// True when a compaction error is the wall deadline expiring mid-step.
+/// The deadline is soft for the optimizer — it degrades the result rather
+/// than failing it — so this error is folded into the degraded flow
+/// wherever a worker or the seeding loop encounters it.
+fn is_wall_expiry(e: &CompactError) -> bool {
+    matches!(e, CompactError::Gen(g)
+        if g.kind == GenErrorKind::BudgetExhausted(Resource::Wall))
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// One node of the permutation tree.
 struct Frame {
@@ -88,6 +118,9 @@ struct Shared<'a> {
     dominated: AtomicUsize,
     stop: AtomicBool,
     exhausted: AtomicBool,
+    /// Set when the wall-clock deadline expired mid-search: the result is
+    /// the best incumbent found so far, flagged rather than an error.
+    degraded: AtomicBool,
     error: Mutex<Option<CompactError>>,
 }
 
@@ -108,7 +141,7 @@ impl<'a> Shared<'a> {
     /// Records a complete order if it beats the incumbent (score first,
     /// then lexicographically smallest order).
     fn offer(&self, rating: Rating, order: Vec<usize>, layout: LayoutObject) {
-        let mut best = self.best.lock().unwrap();
+        let mut best = unpoison(self.best.lock());
         let better = match &*best {
             None => true,
             Some(b) => match rating.score.total_cmp(&b.rating.score) {
@@ -158,7 +191,7 @@ impl<'a> Shared<'a> {
     /// lexicographically smaller prefix. Otherwise records `order` as the
     /// class representative.
     fn dominated(&self, mask: u64, sig: LayoutSignature, order: &[usize]) -> bool {
-        let mut dom = self.dom.lock().unwrap();
+        let mut dom = unpoison(self.dom.lock());
         match dom.entry((mask, sig)) {
             Entry::Occupied(mut e) => {
                 if e.get().as_slice() <= order {
@@ -182,7 +215,20 @@ impl<'a> Shared<'a> {
     }
 
     fn record_error(&self, e: CompactError) {
-        self.error.lock().unwrap().get_or_insert(e);
+        if is_wall_expiry(&e) {
+            self.enter_degraded();
+            return;
+        }
+        unpoison(self.error.lock()).get_or_insert(e);
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Switches the search into deadline-degraded shutdown: stop
+    /// expanding, flag the result, let the incumbent (or the greedy
+    /// completion) stand.
+    fn enter_degraded(&self) {
+        self.degraded.store(true, Ordering::Relaxed);
+        self.exhausted.store(true, Ordering::Relaxed);
         self.stop.store(true, Ordering::Relaxed);
     }
 
@@ -218,9 +264,26 @@ impl<'a> Shared<'a> {
         })
     }
 
-    /// Processes one frame. Returns the frame back when the node budget is
-    /// exhausted so it stays available for the best-effort completion.
+    /// Processes one frame. Returns the frame back when the node budget or
+    /// the wall-clock deadline is exhausted so it stays available for the
+    /// best-effort completion.
     fn process(&self, c: &Compactor, frame: Frame) -> Option<Frame> {
+        // Cooperative cancellation is a hard, typed error; the deadline is
+        // soft — stop expanding, keep the frame for the greedy completion
+        // and flag the result as degraded instead of erroring.
+        let limits = &self.opt.ctx.limits;
+        if limits.cancel_token().is_cancelled() {
+            self.record_error(CompactError::Gen(GenError::cancelled(Stage::Opt)));
+            return None;
+        }
+        if limits.deadline_expired() {
+            self.enter_degraded();
+            return Some(frame);
+        }
+        if let Err(e) = self.opt.ctx.fault_check(FaultSite::OptWorker, "process") {
+            self.record_error(CompactError::Gen(e));
+            return None;
+        }
         // Re-check the bound: the incumbent may have improved while this
         // frame sat on the deque.
         if self.bound_prunes(frame.lb) {
@@ -260,7 +323,7 @@ impl<'a> Shared<'a> {
         span.arg("children", children.len());
         drop(span);
         if !children.is_empty() {
-            let mut q = self.deque.lock().unwrap();
+            let mut q = unpoison(self.deque.lock());
             // LIFO: reversed push so the lowest step index is popped first
             // (depth-first, left-to-right — matches the sequential order).
             for ch in children.into_iter().rev() {
@@ -293,7 +356,7 @@ impl<'a> Shared<'a> {
         );
         loop {
             let frame = {
-                let mut q = self.deque.lock().unwrap();
+                let mut q = unpoison(self.deque.lock());
                 loop {
                     if self.stop.load(Ordering::Relaxed) {
                         break None;
@@ -305,7 +368,7 @@ impl<'a> Shared<'a> {
                     if q.active == 0 {
                         break None;
                     }
-                    q = self.work.wait(q).unwrap();
+                    q = unpoison(self.work.wait(q));
                 }
             };
             let Some(frame) = frame else {
@@ -314,8 +377,26 @@ impl<'a> Shared<'a> {
                 self.work.notify_all();
                 return;
             };
-            let requeue = self.process(&c, frame);
-            let mut q = self.deque.lock().unwrap();
+            // A panicking frame — an injected fault or a genuine bug in one
+            // permutation's compaction — is recorded and pruned; the other
+            // workers and the incumbent are unaffected. The `active`
+            // bookkeeping below runs regardless, so a panic can never
+            // leave the exit condition (`active == 0`) unreachable.
+            let requeue = match catch_unwind(AssertUnwindSafe(|| self.process(&c, frame))) {
+                Ok(r) => r,
+                Err(payload) => {
+                    let message = panic_text(payload.as_ref());
+                    self.opt.ctx.metrics.add_opt_panic();
+                    self.opt.ctx.trace.instant_args(
+                        "opt",
+                        || "worker_panic",
+                        || vec![("message", message.clone().into())],
+                    );
+                    self.pruned.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            };
+            let mut q = unpoison(self.deque.lock());
             q.active -= 1;
             if let Some(f) = requeue {
                 q.frames.push(f);
@@ -338,7 +419,14 @@ fn greedy_complete(
     steps: &[Step],
     mut frame: Frame,
 ) -> Result<(LayoutObject, Vec<usize>), CompactError> {
-    let c = Compactor::new(&opt.ctx);
+    // The completion runs under a grace context with the budget disarmed:
+    // it exists precisely because the node budget or wall deadline already
+    // expired, and it is bounded (O(steps²) compactions), so letting the
+    // expired deadline veto it would turn every timeout into an error
+    // instead of a best-effort result.
+    let mut grace = opt.ctx.clone();
+    grace.limits = std::sync::Arc::new(amgen_core::Budget::unlimited().arm());
+    let c = Compactor::new(&grace);
     debug_assert!(
         std::sync::Arc::ptr_eq(&c.ctx().rules, &opt.ctx.rules),
         "greedy completion must share the optimizer's rule kernel allocation"
@@ -387,16 +475,27 @@ pub(crate) fn run(
             workers: 0,
             wall: t0.elapsed(),
             complete: true,
+            degraded: false,
             metrics: opt.ctx.snapshot(),
         });
     }
-    assert!(
-        steps.len() <= 64,
-        "optimize_order supports at most 64 steps ({} given); a {}-step \
-         permutation search would not terminate anyway",
-        steps.len(),
-        steps.len()
-    );
+    if steps.len() > 64 {
+        return Err(CompactError::Gen(GenError::stage_msg(
+            Stage::Opt,
+            format!(
+                "optimize_order supports at most 64 steps ({} given); a {}-step \
+                 permutation search would not terminate anyway",
+                steps.len(),
+                steps.len()
+            ),
+        )));
+    }
+    // Pre-flight: surface an already cancelled run before any thread is
+    // spawned. An already-expired deadline is NOT an error here — the
+    // search below degrades to a greedy best-effort result instead.
+    if opt.ctx.limits.cancel_token().is_cancelled() {
+        return Err(CompactError::Gen(GenError::cancelled(Stage::Opt)));
+    }
     let workers = match search.workers {
         0 => std::thread::available_parallelism()
             .map(|n| n.get())
@@ -409,10 +508,18 @@ pub(crate) fn run(
     search_span.arg("steps", steps.len());
     search_span.arg("workers", workers);
 
+    // The effective node budget is the search option capped by the
+    // context-wide budget, so a `Budget::with_max_opt_nodes` bound applies
+    // even to callers that never touch `SearchOptions`.
+    let budget_nodes = opt.ctx.limits.budget().max_opt_nodes;
+    let max_nodes = search
+        .max_nodes
+        .min(usize::try_from(budget_nodes).unwrap_or(usize::MAX));
+
     let shared = Shared {
         opt,
         steps,
-        max_nodes: search.max_nodes,
+        max_nodes,
         dominance: search.dominance,
         deque: Mutex::new(Deque {
             frames: Vec::new(),
@@ -427,6 +534,7 @@ pub(crate) fn run(
         dominated: AtomicUsize::new(0),
         stop: AtomicBool::new(false),
         exhausted: AtomicBool::new(false),
+        degraded: AtomicBool::new(false),
         error: Mutex::new(None),
     };
 
@@ -439,10 +547,18 @@ pub(crate) fn run(
         } else {
             (0..steps.len()).collect()
         };
-        let mut q = shared.deque.lock().unwrap();
+        let mut q = unpoison(shared.deque.lock());
         for &f in first_choices.iter().rev() {
             let mut main = LayoutObject::new("module");
-            c.compact(&mut main, &steps[f].obj, steps[f].side, &steps[f].opts)?;
+            if let Err(e) = c.compact(&mut main, &steps[f].obj, steps[f].side, &steps[f].opts) {
+                if is_wall_expiry(&e) {
+                    // Deadline hit while seeding: degrade to the greedy
+                    // best-effort completion over whatever got seeded.
+                    shared.enter_degraded();
+                    break;
+                }
+                return Err(e);
+            }
             let sig = main.signature();
             let lb = shared.lower_bound(&sig);
             q.frames.push(Frame {
@@ -465,7 +581,7 @@ pub(crate) fn run(
         });
     }
 
-    if let Some(e) = shared.error.lock().unwrap().take() {
+    if let Some(e) = unpoison(shared.error.lock()).take() {
         return Err(e);
     }
 
@@ -473,6 +589,7 @@ pub(crate) fn run(
     let pruned = shared.pruned.load(Ordering::Relaxed);
     let dominated = shared.dominated.load(Ordering::Relaxed);
     let complete = !shared.exhausted.load(Ordering::Relaxed);
+    let degraded = shared.degraded.load(Ordering::Relaxed);
     // The search statistics also live in the shared metrics so the run
     // report and `OptResult` read the same numbers.
     opt.ctx.metrics.add_opt_explored(explored as u64);
@@ -481,14 +598,14 @@ pub(crate) fn run(
     search_span.arg("explored", explored);
     search_span.arg("pruned", pruned);
     search_span.arg("dominated", dominated);
-    let best = shared.best.into_inner().unwrap();
+    let best = unpoison(shared.best.into_inner());
 
     let (order, layout, rating) = match best {
         Some(b) => (b.order, b.layout, b.rating),
         None => {
             // Node budget ran out before any complete order: finish the
             // deepest remaining frame greedily (best-effort).
-            let frames = shared.deque.into_inner().unwrap().frames;
+            let frames = unpoison(shared.deque.into_inner()).frames;
             let deepest = frames.into_iter().max_by(|a, b| {
                 a.order
                     .len()
@@ -508,7 +625,12 @@ pub(crate) fn run(
                         lb: 0.0,
                     };
                     if search.keep_first {
-                        let c = Compactor::new(&opt.ctx);
+                        // Seed under the same disarmed-budget grace the
+                        // greedy completion uses (see `greedy_complete`):
+                        // this path only runs because a budget expired.
+                        let mut grace = opt.ctx.clone();
+                        grace.limits = std::sync::Arc::new(amgen_core::Budget::unlimited().arm());
+                        let c = Compactor::new(&grace);
                         c.compact(
                             &mut start.main,
                             &steps[0].obj,
@@ -539,6 +661,7 @@ pub(crate) fn run(
         workers,
         wall: t0.elapsed(),
         complete,
+        degraded,
         metrics: opt.ctx.snapshot(),
     })
 }

@@ -1,8 +1,14 @@
 //! Error type for primitive shape functions.
 
+use amgen_core::{GenError, Stage};
+
 /// Errors from the primitive shape functions.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum PrimError {
+    /// Budget exhaustion, cancellation or an injected fault, from the
+    /// shared generation context.
+    Gen(GenError),
     /// A structural primitive (`array`, `around`, `ring`, adaptors) was
     /// applied to an object with no geometry to relate to.
     EmptyObject {
@@ -24,6 +30,7 @@ pub enum PrimError {
 impl std::fmt::Display for PrimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            PrimError::Gen(e) => write!(f, "{e}"),
             PrimError::EmptyObject { primitive } => {
                 write!(f, "`{primitive}` needs existing geometry in the object")
             }
@@ -46,6 +53,24 @@ impl std::error::Error for PrimError {}
 impl From<amgen_tech::TechError> for PrimError {
     fn from(e: amgen_tech::TechError) -> PrimError {
         PrimError::MissingRule(e.to_string())
+    }
+}
+
+impl From<GenError> for PrimError {
+    fn from(e: GenError) -> PrimError {
+        PrimError::Gen(e)
+    }
+}
+
+impl From<PrimError> for GenError {
+    /// Unifies primitive failures under the `amgen-core` error: typed
+    /// robustness errors pass through, stage-specific ones are wrapped
+    /// with [`Stage::Prim`] context.
+    fn from(e: PrimError) -> GenError {
+        match e {
+            PrimError::Gen(g) => g,
+            other => GenError::stage_msg(Stage::Prim, other.to_string()),
+        }
     }
 }
 

@@ -1,6 +1,6 @@
 //! The primitive shape functions.
 
-use amgen_core::{GenCtx, IntoGenCtx, Stage};
+use amgen_core::{FaultSite, GenCtx, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, NetId, Shape, ShapeRole};
 use amgen_geom::{Coord, Rect};
 use amgen_tech::{Layer, LayerKind, RuleSet};
@@ -34,6 +34,17 @@ impl Primitives {
     /// The compiled rule kernel.
     pub fn rules(&self) -> &RuleSet {
         &self.ctx
+    }
+
+    /// Robustness probe shared by the public primitives: cancellation /
+    /// deadline checkpoint plus the two fault-injection sites (the call
+    /// itself and the rule lookups it is about to perform on `layer`).
+    fn probe(&self, primitive: &'static str, layer: Layer) -> Result<(), PrimError> {
+        self.ctx.checkpoint(Stage::Prim)?;
+        self.ctx.fault_check(FaultSite::PrimCall, primitive)?;
+        self.ctx
+            .fault_check(FaultSite::RuleLookup, self.ctx.layer_name(layer))?;
+        Ok(())
     }
 
     /// The frame inside which a shape on `inner` may be placed: the
@@ -132,6 +143,7 @@ impl Primitives {
         w: Option<Coord>,
         l: Option<Coord>,
     ) -> Result<usize, PrimError> {
+        self.probe("inbox", layer)?;
         let _timer = self.ctx.metrics.stage_timer(Stage::Prim);
         let _span = self.ctx.span_fine(Stage::Prim, || "inbox");
         let min_w = self.ctx.min_width(layer).max(self.ctx.grid());
@@ -205,6 +217,7 @@ impl Primitives {
     /// equidistant cut squares; expands the outers so that at least one
     /// fits (paper §2.2). Returns the new shapes' indices.
     pub fn array(&self, obj: &mut LayoutObject, cut: Layer) -> Result<Vec<usize>, PrimError> {
+        self.probe("array", cut)?;
         let _timer = self.ctx.metrics.stage_timer(Stage::Prim);
         let _span = self.ctx.span_fine(Stage::Prim, || "array");
         if obj.is_empty() {
@@ -237,6 +250,7 @@ impl Primitives {
         layer: Layer,
         extra: Coord,
     ) -> Result<usize, PrimError> {
+        self.probe("around", layer)?;
         let _timer = self.ctx.metrics.stage_timer(Stage::Prim);
         let _span = self.ctx.span_fine(Stage::Prim, || "around");
         if obj.is_empty() {
@@ -272,6 +286,7 @@ impl Primitives {
         width: Option<Coord>,
         clearance: Option<Coord>,
     ) -> Result<[usize; 4], PrimError> {
+        self.probe("ring", layer)?;
         let _timer = self.ctx.metrics.stage_timer(Stage::Prim);
         let _span = self.ctx.span_fine(Stage::Prim, || "ring");
         if obj.is_empty() {
@@ -324,6 +339,7 @@ impl Primitives {
         w: Option<Coord>,
         l: Option<Coord>,
     ) -> Result<(usize, usize), PrimError> {
+        self.probe("two_rects", gate)?;
         let _timer = self.ctx.metrics.stage_timer(Stage::Prim);
         let _span = self.ctx.span_fine(Stage::Prim, || "two_rects");
         let w = self.ctx.snap_up(
@@ -386,80 +402,85 @@ mod tests {
     }
 
     #[test]
-    fn inbox_seed_uses_min_width_defaults() {
+    fn inbox_seed_uses_min_width_defaults() -> Result<(), Box<dyn std::error::Error>> {
         let (t,) = setup();
         let p = Primitives::new(&t);
-        let poly = t.layer("poly").unwrap();
+        let poly = t.layer("poly")?;
         let mut obj = LayoutObject::new("x");
-        let i = p.inbox(&mut obj, poly, None, None).unwrap();
+        let i = p.inbox(&mut obj, poly, None, None)?;
         let r = obj.shapes()[i].rect;
         assert_eq!(r.width(), t.min_width(poly));
         assert_eq!(r.height(), t.min_width(poly));
         assert_eq!(r.ll(), amgen_geom::Point::ORIGIN);
+        Ok(())
     }
 
     #[test]
-    fn inbox_seed_respects_explicit_dims() {
+    fn inbox_seed_respects_explicit_dims() -> Result<(), Box<dyn std::error::Error>> {
         let (t,) = setup();
         let p = Primitives::new(&t);
-        let poly = t.layer("poly").unwrap();
+        let poly = t.layer("poly")?;
         let mut obj = LayoutObject::new("x");
-        let i = p.inbox(&mut obj, poly, Some(um(10)), Some(um(2))).unwrap();
+        let i = p.inbox(&mut obj, poly, Some(um(10)), Some(um(2)))?;
         let r = obj.shapes()[i].rect;
         assert_eq!((r.width(), r.height()), (um(10), um(2)));
+        Ok(())
     }
 
     #[test]
-    fn inbox_seed_clamps_to_min_width() {
+    fn inbox_seed_clamps_to_min_width() -> Result<(), Box<dyn std::error::Error>> {
         let (t,) = setup();
         let p = Primitives::new(&t);
-        let m1 = t.layer("metal1").unwrap();
+        let m1 = t.layer("metal1")?;
         let mut obj = LayoutObject::new("x");
-        let i = p.inbox(&mut obj, m1, Some(100), None).unwrap();
+        let i = p.inbox(&mut obj, m1, Some(100), None)?;
         assert_eq!(obj.shapes()[i].rect.width(), t.min_width(m1));
+        Ok(())
     }
 
     #[test]
-    fn inbox_inside_fills_frame_when_dims_omitted() {
+    fn inbox_inside_fills_frame_when_dims_omitted() -> Result<(), Box<dyn std::error::Error>> {
         let (t,) = setup();
         let p = Primitives::new(&t);
-        let poly = t.layer("poly").unwrap();
-        let m1 = t.layer("metal1").unwrap();
+        let poly = t.layer("poly")?;
+        let m1 = t.layer("metal1")?;
         let mut obj = LayoutObject::new("x");
-        p.inbox(&mut obj, poly, Some(um(10)), Some(um(2))).unwrap();
-        let i = p.inbox(&mut obj, m1, None, None).unwrap();
+        p.inbox(&mut obj, poly, Some(um(10)), Some(um(2)))?;
+        let i = p.inbox(&mut obj, m1, None, None)?;
         // No poly→metal1 enclosure rule, so metal fills the poly rect.
         assert_eq!(obj.shapes()[i].rect, obj.shapes()[0].rect);
+        Ok(())
     }
 
     #[test]
-    fn inbox_expands_outers_when_too_small() {
+    fn inbox_expands_outers_when_too_small() -> Result<(), Box<dyn std::error::Error>> {
         let (t,) = setup();
         let p = Primitives::new(&t);
-        let poly = t.layer("poly").unwrap();
-        let m1 = t.layer("metal1").unwrap();
+        let poly = t.layer("poly")?;
+        let m1 = t.layer("metal1")?;
         let mut obj = LayoutObject::new("x");
         // Seed poly is 1000 wide, metal1 min width is 1500: poly must grow.
-        p.inbox(&mut obj, poly, None, None).unwrap();
-        let i = p.inbox(&mut obj, m1, None, None).unwrap();
+        p.inbox(&mut obj, poly, None, None)?;
+        let i = p.inbox(&mut obj, m1, None, None)?;
         let poly_r = obj.shapes()[0].rect;
         let m1_r = obj.shapes()[i].rect;
         assert!(poly_r.width() >= t.min_width(m1));
         assert!(m1_r.width() >= t.min_width(m1));
         assert!(poly_r.contains_rect(&m1_r));
+        Ok(())
     }
 
     #[test]
-    fn contact_row_three_calls_fig2() {
+    fn contact_row_three_calls_fig2() -> Result<(), Box<dyn std::error::Error>> {
         let (t,) = setup();
         let p = Primitives::new(&t);
-        let poly = t.layer("poly").unwrap();
-        let m1 = t.layer("metal1").unwrap();
-        let ct = t.layer("contact").unwrap();
+        let poly = t.layer("poly")?;
+        let m1 = t.layer("metal1")?;
+        let ct = t.layer("contact")?;
         let mut row = LayoutObject::new("gatecon");
-        p.inbox(&mut row, poly, Some(um(10)), None).unwrap();
-        p.inbox(&mut row, m1, None, None).unwrap();
-        let cuts = p.array(&mut row, ct).unwrap();
+        p.inbox(&mut row, poly, Some(um(10)), None)?;
+        p.inbox(&mut row, m1, None, None)?;
+        let cuts = p.array(&mut row, ct)?;
         assert!(cuts.len() >= 2, "a 10 um row holds several contacts");
         // Every contact is enclosed by both poly and metal1 by >= 500.
         let poly_r = row.shapes()[0].rect;
@@ -470,7 +491,7 @@ mod tests {
             assert!(m1_r.inflated(-t.enclosure(m1, ct)).contains_rect(&c));
         }
         // Contacts are pairwise spaced by at least the rule.
-        let space = t.min_spacing(ct, ct).unwrap();
+        let space = t.min_spacing(ct, ct).ok_or("no contact spacing rule")?;
         for (a, &i) in cuts.iter().enumerate() {
             for &j in &cuts[a + 1..] {
                 let (ri, rj) = (row.shapes()[i].rect, row.shapes()[j].rect);
@@ -479,103 +500,110 @@ mod tests {
                 assert!(dx >= space || dy >= space, "{ri} vs {rj}");
             }
         }
+        Ok(())
     }
 
     #[test]
-    fn array_expands_to_fit_one_cut() {
+    fn array_expands_to_fit_one_cut() -> Result<(), Box<dyn std::error::Error>> {
         let (t,) = setup();
         let p = Primitives::new(&t);
-        let poly = t.layer("poly").unwrap();
-        let ct = t.layer("contact").unwrap();
+        let poly = t.layer("poly")?;
+        let ct = t.layer("contact")?;
         let mut obj = LayoutObject::new("x");
         // A minimum-size poly square: far too small for a contact + enclosure.
-        p.inbox(&mut obj, poly, None, None).unwrap();
-        let cuts = p.array(&mut obj, ct).unwrap();
+        p.inbox(&mut obj, poly, None, None)?;
+        let cuts = p.array(&mut obj, ct)?;
         assert_eq!(cuts.len(), 1);
         let c = obj.shapes()[cuts[0]].rect;
         let poly_r = obj.shapes()[0].rect;
         assert!(poly_r.inflated(-t.enclosure(poly, ct)).contains_rect(&c));
+        Ok(())
     }
 
     #[test]
-    fn array_on_empty_object_is_an_error() {
+    fn array_on_empty_object_is_an_error() -> Result<(), Box<dyn std::error::Error>> {
         let (t,) = setup();
         let p = Primitives::new(&t);
-        let ct = t.layer("contact").unwrap();
+        let ct = t.layer("contact")?;
         let mut obj = LayoutObject::new("x");
         assert!(matches!(
             p.array(&mut obj, ct),
             Err(PrimError::EmptyObject { .. })
         ));
+        Ok(())
     }
 
     #[test]
-    fn array_rejects_non_cut_layer() {
+    fn array_rejects_non_cut_layer() -> Result<(), Box<dyn std::error::Error>> {
         let (t,) = setup();
         let p = Primitives::new(&t);
-        let poly = t.layer("poly").unwrap();
+        let poly = t.layer("poly")?;
         let mut obj = LayoutObject::new("x");
-        p.inbox(&mut obj, poly, None, None).unwrap();
+        p.inbox(&mut obj, poly, None, None)?;
         assert!(matches!(
             p.array(&mut obj, poly),
             Err(PrimError::NotACut { .. })
         ));
+        Ok(())
     }
 
     #[test]
-    fn array_count_scales_with_row_length() {
+    fn array_count_scales_with_row_length() -> Result<(), Box<dyn std::error::Error>> {
         let (t,) = setup();
         let p = Primitives::new(&t);
-        let poly = t.layer("poly").unwrap();
-        let m1 = t.layer("metal1").unwrap();
-        let ct = t.layer("contact").unwrap();
+        let poly = t.layer("poly")?;
+        let m1 = t.layer("metal1")?;
+        let ct = t.layer("contact")?;
         let mut counts = Vec::new();
         for w in [um(4), um(10), um(20)] {
             let mut row = LayoutObject::new("r");
-            p.inbox(&mut row, poly, Some(w), None).unwrap();
-            p.inbox(&mut row, m1, None, None).unwrap();
-            counts.push(p.array(&mut row, ct).unwrap().len());
+            p.inbox(&mut row, poly, Some(w), None)?;
+            p.inbox(&mut row, m1, None, None)?;
+            counts.push(p.array(&mut row, ct)?.len());
         }
         assert!(counts[0] < counts[1] && counts[1] < counts[2], "{counts:?}");
+        Ok(())
     }
 
     #[test]
-    fn around_covers_with_enclosure() {
+    fn around_covers_with_enclosure() -> Result<(), Box<dyn std::error::Error>> {
         let (t,) = setup();
         let p = Primitives::new(&t);
-        let pdiff = t.layer("pdiff").unwrap();
-        let nwell = t.layer("nwell").unwrap();
+        let pdiff = t.layer("pdiff")?;
+        let nwell = t.layer("nwell")?;
         let mut obj = LayoutObject::new("x");
-        p.inbox(&mut obj, pdiff, Some(um(4)), Some(um(4))).unwrap();
-        let i = p.around(&mut obj, nwell, 0).unwrap();
+        p.inbox(&mut obj, pdiff, Some(um(4)), Some(um(4)))?;
+        let i = p.around(&mut obj, nwell, 0)?;
         let well = obj.shapes()[i].rect;
         let diff = obj.shapes()[0].rect;
         let enc = t.enclosure(nwell, pdiff);
         assert!(well.inflated(-enc).contains_rect(&diff));
+        Ok(())
     }
 
     #[test]
-    fn around_on_empty_is_an_error() {
+    fn around_on_empty_is_an_error() -> Result<(), Box<dyn std::error::Error>> {
         let (t,) = setup();
         let p = Primitives::new(&t);
-        let nwell = t.layer("nwell").unwrap();
+        let nwell = t.layer("nwell")?;
         let mut obj = LayoutObject::new("x");
         assert!(matches!(
             p.around(&mut obj, nwell, 0),
             Err(PrimError::EmptyObject { .. })
         ));
+        Ok(())
     }
 
     #[test]
-    fn ring_surrounds_structure() {
+    fn ring_surrounds_structure() -> Result<(), Box<dyn std::error::Error>> {
         let (t,) = setup();
         let p = Primitives::new(&t);
-        let poly = t.layer("poly").unwrap();
-        let pdiff = t.layer("pdiff").unwrap();
+        let poly = t.layer("poly")?;
+        let pdiff = t.layer("pdiff")?;
         let mut obj = LayoutObject::new("x");
-        p.inbox(&mut obj, poly, Some(um(5)), Some(um(5))).unwrap();
+        p.inbox(&mut obj, poly, Some(um(5)), Some(um(5)))?;
         let core_bbox = obj.bbox();
-        let ring = p.ring(&mut obj, pdiff, None, None).unwrap();
+        let ring = p.ring(&mut obj, pdiff, None, None)?;
         // The four ring shapes do not overlap the core and enclose it.
         for &i in &ring {
             assert!(!obj.shapes()[i].rect.overlaps(&core_bbox));
@@ -594,18 +622,17 @@ mod tests {
                     || g.gap_along(&core_bbox, amgen_geom::Axis::Y) >= cl
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn two_rects_builds_a_gate_crossing() {
+    fn two_rects_builds_a_gate_crossing() -> Result<(), Box<dyn std::error::Error>> {
         let (t,) = setup();
         let p = Primitives::new(&t);
-        let poly = t.layer("poly").unwrap();
-        let pdiff = t.layer("pdiff").unwrap();
+        let poly = t.layer("poly")?;
+        let pdiff = t.layer("pdiff")?;
         let mut obj = LayoutObject::new("m");
-        let (gi, di) = p
-            .two_rects(&mut obj, poly, pdiff, Some(um(10)), Some(um(1)))
-            .unwrap();
+        let (gi, di) = p.two_rects(&mut obj, poly, pdiff, Some(um(10)), Some(um(1)))?;
         let g = obj.shapes()[gi].rect;
         let d = obj.shapes()[di].rect;
         assert!(g.overlaps(&d), "gate crosses diffusion");
@@ -619,40 +646,43 @@ mod tests {
         assert_eq!(g.width(), um(1));
         assert_eq!(d.height(), um(10));
         assert_eq!(obj.shapes()[di].role, ShapeRole::DeviceActive);
+        Ok(())
     }
 
     #[test]
-    fn two_rects_defaults_to_minimum_device() {
+    fn two_rects_defaults_to_minimum_device() -> Result<(), Box<dyn std::error::Error>> {
         let (t,) = setup();
         let p = Primitives::new(&t);
-        let poly = t.layer("poly").unwrap();
-        let ndiff = t.layer("ndiff").unwrap();
+        let poly = t.layer("poly")?;
+        let ndiff = t.layer("ndiff")?;
         let mut obj = LayoutObject::new("m");
-        let (gi, di) = p.two_rects(&mut obj, poly, ndiff, None, None).unwrap();
+        let (gi, di) = p.two_rects(&mut obj, poly, ndiff, None, None)?;
         assert_eq!(obj.shapes()[gi].rect.width(), t.min_width(poly));
         assert_eq!(obj.shapes()[di].rect.height(), t.min_width(ndiff));
+        Ok(())
     }
 
     #[test]
-    fn angle_adaptor_patches_a_corner() {
+    fn angle_adaptor_patches_a_corner() -> Result<(), Box<dyn std::error::Error>> {
         let (t,) = setup();
         let p = Primitives::new(&t);
-        let m1 = t.layer("metal1").unwrap();
+        let m1 = t.layer("metal1")?;
         let mut obj = LayoutObject::new("w");
         let h = Rect::new(0, 0, um(10), um(2)); // horizontal, 2 um wide
         let v = Rect::new(um(10), 0, um(11), um(8)); // vertical, 1 um wide
         obj.push(Shape::new(m1, h));
         obj.push(Shape::new(m1, v));
-        let i = p.angle_adaptor(&mut obj, m1, h, v, None).unwrap();
+        let i = p.angle_adaptor(&mut obj, m1, h, v, None)?;
         let patch = obj.shapes()[i].rect;
         assert_eq!(patch, Rect::new(um(10), 0, um(11), um(2)));
+        Ok(())
     }
 
     #[test]
-    fn angle_adaptor_rejects_disjoint_wires() {
+    fn angle_adaptor_rejects_disjoint_wires() -> Result<(), Box<dyn std::error::Error>> {
         let (t,) = setup();
         let p = Primitives::new(&t);
-        let m1 = t.layer("metal1").unwrap();
+        let m1 = t.layer("metal1")?;
         let mut obj = LayoutObject::new("w");
         let h = Rect::new(0, 0, um(2), um(1));
         let v = Rect::new(um(10), um(10), um(11), um(20));
@@ -660,5 +690,6 @@ mod tests {
             p.angle_adaptor(&mut obj, m1, h, v, None),
             Err(PrimError::NoCorner)
         );
+        Ok(())
     }
 }

@@ -18,7 +18,7 @@
 //! * [`Router::crossing_counts`] — the per-net crossing audit used to
 //!   verify the "identical crossings" property.
 
-use amgen_core::{GenCtx, IntoGenCtx, Stage};
+use amgen_core::{FaultSite, GenCtx, GenError, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, NetId, Shape};
 use amgen_geom::{Coord, Point, Rect};
 use amgen_prim::Primitives;
@@ -26,7 +26,11 @@ use amgen_tech::{Layer, LayerKind, RuleSet};
 
 /// Errors from the wiring routines.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RouteError {
+    /// Budget exhaustion, cancellation or an injected fault, from the
+    /// shared generation context.
+    Gen(GenError),
     /// The two landings share no projection overlap; a straight wire
     /// cannot connect them.
     NoOverlap,
@@ -48,6 +52,7 @@ pub enum RouteError {
 impl std::fmt::Display for RouteError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            RouteError::Gen(e) => write!(f, "{e}"),
             RouteError::NoOverlap => {
                 write!(
                     f,
@@ -64,6 +69,24 @@ impl std::fmt::Display for RouteError {
 }
 
 impl std::error::Error for RouteError {}
+
+impl From<GenError> for RouteError {
+    fn from(e: GenError) -> RouteError {
+        RouteError::Gen(e)
+    }
+}
+
+impl From<RouteError> for GenError {
+    /// Unifies routing failures under the `amgen-core` error: typed
+    /// robustness errors pass through, stage-specific ones are wrapped
+    /// with [`Stage::Route`] context.
+    fn from(e: RouteError) -> GenError {
+        match e {
+            RouteError::Gen(g) => g,
+            other => GenError::stage_msg(Stage::Route, other.to_string()),
+        }
+    }
+}
 
 /// The wiring routines, bound to one generation context.
 #[derive(Debug, Clone)]
@@ -88,6 +111,14 @@ impl Router {
     /// The compiled rule kernel.
     pub fn rules(&self) -> &RuleSet {
         &self.ctx
+    }
+
+    /// Robustness probe shared by the public routines: cancellation /
+    /// deadline checkpoint plus the route-call fault-injection site.
+    fn probe(&self, routine: &'static str) -> Result<(), RouteError> {
+        self.ctx.checkpoint(Stage::Route)?;
+        self.ctx.fault_check(FaultSite::RouteCall, routine)?;
+        Ok(())
     }
 
     fn conductor(&self, layer: Layer) -> Result<(), RouteError> {
@@ -120,6 +151,7 @@ impl Router {
         width: Option<Coord>,
         net: Option<NetId>,
     ) -> Result<usize, RouteError> {
+        self.probe("straight")?;
         let t0 = std::time::Instant::now();
         let _span = self.ctx.span(Stage::Route, || "straight");
         self.conductor(layer)?;
@@ -162,6 +194,7 @@ impl Router {
         width: Option<Coord>,
         net: Option<NetId>,
     ) -> Result<[usize; 3], RouteError> {
+        self.probe("l_route")?;
         let t0 = std::time::Instant::now();
         let _span = self.ctx.span(Stage::Route, || "l_route");
         self.conductor(layer)?;
@@ -194,6 +227,7 @@ impl Router {
         width: Option<Coord>,
         net: Option<NetId>,
     ) -> Result<Vec<usize>, RouteError> {
+        self.probe("z_route")?;
         let t0 = std::time::Instant::now();
         let _span = self.ctx.span(Stage::Route, || "z_route");
         self.conductor(layer)?;
@@ -232,6 +266,7 @@ impl Router {
         at: Point,
         net: Option<NetId>,
     ) -> Result<[usize; 3], RouteError> {
+        self.probe("via_stack")?;
         let t0 = std::time::Instant::now();
         let _span = self.ctx.span(Stage::Route, || "via_stack");
         if self.ctx.kind(cut) != LayerKind::Cut || !self.ctx.connects(cut, a, b) {
@@ -278,6 +313,7 @@ impl Router {
         y_to: Coord,
         net: Option<NetId>,
     ) -> Result<usize, RouteError> {
+        self.probe("underpass_v")?;
         let _span = self.ctx.span(Stage::Route, || "underpass_v");
         let before = obj.len();
         self.via_stack(obj, cut, lower, upper, Point::new(x, y_from), net)?;
@@ -301,6 +337,7 @@ impl Router {
         net_l: NetId,
         net_r: NetId,
     ) -> Result<usize, RouteError> {
+        self.probe("route_mirrored")?;
         let _span = self.ctx.span(Stage::Route, || "route_mirrored");
         self.conductor(layer)?;
         for &r in path {
