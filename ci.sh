@@ -36,6 +36,15 @@ fi
 # Robustness overhead smoke: budget-armed fig06 <= 102% of plain, a
 # never-firing hook <= 105% (the bench asserts and exits nonzero).
 cargo bench -p amgen-bench --bench fault_overhead
+# Generation-cache smoke: fig06 miss path <= 102% of uncached, a hit
+# >= 10x faster, warm optimize_order >= 10x faster than the cold
+# search (the bench asserts and exits nonzero).
+cargo bench -p amgen-bench --bench cache_overhead
+# Determinism gate in release: optimized builds must produce the same
+# byte-identical layouts, diagnostics and cache-transparent reruns the
+# debug test suite proved (HashMap-iteration leaks can be
+# optimization-sensitive).
+cargo test --release -q -p amgen-dsl --test determinism
 # Documentation gate: every relative link in README/DESIGN/docs must
 # resolve (the checker also runs as part of the workspace tests above;
 # kept explicit so a docs-only change can run it alone).

@@ -98,8 +98,9 @@ pub use amgen_trace as trace;
 pub mod prelude {
     pub use amgen_compact::{CompactOptions, Compactor};
     pub use amgen_core::{
-        Budget, CancelToken, FaultAction, FaultHook, FaultSite, GenCtx, GenError, GenErrorKind,
-        GenOptions, GenResult, IntoGenCtx, Metrics, MetricsSnapshot, Resource, Stage,
+        Budget, CachedModule, CancelToken, CanonParam, FaultAction, FaultHook, FaultSite, GenCache,
+        GenCtx, GenError, GenErrorKind, GenKey, GenOptions, GenResult, IntoGenCtx, Metrics,
+        MetricsSnapshot, Resource, Stage,
     };
     pub use amgen_db::{LayoutObject, Port, Shape, ShapeRole};
     pub use amgen_drc::Drc;

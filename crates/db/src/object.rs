@@ -389,6 +389,19 @@ impl LayoutObject {
         }
     }
 
+    /// Renames a net *and* any port named `old` — the serve path of
+    /// cache α-renaming, where a canonical placeholder label stands for
+    /// both the potential and the port address. Net merging semantics
+    /// are those of [`rename_net`](LayoutObject::rename_net).
+    pub fn rename_label(&mut self, old: &str, new: &str) {
+        self.rename_net(old, new);
+        for p in &mut self.ports {
+            if p.name == old {
+                p.name = new.to_string();
+            }
+        }
+    }
+
     /// Folds `other` (translated by `v`) into this object.
     ///
     /// Nets are re-mapped **by name**: a net called `"g"` in both objects
@@ -466,6 +479,27 @@ mod tests {
         assert_eq!(obj.net_name(a), "g");
         assert_eq!(obj.find_net("d"), Some(b));
         assert_eq!(obj.find_net("nope"), None);
+    }
+
+    #[test]
+    fn rename_label_covers_net_and_port() {
+        let t = tech();
+        let m1 = t.layer("metal1").unwrap();
+        let mut obj = LayoutObject::new("x");
+        let id = obj.net("\u{1}a");
+        let mut s = Shape::new(m1, Rect::new(0, 0, 10, 10));
+        s.net = Some(id);
+        obj.push(s);
+        obj.push_port(Port {
+            name: "\u{1}a".into(),
+            layer: m1,
+            rect: Rect::new(0, 0, 10, 10),
+            net: Some(id),
+        });
+        obj.rename_label("\u{1}a", "d1");
+        assert_eq!(obj.net_name(id), "d1");
+        assert!(obj.port("d1").is_some());
+        assert!(obj.port("\u{1}a").is_none());
     }
 
     #[test]

@@ -81,6 +81,15 @@ impl LayoutObject {
     /// does not depend on the order of the shape list — exactly what the
     /// optimizer's dominance table needs when different compaction orders
     /// produce the same geometry.
+    ///
+    /// Wrapping **addition** (never XOR) is load-bearing: under XOR two
+    /// identical shapes would cancel to `0` and an object holding a
+    /// duplicated shape would collide with the object missing both
+    /// copies. Addition makes each extra copy shift the sum, and the
+    /// `shapes` count field backstops the remaining `k·2⁶⁴` wraparound
+    /// cases, so a duplicated shape always changes the signature. The
+    /// generation cache keys on this hash — a silent collision here
+    /// would become a wrong-layout cache hit there.
     pub fn signature(&self) -> LayoutSignature {
         let mut hash = 0u64;
         let mut bbox = Rect::EMPTY;
@@ -161,6 +170,34 @@ mod tests {
         assert_ne!(base, moved);
         assert_ne!(base.hash, other_layer.hash);
         assert_ne!(base.hash, keepout.hash);
+    }
+
+    /// Regression for the classic multiset-hash pitfall: combining by
+    /// XOR lets two identical shapes cancel to 0, colliding with the
+    /// empty object (and 1 copy collide with 3 copies). Additive
+    /// combination must keep every multiplicity distinct — at the raw
+    /// `hash` level, not just via the shape count.
+    #[test]
+    fn duplicated_shapes_change_the_signature() {
+        let t = Tech::bicmos_1u();
+        let poly = t.layer("poly").unwrap();
+        let shape = Shape::new(poly, Rect::new(0, 0, 10, 10));
+        let copies = |n: usize| {
+            let mut o = LayoutObject::new("o");
+            for _ in 0..n {
+                o.push(shape);
+            }
+            o.signature()
+        };
+        let (zero, one, two, three) = (copies(0), copies(1), copies(2), copies(3));
+        // XOR would have given two.hash == 0 == zero.hash and
+        // three.hash == one.hash; addition keeps them all apart.
+        assert_ne!(two.hash, zero.hash);
+        assert_ne!(two.hash, 0);
+        assert_ne!(three.hash, one.hash);
+        assert_ne!(one.hash, two.hash);
+        // And the count field guards even a hypothetical hash wrap.
+        assert_ne!((two.shapes, two.hash), (zero.shapes, zero.hash));
     }
 
     #[test]

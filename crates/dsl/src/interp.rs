@@ -80,7 +80,16 @@ impl From<DslError> for GenError {
 /// source can be loaded first and instantiated later.
 pub struct Interpreter {
     ctx: GenCtx,
-    entities: HashMap<String, Entity>,
+    /// Name → entity, in a `BTreeMap` so every iteration over the
+    /// library (diagnostics, the library hash below) is in name order —
+    /// a `HashMap` here once leaked its arbitrary iteration order into
+    /// outputs, which is fatal for content-addressed caching.
+    entities: BTreeMap<String, Entity>,
+    /// Hash over the whole registered library (names + pretty-printed
+    /// bodies, in name order). Part of every entity cache key: loading
+    /// or redefining *any* entity invalidates all cached entity results,
+    /// so transitive callees can never be served stale.
+    lib_hash: u64,
     /// Cap on explored variant combinations (backtracking).
     pub max_variants: usize,
     weights: RatingWeights,
@@ -114,7 +123,8 @@ impl Interpreter {
     pub fn new(tech: impl IntoGenCtx) -> Interpreter {
         Interpreter {
             ctx: tech.into_gen_ctx(),
-            entities: HashMap::new(),
+            entities: BTreeMap::new(),
+            lib_hash: 0,
             max_variants: 64,
             weights: RatingWeights::default(),
         }
@@ -130,9 +140,11 @@ impl Interpreter {
         &self.ctx.rules
     }
 
-    /// The registered entities, in arbitrary order. Static tooling (the
+    /// The registered entities, in name order. Static tooling (the
     /// `amgen-lint` checker) reads these to resolve cross-source entity
-    /// references against the interpreter's accumulated library.
+    /// references against the interpreter's accumulated library; the
+    /// deterministic order keeps its diagnostics byte-stable across
+    /// runs.
     pub fn entities(&self) -> impl Iterator<Item = &Entity> {
         self.entities.values()
     }
@@ -150,6 +162,25 @@ impl Interpreter {
             bind_block(&self.ctx, &mut e.body);
             self.entities.insert(e.name.clone(), e);
         }
+        if !prog.entities.is_empty() {
+            self.lib_hash = self.compute_lib_hash();
+        }
+    }
+
+    /// FNV-1a over the pretty-printed library in name order. Printing
+    /// strips spans (cosmetic whitespace in the source does not change
+    /// the hash) but keeps everything that affects execution.
+    fn compute_lib_hash(&self) -> u64 {
+        let mut text = String::new();
+        for e in self.entities.values() {
+            crate::pretty::print_entity(e, &mut text);
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in text.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
     }
 
     /// Parses and runs a source: entities are registered, the top-level
@@ -626,6 +657,29 @@ impl Interpreter {
                 }
             }
         }
+        // Reject NaN parameters outright — downstream dimension math
+        // would silently cast NaN to a 0 coordinate, and `NaN != NaN`
+        // makes a NaN-keyed cache entry unreachable-by-equality. This is
+        // a bugfix independent of caching, so it runs unconditionally.
+        for p in &entity.params {
+            if let Some(Value::Num(n)) = frame.vars.get(&p.name) {
+                if n.is_nan() {
+                    return Err(Exec::Fail(DslError::Gen(
+                        GenError::stage_msg(Stage::Dsl, format!("parameter `{}` is NaN", p.name))
+                            .with_entity(&entity.name),
+                    )));
+                }
+            }
+        }
+        // Canonical cache key: entity name + tech brand + library hash +
+        // the bound parameters in declaration order (never map-iteration
+        // order).
+        let key = self.entity_key(&entity, &frame);
+        if let Some(k) = &key {
+            if let Some(hit) = self.ctx.cache_get(Stage::Dsl, k) {
+                return Ok(hit.layout.clone());
+            }
+        }
         let mut span = self
             .ctx
             .span(Stage::Dsl, || amgen_core::name!("entity:{}", entity.name));
@@ -635,11 +689,46 @@ impl Interpreter {
             )));
         }
         ctx.depth += 1;
+        let cursor_before = ctx.cursor;
         let executed = self.exec_block(&entity.body, &mut frame, ctx);
         ctx.depth -= 1;
         executed?;
         span.arg("shapes", frame.obj.len());
+        // Store only when the body consumed no VARIANT choices: a
+        // choice-consuming execution is not a pure function of the key
+        // (the same call re-runs under different choice prefixes during
+        // backtracking).
+        if let Some(k) = key {
+            if ctx.cursor == cursor_before {
+                self.ctx.cache_put(
+                    k,
+                    std::sync::Arc::new(amgen_core::CachedModule::layout(frame.obj.clone())),
+                );
+            }
+        }
         Ok(frame.obj)
+    }
+
+    /// Builds the canonical key for an entity call, or `None` when
+    /// caching is inactive (then the key would be dead work).
+    fn entity_key(&self, entity: &Entity, frame: &Frame) -> Option<amgen_core::GenKey> {
+        use amgen_core::CanonParam;
+        if !self.ctx.cache_active() {
+            return None;
+        }
+        let mut key = amgen_core::GenKey::entity(&entity.name, self.ctx.id(), self.lib_hash);
+        for p in &entity.params {
+            let param = match frame.vars.get(&p.name) {
+                // NaN was rejected above, so canonicalization cannot fail.
+                Some(Value::Num(n)) => CanonParam::num(Stage::Dsl, *n).ok()?,
+                Some(Value::Str(s)) => CanonParam::Str(s.clone()),
+                Some(Value::Layer(l, _)) => CanonParam::UInt(l.index() as u64),
+                Some(Value::Obj(o)) => CanonParam::object(o),
+                Some(Value::Unset) | None => CanonParam::None,
+            };
+            key.push(param);
+        }
+        Some(key)
     }
 
     /// Geometry builtins operating on the current frame's object.

@@ -1,0 +1,227 @@
+//! Cache-transparency property: for arbitrary generated programs (with
+//! entity calls retargeted so they genuinely descend), running with a
+//! generation cache — cold or warm — must be observationally identical
+//! to running without one. Caching may only save work (fuel, wall
+//! time), never change a result.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use amgen_core::{Budget, GenCtx};
+use amgen_db::LayoutObject;
+use amgen_dsl::ast::{strip_spans, Program};
+use amgen_dsl::pretty::print_program;
+use amgen_dsl::{DslError, Interpreter};
+use amgen_tech::Tech;
+use proptest::prelude::*;
+
+fn render(map: &BTreeMap<String, LayoutObject>) -> String {
+    format!("{map:#?}")
+}
+
+/// `true` when the error is a typed robustness signal (budget or
+/// cancellation) rather than an ordinary language error.
+fn is_budget(e: &DslError) -> bool {
+    matches!(e, DslError::Gen(g) if g.is_budget_exhausted() || g.is_cancelled())
+}
+
+// The same program-shape strategies as `fuel_props.rs`, re-declared
+// because integration tests cannot share modules.
+mod gen {
+    use amgen_dsl::ast::{BinOp, Call, Entity, Expr, Param, Program, Stmt};
+    use amgen_dsl::span::Span;
+    use proptest::prelude::*;
+
+    fn ident() -> impl Strategy<Value = String> {
+        "[a-z][a-z0-9_]{0,6}".prop_map(|s| s)
+    }
+
+    fn arb_expr() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            (0i64..1000).prop_map(|n| Expr::Number(n as f64, Span::NONE)),
+            "[a-z]{1,8}".prop_map(|s| Expr::Str(s, Span::NONE)),
+            ident().prop_map(|v| Expr::Var(v, Span::NONE)),
+        ];
+        leaf.prop_recursive(2, 8, 2, |inner| {
+            (
+                inner.clone(),
+                inner,
+                prop_oneof![Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul)],
+            )
+                .prop_map(|(a, b, op)| Expr::Binary {
+                    op,
+                    lhs: Box::new(a),
+                    rhs: Box::new(b),
+                    span: Span::NONE,
+                })
+        })
+    }
+
+    fn arb_stmt() -> impl Strategy<Value = Stmt> {
+        let leaf = prop_oneof![
+            (ident(), arb_expr()).prop_map(|(name, value)| Stmt::Assign {
+                name,
+                value,
+                span: Span::NONE,
+            }),
+            (ident(), prop::collection::vec(arb_expr(), 0..2)).prop_map(|(name, positional)| {
+                Stmt::Call(Call {
+                    name: format!("E{name}"),
+                    positional,
+                    keyword: vec![],
+                    span: Span::NONE,
+                })
+            }),
+        ];
+        leaf.prop_recursive(2, 6, 2, |inner| {
+            prop_oneof![
+                (
+                    ident(),
+                    arb_expr(),
+                    arb_expr(),
+                    prop::collection::vec(inner.clone(), 1..3)
+                )
+                    .prop_map(|(var, from, to, body)| Stmt::For {
+                        var,
+                        from,
+                        to,
+                        body,
+                        span: Span::NONE,
+                    }),
+                (
+                    arb_expr(),
+                    prop::collection::vec(inner.clone(), 1..2),
+                    prop::collection::vec(inner, 0..2)
+                )
+                    .prop_map(|(cond, then_body, else_body)| Stmt::If {
+                        cond,
+                        then_body,
+                        else_body,
+                        span: Span::NONE,
+                    }),
+            ]
+        })
+    }
+
+    /// Programs whose entities may call each other (including cycles):
+    /// every `E`-prefixed call resolves to one of the generated entities,
+    /// so entity calls — the cached operation — genuinely happen.
+    pub fn arb_program() -> impl Strategy<Value = Program> {
+        (
+            prop::collection::vec(arb_stmt(), 0..4),
+            prop::collection::vec((ident(), prop::collection::vec(arb_stmt(), 1..4)), 1..3),
+        )
+            .prop_map(|(top, ents)| {
+                let names: Vec<String> = ents.iter().map(|(n, _)| format!("E{n}")).collect();
+                let mut program = Program {
+                    top,
+                    entities: ents
+                        .into_iter()
+                        .map(|(name, body)| Entity {
+                            name: format!("E{name}"),
+                            params: vec![Param {
+                                name: "n".into(),
+                                optional: true,
+                                span: Span::NONE,
+                            }],
+                            body,
+                            span: Span::NONE,
+                        })
+                        .collect(),
+                };
+                fn retarget(stmts: &mut [Stmt], names: &[String]) {
+                    for s in stmts {
+                        match s {
+                            Stmt::Call(c) => {
+                                let i = c.name.len() % names.len();
+                                c.name = names[i].clone();
+                            }
+                            Stmt::For { body, .. } => retarget(body, names),
+                            Stmt::If {
+                                then_body,
+                                else_body,
+                                ..
+                            } => {
+                                retarget(then_body, names);
+                                retarget(else_body, names);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                retarget(&mut program.top, &names);
+                let entities = std::mem::take(&mut program.entities);
+                program.entities = entities
+                    .into_iter()
+                    .map(|mut e| {
+                        retarget(&mut e.body, &names);
+                        e
+                    })
+                    .collect();
+                program
+            })
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// When the uncached run succeeds, a cold-cache run and a warm-cache
+    /// rerun of the same program must render byte-identically — caching
+    /// only removes work (so the same finite fuel budget still
+    /// suffices), never changes an answer. When the uncached run fails,
+    /// every failure stays typed.
+    #[test]
+    fn caching_is_transparent_for_arbitrary_programs(prog in gen::arb_program()) {
+        let mut prog: Program = prog;
+        strip_spans(&mut prog);
+        let src = print_program(&prog);
+        // One compiled ruleset for all three runs: layer handles carry a
+        // per-compile brand, and the comparison is per technology.
+        let rules = Tech::bicmos_1u().compile_arc();
+        let budget = || Budget::unlimited().with_dsl_fuel(4_000).with_max_recursion(16);
+
+        let mut plain = Interpreter::new(GenCtx::new(Arc::clone(&rules)).with_budget(budget()));
+        let uncached = plain.run(&src);
+
+        let ctx = GenCtx::new(Arc::clone(&rules))
+            .with_default_cache()
+            .with_budget(budget());
+        let mut caching = Interpreter::new(ctx);
+        let cold = caching.run(&src);
+        let warm = caching.run(&src);
+
+        match uncached {
+            Ok(map) => {
+                // Hits skip entity bodies, so a cached run can only use
+                // *less* fuel: success without a cache implies success
+                // with one, cold and warm.
+                let cold = cold.unwrap_or_else(|e| {
+                    panic!("uncached run succeeded but cold-cache run failed: {e}")
+                });
+                let warm = warm.unwrap_or_else(|e| {
+                    panic!("uncached run succeeded but warm-cache run failed: {e}")
+                });
+                prop_assert_eq!(render(&map), render(&cold), "cold-cache run diverged");
+                prop_assert_eq!(render(&map), render(&warm), "warm-cache run diverged");
+            }
+            Err(e) => {
+                // A failing program must fail in a typed way everywhere;
+                // the cache may legally rescue a fuel-starved run (hits
+                // are cheaper), so only the error *shape* is compared.
+                if let DslError::Gen(_) = &e {
+                    prop_assert!(is_budget(&e), "untyped uncached failure: {}", e);
+                }
+                for (label, r) in [("cold", &cold), ("warm", &warm)] {
+                    if let Err(DslError::Gen(_)) = r {
+                        let err = r.as_ref().unwrap_err();
+                        prop_assert!(
+                            is_budget(err),
+                            "untyped {} failure: {}", label, err
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

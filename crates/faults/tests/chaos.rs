@@ -229,6 +229,56 @@ fn optimizer_survives_injected_worker_panics() {
     }
 }
 
+/// Injection and the generation cache compose: a context with a fault
+/// hook installed bypasses the cache entirely — even a pre-warmed one —
+/// so every injection site is still probed and every planned fault
+/// still fires. A cached result must never mask a chaos run.
+#[test]
+fn chaos_runs_are_never_served_from_the_cache() {
+    let t = tech();
+    let cache = std::sync::Arc::new(GenCache::new());
+
+    // Pre-warm the shared cache with clean runs of every workload.
+    let warm = (&t)
+        .into_gen_ctx()
+        .with_cache(std::sync::Arc::clone(&cache));
+    for (name, workload) in WORKLOADS {
+        workload(&warm).unwrap_or_else(|e| panic!("clean warm-up of {name} failed: {e}"));
+    }
+    assert!(
+        warm.snapshot().cache_misses > 0,
+        "warm-up must populate the cache"
+    );
+
+    for site in FaultSite::ALL {
+        for (name, workload) in WORKLOADS {
+            let (plan, hook) = FaultPlan::new(0xC0FFEE).fail_nth(site, 1).build();
+            let ctx = (&t)
+                .into_gen_ctx()
+                .with_cache(std::sync::Arc::clone(&cache))
+                .with_faults(hook);
+            let outcome = catch_unwind(AssertUnwindSafe(|| workload(&ctx)))
+                .unwrap_or_else(|_| panic!("panic escaped {name} with cache + fault at {site}"));
+            let snap = ctx.snapshot();
+            assert_eq!(
+                (snap.cache_hits, snap.cache_misses),
+                (0, 0),
+                "{name}: a fault-hooked context touched the cache at {site}"
+            );
+            match outcome {
+                Ok(()) => assert_eq!(plan.injected(), 0),
+                Err(e) => {
+                    assert!(
+                        plan.injected() > 0,
+                        "{name}: uninjected failure at {site}: {e}"
+                    );
+                    assert!(e.is_injected(), "{name}: untyped failure at {site}: {e}");
+                }
+            }
+        }
+    }
+}
+
 /// Budgets and injection compose: a cancelled context beats the fault
 /// hook to the checkpoint, and the error stays typed.
 #[test]

@@ -51,6 +51,8 @@ pub use amgen_trace::Detail;
 pub use amgen_trace::{name, Name};
 use amgen_trace::{Span, TraceSink};
 
+pub mod cache;
+pub use cache::{CachedModule, CanonParam, GenCache, GenKey, PlacementVariant, VariantTable};
 pub mod robust;
 pub use robust::{
     Budget, CancelToken, FaultAction, FaultHook, FaultSite, GenError, GenErrorKind, GenResult,
@@ -129,6 +131,9 @@ pub struct Metrics {
     opt_dominated: AtomicU64,
     opt_panics: AtomicU64,
     faults_injected: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evicted: AtomicU64,
     stage_nanos: [AtomicU64; Stage::ALL.len()],
 }
 
@@ -184,6 +189,24 @@ impl Metrics {
     #[inline]
     pub fn add_fault_injected(&self) {
         self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one generation-cache hit.
+    #[inline]
+    pub fn add_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one generation-cache miss.
+    #[inline]
+    pub fn add_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` generation-cache evictions.
+    #[inline]
+    pub fn add_cache_evicted(&self, n: u64) {
+        self.cache_evicted.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Adds wall time to a stage's bucket.
@@ -266,6 +289,12 @@ pub struct MetricsSnapshot {
     pub opt_panics: u64,
     /// Injected faults that fired (always 0 outside chaos testing).
     pub faults_injected: u64,
+    /// Generation-cache hits (modules or variant tables served).
+    pub cache_hits: u64,
+    /// Generation-cache misses (lookups that fell through to a build).
+    pub cache_misses: u64,
+    /// Generation-cache entries evicted to stay within capacity.
+    pub cache_evicted: u64,
     /// Wall nanoseconds per stage, in [`Stage::ALL`] order.
     pub stage_nanos: [u64; Stage::ALL.len()],
 }
@@ -296,6 +325,13 @@ impl std::fmt::Display for MetricsSnapshot {
         }
         if self.faults_injected > 0 {
             write!(f, " faults_injected={}", self.faults_injected)?;
+        }
+        if self.cache_hits + self.cache_misses + self.cache_evicted > 0 {
+            write!(
+                f,
+                " cache_hits={} cache_misses={} cache_evicted={}",
+                self.cache_hits, self.cache_misses, self.cache_evicted
+            )?;
         }
         for stage in Stage::ALL {
             let ns = self.stage_nanos(stage);
@@ -330,6 +366,11 @@ pub struct GenCtx {
     /// per probed site); installed by chaos tests via
     /// [`GenCtx::with_faults`].
     pub faults: Option<Arc<dyn FaultHook>>,
+    /// Optional content-addressed generation cache — `None` by default
+    /// (every build runs fresh); enabled with [`GenCtx::with_cache`] /
+    /// [`GenCtx::with_default_cache`]. Automatically bypassed while a
+    /// fault hook is installed so chaos tests observe every probe.
+    pub cache: Option<Arc<GenCache>>,
 }
 
 impl GenCtx {
@@ -342,6 +383,7 @@ impl GenCtx {
             trace: Arc::new(TraceSink::new()),
             limits: Arc::new(Limits::default()),
             faults: None,
+            cache: None,
         }
     }
 
@@ -470,6 +512,157 @@ impl GenCtx {
         self
     }
 
+    /// Shares a content-addressed [`GenCache`] with this context and
+    /// every clone made from it: repeated builds of the same module
+    /// (same entity, canonical parameters, technology and source) are
+    /// served from the cache instead of re-running the pipeline.
+    ///
+    /// ```
+    /// use amgen_core::{GenCache, GenCtx};
+    /// use amgen_tech::Tech;
+    /// use std::sync::Arc;
+    ///
+    /// let cache = Arc::new(GenCache::new());
+    /// let ctx = GenCtx::from_tech(&Tech::bicmos_1u()).with_cache(Arc::clone(&cache));
+    /// assert!(ctx.cache_active());
+    /// ```
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<GenCache>) -> GenCtx {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Enables caching with a fresh, default-capacity [`GenCache`].
+    #[must_use]
+    pub fn with_default_cache(self) -> GenCtx {
+        self.with_cache(Arc::new(GenCache::new()))
+    }
+
+    /// Removes the generation cache (builds run fresh again).
+    #[must_use]
+    pub fn without_cache(mut self) -> GenCtx {
+        self.cache = None;
+        self
+    }
+
+    /// True when cached generation is in effect: a cache is installed
+    /// *and* no fault hook is — injected faults must fire on every
+    /// probed build, so a chaos context never serves (or stores)
+    /// memoized results.
+    #[inline]
+    pub fn cache_active(&self) -> bool {
+        self.cache.is_some() && self.faults.is_none()
+    }
+
+    /// Looks up a memoized module, counting the hit/miss in
+    /// [`Metrics`] and emitting a Coarse-tier `cache.hit` /
+    /// `cache.miss` trace instant charged to `stage`. Returns `None`
+    /// (with no accounting) when caching is inactive.
+    pub fn cache_get(&self, stage: Stage, key: &GenKey) -> Option<Arc<CachedModule>> {
+        if !self.cache_active() {
+            return None;
+        }
+        let cache = self.cache.as_ref().unwrap();
+        match cache.get(key) {
+            Some(hit) => {
+                self.metrics.add_cache_hit();
+                self.trace_instant(stage, || "cache.hit");
+                Some(hit)
+            }
+            None => {
+                self.metrics.add_cache_miss();
+                self.trace_instant(stage, || "cache.miss");
+                None
+            }
+        }
+    }
+
+    /// Stores a successfully built module, counting evictions. No-op
+    /// when caching is inactive.
+    pub fn cache_put(&self, key: GenKey, value: Arc<CachedModule>) {
+        if !self.cache_active() {
+            return;
+        }
+        let evicted = self.cache.as_ref().unwrap().put(key, value);
+        if evicted > 0 {
+            self.metrics.add_cache_evicted(evicted);
+        }
+    }
+
+    /// Looks up a precomputed optimizer variant table (same accounting
+    /// as [`cache_get`](GenCtx::cache_get)).
+    pub fn cache_variants_get(&self, stage: Stage, key: &GenKey) -> Option<Arc<VariantTable>> {
+        if !self.cache_active() {
+            return None;
+        }
+        let cache = self.cache.as_ref().unwrap();
+        match cache.variants_get(key) {
+            Some(hit) => {
+                self.metrics.add_cache_hit();
+                self.trace_instant(stage, || "cache.hit");
+                Some(hit)
+            }
+            None => {
+                self.metrics.add_cache_miss();
+                self.trace_instant(stage, || "cache.miss");
+                None
+            }
+        }
+    }
+
+    /// Stores an optimizer variant table. No-op when caching is
+    /// inactive.
+    pub fn cache_variants_put(&self, key: GenKey, value: Arc<VariantTable>) {
+        if !self.cache_active() {
+            return;
+        }
+        let evicted = self.cache.as_ref().unwrap().variants_put(key, value);
+        if evicted > 0 {
+            self.metrics.add_cache_evicted(evicted);
+        }
+    }
+
+    /// Runs `build` through the cache: a hit returns the stored module
+    /// (after a cancellation/deadline checkpoint, so cached serving
+    /// still honours the run's limits); a miss builds, stores on
+    /// success, and never stores errors — budget-exhausted, cancelled
+    /// or faulted builds always re-run.
+    ///
+    /// `key = None` (caching inactive, or a non-canonicalizable
+    /// parameter) falls straight through to `build` with no accounting.
+    /// On a hit the stored module is cloned out, and none of the
+    /// build's interior per-stage metrics recur — only the
+    /// `cache_hits` counter moves.
+    pub fn generate_cached_full<E: From<GenError>>(
+        &self,
+        stage: Stage,
+        key: Option<GenKey>,
+        build: impl FnOnce() -> Result<CachedModule, E>,
+    ) -> Result<CachedModule, E> {
+        let Some(key) = key else {
+            return build();
+        };
+        self.checkpoint(stage)?;
+        if let Some(hit) = self.cache_get(stage, &key) {
+            return Ok((*hit).clone());
+        }
+        let built = build()?;
+        self.cache_put(key, Arc::new(built.clone()));
+        Ok(built)
+    }
+
+    /// Layout-only convenience over
+    /// [`generate_cached_full`](GenCtx::generate_cached_full).
+    pub fn generate_cached<E: From<GenError>>(
+        &self,
+        stage: Stage,
+        key: Option<GenKey>,
+        build: impl FnOnce() -> Result<amgen_db::LayoutObject, E>,
+    ) -> Result<amgen_db::LayoutObject, E> {
+        self.generate_cached_full(stage, key, || build().map(CachedModule::layout))
+            .map(|m| m.layout)
+    }
+
     /// A clone of the run's cancellation token: hand it to a supervisor
     /// thread and call [`CancelToken::cancel`] to stop the run at the
     /// next checkpoint of any stage.
@@ -547,6 +740,9 @@ impl GenCtx {
             opt_dominated: self.metrics.opt_dominated.load(Ordering::Relaxed),
             opt_panics: self.metrics.opt_panics.load(Ordering::Relaxed),
             faults_injected: self.metrics.faults_injected.load(Ordering::Relaxed),
+            cache_hits: self.metrics.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.metrics.cache_misses.load(Ordering::Relaxed),
+            cache_evicted: self.metrics.cache_evicted.load(Ordering::Relaxed),
             stage_nanos,
         }
     }

@@ -12,7 +12,7 @@
 //! experiment harness compares the line counts (`T-code` in
 //! EXPERIMENTS.md).
 
-use amgen_core::{FaultSite, IntoGenCtx, Stage};
+use amgen_core::{FaultSite, GenCtx, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Shape};
 use amgen_geom::{Coord, Rect};
 
@@ -35,6 +35,20 @@ pub fn contact_row_by_coordinates(
     w: Coord,
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
+    let key = crate::cached::module_key(tech, "contact_row_by_coordinates", |k| {
+        k.push(layer_name);
+        k.push(w);
+    });
+    tech.generate_cached(Stage::Modgen, key, || {
+        contact_row_by_coordinates_uncached(tech, layer_name, w)
+    })
+}
+
+fn contact_row_by_coordinates_uncached(
+    tech: &GenCtx,
+    layer_name: &str,
+    w: Coord,
+) -> Result<LayoutObject, ModgenError> {
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "contact_row_by_coordinates");
     tech.checkpoint(Stage::Modgen)?;

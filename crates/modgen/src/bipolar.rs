@@ -10,7 +10,7 @@
 //! compaction steps.
 
 use amgen_compact::{CompactOptions, Compactor};
-use amgen_core::{FaultSite, IntoGenCtx, Stage};
+use amgen_core::{FaultSite, GenCtx, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Port};
 use amgen_geom::{Coord, Dir, Vector};
 use amgen_prim::Primitives;
@@ -42,6 +42,13 @@ impl NpnParams {
 /// Generates a single npn transistor. Ports: `e`, `b`, `c`.
 pub fn bipolar_npn(tech: impl IntoGenCtx, params: &NpnParams) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
+    let key = crate::cached::module_key(tech, "bipolar_npn", |k| {
+        k.push(params.emitter_l);
+    });
+    tech.generate_cached(Stage::Modgen, key, || bipolar_npn_uncached(tech, params))
+}
+
+fn bipolar_npn_uncached(tech: &GenCtx, params: &NpnParams) -> Result<LayoutObject, ModgenError> {
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "bipolar_npn");
     tech.checkpoint(Stage::Modgen)?;
@@ -118,6 +125,13 @@ pub fn bipolar_pair(
     params: &NpnParams,
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
+    let key = crate::cached::module_key(tech, "bipolar_pair", |k| {
+        k.push(params.emitter_l);
+    });
+    tech.generate_cached(Stage::Modgen, key, || bipolar_pair_uncached(tech, params))
+}
+
+fn bipolar_pair_uncached(tech: &GenCtx, params: &NpnParams) -> Result<LayoutObject, ModgenError> {
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "bipolar_pair");
     tech.checkpoint(Stage::Modgen)?;

@@ -1,0 +1,58 @@
+//! Shared cache-entry plumbing for the module generators.
+//!
+//! Every public generator funnels through [`module_key`]: when the
+//! context has an active [`GenCache`](amgen_core::GenCache) the
+//! generator's designer-facing parameters are canonicalized into a
+//! [`GenKey`] (entity name + compiled-rule brand + parameter vector)
+//! and the build runs through
+//! [`GenCtx::generate_cached`](amgen_core::GenCtx::generate_cached);
+//! with caching inactive the key closure never runs and the build is
+//! exactly the pre-cache code path.
+//!
+//! # α-renaming of net labels
+//!
+//! Net (and port) labels are *designer-facing addresses*, not geometry:
+//! `mos_finger(.., "g1", "d1", ..)` and `mos_finger(.., "g2", "s", ..)`
+//! produce structurally identical layouts that differ only in labels.
+//! Keying on the labels would give every such call its own cache entry
+//! and defeat intra-build dedup (a diff pair's two fingers, a centroid
+//! quad's four). Generators whose labels are pure relabelings therefore
+//! cache the *canonical* form: the key omits the labels, the build runs
+//! under reserved placeholder labels ([`ALPHA_A`]/[`ALPHA_B`]), and the
+//! served module — hit or miss — is α-renamed to the caller's labels via
+//! [`LayoutObject::rename_label`](amgen_db::LayoutObject::rename_label).
+//! Placeholders start with a control byte no parser or caller can
+//! produce, so they can never collide with real labels.
+
+use amgen_core::{GenCtx, GenKey};
+
+use crate::mos::MosType;
+
+/// First canonical placeholder label (a gate net, a row net).
+pub(crate) const ALPHA_A: &str = "\u{1}a";
+/// Second canonical placeholder label.
+pub(crate) const ALPHA_B: &str = "\u{1}b";
+
+/// Builds the canonical key for a built-in generator, or `None` when
+/// caching is inactive (no cache installed, or a fault hook is — chaos
+/// runs must probe every site).
+pub(crate) fn module_key(
+    ctx: &GenCtx,
+    name: &str,
+    fill: impl FnOnce(&mut GenKey),
+) -> Option<GenKey> {
+    if !ctx.cache_active() {
+        return None;
+    }
+    let mut key = GenKey::module(name, ctx.id());
+    fill(&mut key);
+    Some(key)
+}
+
+/// Stable key code for a device polarity.
+pub(crate) fn mos_code(m: MosType) -> u64 {
+    match m {
+        MosType::N => 0,
+        MosType::P => 1,
+    }
+}

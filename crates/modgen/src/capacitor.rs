@@ -7,7 +7,7 @@
 //! the poly layer gives the nominal value.
 
 use amgen_compact::{CompactOptions, Compactor};
-use amgen_core::{FaultSite, IntoGenCtx, Stage};
+use amgen_core::{FaultSite, GenCtx, IntoGenCtx, Stage};
 use amgen_db::LayoutObject;
 use amgen_geom::{Coord, Dir};
 use amgen_prim::Primitives;
@@ -47,6 +47,25 @@ pub fn mos_capacitor(
     params: &MosCapParams,
 ) -> Result<(LayoutObject, f64), ModgenError> {
     let tech = &tech.into_gen_ctx();
+    let key = crate::cached::module_key(tech, "mos_capacitor", |k| {
+        k.push(crate::cached::mos_code(params.mos));
+        k.push(params.side);
+    });
+    let m = tech.generate_cached_full(Stage::Modgen, key, || {
+        let (layout, value) = mos_capacitor_uncached(tech, params)?;
+        Ok::<_, ModgenError>(amgen_core::CachedModule {
+            layout,
+            scalars: vec![value],
+        })
+    })?;
+    let value = m.scalars[0];
+    Ok((m.layout, value))
+}
+
+fn mos_capacitor_uncached(
+    tech: &GenCtx,
+    params: &MosCapParams,
+) -> Result<(LayoutObject, f64), ModgenError> {
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "mos_capacitor");
     tech.checkpoint(Stage::Modgen)?;

@@ -10,7 +10,7 @@
 //! and are joined with one straight metal2 wire.
 
 use amgen_compact::{CompactOptions, Compactor};
-use amgen_core::{FaultSite, IntoGenCtx, Stage};
+use amgen_core::{FaultSite, GenCtx, IntoGenCtx, Stage};
 use amgen_db::LayoutObject;
 use amgen_geom::{Coord, Dir};
 use amgen_route::Router;
@@ -68,6 +68,19 @@ pub fn cascode_pair(
     params: &CascodeParams,
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
+    let key = crate::cached::module_key(tech, "cascode_pair", |k| {
+        k.push(crate::cached::mos_code(params.mos));
+        k.push(params.fingers);
+        k.push(params.w);
+        k.push(params.l);
+    });
+    tech.generate_cached(Stage::Modgen, key, || cascode_pair_uncached(tech, params))
+}
+
+fn cascode_pair_uncached(
+    tech: &GenCtx,
+    params: &CascodeParams,
+) -> Result<LayoutObject, ModgenError> {
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "cascode_pair");
     tech.checkpoint(Stage::Modgen)?;

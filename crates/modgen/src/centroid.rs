@@ -140,6 +140,24 @@ pub fn centroid_diff_pair(
     params: &CentroidParams,
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
+    let key = crate::cached::module_key(tech, "centroid_diff_pair", |k| {
+        k.push(crate::cached::mos_code(params.mos));
+        k.push(params.pairs_per_side);
+        k.push(params.center_dummies);
+        k.push(params.side_dummies);
+        k.push(params.w);
+        k.push(params.l);
+        k.push(params.guard);
+    });
+    tech.generate_cached(Stage::Modgen, key, || {
+        centroid_diff_pair_uncached(tech, params)
+    })
+}
+
+fn centroid_diff_pair_uncached(
+    tech: &GenCtx,
+    params: &CentroidParams,
+) -> Result<LayoutObject, ModgenError> {
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "centroid_diff_pair");
     tech.checkpoint(Stage::Modgen)?;

@@ -9,7 +9,7 @@
 //!   ARRAY("contact")
 //! ```
 
-use amgen_core::{FaultSite, IntoGenCtx, Stage};
+use amgen_core::{FaultSite, GenCtx, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Port, RebuildKind};
 use amgen_geom::{Coord, Dir};
 use amgen_prim::Primitives;
@@ -90,6 +90,43 @@ pub fn contact_row(
     params: &ContactRowParams,
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
+    // The net is a pure relabeling: cache the canonical (α-renamed)
+    // form so rows that differ only in their net share one entry.
+    if let (true, Some(net)) = (tech.cache_active(), &params.net) {
+        let key = crate::cached::module_key(tech, "contact_row", |k| {
+            k.push(layer.index());
+            k.push(params.w);
+            k.push(params.l);
+            k.push(true); // a (canonicalized) net is present
+            k.push(params.variable_edges);
+        });
+        let canon = ContactRowParams {
+            net: Some(crate::cached::ALPHA_A.to_string()),
+            ..params.clone()
+        };
+        let mut row = tech.generate_cached(Stage::Modgen, key, || {
+            contact_row_uncached(tech, layer, &canon)
+        })?;
+        row.rename_label(crate::cached::ALPHA_A, net);
+        return Ok(row);
+    }
+    let key = crate::cached::module_key(tech, "contact_row", |k| {
+        k.push(layer.index());
+        k.push(params.w);
+        k.push(params.l);
+        k.push(params.net.clone());
+        k.push(params.variable_edges);
+    });
+    tech.generate_cached(Stage::Modgen, key, || {
+        contact_row_uncached(tech, layer, params)
+    })
+}
+
+fn contact_row_uncached(
+    tech: &GenCtx,
+    layer: Layer,
+    params: &ContactRowParams,
+) -> Result<LayoutObject, ModgenError> {
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "contact_row");
     tech.checkpoint(Stage::Modgen)?;

@@ -15,7 +15,7 @@
 //! shared between the devices.
 
 use amgen_compact::{CompactOptions, Compactor};
-use amgen_core::{FaultSite, IntoGenCtx, Stage};
+use amgen_core::{FaultSite, GenCtx, IntoGenCtx, Stage};
 use amgen_db::LayoutObject;
 use amgen_geom::Coord;
 use amgen_geom::Dir;
@@ -73,6 +73,16 @@ pub fn diff_pair(
     params: &DiffPairParams,
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
+    let key = crate::cached::module_key(tech, "diff_pair", |k| {
+        k.push(crate::cached::mos_code(params.mos));
+        k.push(params.w);
+        k.push(params.l);
+        k.push(params.implants);
+    });
+    tech.generate_cached(Stage::Modgen, key, || diff_pair_uncached(tech, params))
+}
+
+fn diff_pair_uncached(tech: &GenCtx, params: &DiffPairParams) -> Result<LayoutObject, ModgenError> {
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "diff_pair");
     tech.checkpoint(Stage::Modgen)?;

@@ -6,7 +6,7 @@
 //! transistor plus one metal1 strap from the gate contact to the drain
 //! row.
 
-use amgen_core::{FaultSite, IntoGenCtx, Stage};
+use amgen_core::{FaultSite, GenCtx, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Shape};
 use amgen_geom::{Coord, Rect};
 
@@ -56,6 +56,20 @@ pub fn diode_transistor(
     params: &DiodeParams,
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
+    let key = crate::cached::module_key(tech, "diode_transistor", |k| {
+        k.push(crate::cached::mos_code(params.mos));
+        k.push(params.w);
+        k.push(params.l);
+    });
+    tech.generate_cached(Stage::Modgen, key, || {
+        diode_transistor_uncached(tech, params)
+    })
+}
+
+fn diode_transistor_uncached(
+    tech: &GenCtx,
+    params: &DiodeParams,
+) -> Result<LayoutObject, ModgenError> {
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "diode_transistor");
     tech.checkpoint(Stage::Modgen)?;

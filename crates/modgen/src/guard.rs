@@ -6,7 +6,7 @@
 //! a contacted diffusion ring whose shapes carry
 //! [`ShapeRole::SubstrateContact`] so the check can find them.
 
-use amgen_core::{FaultSite, IntoGenCtx, Stage};
+use amgen_core::{FaultSite, GenCtx, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Port, Shape, ShapeRole};
 use amgen_geom::{Coord, Rect};
 use amgen_prim::Primitives;
@@ -41,6 +41,21 @@ pub fn guard_ring(
     params: &GuardRingParams,
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
+    let key = crate::cached::module_key(tech, "guard_ring", |k| {
+        k.push(amgen_core::CanonParam::object(core));
+        k.push(params.net.clone());
+        k.push(params.width);
+    });
+    tech.generate_cached(Stage::Modgen, key, || {
+        guard_ring_uncached(tech, core, params)
+    })
+}
+
+fn guard_ring_uncached(
+    tech: &GenCtx,
+    core: &LayoutObject,
+    params: &GuardRingParams,
+) -> Result<LayoutObject, ModgenError> {
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "guard_ring");
     tech.checkpoint(Stage::Modgen)?;

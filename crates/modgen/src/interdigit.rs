@@ -105,6 +105,23 @@ pub fn interdigitated(
     params: &InterdigitParams,
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
+    let key = crate::cached::module_key(tech, "interdigitated", |k| {
+        k.push(crate::cached::mos_code(params.mos));
+        k.push(params.fingers);
+        k.push(params.w);
+        k.push(params.l);
+        k.push(params.g_net.clone());
+        k.push(params.s_net.clone());
+        k.push(params.d_net.clone());
+        k.push(params.implants);
+    });
+    tech.generate_cached(Stage::Modgen, key, || interdigitated_uncached(tech, params))
+}
+
+fn interdigitated_uncached(
+    tech: &GenCtx,
+    params: &InterdigitParams,
+) -> Result<LayoutObject, ModgenError> {
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "interdigitated");
     tech.checkpoint(Stage::Modgen)?;

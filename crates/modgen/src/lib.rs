@@ -26,6 +26,8 @@
 //! | [`guard_ring`](guard::guard_ring) | substrate contacts / latch-up |
 //! | [`baseline`] | the coordinate-level style of ref. \[11\] |
 
+mod cached;
+
 pub mod baseline;
 pub mod bipolar;
 pub mod capacitor;

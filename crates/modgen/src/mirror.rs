@@ -74,6 +74,19 @@ pub fn current_mirror(
     params: &MirrorParams,
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
+    let key = crate::cached::module_key(tech, "current_mirror", |k| {
+        k.push(crate::cached::mos_code(params.mos));
+        k.push(params.side_fingers);
+        k.push(params.w);
+        k.push(params.l);
+    });
+    tech.generate_cached(Stage::Modgen, key, || current_mirror_uncached(tech, params))
+}
+
+fn current_mirror_uncached(
+    tech: &GenCtx,
+    params: &MirrorParams,
+) -> Result<LayoutObject, ModgenError> {
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "current_mirror");
     tech.checkpoint(Stage::Modgen)?;

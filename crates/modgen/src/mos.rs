@@ -18,7 +18,7 @@
 //! diffusion-contacts could be placed closer to the transistors"*.
 
 use amgen_compact::{CompactOptions, Compactor};
-use amgen_core::{FaultSite, IntoGenCtx, Stage};
+use amgen_core::{FaultSite, GenCtx, IntoGenCtx, Stage};
 use amgen_db::LayoutObject;
 use amgen_geom::{Coord, Dir};
 use amgen_prim::Primitives;
@@ -139,6 +139,20 @@ pub fn mos_transistor(
     params: &MosParams,
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
+    let key = crate::cached::module_key(tech, "mos_transistor", |k| {
+        k.push(crate::cached::mos_code(params.mos));
+        k.push(params.w);
+        k.push(params.l);
+        k.push(params.g_net.clone());
+        k.push(params.s_net.clone());
+        k.push(params.d_net.clone());
+        k.push(params.gate_contact);
+        k.push(params.implants);
+    });
+    tech.generate_cached(Stage::Modgen, key, || mos_transistor_uncached(tech, params))
+}
+
+fn mos_transistor_uncached(tech: &GenCtx, params: &MosParams) -> Result<LayoutObject, ModgenError> {
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "mos_transistor");
     tech.checkpoint(Stage::Modgen)?;
@@ -246,6 +260,55 @@ pub fn mos_finger(
     gate_contact: bool,
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
+    // The nets are pure relabelings of identical geometry: cache the
+    // canonical (α-renamed) finger so a diff pair's two fingers (and a
+    // centroid quad's four) share one entry. `g_net == row_net` would
+    // merge the two potentials at build time, which α-renaming cannot
+    // reproduce — that (shorted) corner case is keyed literally.
+    if tech.cache_active() && g_net != row_net {
+        let key = crate::cached::module_key(tech, "mos_finger", |k| {
+            k.push(crate::cached::mos_code(mos));
+            k.push(w);
+            k.push(l);
+            k.push(gate_contact);
+        });
+        let mut finger = tech.generate_cached(Stage::Modgen, key, || {
+            mos_finger_uncached(
+                tech,
+                mos,
+                w,
+                l,
+                crate::cached::ALPHA_A,
+                crate::cached::ALPHA_B,
+                gate_contact,
+            )
+        })?;
+        finger.rename_label(crate::cached::ALPHA_A, g_net);
+        finger.rename_label(crate::cached::ALPHA_B, row_net);
+        return Ok(finger);
+    }
+    let key = crate::cached::module_key(tech, "mos_finger", |k| {
+        k.push(crate::cached::mos_code(mos));
+        k.push(w);
+        k.push(l);
+        k.push(g_net);
+        k.push(row_net);
+        k.push(gate_contact);
+    });
+    tech.generate_cached(Stage::Modgen, key, || {
+        mos_finger_uncached(tech, mos, w, l, g_net, row_net, gate_contact)
+    })
+}
+
+fn mos_finger_uncached(
+    tech: &GenCtx,
+    mos: MosType,
+    w: Option<Coord>,
+    l: Option<Coord>,
+    g_net: &str,
+    row_net: &str,
+    gate_contact: bool,
+) -> Result<LayoutObject, ModgenError> {
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "mos_finger");
     tech.checkpoint(Stage::Modgen)?;

@@ -99,6 +99,20 @@ pub fn common_centroid_quad(
     params: &QuadParams,
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
+    let key = crate::cached::module_key(tech, "common_centroid_quad", |k| {
+        k.push(crate::cached::mos_code(params.mos));
+        k.push(params.w);
+        k.push(params.l);
+    });
+    tech.generate_cached(Stage::Modgen, key, || {
+        common_centroid_quad_uncached(tech, params)
+    })
+}
+
+fn common_centroid_quad_uncached(
+    tech: &GenCtx,
+    params: &QuadParams,
+) -> Result<LayoutObject, ModgenError> {
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "common_centroid_quad");
     tech.checkpoint(Stage::Modgen)?;

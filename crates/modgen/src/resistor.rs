@@ -8,7 +8,7 @@
 //! for ratio-critical feedback networks.
 
 use amgen_compact::{CompactOptions, Compactor};
-use amgen_core::{FaultSite, IntoGenCtx, Stage};
+use amgen_core::{FaultSite, GenCtx, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Shape};
 use amgen_geom::{Coord, Dir, Rect, Vector};
 
@@ -63,6 +63,28 @@ pub fn poly_resistor(
     params: &ResistorParams,
 ) -> Result<(LayoutObject, f64), ModgenError> {
     let tech = &tech.into_gen_ctx();
+    let key = crate::cached::module_key(tech, "poly_resistor", |k| {
+        k.push(params.legs);
+        k.push(params.leg_l);
+        k.push(params.w);
+        k.push(params.nets.0.clone());
+        k.push(params.nets.1.clone());
+    });
+    let m = tech.generate_cached_full(Stage::Modgen, key, || {
+        let (layout, value) = poly_resistor_uncached(tech, params)?;
+        Ok::<_, ModgenError>(amgen_core::CachedModule {
+            layout,
+            scalars: vec![value],
+        })
+    })?;
+    let value = m.scalars[0];
+    Ok((m.layout, value))
+}
+
+fn poly_resistor_uncached(
+    tech: &GenCtx,
+    params: &ResistorParams,
+) -> Result<(LayoutObject, f64), ModgenError> {
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "poly_resistor");
     tech.checkpoint(Stage::Modgen)?;
@@ -152,6 +174,26 @@ pub fn matched_resistor_pair(
     leg_l: Coord,
 ) -> Result<(LayoutObject, f64, f64), ModgenError> {
     let tech = &tech.into_gen_ctx();
+    let key = crate::cached::module_key(tech, "matched_resistor_pair", |k| {
+        k.push(legs_per_device);
+        k.push(leg_l);
+    });
+    let m = tech.generate_cached_full(Stage::Modgen, key, || {
+        let (layout, a, b) = matched_resistor_pair_uncached(tech, legs_per_device, leg_l)?;
+        Ok::<_, ModgenError>(amgen_core::CachedModule {
+            layout,
+            scalars: vec![a, b],
+        })
+    })?;
+    let (a, b) = (m.scalars[0], m.scalars[1]);
+    Ok((m.layout, a, b))
+}
+
+fn matched_resistor_pair_uncached(
+    tech: &GenCtx,
+    legs_per_device: usize,
+    leg_l: Coord,
+) -> Result<(LayoutObject, f64, f64), ModgenError> {
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "matched_resistor_pair");
     tech.checkpoint(Stage::Modgen)?;

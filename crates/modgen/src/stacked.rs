@@ -10,7 +10,7 @@
 //! the two ends.
 
 use amgen_compact::{CompactOptions, Compactor};
-use amgen_core::{FaultSite, IntoGenCtx, Stage};
+use amgen_core::{FaultSite, GenCtx, IntoGenCtx, Stage};
 use amgen_db::LayoutObject;
 use amgen_geom::{Coord, Dir};
 use amgen_prim::Primitives;
@@ -76,6 +76,22 @@ pub fn stacked_transistor(
     params: &StackedParams,
 ) -> Result<LayoutObject, ModgenError> {
     let tech = &tech.into_gen_ctx();
+    let key = crate::cached::module_key(tech, "stacked_transistor", |k| {
+        k.push(crate::cached::mos_code(params.mos));
+        k.push(params.gates);
+        k.push(params.w);
+        k.push(params.l);
+        k.push(params.common_gate);
+    });
+    tech.generate_cached(Stage::Modgen, key, || {
+        stacked_transistor_uncached(tech, params)
+    })
+}
+
+fn stacked_transistor_uncached(
+    tech: &GenCtx,
+    params: &StackedParams,
+) -> Result<LayoutObject, ModgenError> {
     let _timer = tech.metrics.stage_timer(Stage::Modgen);
     let _span = tech.span(Stage::Modgen, || "stacked_transistor");
     tech.checkpoint(Stage::Modgen)?;

@@ -40,10 +40,27 @@ use std::sync::{Condvar, LockResult, Mutex};
 use std::time::Instant;
 
 use amgen_compact::{CompactError, Compactor};
-use amgen_core::{FaultSite, GenError, GenErrorKind, Resource, Stage};
+use amgen_core::{
+    FaultSite, GenError, GenErrorKind, PlacementVariant, Resource, Stage, VariantTable,
+};
 use amgen_db::{LayoutObject, LayoutSignature};
 
 use crate::{OptResult, Optimizer, Rating, SearchOptions, Step};
+
+/// Complete orders kept in a stored variant table.
+const TOP_K: usize = 6;
+
+/// Sorts variants best-first: by score, ties broken by the
+/// lexicographically smallest order — the same total order `offer`
+/// uses for the incumbent, so `variants[0]` is always the winner.
+fn sort_variants(vs: &mut Vec<PlacementVariant>) {
+    vs.sort_by(|a, b| {
+        a.score
+            .total_cmp(&b.score)
+            .then_with(|| a.order.cmp(&b.order))
+    });
+    vs.dedup_by(|a, b| a.order == b.order);
+}
 
 /// Recovers the guard from a possibly poisoned lock. A worker that
 /// panicked mid-frame (see the `catch_unwind` in the worker loop) poisons
@@ -113,6 +130,10 @@ struct Shared<'a> {
     /// (mask, signature) → lexicographically smallest prefix that reached
     /// this geometry class.
     dom: Mutex<HashMap<(u64, LayoutSignature), Vec<usize>>>,
+    /// Complete orders seen so far (bounded; see `process`), collected
+    /// only when a variant table will be stored (`collect`).
+    collect: bool,
+    variants: Mutex<Vec<PlacementVariant>>,
     explored: AtomicUsize,
     pruned: AtomicUsize,
     dominated: AtomicUsize,
@@ -300,6 +321,23 @@ impl<'a> Shared<'a> {
         }
         if frame.order.len() == self.steps.len() {
             let rating = self.opt.rate(&frame.main);
+            if self.collect {
+                let mut vs = unpoison(self.variants.lock());
+                vs.push(PlacementVariant {
+                    order: frame.order.clone(),
+                    score: rating.score,
+                    area_um2: rating.area_um2,
+                    cap_af: rating.cap_af,
+                    signature: frame.main.signature(),
+                });
+                // Keep the buffer bounded: compacting to the best
+                // TOP_K can never drop a final top-k member (anything
+                // dropped is already beaten by TOP_K better orders).
+                if vs.len() > TOP_K * 8 {
+                    sort_variants(&mut vs);
+                    vs.truncate(TOP_K);
+                }
+            }
             self.offer(rating, frame.order, frame.main);
             return None;
         }
@@ -476,6 +514,8 @@ pub(crate) fn run(
             wall: t0.elapsed(),
             complete: true,
             degraded: false,
+            cached: false,
+            variants: Vec::new(),
             metrics: opt.ctx.snapshot(),
         });
     }
@@ -516,11 +556,46 @@ pub(crate) fn run(
         .max_nodes
         .min(usize::try_from(budget_nodes).unwrap_or(usize::MAX));
 
+    // Warm path: a previous search with an identical key left its top-k
+    // variant table in the generation cache — instantiate the winner in
+    // O(1) instead of re-searching. Only proven-complete, undegraded,
+    // panic-free searches are ever stored, so a warm result is exactly
+    // the cold result.
+    let key = opt.variant_key(steps, &search, max_nodes);
+    if let Some(k) = &key {
+        if let Some(table) = opt.ctx.cache_variants_get(Stage::Opt, k) {
+            let best = &table.variants[0];
+            search_span.arg("cached", 1u64);
+            return Ok(OptResult {
+                order: best.order.clone(),
+                layout: table.layout.clone(),
+                rating: Rating {
+                    area_um2: best.area_um2,
+                    cap_af: best.cap_af,
+                    score: best.score,
+                },
+                explored: 0,
+                pruned: 0,
+                dominated: 0,
+                workers: 0,
+                wall: t0.elapsed(),
+                complete: true,
+                degraded: false,
+                cached: true,
+                variants: table.variants.clone(),
+                metrics: opt.ctx.snapshot(),
+            });
+        }
+    }
+    let panics_before = opt.ctx.snapshot().opt_panics;
+
     let shared = Shared {
         opt,
         steps,
         max_nodes,
         dominance: search.dominance,
+        collect: key.is_some(),
+        variants: Mutex::new(Vec::new()),
         deque: Mutex::new(Deque {
             frames: Vec::new(),
             active: 0,
@@ -599,6 +674,9 @@ pub(crate) fn run(
     search_span.arg("pruned", pruned);
     search_span.arg("dominated", dominated);
     let best = unpoison(shared.best.into_inner());
+    let mut variants = unpoison(shared.variants.into_inner());
+    sort_variants(&mut variants);
+    variants.truncate(TOP_K);
 
     let (order, layout, rating) = match best {
         Some(b) => (b.order, b.layout, b.rating),
@@ -648,6 +726,27 @@ pub(crate) fn run(
         }
     };
 
+    // Store the variant table for warm reuse — but only when the search
+    // is a proven, clean optimum: complete (node budget never expired),
+    // undegraded (deadline never expired), no worker panicked mid-search
+    // (a panicked permutation was pruned, so the "optimum" is suspect),
+    // and the collected winner agrees with the incumbent.
+    if let Some(k) = key {
+        let clean = complete
+            && !degraded
+            && opt.ctx.snapshot().opt_panics == panics_before
+            && variants.first().is_some_and(|v| v.order == order);
+        if clean {
+            opt.ctx.cache_variants_put(
+                k,
+                std::sync::Arc::new(VariantTable {
+                    layout: layout.clone(),
+                    variants: variants.clone(),
+                }),
+            );
+        }
+    }
+
     opt.ctx
         .metrics
         .add_stage_nanos(Stage::Opt, t0.elapsed().as_nanos() as u64);
@@ -662,6 +761,8 @@ pub(crate) fn run(
         wall: t0.elapsed(),
         complete,
         degraded,
+        cached: false,
+        variants,
         metrics: opt.ctx.snapshot(),
     })
 }
