@@ -40,6 +40,11 @@ cargo bench -p amgen-bench --bench fault_overhead
 # >= 10x faster, warm optimize_order >= 10x faster than the cold
 # search (the bench asserts and exits nonzero).
 cargo bench -p amgen-bench --bench cache_overhead
+# Chip-scale geometry smoke: indexed latch-up >= 5x the linear scan at
+# 128 stripes with a fitted growth exponent < 1.5, fig_chip 10x assembly
+# p50 < 1 ms, and indexed DRC/extraction byte-identical to the scans on
+# the assembled chip (the bench asserts and exits nonzero).
+cargo bench -p amgen-bench --bench chip_scale
 # Determinism gate in release: optimized builds must produce the same
 # byte-identical layouts, diagnostics and cache-transparent reruns the
 # debug test suite proved (HashMap-iteration leaks can be

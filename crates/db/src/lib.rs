@@ -36,7 +36,9 @@
 pub mod object;
 pub mod shape;
 pub mod signature;
+pub mod spatial;
 
 pub use object::{Group, GroupId, LayoutObject, Port, RebuildKind};
 pub use shape::{EdgeFlags, NetId, Shape, ShapeRole};
 pub use signature::LayoutSignature;
+pub use spatial::SpatialIndex;

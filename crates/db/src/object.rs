@@ -4,6 +4,7 @@ use amgen_geom::{Rect, Vector};
 use amgen_tech::Layer;
 
 use crate::shape::{NetId, Shape};
+use crate::spatial::SpatialIndex;
 
 /// A named connection point used by the routing routines.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,6 +81,13 @@ pub struct LayoutObject {
     /// mutation; [`absorb`](LayoutObject::absorb) updates it in place so
     /// the successive compactor never rescans the whole grown structure.
     bbox: std::sync::OnceLock<Rect>,
+    /// Lazily built spatial index (see [`SpatialIndex`]). Derived state
+    /// like `bbox`: dropped by every geometry mutation, rebuilt on the
+    /// next [`spatial_index`](LayoutObject::spatial_index) call, and
+    /// invisible to equality. Boxed so an unbuilt index costs one
+    /// pointer — `LayoutObject` moves by value through the DSL
+    /// interpreter's `Value` enum.
+    index: std::sync::OnceLock<Box<SpatialIndex>>,
 }
 
 /// Equality is over the logical content; whether the bounding box
@@ -101,6 +109,38 @@ impl LayoutObject {
             name: name.into(),
             ..LayoutObject::default()
         }
+    }
+
+    /// Creates an empty object with room for `shapes` shapes — the
+    /// arena-style constructor for replicated assembly (a chip-scale
+    /// build that [`absorb`](LayoutObject::absorb)s hundreds of blocks
+    /// should not regrow its shape vector a dozen times).
+    pub fn with_capacity(name: impl Into<String>, shapes: usize) -> LayoutObject {
+        let mut obj = LayoutObject::new(name);
+        obj.shapes.reserve(shapes);
+        obj
+    }
+
+    /// Reserves room for at least `additional` more shapes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.shapes.reserve(additional);
+    }
+
+    /// Spare shape capacity already allocated (diagnostic; lets bench
+    /// code verify that reservation avoided reallocation churn).
+    pub fn shape_capacity(&self) -> usize {
+        self.shapes.capacity()
+    }
+
+    /// The spatial index over the current shapes, built on first use.
+    ///
+    /// Derived state: any geometry mutation drops it and the next call
+    /// rebuilds it from scratch. Queries return shape indices in
+    /// linear-scan (ascending) order — see [`SpatialIndex`] for the
+    /// determinism and candidate-semantics contracts.
+    pub fn spatial_index(&self) -> &SpatialIndex {
+        self.index
+            .get_or_init(|| Box::new(SpatialIndex::build(&self.shapes)))
     }
 
     /// The object's name.
@@ -147,6 +187,7 @@ impl LayoutObject {
             let bb = bb.union_bbox(&s.rect);
             self.bbox = bb.into();
         }
+        self.index.take();
         self.shapes.push(s);
         self.shapes.len() - 1
     }
@@ -156,10 +197,11 @@ impl LayoutObject {
         &self.shapes
     }
 
-    /// Mutable access to all shapes. Drops the cached bounding box —
-    /// the caller may move any edge.
+    /// Mutable access to all shapes. Drops the cached bounding box and
+    /// the spatial index — the caller may move any edge.
     pub fn shapes_mut(&mut self) -> &mut [Shape] {
         self.bbox.take();
+        self.index.take();
         &mut self.shapes
     }
 
@@ -178,20 +220,29 @@ impl LayoutObject {
         self.shapes.len()
     }
 
-    /// Bounding box over all shapes. Cached: the first call scans, later
+    /// Bounding box over all shapes. Cached: the first call scans (or
+    /// reads the spatial index's cached bound when one is built), later
     /// calls are a load until the geometry is next mutated.
     pub fn bbox(&self) -> Rect {
-        *self.bbox.get_or_init(|| {
-            self.shapes
+        *self.bbox.get_or_init(|| match self.index.get() {
+            Some(ix) => ix.bbox(),
+            None => self
+                .shapes
                 .iter()
-                .fold(Rect::EMPTY, |acc, s| acc.union_bbox(&s.rect))
+                .fold(Rect::EMPTY, |acc, s| acc.union_bbox(&s.rect)),
         })
     }
 
-    /// Bounding box over one layer.
+    /// Bounding box over one layer. Served from the spatial index's
+    /// cached per-layer bounds when the index is built; a linear scan
+    /// otherwise.
     pub fn bbox_on(&self, layer: Layer) -> Rect {
-        self.shapes_on(layer)
-            .fold(Rect::EMPTY, |acc, s| acc.union_bbox(&s.rect))
+        match self.index.get() {
+            Some(ix) => ix.bounds_on(layer),
+            None => self
+                .shapes_on(layer)
+                .fold(Rect::EMPTY, |acc, s| acc.union_bbox(&s.rect)),
+        }
     }
 
     /// Adds a port.
@@ -270,6 +321,7 @@ impl LayoutObject {
             }
         }
         self.bbox.take();
+        self.index.take();
         let mut keep = Vec::with_capacity(next);
         for (i, s) in self.shapes.drain(..).enumerate() {
             if !removed[i] {
@@ -296,6 +348,7 @@ impl LayoutObject {
     /// Translates all geometry (shapes and ports).
     pub fn translate(&mut self, v: Vector) {
         self.bbox.take();
+        self.index.take();
         for s in &mut self.shapes {
             *s = s.translated(v);
         }
@@ -312,6 +365,7 @@ impl LayoutObject {
     pub fn mirrored_x(&self, axis_x: i64) -> LayoutObject {
         let mut out = self.clone();
         out.bbox.take();
+        out.index.take();
         for s in &mut out.shapes {
             *s = s.mirrored_x(axis_x);
         }
@@ -331,6 +385,7 @@ impl LayoutObject {
     pub fn mirrored_y(&self, axis_y: i64) -> LayoutObject {
         let mut out = self.clone();
         out.bbox.take();
+        out.index.take();
         for s in &mut out.shapes {
             *s = s.mirrored_y(axis_y);
         }
@@ -418,7 +473,11 @@ impl LayoutObject {
                 self.bbox = bb.union_bbox(&other.bbox().translated(v)).into();
             }
         }
+        self.index.take();
         let offset = self.shapes.len();
+        self.shapes.reserve(other.shapes.len());
+        self.ports.reserve(other.ports.len());
+        self.groups.reserve(other.groups.len());
         // Net remap by name.
         let remap: Vec<NetId> = other.nets.iter().map(|n| self.net(n)).collect();
         for s in &other.shapes {
@@ -554,6 +613,92 @@ mod tests {
         let mut cold = obj.clone();
         cold.shapes_mut();
         assert_eq!(warm, cold);
+    }
+
+    /// Mutate-after-query must never serve stale index results: every
+    /// geometry mutation drops the lazily built spatial index, exactly
+    /// like the bbox cache. Guards the invalidation list against new
+    /// mutators forgetting the index.
+    #[test]
+    fn spatial_index_tracks_every_mutation() {
+        let t = tech();
+        let poly = t.layer("poly").unwrap();
+        let everywhere = Rect::new(-1_000_000, -1_000_000, 1_000_000, 1_000_000);
+        let check = |o: &LayoutObject| {
+            let got = o.spatial_index().query_overlapping(poly, &everywhere);
+            let scan: Vec<usize> = o
+                .shapes()
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.layer == poly)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(got, scan, "index out of sync with shape vector");
+            assert_eq!(
+                o.bbox_on(poly),
+                o.shapes_on(poly)
+                    .fold(Rect::EMPTY, |acc, s| acc.union_bbox(&s.rect)),
+                "bbox_on fast path out of sync"
+            );
+        };
+        let mut obj = LayoutObject::new("x");
+        obj.push(Shape::new(poly, Rect::new(0, 0, 10, 10)));
+        check(&obj);
+        // push after a query invalidates.
+        obj.push(Shape::new(poly, Rect::new(20, -5, 30, 5)));
+        check(&obj);
+        // Moving an edge through shapes_mut invalidates.
+        obj.spatial_index();
+        obj.shapes_mut()[1].rect = Rect::new(20, -5, 50, 5);
+        check(&obj);
+        // translate invalidates.
+        obj.spatial_index();
+        obj.translate(Vector::new(7, 3));
+        check(&obj);
+        // absorb invalidates.
+        obj.spatial_index();
+        let mut other = LayoutObject::new("y");
+        other.push(Shape::new(poly, Rect::new(0, 0, 100, 2)));
+        obj.absorb(&other, Vector::new(-200, 0));
+        check(&obj);
+        // remove_shapes invalidates.
+        obj.spatial_index();
+        obj.remove_shapes(&[0]);
+        check(&obj);
+        // Mirror copies rebuild on the copy.
+        obj.spatial_index();
+        check(&obj.mirrored_x(3));
+        check(&obj.mirrored_y(-1));
+        // Index state is invisible to equality.
+        let warm = obj.clone();
+        warm.spatial_index();
+        let mut cold = obj.clone();
+        cold.shapes_mut();
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn with_capacity_reserves_and_absorb_extends() {
+        let t = tech();
+        let poly = t.layer("poly").unwrap();
+        let mut obj = LayoutObject::with_capacity("chip", 64);
+        assert!(obj.shape_capacity() >= 64);
+        let base = obj.shape_capacity();
+        let mut blk = LayoutObject::new("b");
+        for i in 0..8 {
+            blk.push(Shape::new(poly, Rect::new(i * 4, 0, i * 4 + 2, 2)));
+        }
+        for r in 0..8 {
+            obj.absorb(&blk, Vector::new(0, r * 10));
+        }
+        assert_eq!(obj.len(), 64);
+        assert_eq!(
+            obj.shape_capacity(),
+            base,
+            "no reallocation within the reservation"
+        );
+        obj.reserve(100);
+        assert!(obj.shape_capacity() >= 164);
     }
 
     #[test]

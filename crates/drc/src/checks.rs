@@ -2,11 +2,37 @@
 
 use amgen_core::{GenCtx, IntoGenCtx, Stage};
 use amgen_db::{LayoutObject, Shape};
-use amgen_geom::{Axis, Coord, Region};
-use amgen_tech::{LayerKind, RuleSet};
+use amgen_geom::{Axis, Coord, Rect, Region};
+use amgen_tech::{Layer, LayerKind, RuleSet};
 
 use crate::latchup;
 use crate::violation::{Violation, ViolationKind};
+
+/// Cover-rectangle source for the union tests (`covered_by` call
+/// sites): the spatial index returns only the same-layer shapes near
+/// the window — exact, because a cover that does not overlap the window
+/// cannot cut anything from it — while the scan source returns every
+/// same-layer shape, reproducing the pre-index behaviour for the
+/// equivalence baselines.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Candidates {
+    Indexed,
+    Scan,
+}
+
+impl Candidates {
+    fn covers(self, obj: &LayoutObject, layer: Layer, window: &Rect) -> Vec<Rect> {
+        match self {
+            Candidates::Indexed => obj
+                .spatial_index()
+                .query_overlapping(layer, window)
+                .into_iter()
+                .map(|i| obj.shapes()[i].rect)
+                .collect(),
+            Candidates::Scan => obj.shapes_on(layer).map(|s| s.rect).collect(),
+        }
+    }
+}
 
 /// The design-rule checker, bound to one generation context.
 #[derive(Debug, Clone)]
@@ -34,6 +60,11 @@ impl Drc {
     }
 
     /// Runs every check and returns all violations.
+    ///
+    /// Every sub-check runs on the object's
+    /// [spatial index](LayoutObject::spatial_index) — window queries
+    /// instead of all-pairs scans — and produces output byte-identical
+    /// to the pre-index checker ([`check_scan`](Drc::check_scan)).
     pub fn check(&self, obj: &LayoutObject) -> Vec<Violation> {
         let t0 = std::time::Instant::now();
         let mut span = self
@@ -53,10 +84,42 @@ impl Drc {
         out
     }
 
+    /// The pre-index checker: every sub-check runs its linear-scan /
+    /// all-pairs variant. Kept as the baseline the indexed checks are
+    /// parity-tested against (byte-identical violations).
+    #[doc(hidden)]
+    pub fn check_scan(&self, obj: &LayoutObject) -> Vec<Violation> {
+        let mut out = Vec::new();
+        out.extend(self.check_widths_scan(obj));
+        out.extend(self.check_spacing_scan(obj));
+        out.extend(self.check_enclosures_scan(obj));
+        out.extend(self.check_min_area_scan(obj));
+        out.extend(latchup::check_latchup_scan(&self.ctx, obj));
+        out
+    }
+
     /// Minimum area per **merged region**: same-layer shapes that touch
     /// or overlap form one region; its union area must reach the layer's
-    /// `minarea` rule.
+    /// `minarea` rule. Touching pairs come from the spatial index
+    /// (`query_pairs_within(layer, 0)`) instead of an all-pairs sweep.
     pub fn check_min_area(&self, obj: &LayoutObject) -> Vec<Violation> {
+        self.min_area_impl(obj, Candidates::Indexed)
+    }
+
+    /// All-pairs baseline of [`check_min_area`](Drc::check_min_area).
+    #[doc(hidden)]
+    pub fn check_min_area_scan(&self, obj: &LayoutObject) -> Vec<Violation> {
+        self.min_area_impl(obj, Candidates::Scan)
+    }
+
+    fn min_area_impl(&self, obj: &LayoutObject, mode: Candidates) -> Vec<Violation> {
+        fn find(p: &mut Vec<usize>, i: usize) -> usize {
+            if p[i] != i {
+                let r = find(p, p[i]);
+                p[i] = r;
+            }
+            p[i]
+        }
         self.ctx.metrics.add_drc_checks(1);
         let mut out = Vec::new();
         for layer in self.ctx.layers() {
@@ -64,34 +127,53 @@ impl Drc {
             if rule_um2 <= 0.0 {
                 continue;
             }
-            let rects: Vec<amgen_geom::Rect> = obj.shapes_on(layer).map(|s| s.rect).collect();
-            if rects.is_empty() {
+            // Shape indices on the layer, ascending (linear-scan order).
+            let ids: Vec<usize> = obj
+                .shapes()
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.layer == layer)
+                .map(|(i, _)| i)
+                .collect();
+            if ids.is_empty() {
                 continue;
             }
+            let rects: Vec<Rect> = ids.iter().map(|&i| obj.shapes()[i].rect).collect();
             // Cluster touching rectangles (union-find).
             let mut parent: Vec<usize> = (0..rects.len()).collect();
-            fn find(p: &mut Vec<usize>, i: usize) -> usize {
-                if p[i] != i {
-                    let r = find(p, p[i]);
-                    p[i] = r;
+            let join = |parent: &mut Vec<usize>, i: usize, j: usize| {
+                if rects[i].overlaps(&rects[j]) || rects[i].abuts(&rects[j]) {
+                    let (ri, rj) = (find(parent, i), find(parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
                 }
-                p[i]
-            }
-            for i in 0..rects.len() {
-                for j in (i + 1)..rects.len() {
-                    if rects[i].overlaps(&rects[j]) || rects[i].abuts(&rects[j]) {
-                        let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
-                        if ri != rj {
-                            parent[ri] = rj;
+            };
+            match mode {
+                Candidates::Indexed => {
+                    for (gi, gj) in obj.spatial_index().query_pairs_within(layer, 0) {
+                        let i = ids.binary_search(&gi).expect("indexed shape is on layer");
+                        let j = ids.binary_search(&gj).expect("indexed shape is on layer");
+                        join(&mut parent, i, j);
+                    }
+                }
+                Candidates::Scan => {
+                    for i in 0..rects.len() {
+                        for j in (i + 1)..rects.len() {
+                            join(&mut parent, i, j);
                         }
                     }
                 }
             }
-            let mut clusters: std::collections::HashMap<usize, Vec<amgen_geom::Rect>> =
-                Default::default();
+            // Group clusters by their smallest member index — an order
+            // independent of how the unions happened to be discovered,
+            // so both candidate sources report identically.
+            let mut min_of_root: std::collections::HashMap<usize, usize> = Default::default();
+            let mut clusters: std::collections::BTreeMap<usize, Vec<Rect>> = Default::default();
             for (i, rect) in rects.iter().enumerate() {
                 let r = find(&mut parent, i);
-                clusters.entry(r).or_default().push(*rect);
+                let key = *min_of_root.entry(r).or_insert(i);
+                clusters.entry(key).or_default().push(*rect);
             }
             for cluster in clusters.values() {
                 let region: Region = cluster.iter().copied().collect();
@@ -113,6 +195,16 @@ impl Drc {
 
     /// Minimum width / exact cut size per shape.
     pub fn check_widths(&self, obj: &LayoutObject) -> Vec<Violation> {
+        self.widths_impl(obj, Candidates::Indexed)
+    }
+
+    /// Linear-scan baseline of [`check_widths`](Drc::check_widths).
+    #[doc(hidden)]
+    pub fn check_widths_scan(&self, obj: &LayoutObject) -> Vec<Violation> {
+        self.widths_impl(obj, Candidates::Scan)
+    }
+
+    fn widths_impl(&self, obj: &LayoutObject, mode: Candidates) -> Vec<Violation> {
         self.ctx.metrics.add_drc_checks(1);
         let mut out = Vec::new();
         for s in obj.shapes() {
@@ -135,7 +227,7 @@ impl Drc {
             }
             let w = self.ctx.min_width(s.layer);
             let min_dim = s.rect.width().min(s.rect.height());
-            if w > 0 && min_dim < w && !self.widened_is_covered(obj, s, w) {
+            if w > 0 && min_dim < w && !self.widened_is_covered(obj, s, w, mode) {
                 out.push(Violation {
                     kind: ViolationKind::Width,
                     rect: s.rect,
@@ -150,8 +242,13 @@ impl Drc {
     /// min-width window containing the shape's narrow extent is fully
     /// covered by same-layer geometry (e.g. the short strap the compactor
     /// inserts between two wide diffusion areas).
-    fn widened_is_covered(&self, obj: &LayoutObject, s: &Shape, min_w: Coord) -> bool {
-        use amgen_geom::Rect;
+    fn widened_is_covered(
+        &self,
+        obj: &LayoutObject,
+        s: &Shape,
+        min_w: Coord,
+        mode: Candidates,
+    ) -> bool {
         let r = s.rect;
         let narrow_x = r.width() < r.height();
         let candidates: [Rect; 3] = if narrow_x {
@@ -177,9 +274,9 @@ impl Drc {
                 ),
             ]
         };
-        candidates.iter().any(|window| {
-            Region::from_rect(*window).covered_by(obj.shapes_on(s.layer).map(|o| o.rect))
-        })
+        candidates
+            .iter()
+            .any(|window| Region::from_rect(*window).covered_by(mode.covers(obj, s.layer, window)))
     }
 
     /// Spacing between disconnected shape pairs and same-layer shorts.
@@ -191,13 +288,74 @@ impl Drc {
     /// which is a short. Pairs that belong to the same geometrically
     /// extracted net are also exempt (same-net spacing, e.g. two fingers
     /// of one diffusion joined by a strap between them).
+    /// Each shape only checks against the shapes the spatial index finds
+    /// inside its rule-inflated window, instead of every other shape.
+    /// The closed-interval candidate test on `rect.inflated(rule)` admits
+    /// exactly the pairs with `gap_x <= rule && gap_y <= rule` — a
+    /// superset of both reportable cases (`max(gap) < rule` spacing
+    /// violations and `gap <= 0` shorts) — so no naive-loop pair is
+    /// missed; candidates are then run through the identical pair logic
+    /// in the identical `i < j` ascending order.
     pub fn check_spacing(&self, obj: &LayoutObject) -> Vec<Violation> {
         self.ctx.metrics.add_drc_checks(1);
         let mut out = Vec::new();
         let shapes = obj.shapes();
-        // Connected components per shape (a gate-split diffusion shape
-        // belongs to several), from geometric connectivity.
-        let mut comp: Vec<Vec<usize>> = vec![Vec::new(); shapes.len()];
+        let comp = self.components(obj);
+        let ix = obj.spatial_index();
+        // Per layer: the partner layers carrying a nonzero spacing rule
+        // against it (the only pairs the naive loop does not skip).
+        let mut partners: std::collections::BTreeMap<Layer, Vec<(Layer, Coord)>> =
+            Default::default();
+        for la in self.ctx.layers() {
+            let list: Vec<(Layer, Coord)> = self
+                .ctx
+                .layers()
+                .filter_map(|lb| match self.ctx.min_spacing(la, lb) {
+                    Some(r) if r > 0 => Some((lb, r)),
+                    _ => None,
+                })
+                .collect();
+            if !list.is_empty() {
+                partners.insert(la, list);
+            }
+        }
+        let mut cand: Vec<u32> = Vec::new();
+        let mut js: Vec<usize> = Vec::new();
+        for (i, a) in shapes.iter().enumerate() {
+            let Some(list) = partners.get(&a.layer) else {
+                continue;
+            };
+            js.clear();
+            for &(lb, rule) in list {
+                ix.query_overlapping_into(lb, &a.rect.inflated(rule), &mut cand);
+                js.extend(cand.iter().map(|&j| j as usize).filter(|&j| j > i));
+            }
+            js.sort_unstable();
+            for &j in &js {
+                self.spacing_pair(obj, &comp, i, j, Candidates::Indexed, &mut out);
+            }
+        }
+        out
+    }
+
+    /// All-pairs baseline of [`check_spacing`](Drc::check_spacing).
+    #[doc(hidden)]
+    pub fn check_spacing_scan(&self, obj: &LayoutObject) -> Vec<Violation> {
+        self.ctx.metrics.add_drc_checks(1);
+        let mut out = Vec::new();
+        let comp = self.components(obj);
+        for i in 0..obj.shapes().len() {
+            for j in (i + 1)..obj.shapes().len() {
+                self.spacing_pair(obj, &comp, i, j, Candidates::Scan, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Connected components per shape (a gate-split diffusion shape
+    /// belongs to several), from geometric connectivity.
+    fn components(&self, obj: &LayoutObject) -> Vec<Vec<usize>> {
+        let mut comp: Vec<Vec<usize>> = vec![Vec::new(); obj.shapes().len()];
         for (ci, net) in amgen_extract::Extractor::new(&self.ctx)
             .connectivity(obj)
             .iter()
@@ -207,97 +365,117 @@ impl Drc {
                 comp[si].push(ci);
             }
         }
-        for (i, a) in shapes.iter().enumerate() {
-            for (jo, b) in shapes[i + 1..].iter().enumerate() {
-                let j = i + 1 + jo;
-                let Some(rule) = self.ctx.min_spacing(a.layer, b.layer) else {
-                    continue;
-                };
-                if rule == 0 {
-                    continue;
-                }
-                let gx = a.rect.gap_along(&b.rect, Axis::X);
-                let gy = a.rect.gap_along(&b.rect, Axis::Y);
-                let gap = gx.max(gy);
-                let same_net = match (a.net, b.net) {
-                    (Some(x), Some(y)) => x == y,
-                    _ => false,
-                };
-                let nets_defined_differ = matches!((a.net, b.net), (Some(x), Some(y)) if x != y);
-                if gap <= 0 {
-                    // Touching or overlapping.
-                    if a.layer == b.layer && nets_defined_differ {
-                        out.push(Violation {
-                            kind: ViolationKind::Short,
-                            rect: a.rect.intersection(&b.rect).unwrap_or(a.rect),
-                            message: format!(
-                                "{} shapes on nets `{}` and `{}` touch",
-                                self.ctx.layer_name(a.layer),
-                                obj.net_name(a.net.expect("defined")),
-                                obj.net_name(b.net.expect("defined")),
-                            ),
-                        });
-                    }
-                    continue;
-                }
-                if gap >= rule {
-                    continue;
-                }
-                let same_component = comp[i].iter().any(|c| comp[j].contains(c));
-                if a.layer == b.layer && (same_net || same_component) {
-                    continue;
-                }
-                // Pairwise gaps are only real when the space between the
-                // two shapes is actually empty — a third same-layer shape
-                // filling it makes the drawn geometry continuous.
-                let gap_filled = a.layer == b.layer && {
-                    let between = if gx == gap {
-                        let yr = a.rect.y_range().intersection(&b.rect.y_range());
-                        yr.map(|y| {
-                            let (lo, hi) = if a.rect.x0 >= b.rect.x1 {
-                                (b.rect.x1, a.rect.x0)
-                            } else {
-                                (a.rect.x1, b.rect.x0)
-                            };
-                            amgen_geom::Rect::new(lo, y.lo, hi, y.hi)
-                        })
-                    } else {
-                        let xr = a.rect.x_range().intersection(&b.rect.x_range());
-                        xr.map(|x| {
-                            let (lo, hi) = if a.rect.y0 >= b.rect.y1 {
-                                (b.rect.y1, a.rect.y0)
-                            } else {
-                                (a.rect.y1, b.rect.y0)
-                            };
-                            amgen_geom::Rect::new(x.lo, lo, x.hi, hi)
-                        })
-                    };
-                    match between {
-                        Some(bx) => {
-                            Region::from_rect(bx).covered_by(obj.shapes_on(a.layer).map(|s| s.rect))
-                        }
-                        None => false,
-                    }
-                };
-                if !gap_filled {
-                    out.push(Violation {
-                        kind: ViolationKind::Spacing,
-                        rect: a.rect.union_bbox(&b.rect),
-                        message: format!(
-                            "{} to {} gap {gap} < {rule}",
-                            self.ctx.layer_name(a.layer),
-                            self.ctx.layer_name(b.layer)
-                        ),
-                    });
-                }
-            }
+        comp
+    }
+
+    /// The spacing predicate for one ordered pair `i < j`: shorts on
+    /// touch with differing defined potentials, otherwise a spacing
+    /// violation when the Manhattan gap undercuts the rule and no
+    /// exemption (same net / same component / filled gap) applies.
+    fn spacing_pair(
+        &self,
+        obj: &LayoutObject,
+        comp: &[Vec<usize>],
+        i: usize,
+        j: usize,
+        mode: Candidates,
+        out: &mut Vec<Violation>,
+    ) {
+        let a = &obj.shapes()[i];
+        let b = &obj.shapes()[j];
+        let Some(rule) = self.ctx.min_spacing(a.layer, b.layer) else {
+            return;
+        };
+        if rule == 0 {
+            return;
         }
-        out
+        let gx = a.rect.gap_along(&b.rect, Axis::X);
+        let gy = a.rect.gap_along(&b.rect, Axis::Y);
+        let gap = gx.max(gy);
+        let same_net = match (a.net, b.net) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        };
+        let nets_defined_differ = matches!((a.net, b.net), (Some(x), Some(y)) if x != y);
+        if gap <= 0 {
+            // Touching or overlapping.
+            if a.layer == b.layer && nets_defined_differ {
+                out.push(Violation {
+                    kind: ViolationKind::Short,
+                    rect: a.rect.intersection(&b.rect).unwrap_or(a.rect),
+                    message: format!(
+                        "{} shapes on nets `{}` and `{}` touch",
+                        self.ctx.layer_name(a.layer),
+                        obj.net_name(a.net.expect("defined")),
+                        obj.net_name(b.net.expect("defined")),
+                    ),
+                });
+            }
+            return;
+        }
+        if gap >= rule {
+            return;
+        }
+        let same_component = comp[i].iter().any(|c| comp[j].contains(c));
+        if a.layer == b.layer && (same_net || same_component) {
+            return;
+        }
+        // Pairwise gaps are only real when the space between the
+        // two shapes is actually empty — a third same-layer shape
+        // filling it makes the drawn geometry continuous.
+        let gap_filled = a.layer == b.layer && {
+            let between = if gx == gap {
+                let yr = a.rect.y_range().intersection(&b.rect.y_range());
+                yr.map(|y| {
+                    let (lo, hi) = if a.rect.x0 >= b.rect.x1 {
+                        (b.rect.x1, a.rect.x0)
+                    } else {
+                        (a.rect.x1, b.rect.x0)
+                    };
+                    Rect::new(lo, y.lo, hi, y.hi)
+                })
+            } else {
+                let xr = a.rect.x_range().intersection(&b.rect.x_range());
+                xr.map(|x| {
+                    let (lo, hi) = if a.rect.y0 >= b.rect.y1 {
+                        (b.rect.y1, a.rect.y0)
+                    } else {
+                        (a.rect.y1, b.rect.y0)
+                    };
+                    Rect::new(x.lo, lo, x.hi, hi)
+                })
+            };
+            match between {
+                Some(bx) => Region::from_rect(bx).covered_by(mode.covers(obj, a.layer, &bx)),
+                None => false,
+            }
+        };
+        if !gap_filled {
+            out.push(Violation {
+                kind: ViolationKind::Spacing,
+                rect: a.rect.union_bbox(&b.rect),
+                message: format!(
+                    "{} to {} gap {gap} < {rule}",
+                    self.ctx.layer_name(a.layer),
+                    self.ctx.layer_name(b.layer)
+                ),
+            });
+        }
     }
 
     /// Every cut must be enclosed (with margins) by both conductors of one
     /// of its connectable pairs; unions of same-layer shapes count.
     pub fn check_enclosures(&self, obj: &LayoutObject) -> Vec<Violation> {
+        self.enclosures_impl(obj, Candidates::Indexed)
+    }
+
+    /// Linear-scan baseline of [`check_enclosures`](Drc::check_enclosures).
+    #[doc(hidden)]
+    pub fn check_enclosures_scan(&self, obj: &LayoutObject) -> Vec<Violation> {
+        self.enclosures_impl(obj, Candidates::Scan)
+    }
+
+    fn enclosures_impl(&self, obj: &LayoutObject, mode: Candidates) -> Vec<Violation> {
         self.ctx.metrics.add_drc_checks(1);
         let mut out = Vec::new();
         for s in obj.shapes() {
@@ -308,10 +486,10 @@ impl Drc {
             if pairs.is_empty() {
                 continue;
             }
-            let enclosed_by = |layer: amgen_tech::Layer, shape: &Shape| -> bool {
+            let enclosed_by = |layer: Layer, shape: &Shape| -> bool {
                 let margin = self.ctx.enclosure(layer, s.layer);
-                let need = Region::from_rect(shape.rect.inflated(margin));
-                need.covered_by(obj.shapes_on(layer).map(|c| c.rect))
+                let window = shape.rect.inflated(margin);
+                Region::from_rect(window).covered_by(mode.covers(obj, layer, &window))
             };
             let ok = pairs
                 .iter()
@@ -477,6 +655,44 @@ mod tests {
         obj.push(Shape::new(ct, Rect::new(1_500, 1_500, 2_500, 2_500)));
         let v = Drc::new(&t).check_enclosures(&obj);
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    /// The indexed checker must reproduce the linear-scan checker byte
+    /// for byte — on a clean generated row and on a deliberately dirty
+    /// object that trips width, cut-size, spacing, short, enclosure and
+    /// min-area rules at once.
+    #[test]
+    fn indexed_check_matches_scan_byte_for_byte() {
+        let t = tech();
+        let prim = Primitives::new(&t);
+        let poly = t.layer("poly").unwrap();
+        let m1 = t.layer("metal1").unwrap();
+        let ct = t.layer("contact").unwrap();
+        let drc = Drc::new(&t);
+
+        let mut row = LayoutObject::new("row");
+        prim.inbox(&mut row, poly, Some(um(10)), None).unwrap();
+        prim.inbox(&mut row, m1, None, None).unwrap();
+        prim.array(&mut row, ct).unwrap();
+        assert_eq!(drc.check(&row), drc.check_scan(&row));
+
+        let mut dirty = LayoutObject::new("dirty");
+        let vdd = dirty.net("vdd");
+        let gnd = dirty.net("gnd");
+        dirty.push(Shape::new(poly, Rect::new(0, 0, 400, um(5))));
+        dirty.push(Shape::new(poly, Rect::new(um(2), 0, um(3), um(5))));
+        dirty.push(Shape::new(m1, Rect::new(0, um(8), um(2), um(10))).with_net(vdd));
+        dirty.push(Shape::new(m1, Rect::new(um(1), um(8), um(3), um(10))).with_net(gnd));
+        dirty.push(Shape::new(
+            m1,
+            Rect::new(um(10), um(10), um(11) + 500, um(11) + 500),
+        ));
+        dirty.push(Shape::new(ct, Rect::new(um(20), 0, um(20) + 800, 1_000)));
+        dirty.push(Shape::new(ct, Rect::new(um(24), 0, um(24) + 1_000, 1_000)));
+        let indexed = drc.check(&dirty);
+        let scan = drc.check_scan(&dirty);
+        assert!(!indexed.is_empty());
+        assert_eq!(indexed, scan);
     }
 
     #[test]

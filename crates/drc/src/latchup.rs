@@ -13,7 +13,7 @@
 
 use amgen_core::IntoGenCtx;
 use amgen_db::{LayoutObject, ShapeRole};
-use amgen_geom::{Rect, Region};
+use amgen_geom::{Coord, Rect, Region};
 
 use crate::violation::{Violation, ViolationKind};
 
@@ -39,11 +39,39 @@ pub fn active_region(obj: &LayoutObject) -> Region {
 /// Runs the latch-up check, returning the **uncovered remainder** — empty
 /// when the rule is fulfilled. This exposes the intermediate result of
 /// Fig. 1 for inspection and for the reproduction harness.
+///
+/// Runs on the object's [spatial index](LayoutObject::spatial_index):
+/// each active rectangle consults only the substrate contacts within
+/// latch-up distance instead of the whole-chip contact list, turning the
+/// check sub-quadratic. The result is byte-identical to the sequential
+/// scan ([`latchup_remainder_scan`]) — see that function for the
+/// equivalence argument.
 pub fn latchup_remainder(ctx: impl IntoGenCtx, obj: &LayoutObject) -> Region {
+    let ctx = ctx.into_gen_ctx();
+    let d = ctx.latchup_distance();
+    if d == 0 {
+        // Technology does not state the rule: vacuously fulfilled.
+        return Region::new();
+    }
+    latchup_remainder_indexed(d, obj)
+}
+
+/// The pre-index sequential pass of Fig. 1: subtract every contact's
+/// coverage rectangle from the global active region, in shape order.
+/// Kept as the reference the indexed path is equivalence-tested against.
+///
+/// The indexed path is byte-identical because `subtract_rect` replaces
+/// each fragment by its remainder pieces *in place*: fragments of one
+/// active rectangle stay contiguous and in source order for the whole
+/// pass, a cover that does not overlap a fragment maps it to itself, and
+/// the global early exit only skips covers that could no longer change
+/// anything. Folding each active rectangle independently over the same
+/// cover order therefore produces the same final rectangle sequence.
+#[doc(hidden)]
+pub fn latchup_remainder_scan(ctx: impl IntoGenCtx, obj: &LayoutObject) -> Region {
     let ctx = ctx.into_gen_ctx();
     let mut remaining = active_region(obj);
     if ctx.latchup_distance() == 0 {
-        // Technology does not state the rule: vacuously fulfilled.
         return Region::new();
     }
     for cover in coverage_rects(&ctx, obj) {
@@ -53,6 +81,55 @@ pub fn latchup_remainder(ctx: impl IntoGenCtx, obj: &LayoutObject) -> Region {
         }
     }
     remaining
+}
+
+/// Index-backed latch-up: for each active rectangle, query the contacts
+/// whose coverage can reach it (window = rect inflated by the latch-up
+/// distance), take the no-remainder fast path when one cover contains
+/// the rectangle outright, and otherwise subtract the candidate covers
+/// in shape order.
+fn latchup_remainder_indexed(d: Coord, obj: &LayoutObject) -> Region {
+    let ix = obj.spatial_index();
+    let contacts = ix
+        .role(ShapeRole::SubstrateContact)
+        .expect("role is indexed");
+    let shapes = obj.shapes();
+    let mut out = Region::new();
+    let mut cand: Vec<u32> = Vec::new();
+    let mut frags: Vec<Rect> = Vec::new();
+    let mut next: Vec<Rect> = Vec::new();
+    for s in shapes {
+        if s.role != ShapeRole::DeviceActive || s.rect.is_empty() {
+            continue;
+        }
+        let a = s.rect;
+        // `cover ∩ a ≠ ∅ ⇔ contact ∩ a.inflated(d) ≠ ∅`: one window
+        // query finds every contact whose coverage can touch `a`.
+        let window = a.inflated(d);
+        // Fast path: a single containing cover leaves no remainder no
+        // matter in which order covers would have been subtracted.
+        if contacts.any_candidate(&window, |_, c| c.inflated(d).contains_rect(&a)) {
+            continue;
+        }
+        contacts.query_into(&window, &mut cand);
+        frags.clear();
+        frags.push(a);
+        for &j in &cand {
+            let cover = shapes[j as usize].rect.inflated(d);
+            next.clear();
+            for f in &frags {
+                next.extend(f.subtract(&cover));
+            }
+            std::mem::swap(&mut frags, &mut next);
+            if frags.is_empty() {
+                break;
+            }
+        }
+        for f in &frags {
+            out.push(*f);
+        }
+    }
+    out
 }
 
 /// The latch-up check as violations: one per uncovered remainder
@@ -65,6 +142,19 @@ pub fn check_latchup(ctx: impl IntoGenCtx, obj: &LayoutObject) -> Vec<Violation>
     let remaining = latchup_remainder(&ctx, obj);
     span.arg("uncovered", remaining.rects().len());
     drop(span);
+    violations(&ctx, remaining)
+}
+
+/// [`check_latchup`] on the sequential scan ([`latchup_remainder_scan`]),
+/// for the byte-identity parity baseline.
+#[doc(hidden)]
+pub fn check_latchup_scan(ctx: impl IntoGenCtx, obj: &LayoutObject) -> Vec<Violation> {
+    let ctx = ctx.into_gen_ctx();
+    let remaining = latchup_remainder_scan(&ctx, obj);
+    violations(&ctx, remaining)
+}
+
+fn violations(ctx: &amgen_core::GenCtx, remaining: Region) -> Vec<Violation> {
     remaining
         .rects()
         .iter()
@@ -166,6 +256,43 @@ mod tests {
         obj.push(subcon(pdiff, Rect::new(-um(2), 0, 0, um(2))));
         obj.push(subcon(pdiff, Rect::new(2 * d, 0, 2 * d + um(2), um(2))));
         assert!(check_latchup(&t, &obj).is_empty());
+    }
+
+    /// The indexed path must reproduce the sequential scan byte for
+    /// byte — same remainder rectangles, same order — on workloads that
+    /// exercise full coverage, no coverage, partial multi-fragment
+    /// remainders and the overlap corner cases.
+    #[test]
+    fn indexed_matches_scan_byte_for_byte() {
+        let (t, pdiff, _) = setup();
+        let d = t.latchup_distance();
+        let mut s = 0x5eed_u64;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for trial in 0..30 {
+            let mut obj = LayoutObject::new("x");
+            let n_active = 1 + (next() % 40) as i64;
+            let n_contacts = (next() % 12) as i64;
+            for i in 0..n_active {
+                let x = i * d / 2 + (next() % (d as u64 / 4)) as i64;
+                let y = (next() % (2 * d as u64)) as i64 - d;
+                let w = 100 + (next() % (3 * d as u64)) as i64;
+                let h = 100 + (next() % (d as u64)) as i64;
+                obj.push(active(pdiff, Rect::new(x, y, x + w, y + h)));
+            }
+            for i in 0..n_contacts {
+                let x = i * 2 * d + (next() % (2 * d as u64)) as i64 - d;
+                let y = (next() % (4 * d as u64)) as i64 - 2 * d;
+                obj.push(subcon(pdiff, Rect::new(x, y, x + um(2), y + um(2))));
+            }
+            let scan = latchup_remainder_scan(&t, &obj);
+            let indexed = latchup_remainder(&t, &obj);
+            assert_eq!(scan.rects(), indexed.rects(), "trial {trial} diverged");
+        }
     }
 
     /// The full 4x4 overlap matrix of Fig. 1, driven through the check:

@@ -96,7 +96,28 @@ impl Extractor {
     ///
     /// A diffusion shape crossed by a gate belongs to every component one
     /// of its fragments joined (its two halves are different nets).
+    ///
+    /// The gate-fragmentation, same-layer-contact and cut passes all run
+    /// on packed [`RectTree`](amgen_geom::RectTree)s over the fragment
+    /// rectangles — window queries instead of per-bucket all-pairs scans.
+    /// Queries return candidates in ascending order and every exact
+    /// predicate is re-applied, so the union-find sees the same unions in
+    /// the same order as the scan and the extracted nets are
+    /// byte-identical ([`connectivity_scan`](Extractor::connectivity_scan)
+    /// is the parity baseline).
     pub fn connectivity(&self, obj: &LayoutObject) -> Vec<ExtractedNet> {
+        self.connectivity_impl(obj, true)
+    }
+
+    /// The pre-index all-pairs connectivity pass, kept as the baseline
+    /// the indexed pass is parity-tested against.
+    #[doc(hidden)]
+    pub fn connectivity_scan(&self, obj: &LayoutObject) -> Vec<ExtractedNet> {
+        self.connectivity_impl(obj, false)
+    }
+
+    fn connectivity_impl(&self, obj: &LayoutObject, indexed: bool) -> Vec<ExtractedNet> {
+        use amgen_geom::RectTree;
         let t0 = std::time::Instant::now();
         let mut span = self
             .ctx
@@ -109,12 +130,16 @@ impl Extractor {
             .filter(|s| self.ctx.kind(s.layer) == LayerKind::Poly)
             .map(|s| s.rect)
             .collect();
+        let gate_tree =
+            indexed.then(|| RectTree::build(gates.iter().enumerate().map(|(i, r)| (*r, i as u32))));
         // Fragment table.
         struct Frag {
             shape: usize,
             rect: amgen_geom::Rect,
         }
         let mut frags: Vec<Frag> = Vec::new();
+        let mut cand: Vec<u32> = Vec::new();
+        let mut ids: Vec<usize> = Vec::new();
         for (i, s) in shapes.iter().enumerate() {
             let k = self.ctx.kind(s.layer);
             if !(k.is_conductor() || k == LayerKind::Cut) {
@@ -122,7 +147,18 @@ impl Extractor {
             }
             if k == LayerKind::Diffusion {
                 let mut pieces = vec![s.rect];
-                for g in &gates {
+                // The candidate set (sorted ascending) filtered by the
+                // exact overlap test is the scan's gate subsequence.
+                ids.clear();
+                match &gate_tree {
+                    Some(t) => {
+                        t.query_into(&s.rect, &mut cand);
+                        ids.extend(cand.iter().map(|&g| g as usize));
+                    }
+                    None => ids.extend(0..gates.len()),
+                }
+                for &gi in &ids {
+                    let g = &gates[gi];
                     if !g.overlaps(&s.rect) {
                         continue;
                     }
@@ -142,18 +178,46 @@ impl Extractor {
         // Same-layer conductor contact. Only same-layer pairs can touch,
         // so bucket the fragments per layer first (the amplifier has
         // thousands of fragments; all-pairs across layers would dominate).
-        let mut by_layer: std::collections::HashMap<amgen_tech::Layer, Vec<usize>> =
+        let mut by_layer: std::collections::BTreeMap<amgen_tech::Layer, Vec<usize>> =
             Default::default();
         for (fi, f) in frags.iter().enumerate() {
             by_layer.entry(shapes[f.shape].layer).or_default().push(fi);
         }
+        // One tree per layer bucket; payloads are *positions* in the
+        // bucket's member list (ascending position = ascending fragment).
+        let trees: Option<std::collections::BTreeMap<amgen_tech::Layer, RectTree>> =
+            indexed.then(|| {
+                by_layer
+                    .iter()
+                    .map(|(&l, members)| {
+                        (
+                            l,
+                            RectTree::build(
+                                members
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(p, &fi)| (frags[fi].rect, p as u32)),
+                            ),
+                        )
+                    })
+                    .collect()
+            });
         for (layer, members) in &by_layer {
             if !self.ctx.kind(*layer).is_conductor() {
                 continue;
             }
             for (p, &i) in members.iter().enumerate() {
                 let ri = frags[i].rect;
-                for &j in &members[p + 1..] {
+                ids.clear();
+                match &trees {
+                    Some(tm) => {
+                        tm[layer].query_into(&ri, &mut cand);
+                        ids.extend(cand.iter().map(|&q| q as usize).filter(|&q| q > p));
+                    }
+                    None => ids.extend((p + 1)..members.len()),
+                }
+                for &q in &ids {
+                    let j = members[q];
                     if ri.overlaps(&frags[j].rect) || ri.abuts(&frags[j].rect) {
                         uf.union(i, j);
                     }
@@ -175,7 +239,15 @@ impl Extractor {
                     let Some(members) = by_layer.get(&ol) else {
                         continue;
                     };
-                    for &oi in members {
+                    ids.clear();
+                    match &trees {
+                        Some(tm) => {
+                            tm[&ol].query_into(&cut_rect, &mut cand);
+                            ids.extend(cand.iter().map(|&q| members[q as usize]));
+                        }
+                        None => ids.extend(members.iter().copied()),
+                    }
+                    for &oi in &ids {
                         if oi == ci || !cut_rect.overlaps(&frags[oi].rect) {
                             continue;
                         }
@@ -351,6 +423,41 @@ mod tests {
         obj.push(Shape::new(m1, Rect::new(0, 0, um(2), um(2))).with_net(a));
         obj.push(Shape::new(m1, Rect::new(um(4), 0, um(6), um(2))).with_net(b));
         assert!(Extractor::new(&t).conflicts(&obj).is_empty());
+    }
+
+    /// The tree-backed passes must reproduce the all-pairs scan byte for
+    /// byte — including gate-split diffusion fragments and the
+    /// most-specific-layer cut resolution.
+    #[test]
+    fn indexed_matches_scan_byte_for_byte() {
+        let t = tech();
+        let poly = t.layer("poly").unwrap();
+        let pdiff = t.layer("pdiff").unwrap();
+        let m1 = t.layer("metal1").unwrap();
+        let ct = t.layer("contact").unwrap();
+        let e = Extractor::new(&t);
+        let mut obj = LayoutObject::new("x");
+        let d = obj.net("drain");
+        // A transistor-ish stack: diffusion crossed by two gates, with
+        // contacts and metal straps, plus a disconnected metal chain.
+        obj.push(Shape::new(pdiff, Rect::new(0, 0, um(12), um(4))).with_net(d));
+        obj.push(Shape::new(poly, Rect::new(um(3), -um(1), um(4), um(5))));
+        obj.push(Shape::new(poly, Rect::new(um(7), -um(1), um(8), um(5))));
+        obj.push(Shape::new(ct, Rect::new(um(1), um(1), um(2), um(2))));
+        obj.push(Shape::new(ct, Rect::new(um(9), um(1), um(10), um(2))));
+        obj.push(Shape::new(m1, Rect::new(0, um(1), um(3), um(2))));
+        obj.push(Shape::new(m1, Rect::new(um(8), um(1), um(12), um(2))));
+        for i in 0..6 {
+            obj.push(Shape::new(
+                m1,
+                Rect::new(i * um(2), um(8), (i + 1) * um(2), um(10)),
+            ));
+        }
+        let indexed = e.connectivity(&obj);
+        let scan = e.connectivity_scan(&obj);
+        assert!(indexed.len() > 1);
+        assert_eq!(indexed, scan);
+        assert_eq!(e.parasitics(&obj), e.parasitics_scan(&obj));
     }
 
     #[test]

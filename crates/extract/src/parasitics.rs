@@ -29,12 +29,28 @@ impl Extractor {
     /// Overlapping same-layer geometry is merged before the capacitance
     /// integral, so abutting rectangles are not double counted.
     pub fn parasitics(&self, obj: &LayoutObject) -> Vec<NetParasitics> {
+        let nets = self.connectivity(obj);
+        self.parasitics_of(obj, nets)
+    }
+
+    /// [`parasitics`](Extractor::parasitics) over the linear-scan
+    /// connectivity pass, for the byte-identity parity baseline.
+    #[doc(hidden)]
+    pub fn parasitics_scan(&self, obj: &LayoutObject) -> Vec<NetParasitics> {
+        let nets = self.connectivity_scan(obj);
+        self.parasitics_of(obj, nets)
+    }
+
+    fn parasitics_of(
+        &self,
+        obj: &LayoutObject,
+        nets: Vec<crate::ExtractedNet>,
+    ) -> Vec<NetParasitics> {
         let _span = self
             .ctx
             .span(Stage::Extract, || format!("parasitics:{}", obj.name()));
         let tech = self.rules();
-        self.connectivity(obj)
-            .into_iter()
+        nets.into_iter()
             .map(|net| {
                 let mut cap = 0.0f64;
                 let mut res = 0.0f64;

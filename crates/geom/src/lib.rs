@@ -13,6 +13,8 @@
 //!   **16-case subtraction** used by the latch-up rule check (Fig. 1),
 //! * [`Region`] — a set of rectangles with cover tests and exact area
 //!   bookkeeping,
+//! * [`RectTree`] — a bulk-loaded packed R-tree for deterministic window
+//!   queries, the engine behind the database's spatial index,
 //! * [`Dir`] / [`Axis`] — the four compaction directions of the successive
 //!   compactor,
 //! * [`Interval`] — one-dimensional interval arithmetic used by the
@@ -44,6 +46,7 @@ pub mod point;
 pub mod poly;
 pub mod rect;
 pub mod region;
+pub mod rtree;
 
 pub use coord::{nm, um, Axis, Coord, Dir};
 pub use interval::Interval;
@@ -51,3 +54,4 @@ pub use orient::Orient;
 pub use point::{Point, Vector};
 pub use rect::{HOverlap, Rect, VOverlap};
 pub use region::Region;
+pub use rtree::RectTree;

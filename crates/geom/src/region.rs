@@ -200,7 +200,30 @@ impl Region {
     }
 
     /// Subtracts every rectangle of `other`.
+    ///
+    /// Small operand pairs run the classic sequential 16-case
+    /// subtraction (allocation-light, fastest at module scale); larger
+    /// ones run the banded x-sweep. The two paths cover the identical
+    /// point set but may decompose the remainder into different
+    /// rectangle lists — only set semantics are part of the contract.
     pub fn subtract_region(&mut self, other: &Region) {
+        if self.rects.is_empty() || other.rects.is_empty() {
+            return;
+        }
+        if self.rects.len().saturating_mul(other.rects.len()) <= BAND_THRESHOLD {
+            self.subtract_region_allpairs(other);
+        } else {
+            self.subtract_region_banded(other);
+        }
+    }
+
+    /// The pre-index all-pairs subtraction: one [`subtract_rect`]
+    /// (16-case) pass per cutter. Kept public (hidden) as the reference
+    /// implementation the banded path is property-tested against.
+    ///
+    /// [`subtract_rect`]: Region::subtract_rect
+    #[doc(hidden)]
+    pub fn subtract_region_allpairs(&mut self, other: &Region) {
         for c in &other.rects {
             self.subtract_rect(*c);
             if self.rects.is_empty() {
@@ -209,8 +232,22 @@ impl Region {
         }
     }
 
+    /// Banded subtraction: sweep the x-breakpoints of both operands and
+    /// do one-dimensional interval arithmetic per band, coalescing
+    /// x-adjacent bands with identical column footprints. Replaces the
+    /// all-pairs cascade for chip-scale operands; output is disjoint,
+    /// ordered left-to-right then bottom-to-top.
+    #[doc(hidden)]
+    pub fn subtract_region_banded(&mut self, other: &Region) {
+        self.rects = band_subtract(&self.rects, &other.rects, false);
+    }
+
     /// True if the given cover rectangles jointly contain every rectangle
     /// of this region — the latch-up cover test of Fig. 1.
+    ///
+    /// Dispatches like [`subtract_region`](Region::subtract_region):
+    /// all-pairs subtraction for small inputs, banded sweep at scale.
+    /// The result is a pure set predicate, identical on both paths.
     ///
     /// # Example
     /// ```
@@ -220,6 +257,21 @@ impl Region {
     /// assert!(!active.covered_by([Rect::new(0, 0, 5, 2)]));
     /// ```
     pub fn covered_by<I: IntoIterator<Item = Rect>>(&self, covers: I) -> bool {
+        if self.rects.is_empty() {
+            return true;
+        }
+        let covers: Vec<Rect> = covers.into_iter().collect();
+        if self.rects.len().saturating_mul(covers.len()) <= BAND_THRESHOLD {
+            self.covered_by_allpairs(covers)
+        } else {
+            self.covered_by_banded(&covers)
+        }
+    }
+
+    /// The pre-index cover test: clone and subtract covers one by one.
+    /// Reference implementation for the banded path's property tests.
+    #[doc(hidden)]
+    pub fn covered_by_allpairs<I: IntoIterator<Item = Rect>>(&self, covers: I) -> bool {
         let mut remaining = self.clone();
         for c in covers {
             remaining.subtract_rect(c);
@@ -228,6 +280,14 @@ impl Region {
             }
         }
         remaining.is_empty()
+    }
+
+    /// Banded cover test: the x-sweep of
+    /// [`subtract_region_banded`](Region::subtract_region_banded) with an
+    /// early exit on the first uncovered band.
+    #[doc(hidden)]
+    pub fn covered_by_banded(&self, covers: &[Rect]) -> bool {
+        band_subtract(&self.rects, covers, true).is_empty()
     }
 
     /// True if any stored rectangle overlaps `r`.
@@ -265,6 +325,151 @@ impl Region {
             }
         }
     }
+}
+
+/// Operand-size product up to which the sequential 16-case path beats
+/// the banded sweep (no event sort, no interval buffers).
+const BAND_THRESHOLD: usize = 256;
+
+/// One x-sweep event: a rectangle's y-interval entering (`open`) or
+/// leaving the active set at `x`, on the solid or the cutter side.
+#[derive(Clone, Copy)]
+struct Ev {
+    x: Coord,
+    open: bool,
+    solid: bool,
+    y0: Coord,
+    y1: Coord,
+}
+
+/// Sorted union of a multiset of half-open intervals (touching intervals
+/// merge — `[a,b) ∪ [b,c) = [a,c)`).
+fn union_intervals(v: &[(Coord, Coord)]) -> Vec<(Coord, Coord)> {
+    let mut s = v.to_vec();
+    s.sort_unstable();
+    let mut out: Vec<(Coord, Coord)> = Vec::with_capacity(s.len());
+    for (lo, hi) in s {
+        match out.last_mut() {
+            Some((_, phi)) if lo <= *phi => *phi = (*phi).max(hi),
+            _ => out.push((lo, hi)),
+        }
+    }
+    out
+}
+
+/// `su − cu` for two sorted disjoint interval lists.
+fn subtract_intervals(su: &[(Coord, Coord)], cu: &[(Coord, Coord)]) -> Vec<(Coord, Coord)> {
+    let mut out = Vec::new();
+    let mut ci = 0;
+    for &(lo, hi) in su {
+        let mut lo = lo;
+        while ci < cu.len() && cu[ci].1 <= lo {
+            ci += 1;
+        }
+        let mut cj = ci;
+        while lo < hi && cj < cu.len() && cu[cj].0 < hi {
+            let (clo, chi) = cu[cj];
+            if clo > lo {
+                out.push((lo, clo.min(hi)));
+            }
+            lo = lo.max(chi);
+            cj += 1;
+        }
+        if lo < hi {
+            out.push((lo, hi));
+        }
+    }
+    out
+}
+
+/// The banded sweep: `solid − cutters` as a disjoint rectangle list.
+///
+/// Both operands' x-edges cut the plane into vertical bands; inside one
+/// band every rectangle is just a y-interval, so the subtraction is
+/// one-dimensional. Bands whose column footprint matches the previous
+/// band coalesce back into wide rectangles. With `stop_early`, returns a
+/// single witness rectangle as soon as any band has a remainder (the
+/// cover test needs only emptiness).
+fn band_subtract(solid: &[Rect], cutters: &[Rect], stop_early: bool) -> Vec<Rect> {
+    if solid.is_empty() {
+        return Vec::new();
+    }
+    let hull = solid.iter().fold(solid[0], |a, r| a.union_bbox(r));
+    let mut evs: Vec<Ev> = Vec::with_capacity(2 * (solid.len() + cutters.len()));
+    let push_rect = |evs: &mut Vec<Ev>, r: &Rect, solid: bool| {
+        evs.push(Ev {
+            x: r.x0,
+            open: true,
+            solid,
+            y0: r.y0,
+            y1: r.y1,
+        });
+        evs.push(Ev {
+            x: r.x1,
+            open: false,
+            solid,
+            y0: r.y0,
+            y1: r.y1,
+        });
+    };
+    for r in solid {
+        push_rect(&mut evs, r, true);
+    }
+    for c in cutters {
+        // Cutters that miss the solid hull can only add breakpoints.
+        if c.overlaps(&hull) {
+            push_rect(&mut evs, c, false);
+        }
+    }
+    evs.sort_unstable_by_key(|e| e.x);
+    let mut act_s: Vec<(Coord, Coord)> = Vec::new();
+    let mut act_c: Vec<(Coord, Coord)> = Vec::new();
+    let mut out: Vec<Rect> = Vec::new();
+    // The open run of bands sharing one column footprint.
+    let mut run: Vec<(Coord, Coord)> = Vec::new();
+    let (mut run_x0, mut run_x1) = (0, 0);
+    let flush = |out: &mut Vec<Rect>, run: &[(Coord, Coord)], x0: Coord, x1: Coord| {
+        out.extend(run.iter().map(|&(lo, hi)| Rect::new(x0, lo, x1, hi)));
+    };
+    let mut i = 0;
+    while i < evs.len() {
+        let x = evs[i].x;
+        while i < evs.len() && evs[i].x == x {
+            let e = evs[i];
+            i += 1;
+            let set = if e.solid { &mut act_s } else { &mut act_c };
+            if e.open {
+                set.push((e.y0, e.y1));
+            } else {
+                let p = set
+                    .iter()
+                    .position(|&iv| iv == (e.y0, e.y1))
+                    .expect("interval was opened");
+                set.swap_remove(p);
+            }
+        }
+        let Some(next) = evs.get(i) else { break };
+        let ys = if act_s.is_empty() {
+            Vec::new()
+        } else {
+            subtract_intervals(&union_intervals(&act_s), &union_intervals(&act_c))
+        };
+        if stop_early {
+            if let Some(&(lo, hi)) = ys.first() {
+                return vec![Rect::new(x, lo, next.x, hi)];
+            }
+        }
+        if ys == run && run_x1 == x {
+            run_x1 = next.x;
+        } else {
+            flush(&mut out, &run, run_x0, run_x1);
+            run = ys;
+            run_x0 = x;
+            run_x1 = next.x;
+        }
+    }
+    flush(&mut out, &run, run_x0, run_x1);
+    out
 }
 
 /// Merges two rectangles when one contains the other or their union is an
@@ -410,5 +615,79 @@ mod tests {
         let cover = Region::from_rects([Rect::new(0, 0, 2, 4), Rect::new(2, 0, 4, 4)]);
         reg.subtract_region(&cover);
         assert!(reg.is_empty());
+    }
+
+    /// Deterministic pseudo-random rectangles for path-equivalence tests.
+    fn random_region(n: usize, seed: u64) -> Region {
+        let mut s = seed | 1;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 41) as Coord
+        };
+        Region::from_rects((0..n).map(|_| {
+            let (x, y, w, h) = (next(), next(), 1 + next() % 12, 1 + next() % 12);
+            Rect::new(x, y, x + w, y + h)
+        }))
+    }
+
+    fn membership_grid(a: &Region, b: &Region) {
+        use crate::point::Point;
+        let hull = a.bbox().union_bbox(&b.bbox()).inflated(1);
+        for x in hull.x0..hull.x1 {
+            for y in hull.y0..hull.y1 {
+                let p = Point::new(x, y);
+                let ia = a.rects().iter().any(|r| r.contains_point(p));
+                let ib = b.rects().iter().any(|r| r.contains_point(p));
+                assert_eq!(ia, ib, "membership differs at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn banded_subtract_matches_allpairs() {
+        for seed in 0..12u64 {
+            let solid = random_region(10 + seed as usize, 100 + seed);
+            let cutters = random_region(8 + seed as usize, 500 + seed);
+            let mut naive = solid.clone();
+            naive.subtract_region_allpairs(&cutters);
+            let mut banded = solid.clone();
+            banded.subtract_region_banded(&cutters);
+            assert_eq!(naive.area(), banded.area(), "seed {seed}");
+            membership_grid(&naive, &banded);
+            assert_eq!(
+                solid.covered_by_banded(cutters.rects()),
+                solid.covered_by_allpairs(cutters.rects().iter().copied()),
+                "cover test differs, seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn banded_output_is_disjoint() {
+        let solid = random_region(20, 9);
+        let cutters = random_region(6, 77);
+        let mut banded = solid.clone();
+        banded.subtract_region_banded(&cutters);
+        for (i, a) in banded.rects().iter().enumerate() {
+            for b in &banded.rects()[i + 1..] {
+                assert!(
+                    !a.overlaps(b),
+                    "banded output must be disjoint: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn banded_handles_touching_cutters() {
+        // A cutter that only abuts must not cut (interior semantics).
+        let solid = Region::from_rect(Rect::new(0, 0, 10, 10));
+        let mut banded = solid.clone();
+        banded.subtract_region_banded(&Region::from_rect(Rect::new(10, 0, 20, 10)));
+        assert_eq!(banded.area(), 100);
+        assert!(solid.covered_by_banded(&[Rect::new(0, 0, 10, 10)]));
+        assert!(!solid.covered_by_banded(&[Rect::new(0, 0, 10, 9)]));
     }
 }

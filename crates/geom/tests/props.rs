@@ -78,6 +78,55 @@ proptest! {
         prop_assert_eq!(reg.area(), before);
     }
 
+    /// The banded (sweep-line) region subtraction is set-equivalent to
+    /// the all-pairs 16-case subtraction: same covered area, same point
+    /// membership at every rectangle corner (the only places coverage
+    /// can change), and the same cover verdict.
+    #[test]
+    fn banded_subtract_matches_allpairs(
+        solid in prop::collection::vec(arb_rect(), 1..24),
+        cutters in prop::collection::vec(arb_rect(), 0..24),
+    ) {
+        let base: Region = solid.iter().copied().collect();
+        let cut: Region = cutters.iter().copied().collect();
+        let mut ap = base.clone();
+        ap.subtract_region_allpairs(&cut);
+        let mut bd = base.clone();
+        bd.subtract_region_banded(&cut);
+        prop_assert_eq!(ap.area(), bd.area());
+        let covers = |reg: &Region, x: i64, y: i64| -> bool {
+            let probe = Rect::new(x, y, x + 1, y + 1);
+            reg.rects().iter().any(|r| r.overlaps(&probe))
+        };
+        for r in solid.iter().chain(cutters.iter()) {
+            for &(x, y) in &[
+                (r.x0, r.y0), (r.x1 - 1, r.y0), (r.x0, r.y1 - 1), (r.x1 - 1, r.y1 - 1),
+                (r.x0 - 1, r.y0 - 1), (r.x1, r.y1),
+            ] {
+                prop_assert_eq!(covers(&ap, x, y), covers(&bd, x, y));
+            }
+        }
+        prop_assert_eq!(
+            base.covered_by_allpairs(cutters.iter().copied()),
+            base.covered_by_banded(&cutters)
+        );
+    }
+
+    /// The public `subtract_region` (which dispatches on problem size)
+    /// always agrees with the all-pairs reference in area.
+    #[test]
+    fn dispatched_subtract_matches_allpairs(
+        solid in prop::collection::vec(arb_rect(), 1..16),
+        cutters in prop::collection::vec(arb_rect(), 0..16),
+    ) {
+        let cut: Region = cutters.iter().copied().collect();
+        let mut ap: Region = solid.iter().copied().collect();
+        let mut pb = ap.clone();
+        ap.subtract_region_allpairs(&cut);
+        pb.subtract_region(&cut);
+        prop_assert_eq!(ap.area(), pb.area());
+    }
+
     /// Orientation transforms preserve rectangle area and are invertible.
     #[test]
     fn orient_preserves_area(r in arb_rect(), idx in 0usize..8) {

@@ -139,7 +139,7 @@ fn bipolar_pair_uncached(tech: &GenCtx, params: &NpnParams) -> Result<LayoutObje
     let single = bipolar_npn(tech, params)?;
     let buried = tech.buried()?;
     let space = tech.min_spacing(buried, buried).unwrap_or(5_000);
-    let mut main = LayoutObject::new("npn_pair");
+    let mut main = LayoutObject::with_capacity("npn_pair", 2 * single.len() + 4);
     main.absorb(&single, Vector::ZERO);
     let w = single.bbox().width();
     let mirrored = single.mirrored_x(single.bbox().x1 + (space + w) / 2 + w / 2);

@@ -101,7 +101,7 @@ fn cascode_pair_uncached(
     upper_p.l = params.l;
     let upper = interdigitated(tech, &upper_p)?;
 
-    let mut main = LayoutObject::new("cascode");
+    let mut main = LayoutObject::with_capacity("cascode", lower.len() + upper.len() + 16);
     c.compact(&mut main, &lower, Dir::West, &CompactOptions::new())?;
     c.compact(&mut main, &upper, Dir::North, &CompactOptions::new())?;
 

@@ -102,7 +102,8 @@ fn diff_pair_uncached(tech: &GenCtx, params: &DiffPairParams) -> Result<LayoutOb
         &ContactRowParams::new().with_l(w_actual).with_net("d2"),
     )?;
 
-    let mut main = LayoutObject::new("diff_pair");
+    let mut main =
+        LayoutObject::with_capacity("diff_pair", trans1.len() + trans2.len() + diffcon.len() + 8);
     let opts = CompactOptions::new().ignoring(diff);
     c.compact(&mut main, &trans1, Dir::West, &opts)?; // step 3
     c.compact(&mut main, &trans2, Dir::West, &opts)?; // step 4

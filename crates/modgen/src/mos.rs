@@ -170,13 +170,16 @@ fn mos_transistor_uncached(tech: &GenCtx, params: &MosParams) -> Result<LayoutOb
     let w_eff = core.shapes()[gate_idx].rect.height(); // incl. gate extension
     let _ = w_eff;
 
-    let mut main = LayoutObject::new(format!(
-        "mos_{}",
-        match params.mos {
-            MosType::N => "n",
-            MosType::P => "p",
-        }
-    ));
+    let mut main = LayoutObject::with_capacity(
+        format!(
+            "mos_{}",
+            match params.mos {
+                MosType::N => "n",
+                MosType::P => "p",
+            }
+        ),
+        core.len() + 24,
+    );
     c.compact(&mut main, &core, Dir::West, &CompactOptions::new())?;
 
     // Step 1: the gate contact row, attached south, poly irrelevant.
@@ -323,7 +326,7 @@ fn mos_finger_uncached(
     let g_id = core.net(g_net);
     core.shapes_mut()[gate_idx].net = Some(g_id);
 
-    let mut main = LayoutObject::new("finger");
+    let mut main = LayoutObject::with_capacity("finger", core.len() + 16);
     c.compact(&mut main, &core, Dir::West, &CompactOptions::new())?;
     if gate_contact {
         let polycon = contact_row(

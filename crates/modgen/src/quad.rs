@@ -124,7 +124,7 @@ fn common_centroid_quad_uncached(
     let c = Compactor::new(tech);
     let bottom = quad_row(tech, params.mos, w, params.l, ("g1", "d1"), ("g2", "d2"))?;
     let top = quad_row(tech, params.mos, w, params.l, ("g2", "d2"), ("g1", "d1"))?;
-    let mut main = LayoutObject::new("centroid_quad");
+    let mut main = LayoutObject::with_capacity("centroid_quad", bottom.len() + top.len() + 8);
     c.compact(&mut main, &bottom, Dir::South, &CompactOptions::new())?;
     c.compact(&mut main, &top, Dir::North, &CompactOptions::new())?;
     let prim = Primitives::new(tech);
