@@ -16,6 +16,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 # Lint gate: every DSL program in the repo must lint clean — the .amg
 # example sets and the embedded paper programs, warnings fatal.
 cargo run --release -q --bin amgen-lint -- --deny-warnings --time --examples examples/*.amg
+# Certification gate: the same corpus must carry cost certificates and
+# stay certifiable under a generous concrete fuel limit (E502/W504
+# fire only if a program provably cannot fit), warnings fatal.
+cargo run --release -q --bin amgen-lint -- --deny-warnings --certify --certify-fuel 100000 --stdlib examples/*.amg > /dev/null
 # Bench smoke: the rule-kernel microbench doubles as a fast end-to-end
 # exercise of the compiled RuleSet path.
 cargo bench -p amgen-bench --bench rule_lookup
@@ -45,6 +49,11 @@ cargo bench -p amgen-bench --bench cache_overhead
 # p50 < 1 ms, and indexed DRC/extraction byte-identical to the scans on
 # the assembled chip (the bench asserts and exits nonzero).
 cargo bench -p amgen-bench --bench chip_scale
+# Analysis-latency smoke: one full six-pass certification sweep of the
+# 11-source corpus (stdlib + examples) <= 5 ms, corpus certifies clean
+# with closed top-level fuel bounds (the bench asserts and exits
+# nonzero).
+cargo bench -p amgen-bench --bench analyze
 # Determinism gate in release: optimized builds must produce the same
 # byte-identical layouts, diagnostics and cache-transparent reruns the
 # debug test suite proved (HashMap-iteration leaks can be

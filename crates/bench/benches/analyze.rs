@@ -1,0 +1,135 @@
+//! Certification-pass throughput: run the full six-pass analysis —
+//! symbols, kinds, layers, dead code, constants and cost certification
+//! — over the repo's whole DSL corpus (the six embedded stdlib library
+//! sources plus every `examples/*.amg` file, certified as one set with
+//! the stdlib loaded as a library) and time one complete sweep.
+//!
+//! Doubles as the CI smoke gate on analysis latency: certifying the
+//! 11+ sources must finish in <= 5 ms per sweep (fastest sample,
+//! release build) — static certification has to stay cheap enough to
+//! run on every `checked_run` admission, or callers will be tempted to
+//! skip it. The bench also sanity-checks the output: every corpus
+//! source certifies finite and error-free, so a regression that makes
+//! the pass trivially refuse everything cannot masquerade as a speedup.
+
+use amgen::dsl::stdlib;
+use amgen::lint::{CertifyOptions, CostReport, Diagnostic, Linter};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const SAMPLES: usize = 25;
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+const STDLIB: &[(&str, &str)] = &[
+    ("stdlib/contact_row", stdlib::FIG2_CONTACT_ROW),
+    ("stdlib/diff_pair", stdlib::FIG7_DIFF_PAIR),
+    ("stdlib/interdigit", stdlib::INTERDIGIT),
+    ("stdlib/stacked", stdlib::STACKED),
+    ("stdlib/centroid", stdlib::CENTROID_PLACEMENT),
+    ("stdlib/variant_row", stdlib::VARIANT_ROW),
+];
+
+/// One full corpus sweep: certify the stdlib sources as a set, then the
+/// example files as a set with the stdlib loaded as a library — the
+/// same shape `amgen-lint --certify --stdlib examples/*.amg` runs.
+fn sweep(examples: &[(String, String)]) -> (Vec<Vec<Diagnostic>>, CostReport) {
+    let linter = Linter::new().with_certify(CertifyOptions::default());
+    let (mut diags, mut report) = linter.certify_set(STDLIB);
+
+    let mut with_lib = Linter::new().with_certify(CertifyOptions::default());
+    for (name, src) in STDLIB {
+        with_lib
+            .load(src)
+            .unwrap_or_else(|e| panic!("{name} failed to load: {e}"));
+    }
+    let files: Vec<(&str, &str)> = examples
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_str()))
+        .collect();
+    let (ex_diags, ex_report) = with_lib.certify_set(&files);
+    diags.extend(ex_diags);
+    report.entities.extend(ex_report.entities);
+    report.tops.extend(ex_report.tops);
+    (diags, report)
+}
+
+fn main() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples");
+    let mut examples: Vec<(String, String)> = std::fs::read_dir(&dir)
+        .expect("examples/ exists")
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            (p.extension().is_some_and(|x| x == "amg")).then(|| {
+                let name = p.file_name().unwrap().to_string_lossy().into_owned();
+                (name, std::fs::read_to_string(&p).unwrap())
+            })
+        })
+        .collect();
+    examples.sort();
+    let sources = STDLIB.len() + examples.len();
+    assert!(
+        sources >= 11,
+        "corpus shrank to {sources} sources (want >= 11)"
+    );
+
+    // Output sanity before timing: the corpus certifies clean and every
+    // top-level program carries a closed (numeric) certificate.
+    let (diags, report) = sweep(&examples);
+    for d in diags.iter().flatten() {
+        assert!(!d.is_error(), "corpus no longer certifies clean: {d}");
+    }
+    let max_variants = amgen::dsl::costmodel::DEFAULT_MAX_VARIANTS;
+    for (cert, (name, _)) in report.tops.iter().skip(STDLIB.len()).zip(&examples) {
+        let cert = cert
+            .as_ref()
+            .unwrap_or_else(|| panic!("{name}: no certificate"));
+        assert!(
+            cert.total_fuel(max_variants).closed().is_some(),
+            "{name}: top-level fuel bound is not closed"
+        );
+    }
+
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        black_box(sweep(black_box(&examples)));
+        samples.push(t.elapsed());
+    }
+    samples.sort();
+    let (lo, p50, hi) = (samples[0], samples[SAMPLES / 2], samples[SAMPLES - 1]);
+    println!(
+        "{:<50} time: [{} {} {}]",
+        format!("analyze/certify_corpus_{sources}"),
+        fmt_dur(lo),
+        fmt_dur(p50),
+        fmt_dur(hi)
+    );
+    println!(
+        "{:<50} {} entities, {} top-level programs certified per sweep",
+        "",
+        report.entities.len(),
+        report.tops.len()
+    );
+
+    // CI smoke: full-corpus certification stays under 5 ms. The fastest
+    // sample is the reproducible statistic on a noisy shared machine.
+    assert!(
+        lo <= Duration::from_millis(5),
+        "certifying {sources} sources took {} (budget 5 ms)",
+        fmt_dur(lo)
+    );
+    println!("analyze smoke: {sources}-source certification sweep <= 5 ms");
+}

@@ -1,0 +1,81 @@
+//! The interpreter's cost model, as constants static analysis can share.
+//!
+//! `amgen-lint`'s certification pass derives symbolic upper bounds on
+//! what a program will consume *before* it runs. Those bounds are only
+//! sound if the analyzer and the interpreter agree on what each
+//! construct costs — so the accounting lives here, in one place, and
+//! both sides read it:
+//!
+//! * the interpreter charges [`FUEL_PER_STMT`] per executed statement
+//!   (`interp.rs::exec_stmt`);
+//! * one `compact` statement performs exactly one `Compactor::compact`
+//!   call, i.e. [`COMPACT_STEPS_PER_STMT`] budget steps;
+//! * `FOR` bounds are *rounded* before iterating (`a.round()..=
+//!   b.round()`), so a static trip-count bound over real-valued bounds
+//!   needs [`FOR_TRIP_SLACK`] extra iterations of headroom;
+//! * backtracking explores at most [`DEFAULT_MAX_VARIANTS`] choice
+//!   prefixes unless the caller raises `Interpreter::max_variants`;
+//! * each geometry builtin appends a statically known number of shapes
+//!   ([`builtin_shapes`]) — except `ARRAY`, whose cut count depends on
+//!   the frame geometry and the rule deck.
+
+/// Fuel units charged per executed statement. Every statement — assign,
+/// call, `compact`, the `FOR`/`IF`/`VARIANT` headers — costs the same
+/// one unit; expressions are free.
+pub const FUEL_PER_STMT: u64 = 1;
+
+/// Compaction-budget steps one `compact` statement charges.
+pub const COMPACT_STEPS_PER_STMT: u64 = 1;
+
+/// Headroom a static trip-count bound must add over `to − from`.
+///
+/// The interpreter rounds both bounds to the nearest integer, so with
+/// `from ∈ [a_lo, …]` and `to ∈ […, b_hi]` the iteration count is at
+/// most `round(b_hi) − round(a_lo) + 1 ≤ (b_hi + ½) − (a_lo − ½) + 1`,
+/// i.e. `b_hi − a_lo` plus this slack.
+pub const FOR_TRIP_SLACK: f64 = 2.0;
+
+/// Default cap on explored variant combinations
+/// (`Interpreter::max_variants`). The backtracker aborts with
+/// `DslError::TooManyVariants` beyond it, so even a program whose
+/// choice space is statically unbounded re-executes its top level at
+/// most this many times.
+pub const DEFAULT_MAX_VARIANTS: usize = 64;
+
+/// How many shapes one geometry-builtin call appends to the frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeCost {
+    /// Exactly `n` shapes, independent of geometry.
+    Const(u64),
+    /// A data-dependent contact grid: `(span + space) / (size + space)`
+    /// cuts per axis of the surrounding frame. Statically bounded only
+    /// under an assumed maximum frame extent.
+    ArrayGrid,
+}
+
+/// The shape cost of a builtin, `None` for unknown names. Mirrors
+/// `amgen-prim`: `inbox`/`around` append one rectangle, `two_rects`
+/// two, `ring` four, `NET` only tags existing shapes.
+pub fn builtin_shapes(name: &str) -> Option<ShapeCost> {
+    match name {
+        "INBOX" | "AROUND" => Some(ShapeCost::Const(1)),
+        "TWORECTS" => Some(ShapeCost::Const(2)),
+        "RING" => Some(ShapeCost::Const(4)),
+        "NET" => Some(ShapeCost::Const(0)),
+        "ARRAY" => Some(ShapeCost::ArrayGrid),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_has_a_shape_cost() {
+        for name in ["INBOX", "ARRAY", "AROUND", "RING", "TWORECTS", "NET"] {
+            assert!(builtin_shapes(name).is_some(), "{name}");
+        }
+        assert_eq!(builtin_shapes("NOPE"), None);
+    }
+}

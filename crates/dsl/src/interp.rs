@@ -40,6 +40,9 @@ impl std::fmt::Display for DslError {
         match self {
             DslError::Gen(e) => write!(f, "{e}"),
             DslError::Parse(e) => write!(f, "parse error: {e}"),
+            // Line 0 marks a synthesized statement (no source location);
+            // a phantom "line 0:" prefix would point nowhere.
+            DslError::Runtime { line: 0, message } => write!(f, "{message}"),
             DslError::Runtime { line, message } => write!(f, "line {line}: {message}"),
             DslError::TooManyVariants(n) => {
                 write!(f, "variant exploration exceeded {n} combinations")
@@ -125,7 +128,7 @@ impl Interpreter {
             ctx: tech.into_gen_ctx(),
             entities: BTreeMap::new(),
             lib_hash: 0,
-            max_variants: 64,
+            max_variants: crate::costmodel::DEFAULT_MAX_VARIANTS,
             weights: RatingWeights::default(),
         }
     }
@@ -425,9 +428,11 @@ impl Interpreter {
         let line = stmt.line();
         // Every statement costs one unit of fuel, so any program — huge
         // FOR ranges and recursive entities included — terminates within
-        // a finite budget with a typed error instead of hanging.
+        // a finite budget with a typed error instead of hanging. The
+        // amount comes from `costmodel` so the static certification pass
+        // in `amgen-lint` prices statements identically.
         self.ctx
-            .charge_fuel(1, Stage::Dsl)
+            .charge_fuel(crate::costmodel::FUEL_PER_STMT, Stage::Dsl)
             .map_err(|e| Exec::Fail(DslError::Gen(e)))?;
         self.ctx
             .fault_check(FaultSite::DslStmt, stmt.kind_name())
@@ -735,6 +740,9 @@ impl Interpreter {
     fn builtin(&self, call: &Call, frame: &mut Frame, ctx: &mut Ctx) -> Result<Value, Exec> {
         let line = call.line();
         let args = self.eval_args(call, frame, ctx)?;
+        // Count the shapes this call appends, so the dynamic counter and
+        // amgen-lint's certified shape bound measure the same thing.
+        let shapes_before = frame.obj.len();
         let prim = Primitives::new(&self.ctx);
         // Helpers over the bound argument list.
         let get = |idx: usize, key: &str| -> Value {
@@ -778,7 +786,7 @@ impl Interpreter {
                 .as_dim()
                 .map_err(|m| Exec::Fail(DslError::Runtime { line, message: m }))
         };
-        match call.name.as_str() {
+        let result = match call.name.as_str() {
             "INBOX" => {
                 let layer = layer_arg(0, "layer")?;
                 let w = dim_arg(1, "W")?;
@@ -832,7 +840,14 @@ impl Interpreter {
                 Ok(Value::Unset)
             }
             other => self.fail(line, format!("unknown function or entity `{other}`")),
+        };
+        if result.is_ok() {
+            let delta = frame.obj.len().saturating_sub(shapes_before);
+            if delta > 0 {
+                self.ctx.metrics.add_shapes_generated(delta as u64);
+            }
         }
+        result
     }
 }
 

@@ -58,6 +58,7 @@
 //! ```
 
 pub mod ast;
+pub mod costmodel;
 pub mod interp;
 pub mod lexer;
 pub mod parser;

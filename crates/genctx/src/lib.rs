@@ -55,8 +55,8 @@ pub mod cache;
 pub use cache::{CachedModule, CanonParam, GenCache, GenKey, PlacementVariant, VariantTable};
 pub mod robust;
 pub use robust::{
-    Budget, CancelToken, FaultAction, FaultHook, FaultSite, GenError, GenErrorKind, GenResult,
-    Limits, Resource,
+    Budget, CancelToken, CostEstimate, FaultAction, FaultHook, FaultSite, GenError, GenErrorKind,
+    GenResult, Limits, Resource,
 };
 
 /// Options that apply to a whole generation run.
@@ -124,6 +124,7 @@ impl Stage {
 #[derive(Debug, Default)]
 pub struct Metrics {
     objects_placed: AtomicU64,
+    shapes_generated: AtomicU64,
     rebuilds: AtomicU64,
     drc_checks: AtomicU64,
     opt_explored: AtomicU64,
@@ -147,6 +148,15 @@ impl Metrics {
     #[inline]
     pub fn add_objects_placed(&self, n: u64) {
         self.objects_placed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` shapes appended by geometry builtins. The language
+    /// interpreter charges the exact per-call delta, so the counter is
+    /// directly comparable to the shape bound of a static
+    /// `CostCertificate` (amgen-lint).
+    #[inline]
+    pub fn add_shapes_generated(&self, n: u64) {
+        self.shapes_generated.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records one contact-array group rebuild.
@@ -275,6 +285,8 @@ pub struct MetricsSnapshot {
     pub rule_queries: u64,
     /// Objects placed into layouts.
     pub objects_placed: u64,
+    /// Shapes appended by interpreter geometry builtins.
+    pub shapes_generated: u64,
     /// Contact-array group rebuilds performed by the compactor.
     pub rebuilds: u64,
     /// Individual DRC checks run.
@@ -313,6 +325,9 @@ impl std::fmt::Display for MetricsSnapshot {
             "rule_queries={} objects_placed={} rebuilds={} drc_checks={}",
             self.rule_queries, self.objects_placed, self.rebuilds, self.drc_checks
         )?;
+        if self.shapes_generated > 0 {
+            write!(f, " shapes_generated={}", self.shapes_generated)?;
+        }
         if self.opt_explored + self.opt_pruned + self.opt_dominated > 0 {
             write!(
                 f,
@@ -733,6 +748,7 @@ impl GenCtx {
         MetricsSnapshot {
             rule_queries: self.rules.rule_queries(),
             objects_placed: self.metrics.objects_placed.load(Ordering::Relaxed),
+            shapes_generated: self.metrics.shapes_generated.load(Ordering::Relaxed),
             rebuilds: self.metrics.rebuilds.load(Ordering::Relaxed),
             drc_checks: self.metrics.drc_checks.load(Ordering::Relaxed),
             opt_explored: self.metrics.opt_explored.load(Ordering::Relaxed),

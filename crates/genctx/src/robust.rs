@@ -122,6 +122,49 @@ impl Budget {
         self
     }
 
+    /// Admission check: would a run with the statically certified
+    /// resource consumption in `est` fit inside this budget?
+    ///
+    /// This is the gate a serving front-end uses to reject hostile or
+    /// runaway programs *before* spending any budget on them: a static
+    /// analyzer (amgen-lint's certification pass) derives upper bounds,
+    /// converts them to a [`CostEstimate`], and a certified demand that
+    /// exceeds a cap is refused with the same typed
+    /// [`GenErrorKind::BudgetExhausted`] the dynamic meter would raise —
+    /// only at zero execution cost. `None` fields (no static bound
+    /// derivable) pass; such programs fall back to the dynamic meter.
+    ///
+    /// The check is conservative in the admitting direction only: an
+    /// upper bound above the cap does not prove the run *would* exhaust
+    /// it, but an admitted certificate proves it cannot.
+    ///
+    /// ```
+    /// use amgen_core::{Budget, CostEstimate};
+    ///
+    /// let b = Budget::unlimited().with_dsl_fuel(100);
+    /// assert!(b.admits(&CostEstimate::new().with_fuel(100)).is_ok());
+    /// let e = b.admits(&CostEstimate::new().with_fuel(101)).unwrap_err();
+    /// assert!(e.is_budget_exhausted());
+    /// ```
+    pub fn admits(&self, est: &CostEstimate) -> Result<(), GenError> {
+        if let Some(fuel) = est.fuel {
+            if fuel > self.dsl_fuel {
+                return Err(GenError::budget(Stage::Dsl, Resource::DslFuel));
+            }
+        }
+        if let Some(depth) = est.recursion {
+            if depth > self.max_recursion {
+                return Err(GenError::budget(Stage::Dsl, Resource::Recursion));
+            }
+        }
+        if let Some(steps) = est.compact_steps {
+            if steps > self.max_compact_steps {
+                return Err(GenError::budget(Stage::Compact, Resource::CompactSteps));
+            }
+        }
+        Ok(())
+    }
+
     /// Resolves the budget into live, shareable state. The wall deadline
     /// starts counting *now*.
     pub fn arm(self) -> Limits {
@@ -132,6 +175,59 @@ impl Budget {
             compact_steps: AtomicU64::new(0),
             cancel: CancelToken::new(),
         }
+    }
+}
+
+/// Statically certified resource consumption of one program, in the
+/// plain numbers [`Budget::admits`] compares against its caps. Produced
+/// by instantiating an `amgen-lint` `CostCertificate` at concrete
+/// parameter intervals; `None` means no static bound was derivable for
+/// that resource (the dynamic meter still applies).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostEstimate {
+    /// Upper bound on interpreter fuel (statements executed).
+    pub fuel: Option<u64>,
+    /// Upper bound on entity-call nesting depth.
+    pub recursion: Option<usize>,
+    /// Upper bound on compaction steps.
+    pub compact_steps: Option<u64>,
+    /// Upper bound on shapes generated. No budget cap exists for it
+    /// (yet); carried for cache sizing and scheduling decisions.
+    pub shapes: Option<u64>,
+}
+
+impl CostEstimate {
+    /// An estimate with no bounds (admits everywhere).
+    pub fn new() -> CostEstimate {
+        CostEstimate::default()
+    }
+
+    /// Sets the fuel bound.
+    #[must_use]
+    pub fn with_fuel(mut self, fuel: u64) -> CostEstimate {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    /// Sets the recursion-depth bound.
+    #[must_use]
+    pub fn with_recursion(mut self, depth: usize) -> CostEstimate {
+        self.recursion = Some(depth);
+        self
+    }
+
+    /// Sets the compaction-step bound.
+    #[must_use]
+    pub fn with_compact_steps(mut self, steps: u64) -> CostEstimate {
+        self.compact_steps = Some(steps);
+        self
+    }
+
+    /// Sets the shape-count bound.
+    #[must_use]
+    pub fn with_shapes(mut self, shapes: u64) -> CostEstimate {
+        self.shapes = Some(shapes);
+        self
     }
 }
 

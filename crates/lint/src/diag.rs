@@ -22,8 +22,8 @@ impl std::fmt::Display for Severity {
 
 /// The fixed catalogue of diagnostic codes. Hundreds group by pass:
 /// `E0xx` symbols, `E1xx` kinds, `E2xx` layers, `W3xx` dead code,
-/// `E4xx` constants. `E000` is reserved for syntax errors surfaced
-/// through the linter.
+/// `E4xx` constants, `E5xx`/`W5xx` cost certification. `E000` is
+/// reserved for syntax errors surfaced through the linter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Code {
     /// E000: the source did not parse.
@@ -64,6 +64,17 @@ pub enum Code {
     NegativeDimension,
     /// W403: a `FOR` range is statically empty.
     EmptyLoop,
+    /// E501: recursion with no decreasing measure — statically unbounded.
+    UnboundedRecursion,
+    /// E502: the certified *lower* bound already exhausts the configured
+    /// budget; every run is certain to fail.
+    CertainExhaustion,
+    /// W503: no static cost bound is derivable; only the dynamic budget
+    /// protects this program.
+    NoStaticBound,
+    /// W504: a loop's certified trip bound exceeds the configured fuel at
+    /// the maximum declared parameter range.
+    LoopExceedsFuel,
 }
 
 impl Code {
@@ -89,6 +100,10 @@ impl Code {
         Code::DivisionByZero,
         Code::NegativeDimension,
         Code::EmptyLoop,
+        Code::UnboundedRecursion,
+        Code::CertainExhaustion,
+        Code::NoStaticBound,
+        Code::LoopExceedsFuel,
     ];
 
     /// The stable textual code (`E201`, `W301`, ...).
@@ -113,6 +128,10 @@ impl Code {
             Code::DivisionByZero => "E401",
             Code::NegativeDimension => "E402",
             Code::EmptyLoop => "W403",
+            Code::UnboundedRecursion => "E501",
+            Code::CertainExhaustion => "E502",
+            Code::NoStaticBound => "W503",
+            Code::LoopExceedsFuel => "W504",
         }
     }
 

@@ -1,0 +1,533 @@
+//! The numeric abstract domain of the certification pass: affine
+//! expressions over entity parameters, intervals with affine endpoints,
+//! and symbolic upper bounds.
+//!
+//! # Soundness contract
+//!
+//! An [`Affine`] produced by the analyzer is an upper (or lower) bound
+//! on a run-time quantity **for non-negative parameter values**. The
+//! restriction comes from the join: the pointwise maximum of two affine
+//! functions is not affine, so [`Affine::cw_max`] over-approximates it
+//! with the coefficient-wise maximum — `max(3n, 5) ⊑ 3n + 5` — which
+//! dominates the true maximum only on the non-negative orthant.
+//! [`Affine::eval_max`]/[`Bound::instantiate`] therefore refuse
+//! parameter intervals whose lower end is negative, and
+//! [`Affine::subst`] widens to *unknown* when a substituted argument
+//! cannot be proven non-negative. Dimensions, repetition counts and
+//! trip counts are non-negative in every meaningful generator program,
+//! so the restriction costs no precision in practice.
+
+use std::collections::BTreeMap;
+
+/// `k + Σ cᵢ·pᵢ`: a linear function of named entity parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Affine {
+    /// The constant term.
+    pub k: f64,
+    /// Per-parameter coefficients (absent = 0), in name order so
+    /// rendering is deterministic.
+    pub terms: BTreeMap<String, f64>,
+}
+
+impl Affine {
+    /// The constant `k`.
+    pub fn constant(k: f64) -> Affine {
+        Affine {
+            k,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// The parameter `p` itself (`0 + 1·p`).
+    pub fn param(p: &str) -> Affine {
+        Affine {
+            k: 0.0,
+            terms: [(p.to_string(), 1.0)].into_iter().collect(),
+        }
+    }
+
+    /// True when no parameter has a non-zero coefficient.
+    pub fn is_constant(&self) -> bool {
+        self.terms.values().all(|c| *c == 0.0)
+    }
+
+    /// The constant value, if [`Affine::is_constant`].
+    pub fn as_constant(&self) -> Option<f64> {
+        self.is_constant().then_some(self.k)
+    }
+
+    /// Pointwise sum.
+    pub fn add(&self, other: &Affine) -> Affine {
+        let mut out = self.clone();
+        out.k += other.k;
+        for (p, c) in &other.terms {
+            *out.terms.entry(p.clone()).or_insert(0.0) += c;
+        }
+        out.prune()
+    }
+
+    /// Pointwise difference.
+    pub fn sub(&self, other: &Affine) -> Affine {
+        self.add(&other.scale(-1.0))
+    }
+
+    /// Multiplies every coefficient and the constant by `s`.
+    pub fn scale(&self, s: f64) -> Affine {
+        Affine {
+            k: self.k * s,
+            terms: self.terms.iter().map(|(p, c)| (p.clone(), c * s)).collect(),
+        }
+        .prune()
+    }
+
+    /// Product of two affines — defined only when at least one side is
+    /// constant (the product is affine again); `None` otherwise (a
+    /// genuinely quadratic bound, widened to unbounded by the caller).
+    pub fn mul(&self, other: &Affine) -> Option<Affine> {
+        if let Some(c) = self.as_constant() {
+            Some(other.scale(c))
+        } else {
+            other.as_constant().map(|c| self.scale(c))
+        }
+    }
+
+    /// Coefficient-wise maximum: an upper bound on the pointwise
+    /// maximum of the two functions over non-negative parameters (see
+    /// the module docs for why this needs the orthant restriction).
+    pub fn cw_max(&self, other: &Affine) -> Affine {
+        // A coefficient absent on one side is 0 there, so the max is
+        // taken against 0 for parameters appearing on only one side.
+        let mut terms = BTreeMap::new();
+        for p in self.terms.keys().chain(other.terms.keys()) {
+            let a = self.terms.get(p).copied().unwrap_or(0.0);
+            let b = other.terms.get(p).copied().unwrap_or(0.0);
+            let c = a.max(b);
+            if c != 0.0 {
+                terms.insert(p.clone(), c);
+            }
+        }
+        Affine {
+            k: self.k.max(other.k),
+            terms,
+        }
+    }
+
+    /// Coefficient-wise minimum: a lower bound on the pointwise minimum
+    /// over non-negative parameters.
+    pub fn cw_min(&self, other: &Affine) -> Affine {
+        let mut terms = BTreeMap::new();
+        for p in self.terms.keys().chain(other.terms.keys()) {
+            let a = self.terms.get(p).copied().unwrap_or(0.0);
+            let b = other.terms.get(p).copied().unwrap_or(0.0);
+            let c = a.min(b);
+            if c != 0.0 {
+                terms.insert(p.clone(), c);
+            }
+        }
+        Affine {
+            k: self.k.min(other.k),
+            terms,
+        }
+    }
+
+    /// Clamps to a non-negative function: coefficient-wise max with the
+    /// constant 0. Used for trip counts (`max(0, hi − lo + slack)`).
+    pub fn max_zero(&self) -> Affine {
+        self.cw_max(&Affine::constant(0.0))
+    }
+
+    /// Substitutes parameter `p` with an interval `[lo, hi]`, keeping
+    /// the result an upper bound: the coefficient's sign picks the
+    /// maximizing end. Requires `lo ≥ 0` when the coefficient is
+    /// non-zero (the soundness contract); returns `None` otherwise.
+    pub fn subst(&self, p: &str, lo: f64, hi: f64) -> Option<Affine> {
+        let Some(c) = self.terms.get(p).copied() else {
+            return Some(self.clone());
+        };
+        if c != 0.0 && lo < 0.0 {
+            return None;
+        }
+        let mut out = self.clone();
+        out.terms.remove(p);
+        out.k += c * if c >= 0.0 { hi } else { lo };
+        Some(out.prune())
+    }
+
+    /// Evaluates the maximum over a parameter box `{p: [lo, hi]}`.
+    /// Parameters missing from the box, boxes with a negative lower
+    /// end, or non-finite results yield `None`.
+    pub fn eval_max(&self, box_: &BTreeMap<String, (f64, f64)>) -> Option<f64> {
+        let mut v = self.k;
+        for (p, c) in &self.terms {
+            if *c == 0.0 {
+                continue;
+            }
+            let (lo, hi) = box_.get(p).copied()?;
+            if lo < 0.0 || lo > hi {
+                return None;
+            }
+            v += c * if *c >= 0.0 { hi } else { lo };
+        }
+        v.is_finite().then_some(v)
+    }
+
+    /// Evaluates the minimum over a parameter box (same restrictions).
+    pub fn eval_min(&self, box_: &BTreeMap<String, (f64, f64)>) -> Option<f64> {
+        let mut v = self.k;
+        for (p, c) in &self.terms {
+            if *c == 0.0 {
+                continue;
+            }
+            let (lo, hi) = box_.get(p).copied()?;
+            if lo < 0.0 || lo > hi {
+                return None;
+            }
+            v += c * if *c >= 0.0 { lo } else { hi };
+        }
+        v.is_finite().then_some(v)
+    }
+
+    /// Drops zero coefficients (canonical form for display and `==`).
+    fn prune(mut self) -> Affine {
+        self.terms.retain(|_, c| *c != 0.0);
+        self
+    }
+}
+
+impl std::fmt::Display for Affine {
+    /// `12`, `3*n`, `5 + 2*W + L` — plain ASCII, stable order.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut wrote = false;
+        if self.k != 0.0 || self.terms.is_empty() {
+            write!(f, "{}", fmt_num(self.k))?;
+            wrote = true;
+        }
+        for (p, c) in &self.terms {
+            if *c == 0.0 {
+                continue;
+            }
+            if wrote {
+                write!(f, " {} ", if *c < 0.0 { "-" } else { "+" })?;
+            } else if *c < 0.0 {
+                write!(f, "-")?;
+            }
+            let a = c.abs();
+            if a == 1.0 {
+                write!(f, "{p}")?;
+            } else {
+                write!(f, "{}*{p}", fmt_num(a))?;
+            }
+            wrote = true;
+        }
+        Ok(())
+    }
+}
+
+/// Formats without a trailing `.0` for whole numbers.
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// A symbolic upper bound: a finite affine function of the entity's
+/// parameters, or no static bound at all.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Bound {
+    /// Bounded by the affine for all non-negative parameter values.
+    Finite(Affine),
+    /// No static bound derivable (unbounded recursion, data-dependent
+    /// loop, non-affine growth). The dynamic budget still applies.
+    Unbounded,
+}
+
+impl Bound {
+    /// The constant bound `k`.
+    pub fn constant(k: f64) -> Bound {
+        Bound::Finite(Affine::constant(k))
+    }
+
+    /// The finite affine, if any.
+    pub fn affine(&self) -> Option<&Affine> {
+        match self {
+            Bound::Finite(a) => Some(a),
+            Bound::Unbounded => None,
+        }
+    }
+
+    /// True for [`Bound::Finite`].
+    pub fn is_finite(&self) -> bool {
+        matches!(self, Bound::Finite(_))
+    }
+
+    /// Sum (unbounded absorbs).
+    pub fn add(&self, other: &Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.add(b)),
+            _ => Bound::Unbounded,
+        }
+    }
+
+    /// Product; widens to unbounded when both sides are parameter-
+    /// dependent (the result would be quadratic) or either is unbounded
+    /// — unless the other side is the constant 0.
+    pub fn mul(&self, other: &Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => {
+                a.mul(b).map_or(Bound::Unbounded, Bound::Finite)
+            }
+            (Bound::Finite(a), Bound::Unbounded) | (Bound::Unbounded, Bound::Finite(a)) => {
+                if a.as_constant() == Some(0.0) {
+                    Bound::constant(0.0)
+                } else {
+                    Bound::Unbounded
+                }
+            }
+            _ => Bound::Unbounded,
+        }
+    }
+
+    /// Join: an upper bound on the pointwise max (see [`Affine::cw_max`]).
+    pub fn max(&self, other: &Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.cw_max(b)),
+            _ => Bound::Unbounded,
+        }
+    }
+
+    /// Largest value over a parameter box; `None` when unbounded or the
+    /// box violates the non-negativity contract.
+    pub fn instantiate(&self, box_: &BTreeMap<String, (f64, f64)>) -> Option<f64> {
+        self.affine()?.eval_max(box_)
+    }
+
+    /// Instantiates a parameter-free bound (entity with no parameters,
+    /// or a top-level scope).
+    pub fn closed(&self) -> Option<f64> {
+        self.instantiate(&BTreeMap::new())
+    }
+}
+
+impl std::fmt::Display for Bound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Bound::Finite(a) => write!(f, "{a}"),
+            Bound::Unbounded => write!(f, "unbounded"),
+        }
+    }
+}
+
+/// An interval whose endpoints are affine in the entity parameters;
+/// `None` means unbounded on that side. The abstract value of every
+/// numeric expression in the certification pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interval {
+    /// Affine lower bound, `None` = −∞.
+    pub lo: Option<Affine>,
+    /// Affine upper bound, `None` = +∞.
+    pub hi: Option<Affine>,
+}
+
+impl Interval {
+    /// The completely unknown number.
+    pub fn top() -> Interval {
+        Interval { lo: None, hi: None }
+    }
+
+    /// The exact constant `k`.
+    pub fn constant(k: f64) -> Interval {
+        let a = Affine::constant(k);
+        Interval {
+            lo: Some(a.clone()),
+            hi: Some(a),
+        }
+    }
+
+    /// The parameter `p` exactly (`lo = hi = p`).
+    pub fn param(p: &str) -> Interval {
+        let a = Affine::param(p);
+        Interval {
+            lo: Some(a.clone()),
+            hi: Some(a),
+        }
+    }
+
+    /// The exact constant, when both ends agree on one.
+    pub fn as_constant(&self) -> Option<f64> {
+        let lo = self.lo.as_ref()?.as_constant()?;
+        let hi = self.hi.as_ref()?.as_constant()?;
+        (lo == hi).then_some(lo)
+    }
+
+    /// Interval sum.
+    pub fn add(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: opt2(&self.lo, &other.lo, Affine::add),
+            hi: opt2(&self.hi, &other.hi, Affine::add),
+        }
+    }
+
+    /// Interval difference (`lo − other.hi`, `hi − other.lo`).
+    pub fn sub(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: opt2(&self.lo, &other.hi, Affine::sub),
+            hi: opt2(&self.hi, &other.lo, Affine::sub),
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Interval {
+        Interval {
+            lo: self.hi.as_ref().map(|a| a.scale(-1.0)),
+            hi: self.lo.as_ref().map(|a| a.scale(-1.0)),
+        }
+    }
+
+    /// Product — precise only when one side is an exact constant
+    /// (scaling); anything else goes to top. Parameter-dependent
+    /// products are non-affine and the pass widens them anyway.
+    pub fn mul(&self, other: &Interval) -> Interval {
+        let scaled = |iv: &Interval, c: f64| -> Interval {
+            let s = |a: &Option<Affine>| a.as_ref().map(|a| a.scale(c));
+            if c >= 0.0 {
+                Interval {
+                    lo: s(&iv.lo),
+                    hi: s(&iv.hi),
+                }
+            } else {
+                Interval {
+                    lo: s(&iv.hi),
+                    hi: s(&iv.lo),
+                }
+            }
+        };
+        if let Some(c) = self.as_constant() {
+            scaled(other, c)
+        } else if let Some(c) = other.as_constant() {
+            scaled(self, c)
+        } else {
+            Interval::top()
+        }
+    }
+
+    /// Quotient — only division by an exact non-zero constant stays
+    /// precise.
+    pub fn div(&self, other: &Interval) -> Interval {
+        match other.as_constant() {
+            Some(c) if c != 0.0 => self.mul(&Interval::constant(1.0 / c)),
+            _ => Interval::top(),
+        }
+    }
+
+    /// Join of two intervals (IF branches): the hull, with the affine
+    /// cw-max/cw-min over-approximation on each side.
+    pub fn join(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: opt2(&self.lo, &other.lo, Affine::cw_min),
+            hi: opt2(&self.hi, &other.hi, Affine::cw_max),
+        }
+    }
+}
+
+/// Combines two optional affines, `None` (unbounded) absorbing.
+fn opt2(
+    a: &Option<Affine>,
+    b: &Option<Affine>,
+    f: impl Fn(&Affine, &Affine) -> Affine,
+) -> Option<Affine> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(f(a, b)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn box1(p: &str, lo: f64, hi: f64) -> BTreeMap<String, (f64, f64)> {
+        [(p.to_string(), (lo, hi))].into_iter().collect()
+    }
+
+    #[test]
+    fn affine_arithmetic_and_display() {
+        let a = Affine::constant(5.0).add(&Affine::param("n").scale(3.0));
+        assert_eq!(a.to_string(), "5 + 3*n");
+        assert_eq!(a.sub(&Affine::param("n")).to_string(), "5 + 2*n");
+        assert_eq!(Affine::constant(0.0).to_string(), "0");
+        assert_eq!(Affine::param("n").scale(-1.0).to_string(), "-n");
+        assert!(a.mul(&Affine::constant(2.0)).unwrap().to_string() == "10 + 6*n");
+        assert!(a.mul(&Affine::param("m")).is_none(), "quadratic");
+    }
+
+    #[test]
+    fn cw_max_dominates_on_the_orthant() {
+        // max(3n, 5) ⊑ 5 + 3n: dominate both arguments for n ≥ 0.
+        let m = Affine::param("n").scale(3.0).cw_max(&Affine::constant(5.0));
+        for n in [0.0, 1.0, 10.0] {
+            let v = m.eval_max(&box1("n", n, n)).unwrap();
+            assert!(v >= 3.0 * n && v >= 5.0, "n={n} v={v}");
+        }
+    }
+
+    #[test]
+    fn eval_refuses_negative_lows() {
+        let a = Affine::param("n");
+        assert_eq!(a.eval_max(&box1("n", -1.0, 5.0)), None);
+        assert_eq!(a.eval_max(&box1("n", 0.0, 5.0)), Some(5.0));
+        assert_eq!(a.eval_min(&box1("n", 0.0, 5.0)), Some(0.0));
+        // Constants don't need the box at all.
+        assert_eq!(Affine::constant(7.0).eval_max(&BTreeMap::new()), Some(7.0));
+    }
+
+    #[test]
+    fn subst_is_maximizing_and_guarded() {
+        let a = Affine::constant(1.0).add(&Affine::param("n").scale(2.0));
+        assert_eq!(a.subst("n", 0.0, 4.0).unwrap().as_constant(), Some(9.0));
+        let neg = a.scale(-1.0);
+        assert_eq!(neg.subst("n", 0.0, 4.0).unwrap().as_constant(), Some(-1.0));
+        assert!(a.subst("n", -1.0, 4.0).is_none(), "negative low refused");
+        assert!(a.subst("m", -9.0, 9.0).is_some(), "absent param is free");
+    }
+
+    #[test]
+    fn bound_algebra_widens_honestly() {
+        let n = Bound::Finite(Affine::param("n"));
+        let c = Bound::constant(3.0);
+        assert_eq!(n.add(&c).to_string(), "3 + n");
+        assert_eq!(n.mul(&c).to_string(), "3*n");
+        assert_eq!(n.mul(&n), Bound::Unbounded);
+        assert_eq!(n.add(&Bound::Unbounded), Bound::Unbounded);
+        assert_eq!(
+            Bound::constant(0.0).mul(&Bound::Unbounded).closed(),
+            Some(0.0)
+        );
+        assert_eq!(Bound::Unbounded.to_string(), "unbounded");
+    }
+
+    #[test]
+    fn interval_ops() {
+        let n = Interval::param("n");
+        let c2 = Interval::constant(2.0);
+        let s = n.add(&c2); // [n+2, n+2]
+        assert_eq!(s.hi.as_ref().unwrap().to_string(), "2 + n");
+        let d = s.sub(&n); // [2, 2]
+        assert_eq!(d.as_constant(), Some(2.0));
+        assert_eq!(n.mul(&c2).hi.unwrap().to_string(), "2*n");
+        assert_eq!(n.div(&c2).hi.unwrap().to_string(), "0.5*n");
+        assert_eq!(n.div(&Interval::constant(0.0)), Interval::top());
+        assert_eq!(n.neg().hi.unwrap().to_string(), "-n");
+        let j = Interval::constant(1.0).join(&Interval::constant(5.0));
+        assert_eq!(j.lo.unwrap().as_constant(), Some(1.0));
+        assert_eq!(j.hi.unwrap().as_constant(), Some(5.0));
+    }
+
+    #[test]
+    fn max_zero_drops_negative_contributions() {
+        // 5 − n, clamped: 5 (constant), sound for n ≥ 0.
+        let t = Affine::constant(5.0).sub(&Affine::param("n")).max_zero();
+        assert_eq!(t.as_constant(), Some(5.0));
+    }
+}

@@ -1,6 +1,6 @@
 //! `amgen-lint`: a multi-pass static analyzer for generator programs.
 //!
-//! The interpreter runs generator programs; this crate reads them. Five
+//! The interpreter runs generator programs; this crate reads them. Six
 //! passes walk the parsed AST **before** any geometry is built:
 //!
 //! 1. **Symbols** — unknown callees, arity and parameter-name checks,
@@ -15,6 +15,11 @@
 //!    (W301–W304).
 //! 5. **Constants** — folded division by zero, negative dimensions,
 //!    statically empty loops (E401–W403).
+//! 6. **Cost certification** — abstract interpretation derives a
+//!    [`CostCertificate`] per entity (symbolic bounds on fuel, shapes,
+//!    compaction steps, recursion depth, variant runs) and flags
+//!    statically unbounded recursion or certain budget exhaustion
+//!    (E501–W504).
 //!
 //! Every finding is a [`Diagnostic`] with a stable code and a byte-exact
 //! [`Span`](amgen_dsl::span::Span); [`render()`] turns it into a
@@ -42,13 +47,15 @@ use amgen_dsl::parser::parse;
 use amgen_tech::RuleSet;
 
 pub mod diag;
+pub mod domain;
 pub mod render;
 
 mod analysis;
 mod passes;
 
 pub use diag::{Code, Diagnostic, Severity};
-pub use render::{render, render_all};
+pub use passes::cost::{CertifyOptions, CostCertificate, CostReport};
+pub use render::{certificates_json, render, render_all, render_certificates};
 
 use analysis::{mark_layer_params, Analysis, EntitySig};
 
@@ -58,6 +65,7 @@ use analysis::{mark_layer_params, Analysis, EntitySig};
 pub struct Linter {
     rules: Option<Arc<RuleSet>>,
     library: Vec<Entity>,
+    certify: CertifyOptions,
 }
 
 impl Linter {
@@ -72,7 +80,16 @@ impl Linter {
         Linter {
             rules: Some(rules),
             library: Vec::new(),
+            certify: CertifyOptions::default(),
         }
+    }
+
+    /// Replaces the certification options (fuel limit for E502/W504,
+    /// assumed parameter range, `ARRAY` cut ceiling).
+    #[must_use]
+    pub fn with_certify(mut self, certify: CertifyOptions) -> Linter {
+        self.certify = certify;
+        self
     }
 
     /// Preregisters the entities of a library source so programs that
@@ -102,6 +119,19 @@ impl Linter {
     /// entity twice within the set is a duplicate (W002). Returns one
     /// diagnostic list per input file, in order.
     pub fn lint_set(&self, files: &[(&str, &str)]) -> Vec<Vec<Diagnostic>> {
+        self.certify_set(files).0
+    }
+
+    /// Certifies one self-contained source: diagnostics plus the cost
+    /// report (the top-level certificate is `report.tops[0]`).
+    pub fn certify_source(&self, src: &str) -> (Vec<Diagnostic>, CostReport) {
+        let (mut per_file, report) = self.certify_set(&[("<input>", src)]);
+        (per_file.pop().unwrap_or_default(), report)
+    }
+
+    /// Like [`Linter::lint_set`], additionally returning the cost
+    /// certificates the sixth pass derived.
+    pub fn certify_set(&self, files: &[(&str, &str)]) -> (Vec<Vec<Diagnostic>>, CostReport) {
         let mut per_file: Vec<Vec<Diagnostic>> = vec![Vec::new(); files.len()];
         let mut programs: Vec<Option<Program>> = Vec::with_capacity(files.len());
         for (i, (_, src)) in files.iter().enumerate() {
@@ -133,15 +163,19 @@ impl Linter {
                             ent.span,
                             format!("entity `{}` is defined more than once", ent.name),
                         );
+                        // A synthesized previous definition has no span;
+                        // pointing at "line 0" would point nowhere.
                         let at = match prev.file {
-                            Some(f) if f != i => {
-                                format!("{}:{}", files[f].0, prev.span.line)
-                            }
-                            _ => format!("line {}", prev.span.line),
+                            Some(f) if f != i => Some(format!("{}:{}", files[f].0, prev.span.line)),
+                            _ if !prev.span.is_none() => Some(format!("line {}", prev.span.line)),
+                            _ => None,
                         };
-                        d = d.with_help(format!(
-                            "previous definition at {at}; the later definition wins"
-                        ));
+                        d = d.with_help(match at {
+                            Some(at) => {
+                                format!("previous definition at {at}; the later definition wins")
+                            }
+                            None => "the later definition wins".to_string(),
+                        });
                         per_file[i].push(d);
                     }
                 }
@@ -173,10 +207,13 @@ impl Linter {
             passes::layers::run(prog, &a, out);
             passes::deadcode::run(prog, &a, out);
             passes::consts::run(prog, &a, out);
+        }
+        let report = passes::cost::run(&self.library, &programs, &a, &self.certify, &mut per_file);
+        for out in &mut per_file {
             out.sort_by_key(|d| (d.span.start, d.span.line, d.code));
             out.dedup();
         }
-        per_file
+        (per_file, report)
     }
 }
 
@@ -193,6 +230,14 @@ pub enum CheckError {
     /// The linter found errors (all diagnostics are included, warnings
     /// too, so callers can render the full picture).
     Lint(Vec<Diagnostic>),
+    /// The static cost certificate exceeds the interpreter's budget —
+    /// the run was refused at admission, before executing anything.
+    Admission {
+        /// The closed whole-run estimate derived from the certificate.
+        estimate: amgen_core::CostEstimate,
+        /// Which budget resource the certificate exceeds.
+        reason: String,
+    },
     /// The program linted clean (or warnings only) but failed at runtime.
     Run(DslError),
 }
@@ -203,6 +248,12 @@ impl std::fmt::Display for CheckError {
             CheckError::Lint(diags) => {
                 let errors = diags.iter().filter(|d| d.is_error()).count();
                 write!(f, "lint found {errors} error(s); program not run")
+            }
+            CheckError::Admission { reason, .. } => {
+                write!(
+                    f,
+                    "certified cost exceeds the budget ({reason}); program not run"
+                )
             }
             CheckError::Run(e) => write!(f, "{e}"),
         }
@@ -220,14 +271,30 @@ pub fn check(interp: &Interpreter, src: &str) -> Vec<Diagnostic> {
 }
 
 /// The opt-in `check` step for the interpreter front-end: lint first,
-/// execute only when no *errors* were found (warnings pass through).
+/// execute only when no *errors* were found (warnings pass through) and
+/// the certified cost fits the interpreter's budget. A program the
+/// certificate *proves* too expensive (fuel, recursion depth or
+/// compaction steps above the budget) is refused without executing a
+/// single statement; programs with no static bound run under the
+/// dynamic budget as before.
 pub fn checked_run(
     interp: &mut Interpreter,
     src: &str,
 ) -> Result<BTreeMap<String, LayoutObject>, CheckError> {
-    let diags = check(interp, src);
+    let mut l = Linter::with_rules(Arc::clone(&interp.ctx().rules));
+    l.load_entities(interp.entities().cloned());
+    let (diags, report) = l.certify_source(src);
     if has_errors(&diags) {
         return Err(CheckError::Lint(diags));
+    }
+    if let Some(Some(cert)) = report.tops.first() {
+        let estimate = cert.estimate(interp.max_variants);
+        if let Err(e) = interp.ctx().limits.budget().admits(&estimate) {
+            return Err(CheckError::Admission {
+                estimate,
+                reason: e.to_string(),
+            });
+        }
     }
     interp.run(src).map_err(CheckError::Run)
 }

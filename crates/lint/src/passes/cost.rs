@@ -1,0 +1,1380 @@
+//! Pass 6 — static cost & termination certification.
+//!
+//! An abstract interpretation over the [`crate::domain`] lattice derives,
+//! for every entity and every top-level scope, a [`CostCertificate`]:
+//! symbolic upper bounds (affine in the entity's numeric parameters) on
+//! interpreter fuel, compaction steps, generated shape count, recursion
+//! depth and explored variant runs, plus the set of layers the program
+//! can touch. Certificates are compositional: a call site substitutes the
+//! callee's certificate with interval bounds on the arguments.
+//!
+//! The pass walks entities **callees first** (Tarjan SCCs of the call
+//! graph in reverse topological order) so every non-recursive call finds
+//! a finished certificate. Recursive SCCs get a *decreasing measure*
+//! check: every in-SCC call must pass `m - c` (constant `c > 0`) for a
+//! parameter `m` that is bounded below by an enclosing `IF m > k` guard.
+//! Self-recursion with a single unconditional-in-loop-free call site
+//! certifies an affine depth `(m - k)/c + 2`; tree or mutual recursion
+//! proves termination but widens the cost to unbounded (W503); a failed
+//! measure is statically unbounded recursion (E501).
+//!
+//! With a configured fuel limit the pass also reports *certain* budget
+//! exhaustion — the certified **lower** bound already exceeds the limit
+//! (E502) — and loops whose trip bound exceeds the fuel at the maximum
+//! declared parameter range (W504).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use amgen_dsl::ast::{BinOp, Call, Entity, Expr, Program, Stmt};
+use amgen_dsl::costmodel::{self, ShapeCost};
+use amgen_dsl::span::Span;
+
+use crate::analysis::{expectations, fold, walk_expr, Analysis};
+use crate::diag::{Code, Diagnostic};
+use crate::domain::{Affine, Bound, Interval};
+
+/// Tunables of the certification pass.
+#[derive(Debug, Clone)]
+pub struct CertifyOptions {
+    /// Fuel limit to certify against. `None` disables E502/W504 — the
+    /// symbolic certificates are still computed.
+    pub fuel: Option<u64>,
+    /// Assumed maximum value of any entity parameter when instantiating
+    /// a symbolic loop bound for the W504 check.
+    pub param_hi: f64,
+    /// Assumed ceiling on the contact cuts one `ARRAY` call can place.
+    /// The true count is geometry-dependent (grid fill); certificates
+    /// that rely on this record [`CostCertificate::assumes_array_cuts`].
+    pub max_array_cuts: u64,
+}
+
+impl Default for CertifyOptions {
+    fn default() -> CertifyOptions {
+        CertifyOptions {
+            fuel: None,
+            param_hi: 1024.0,
+            max_array_cuts: 4096,
+        }
+    }
+}
+
+/// The static cost certificate of one entity (or top-level scope).
+///
+/// All `Bound`s are **per single variant-combination run**, affine in
+/// the entity's own parameters, valid for non-negative parameter values
+/// (see the [`crate::domain`] soundness contract). Multiply by
+/// [`CostCertificate::runs_executed`] for whole-program totals — the
+/// interpreter re-runs the scope once per explored variant prefix.
+#[derive(Debug, Clone)]
+pub struct CostCertificate {
+    /// Upper bound on interpreter fuel (statements executed) per run.
+    pub fuel: Bound,
+    /// Constant **lower** bound on the fuel of one completed run.
+    pub fuel_lo: f64,
+    /// Upper bound on successive-compaction steps per run.
+    pub compact_steps: Bound,
+    /// Upper bound on shapes generated per run.
+    pub shapes: Bound,
+    /// Upper bound on entity-call nesting depth.
+    pub recursion: Bound,
+    /// Upper bound on variant prefixes the backtracker explores
+    /// (`1 + choices × combinations`); the interpreter additionally caps
+    /// this at its `max_variants`.
+    pub variant_runs: Bound,
+    /// Layer names the scope can touch.
+    pub layers: BTreeSet<String>,
+    /// False when a layer argument was not statically known, so
+    /// [`CostCertificate::layers`] is a subset of the truth.
+    pub layers_exact: bool,
+    /// True when the shape bound leans on
+    /// [`CertifyOptions::max_array_cuts`].
+    pub assumes_array_cuts: bool,
+    /// The parameters the bounds range over, in declaration order.
+    pub params: Vec<String>,
+}
+
+impl CostCertificate {
+    /// Bound on runs the interpreter actually executes: the variant-run
+    /// bound capped by the interpreter's `max_variants`.
+    pub fn runs_executed(&self, max_variants: usize) -> Bound {
+        let cap = max_variants as f64;
+        match self.variant_runs.affine().and_then(Affine::as_constant) {
+            Some(r) => Bound::constant(r.min(cap)),
+            None => Bound::constant(cap),
+        }
+    }
+
+    /// Whole-program fuel: per-run fuel times executed runs.
+    pub fn total_fuel(&self, max_variants: usize) -> Bound {
+        self.fuel.mul(&self.runs_executed(max_variants))
+    }
+
+    /// Whole-program compaction steps.
+    pub fn total_compact_steps(&self, max_variants: usize) -> Bound {
+        self.compact_steps.mul(&self.runs_executed(max_variants))
+    }
+
+    /// Whole-program shape count.
+    pub fn total_shapes(&self, max_variants: usize) -> Bound {
+        self.shapes.mul(&self.runs_executed(max_variants))
+    }
+
+    /// Closes the certificate into plain numbers for budget admission —
+    /// parameter-free scopes only (a top level, or an entity without
+    /// parameters). Unbounded or parameter-dependent quantities close to
+    /// `None`, meaning "no static claim; rely on the dynamic budget".
+    pub fn estimate(&self, max_variants: usize) -> amgen_core::CostEstimate {
+        let close = |b: &Bound| b.closed().map(|v| v.max(0.0).ceil() as u64);
+        amgen_core::CostEstimate {
+            fuel: close(&self.total_fuel(max_variants)),
+            recursion: self.recursion.closed().map(|v| v.max(0.0).ceil() as usize),
+            compact_steps: close(&self.total_compact_steps(max_variants)),
+            shapes: close(&self.total_shapes(max_variants)),
+        }
+    }
+}
+
+/// Certificates for everything the linter saw.
+#[derive(Debug, Clone, Default)]
+pub struct CostReport {
+    /// Per-entity certificates, library entities included.
+    pub entities: BTreeMap<String, CostCertificate>,
+    /// One top-level certificate per linted file (`None` on parse error).
+    pub tops: Vec<Option<CostCertificate>>,
+}
+
+// ----- internal cost vector ---------------------------------------------
+
+/// The running cost of a statement sequence, in the parameters of the
+/// enclosing entity. `combos` is the number of complete variant
+/// combinations below this point, `choices` the number of decision
+/// points one run passes through; the backtracker explores at most
+/// `1 + choices × combos` prefixes.
+#[derive(Debug, Clone)]
+struct CostVec {
+    fuel: Bound,
+    fuel_lo: f64,
+    steps: Bound,
+    shapes: Bound,
+    depth: Bound,
+    choices: Bound,
+    combos: Bound,
+}
+
+impl CostVec {
+    fn zero() -> CostVec {
+        CostVec {
+            fuel: Bound::constant(0.0),
+            fuel_lo: 0.0,
+            steps: Bound::constant(0.0),
+            shapes: Bound::constant(0.0),
+            depth: Bound::constant(0.0),
+            choices: Bound::constant(0.0),
+            combos: Bound::constant(1.0),
+        }
+    }
+
+    /// The base cost of one executed statement.
+    fn stmt() -> CostVec {
+        CostVec {
+            fuel: Bound::constant(costmodel::FUEL_PER_STMT as f64),
+            fuel_lo: costmodel::FUEL_PER_STMT as f64,
+            ..CostVec::zero()
+        }
+    }
+
+    /// Sequential composition.
+    fn seq(&self, o: &CostVec) -> CostVec {
+        CostVec {
+            fuel: self.fuel.add(&o.fuel),
+            fuel_lo: self.fuel_lo + o.fuel_lo,
+            steps: self.steps.add(&o.steps),
+            shapes: self.shapes.add(&o.shapes),
+            depth: self.depth.max(&o.depth),
+            choices: self.choices.add(&o.choices),
+            combos: self.combos.mul(&o.combos),
+        }
+    }
+
+    /// Join of alternative branches (`IF`): upper bounds max, the lower
+    /// bound takes the cheaper branch.
+    fn join(&self, o: &CostVec) -> CostVec {
+        CostVec {
+            fuel: self.fuel.max(&o.fuel),
+            fuel_lo: self.fuel_lo.min(o.fuel_lo),
+            steps: self.steps.max(&o.steps),
+            shapes: self.shapes.max(&o.shapes),
+            depth: self.depth.max(&o.depth),
+            choices: self.choices.max(&o.choices),
+            combos: self.combos.max(&o.combos),
+        }
+    }
+
+    /// Loop body repeated up to `trips` times (at least `trips_lo`).
+    fn repeat(&self, trips: &Bound, trips_lo: f64) -> CostVec {
+        CostVec {
+            fuel: self.fuel.mul(trips),
+            fuel_lo: self.fuel_lo * trips_lo,
+            steps: self.steps.mul(trips),
+            shapes: self.shapes.mul(trips),
+            depth: self.depth.clone(),
+            choices: self.choices.mul(trips),
+            combos: pow_bound(&self.combos, trips),
+        }
+    }
+}
+
+/// `combos ^ trips`, staying in the affine world: `1^t = 1`, constant
+/// bases with constant exponents fold (overflow widens), anything else
+/// is unbounded.
+fn pow_bound(combos: &Bound, trips: &Bound) -> Bound {
+    match combos.affine().and_then(Affine::as_constant) {
+        Some(c) if c <= 1.0 => Bound::constant(c.max(1.0)),
+        Some(c) => match trips.affine().and_then(Affine::as_constant) {
+            Some(t) => {
+                let v = c.powf(t.max(0.0));
+                if v.is_finite() && v <= 1e18 {
+                    Bound::constant(v)
+                } else {
+                    Bound::Unbounded
+                }
+            }
+            None => Bound::Unbounded,
+        },
+        None => Bound::Unbounded,
+    }
+}
+
+// ----- abstract environment ---------------------------------------------
+
+/// Abstract value of a variable: a numeric interval, or a non-numeric
+/// value (object, string, layer) the cost analysis never reads.
+#[derive(Debug, Clone)]
+enum AbsVal {
+    Num(Interval),
+    Other,
+}
+
+type Env = HashMap<String, AbsVal>;
+
+fn env_interval(env: &Env, name: &str) -> Interval {
+    match env.get(name) {
+        Some(AbsVal::Num(iv)) => iv.clone(),
+        _ => Interval::top(),
+    }
+}
+
+/// Interval abstraction of a numeric expression. Calls and non-numeric
+/// literals go to top — their *cost* is accounted separately.
+fn abs_expr(e: &Expr, env: &Env) -> Interval {
+    match e {
+        Expr::Number(n, _) => Interval::constant(*n),
+        Expr::Var(v, _) => env_interval(env, v),
+        Expr::Neg(inner, _) => abs_expr(inner, env).neg(),
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let a = abs_expr(lhs, env);
+            let b = abs_expr(rhs, env);
+            match op {
+                BinOp::Add => a.add(&b),
+                BinOp::Sub => a.sub(&b),
+                BinOp::Mul => a.mul(&b),
+                BinOp::Div => a.div(&b),
+                // Comparisons land in {0, 1}.
+                _ => Interval {
+                    lo: Some(Affine::constant(0.0)),
+                    hi: Some(Affine::constant(1.0)),
+                },
+            }
+        }
+        Expr::Str(..) | Expr::Layer(..) | Expr::Call(_) => Interval::top(),
+    }
+}
+
+/// Abstract value an assignment stores.
+fn abs_value(e: &Expr, env: &Env) -> AbsVal {
+    match e {
+        Expr::Str(..) | Expr::Layer(..) => AbsVal::Other,
+        Expr::Call(_) => AbsVal::Other,
+        Expr::Var(v, _) => env.get(v).cloned().unwrap_or(AbsVal::Num(Interval::top())),
+        _ => AbsVal::Num(abs_expr(e, env)),
+    }
+}
+
+/// Variable-wise join of two branch environments.
+fn join_envs(a: &Env, b: &Env) -> Env {
+    let mut out = Env::new();
+    for k in a.keys().chain(b.keys()) {
+        if out.contains_key(k) {
+            continue;
+        }
+        let v = match (a.get(k), b.get(k)) {
+            (Some(AbsVal::Num(x)), Some(AbsVal::Num(y))) => AbsVal::Num(x.join(y)),
+            (Some(AbsVal::Other), Some(AbsVal::Other)) => AbsVal::Other,
+            _ => AbsVal::Num(Interval::top()),
+        };
+        out.insert(k.clone(), v);
+    }
+    out
+}
+
+/// Every variable a statement list can assign (including loop
+/// counters) — havocked before a loop body is abstracted once.
+fn assigned_vars(stmts: &[Stmt], out: &mut HashSet<String>) {
+    crate::analysis::walk_stmts(stmts, &mut |s| match s {
+        Stmt::Assign { name, .. } => {
+            out.insert(name.clone());
+        }
+        Stmt::For { var, .. } => {
+            out.insert(var.clone());
+        }
+        _ => {}
+    });
+}
+
+// ----- recursion bookkeeping --------------------------------------------
+
+/// One call into the SCC currently under analysis.
+#[derive(Debug, Clone)]
+struct RecSite {
+    callee: String,
+    span: Span,
+    in_loop: bool,
+    /// `(param, step, guard)`: the call passes `param - step` back into
+    /// the *same* parameter, and an enclosing guard bounds `param`
+    /// below by `guard` — the self-recursion measure.
+    dec_self: Option<(String, f64, f64)>,
+    /// Like `dec_self` but the decreased value may land in any callee
+    /// parameter — the weaker mutual-recursion measure.
+    dec_any: Option<(String, f64, f64)>,
+}
+
+/// Per-scope analysis state.
+struct ScopeState {
+    rec_sites: Vec<RecSite>,
+    /// First place a bound was widened to unbounded, and why (W503).
+    widen: Option<(Span, String)>,
+    /// Diagnostics local to this scope (E502/W504 at loops).
+    diags: Vec<Diagnostic>,
+    /// A local E502 already fired — the scope-level one is redundant.
+    e502_local: bool,
+    layers: BTreeSet<String>,
+    layers_exact: bool,
+    assumes_array_cuts: bool,
+    /// Parameters never reassigned in the body — the only ones usable
+    /// as guards and recursion measures.
+    stable: HashSet<String>,
+    loop_depth: usize,
+}
+
+impl ScopeState {
+    fn new(stable: HashSet<String>) -> ScopeState {
+        ScopeState {
+            rec_sites: Vec::new(),
+            widen: None,
+            diags: Vec::new(),
+            e502_local: false,
+            layers: BTreeSet::new(),
+            layers_exact: true,
+            assumes_array_cuts: false,
+            stable,
+            loop_depth: 0,
+        }
+    }
+
+    fn note_widen(&mut self, span: Span, why: impl Into<String>) {
+        if self.widen.is_none() {
+            self.widen = Some((span, why.into()));
+        }
+    }
+}
+
+/// A finished entity cost, in the entity's own parameters.
+struct EntityCost {
+    vec: CostVec,
+    layers: BTreeSet<String>,
+    layers_exact: bool,
+    assumes_array_cuts: bool,
+    /// E501 fired for this entity — callers suppress their own W503.
+    condemned: bool,
+}
+
+// ----- guard facts -------------------------------------------------------
+
+/// A lower-bound fact a branch establishes: the guarded parameter and
+/// its bound.
+type GuardFact = (String, f64);
+
+/// Lower-bound facts an `IF` condition establishes, for the THEN branch
+/// and for the ELSE branch.
+fn guard_facts(cond: &Expr) -> (Vec<GuardFact>, Vec<GuardFact>) {
+    let mut then_f = Vec::new();
+    let mut else_f = Vec::new();
+    if let Expr::Binary { op, lhs, rhs, .. } = cond {
+        if let Expr::Var(m, _) = &**lhs {
+            if let Some(k) = fold(rhs) {
+                match op {
+                    BinOp::Gt | BinOp::Ge => then_f.push((m.clone(), k)),
+                    BinOp::Lt | BinOp::Le => else_f.push((m.clone(), k)),
+                    _ => {}
+                }
+            }
+        }
+        if let Expr::Var(m, _) = &**rhs {
+            if let Some(k) = fold(lhs) {
+                match op {
+                    // k < m / k <= m bound m below in THEN.
+                    BinOp::Lt | BinOp::Le => then_f.push((m.clone(), k)),
+                    BinOp::Gt | BinOp::Ge => else_f.push((m.clone(), k)),
+                    _ => {}
+                }
+            }
+        }
+    }
+    (then_f, else_f)
+}
+
+/// Matches `m - c` (constant `c > 0`, `m` a stable parameter).
+fn decrement_of(e: &Expr, stable: &HashSet<String>) -> Option<(String, f64)> {
+    if let Expr::Binary {
+        op: BinOp::Sub,
+        lhs,
+        rhs,
+        ..
+    } = e
+    {
+        if let Expr::Var(m, _) = &**lhs {
+            if stable.contains(m) {
+                if let Some(c) = fold(rhs) {
+                    if c > 0.0 {
+                        return Some((m.clone(), c));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+// ----- the analyzer ------------------------------------------------------
+
+struct Analyzer<'a> {
+    a: &'a Analysis<'a>,
+    opts: &'a CertifyOptions,
+    entities: HashMap<String, (&'a Entity, Option<usize>)>,
+    costs: HashMap<String, EntityCost>,
+    /// Members of the SCC currently being analyzed.
+    scc: HashSet<String>,
+}
+
+/// Runs the pass over the whole linted set. Diagnostics for entities
+/// defined in file `i` land in `per_file[i]`; preloaded library
+/// entities are certified but never diagnosed (they have no file).
+pub(crate) fn run(
+    library: &[Entity],
+    programs: &[Option<Program>],
+    a: &Analysis<'_>,
+    opts: &CertifyOptions,
+    per_file: &mut [Vec<Diagnostic>],
+) -> CostReport {
+    let mut entities: HashMap<String, (&Entity, Option<usize>)> = HashMap::new();
+    for e in library {
+        entities.insert(e.name.clone(), (e, None));
+    }
+    for (i, prog) in programs.iter().enumerate() {
+        let Some(prog) = prog else { continue };
+        for e in &prog.entities {
+            entities.insert(e.name.clone(), (e, Some(i)));
+        }
+    }
+
+    let components = sccs(&entities);
+    let mut an = Analyzer {
+        a,
+        opts,
+        entities,
+        costs: HashMap::new(),
+        scc: HashSet::new(),
+    };
+    for comp in &components {
+        an.analyze_scc(comp, per_file);
+    }
+
+    let mut tops = Vec::with_capacity(programs.len());
+    for (i, prog) in programs.iter().enumerate() {
+        tops.push(prog.as_ref().map(|p| an.analyze_top(&p.top, i, per_file)));
+    }
+
+    let entities_out = an
+        .costs
+        .iter()
+        .map(|(name, c)| {
+            let params = an.entities[name]
+                .0
+                .params
+                .iter()
+                .map(|p| p.name.clone())
+                .collect();
+            (name.clone(), to_cert(c, params))
+        })
+        .collect();
+    CostReport {
+        entities: entities_out,
+        tops,
+    }
+}
+
+fn to_cert(c: &EntityCost, params: Vec<String>) -> CostCertificate {
+    // runs ≤ 1 + choices × combos (tree nodes of the backtracking search).
+    let variant_runs = Bound::constant(1.0).add(&c.vec.choices.mul(&c.vec.combos));
+    CostCertificate {
+        fuel: c.vec.fuel.clone(),
+        fuel_lo: c.vec.fuel_lo,
+        compact_steps: c.vec.steps.clone(),
+        shapes: c.vec.shapes.clone(),
+        recursion: c.vec.depth.clone(),
+        variant_runs,
+        layers: c.layers.clone(),
+        layers_exact: c.layers_exact,
+        assumes_array_cuts: c.assumes_array_cuts,
+        params,
+    }
+}
+
+impl<'a> Analyzer<'a> {
+    fn analyze_scc(&mut self, comp: &[String], per_file: &mut [Vec<Diagnostic>]) {
+        self.scc = comp.iter().cloned().collect();
+        let self_loop = comp.len() == 1 && calls_of(self.entities[&comp[0]].0).contains(&comp[0]);
+        if comp.len() == 1 && !self_loop {
+            self.analyze_plain(&comp[0], per_file);
+        } else if comp.len() == 1 {
+            self.analyze_self_recursive(&comp[0], per_file);
+        } else {
+            self.analyze_mutual(comp, per_file);
+        }
+        self.scc.clear();
+    }
+
+    /// Runs the body abstraction for one entity.
+    fn analyze_entity(&mut self, name: &str) -> (CostVec, ScopeState) {
+        let ent = self.entities[name].0;
+        let mut assigned = HashSet::new();
+        assigned_vars(&ent.body, &mut assigned);
+        let stable = ent
+            .params
+            .iter()
+            .map(|p| p.name.clone())
+            .filter(|p| !assigned.contains(p))
+            .collect();
+        let mut st = ScopeState::new(stable);
+        let mut env: Env = ent
+            .params
+            .iter()
+            .map(|p| (p.name.clone(), AbsVal::Num(Interval::param(&p.name))))
+            .collect();
+        let vec = self.block(&ent.body, &mut env, &[], &mut st);
+        (vec, st)
+    }
+
+    fn analyze_plain(&mut self, name: &str, per_file: &mut [Vec<Diagnostic>]) {
+        let (vec, st) = self.analyze_entity(name);
+        self.finish(name, vec, st, false, per_file);
+    }
+
+    fn analyze_self_recursive(&mut self, name: &str, per_file: &mut [Vec<Diagnostic>]) {
+        let ent_span = self.entities[name].0.span;
+        let (body, mut st) = self.analyze_entity(name);
+        let sites = std::mem::take(&mut st.rec_sites);
+        let mut condemned = false;
+
+        let vec = if let Some(bad) = sites.iter().find(|s| s.dec_self.is_none()) {
+            condemned = true;
+            st.diags.push(
+                Diagnostic::new(
+                    Code::UnboundedRecursion,
+                    bad.span,
+                    format!(
+                        "`{name}` calls itself without a decreasing measure; \
+                         recursion is statically unbounded"
+                    ),
+                )
+                .with_help(
+                    "guard the call with `IF p > k` and pass `p - c` (constant c > 0) \
+                     for the same parameter p",
+                ),
+            );
+            widen_all(&body)
+        } else if sites.is_empty() {
+            body
+        } else {
+            let (m0, _, _) = sites[0].dec_self.clone().expect("checked above");
+            if sites
+                .iter()
+                .any(|s| s.dec_self.as_ref().map(|(m, _, _)| m) != Some(&m0))
+            {
+                condemned = true;
+                st.diags.push(
+                    Diagnostic::new(
+                        Code::UnboundedRecursion,
+                        ent_span,
+                        format!(
+                            "recursive calls of `{name}` do not agree on one \
+                             decreasing parameter; no common measure exists"
+                        ),
+                    )
+                    .with_help("decrease the same parameter at every recursive call"),
+                );
+                widen_all(&body)
+            } else {
+                let c_min = sites
+                    .iter()
+                    .filter_map(|s| s.dec_self.as_ref().map(|(_, c, _)| *c))
+                    .fold(f64::INFINITY, f64::min);
+                let k_min = sites
+                    .iter()
+                    .filter_map(|s| s.dec_self.as_ref().map(|(_, _, k)| *k))
+                    .fold(f64::INFINITY, f64::min);
+                // Depth: the measure starts at m, stops at k, shrinks by
+                // ≥ c per level — (m - k)/c + 2 with rounding headroom,
+                // at least one activation.
+                let depth = Affine::param(&m0)
+                    .scale(1.0 / c_min)
+                    .add(&Affine::constant(2.0 - k_min / c_min))
+                    .cw_max(&Affine::constant(1.0));
+                let levels = Bound::Finite(depth);
+                let single = sites.len() == 1 && !sites[0].in_loop;
+                if !single {
+                    st.note_widen(
+                        ent_span,
+                        format!(
+                            "`{name}` is tree-recursive (several recursive call sites); \
+                             it terminates but has no affine cost bound"
+                        ),
+                    );
+                }
+                let growth = if single {
+                    levels.clone()
+                } else {
+                    Bound::Unbounded
+                };
+                CostVec {
+                    fuel: body.fuel.mul(&growth),
+                    fuel_lo: body.fuel_lo,
+                    steps: body.steps.mul(&growth),
+                    shapes: body.shapes.mul(&growth),
+                    depth: levels.add(&body.depth),
+                    choices: body.choices.mul(&growth),
+                    combos: pow_bound(&body.combos, &growth),
+                }
+            }
+        };
+        self.finish(name, vec, st, condemned, per_file);
+    }
+
+    fn analyze_mutual(&mut self, comp: &[String], per_file: &mut [Vec<Diagnostic>]) {
+        let mut analyzed: Vec<(String, CostVec, ScopeState)> = Vec::new();
+        let mut scc_ok = true;
+        for name in comp {
+            let (vec, st) = self.analyze_entity(name);
+            if st.rec_sites.iter().any(|s| s.dec_any.is_none()) {
+                scc_ok = false;
+            }
+            analyzed.push((name.clone(), vec, st));
+        }
+        // Layers flow around the cycle: union every member's set.
+        let mut cycle_layers = BTreeSet::new();
+        let mut cycle_exact = true;
+        let mut cycle_array = false;
+        for (_, _, st) in &analyzed {
+            cycle_layers.extend(st.layers.iter().cloned());
+            cycle_exact &= st.layers_exact;
+            cycle_array |= st.assumes_array_cuts;
+        }
+        for (name, body, mut st) in analyzed {
+            st.layers = cycle_layers.clone();
+            st.layers_exact = cycle_exact;
+            st.assumes_array_cuts = cycle_array;
+            let sites = std::mem::take(&mut st.rec_sites);
+            let condemned = !scc_ok;
+            if condemned {
+                if let Some(bad) = sites.iter().find(|s| s.dec_any.is_none()) {
+                    st.diags.push(
+                        Diagnostic::new(
+                            Code::UnboundedRecursion,
+                            bad.span,
+                            format!(
+                                "`{name}` and `{}` recurse mutually without a \
+                                 decreasing measure; recursion is statically unbounded",
+                                bad.callee
+                            ),
+                        )
+                        .with_help(
+                            "guard each cycle call with `IF p > k` and pass a \
+                             strictly smaller value",
+                        ),
+                    );
+                } else {
+                    let other = comp
+                        .iter()
+                        .find(|n| *n != &name)
+                        .cloned()
+                        .unwrap_or_default();
+                    st.diags.push(Diagnostic::new(
+                        Code::UnboundedRecursion,
+                        self.entities[&name].0.span,
+                        format!(
+                            "`{name}` participates in a recursion cycle with `{other}` \
+                             that has no decreasing measure"
+                        ),
+                    ));
+                }
+            } else {
+                st.note_widen(
+                    self.entities[&name].0.span,
+                    format!(
+                        "`{name}` is mutually recursive; the cycle terminates but \
+                         has no affine cost bound"
+                    ),
+                );
+            }
+            let vec = widen_all(&body);
+            self.finish(&name, vec, st, condemned, per_file);
+        }
+    }
+
+    /// Emits scope diagnostics and stores the finished cost.
+    fn finish(
+        &mut self,
+        name: &str,
+        vec: CostVec,
+        st: ScopeState,
+        condemned: bool,
+        per_file: &mut [Vec<Diagnostic>],
+    ) {
+        let (ent, file) = self.entities[name];
+        let mut diags = st.diags;
+        if !condemned {
+            if let Some(f) = self.opts.fuel {
+                if !st.e502_local && vec.fuel_lo > f as f64 {
+                    diags.push(certain_exhaustion(ent.span, name, vec.fuel_lo, f));
+                }
+            }
+            if !vec.fuel.is_finite() {
+                let (span, why) = st.widen.clone().unwrap_or_else(|| {
+                    (
+                        ent.span,
+                        format!("`{name}` has no derivable static cost bound"),
+                    )
+                });
+                diags.push(no_static_bound(span, why));
+            }
+        }
+        if let Some(i) = file {
+            per_file[i].extend(diags);
+        }
+        self.costs.insert(
+            name.to_string(),
+            EntityCost {
+                vec,
+                layers: st.layers,
+                layers_exact: st.layers_exact,
+                assumes_array_cuts: st.assumes_array_cuts,
+                condemned,
+            },
+        );
+    }
+
+    fn analyze_top(
+        &mut self,
+        top: &[Stmt],
+        file: usize,
+        per_file: &mut [Vec<Diagnostic>],
+    ) -> CostCertificate {
+        let mut st = ScopeState::new(HashSet::new());
+        let mut env = Env::new();
+        let vec = self.block(top, &mut env, &[], &mut st);
+        let mut diags = std::mem::take(&mut st.diags);
+        if let Some(f) = self.opts.fuel {
+            if !st.e502_local && vec.fuel_lo > f as f64 {
+                diags.push(certain_exhaustion(
+                    Span::NONE,
+                    "the top level",
+                    vec.fuel_lo,
+                    f,
+                ));
+            }
+        }
+        if !vec.fuel.is_finite() {
+            if let Some((span, why)) = st.widen.clone() {
+                diags.push(no_static_bound(span, why));
+            }
+        }
+        per_file[file].extend(diags);
+        let cost = EntityCost {
+            vec,
+            layers: st.layers,
+            layers_exact: st.layers_exact,
+            assumes_array_cuts: st.assumes_array_cuts,
+            condemned: false,
+        };
+        to_cert(&cost, Vec::new())
+    }
+
+    // ----- statement abstraction ----------------------------------------
+
+    fn block(
+        &mut self,
+        stmts: &[Stmt],
+        env: &mut Env,
+        guards: &[(String, f64)],
+        st: &mut ScopeState,
+    ) -> CostVec {
+        let mut total = CostVec::zero();
+        for s in stmts {
+            let c = self.stmt(s, env, guards, st);
+            total = total.seq(&c);
+        }
+        total
+    }
+
+    fn stmt(
+        &mut self,
+        s: &Stmt,
+        env: &mut Env,
+        guards: &[(String, f64)],
+        st: &mut ScopeState,
+    ) -> CostVec {
+        match s {
+            Stmt::Assign { name, value, .. } => {
+                let calls = self.calls_cost(&[value], env, guards, st);
+                let v = abs_value(value, env);
+                env.insert(name.clone(), v);
+                CostVec::stmt().seq(&calls)
+            }
+            Stmt::Call(c) => {
+                let mut cost = CostVec::stmt();
+                let arg_exprs: Vec<&Expr> = c
+                    .positional
+                    .iter()
+                    .chain(c.keyword.iter().map(|(_, _, e)| e))
+                    .collect();
+                for e in arg_exprs {
+                    cost = cost.seq(&self.calls_cost(&[e], env, guards, st));
+                }
+                cost.seq(&self.call_cost(c, env, guards, st))
+            }
+            Stmt::Compact { ignore, .. } => {
+                for e in ignore {
+                    match e {
+                        Expr::Str(name, _) => {
+                            st.layers.insert(name.clone());
+                        }
+                        Expr::Layer(_, name, _) => {
+                            st.layers.insert(name.clone());
+                        }
+                        _ => st.layers_exact = false,
+                    }
+                }
+                let mut c = CostVec::stmt();
+                c.steps = Bound::constant(costmodel::COMPACT_STEPS_PER_STMT as f64);
+                c
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+                span,
+            } => self.for_stmt(var, from, to, body, *span, env, guards, st),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                let cond_calls = self.calls_cost(&[cond], env, guards, st);
+                let (then_f, else_f) = guard_facts(cond);
+                let keep = |facts: Vec<(String, f64)>| -> Vec<(String, f64)> {
+                    let mut g = guards.to_vec();
+                    g.extend(facts.into_iter().filter(|(m, _)| st.stable.contains(m)));
+                    g
+                };
+                let tg = keep(then_f);
+                let eg = keep(else_f);
+                let mut tenv = env.clone();
+                let mut eenv = env.clone();
+                let tc = self.block(then_body, &mut tenv, &tg, st);
+                let ec = self.block(else_body, &mut eenv, &eg, st);
+                *env = join_envs(&tenv, &eenv);
+                CostVec::stmt().seq(&cond_calls).seq(&tc.join(&ec))
+            }
+            Stmt::Variant { arms, .. } => {
+                if arms.is_empty() {
+                    return CostVec::stmt();
+                }
+                let mut joined: Option<CostVec> = None;
+                let mut combos_sum = Bound::constant(0.0);
+                let mut envs: Vec<Env> = Vec::new();
+                for arm in arms {
+                    let mut aenv = env.clone();
+                    let ac = self.block(arm, &mut aenv, guards, st);
+                    combos_sum = combos_sum.add(&ac.combos);
+                    envs.push(aenv);
+                    joined = Some(match joined {
+                        Some(j) => j.join(&ac),
+                        None => ac,
+                    });
+                }
+                if let Some(first) = envs.first() {
+                    let merged = envs[1..]
+                        .iter()
+                        .fold(first.clone(), |acc, e| join_envs(&acc, e));
+                    *env = merged;
+                }
+                let mut j = joined.unwrap_or_else(CostVec::zero);
+                // One run executes one arm; the decision point itself
+                // multiplies explored combinations by the arm count.
+                j.choices = j.choices.add(&Bound::constant(1.0));
+                j.combos = combos_sum;
+                CostVec::stmt().seq(&j)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn for_stmt(
+        &mut self,
+        var: &str,
+        from: &Expr,
+        to: &Expr,
+        body: &[Stmt],
+        span: Span,
+        env: &mut Env,
+        guards: &[(String, f64)],
+        st: &mut ScopeState,
+    ) -> CostVec {
+        let bound_calls = self.calls_cost(&[from, to], env, guards, st);
+        let from_iv = abs_expr(from, env);
+        let to_iv = abs_expr(to, env);
+
+        // trips ≤ round(to) − round(from) + 1 ≤ to_hi − from_lo + slack.
+        let trips_hi = match (&to_iv.hi, &from_iv.lo) {
+            (Some(hi), Some(lo)) => Bound::Finite(
+                hi.sub(lo)
+                    .add(&Affine::constant(costmodel::FOR_TRIP_SLACK))
+                    .max_zero(),
+            ),
+            _ => Bound::Unbounded,
+        };
+        if !trips_hi.is_finite() {
+            st.note_widen(span, "loop bound is not statically bounded".to_string());
+        }
+        let trips_lo = match (from_iv.as_constant(), to_iv.as_constant()) {
+            (Some(a), Some(b)) => (b.round() - a.round() + 1.0).max(0.0),
+            _ => 0.0,
+        };
+
+        // Havoc everything the body can assign, pin the counter to its
+        // hull, then abstract the body once (single-pass widening).
+        let mut assigned = HashSet::new();
+        assigned_vars(body, &mut assigned);
+        for v in &assigned {
+            env.insert(v.clone(), AbsVal::Num(Interval::top()));
+        }
+        env.insert(
+            var.to_string(),
+            AbsVal::Num(Interval {
+                lo: from_iv.lo.clone(),
+                hi: to_iv.hi.clone(),
+            }),
+        );
+        st.loop_depth += 1;
+        let body_cost = self.block(body, env, guards, st);
+        st.loop_depth -= 1;
+        for v in assigned {
+            env.insert(v, AbsVal::Num(Interval::top()));
+        }
+
+        let repeated = body_cost.repeat(&trips_hi, trips_lo);
+        if body_cost.fuel.is_finite() && trips_hi.is_finite() && !repeated.fuel.is_finite() {
+            st.note_widen(
+                span,
+                "loop bound and body cost both depend on parameters; \
+                 the total is not affine"
+                    .to_string(),
+            );
+        }
+
+        // E502: this loop alone certainly exceeds the configured fuel.
+        if let Some(f) = self.opts.fuel {
+            let loop_lo = trips_lo * body_cost.fuel_lo;
+            if loop_lo > f as f64 {
+                st.e502_local = true;
+                st.diags.push(
+                    Diagnostic::new(
+                        Code::CertainExhaustion,
+                        span,
+                        format!(
+                            "this loop alone consumes at least {} fuel; the \
+                             configured limit of {f} is certain to be exhausted",
+                            loop_lo as u64
+                        ),
+                    )
+                    .with_help("shrink the loop range or raise the fuel budget"),
+                );
+            } else if let Bound::Finite(t) = &trips_hi {
+                // W504: at the maximum declared parameter range the trip
+                // bound exceeds the fuel.
+                if !t.is_constant() {
+                    let box_: BTreeMap<String, (f64, f64)> = t
+                        .terms
+                        .keys()
+                        .map(|p| (p.clone(), (0.0, self.opts.param_hi)))
+                        .collect();
+                    if let Some(v) = t.eval_max(&box_) {
+                        if v > f as f64 {
+                            st.diags.push(
+                                Diagnostic::new(
+                                    Code::LoopExceedsFuel,
+                                    span,
+                                    format!(
+                                        "loop may run up to {} times for parameters up \
+                                         to {}; the configured fuel is {f}",
+                                        v.ceil() as u64,
+                                        self.opts.param_hi as u64
+                                    ),
+                                )
+                                .with_help("bound the parameter, or raise the fuel budget"),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        CostVec::stmt().seq(&bound_calls).seq(&repeated)
+    }
+
+    /// Cost of every call found inside the given expressions (nested
+    /// arguments included).
+    fn calls_cost(
+        &mut self,
+        exprs: &[&Expr],
+        env: &Env,
+        guards: &[(String, f64)],
+        st: &mut ScopeState,
+    ) -> CostVec {
+        let mut calls: Vec<&Call> = Vec::new();
+        for e in exprs {
+            walk_expr(e, &mut |ex| {
+                if let Expr::Call(c) = ex {
+                    calls.push(c);
+                }
+            });
+        }
+        let mut total = CostVec::zero();
+        for c in calls {
+            total = total.seq(&self.call_cost(c, env, guards, st));
+        }
+        total
+    }
+
+    /// Cost contribution of one call's *callee* (arguments are handled
+    /// by the caller).
+    fn call_cost(
+        &mut self,
+        c: &Call,
+        env: &Env,
+        guards: &[(String, f64)],
+        st: &mut ScopeState,
+    ) -> CostVec {
+        // Layer arguments: literals are collected, anything else makes
+        // the layer set inexact.
+        for (expect, arg) in expectations(c, &self.a.sigs) {
+            if expect == crate::analysis::Expect::Layer {
+                match arg {
+                    Expr::Str(name, _) => {
+                        st.layers.insert(name.clone());
+                    }
+                    Expr::Layer(_, name, _) => {
+                        st.layers.insert(name.clone());
+                    }
+                    _ => st.layers_exact = false,
+                }
+            }
+        }
+
+        if let Some(shape) = costmodel::builtin_shapes(&c.name) {
+            let mut cost = CostVec::zero();
+            cost.shapes = match shape {
+                ShapeCost::Const(n) => Bound::constant(n as f64),
+                ShapeCost::ArrayGrid => {
+                    st.assumes_array_cuts = true;
+                    Bound::constant(self.opts.max_array_cuts as f64)
+                }
+            };
+            return cost;
+        }
+
+        if self.scc.contains(&c.name) {
+            self.record_rec_site(c, guards, st);
+            return CostVec::zero();
+        }
+
+        let Some(callee) = self.costs.get(&c.name) else {
+            // Unknown callee: the run fails before it can cost anything
+            // (pass 1 reports E001).
+            return CostVec::zero();
+        };
+        let callee_vec = callee.vec.clone();
+        let callee_layers = callee.layers.clone();
+        let callee_exact = callee.layers_exact;
+        let callee_array = callee.assumes_array_cuts;
+        let callee_condemned = callee.condemned;
+
+        st.layers.extend(callee_layers);
+        st.layers_exact &= callee_exact;
+        st.assumes_array_cuts |= callee_array;
+
+        // Interval-valued arguments, keyed by callee parameter name.
+        let params: Vec<String> = self.entities[&c.name]
+            .0
+            .params
+            .iter()
+            .map(|p| p.name.clone())
+            .collect();
+        let mut args: BTreeMap<String, Interval> = BTreeMap::new();
+        for (i, e) in c.positional.iter().enumerate() {
+            if let Some(p) = params.get(i) {
+                args.insert(p.clone(), abs_expr(e, env));
+            }
+        }
+        for (k, _, e) in &c.keyword {
+            args.insert(k.clone(), abs_expr(e, env));
+        }
+
+        let mut sub = |b: &Bound| -> Bound {
+            match b.affine().map(|a| subst_all(a, &args)) {
+                Some(Some(a)) => Bound::Finite(a),
+                Some(None) => {
+                    if !callee_condemned {
+                        st.note_widen(
+                            c.span,
+                            format!(
+                                "an argument of `{}` is not provably a bounded \
+                                 non-negative value; its certificate cannot be \
+                                 instantiated here",
+                                c.name
+                            ),
+                        );
+                    }
+                    Bound::Unbounded
+                }
+                None => {
+                    if !callee_condemned {
+                        st.note_widen(
+                            c.span,
+                            format!("callee `{}` has no static cost bound", c.name),
+                        );
+                    }
+                    Bound::Unbounded
+                }
+            }
+        };
+        CostVec {
+            fuel: sub(&callee_vec.fuel),
+            fuel_lo: callee_vec.fuel_lo,
+            steps: sub(&callee_vec.steps),
+            shapes: sub(&callee_vec.shapes),
+            depth: Bound::constant(1.0).add(&sub(&callee_vec.depth)),
+            choices: sub(&callee_vec.choices),
+            combos: sub(&callee_vec.combos),
+        }
+    }
+
+    /// Records a call into the current SCC, with its measure check.
+    fn record_rec_site(&mut self, c: &Call, guards: &[(String, f64)], st: &mut ScopeState) {
+        let callee_params: Vec<String> = self.entities[&c.name]
+            .0
+            .params
+            .iter()
+            .map(|p| p.name.clone())
+            .collect();
+        let mut dec_self = None;
+        let mut dec_any = None;
+        let mut consider = |target: Option<&str>, e: &Expr, guards: &[(String, f64)]| {
+            if let Some((m, step)) = decrement_of(e, &st.stable) {
+                let k = guards
+                    .iter()
+                    .filter(|(g, _)| *g == m)
+                    .map(|(_, k)| *k)
+                    .fold(f64::INFINITY, f64::min);
+                if k.is_finite() {
+                    if dec_any.is_none() {
+                        dec_any = Some((m.clone(), step, k));
+                    }
+                    if target == Some(m.as_str()) && dec_self.is_none() {
+                        dec_self = Some((m, step, k));
+                    }
+                }
+            }
+        };
+        for (i, e) in c.positional.iter().enumerate() {
+            consider(callee_params.get(i).map(String::as_str), e, guards);
+        }
+        for (k, _, e) in &c.keyword {
+            consider(Some(k.as_str()), e, guards);
+        }
+        st.rec_sites.push(RecSite {
+            callee: c.name.clone(),
+            span: c.span,
+            in_loop: st.loop_depth > 0,
+            dec_self,
+            dec_any,
+        });
+    }
+}
+
+/// Widens every upper bound to unbounded (zero stays zero through the
+/// `0 × unbounded = 0` product; a combo count of 1 stays 1).
+fn widen_all(v: &CostVec) -> CostVec {
+    CostVec {
+        fuel: v.fuel.mul(&Bound::Unbounded),
+        fuel_lo: v.fuel_lo,
+        steps: v.steps.mul(&Bound::Unbounded),
+        shapes: v.shapes.mul(&Bound::Unbounded),
+        depth: Bound::Unbounded,
+        choices: v.choices.mul(&Bound::Unbounded),
+        combos: pow_bound(&v.combos, &Bound::Unbounded),
+    }
+}
+
+fn certain_exhaustion(span: Span, what: &str, lo: f64, fuel: u64) -> Diagnostic {
+    Diagnostic::new(
+        Code::CertainExhaustion,
+        span,
+        format!(
+            "every run of {what} consumes at least {} fuel; the configured \
+             limit of {fuel} is certain to be exhausted",
+            lo as u64
+        ),
+    )
+    .with_help("shrink the program or raise the fuel budget")
+}
+
+fn no_static_bound(span: Span, why: String) -> Diagnostic {
+    Diagnostic::new(Code::NoStaticBound, span, why)
+        .with_help("only the dynamic budget bounds this program at run time")
+}
+
+/// Substitutes every parameter of `a` simultaneously with the maximizing
+/// endpoint of its argument interval, producing an affine in the
+/// *caller's* parameters. Fails when an argument is missing, unbounded
+/// on the needed side, or not provably non-negative.
+fn subst_all(a: &Affine, args: &BTreeMap<String, Interval>) -> Option<Affine> {
+    let mut out = Affine::constant(a.k);
+    for (p, c) in &a.terms {
+        if *c == 0.0 {
+            continue;
+        }
+        let iv = args.get(p)?;
+        let lo = iv.lo.as_ref()?;
+        // The soundness contract: the substituted value must live in the
+        // non-negative orthant, provable when the lower endpoint has no
+        // negative constant or coefficient.
+        if lo.k < 0.0 || lo.terms.values().any(|c| *c < 0.0) {
+            return None;
+        }
+        let end = if *c > 0.0 { iv.hi.as_ref()? } else { lo };
+        out = out.add(&end.scale(*c));
+    }
+    Some(out)
+}
+
+/// The names every call in an entity body can target.
+fn calls_of(e: &Entity) -> HashSet<String> {
+    let mut out = HashSet::new();
+    crate::analysis::walk_calls(&e.body, &mut |c| {
+        out.insert(c.name.clone());
+    });
+    out
+}
+
+/// Tarjan's strongly connected components over the entity call graph,
+/// emitted callees-first (reverse topological order of the condensation).
+fn sccs(entities: &HashMap<String, (&Entity, Option<usize>)>) -> Vec<Vec<String>> {
+    let mut names: Vec<&String> = entities.keys().collect();
+    names.sort(); // deterministic traversal order
+    let index_of: HashMap<&str, usize> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let adj: Vec<Vec<usize>> = names
+        .iter()
+        .map(|n| {
+            let mut edges: Vec<usize> = calls_of(entities[n.as_str()].0)
+                .iter()
+                .filter_map(|callee| index_of.get(callee.as_str()).copied())
+                .collect();
+            edges.sort_unstable();
+            edges
+        })
+        .collect();
+
+    struct Tarjan<'g> {
+        adj: &'g [Vec<usize>],
+        index: Vec<Option<usize>>,
+        low: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        next: usize,
+        out: Vec<Vec<usize>>,
+    }
+    impl Tarjan<'_> {
+        fn visit(&mut self, v: usize) {
+            self.index[v] = Some(self.next);
+            self.low[v] = self.next;
+            self.next += 1;
+            self.stack.push(v);
+            self.on_stack[v] = true;
+            for &w in &self.adj[v] {
+                if self.index[w].is_none() {
+                    self.visit(w);
+                    self.low[v] = self.low[v].min(self.low[w]);
+                } else if self.on_stack[w] {
+                    self.low[v] = self.low[v].min(self.index[w].expect("visited"));
+                }
+            }
+            if Some(self.low[v]) == self.index[v] {
+                let mut comp = Vec::new();
+                while let Some(w) = self.stack.pop() {
+                    self.on_stack[w] = false;
+                    comp.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                self.out.push(comp);
+            }
+        }
+    }
+    let n = names.len();
+    let mut t = Tarjan {
+        adj: &adj,
+        index: vec![None; n],
+        low: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next: 0,
+        out: Vec::new(),
+    };
+    for v in 0..n {
+        if t.index[v].is_none() {
+            t.visit(v);
+        }
+    }
+    t.out
+        .into_iter()
+        .map(|comp| comp.into_iter().map(|i| names[i].clone()).collect())
+        .collect()
+}

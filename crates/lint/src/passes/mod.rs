@@ -4,6 +4,7 @@
 //! there is no AST to analyze.
 
 pub(crate) mod consts;
+pub(crate) mod cost;
 pub(crate) mod deadcode;
 pub(crate) mod kinds;
 pub(crate) mod layers;

@@ -1,6 +1,9 @@
-//! Terminal renderer: rustc-style snippets with carets under the span.
+//! Terminal renderer: rustc-style snippets with carets under the span,
+//! plus text and JSON emitters for cost certificates.
 
 use crate::diag::Diagnostic;
+use crate::domain::Bound;
+use crate::passes::cost::{CostCertificate, CostReport};
 
 /// Renders one diagnostic against its source text.
 ///
@@ -59,6 +62,151 @@ pub fn render_all(file: &str, src: &str, diags: &[Diagnostic]) -> String {
     out
 }
 
+// ----- cost certificates ------------------------------------------------
+
+/// One certificate as an indented text block (without a heading line).
+fn push_certificate(out: &mut String, c: &CostCertificate, max_variants: usize) {
+    let bound = |b: &Bound| format!("<= {b}");
+    out.push_str(&format!("  fuel per run   {}\n", bound(&c.fuel)));
+    out.push_str(&format!("  compact steps  {}\n", bound(&c.compact_steps)));
+    out.push_str(&format!("  shapes         {}\n", bound(&c.shapes)));
+    out.push_str(&format!("  recursion      {}\n", bound(&c.recursion)));
+    out.push_str(&format!(
+        "  variant runs   {} (interpreter cap {max_variants})\n",
+        bound(&c.variant_runs)
+    ));
+    match c.total_fuel(max_variants).closed() {
+        Some(v) => out.push_str(&format!("  total fuel     <= {}\n", v.ceil() as u64)),
+        None => {
+            // Parameter-dependent or unbounded: restate symbolically.
+            let t = c.total_fuel(max_variants);
+            out.push_str(&format!("  total fuel     {}\n", bound(&t)));
+        }
+    }
+    let layers: Vec<&str> = c.layers.iter().map(String::as_str).collect();
+    out.push_str(&format!(
+        "  layers         {{{}}}{}\n",
+        layers.join(", "),
+        if c.layers_exact { "" } else { " (incomplete)" }
+    ));
+    if c.assumes_array_cuts {
+        out.push_str("  note           shape bound assumes the ARRAY cut ceiling\n");
+    }
+}
+
+/// Renders a [`CostReport`] as plain text: one block per entity, then
+/// one per linted file's top level. `names` are the file names of the
+/// linted set, parallel to `report.tops`.
+pub fn render_certificates(names: &[&str], report: &CostReport, max_variants: usize) -> String {
+    let mut out = String::new();
+    for (name, c) in &report.entities {
+        out.push_str(&format!("ENT {name}({})\n", c.params.join(", ")));
+        push_certificate(&mut out, c, max_variants);
+    }
+    for (name, top) in names.iter().zip(&report.tops) {
+        match top {
+            Some(c) => {
+                out.push_str(&format!("{name} (top level)\n"));
+                push_certificate(&mut out, c, max_variants);
+            }
+            None => out.push_str(&format!(
+                "{name} (top level): no certificate (parse error)\n"
+            )),
+        }
+    }
+    out
+}
+
+/// Escapes a string for a JSON literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A bound as a JSON value: a number when constant, the affine rendered
+/// as a string when symbolic, `null` when unbounded.
+fn json_bound(b: &Bound) -> String {
+    match b.affine() {
+        Some(a) => match a.as_constant() {
+            Some(v) if v.fract() == 0.0 && v.abs() < 1e15 => format!("{}", v as i64),
+            Some(v) => format!("{v}"),
+            None => json_str(&a.to_string()),
+        },
+        None => "null".to_string(),
+    }
+}
+
+fn json_certificate(c: &CostCertificate, max_variants: usize) -> String {
+    let params: Vec<String> = c.params.iter().map(|p| json_str(p)).collect();
+    let layers: Vec<String> = c.layers.iter().map(|l| json_str(l)).collect();
+    let total = |b: Bound| match b.closed() {
+        Some(v) => format!("{}", v.ceil() as u64),
+        None => json_bound(&b),
+    };
+    format!(
+        concat!(
+            "{{\"params\":[{}],\"fuel\":{},\"compact_steps\":{},\"shapes\":{},",
+            "\"recursion\":{},\"variant_runs\":{},\"total_fuel\":{},",
+            "\"total_compact_steps\":{},\"total_shapes\":{},",
+            "\"layers\":[{}],\"layers_exact\":{},\"assumes_array_cuts\":{}}}"
+        ),
+        params.join(","),
+        json_bound(&c.fuel),
+        json_bound(&c.compact_steps),
+        json_bound(&c.shapes),
+        json_bound(&c.recursion),
+        json_bound(&c.variant_runs),
+        total(c.total_fuel(max_variants)),
+        total(c.total_compact_steps(max_variants)),
+        total(c.total_shapes(max_variants)),
+        layers.join(","),
+        c.layers_exact,
+        c.assumes_array_cuts,
+    )
+}
+
+/// Renders a [`CostReport`] as a single JSON document (hand-rolled; the
+/// workspace carries no serialization dependency). Constant bounds are
+/// numbers, symbolic bounds strings like `"2*N + 5"`, unbounded `null`.
+pub fn certificates_json(names: &[&str], report: &CostReport, max_variants: usize) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"max_variants\":{max_variants},\"entities\":{{"));
+    let ents: Vec<String> = report
+        .entities
+        .iter()
+        .map(|(name, c)| format!("{}:{}", json_str(name), json_certificate(c, max_variants)))
+        .collect();
+    out.push_str(&ents.join(","));
+    out.push_str("},\"tops\":[");
+    let tops: Vec<String> = names
+        .iter()
+        .zip(&report.tops)
+        .map(|(name, top)| {
+            let cert = match top {
+                Some(c) => json_certificate(c, max_variants),
+                None => "null".to_string(),
+            };
+            format!("{{\"file\":{},\"certificate\":{cert}}}", json_str(name))
+        })
+        .collect();
+    out.push_str(&tops.join(","));
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,5 +233,46 @@ mod tests {
         let r = render("t.amg", "", &d);
         assert!(r.contains("error[E000]: boom"), "{r}");
         assert!(!r.contains('^'), "{r}");
+    }
+
+    fn sample_report() -> CostReport {
+        let l = crate::Linter::default();
+        // Top-level code precedes entity definitions (ENT bodies run to
+        // the next ENT or end of file).
+        let src = "Row(n = 3)\n\nENT Row(n)\n  FOR i = 1 TO n\n    INBOX(\"poly\")\n  END\n";
+        let (diags, report) = l.certify_source(src);
+        assert!(diags.iter().all(|d| !d.is_error()), "{diags:?}");
+        report
+    }
+
+    #[test]
+    fn certificate_text_lists_entities_and_tops() {
+        let r = render_certificates(&["t.amg"], &sample_report(), 64);
+        assert!(r.contains("ENT Row(n)"), "{r}");
+        assert!(r.contains("t.amg (top level)"), "{r}");
+        assert!(r.contains("fuel per run"), "{r}");
+        // The loop body is affine in n: `2 + 2*n` (FOR + body, +1 trip slack).
+        assert!(r.contains("n"), "{r}");
+    }
+
+    #[test]
+    fn certificate_json_is_well_formed_and_closed_for_tops() {
+        let r = certificates_json(&["t.amg"], &sample_report(), 64);
+        assert!(r.starts_with('{') && r.ends_with('}'), "{r}");
+        assert!(r.contains("\"Row\":{\"params\":[\"n\"]"), "{r}");
+        assert!(r.contains("\"file\":\"t.amg\""), "{r}");
+        // The top level has no free parameters, so totals close to numbers.
+        let top = r.split("\"tops\":").nth(1).unwrap();
+        assert!(!top.contains("\"total_fuel\":\""), "{r}");
+        // Balanced braces (cheap well-formedness smoke; no parser on board).
+        let open = r.matches('{').count();
+        let close = r.matches('}').count();
+        assert_eq!(open, close, "{r}");
+    }
+
+    #[test]
+    fn json_strings_escape_quotes_and_control_chars() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
     }
 }

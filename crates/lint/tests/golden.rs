@@ -11,7 +11,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use amgen_lint::{render_all, Code, Linter};
+use amgen_lint::{render_all, CertifyOptions, Code, Linter};
 use amgen_tech::Tech;
 
 fn fixtures_dir() -> PathBuf {
@@ -19,7 +19,12 @@ fn fixtures_dir() -> PathBuf {
 }
 
 fn lint_rendered(name: &str, src: &str) -> String {
-    let mut l = Linter::with_rules(Tech::bicmos_1u().compile_arc());
+    // A finite certify fuel so the E502/W504 fixtures can fire; generous
+    // enough that no other fixture comes near it.
+    let mut l = Linter::with_rules(Tech::bicmos_1u().compile_arc()).with_certify(CertifyOptions {
+        fuel: Some(10_000),
+        ..CertifyOptions::default()
+    });
     l.load(amgen_dsl::stdlib::FIG2_CONTACT_ROW).unwrap();
     render_all(name, src, &l.lint_source(src))
 }

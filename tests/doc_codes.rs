@@ -1,0 +1,103 @@
+//! Consistency check between the lint catalogue table in
+//! `docs/LANGUAGE.md` and the linter's `Code::ALL`: every code appears
+//! exactly once, in the same order, with the severity its `E`/`W`
+//! prefix implies. The table is the documentation of record — this test
+//! is what lets it claim to be authoritative.
+
+use amgen::lint::{Code, Severity};
+use std::path::PathBuf;
+
+/// Parses `(code, severity)` pairs from the catalogue table: rows of
+/// the form `| E201 | error | ... |` following the
+/// `| code | severity | meaning |` header.
+fn table_rows(doc: &str) -> Vec<(String, String)> {
+    let mut rows = Vec::new();
+    let mut in_table = false;
+    for line in doc.lines() {
+        let line = line.trim();
+        if line.starts_with("| code |") {
+            in_table = true;
+            continue;
+        }
+        if !in_table {
+            continue;
+        }
+        if !line.starts_with('|') {
+            break;
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+        // Skip the `|---|` separator row under the header.
+        if cells.first().is_some_and(|c| c.starts_with('-')) {
+            continue;
+        }
+        assert!(
+            cells.len() == 3,
+            "malformed catalogue row (want 3 cells): {line}"
+        );
+        rows.push((cells[0].to_string(), cells[1].to_string()));
+    }
+    rows
+}
+
+#[test]
+fn language_md_code_table_matches_code_all() {
+    let doc = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("docs/LANGUAGE.md");
+    let doc = std::fs::read_to_string(&doc)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", doc.display()));
+    let rows = table_rows(&doc);
+
+    assert_eq!(
+        rows.len(),
+        Code::ALL.len(),
+        "docs/LANGUAGE.md catalogue has {} rows but Code::ALL has {} codes",
+        rows.len(),
+        Code::ALL.len()
+    );
+    for (row, code) in rows.iter().zip(Code::ALL) {
+        assert_eq!(
+            row.0,
+            code.as_str(),
+            "catalogue row order diverges from Code::ALL at {}",
+            row.0
+        );
+        let want = match code.severity() {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        assert_eq!(
+            row.1, want,
+            "{} documented as `{}` but its intrinsic severity is `{want}`",
+            row.0, row.1
+        );
+    }
+}
+
+#[test]
+fn severity_prefix_convention_holds() {
+    // The table's severity column is derivable from the code prefix;
+    // make sure the linter actually upholds that convention, since the
+    // doc paragraph asserts it.
+    for code in Code::ALL {
+        let s = code.as_str();
+        let want = if s.starts_with('E') {
+            Severity::Error
+        } else {
+            assert!(s.starts_with('W'), "code {s} has an unknown prefix");
+            Severity::Warning
+        };
+        assert_eq!(code.severity(), want, "{s}");
+    }
+}
+
+#[test]
+fn table_parser_sees_the_full_catalogue() {
+    // Guard the parser itself: if the table header is reworded or the
+    // table moves, this fails loudly instead of vacuously passing on
+    // zero rows.
+    let doc = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("docs/LANGUAGE.md");
+    let doc = std::fs::read_to_string(doc).unwrap();
+    assert!(
+        table_rows(&doc).len() >= 23,
+        "catalogue table not found or truncated in docs/LANGUAGE.md"
+    );
+}
