@@ -59,6 +59,23 @@ cargo bench -p amgen-bench --bench analyze
 # debug test suite proved (HashMap-iteration leaks can be
 # optimization-sensitive).
 cargo test --release -q -p amgen-dsl --test determinism
+# Serve gate in release: the load harness replays hundreds of
+# concurrent mixed requests (figure workloads + the hostile corpus's
+# bombs) against a live server — zero panics, byte-identical
+# deterministic payloads, bombs refused at admission with zero fuel
+# spent, p99 under the latency budget (the test asserts; the printed
+# BENCH_serve line is the number recorded in BENCH_serve.json).
+cargo test --release -q -p amgen-serve --test load -- --nocapture | grep -E 'BENCH_serve|test result'
+# Daemon smoke: one --once session over stdin must serve a figure
+# request and refuse a fuel bomb at admission, end to end through the
+# real binary.
+SERVE_OUT=$(printf '64\n{"id":"s","source":"row = ContactRow(layer = \\"poly\\", W = 10)"}57\n{"id":"b","source":"FOR i = 1 TO 100000\\n  x = i\\nEND\\n"}' \
+    | cargo run --release -q --bin amgen-serve -- --once)
+echo "$SERVE_OUT" | grep -q '"id":"s".*"ok":true' || { echo 'ci: serve smoke: figure request failed' >&2; exit 1; }
+echo "$SERVE_OUT" | grep -q 'ADMISSION_REFUSED' || { echo 'ci: serve smoke: fuel bomb not refused at admission' >&2; exit 1; }
+# Wire-contract gate: docs/SERVING.md's error-code table is pinned
+# row-for-row to the server's ErrorCode::ALL.
+cargo test -q --test doc_protocol
 # Documentation gate: every relative link in README/DESIGN/docs must
 # resolve (the checker also runs as part of the workspace tests above;
 # kept explicit so a docs-only change can run it alone).

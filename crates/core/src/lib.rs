@@ -26,6 +26,7 @@
 //! | SVG / GDSII export | [`export`] | tooling |
 //! | the BiCMOS amplifier example | [`amp`] | §3, Figs. 8–10 |
 //! | deterministic fault injection (chaos testing) | [`faults`] | tooling |
+//! | multi-tenant generation server (wire protocol) | [`serve`] | tooling |
 //!
 //! # Quickstart
 //!
@@ -91,6 +92,7 @@ pub use amgen_modgen as modgen;
 pub use amgen_opt as opt;
 pub use amgen_prim as prim;
 pub use amgen_route as route;
+pub use amgen_serve as serve;
 pub use amgen_tech as tech;
 pub use amgen_trace as trace;
 

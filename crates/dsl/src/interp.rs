@@ -159,6 +159,26 @@ impl Interpreter {
         Ok(())
     }
 
+    /// Registers already-parsed entities without running anything — the
+    /// amortized form of [`Interpreter::load`] for a serving front-end
+    /// that parses its library sources once and reuses the ASTs across
+    /// thousands of per-request interpreters. Pass *unbound* entities
+    /// (fresh from [`parse`]): their layer-name literals are interned
+    /// against this interpreter's rule kernel here, and an entity whose
+    /// literals were already bound by another interpreter would keep the
+    /// other kernel's layer handles.
+    pub fn load_entities(&mut self, entities: impl IntoIterator<Item = Entity>) {
+        let mut registered = false;
+        for mut e in entities {
+            bind_block(&self.ctx, &mut e.body);
+            self.entities.insert(e.name.clone(), e);
+            registered = true;
+        }
+        if registered {
+            self.lib_hash = self.compute_lib_hash();
+        }
+    }
+
     fn register(&mut self, prog: &Program) {
         for e in &prog.entities {
             let mut e = e.clone();

@@ -1,0 +1,108 @@
+//! Hostile generator programs: the adversarial corpus shared by the
+//! chaos suite and the serving load harness.
+//!
+//! Every program here is syntactically valid and semantically hostile —
+//! it tries to make a generation run consume unbounded (or just
+//! disproportionate) resources. Each entry documents the refusal a
+//! well-configured front-end must produce: either the static cost
+//! certificate proves the demand exceeds the budget and the run is
+//! refused at *admission* (zero fuel spent — `amgen-lint::checked_run`),
+//! or the analyzer flags the program outright (unbounded recursion is a
+//! lint **error**), or the dynamic meter stops it mid-flight.
+//!
+//! ```
+//! use amgen_faults::hostile;
+//!
+//! for h in hostile::ALL {
+//!     assert!(!h.source.is_empty());
+//! }
+//! assert!(hostile::ALL.iter().any(|h| h.refusal == hostile::Refusal::Admission));
+//! ```
+
+/// How a correctly defended front-end disposes of the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Refusal {
+    /// The linter reports an error (e.g. statically unbounded
+    /// recursion, E501) — refused before certification even matters.
+    Lint,
+    /// The cost certificate proves the run cannot fit a serving-scale
+    /// fuel budget — refused at admission with zero fuel spent.
+    Admission,
+    /// No closed static bound exists (or the bound fits); the dynamic
+    /// budget meter must stop the run instead.
+    Dynamic,
+}
+
+/// One adversarial program with its expected disposition.
+#[derive(Debug, Clone, Copy)]
+pub struct Hostile {
+    /// Short identifier, stable for reports and bench labels.
+    pub name: &'static str,
+    /// The program source.
+    pub source: &'static str,
+    /// The refusal a defended front-end must produce under a budget far
+    /// smaller than the program's demand.
+    pub refusal: Refusal,
+}
+
+/// A flat constant-bound fuel bomb: one loop whose certified fuel is a
+/// five-digit constant. Any serving budget below that refuses it at
+/// admission without executing a statement.
+pub const FUEL_BOMB: Hostile = Hostile {
+    name: "fuel_bomb",
+    source: "FOR i = 1 TO 100000\n  x = i\nEND\n",
+    refusal: Refusal::Admission,
+};
+
+/// A nested bomb: quadratic blow-up from two honest-looking loops. The
+/// certificate multiplies the trip counts, so admission still sees the
+/// full 10^6-statement demand.
+pub const NESTED_BOMB: Hostile = Hostile {
+    name: "nested_bomb",
+    source: "FOR i = 1 TO 1000\n  FOR j = 1 TO 1000\n    x = i + j\n  END\nEND\n",
+    refusal: Refusal::Admission,
+};
+
+/// A shape bomb: the loop body calls a real generator, so admitting it
+/// would also burn compaction steps and geometry, not just fuel.
+/// (Needs the standard library's `ContactRow` loaded.)
+pub const SHAPE_BOMB: Hostile = Hostile {
+    name: "shape_bomb",
+    source: "FOR i = 1 TO 60000\n  x = ContactRow(layer = \"poly\", W = 8)\nEND\n",
+    refusal: Refusal::Admission,
+};
+
+/// Unbounded direct recursion with no decreasing measure: the analyzer
+/// proves non-termination structurally (E501) and the linter rejects
+/// the program as an error — it never reaches admission.
+pub const RECURSION_BOMB: Hostile = Hostile {
+    name: "recursion_bomb",
+    source: "ENT Bomb(<n>)\n  x = Bomb(n = n + 1)\n\ny = Bomb(n = 1)\n",
+    refusal: Refusal::Lint,
+};
+
+/// All hostile programs, in refusal-hardness order (lint-rejected
+/// first, then admission-refused).
+pub const ALL: [Hostile; 4] = [RECURSION_BOMB, FUEL_BOMB, NESTED_BOMB, SHAPE_BOMB];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_well_formed() {
+        for h in ALL {
+            assert!(!h.name.is_empty());
+            assert!(
+                h.source.ends_with('\n'),
+                "{}: missing trailing newline",
+                h.name
+            );
+        }
+        // Names are unique (they become bench labels and report keys).
+        let mut names: Vec<_> = ALL.iter().map(|h| h.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL.len());
+    }
+}

@@ -42,6 +42,8 @@ use std::sync::Arc;
 
 use amgen_core::{FaultAction, FaultHook, FaultSite};
 
+pub mod hostile;
+
 /// SplitMix64 — the standard 64-bit avalanche mixer. Small, fast, and
 /// plenty for turning (seed, site, occurrence) into an unbiased coin.
 fn splitmix64(mut x: u64) -> u64 {

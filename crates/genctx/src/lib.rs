@@ -135,6 +135,7 @@ pub struct Metrics {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_evicted: AtomicU64,
+    admission_refused: AtomicU64,
     stage_nanos: [AtomicU64; Stage::ALL.len()],
 }
 
@@ -219,6 +220,13 @@ impl Metrics {
         self.cache_evicted.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one run refused at static admission (a cost certificate
+    /// proved the budget insufficient before anything executed).
+    #[inline]
+    pub fn add_admission_refused(&self) {
+        self.admission_refused.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Adds wall time to a stage's bucket.
     #[inline]
     pub fn add_stage_nanos(&self, stage: Stage, nanos: u64) {
@@ -236,6 +244,68 @@ impl Metrics {
     /// Wall nanoseconds charged to a stage so far.
     pub fn stage_nanos(&self, stage: Stage) -> u64 {
         self.stage_nanos[stage as usize].load(Ordering::Relaxed)
+    }
+
+    /// Reads every counter into a [`MetricsSnapshot`]. The kernel's
+    /// `rule_queries` counter lives on the `RuleSet`, not here, so it
+    /// stays 0 — [`GenCtx::snapshot`] fills it in.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut stage_nanos = [0u64; Stage::ALL.len()];
+        for (slot, stage) in stage_nanos.iter_mut().zip(Stage::ALL) {
+            *slot = self.stage_nanos(stage);
+        }
+        MetricsSnapshot {
+            rule_queries: 0,
+            objects_placed: self.objects_placed.load(Ordering::Relaxed),
+            shapes_generated: self.shapes_generated.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            drc_checks: self.drc_checks.load(Ordering::Relaxed),
+            opt_explored: self.opt_explored.load(Ordering::Relaxed),
+            opt_pruned: self.opt_pruned.load(Ordering::Relaxed),
+            opt_dominated: self.opt_dominated.load(Ordering::Relaxed),
+            opt_panics: self.opt_panics.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evicted: self.cache_evicted.load(Ordering::Relaxed),
+            admission_refused: self.admission_refused.load(Ordering::Relaxed),
+            stage_nanos,
+        }
+    }
+
+    /// Adds every counter of `snap` into this block — the aggregation
+    /// primitive for a serving front-end that meters each request on a
+    /// fresh `Metrics` (so the response carries per-request numbers) and
+    /// folds the deltas into a long-lived per-tenant block afterwards.
+    pub fn absorb(&self, snap: &MetricsSnapshot) {
+        self.objects_placed
+            .fetch_add(snap.objects_placed, Ordering::Relaxed);
+        self.shapes_generated
+            .fetch_add(snap.shapes_generated, Ordering::Relaxed);
+        self.rebuilds.fetch_add(snap.rebuilds, Ordering::Relaxed);
+        self.drc_checks
+            .fetch_add(snap.drc_checks, Ordering::Relaxed);
+        self.opt_explored
+            .fetch_add(snap.opt_explored, Ordering::Relaxed);
+        self.opt_pruned
+            .fetch_add(snap.opt_pruned, Ordering::Relaxed);
+        self.opt_dominated
+            .fetch_add(snap.opt_dominated, Ordering::Relaxed);
+        self.opt_panics
+            .fetch_add(snap.opt_panics, Ordering::Relaxed);
+        self.faults_injected
+            .fetch_add(snap.faults_injected, Ordering::Relaxed);
+        self.cache_hits
+            .fetch_add(snap.cache_hits, Ordering::Relaxed);
+        self.cache_misses
+            .fetch_add(snap.cache_misses, Ordering::Relaxed);
+        self.cache_evicted
+            .fetch_add(snap.cache_evicted, Ordering::Relaxed);
+        self.admission_refused
+            .fetch_add(snap.admission_refused, Ordering::Relaxed);
+        for (slot, &ns) in self.stage_nanos.iter().zip(snap.stage_nanos.iter()) {
+            slot.fetch_add(ns, Ordering::Relaxed);
+        }
     }
 
     /// An RAII guard that charges the wall time from its creation to its
@@ -307,6 +377,8 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Generation-cache entries evicted to stay within capacity.
     pub cache_evicted: u64,
+    /// Runs refused at static admission (certified cost over budget).
+    pub admission_refused: u64,
     /// Wall nanoseconds per stage, in [`Stage::ALL`] order.
     pub stage_nanos: [u64; Stage::ALL.len()],
 }
@@ -344,9 +416,15 @@ impl std::fmt::Display for MetricsSnapshot {
         if self.cache_hits + self.cache_misses + self.cache_evicted > 0 {
             write!(
                 f,
-                " cache_hits={} cache_misses={} cache_evicted={}",
-                self.cache_hits, self.cache_misses, self.cache_evicted
+                " cache_hits={} cache_misses={}",
+                self.cache_hits, self.cache_misses
             )?;
+            if self.cache_evicted > 0 {
+                write!(f, " cache_evicted={}", self.cache_evicted)?;
+            }
+        }
+        if self.admission_refused > 0 {
+            write!(f, " admission_refused={}", self.admission_refused)?;
         }
         for stage in Stage::ALL {
             let ns = self.stage_nanos(stage);
@@ -741,26 +819,9 @@ impl GenCtx {
 
     /// Reads all counters into a report-ready snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let mut stage_nanos = [0u64; Stage::ALL.len()];
-        for (slot, stage) in stage_nanos.iter_mut().zip(Stage::ALL) {
-            *slot = self.metrics.stage_nanos(stage);
-        }
-        MetricsSnapshot {
-            rule_queries: self.rules.rule_queries(),
-            objects_placed: self.metrics.objects_placed.load(Ordering::Relaxed),
-            shapes_generated: self.metrics.shapes_generated.load(Ordering::Relaxed),
-            rebuilds: self.metrics.rebuilds.load(Ordering::Relaxed),
-            drc_checks: self.metrics.drc_checks.load(Ordering::Relaxed),
-            opt_explored: self.metrics.opt_explored.load(Ordering::Relaxed),
-            opt_pruned: self.metrics.opt_pruned.load(Ordering::Relaxed),
-            opt_dominated: self.metrics.opt_dominated.load(Ordering::Relaxed),
-            opt_panics: self.metrics.opt_panics.load(Ordering::Relaxed),
-            faults_injected: self.metrics.faults_injected.load(Ordering::Relaxed),
-            cache_hits: self.metrics.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.metrics.cache_misses.load(Ordering::Relaxed),
-            cache_evicted: self.metrics.cache_evicted.load(Ordering::Relaxed),
-            stage_nanos,
-        }
+        let mut snap = self.metrics.snapshot();
+        snap.rule_queries = self.rules.rule_queries();
+        snap
     }
 
     /// The combined run report: the recorded trace rendered as the
@@ -887,6 +948,42 @@ mod tests {
         // run_report is non-destructive; the drain empties the buffers.
         assert_eq!(ctx.trace.drain().events.len(), 3);
         assert!(ctx.trace.drain().events.is_empty());
+    }
+
+    #[test]
+    fn absorb_folds_request_deltas_into_an_aggregate() {
+        let request = Metrics::new();
+        request.add_cache_hit();
+        request.add_cache_miss();
+        request.add_admission_refused();
+        request.add_objects_placed(3);
+        request.add_stage_nanos(Stage::Dsl, 42);
+        let tenant = Metrics::new();
+        tenant.absorb(&request.snapshot());
+        tenant.absorb(&request.snapshot());
+        let snap = tenant.snapshot();
+        assert_eq!(snap.cache_hits, 2);
+        assert_eq!(snap.cache_misses, 2);
+        assert_eq!(snap.admission_refused, 2);
+        assert_eq!(snap.objects_placed, 6);
+        assert_eq!(snap.stage_nanos(Stage::Dsl), 84);
+    }
+
+    #[test]
+    fn stats_line_is_self_describing() {
+        // The serving daemon prints one MetricsSnapshot per tenant; the
+        // cache and admission counters must be visible in that line.
+        let m = Metrics::new();
+        m.add_cache_hit();
+        m.add_cache_miss();
+        m.add_admission_refused();
+        let line = m.snapshot().to_string();
+        assert!(line.contains("cache_hits=1"), "{line}");
+        assert!(line.contains("cache_misses=1"), "{line}");
+        assert!(line.contains("admission_refused=1"), "{line}");
+        // Quiet counters stay out of the line.
+        assert!(!line.contains("cache_evicted"), "{line}");
+        assert!(!Metrics::new().snapshot().to_string().contains("cache_"));
     }
 
     #[test]

@@ -281,20 +281,46 @@ pub fn checked_run(
     interp: &mut Interpreter,
     src: &str,
 ) -> Result<BTreeMap<String, LayoutObject>, CheckError> {
+    checked_run_full(interp, src).1
+}
+
+/// [`checked_run`] with the non-blocking diagnostics kept: returns the
+/// warnings the linter found (empty on a warning-free program) next to
+/// the run result, so a serving front-end can echo them to the client
+/// alongside the generated layouts instead of discarding them. On a
+/// lint *rejection* the warnings list is empty — every diagnostic,
+/// warnings included, travels inside [`CheckError::Lint`]. A refusal at
+/// admission is metered on the context
+/// ([`Metrics::add_admission_refused`](amgen_core::Metrics::add_admission_refused)),
+/// so refusal counts surface in the same snapshot line as cache
+/// hit/miss traffic.
+#[allow(clippy::type_complexity)]
+pub fn checked_run_full(
+    interp: &mut Interpreter,
+    src: &str,
+) -> (
+    Vec<Diagnostic>,
+    Result<BTreeMap<String, LayoutObject>, CheckError>,
+) {
     let mut l = Linter::with_rules(Arc::clone(&interp.ctx().rules));
     l.load_entities(interp.entities().cloned());
     let (diags, report) = l.certify_source(src);
     if has_errors(&diags) {
-        return Err(CheckError::Lint(diags));
+        return (Vec::new(), Err(CheckError::Lint(diags)));
     }
     if let Some(Some(cert)) = report.tops.first() {
         let estimate = cert.estimate(interp.max_variants);
         if let Err(e) = interp.ctx().limits.budget().admits(&estimate) {
-            return Err(CheckError::Admission {
-                estimate,
-                reason: e.to_string(),
-            });
+            interp.ctx().metrics.add_admission_refused();
+            return (
+                diags,
+                Err(CheckError::Admission {
+                    estimate,
+                    reason: e.to_string(),
+                }),
+            );
         }
     }
-    interp.run(src).map_err(CheckError::Run)
+    let result = interp.run(src).map_err(CheckError::Run);
+    (diags, result)
 }

@@ -1,0 +1,42 @@
+//! # amgen-serve — the multi-tenant generation server
+//!
+//! A long-running daemon that accepts generator programs plus
+//! parameters over a length-prefixed JSON wire protocol (TCP, or a
+//! single-shot stdin/stdout mode), gates every request through the
+//! static analyzer's admission check, executes on a sharded worker
+//! pool over the process-wide generation cache, and streams back
+//! layout JSON, diagnostics and an optional trace.
+//!
+//! docs/SERVING.md is the wire contract of record. The guarantees in
+//! one paragraph: identical requests produce **byte-identical**
+//! deterministic payloads (everything outside the `stats` section);
+//! programs the cost certificate proves over budget are refused at
+//! admission with **zero fuel spent**; overload **sheds by deadline**
+//! (bounded queues, `OVERLOADED`) instead of queueing without limit;
+//! and every failure is a typed error from a closed
+//! [`ErrorCode`] taxonomy — a hostile client can get
+//! its connection closed, never a panic.
+//!
+//! ```
+//! use amgen_serve::proto::{read_frame, write_frame};
+//! use amgen_serve::{run_once, ServeConfig};
+//!
+//! // One request through the full pipeline, no sockets involved.
+//! let mut input = Vec::new();
+//! let req = r#"{"id":"r1","source":"row = ContactRow(layer = \"poly\", W = 10)"}"#;
+//! write_frame(&mut input, req.as_bytes()).unwrap();
+//! let mut output = Vec::new();
+//! run_once(ServeConfig::default(), &mut &input[..], &mut output).unwrap();
+//! let payload = read_frame(&mut &output[..], usize::MAX).unwrap();
+//! let text = std::str::from_utf8(&payload).unwrap();
+//! assert!(text.contains("\"ok\":true"));
+//! assert!(text.contains("\"id\":\"r1\""));
+//! ```
+
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use json::Json;
+pub use proto::{ErrorCode, ErrorPhase, Request, Response};
+pub use server::{run_once, ServeConfig, Server};

@@ -1,0 +1,883 @@
+//! The wire protocol: framing, request/response schemas and the error
+//! taxonomy. docs/SERVING.md is the contract of record; the
+//! `tests/doc_protocol.rs` suite pins its error-code table row-for-row
+//! to [`ErrorCode::ALL`].
+//!
+//! # Framing
+//!
+//! One frame = an ASCII decimal byte count (1–8 digits), a single
+//! `\n`, then exactly that many bytes of UTF-8 JSON. Both directions
+//! use the same framing. The decimal prefix keeps the protocol
+//! scriptable from a shell (`printf '%s\n%s' "${#REQ}" "$REQ" | nc …`)
+//! while staying a strict length-prefixed protocol: the server never
+//! scans for a terminator inside the payload.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::time::Duration;
+
+use amgen_core::{GenError, GenErrorKind, MetricsSnapshot, Resource};
+use amgen_db::LayoutObject;
+use amgen_lint::Diagnostic;
+use amgen_tech::RuleSet;
+
+use crate::json::{self, Json};
+
+/// Protocol revision carried in every response. Bumped on any breaking
+/// change to framing or schemas.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Hard ceiling on the length prefix: 8 digits. Frames are further
+/// bounded by the server's configured `max_frame`.
+pub const MAX_LEN_DIGITS: usize = 8;
+
+// ----- framing ----------------------------------------------------------
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean end of stream at a frame boundary — not an error, the peer
+    /// is done.
+    Closed,
+    /// The stream ended inside a frame (length line or payload).
+    Truncated,
+    /// The length prefix was not `1–8 ASCII digits + \n`.
+    BadLength,
+    /// The declared length exceeds the configured maximum. Carries the
+    /// declared length.
+    TooLarge(usize),
+    /// An I/O error other than EOF.
+    Io(std::io::Error),
+}
+
+impl FrameError {
+    /// The wire error code a server should answer with before closing,
+    /// when answering is still possible.
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            FrameError::Closed => None,
+            FrameError::Truncated => Some(ErrorCode::Truncated),
+            FrameError::BadLength => Some(ErrorCode::BadFrame),
+            FrameError::TooLarge(_) => Some(ErrorCode::FrameTooLarge),
+            FrameError::Io(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+            FrameError::BadLength => write!(f, "malformed length prefix"),
+            FrameError::TooLarge(n) => write!(f, "declared frame length {n} exceeds the limit"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+/// Reads one frame payload. `max` bounds the accepted payload size;
+/// larger declarations fail *before* any payload is read, so a hostile
+/// length cannot make the server allocate.
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Vec<u8>, FrameError> {
+    // Length line, byte by byte (it is at most 9 bytes long).
+    let mut len: usize = 0;
+    let mut digits = 0;
+    loop {
+        let mut b = [0u8; 1];
+        match r.read(&mut b) {
+            Ok(0) => {
+                return Err(if digits == 0 {
+                    FrameError::Closed
+                } else {
+                    FrameError::Truncated
+                });
+            }
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                return Err(if digits == 0 {
+                    FrameError::Closed
+                } else {
+                    FrameError::Truncated
+                });
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+        match b[0] {
+            b'\n' if digits > 0 => break,
+            c if c.is_ascii_digit() && digits < MAX_LEN_DIGITS => {
+                len = len * 10 + usize::from(c - b'0');
+                digits += 1;
+            }
+            _ => return Err(FrameError::BadLength),
+        }
+    }
+    if len > max {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                return Err(FrameError::Truncated)
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(payload)
+}
+
+/// Writes one frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    writeln!(w, "{}", payload.len())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+// ----- the error taxonomy -----------------------------------------------
+
+/// Which layer of the server produced a refusal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorPhase {
+    /// The frame or request document itself was unusable; nothing was
+    /// admitted or executed.
+    Protocol,
+    /// The request was well-formed but refused before execution (lint
+    /// errors or a certified cost over the tenant budget) — zero fuel
+    /// spent.
+    Admission,
+    /// Execution started and failed; the `GenError` taxonomy maps onto
+    /// these codes.
+    Runtime,
+    /// The server shed the request to protect latency; retry later.
+    Overload,
+}
+
+impl ErrorPhase {
+    /// Lower-case name, as written on the wire and in SERVING.md.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorPhase::Protocol => "protocol",
+            ErrorPhase::Admission => "admission",
+            ErrorPhase::Runtime => "runtime",
+            ErrorPhase::Overload => "overload",
+        }
+    }
+}
+
+/// Every error code the server can put on the wire. The `error.code`
+/// field of a response carries exactly one of these; docs/SERVING.md
+/// documents each and `tests/doc_protocol.rs` keeps that table honest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// The length prefix was not `1–8 digits + \n`.
+    BadFrame,
+    /// The declared payload length exceeds the server's `max_frame`.
+    FrameTooLarge,
+    /// The stream ended inside a frame.
+    Truncated,
+    /// The payload is not valid UTF-8.
+    InvalidUtf8,
+    /// The payload is not a single valid JSON document.
+    BadJson,
+    /// The document violates the request schema (wrong type, missing
+    /// `source`, unknown field, invalid parameter name…).
+    BadRequest,
+    /// The requested `tech` is not a known technology.
+    UnknownTech,
+    /// The linter found errors; diagnostics carry the details.
+    LintRejected,
+    /// The static cost certificate proves the run exceeds the tenant
+    /// budget; refused with zero fuel spent.
+    AdmissionRefused,
+    /// The server shed the request under load before executing it.
+    Overloaded,
+    /// A dynamic budget resource ran out mid-run
+    /// (`GenErrorKind::BudgetExhausted`); `error.resource` names it.
+    BudgetExhausted,
+    /// The run was cancelled (`GenErrorKind::Cancelled`).
+    Cancelled,
+    /// An isolated worker panic surfaced as the run's result
+    /// (`GenErrorKind::WorkerPanic`).
+    WorkerPanic,
+    /// A deterministic injected fault fired (`GenErrorKind::Fault`;
+    /// chaos testing only — a production server never installs a hook).
+    FaultInjected,
+    /// A pipeline stage failed (`GenErrorKind::Stage`); `error.stage`
+    /// names the stage.
+    StageFailed,
+    /// A language-level runtime failure outside the `GenError` taxonomy
+    /// (interpreter runtime error, variant-limit overflow).
+    RuntimeError,
+}
+
+impl ErrorCode {
+    /// All codes, in the order documented in SERVING.md: protocol,
+    /// admission, overload, then the runtime taxonomy.
+    pub const ALL: [ErrorCode; 16] = [
+        ErrorCode::BadFrame,
+        ErrorCode::FrameTooLarge,
+        ErrorCode::Truncated,
+        ErrorCode::InvalidUtf8,
+        ErrorCode::BadJson,
+        ErrorCode::BadRequest,
+        ErrorCode::UnknownTech,
+        ErrorCode::LintRejected,
+        ErrorCode::AdmissionRefused,
+        ErrorCode::Overloaded,
+        ErrorCode::BudgetExhausted,
+        ErrorCode::Cancelled,
+        ErrorCode::WorkerPanic,
+        ErrorCode::FaultInjected,
+        ErrorCode::StageFailed,
+        ErrorCode::RuntimeError,
+    ];
+
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadFrame => "PROTO_BAD_FRAME",
+            ErrorCode::FrameTooLarge => "PROTO_FRAME_TOO_LARGE",
+            ErrorCode::Truncated => "PROTO_TRUNCATED",
+            ErrorCode::InvalidUtf8 => "PROTO_INVALID_UTF8",
+            ErrorCode::BadJson => "PROTO_BAD_JSON",
+            ErrorCode::BadRequest => "PROTO_BAD_REQUEST",
+            ErrorCode::UnknownTech => "UNKNOWN_TECH",
+            ErrorCode::LintRejected => "LINT_REJECTED",
+            ErrorCode::AdmissionRefused => "ADMISSION_REFUSED",
+            ErrorCode::Overloaded => "OVERLOADED",
+            ErrorCode::BudgetExhausted => "BUDGET_EXHAUSTED",
+            ErrorCode::Cancelled => "CANCELLED",
+            ErrorCode::WorkerPanic => "WORKER_PANIC",
+            ErrorCode::FaultInjected => "FAULT_INJECTED",
+            ErrorCode::StageFailed => "STAGE_FAILED",
+            ErrorCode::RuntimeError => "RUNTIME_ERROR",
+        }
+    }
+
+    /// Which layer refuses with this code.
+    pub fn phase(self) -> ErrorPhase {
+        match self {
+            ErrorCode::BadFrame
+            | ErrorCode::FrameTooLarge
+            | ErrorCode::Truncated
+            | ErrorCode::InvalidUtf8
+            | ErrorCode::BadJson
+            | ErrorCode::BadRequest
+            | ErrorCode::UnknownTech => ErrorPhase::Protocol,
+            ErrorCode::LintRejected | ErrorCode::AdmissionRefused => ErrorPhase::Admission,
+            ErrorCode::Overloaded => ErrorPhase::Overload,
+            ErrorCode::BudgetExhausted
+            | ErrorCode::Cancelled
+            | ErrorCode::WorkerPanic
+            | ErrorCode::FaultInjected
+            | ErrorCode::StageFailed
+            | ErrorCode::RuntimeError => ErrorPhase::Runtime,
+        }
+    }
+
+    /// The code a [`GenErrorKind`] maps to — the `GenError` taxonomy
+    /// over the wire.
+    pub fn from_gen_kind(kind: &GenErrorKind) -> ErrorCode {
+        match kind {
+            GenErrorKind::BudgetExhausted(_) => ErrorCode::BudgetExhausted,
+            GenErrorKind::Cancelled => ErrorCode::Cancelled,
+            GenErrorKind::WorkerPanic(_) => ErrorCode::WorkerPanic,
+            GenErrorKind::Fault { .. } => ErrorCode::FaultInjected,
+            GenErrorKind::Stage(_) => ErrorCode::StageFailed,
+            _ => ErrorCode::RuntimeError,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+// ----- requests ---------------------------------------------------------
+
+/// A request parameter value: the DSL's two scalar kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// A number (dimension, count…).
+    Num(f64),
+    /// A string (layer name…).
+    Str(String),
+}
+
+/// Per-request budget overrides. Every field is clamped to the server's
+/// tenant caps — a client can tighten its budget, never widen it.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BudgetSpec {
+    /// Interpreter fuel cap.
+    pub fuel: Option<u64>,
+    /// Entity recursion-depth cap.
+    pub recursion: Option<u64>,
+    /// Compaction-step cap.
+    pub compact_steps: Option<u64>,
+    /// Wall deadline, milliseconds.
+    pub wall_ms: Option<u64>,
+}
+
+/// A parsed, validated generation request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen id, echoed verbatim in the response.
+    pub id: String,
+    /// Tenant the request is accounted (and budgeted) under.
+    pub tenant: String,
+    /// Technology id (`"bicmos_1u"`, `"cmos_08"`).
+    pub tech: String,
+    /// The generator program.
+    pub source: String,
+    /// Named values prepended to the program as assignments, in name
+    /// order.
+    pub params: BTreeMap<String, ParamValue>,
+    /// Budget overrides (clamped to the tenant caps).
+    pub budget: BudgetSpec,
+    /// Include a trace report in `stats.trace`.
+    pub want_trace: bool,
+    /// Include the `stats` section at all (default true).
+    pub want_stats: bool,
+}
+
+/// A schema violation: the message is safe to echo to the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError(pub String);
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn field_str(v: &Json, field: &str) -> Result<String, RequestError> {
+    v.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| RequestError(format!("`{field}` must be a string")))
+}
+
+fn field_u64(v: &Json, field: &str) -> Result<u64, RequestError> {
+    match v.as_num() {
+        Some(n) if n >= 0.0 && n.fract() == 0.0 && n <= 9.0e15 => Ok(n as u64),
+        _ => Err(RequestError(format!(
+            "`{field}` must be a non-negative integer"
+        ))),
+    }
+}
+
+impl Request {
+    /// Validates a parsed document against the request schema. Unknown
+    /// fields are rejected — silently ignoring a misspelled `budget`
+    /// would run the request with no budget the client asked for.
+    pub fn from_json(doc: &Json) -> Result<Request, RequestError> {
+        let Some(map) = doc.as_obj() else {
+            return Err(RequestError("request must be a JSON object".into()));
+        };
+        let mut req = Request {
+            id: String::new(),
+            tenant: "anon".into(),
+            tech: "bicmos_1u".into(),
+            source: String::new(),
+            params: BTreeMap::new(),
+            budget: BudgetSpec::default(),
+            want_trace: false,
+            want_stats: true,
+        };
+        let mut has_source = false;
+        for (key, value) in map {
+            match key.as_str() {
+                "id" => req.id = field_str(value, "id")?,
+                "tenant" => {
+                    req.tenant = field_str(value, "tenant")?;
+                    if req.tenant.is_empty() || req.tenant.len() > 64 {
+                        return Err(RequestError("`tenant` must be 1–64 characters".into()));
+                    }
+                }
+                "tech" => req.tech = field_str(value, "tech")?,
+                "source" => {
+                    req.source = field_str(value, "source")?;
+                    has_source = true;
+                }
+                "params" => {
+                    let Some(params) = value.as_obj() else {
+                        return Err(RequestError("`params` must be an object".into()));
+                    };
+                    for (name, v) in params {
+                        if !is_ident(name) {
+                            return Err(RequestError(format!(
+                                "parameter `{name}` is not a valid identifier"
+                            )));
+                        }
+                        let pv = match v {
+                            Json::Num(n) if n.is_finite() => ParamValue::Num(*n),
+                            Json::Str(s) => {
+                                if s.contains('"') || s.chars().any(char::is_control) {
+                                    return Err(RequestError(format!(
+                                        "parameter `{name}`: string values must not contain \
+                                         quotes or control characters"
+                                    )));
+                                }
+                                ParamValue::Str(s.clone())
+                            }
+                            _ => {
+                                return Err(RequestError(format!(
+                                    "parameter `{name}` must be a number or a string"
+                                )))
+                            }
+                        };
+                        req.params.insert(name.clone(), pv);
+                    }
+                }
+                "budget" => {
+                    let Some(b) = value.as_obj() else {
+                        return Err(RequestError("`budget` must be an object".into()));
+                    };
+                    for (k, v) in b {
+                        match k.as_str() {
+                            "fuel" => req.budget.fuel = Some(field_u64(v, "budget.fuel")?),
+                            "recursion" => {
+                                req.budget.recursion = Some(field_u64(v, "budget.recursion")?)
+                            }
+                            "compact_steps" => {
+                                req.budget.compact_steps =
+                                    Some(field_u64(v, "budget.compact_steps")?)
+                            }
+                            "wall_ms" => req.budget.wall_ms = Some(field_u64(v, "budget.wall_ms")?),
+                            other => {
+                                return Err(RequestError(format!("unknown budget field `{other}`")))
+                            }
+                        }
+                    }
+                }
+                "trace" => {
+                    req.want_trace = value
+                        .as_bool()
+                        .ok_or_else(|| RequestError("`trace` must be a boolean".into()))?
+                }
+                "stats" => {
+                    req.want_stats = value
+                        .as_bool()
+                        .ok_or_else(|| RequestError("`stats` must be a boolean".into()))?
+                }
+                other => return Err(RequestError(format!("unknown request field `{other}`"))),
+            }
+        }
+        if !has_source {
+            return Err(RequestError("missing required field `source`".into()));
+        }
+        Ok(req)
+    }
+
+    /// The parameter prelude: one assignment per parameter, in name
+    /// order, prepended to the program source. Numbers print in the
+    /// DSL's literal syntax (integral values without a fraction).
+    pub fn prelude(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.params {
+            match value {
+                ParamValue::Num(n) if n.fract() == 0.0 && n.abs() < 9.0e15 => {
+                    out.push_str(&format!("{name} = {}\n", *n as i64));
+                }
+                ParamValue::Num(n) => out.push_str(&format!("{name} = {n}\n")),
+                ParamValue::Str(s) => out.push_str(&format!("{name} = \"{s}\"\n")),
+            }
+        }
+        out
+    }
+
+    /// The effective wall deadline of the request given the server cap.
+    pub fn wall(&self, cap: Duration) -> Duration {
+        match self.budget.wall_ms {
+            Some(ms) => Duration::from_millis(ms).min(cap),
+            None => cap,
+        }
+    }
+}
+
+// ----- responses --------------------------------------------------------
+
+/// A response under construction. The deterministic payload (everything
+/// identical requests must answer identically) is kept separate from
+/// the per-run `stats` section (timings, cache temperature), and the
+/// two merge at serialization.
+#[derive(Debug, Clone)]
+pub struct Response {
+    payload: Json,
+    stats: Option<Json>,
+}
+
+impl Response {
+    /// A success response: the generated layouts plus any non-blocking
+    /// diagnostics.
+    pub fn ok(id: &str, layouts: Json, diagnostics: Json) -> Response {
+        Response {
+            payload: Json::obj([
+                ("protocol", Json::Num(PROTOCOL_VERSION as f64)),
+                ("id", Json::from(id)),
+                ("ok", Json::Bool(true)),
+                ("layouts", layouts),
+                ("diagnostics", diagnostics),
+            ]),
+            stats: None,
+        }
+    }
+
+    /// An error response. `detail` fills the `error` object next to the
+    /// code and phase.
+    pub fn error(id: &str, code: ErrorCode, detail: Json, diagnostics: Json) -> Response {
+        let mut error = BTreeMap::new();
+        error.insert("code".to_string(), Json::from(code.as_str()));
+        error.insert("phase".to_string(), Json::from(code.phase().name()));
+        if let Json::Obj(extra) = detail {
+            error.extend(extra);
+        }
+        Response {
+            payload: Json::obj([
+                ("protocol", Json::Num(PROTOCOL_VERSION as f64)),
+                ("id", Json::from(id)),
+                ("ok", Json::Bool(false)),
+                ("error", Json::Obj(error)),
+                ("diagnostics", diagnostics),
+            ]),
+            stats: None,
+        }
+    }
+
+    /// Attaches the non-deterministic stats section.
+    #[must_use]
+    pub fn with_stats(mut self, stats: Json) -> Response {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// The deterministic payload serialization — what the byte-identity
+    /// guarantee covers.
+    pub fn payload_string(&self) -> String {
+        self.payload.to_string()
+    }
+
+    /// The full wire serialization (payload plus `stats` when present).
+    pub fn wire_string(&self) -> String {
+        match &self.stats {
+            None => self.payload.to_string(),
+            Some(stats) => {
+                let mut full = match &self.payload {
+                    Json::Obj(m) => m.clone(),
+                    _ => unreachable!("payload is always an object"),
+                };
+                full.insert("stats".to_string(), stats.clone());
+                Json::Obj(full).to_string()
+            }
+        }
+    }
+}
+
+/// The `error` detail object for a [`GenError`]: stage, kind-specific
+/// fields, and the rendered message.
+pub fn gen_error_detail(e: &GenError) -> Json {
+    let mut m = BTreeMap::new();
+    m.insert("stage".to_string(), Json::from(e.stage.name()));
+    m.insert("message".to_string(), Json::from(e.to_string()));
+    if let Some(entity) = &e.entity {
+        m.insert("entity".to_string(), Json::from(entity.as_str()));
+    }
+    if let GenErrorKind::BudgetExhausted(r) = &e.kind {
+        m.insert("resource".to_string(), Json::from(resource_name(*r)));
+    }
+    Json::Obj(m)
+}
+
+fn resource_name(r: Resource) -> &'static str {
+    match r {
+        Resource::DslFuel => "fuel",
+        Resource::Recursion => "recursion",
+        Resource::CompactSteps => "compact_steps",
+        Resource::OptNodes => "opt_nodes",
+        Resource::Wall => "wall",
+    }
+}
+
+/// Serializes lint diagnostics for the wire: stable code, severity,
+/// 1-based position, message and optional help.
+pub fn diagnostics_json(diags: &[Diagnostic]) -> Json {
+    Json::Arr(
+        diags
+            .iter()
+            .map(|d| {
+                let mut m = BTreeMap::new();
+                m.insert("code".to_string(), Json::from(d.code.as_str()));
+                m.insert(
+                    "severity".to_string(),
+                    Json::from(if d.is_error() { "error" } else { "warning" }),
+                );
+                if !d.span.is_none() {
+                    m.insert("line".to_string(), Json::from(d.span.line as u64));
+                    m.insert("col".to_string(), Json::from(d.span.col as u64));
+                }
+                m.insert("message".to_string(), Json::from(d.message.as_str()));
+                if let Some(help) = &d.help {
+                    m.insert("help".to_string(), Json::from(help.as_str()));
+                }
+                Json::Obj(m)
+            })
+            .collect(),
+    )
+}
+
+/// Serializes one layout object. Coordinates are in database units
+/// (the technology grid); shapes and ports appear in storage order,
+/// which the pipeline keeps deterministic.
+pub fn layout_json(obj: &LayoutObject, rules: &RuleSet) -> Json {
+    let bbox = obj.bbox();
+    let shapes = Json::Arr(
+        obj.shapes()
+            .iter()
+            .map(|s| {
+                let mut m = BTreeMap::new();
+                m.insert("layer".to_string(), Json::from(rules.layer_name(s.layer)));
+                m.insert(
+                    "rect".to_string(),
+                    Json::Arr(vec![
+                        Json::from(s.rect.x0),
+                        Json::from(s.rect.y0),
+                        Json::from(s.rect.x1),
+                        Json::from(s.rect.y1),
+                    ]),
+                );
+                if let Some(net) = s.net {
+                    m.insert("net".to_string(), Json::from(obj.net_name(net)));
+                }
+                match s.role {
+                    amgen_db::ShapeRole::Normal => {}
+                    amgen_db::ShapeRole::DeviceActive => {
+                        m.insert("role".to_string(), Json::from("active"));
+                    }
+                    amgen_db::ShapeRole::SubstrateContact => {
+                        m.insert("role".to_string(), Json::from("substrate_contact"));
+                    }
+                }
+                Json::Obj(m)
+            })
+            .collect(),
+    );
+    let ports = Json::Arr(
+        obj.ports()
+            .iter()
+            .map(|p| {
+                let mut m = BTreeMap::new();
+                m.insert("name".to_string(), Json::from(p.name.as_str()));
+                m.insert("layer".to_string(), Json::from(rules.layer_name(p.layer)));
+                m.insert(
+                    "rect".to_string(),
+                    Json::Arr(vec![
+                        Json::from(p.rect.x0),
+                        Json::from(p.rect.y0),
+                        Json::from(p.rect.x1),
+                        Json::from(p.rect.y1),
+                    ]),
+                );
+                if let Some(net) = p.net {
+                    m.insert("net".to_string(), Json::from(obj.net_name(net)));
+                }
+                Json::Obj(m)
+            })
+            .collect(),
+    );
+    Json::obj([
+        ("name", Json::from(obj.name())),
+        (
+            "bbox",
+            Json::Arr(vec![
+                Json::from(bbox.x0),
+                Json::from(bbox.y0),
+                Json::from(bbox.x1),
+                Json::from(bbox.y1),
+            ]),
+        ),
+        ("shapes", shapes),
+        ("ports", ports),
+    ])
+}
+
+/// The `stats` section: per-request wall time and resource use, the
+/// metrics snapshot line, optional trace report, and advisory flags.
+#[allow(clippy::too_many_arguments)]
+pub fn stats_json(
+    wall: Duration,
+    fuel_used: u64,
+    snap: &MetricsSnapshot,
+    flags: Vec<&'static str>,
+    trace_report: Option<String>,
+) -> Json {
+    let mut m = BTreeMap::new();
+    m.insert(
+        "wall_us".to_string(),
+        Json::from(wall.as_micros().min(u64::MAX as u128) as u64),
+    );
+    m.insert("fuel_used".to_string(), Json::from(fuel_used));
+    m.insert("cache_hits".to_string(), Json::from(snap.cache_hits));
+    m.insert("cache_misses".to_string(), Json::from(snap.cache_misses));
+    m.insert("metrics".to_string(), Json::from(snap.to_string()));
+    if !flags.is_empty() {
+        m.insert(
+            "flags".to_string(),
+            Json::Arr(flags.into_iter().map(Json::from).collect()),
+        );
+    }
+    if let Some(report) = trace_report {
+        m.insert("trace".to_string(), Json::from(report));
+    }
+    Json::Obj(m)
+}
+
+/// Parses a raw frame payload into a request, mapping each failure mode
+/// to its wire code.
+pub fn parse_request(payload: &[u8]) -> Result<Request, (ErrorCode, String)> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| (ErrorCode::InvalidUtf8, format!("payload is not UTF-8: {e}")))?;
+    let doc = json::parse(text).map_err(|e| (ErrorCode::BadJson, e.to_string()))?;
+    Request::from_json(&doc).map_err(|e| (ErrorCode::BadRequest, e.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"a\":1}").unwrap();
+        assert_eq!(buf, b"7\n{\"a\":1}");
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r, 1024).unwrap(), b"{\"a\":1}");
+        assert!(matches!(read_frame(&mut r, 1024), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn framing_rejects_hostile_prefixes() {
+        let mut r: &[u8] = b"abc\n{}";
+        assert!(matches!(
+            read_frame(&mut r, 1024),
+            Err(FrameError::BadLength)
+        ));
+        let mut r: &[u8] = b"999999999\n"; // 9 digits
+        assert!(matches!(
+            read_frame(&mut r, 1024),
+            Err(FrameError::BadLength)
+        ));
+        let mut r: &[u8] = b"99999999\n"; // 8 digits, over max
+        assert!(matches!(
+            read_frame(&mut r, 1024),
+            Err(FrameError::TooLarge(99_999_999))
+        ));
+        let mut r: &[u8] = b"10\nshort";
+        assert!(matches!(
+            read_frame(&mut r, 1024),
+            Err(FrameError::Truncated)
+        ));
+        let mut r: &[u8] = b"12";
+        assert!(matches!(
+            read_frame(&mut r, 1024),
+            Err(FrameError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn request_schema_is_strict() {
+        let ok =
+            json::parse(r#"{"source":"x = 1","params":{"W":10},"budget":{"fuel":5}}"#).unwrap();
+        let req = Request::from_json(&ok).unwrap();
+        assert_eq!(req.tenant, "anon");
+        assert_eq!(req.budget.fuel, Some(5));
+        assert_eq!(req.prelude(), "W = 10\n");
+
+        for bad in [
+            r#"{"params":{}}"#,                            // missing source
+            r#"{"source":"x = 1","sauce":"typo"}"#,        // unknown field
+            r#"{"source":"x = 1","budget":{"fool":1}}"#,   // unknown budget knob
+            r#"{"source":"x = 1","params":{"1bad":2}}"#,   // invalid identifier
+            r#"{"source":"x = 1","params":{"s":"a\"b"}}"#, // quote smuggling
+            r#"{"source":"x = 1","budget":{"fuel":-1}}"#,  // negative cap
+            r#"[1,2,3]"#,                                  // not an object
+        ] {
+            let doc = json::parse(bad).unwrap();
+            assert!(Request::from_json(&doc).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn prelude_orders_params_by_name() {
+        let doc = json::parse(r#"{"source":"","params":{"b":2,"a":1.5,"layer":"poly"}}"#).unwrap();
+        let req = Request::from_json(&doc).unwrap();
+        assert_eq!(req.prelude(), "a = 1.5\nb = 2\nlayer = \"poly\"\n");
+    }
+
+    #[test]
+    fn error_codes_are_unique_and_phased() {
+        let mut names: Vec<_> = ErrorCode::ALL.iter().map(|c| c.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ErrorCode::ALL.len());
+        assert_eq!(ErrorCode::BadFrame.phase(), ErrorPhase::Protocol);
+        assert_eq!(ErrorCode::AdmissionRefused.phase(), ErrorPhase::Admission);
+        assert_eq!(ErrorCode::Overloaded.phase(), ErrorPhase::Overload);
+        assert_eq!(ErrorCode::StageFailed.phase(), ErrorPhase::Runtime);
+    }
+
+    #[test]
+    fn gen_kind_mapping_covers_the_taxonomy() {
+        use amgen_core::{FaultSite, Stage};
+        let cases = [
+            (
+                GenError::budget(Stage::Dsl, Resource::DslFuel).kind,
+                ErrorCode::BudgetExhausted,
+            ),
+            (GenError::cancelled(Stage::Opt).kind, ErrorCode::Cancelled),
+            (
+                GenError::worker_panic(Stage::Opt, "boom").kind,
+                ErrorCode::WorkerPanic,
+            ),
+            (
+                GenError::fault(Stage::Prim, FaultSite::PrimCall, "x").kind,
+                ErrorCode::FaultInjected,
+            ),
+            (
+                GenError::stage_msg(Stage::Modgen, "bad").kind,
+                ErrorCode::StageFailed,
+            ),
+        ];
+        for (kind, want) in cases {
+            assert_eq!(ErrorCode::from_gen_kind(&kind), want);
+        }
+    }
+
+    #[test]
+    fn responses_split_deterministic_payload_from_stats() {
+        let r = Response::ok("r1", Json::obj([]), Json::Arr(vec![]));
+        let with = r
+            .clone()
+            .with_stats(Json::obj([("wall_us", Json::from(5u64))]));
+        assert_eq!(r.payload_string(), with.payload_string());
+        assert!(with.wire_string().contains("\"stats\""));
+        assert!(!with.payload_string().contains("\"stats\""));
+        assert!(r.payload_string().contains("\"ok\":true"));
+    }
+}

@@ -1,0 +1,715 @@
+//! The server: a sharded worker pool behind a TCP accept loop (or a
+//! single-shot stdin/stdout runner), with per-tenant accounting and
+//! admission-gated execution.
+//!
+//! # Life of a request
+//!
+//! 1. A connection thread reads one frame, parses and validates the
+//!    request (framing or schema failures answer immediately with a
+//!    `protocol`-phase error).
+//! 2. The request is dispatched to a worker shard chosen by tenant
+//!    hash — one tenant's requests serialize on one shard, so a noisy
+//!    tenant contends with itself first. The shard queue is *bounded*:
+//!    a full queue answers `OVERLOADED` immediately instead of queueing
+//!    without limit, and a request that waited past its wall deadline
+//!    is shed on dequeue without executing.
+//! 3. The worker builds a fresh per-request [`GenCtx`] (fresh metrics,
+//!    clamped budget, the process-wide [`GenCache`], the per-tech
+//!    compiled [`RuleSet`]) and runs the program through
+//!    `amgen_lint::checked_run_full` — lint errors and certified-over-
+//!    budget programs are refused at admission with zero fuel spent.
+//! 4. The response carries the layouts (or a typed staged error), the
+//!    diagnostics, and a `stats` section; the request's metrics deltas
+//!    fold into the tenant's long-lived aggregate.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use amgen_core::{Budget, GenCache, GenCtx, Metrics};
+use amgen_dsl::ast::Entity;
+use amgen_dsl::parser::parse;
+use amgen_dsl::{DslError, Interpreter};
+use amgen_lint::{checked_run_full, CheckError};
+use amgen_tech::{RuleSet, Tech};
+
+use crate::json::Json;
+use crate::proto::{
+    diagnostics_json, gen_error_detail, layout_json, parse_request, read_frame, stats_json,
+    write_frame, ErrorCode, FrameError, Request, Response,
+};
+
+/// Server tuning knobs. [`ServeConfig::default`] is sized for tests and
+/// small deployments; the binary exposes each as a flag.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker shards. One tenant always lands on one shard.
+    pub workers: usize,
+    /// Bounded depth of each shard queue; a full queue sheds.
+    pub queue_depth: usize,
+    /// Largest accepted request frame, bytes.
+    pub max_frame: usize,
+    /// The per-tenant budget *cap*: requests may tighten these knobs,
+    /// never widen them.
+    pub tenant_budget: Budget,
+    /// Cap on the per-request wall deadline; also the shed horizon for
+    /// queued requests.
+    pub wall_cap: Duration,
+    /// Capacity of the process-wide generation cache (modules).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_depth: 64,
+            max_frame: 1 << 20,
+            // Generous enough for every embedded figure workload
+            // (their certificates are in the hundreds-to-thousands),
+            // tight enough that the hostile corpus's bombs (certified
+            // fuel >= 60k) are refused at admission.
+            tenant_budget: Budget::unlimited()
+                .with_dsl_fuel(50_000)
+                .with_max_compact_steps(200_000),
+            wall_cap: Duration::from_secs(5),
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// FNV-1a: the shard picker. Stable across runs so a tenant's shard
+/// assignment is deterministic.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+enum Job {
+    Req {
+        req: Box<Request>,
+        enqueued: Instant,
+        wall: Duration,
+        reply: SyncSender<Response>,
+    },
+    Stop,
+}
+
+/// State shared by the accept loop, connection threads and workers.
+struct Shared {
+    config: ServeConfig,
+    /// The process-wide content-addressed generation cache; every
+    /// request's context shares it.
+    cache: Arc<GenCache>,
+    /// The embedded module library, parsed once. Entities are *unbound*
+    /// (see `Interpreter::load_entities`) and cloned into each
+    /// per-request interpreter.
+    stdlib: Vec<Entity>,
+    /// Per-`tech` compiled rule kernels, built on first use.
+    rulesets: Mutex<BTreeMap<String, Arc<RuleSet>>>,
+    /// Per-tenant aggregate metrics; each request's deltas fold in.
+    tenants: Mutex<BTreeMap<String, Arc<Metrics>>>,
+    shards: Vec<SyncSender<Job>>,
+    served: AtomicU64,
+    shed: AtomicU64,
+    protocol_errors: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn new(config: ServeConfig, shards: Vec<SyncSender<Job>>) -> Shared {
+        let cache = Arc::new(GenCache::with_capacity(config.cache_capacity));
+        let stdlib = stdlib_entities();
+        Shared {
+            config,
+            cache,
+            stdlib,
+            rulesets: Mutex::new(BTreeMap::new()),
+            tenants: Mutex::new(BTreeMap::new()),
+            shards,
+            served: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// The compiled kernel for a technology id, or `None` for an
+    /// unknown one. Kernels compile once and are shared by every
+    /// request for that technology.
+    fn ruleset(&self, tech: &str) -> Option<Arc<RuleSet>> {
+        let mut map = self.rulesets.lock().expect("ruleset lock");
+        if let Some(r) = map.get(tech) {
+            return Some(Arc::clone(r));
+        }
+        let compiled = match tech {
+            "bicmos_1u" => Tech::bicmos_1u().compile_arc(),
+            "cmos_08" => Tech::cmos_08().compile_arc(),
+            _ => return None,
+        };
+        map.insert(tech.to_string(), Arc::clone(&compiled));
+        Some(compiled)
+    }
+
+    fn tenant_metrics(&self, tenant: &str) -> Arc<Metrics> {
+        let mut map = self.tenants.lock().expect("tenant lock");
+        Arc::clone(
+            map.entry(tenant.to_string())
+                .or_insert_with(|| Arc::new(Metrics::new())),
+        )
+    }
+}
+
+/// Parses the embedded module library once. The sources are trusted
+/// compile-time constants; a parse failure is a build defect.
+fn stdlib_entities() -> Vec<Entity> {
+    use amgen_dsl::stdlib;
+    let mut out = Vec::new();
+    for lib in [
+        stdlib::FIG2_CONTACT_ROW,
+        stdlib::FIG7_DIFF_PAIR,
+        stdlib::INTERDIGIT,
+        stdlib::STACKED,
+        stdlib::CENTROID_PLACEMENT,
+        stdlib::VARIANT_ROW,
+    ] {
+        let prog = parse(lib).expect("embedded library parses");
+        out.extend(prog.entities);
+    }
+    out
+}
+
+/// The effective budget of one request: each spec knob clamps to the
+/// tenant cap — a client can tighten its budget, never widen it.
+fn effective_budget(config: &ServeConfig, req: &Request) -> Budget {
+    let cap = config.tenant_budget;
+    let spec = &req.budget;
+    Budget::unlimited()
+        .with_dsl_fuel(spec.fuel.map_or(cap.dsl_fuel, |f| f.min(cap.dsl_fuel)))
+        .with_max_recursion(
+            spec.recursion
+                .map_or(cap.max_recursion, |r| (r as usize).min(cap.max_recursion)),
+        )
+        .with_max_compact_steps(
+            spec.compact_steps
+                .map_or(cap.max_compact_steps, |s| s.min(cap.max_compact_steps)),
+        )
+        .with_wall(req.wall(config.wall_cap))
+}
+
+/// Executes one admitted request end to end and builds its response.
+fn process(shared: &Shared, req: &Request) -> Response {
+    let Some(rules) = shared.ruleset(&req.tech) else {
+        return Response::error(
+            &req.id,
+            ErrorCode::UnknownTech,
+            Json::obj([(
+                "message",
+                Json::from(format!("unknown technology `{}`", req.tech)),
+            )]),
+            Json::Arr(Vec::new()),
+        );
+    };
+
+    let ctx = GenCtx::new(Arc::clone(&rules))
+        .with_budget(effective_budget(&shared.config, req))
+        .with_cache(Arc::clone(&shared.cache))
+        .with_tracing(req.want_trace);
+    let mut interp = Interpreter::new(ctx);
+    interp.load_entities(shared.stdlib.iter().cloned());
+
+    let source = format!("{}{}", req.prelude(), req.source);
+    let t0 = Instant::now();
+    let (diags, result) = checked_run_full(&mut interp, &source);
+    let wall = t0.elapsed();
+
+    let diagnostics = diagnostics_json(&diags);
+    let mut response = match result {
+        Ok(layouts) => {
+            let mut objs = BTreeMap::new();
+            for (name, obj) in &layouts {
+                objs.insert(name.clone(), layout_json(obj, &rules));
+            }
+            Response::ok(&req.id, Json::Obj(objs), diagnostics)
+        }
+        Err(CheckError::Lint(all)) => Response::error(
+            &req.id,
+            ErrorCode::LintRejected,
+            Json::obj([(
+                "message",
+                Json::from(format!(
+                    "lint found {} error(s); program not run",
+                    all.iter().filter(|d| d.is_error()).count()
+                )),
+            )]),
+            diagnostics_json(&all),
+        ),
+        Err(CheckError::Admission { estimate, reason }) => {
+            let mut detail = BTreeMap::new();
+            detail.insert("message".to_string(), Json::from(reason));
+            if let Some(fuel) = estimate.fuel {
+                detail.insert("certified_fuel".to_string(), Json::from(fuel));
+            }
+            Response::error(
+                &req.id,
+                ErrorCode::AdmissionRefused,
+                Json::Obj(detail),
+                diagnostics,
+            )
+        }
+        Err(CheckError::Run(e)) => {
+            let (code, detail) = match &e {
+                DslError::Gen(g) => (ErrorCode::from_gen_kind(&g.kind), gen_error_detail(g)),
+                other => (
+                    ErrorCode::RuntimeError,
+                    Json::obj([("message", Json::from(other.to_string()))]),
+                ),
+            };
+            Response::error(&req.id, code, detail, diagnostics)
+        }
+    };
+
+    // Fold this request's metrics into the tenant aggregate, then
+    // attach the per-request stats section.
+    let mut snap = interp.ctx().metrics.snapshot();
+    snap.rule_queries = 0; // kernel counter is per-tech, not per-request
+    shared.tenant_metrics(&req.tenant).absorb(&snap);
+    if req.want_stats {
+        let fuel_used = interp.ctx().limits.fuel_used();
+        let mut flags = Vec::new();
+        if snap.cache_hits > 0 {
+            flags.push("cache_hit");
+        }
+        let trace_report = if req.want_trace {
+            Some(interp.ctx().trace.drain().report(16))
+        } else {
+            None
+        };
+        response = response.with_stats(stats_json(wall, fuel_used, &snap, flags, trace_report));
+    }
+    response
+}
+
+/// `process` behind a panic barrier: an escaped worker panic becomes a
+/// `WORKER_PANIC` response instead of a dead shard.
+fn process_isolated(shared: &Shared, req: &Request) -> Response {
+    match catch_unwind(AssertUnwindSafe(|| process(shared, req))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".to_string());
+            Response::error(
+                &req.id,
+                ErrorCode::WorkerPanic,
+                Json::obj([("message", Json::from(msg))]),
+                Json::Arr(Vec::new()),
+            )
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, jobs: Receiver<Job>) {
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Stop => break,
+            Job::Req {
+                req,
+                enqueued,
+                wall,
+                reply,
+            } => {
+                let response = if enqueued.elapsed() > wall {
+                    // The deadline passed while the request sat in the
+                    // queue; executing now would only return a result
+                    // the client has given up on.
+                    shared.shed.fetch_add(1, Ordering::Relaxed);
+                    Response::error(
+                        &req.id,
+                        ErrorCode::Overloaded,
+                        Json::obj([("message", Json::from("deadline expired while queued"))]),
+                        Json::Arr(Vec::new()),
+                    )
+                } else {
+                    let r = process_isolated(&shared, &req);
+                    shared.served.fetch_add(1, Ordering::Relaxed);
+                    r
+                };
+                // A send failure means the client disconnected
+                // mid-request; the result is simply dropped.
+                let _ = reply.send(response);
+            }
+        }
+    }
+}
+
+/// Handles one connection: strictly sequential request/response pairs.
+/// Concurrency comes from concurrent connections.
+fn connection_loop(shared: &Shared, stream: TcpStream) {
+    let mut reader = std::io::BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = std::io::BufWriter::new(stream);
+    loop {
+        let payload = match read_frame(&mut reader, shared.config.max_frame) {
+            Ok(p) => p,
+            Err(e) => {
+                if let Some(code) = e.code() {
+                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    let resp = Response::error(
+                        "",
+                        code,
+                        Json::obj([("message", Json::from(e.to_string()))]),
+                        Json::Arr(Vec::new()),
+                    );
+                    let _ = write_frame(&mut writer, resp.wire_string().as_bytes());
+                }
+                return; // framing failures are not recoverable mid-stream
+            }
+        };
+        let response = match parse_request(&payload) {
+            Err((code, message)) => {
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                Response::error(
+                    "",
+                    code,
+                    Json::obj([("message", Json::from(message))]),
+                    Json::Arr(Vec::new()),
+                )
+            }
+            Ok(req) => dispatch(shared, req),
+        };
+        if write_frame(&mut writer, response.wire_string().as_bytes()).is_err() {
+            return; // client went away mid-response
+        }
+    }
+}
+
+/// Queues a request on its tenant's shard and waits for the result,
+/// shedding instead of blocking when the shard is saturated.
+fn dispatch(shared: &Shared, req: Request) -> Response {
+    let wall = req.wall(shared.config.wall_cap);
+    let shard = (fnv1a(&req.tenant) as usize) % shared.shards.len();
+    let (reply_tx, reply_rx) = sync_channel(1);
+    let id = req.id.clone();
+    let job = Job::Req {
+        req: Box::new(req),
+        enqueued: Instant::now(),
+        wall,
+        reply: reply_tx,
+    };
+    match shared.shards[shard].try_send(job) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            return Response::error(
+                &id,
+                ErrorCode::Overloaded,
+                Json::obj([("message", Json::from("worker queue full"))]),
+                Json::Arr(Vec::new()),
+            );
+        }
+    }
+    match reply_rx.recv() {
+        Ok(r) => r,
+        // The worker died between dequeue and reply — only possible if
+        // the panic barrier itself failed.
+        Err(_) => Response::error(
+            &id,
+            ErrorCode::WorkerPanic,
+            Json::obj([("message", Json::from("worker disappeared"))]),
+            Json::Arr(Vec::new()),
+        ),
+    }
+}
+
+/// A running server: accept loop + worker pool. Dropping the handle
+/// without [`Server::shutdown`] leaves the threads running detached.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral test port), spawns the
+    /// worker pool and the accept loop, and returns immediately.
+    pub fn start(addr: &str, config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let workers_n = config.workers.max(1);
+        let mut senders = Vec::with_capacity(workers_n);
+        let mut receivers = Vec::with_capacity(workers_n);
+        for _ in 0..workers_n {
+            let (tx, rx) = sync_channel(config.queue_depth.max(1));
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared::new(config, senders));
+        let workers = receivers
+            .into_iter()
+            .map(|rx| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(shared, rx))
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let shared = Arc::clone(&shared);
+                    // Connection threads are detached: they exit when
+                    // their client disconnects.
+                    std::thread::spawn(move || connection_loop(&shared, stream));
+                }
+            })
+        };
+        Ok(Server {
+            shared,
+            addr: local,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests fully served (admitted or refused with a typed error).
+    pub fn served(&self) -> u64 {
+        self.shared.served.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed under load (queue full or deadline expired queued).
+    pub fn shed(&self) -> u64 {
+        self.shared.shed.load(Ordering::Relaxed)
+    }
+
+    /// Frames or documents rejected at the protocol layer.
+    pub fn protocol_errors(&self) -> u64 {
+        self.shared.protocol_errors.load(Ordering::Relaxed)
+    }
+
+    /// The periodic stats block: one totals line, then one line per
+    /// tenant with its aggregate [`Metrics`] snapshot — the snapshot's
+    /// `Display` now carries cache hits/misses and admission refusals,
+    /// so this block is self-describing.
+    pub fn stats_lines(&self) -> Vec<String> {
+        let mut lines = vec![format!(
+            "served={} shed={} protocol_errors={}",
+            self.served(),
+            self.shed(),
+            self.protocol_errors()
+        )];
+        let tenants = self.shared.tenants.lock().expect("tenant lock");
+        for (tenant, metrics) in tenants.iter() {
+            lines.push(format!("tenant={tenant} {}", metrics.snapshot()));
+        }
+        lines
+    }
+
+    /// Stops accepting, drains the workers and joins them.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for tx in &self.shared.shards {
+            let _ = tx.send(Job::Stop);
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The `--once` runner: serves frames from `input` until end of stream,
+/// writing responses to `output` — the whole pipeline without sockets
+/// or threads, for tests and shell pipelines.
+pub fn run_once(
+    config: ServeConfig,
+    input: &mut impl Read,
+    output: &mut impl Write,
+) -> std::io::Result<()> {
+    let shared = Shared::new(config, Vec::new());
+    loop {
+        let payload = match read_frame(input, shared.config.max_frame) {
+            Ok(p) => p,
+            Err(FrameError::Closed) => return Ok(()),
+            Err(FrameError::Io(e)) => return Err(e),
+            Err(e) => {
+                if let Some(code) = e.code() {
+                    let resp = Response::error(
+                        "",
+                        code,
+                        Json::obj([("message", Json::from(e.to_string()))]),
+                        Json::Arr(Vec::new()),
+                    );
+                    write_frame(output, resp.wire_string().as_bytes())?;
+                }
+                return Ok(());
+            }
+        };
+        let response = match parse_request(&payload) {
+            Err((code, message)) => Response::error(
+                "",
+                code,
+                Json::obj([("message", Json::from(message))]),
+                Json::Arr(Vec::new()),
+            ),
+            Ok(req) => process_isolated(&shared, &req),
+        };
+        write_frame(output, response.wire_string().as_bytes())?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn once(requests: &[&str]) -> Vec<Json> {
+        let mut input = Vec::new();
+        for r in requests {
+            write_frame(&mut input, r.as_bytes()).unwrap();
+        }
+        let mut output = Vec::new();
+        run_once(ServeConfig::default(), &mut &input[..], &mut output).unwrap();
+        let mut docs = Vec::new();
+        let mut cursor = &output[..];
+        loop {
+            match read_frame(&mut cursor, usize::MAX) {
+                Ok(p) => docs.push(json::parse(std::str::from_utf8(&p).unwrap()).unwrap()),
+                Err(FrameError::Closed) => break,
+                Err(e) => panic!("bad response frame: {e}"),
+            }
+        }
+        docs
+    }
+
+    fn error_code(doc: &Json) -> &str {
+        doc.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .unwrap()
+    }
+
+    #[test]
+    fn serves_a_figure_workload() {
+        let req = r#"{"id":"fig2","source":"row = ContactRow(layer = \"poly\", W = 10)"}"#;
+        let docs = once(&[req, req]);
+        assert_eq!(docs.len(), 2);
+        for doc in &docs {
+            assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+            assert_eq!(doc.get("id").and_then(Json::as_str), Some("fig2"));
+            let layouts = doc.get("layouts").and_then(Json::as_obj).unwrap();
+            assert!(layouts.contains_key("row"));
+            let shapes = layouts["row"].get("shapes").unwrap();
+            assert!(matches!(shapes, Json::Arr(v) if !v.is_empty()));
+        }
+        // Second run hits the generation cache.
+        let stats = docs[1].get("stats").and_then(Json::as_obj).unwrap();
+        assert!(stats["cache_hits"].as_num().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn params_reach_the_program() {
+        let docs = once(&[
+            r#"{"id":"p","source":"row = ContactRow(layer = lyr, W = w)","params":{"lyr":"metal1","w":12}}"#,
+        ]);
+        assert_eq!(docs[0].get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn fuel_bomb_is_refused_at_admission_with_zero_fuel() {
+        let bomb = amgen_faults::hostile::FUEL_BOMB;
+        let req = format!(r#"{{"id":"bomb","source":{}}}"#, Json::from(bomb.source));
+        let docs = once(&[&req]);
+        assert_eq!(docs[0].get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(error_code(&docs[0]), "ADMISSION_REFUSED");
+        let stats = docs[0].get("stats").and_then(Json::as_obj).unwrap();
+        assert_eq!(stats["fuel_used"].as_num(), Some(0.0));
+    }
+
+    #[test]
+    fn unknown_tech_and_lint_errors_are_typed() {
+        let docs = once(&[
+            r#"{"id":"t","tech":"nmos_5u","source":"x = 1"}"#,
+            r#"{"id":"l","source":"x = NoSuchEntity()"}"#,
+        ]);
+        assert_eq!(error_code(&docs[0]), "UNKNOWN_TECH");
+        assert_eq!(error_code(&docs[1]), "LINT_REJECTED");
+        let diags = docs[1].get("diagnostics").unwrap();
+        assert!(matches!(diags, Json::Arr(v) if !v.is_empty()));
+    }
+
+    #[test]
+    fn budget_clamps_to_the_tenant_cap() {
+        // A request asking for more fuel than the cap still gets the
+        // cap: the bomb stays refused.
+        let bomb = amgen_faults::hostile::FUEL_BOMB;
+        let req = format!(
+            r#"{{"id":"b","budget":{{"fuel":99999999}},"source":{}}}"#,
+            Json::from(bomb.source)
+        );
+        let docs = once(&[&req]);
+        assert_eq!(error_code(&docs[0]), "ADMISSION_REFUSED");
+    }
+
+    #[test]
+    fn deterministic_payload_for_identical_requests() {
+        let req = r#"{"id":"d","source":"row = ContactRow(layer = \"poly\", W = 8)"}"#;
+        let mut payloads = Vec::new();
+        for _ in 0..2 {
+            let mut input = Vec::new();
+            write_frame(&mut input, req.as_bytes()).unwrap();
+            let mut output = Vec::new();
+            run_once(ServeConfig::default(), &mut &input[..], &mut output).unwrap();
+            let mut cursor = &output[..];
+            let p = read_frame(&mut cursor, usize::MAX).unwrap();
+            let doc = json::parse(std::str::from_utf8(&p).unwrap()).unwrap();
+            // Strip the stats section: it is the documented
+            // non-deterministic remainder.
+            let mut m = match doc {
+                Json::Obj(m) => m,
+                _ => panic!("response is an object"),
+            };
+            m.remove("stats");
+            payloads.push(Json::Obj(m).to_string());
+        }
+        assert_eq!(payloads[0], payloads[1]);
+    }
+
+    #[test]
+    fn stats_can_be_disabled_and_trace_enabled() {
+        let docs = once(&[
+            r#"{"id":"s0","stats":false,"source":"row = ContactRow(layer = \"poly\", W = 6)"}"#,
+            r#"{"id":"s1","trace":true,"source":"row = ContactRow(layer = \"poly\", W = 6)"}"#,
+        ]);
+        assert!(docs[0].get("stats").is_none());
+        let stats = docs[1].get("stats").and_then(Json::as_obj).unwrap();
+        assert!(stats.contains_key("trace"));
+    }
+}

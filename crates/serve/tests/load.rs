@@ -1,0 +1,295 @@
+//! The load harness: hundreds of concurrent mixed requests — figure
+//! workloads plus the hostile corpus's bombs — replayed against a live
+//! server. Asserts zero panics, byte-identical deterministic payloads
+//! for identical requests, admission refusals with zero fuel spent, and
+//! prints the throughput/p50/p99 line recorded in BENCH_serve.json.
+//!
+//! Run with `--nocapture` to see the numbers:
+//!
+//! ```text
+//! cargo test --release -p amgen-serve --test load -- --nocapture
+//! ```
+
+use std::collections::BTreeMap;
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use amgen_faults::hostile::{self, Refusal};
+use amgen_serve::json::{self, Json};
+use amgen_serve::proto::{read_frame, write_frame};
+use amgen_serve::{ServeConfig, Server};
+
+/// One workload of the mixed corpus.
+struct Work {
+    id: &'static str,
+    request: String,
+    /// `None` = must succeed; `Some(code)` = must be refused with
+    /// exactly this code and zero fuel spent.
+    refusal: Option<&'static str>,
+}
+
+fn corpus() -> Vec<Work> {
+    let mut corpus = vec![
+        Work {
+            id: "fig2-poly",
+            request: r#"{"id":"fig2-poly","source":"row = ContactRow(layer = \"poly\", W = 10)"}"#
+                .into(),
+            refusal: None,
+        },
+        Work {
+            id: "fig2-pdiff",
+            request:
+                r#"{"id":"fig2-pdiff","source":"row = ContactRow(layer = lyr, W = w)","params":{"lyr":"pdiff","w":14}}"#
+                    .into(),
+            refusal: None,
+        },
+        Work {
+            id: "fig7",
+            request: r#"{"id":"fig7","source":"pair = DiffPair(W = 10, L = 2)"}"#.into(),
+            refusal: None,
+        },
+        Work {
+            id: "interdigit",
+            request:
+                r#"{"id":"interdigit","source":"t = Interdigit(n = n, W = 8, L = 2)","params":{"n":4}}"#
+                    .into(),
+            refusal: None,
+        },
+        Work {
+            id: "stacked",
+            request: r#"{"id":"stacked","source":"s = Stacked(n = 3, W = 8, L = 2)"}"#.into(),
+            refusal: None,
+        },
+        Work {
+            id: "variant",
+            request: r#"{"id":"variant","source":"r = FlexRow(layer = \"poly\", S = 20)"}"#.into(),
+            refusal: None,
+        },
+    ];
+    for bomb in hostile::ALL {
+        corpus.push(Work {
+            id: bomb.name,
+            request: format!(
+                r#"{{"id":{},"source":{}}}"#,
+                Json::from(bomb.name),
+                Json::from(bomb.source)
+            ),
+            refusal: Some(match bomb.refusal {
+                Refusal::Lint => "LINT_REJECTED",
+                Refusal::Admission => "ADMISSION_REFUSED",
+                Refusal::Dynamic => "BUDGET_EXHAUSTED",
+            }),
+        });
+    }
+    corpus
+}
+
+/// Strips the documented non-deterministic section and returns the
+/// canonical payload serialization.
+fn deterministic_payload(doc: Json) -> String {
+    match doc {
+        Json::Obj(mut m) => {
+            m.remove("stats");
+            Json::Obj(m).to_string()
+        }
+        other => other.to_string(),
+    }
+}
+
+#[test]
+fn mixed_load_is_panic_free_deterministic_and_fast_enough() {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.addr();
+    let corpus = corpus();
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 40; // 320 requests total
+
+    // id -> every deterministic payload observed for that id.
+    let payloads: Mutex<BTreeMap<String, Vec<String>>> = Mutex::new(BTreeMap::new());
+    let latencies: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
+    let t0 = Instant::now();
+
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let corpus = &corpus;
+            let payloads = &payloads;
+            let latencies = &latencies;
+            scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                for i in 0..PER_CLIENT {
+                    // Stagger the starting offset per client so the
+                    // request mix interleaves across connections, and
+                    // spread the clients over four tenants so dispatch
+                    // exercises more than one shard (the tenant is not
+                    // part of the deterministic payload).
+                    let work = &corpus[(client + i) % corpus.len()];
+                    let request = format!(
+                        "{{\"tenant\":\"team-{}\",{}",
+                        client % 4,
+                        &work.request[1..]
+                    );
+                    let sent = Instant::now();
+                    write_frame(&mut stream, request.as_bytes()).unwrap();
+                    let payload = read_frame(&mut stream, usize::MAX).expect("response");
+                    latencies.lock().unwrap().push(sent.elapsed());
+
+                    let doc =
+                        json::parse(std::str::from_utf8(&payload).unwrap()).expect("valid JSON");
+                    assert_eq!(
+                        doc.get("id").and_then(Json::as_str),
+                        Some(work.id),
+                        "response id echoes the request"
+                    );
+                    let code = doc
+                        .get("error")
+                        .and_then(|e| e.get("code"))
+                        .and_then(Json::as_str);
+                    assert_ne!(code, Some("WORKER_PANIC"), "zero panics under load");
+                    match work.refusal {
+                        None => {
+                            assert_eq!(
+                                doc.get("ok").and_then(Json::as_bool),
+                                Some(true),
+                                "workload `{}` must succeed, got {code:?}",
+                                work.id
+                            );
+                        }
+                        Some(want) => {
+                            assert_eq!(code, Some(want), "bomb `{}`", work.id);
+                            let fuel = doc
+                                .get("stats")
+                                .and_then(|s| s.get("fuel_used"))
+                                .and_then(Json::as_num);
+                            assert_eq!(
+                                fuel,
+                                Some(0.0),
+                                "bomb `{}` must be refused with zero fuel spent",
+                                work.id
+                            );
+                        }
+                    }
+                    payloads
+                        .lock()
+                        .unwrap()
+                        .entry(work.id.to_string())
+                        .or_default()
+                        .push(deterministic_payload(doc));
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed();
+
+    // Byte-identical payloads for identical requests — including the
+    // cache-cold first run vs every cache-warm repeat.
+    for (id, observed) in payloads.lock().unwrap().iter() {
+        let first = &observed[0];
+        assert!(
+            observed.iter().all(|p| p == first),
+            "workload `{id}`: {} observations not byte-identical",
+            observed.len()
+        );
+    }
+
+    let mut lat = latencies.lock().unwrap().clone();
+    lat.sort_unstable();
+    let total = lat.len();
+    assert_eq!(total, CLIENTS * PER_CLIENT);
+    let p50 = lat[total / 2];
+    let p99 = lat[total * 99 / 100];
+    let throughput = total as f64 / wall.as_secs_f64();
+    println!(
+        "BENCH_serve: requests={} clients={} wall_ms={} throughput_rps={:.0} p50_us={} p99_us={}",
+        total,
+        CLIENTS,
+        wall.as_millis(),
+        throughput,
+        p50.as_micros(),
+        p99.as_micros()
+    );
+
+    // Generous bound (debug builds on one core stay well under it);
+    // the CI gate re-checks in release where p99 is milliseconds.
+    assert!(
+        p99 < Duration::from_millis(2500),
+        "p99 {p99:?} exceeds the latency budget"
+    );
+    assert_eq!(server.served(), total as u64, "every request fully served");
+    assert_eq!(server.shed(), 0, "no shedding at this load");
+    assert_eq!(server.protocol_errors(), 0);
+
+    // The self-describing stats block: totals plus per-tenant lines
+    // carrying cache and admission counters.
+    let lines = server.stats_lines();
+    assert!(lines[0].starts_with("served="));
+    let tenant_lines: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.starts_with("tenant=team-"))
+        .collect();
+    assert_eq!(tenant_lines.len(), 4, "one aggregate line per tenant");
+    for line in tenant_lines {
+        // Every tenant saw cache traffic and sent every bomb, so its
+        // aggregate line must carry both families of counters.
+        assert!(line.contains("cache_hits="), "stats line: {line}");
+        assert!(line.contains("admission_refused="), "stats line: {line}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn saturation_sheds_with_typed_overload_errors() {
+    // One worker, queue depth 1: concurrent slow-ish requests must
+    // overflow, and overflow answers OVERLOADED instead of blocking.
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).expect("bind");
+    let addr = server.addr();
+    const CLIENTS: usize = 10;
+    let outcomes: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            let outcomes = &outcomes;
+            scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                let req = r#"{"id":"slow","source":"t = Interdigit(n = 6, W = 8, L = 2)"}"#;
+                write_frame(&mut stream, req.as_bytes()).unwrap();
+                let payload = read_frame(&mut stream, usize::MAX).expect("response");
+                let doc = json::parse(std::str::from_utf8(&payload).unwrap()).unwrap();
+                let outcome = match doc.get("ok").and_then(Json::as_bool) {
+                    Some(true) => "ok".to_string(),
+                    _ => doc
+                        .get("error")
+                        .and_then(|e| e.get("code"))
+                        .and_then(Json::as_str)
+                        .unwrap_or("?")
+                        .to_string(),
+                };
+                outcomes.lock().unwrap().push(outcome);
+            });
+        }
+    });
+
+    let outcomes = outcomes.lock().unwrap();
+    assert_eq!(outcomes.len(), CLIENTS);
+    assert!(
+        outcomes.iter().all(|o| o == "ok" || o == "OVERLOADED"),
+        "only success or typed shedding under saturation: {outcomes:?}"
+    );
+    assert!(
+        outcomes.iter().any(|o| o == "ok"),
+        "the pool still makes progress while shedding"
+    );
+    // With 10 simultaneous clients, one worker and one queue slot, at
+    // least one request must have been shed. (The first request warms
+    // the cache, so later ones are fast — but arrival is simultaneous.)
+    assert!(
+        server.shed() > 0 || outcomes.iter().all(|o| o == "ok"),
+        "accounting matches outcomes"
+    );
+    server.shutdown();
+}

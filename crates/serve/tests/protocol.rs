@@ -1,0 +1,194 @@
+//! Hostile-client coverage: every malformed byte stream a client can
+//! send must produce a typed protocol error or a clean close — never a
+//! panic, never a hung worker. After each abuse the server must still
+//! serve a well-formed request.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+
+use amgen_serve::json::{self, Json};
+use amgen_serve::proto::{read_frame, write_frame, FrameError};
+use amgen_serve::{ServeConfig, Server};
+
+fn start() -> Server {
+    Server::start("127.0.0.1:0", ServeConfig::default()).expect("bind test server")
+}
+
+fn connect(server: &Server) -> TcpStream {
+    TcpStream::connect(server.addr()).expect("connect to test server")
+}
+
+/// Sends raw bytes, half-closes, and returns the frames the server
+/// answered before closing.
+fn send_raw(server: &Server, bytes: &[u8]) -> Vec<Json> {
+    let mut stream = connect(server);
+    stream.write_all(bytes).unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    read_all(&mut stream)
+}
+
+fn read_all(stream: &mut TcpStream) -> Vec<Json> {
+    let mut docs = Vec::new();
+    loop {
+        match read_frame(stream, usize::MAX) {
+            Ok(p) => docs.push(json::parse(std::str::from_utf8(&p).unwrap()).unwrap()),
+            Err(FrameError::Closed) => break,
+            Err(e) => panic!("unreadable response frame: {e}"),
+        }
+    }
+    docs
+}
+
+fn error_code(doc: &Json) -> &str {
+    doc.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .expect("error.code present")
+}
+
+/// A well-formed request must still round-trip — the recovery probe run
+/// after every abuse.
+fn assert_still_serving(server: &Server) {
+    let mut stream = connect(server);
+    let req = r#"{"id":"probe","source":"row = ContactRow(layer = \"poly\", W = 10)"}"#;
+    write_frame(&mut stream, req.as_bytes()).unwrap();
+    let payload = read_frame(&mut stream, usize::MAX).unwrap();
+    let doc = json::parse(std::str::from_utf8(&payload).unwrap()).unwrap();
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+}
+
+#[test]
+fn malformed_length_prefixes_get_typed_errors() {
+    let server = start();
+    let cases: [(&[u8], &str); 4] = [
+        (b"abc\n{}", "PROTO_BAD_FRAME"),
+        (b"999999999\n", "PROTO_BAD_FRAME"), // 9 digits: not a length line
+        (b"99999999\n", "PROTO_FRAME_TOO_LARGE"), // 8 digits, over max_frame
+        (b"100\n{\"truncated", "PROTO_TRUNCATED"),
+    ];
+    for (bytes, want) in cases {
+        let docs = send_raw(&server, bytes);
+        assert_eq!(docs.len(), 1, "exactly one error frame for {want}");
+        assert_eq!(error_code(&docs[0]), want);
+        assert_eq!(
+            docs[0]
+                .get("error")
+                .and_then(|e| e.get("phase"))
+                .and_then(Json::as_str),
+            Some("protocol")
+        );
+        assert_still_serving(&server);
+    }
+    assert_eq!(server.protocol_errors(), 4);
+    server.shutdown();
+}
+
+#[test]
+fn mid_request_disconnect_is_a_clean_close() {
+    let server = start();
+    {
+        let mut stream = connect(&server);
+        stream.write_all(b"5000\n{\"id\":").unwrap();
+        // Drop the connection with most of the frame unsent.
+    }
+    {
+        // Disconnect before any bytes at all.
+        let _ = connect(&server);
+    }
+    assert_still_serving(&server);
+    server.shutdown();
+}
+
+#[test]
+fn invalid_utf8_and_bad_json_keep_the_connection_usable() {
+    let server = start();
+    let mut stream = connect(&server);
+
+    write_frame(&mut stream, &[0xff, 0xfe, 0x80, 0x80]).unwrap();
+    let p = read_frame(&mut stream, usize::MAX).unwrap();
+    let doc = json::parse(std::str::from_utf8(&p).unwrap()).unwrap();
+    assert_eq!(error_code(&doc), "PROTO_INVALID_UTF8");
+
+    write_frame(&mut stream, b"{\"id\": oops").unwrap();
+    let p = read_frame(&mut stream, usize::MAX).unwrap();
+    let doc = json::parse(std::str::from_utf8(&p).unwrap()).unwrap();
+    assert_eq!(error_code(&doc), "PROTO_BAD_JSON");
+
+    // Document-level failures are recoverable: the same connection
+    // serves a good request afterwards.
+    let req = r#"{"id":"after","source":"row = ContactRow(layer = \"poly\", W = 10)"}"#;
+    write_frame(&mut stream, req.as_bytes()).unwrap();
+    let p = read_frame(&mut stream, usize::MAX).unwrap();
+    let doc = json::parse(std::str::from_utf8(&p).unwrap()).unwrap();
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+    server.shutdown();
+}
+
+#[test]
+fn schema_violations_are_bad_request() {
+    let server = start();
+    let mut stream = connect(&server);
+    let cases = [
+        r#"{"source":"x = 1","surprise":true}"#,
+        r#"{"params":{"W":10}}"#,
+        r#"{"source":"x = 1","budget":{"fool":1}}"#,
+        r#"{"source":"x = 1","params":{"not an ident":1}}"#,
+        r#"[1,2,3]"#,
+        r#"{"source":"x = 1","params":{"s":"\"; DROP INBOX"}}"#,
+    ];
+    for req in cases {
+        write_frame(&mut stream, req.as_bytes()).unwrap();
+        let p = read_frame(&mut stream, usize::MAX).unwrap();
+        let doc = json::parse(std::str::from_utf8(&p).unwrap()).unwrap();
+        assert_eq!(error_code(&doc), "PROTO_BAD_REQUEST", "for {req}");
+        assert!(
+            doc.get("error").and_then(|e| e.get("message")).is_some(),
+            "refusals explain themselves"
+        );
+    }
+    assert_still_serving(&server);
+    server.shutdown();
+}
+
+#[test]
+fn duplicate_keys_and_depth_bombs_are_rejected() {
+    let server = start();
+    let mut stream = connect(&server);
+
+    write_frame(&mut stream, br#"{"source":"x = 1","source":"y = 2"}"#).unwrap();
+    let p = read_frame(&mut stream, usize::MAX).unwrap();
+    let doc = json::parse(std::str::from_utf8(&p).unwrap()).unwrap();
+    assert_eq!(error_code(&doc), "PROTO_BAD_JSON");
+
+    let depth_bomb = format!("{}1{}", "[".repeat(500), "]".repeat(500));
+    write_frame(&mut stream, depth_bomb.as_bytes()).unwrap();
+    let p = read_frame(&mut stream, usize::MAX).unwrap();
+    let doc = json::parse(std::str::from_utf8(&p).unwrap()).unwrap();
+    assert_eq!(error_code(&doc), "PROTO_BAD_JSON");
+
+    assert_still_serving(&server);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frames_respect_a_small_cap() {
+    let config = ServeConfig {
+        max_frame: 128,
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).unwrap();
+    let mut stream = connect(&server);
+    let big = format!(r#"{{"id":"big","source":"{}"}}"#, "x = 1\\n".repeat(100));
+    assert!(big.len() > 128);
+    write_frame(&mut stream, big.as_bytes()).unwrap();
+    let p = read_frame(&mut stream, usize::MAX).unwrap();
+    let doc = json::parse(std::str::from_utf8(&p).unwrap()).unwrap();
+    assert_eq!(error_code(&doc), "PROTO_FRAME_TOO_LARGE");
+    // Framing failures close the connection: the reader cannot resync
+    // inside a stream it refused to buffer.
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+    assert_still_serving(&server);
+    server.shutdown();
+}

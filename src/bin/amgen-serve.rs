@@ -1,0 +1,133 @@
+//! `amgen-serve`: the generation daemon.
+//!
+//! Serves the length-prefixed JSON wire protocol documented in
+//! docs/SERVING.md: DSL sources + parameters in, layout JSON +
+//! diagnostics out, every request admission-checked against a
+//! per-tenant budget before a single statement executes.
+//!
+//! ```text
+//! amgen-serve                          listen on 127.0.0.1:7077
+//! amgen-serve --addr 0.0.0.0:9000      listen elsewhere
+//! amgen-serve --workers 4              worker shards (default 2)
+//! amgen-serve --fuel 50000             tenant fuel cap per request
+//! amgen-serve --wall-ms 5000           per-request wall deadline cap
+//! amgen-serve --queue 64               per-shard queue depth
+//! amgen-serve --max-frame 1048576      largest accepted frame, bytes
+//! amgen-serve --stats-every 30         periodic stats block, seconds
+//! amgen-serve --once                   one stdin/stdout session, no TCP
+//! ```
+//!
+//! Exit status: 0 clean (`--once` end of stream), 2 usage or bind error.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use amgen::serve::{run_once, ServeConfig, Server};
+
+struct Opts {
+    addr: String,
+    once: bool,
+    stats_every: Option<u64>,
+    config: ServeConfig,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: amgen-serve [--addr HOST:PORT] [--workers N] [--queue N] [--max-frame BYTES]\n\
+         \x20                  [--fuel N] [--wall-ms MS] [--stats-every SECS] [--once]\n\
+         \n\
+         Serves generator programs over the wire protocol in docs/SERVING.md.\n\
+         --once reads frames from stdin and answers on stdout, then exits at\n\
+         end of stream — the mode tests and shell pipelines use.\n\
+         --stats-every prints a per-tenant metrics block to stderr periodically."
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Opts, ExitCode> {
+    let mut opts = Opts {
+        addr: "127.0.0.1:7077".to_string(),
+        once: false,
+        stats_every: None,
+        config: ServeConfig::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    fn num(value: Option<String>, flag: &str) -> Result<u64, ExitCode> {
+        match value.map(|v| v.parse::<u64>()) {
+            Some(Ok(n)) => Ok(n),
+            _ => {
+                eprintln!("amgen-serve: {flag} needs a number");
+                Err(usage())
+            }
+        }
+    }
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => opts.addr = v,
+                None => return Err(usage()),
+            },
+            "--once" => opts.once = true,
+            "--workers" => opts.config.workers = num(args.next(), "--workers")?.max(1) as usize,
+            "--queue" => opts.config.queue_depth = num(args.next(), "--queue")?.max(1) as usize,
+            "--max-frame" => {
+                opts.config.max_frame = num(args.next(), "--max-frame")? as usize;
+            }
+            "--fuel" => {
+                opts.config.tenant_budget = opts
+                    .config
+                    .tenant_budget
+                    .with_dsl_fuel(num(args.next(), "--fuel")?);
+            }
+            "--wall-ms" => {
+                opts.config.wall_cap = Duration::from_millis(num(args.next(), "--wall-ms")?);
+            }
+            "--stats-every" => opts.stats_every = Some(num(args.next(), "--stats-every")?.max(1)),
+            "-h" | "--help" => return Err(usage()),
+            other => {
+                eprintln!("amgen-serve: unknown flag `{other}`");
+                return Err(usage());
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+
+    if opts.once {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        return match run_once(opts.config, &mut stdin.lock(), &mut stdout.lock()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("amgen-serve: i/o error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let server = match Server::start(&opts.addr, opts.config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("amgen-serve: cannot bind `{}`: {e}", opts.addr);
+            return ExitCode::from(2);
+        }
+    };
+    // The daemon's one line of ceremony; scripts parse the port off it.
+    println!("amgen-serve listening on {}", server.addr());
+
+    let every = opts.stats_every.map(Duration::from_secs);
+    loop {
+        std::thread::sleep(every.unwrap_or(Duration::from_secs(3600)));
+        if every.is_some() {
+            for line in server.stats_lines() {
+                eprintln!("amgen-serve: {line}");
+            }
+        }
+    }
+}

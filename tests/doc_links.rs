@@ -79,8 +79,12 @@ fn relative_doc_links_resolve() {
         }
     }
     assert!(
-        docs.len() >= 4,
+        docs.len() >= 5,
         "expected README, DESIGN and docs/*.md, got {docs:?}"
+    );
+    assert!(
+        docs.iter().any(|d| d.ends_with("docs/SERVING.md")),
+        "docs/SERVING.md (the wire contract) must exist and be scanned"
     );
 
     let mut dead = Vec::new();

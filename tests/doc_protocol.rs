@@ -1,0 +1,108 @@
+//! Consistency check between the error-code table in `docs/SERVING.md`
+//! and the server's wire enum `ErrorCode::ALL`: every code appears
+//! exactly once, in the same order, with its phase. The table is the
+//! wire contract of record — this test is what lets it claim to be
+//! authoritative. (Same pattern as `doc_codes.rs` for the lint
+//! catalogue.)
+
+use amgen::serve::ErrorCode;
+use std::path::PathBuf;
+
+/// Parses `(code, phase)` pairs from the error-code table: rows of the
+/// form ``| `PROTO_BAD_FRAME` | protocol | ... |`` following the
+/// `| code | phase | meaning |` header.
+fn table_rows(doc: &str) -> Vec<(String, String)> {
+    let mut rows = Vec::new();
+    let mut in_table = false;
+    for line in doc.lines() {
+        let line = line.trim();
+        if line.starts_with("| code | phase |") {
+            in_table = true;
+            continue;
+        }
+        if !in_table {
+            continue;
+        }
+        if !line.starts_with('|') {
+            break;
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+        if cells.first().is_some_and(|c| c.starts_with('-')) {
+            continue;
+        }
+        assert!(
+            cells.len() == 3,
+            "malformed table row (want 3 cells): {line}"
+        );
+        rows.push((cells[0].trim_matches('`').to_string(), cells[1].to_string()));
+    }
+    rows
+}
+
+#[test]
+fn serving_md_error_table_matches_error_code_all() {
+    let doc = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("docs/SERVING.md");
+    let doc = std::fs::read_to_string(&doc)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", doc.display()));
+    let rows = table_rows(&doc);
+
+    assert_eq!(
+        rows.len(),
+        ErrorCode::ALL.len(),
+        "docs/SERVING.md error table has {} rows but ErrorCode::ALL has {} codes",
+        rows.len(),
+        ErrorCode::ALL.len()
+    );
+    for (row, code) in rows.iter().zip(ErrorCode::ALL) {
+        assert_eq!(
+            row.0,
+            code.as_str(),
+            "table row order diverges from ErrorCode::ALL at {}",
+            row.0
+        );
+        assert_eq!(
+            row.1,
+            code.phase().name(),
+            "{} documented in phase `{}` but the wire enum says `{}`",
+            row.0,
+            row.1,
+            code.phase().name()
+        );
+    }
+}
+
+#[test]
+fn wire_spellings_follow_the_naming_convention() {
+    // Protocol-layer codes carry the PROTO_ prefix (they mean "fix the
+    // client", not "fix the program"); all spellings are
+    // SCREAMING_SNAKE_CASE and unique.
+    let mut seen = std::collections::BTreeSet::new();
+    for code in ErrorCode::ALL {
+        let s = code.as_str();
+        assert!(
+            s.chars()
+                .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_'),
+            "{s} is not SCREAMING_SNAKE_CASE"
+        );
+        assert!(seen.insert(s), "{s} appears twice");
+        if s.starts_with("PROTO_") {
+            assert_eq!(
+                code.phase().name(),
+                "protocol",
+                "{s} carries the PROTO_ prefix outside the protocol phase"
+            );
+        }
+    }
+}
+
+#[test]
+fn table_parser_sees_the_full_taxonomy() {
+    // Guard the parser itself: if the table header is reworded, fail
+    // loudly instead of vacuously passing on zero rows.
+    let doc = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("docs/SERVING.md");
+    let doc = std::fs::read_to_string(doc).unwrap();
+    assert!(
+        table_rows(&doc).len() >= 16,
+        "error-code table not found or truncated in docs/SERVING.md"
+    );
+}
