@@ -391,7 +391,16 @@ impl Parser<'_> {
         if self.pos + 4 > self.bytes.len() {
             return Err(self.err("truncated \\u escape"));
         }
-        let text = &self.src[self.pos..self.pos + 4];
+        // Hostile but valid UTF-8 like `"\u0µµ"` puts a multi-byte
+        // character inside the four escape bytes, so `pos + 4` may not
+        // be a char boundary — the slice must be fallible.
+        let text = self
+            .src
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("invalid \\u escape digits"))?;
+        if !text.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(self.err("invalid \\u escape digits"));
+        }
         let cp =
             u32::from_str_radix(text, 16).map_err(|_| self.err("invalid \\u escape digits"))?;
         self.pos += 4;
@@ -511,5 +520,21 @@ mod tests {
         assert!(parse("\"\\ud83d\"").is_err(), "lone surrogate");
         // Raw multi-byte UTF-8 passes through.
         assert_eq!(parse("\"µ²\"").unwrap().to_string(), "\"µ²\"");
+    }
+
+    #[test]
+    fn hostile_unicode_escapes_error_without_panicking() {
+        // Valid UTF-8 whose multi-byte characters land inside the four
+        // escape digits: byte 4 past the `0` falls mid-`µ`, where a
+        // direct slice would panic on the char boundary.
+        assert!(parse("\"\\u0µµ\"").is_err());
+        assert!(parse("\"\\uµµµµ\"").is_err());
+        assert!(parse("\"\\ud83d\\u0µµ\"").is_err(), "low-surrogate slot");
+        // Non-hex ASCII (including the `+` that from_str_radix would
+        // otherwise accept) is rejected too.
+        assert!(parse("\"\\u+fff\"").is_err());
+        assert!(parse("\"\\u00g0\"").is_err());
+        // Truncation at end of document stays a typed error.
+        assert!(parse("\"\\u00").is_err());
     }
 }

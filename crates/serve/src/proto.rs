@@ -31,6 +31,12 @@ pub const PROTOCOL_VERSION: u64 = 1;
 /// bounded by the server's configured `max_frame`.
 pub const MAX_LEN_DIGITS: usize = 8;
 
+/// Smallest accepted `budget.wall_ms`. A deadline of a few milliseconds
+/// expires before an idle server can even dequeue the request, turning
+/// a client-side bad parameter into a spurious `OVERLOADED` — so the
+/// schema refuses it up front instead.
+pub const MIN_WALL_MS: u64 = 10;
+
 // ----- framing ----------------------------------------------------------
 
 /// Why a frame could not be read.
@@ -460,7 +466,15 @@ impl Request {
                                 req.budget.compact_steps =
                                     Some(field_u64(v, "budget.compact_steps")?)
                             }
-                            "wall_ms" => req.budget.wall_ms = Some(field_u64(v, "budget.wall_ms")?),
+                            "wall_ms" => {
+                                let ms = field_u64(v, "budget.wall_ms")?;
+                                if ms < MIN_WALL_MS {
+                                    return Err(RequestError(format!(
+                                        "`budget.wall_ms` must be at least {MIN_WALL_MS}"
+                                    )));
+                                }
+                                req.budget.wall_ms = Some(ms);
+                            }
                             other => {
                                 return Err(RequestError(format!("unknown budget field `{other}`")))
                             }
@@ -501,6 +515,13 @@ impl Request {
             }
         }
         out
+    }
+
+    /// Lines the parameter prelude adds before the client's source (one
+    /// assignment per parameter) — the offset `diagnostics_json`
+    /// subtracts so positions on the wire are in client coordinates.
+    pub fn prelude_lines(&self) -> u32 {
+        self.params.len() as u32
     }
 
     /// The effective wall deadline of the request given the server cap.
@@ -617,7 +638,14 @@ fn resource_name(r: Resource) -> &'static str {
 
 /// Serializes lint diagnostics for the wire: stable code, severity,
 /// 1-based position, message and optional help.
-pub fn diagnostics_json(diags: &[Diagnostic]) -> Json {
+///
+/// The server lints the parameter prelude and the client's program as
+/// one source, but positions on the wire are in the *client's*
+/// coordinates: `prelude_lines` (one per parameter) is subtracted from
+/// every span, and a finding inside the prelude itself carries no
+/// position — a prelude line number would point at source the client
+/// never wrote.
+pub fn diagnostics_json(diags: &[Diagnostic], prelude_lines: u32) -> Json {
     Json::Arr(
         diags
             .iter()
@@ -628,8 +656,11 @@ pub fn diagnostics_json(diags: &[Diagnostic]) -> Json {
                     "severity".to_string(),
                     Json::from(if d.is_error() { "error" } else { "warning" }),
                 );
-                if !d.span.is_none() {
-                    m.insert("line".to_string(), Json::from(d.span.line as u64));
+                if !d.span.is_none() && d.span.line > prelude_lines {
+                    m.insert(
+                        "line".to_string(),
+                        Json::from(u64::from(d.span.line - prelude_lines)),
+                    );
                     m.insert("col".to_string(), Json::from(d.span.col as u64));
                 }
                 m.insert("message".to_string(), Json::from(d.message.as_str()));
@@ -810,13 +841,15 @@ mod tests {
         assert_eq!(req.prelude(), "W = 10\n");
 
         for bad in [
-            r#"{"params":{}}"#,                            // missing source
-            r#"{"source":"x = 1","sauce":"typo"}"#,        // unknown field
-            r#"{"source":"x = 1","budget":{"fool":1}}"#,   // unknown budget knob
-            r#"{"source":"x = 1","params":{"1bad":2}}"#,   // invalid identifier
-            r#"{"source":"x = 1","params":{"s":"a\"b"}}"#, // quote smuggling
-            r#"{"source":"x = 1","budget":{"fuel":-1}}"#,  // negative cap
-            r#"[1,2,3]"#,                                  // not an object
+            r#"{"params":{}}"#,                             // missing source
+            r#"{"source":"x = 1","sauce":"typo"}"#,         // unknown field
+            r#"{"source":"x = 1","budget":{"fool":1}}"#,    // unknown budget knob
+            r#"{"source":"x = 1","params":{"1bad":2}}"#,    // invalid identifier
+            r#"{"source":"x = 1","params":{"s":"a\"b"}}"#,  // quote smuggling
+            r#"{"source":"x = 1","budget":{"fuel":-1}}"#,   // negative cap
+            r#"{"source":"x = 1","budget":{"wall_ms":0}}"#, // below the floor
+            r#"{"source":"x = 1","budget":{"wall_ms":9}}"#, // below the floor
+            r#"[1,2,3]"#,                                   // not an object
         ] {
             let doc = json::parse(bad).unwrap();
             assert!(Request::from_json(&doc).is_err(), "accepted: {bad}");

@@ -63,6 +63,11 @@ pub struct ServeConfig {
     pub wall_cap: Duration,
     /// Capacity of the process-wide generation cache (modules).
     pub cache_capacity: usize,
+    /// Most distinct tenants tracked individually. The tenant name is
+    /// client-chosen and unauthenticated, so the accounting map must be
+    /// bounded: once full, requests from new tenant names fold into one
+    /// shared overflow aggregate instead of growing the map.
+    pub max_tenants: usize,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +85,7 @@ impl Default for ServeConfig {
                 .with_max_compact_steps(200_000),
             wall_cap: Duration::from_secs(5),
             cache_capacity: 256,
+            max_tenants: 64,
         }
     }
 }
@@ -118,7 +124,12 @@ struct Shared {
     /// Per-`tech` compiled rule kernels, built on first use.
     rulesets: Mutex<BTreeMap<String, Arc<RuleSet>>>,
     /// Per-tenant aggregate metrics; each request's deltas fold in.
+    /// Bounded at `max_tenants` entries — see [`ServeConfig::max_tenants`].
     tenants: Mutex<BTreeMap<String, Arc<Metrics>>>,
+    /// The shared aggregate for tenant names beyond `max_tenants`.
+    overflow_tenants: Arc<Metrics>,
+    /// Requests accounted to the overflow aggregate.
+    overflow_requests: AtomicU64,
     shards: Vec<SyncSender<Job>>,
     served: AtomicU64,
     shed: AtomicU64,
@@ -136,6 +147,8 @@ impl Shared {
             stdlib,
             rulesets: Mutex::new(BTreeMap::new()),
             tenants: Mutex::new(BTreeMap::new()),
+            overflow_tenants: Arc::new(Metrics::new()),
+            overflow_requests: AtomicU64::new(0),
             shards,
             served: AtomicU64::new(0),
             shed: AtomicU64::new(0),
@@ -161,12 +174,23 @@ impl Shared {
         Some(compiled)
     }
 
+    /// The aggregate a request's metrics fold into. Tenant names are
+    /// client-chosen and unauthenticated, so the map is bounded: the
+    /// first `max_tenants` distinct names get individual aggregates,
+    /// everything after that shares the overflow bucket — a client
+    /// cycling tenant names cannot grow the daemon's memory.
     fn tenant_metrics(&self, tenant: &str) -> Arc<Metrics> {
         let mut map = self.tenants.lock().expect("tenant lock");
-        Arc::clone(
-            map.entry(tenant.to_string())
-                .or_insert_with(|| Arc::new(Metrics::new())),
-        )
+        if let Some(m) = map.get(tenant) {
+            return Arc::clone(m);
+        }
+        if map.len() >= self.config.max_tenants.max(1) {
+            self.overflow_requests.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(&self.overflow_tenants);
+        }
+        let m = Arc::new(Metrics::new());
+        map.insert(tenant.to_string(), Arc::clone(&m));
+        m
     }
 }
 
@@ -233,7 +257,10 @@ fn process(shared: &Shared, req: &Request) -> Response {
     let (diags, result) = checked_run_full(&mut interp, &source);
     let wall = t0.elapsed();
 
-    let diagnostics = diagnostics_json(&diags);
+    // Spans come out of the combined prelude + source; positions on the
+    // wire are translated back to the client's own line numbers.
+    let prelude_lines = req.prelude_lines();
+    let diagnostics = diagnostics_json(&diags, prelude_lines);
     let mut response = match result {
         Ok(layouts) => {
             let mut objs = BTreeMap::new();
@@ -252,7 +279,7 @@ fn process(shared: &Shared, req: &Request) -> Response {
                     all.iter().filter(|d| d.is_error()).count()
                 )),
             )]),
-            diagnostics_json(&all),
+            diagnostics_json(&all, prelude_lines),
         ),
         Err(CheckError::Admission { estimate, reason }) => {
             let mut detail = BTreeMap::new();
@@ -525,7 +552,21 @@ impl Server {
         for (tenant, metrics) in tenants.iter() {
             lines.push(format!("tenant={tenant} {}", metrics.snapshot()));
         }
+        drop(tenants);
+        let overflow = self.shared.overflow_requests.load(Ordering::Relaxed);
+        if overflow > 0 {
+            lines.push(format!(
+                "tenant=(overflow) requests={overflow} {}",
+                self.shared.overflow_tenants.snapshot()
+            ));
+        }
         lines
+    }
+
+    /// Distinct tenants tracked individually — never exceeds the
+    /// configured `max_tenants`.
+    pub fn tenant_count(&self) -> usize {
+        self.shared.tenants.lock().expect("tenant lock").len()
     }
 
     /// Stops accepting, drains the workers and joins them.
@@ -663,6 +704,28 @@ mod tests {
         assert_eq!(error_code(&docs[1]), "LINT_REJECTED");
         let diags = docs[1].get("diagnostics").unwrap();
         assert!(matches!(diags, Json::Arr(v) if !v.is_empty()));
+    }
+
+    #[test]
+    fn diagnostic_lines_are_in_client_coordinates() {
+        // Three params put the client's line 1 at line 4 of the
+        // combined prelude + source; the wire position must still be
+        // line 1 — the prelude is the server's implementation detail.
+        let docs =
+            once(&[r#"{"id":"off","source":"x = NoSuchEntity()","params":{"a":1,"b":2,"c":3}}"#]);
+        assert_eq!(error_code(&docs[0]), "LINT_REJECTED");
+        let Some(Json::Arr(diags)) = docs[0].get("diagnostics") else {
+            panic!("diagnostics array present");
+        };
+        let lines: Vec<f64> = diags
+            .iter()
+            .filter_map(|d| d.get("line").and_then(Json::as_num))
+            .collect();
+        assert!(!lines.is_empty(), "at least one positioned diagnostic");
+        assert!(
+            lines.iter().all(|&l| l == 1.0),
+            "positions in client coordinates, got {lines:?}"
+        );
     }
 
     #[test]

@@ -114,6 +114,14 @@ fn invalid_utf8_and_bad_json_keep_the_connection_usable() {
     let doc = json::parse(std::str::from_utf8(&p).unwrap()).unwrap();
     assert_eq!(error_code(&doc), "PROTO_BAD_JSON");
 
+    // Valid UTF-8 whose `\u` escape "digits" straddle a multi-byte
+    // character — hostile input that must be a typed error, never a
+    // char-boundary panic in the reader.
+    write_frame(&mut stream, "{\"id\":\"\\u0µµ\"}".as_bytes()).unwrap();
+    let p = read_frame(&mut stream, usize::MAX).unwrap();
+    let doc = json::parse(std::str::from_utf8(&p).unwrap()).unwrap();
+    assert_eq!(error_code(&doc), "PROTO_BAD_JSON");
+
     // Document-level failures are recoverable: the same connection
     // serves a good request afterwards.
     let req = r#"{"id":"after","source":"row = ContactRow(layer = \"poly\", W = 10)"}"#;
@@ -135,6 +143,9 @@ fn schema_violations_are_bad_request() {
         r#"{"source":"x = 1","params":{"not an ident":1}}"#,
         r#"[1,2,3]"#,
         r#"{"source":"x = 1","params":{"s":"\"; DROP INBOX"}}"#,
+        // A deadline that expires before an idle server can dequeue:
+        // refused up front instead of misreported as OVERLOADED.
+        r#"{"source":"x = 1","budget":{"wall_ms":0}}"#,
     ];
     for req in cases {
         write_frame(&mut stream, req.as_bytes()).unwrap();
@@ -167,6 +178,41 @@ fn duplicate_keys_and_depth_bombs_are_rejected() {
     assert_eq!(error_code(&doc), "PROTO_BAD_JSON");
 
     assert_still_serving(&server);
+    server.shutdown();
+}
+
+#[test]
+fn tenant_accounting_is_bounded_under_name_cycling() {
+    // The tenant name is client-chosen and unauthenticated: cycling
+    // names must not grow the daemon's accounting map without bound.
+    let config = ServeConfig {
+        max_tenants: 4,
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).unwrap();
+    let mut stream = connect(&server);
+    for i in 0..12 {
+        let req = format!(
+            r#"{{"id":"t{i}","tenant":"cycler-{i}","source":"row = ContactRow(layer = \"poly\", W = 10)"}}"#
+        );
+        write_frame(&mut stream, req.as_bytes()).unwrap();
+        let p = read_frame(&mut stream, usize::MAX).unwrap();
+        let doc = json::parse(std::str::from_utf8(&p).unwrap()).unwrap();
+        // Requests beyond the cap still execute normally…
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true), "t{i}");
+    }
+    // …but only the first `max_tenants` names are tracked individually;
+    // the rest fold into the overflow aggregate, visible in the stats
+    // block rather than lost.
+    assert_eq!(server.tenant_count(), 4);
+    assert!(
+        server
+            .stats_lines()
+            .iter()
+            .any(|l| l.starts_with("tenant=(overflow) requests=8")),
+        "stats block carries the overflow aggregate: {:?}",
+        server.stats_lines()
+    );
     server.shutdown();
 }
 

@@ -13,6 +13,7 @@
 //! amgen-serve --wall-ms 5000           per-request wall deadline cap
 //! amgen-serve --queue 64               per-shard queue depth
 //! amgen-serve --max-frame 1048576      largest accepted frame, bytes
+//! amgen-serve --max-tenants 64         tenants tracked individually
 //! amgen-serve --stats-every 30         periodic stats block, seconds
 //! amgen-serve --once                   one stdin/stdout session, no TCP
 //! ```
@@ -34,7 +35,8 @@ struct Opts {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: amgen-serve [--addr HOST:PORT] [--workers N] [--queue N] [--max-frame BYTES]\n\
-         \x20                  [--fuel N] [--wall-ms MS] [--stats-every SECS] [--once]\n\
+         \x20                  [--fuel N] [--wall-ms MS] [--max-tenants N] [--stats-every SECS]\n\
+         \x20                  [--once]\n\
          \n\
          Serves generator programs over the wire protocol in docs/SERVING.md.\n\
          --once reads frames from stdin and answers on stdout, then exits at\n\
@@ -72,6 +74,9 @@ fn parse_args() -> Result<Opts, ExitCode> {
             "--queue" => opts.config.queue_depth = num(args.next(), "--queue")?.max(1) as usize,
             "--max-frame" => {
                 opts.config.max_frame = num(args.next(), "--max-frame")? as usize;
+            }
+            "--max-tenants" => {
+                opts.config.max_tenants = num(args.next(), "--max-tenants")?.max(1) as usize;
             }
             "--fuel" => {
                 opts.config.tenant_budget = opts
