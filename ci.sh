@@ -66,12 +66,31 @@ cargo test --release -q -p amgen-dsl --test determinism
 # spent, p99 under the latency budget (the test asserts; the printed
 # BENCH_serve line is the number recorded in BENCH_serve.json).
 cargo test --release -q -p amgen-serve --test load -- --nocapture | grep -E 'BENCH_serve|test result'
+# Service-resilience gate in release: workers killed and wedged
+# mid-load (deterministic seeded kill schedule), shutdown while clients
+# are still sending, truncated connections, breaker trips, snapshot
+# warm restart — every accepted request gets exactly one typed
+# response and the process never dies.
+cargo test --release -q -p amgen-serve --test chaos_serve
+# Chaos soak: >=30 s of mixed load with >=3 injected worker kills and
+# one mid-load graceful restart over a cache snapshot; the printed
+# BENCH_serve_chaos line is the throughput-under-chaos number recorded
+# in BENCH_serve.json.
+cargo test --release -q -p amgen-serve --test chaos_serve -- --ignored --nocapture | grep -E 'BENCH_serve_chaos'
 # Daemon smoke: one --once session over stdin must serve a figure
 # request and refuse a fuel bomb at admission, end to end through the
-# real binary.
-SERVE_OUT=$(printf '64\n{"id":"s","source":"row = ContactRow(layer = \\"poly\\", W = 10)"}57\n{"id":"b","source":"FOR i = 1 TO 100000\\n  x = i\\nEND\\n"}' \
-    | cargo run --release -q --bin amgen-serve -- --once)
+# real binary — and the exit status must discriminate: 0 all-ok,
+# 1 any typed-error response, 2 transport failure.
+SERVE_OUT=$(printf '64\n{"id":"s","source":"row = ContactRow(layer = \\"poly\\", W = 10)"}' \
+    | cargo run --release -q --bin amgen-serve -- --once) \
+    || { echo 'ci: serve smoke: clean session must exit 0' >&2; exit 1; }
 echo "$SERVE_OUT" | grep -q '"id":"s".*"ok":true' || { echo 'ci: serve smoke: figure request failed' >&2; exit 1; }
+set +e
+SERVE_OUT=$(printf '57\n{"id":"b","source":"FOR i = 1 TO 100000\\n  x = i\\nEND\\n"}' \
+    | cargo run --release -q --bin amgen-serve -- --once)
+SERVE_STATUS=$?
+set -e
+[ "$SERVE_STATUS" -eq 1 ] || { echo "ci: serve smoke: refused session must exit 1, got $SERVE_STATUS" >&2; exit 1; }
 echo "$SERVE_OUT" | grep -q 'ADMISSION_REFUSED' || { echo 'ci: serve smoke: fuel bomb not refused at admission' >&2; exit 1; }
 # Wire-contract gate: docs/SERVING.md's error-code table is pinned
 # row-for-row to the server's ErrorCode::ALL.

@@ -152,6 +152,15 @@ impl Interpreter {
         self.entities.values()
     }
 
+    /// The FNV-1a hash of the registered entity library — the `source`
+    /// component of every DSL [`GenKey`](amgen_core::GenKey) this
+    /// interpreter produces. Deterministic across processes (it hashes
+    /// the pretty-printed library, not addresses), which is what lets a
+    /// cache snapshot taken by one process validate in another.
+    pub fn lib_hash(&self) -> u64 {
+        self.lib_hash
+    }
+
     /// Registers the entities of a source without running its top level.
     pub fn load(&mut self, src: &str) -> Result<(), DslError> {
         let prog = parse(src)?;

@@ -121,6 +121,17 @@ impl FaultPlan {
         self
     }
 
+    /// Panic at each listed occurrence (1-based) of `site` — the bulk
+    /// form of [`panic_nth`](FaultPlan::panic_nth) for chaos schedules
+    /// ("kill the 3rd, 7th and 11th dequeue") written as one literal.
+    #[must_use]
+    pub fn panic_at(mut self, site: FaultSite, occurrences: &[u64]) -> FaultPlan {
+        for &n in occurrences {
+            self = self.panic_nth(site, n);
+        }
+        self
+    }
+
     /// Fail each occurrence of `site` independently with probability
     /// `rate` (clamped to `0.0..=1.0`), seed-deterministically.
     #[must_use]

@@ -59,7 +59,7 @@ use crate::{GenError, Stage};
 /// Every designer-facing parameter type maps onto exactly one variant,
 /// chosen so that *value equality implies key equality* (the float rule)
 /// and *key equality implies identical generation* (the object digest).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CanonParam {
     /// A signed integer (coordinates, counts).
     Int(i64),
@@ -228,7 +228,7 @@ impl<T: Into<CanonParam>> From<Option<T>> for CanonParam {
 /// guaranteed to produce structurally identical results: same entity
 /// name, same canonicalized parameter vector, same compiled-rule brand
 /// and same source hash.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GenKey {
     /// Entity / generator name.
     pub entity: String,
@@ -448,6 +448,23 @@ impl GenCache {
             }
         }
         evicted
+    }
+
+    /// Every module entry, sorted by key — the deterministic iteration
+    /// order [`GenCache::snapshot`](crate::snapshot) serializes.
+    /// (Variant tables are not exported: they rebuild on demand and
+    /// carry search-internal state not worth persisting.)
+    pub(crate) fn export_modules(&self) -> Vec<(GenKey, Arc<CachedModule>)> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            let map = s.lock().unwrap();
+            out.extend(
+                map.iter()
+                    .map(|(k, slot)| (k.clone(), Arc::clone(&slot.value))),
+            );
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// Number of stored module entries (excludes variant tables).

@@ -54,10 +54,12 @@ use amgen_trace::{Span, TraceSink};
 pub mod cache;
 pub use cache::{CachedModule, CanonParam, GenCache, GenKey, PlacementVariant, VariantTable};
 pub mod robust;
+pub mod snapshot;
 pub use robust::{
     Budget, CancelToken, CostEstimate, FaultAction, FaultHook, FaultSite, GenError, GenErrorKind,
     GenResult, Limits, Resource,
 };
+pub use snapshot::{SnapshotError, SnapshotStats};
 
 /// Options that apply to a whole generation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

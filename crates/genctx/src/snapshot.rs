@@ -1,0 +1,860 @@
+//! Warm-restart snapshots of the generation cache.
+//!
+//! A restarted daemon starts with a cold [`GenCache`] and re-generates
+//! every module the previous process already proved and built.
+//! [`GenCache::snapshot`] serializes the module entries into a
+//! versioned, checksummed byte image; [`GenCache::restore`] loads one
+//! back — *best-effort and never trusted*: a short, corrupt,
+//! wrong-version or stale-stdlib image is rejected with a typed
+//! [`SnapshotError`] and the cache simply stays cold.
+//!
+//! # The `tech_id` remap
+//!
+//! Cache keys carry the [`RuleSet`] compile brand (`tech_id`), and that
+//! brand is a *process-local* counter — the same technology compiles to
+//! a different id in every process. A snapshot therefore stores the
+//! technology **name** per entry and `restore` remaps every key (and
+//! every [`Layer`] brand inside the stored layouts) onto the restoring
+//! process's own compiled [`RuleSet`], looked up through the caller's
+//! `resolve` function. Entries for technologies the restoring process
+//! does not know, or whose layer table changed size, are skipped and
+//! counted — a snapshot can never smuggle geometry onto the wrong
+//! rule kernel.
+//!
+//! # Trust model
+//!
+//! The image is integrity-checked (FNV-1a checksum over the payload),
+//! not authenticated: it protects against torn writes and bit rot, not
+//! against an attacker with write access to the snapshot path — the
+//! file must live where only the operator can write, exactly like the
+//! server binary itself. The stdlib hash in the header is a fast
+//! staleness gate; the per-entry `source` hash inside each key remains
+//! the actual correctness guard.
+//!
+//! ```
+//! use amgen_core::cache::{CachedModule, CanonParam, GenCache, GenKey};
+//! use amgen_core::Stage;
+//! use amgen_tech::Tech;
+//! use std::sync::Arc;
+//!
+//! let rules = Tech::bicmos_1u().compile_arc();
+//! let cache = GenCache::new();
+//! let mut key = GenKey::module("row", rules.id());
+//! key.push(CanonParam::num(Stage::Modgen, 2.0).unwrap());
+//! cache.put(key, Arc::new(CachedModule::layout(Default::default())));
+//!
+//! let image = cache.snapshot(7, &[("bicmos_1u", Arc::clone(&rules))]);
+//! let warm = GenCache::new();
+//! // A "restarted process": remap onto (here, the same) compiled rules.
+//! let stats = warm
+//!     .restore(&image, 7, |name| (name == "bicmos_1u").then(|| Arc::clone(&rules)))
+//!     .unwrap();
+//! assert_eq!(stats.restored, 1);
+//! assert_eq!(warm.len(), 1);
+//! ```
+
+use std::sync::Arc;
+
+use amgen_db::{EdgeFlags, LayoutObject, Port, RebuildKind, Shape, ShapeRole};
+use amgen_geom::{Dir, Rect};
+use amgen_tech::{Layer, RuleSet};
+
+use crate::cache::{CachedModule, CanonParam, GenCache, GenKey};
+
+/// Leading bytes of every snapshot image.
+const MAGIC: &[u8; 8] = b"AMGCACHE";
+
+/// Current image format revision. Bumped on any layout change; old
+/// revisions are rejected (a warm start is never worth a parse gamble).
+const VERSION: u32 = 1;
+
+/// Why a snapshot image was rejected. Every variant means "start
+/// cold" — none of them is a server error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The image does not start with the snapshot magic (wrong file, or
+    /// a torn write destroyed the header).
+    BadMagic,
+    /// The image is a different format revision.
+    BadVersion(u32),
+    /// The stdlib hash in the header differs from the restoring
+    /// process's — the entity library changed, so every DSL entry would
+    /// miss anyway.
+    StaleStdlib {
+        /// Hash the restoring process expects.
+        expected: u64,
+        /// Hash recorded in the image.
+        found: u64,
+    },
+    /// The payload checksum does not match (bit rot or a torn write).
+    ChecksumMismatch,
+    /// The payload structure is invalid; the message names the first
+    /// inconsistency.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a cache snapshot (bad magic)"),
+            SnapshotError::BadVersion(v) => {
+                write!(
+                    f,
+                    "snapshot format revision {v} (this build reads {VERSION})"
+                )
+            }
+            SnapshotError::StaleStdlib { expected, found } => write!(
+                f,
+                "snapshot taken under a different stdlib (hash {found:#x}, expected {expected:#x})"
+            ),
+            SnapshotError::ChecksumMismatch => write!(f, "payload checksum mismatch"),
+            SnapshotError::Corrupt(why) => write!(f, "corrupt payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// What a successful [`GenCache::restore`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Entries inserted into the cache.
+    pub restored: usize,
+    /// Entries skipped because their technology is unknown to the
+    /// restoring process or its layer table changed.
+    pub skipped: usize,
+}
+
+// ----- little-endian primitives -----------------------------------------
+
+fn w_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn w_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn w_str(out: &mut Vec<u8>, s: &str) {
+    w_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// FNV-1a over the payload — the integrity check, not authentication.
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| SnapshotError::Corrupt("payload ends mid-field".into()))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, SnapshotError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, SnapshotError> {
+        let n = self.u32()? as usize;
+        // An honest string is never longer than the payload that
+        // carries it — reject a hostile length before allocating.
+        if n > self.bytes.len() - self.pos {
+            return Err(SnapshotError::Corrupt(
+                "string length exceeds payload".into(),
+            ));
+        }
+        String::from_utf8(self.take(n)?.to_vec())
+            .map_err(|_| SnapshotError::Corrupt("string is not UTF-8".into()))
+    }
+}
+
+// ----- layout (de)serialization ----------------------------------------
+
+/// Edge-mobility bits, defined by this format (not the db-internal
+/// representation): N=1, S=2, E=4, W=8.
+const EDGE_DIRS: [Dir; 4] = [Dir::North, Dir::South, Dir::East, Dir::West];
+
+fn edges_to_bits(e: EdgeFlags) -> u8 {
+    EDGE_DIRS
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| e.is_variable(**d))
+        .fold(0, |acc, (i, _)| acc | (1 << i))
+}
+
+fn edges_from_bits(bits: u8) -> EdgeFlags {
+    EDGE_DIRS
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| bits & (1 << i) != 0)
+        .fold(EdgeFlags::FIXED, |acc, (_, d)| acc.with_variable(*d))
+}
+
+fn role_to_byte(r: ShapeRole) -> u8 {
+    match r {
+        ShapeRole::Normal => 0,
+        ShapeRole::DeviceActive => 1,
+        ShapeRole::SubstrateContact => 2,
+    }
+}
+
+fn role_from_byte(b: u8) -> Result<ShapeRole, SnapshotError> {
+    match b {
+        0 => Ok(ShapeRole::Normal),
+        1 => Ok(ShapeRole::DeviceActive),
+        2 => Ok(ShapeRole::SubstrateContact),
+        other => Err(SnapshotError::Corrupt(format!(
+            "unknown shape role {other}"
+        ))),
+    }
+}
+
+fn write_rect(out: &mut Vec<u8>, r: Rect) {
+    for c in [r.x0, r.y0, r.x1, r.y1] {
+        w_u64(out, c as u64);
+    }
+}
+
+fn read_rect(r: &mut Reader<'_>) -> Result<Rect, SnapshotError> {
+    let (x0, y0, x1, y1) = (r.i64()?, r.i64()?, r.i64()?, r.i64()?);
+    Ok(Rect::new(x0, y0, x1, y1))
+}
+
+fn write_layout(out: &mut Vec<u8>, obj: &LayoutObject) {
+    w_str(out, obj.name());
+    let nets = obj.net_names();
+    w_u32(out, nets.len() as u32);
+    for n in nets {
+        w_str(out, n);
+    }
+    w_u32(out, obj.shapes().len() as u32);
+    for s in obj.shapes() {
+        w_u32(out, s.layer.index() as u32);
+        write_rect(out, s.rect);
+        w_u32(out, s.net.map_or(u32::MAX, |n| n.index() as u32));
+        out.push(edges_to_bits(s.edges));
+        out.push(role_to_byte(s.role));
+        out.push(u8::from(s.keepout));
+    }
+    w_u32(out, obj.ports().len() as u32);
+    for p in obj.ports() {
+        w_str(out, &p.name);
+        w_u32(out, p.layer.index() as u32);
+        write_rect(out, p.rect);
+        w_u32(out, p.net.map_or(u32::MAX, |n| n.index() as u32));
+    }
+    w_u32(out, obj.groups().len() as u32);
+    for g in obj.groups() {
+        w_str(out, &g.name);
+        w_u32(out, g.shapes.len() as u32);
+        for &i in &g.shapes {
+            w_u32(out, i as u32);
+        }
+        match g.rebuild {
+            Some(RebuildKind::ContactArray { cut }) => {
+                out.push(1);
+                w_u32(out, cut.index() as u32);
+            }
+            None => {
+                out.push(0);
+                w_u32(out, 0);
+            }
+        }
+    }
+}
+
+/// Decodes one layout, rebranding every layer index onto `layers` (the
+/// restoring process's compiled layer table for this technology).
+fn read_layout(r: &mut Reader<'_>, layers: &[Layer]) -> Result<LayoutObject, SnapshotError> {
+    let layer_at = |idx: u32| -> Result<Layer, SnapshotError> {
+        layers
+            .get(idx as usize)
+            .copied()
+            .ok_or_else(|| SnapshotError::Corrupt(format!("layer index {idx} out of range")))
+    };
+    let name = r.str()?;
+    let mut obj = LayoutObject::new(name);
+    let n_nets = r.u32()? as usize;
+    let mut nets = Vec::with_capacity(n_nets.min(1024));
+    for _ in 0..n_nets {
+        let net_name = r.str()?;
+        nets.push(obj.net(&net_name));
+    }
+    let net_at = |idx: u32| -> Result<Option<amgen_db::NetId>, SnapshotError> {
+        if idx == u32::MAX {
+            return Ok(None);
+        }
+        nets.get(idx as usize)
+            .copied()
+            .map(Some)
+            .ok_or_else(|| SnapshotError::Corrupt(format!("net index {idx} out of range")))
+    };
+    let n_shapes = r.u32()? as usize;
+    for _ in 0..n_shapes {
+        let layer = layer_at(r.u32()?)?;
+        let rect = read_rect(r)?;
+        let net = net_at(r.u32()?)?;
+        let edges = edges_from_bits(r.u8()?);
+        let role = role_from_byte(r.u8()?)?;
+        let keepout = r.u8()? != 0;
+        obj.push(Shape {
+            rect,
+            layer,
+            net,
+            edges,
+            role,
+            keepout,
+        });
+    }
+    let n_ports = r.u32()? as usize;
+    for _ in 0..n_ports {
+        let name = r.str()?;
+        let layer = layer_at(r.u32()?)?;
+        let rect = read_rect(r)?;
+        let net = net_at(r.u32()?)?;
+        obj.push_port(Port {
+            name,
+            layer,
+            rect,
+            net,
+        });
+    }
+    let n_groups = r.u32()? as usize;
+    for _ in 0..n_groups {
+        let name = r.str()?;
+        let n_idx = r.u32()? as usize;
+        let mut indices = Vec::with_capacity(n_idx.min(1024));
+        for _ in 0..n_idx {
+            let i = r.u32()? as usize;
+            if i >= n_shapes {
+                return Err(SnapshotError::Corrupt(format!(
+                    "group shape index {i} out of range"
+                )));
+            }
+            indices.push(i);
+        }
+        let rebuild = match (r.u8()?, r.u32()?) {
+            (0, _) => None,
+            (1, cut) => Some(RebuildKind::ContactArray {
+                cut: layer_at(cut)?,
+            }),
+            (other, _) => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "unknown rebuild kind {other}"
+                )))
+            }
+        };
+        obj.add_group(name, indices, rebuild);
+    }
+    Ok(obj)
+}
+
+fn write_param(out: &mut Vec<u8>, p: &CanonParam) {
+    match p {
+        CanonParam::Int(v) => {
+            out.push(0);
+            w_u64(out, *v as u64);
+        }
+        CanonParam::UInt(v) => {
+            out.push(1);
+            w_u64(out, *v);
+        }
+        CanonParam::Bits(v) => {
+            out.push(2);
+            w_u64(out, *v);
+        }
+        CanonParam::Str(s) => {
+            out.push(3);
+            w_str(out, s);
+        }
+        CanonParam::Flag(b) => {
+            out.push(4);
+            w_u64(out, u64::from(*b));
+        }
+        CanonParam::None => {
+            out.push(5);
+        }
+        CanonParam::Object { hash, shapes } => {
+            out.push(6);
+            w_u64(out, *hash);
+            w_u64(out, *shapes);
+        }
+    }
+}
+
+fn read_param(r: &mut Reader<'_>) -> Result<CanonParam, SnapshotError> {
+    Ok(match r.u8()? {
+        0 => CanonParam::Int(r.u64()? as i64),
+        1 => CanonParam::UInt(r.u64()?),
+        2 => CanonParam::Bits(r.u64()?),
+        3 => CanonParam::Str(r.str()?),
+        4 => CanonParam::Flag(r.u64()? != 0),
+        5 => CanonParam::None,
+        6 => CanonParam::Object {
+            hash: r.u64()?,
+            shapes: r.u64()?,
+        },
+        other => {
+            return Err(SnapshotError::Corrupt(format!(
+                "unknown parameter tag {other}"
+            )))
+        }
+    })
+}
+
+impl GenCache {
+    /// Serializes every module entry generated under one of `techs`
+    /// (`(name, compiled rules)` pairs) into a snapshot image.
+    ///
+    /// `stdlib_hash` is the caller's hash of its entity library; it is
+    /// recorded in the header so a restore under a different stdlib is
+    /// rejected wholesale. Entries branded with a `tech_id` outside
+    /// `techs` are skipped (nothing in the image can reference a
+    /// technology the header's tech table does not name). Variant
+    /// tables are not snapshotted — they rebuild on demand.
+    ///
+    /// Output is deterministic: entries serialize in key order.
+    pub fn snapshot(&self, stdlib_hash: u64, techs: &[(&str, Arc<RuleSet>)]) -> Vec<u8> {
+        let entries = self.export_modules();
+        let mut payload = Vec::new();
+        w_u32(&mut payload, techs.len() as u32);
+        for (name, rules) in techs {
+            w_str(&mut payload, name);
+            w_u32(&mut payload, rules.layer_count() as u32);
+        }
+        let tech_idx = |id: u32| techs.iter().position(|(_, r)| r.id() == id);
+        let kept: Vec<_> = entries
+            .iter()
+            .filter_map(|(k, v)| tech_idx(k.tech_id).map(|t| (t, k, v)))
+            .collect();
+        w_u32(&mut payload, kept.len() as u32);
+        for (t, key, module) in kept {
+            w_u32(&mut payload, t as u32);
+            w_str(&mut payload, &key.entity);
+            w_u64(&mut payload, key.source);
+            w_u32(&mut payload, key.params.len() as u32);
+            for p in &key.params {
+                write_param(&mut payload, p);
+            }
+            write_layout(&mut payload, &module.layout);
+            w_u32(&mut payload, module.scalars.len() as u32);
+            for s in &module.scalars {
+                w_u64(&mut payload, s.to_bits());
+            }
+        }
+
+        let mut out = Vec::with_capacity(payload.len() + 36);
+        out.extend_from_slice(MAGIC);
+        w_u32(&mut out, VERSION);
+        w_u64(&mut out, stdlib_hash);
+        w_u64(&mut out, checksum(&payload));
+        w_u64(&mut out, payload.len() as u64);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Loads a snapshot image into this cache, remapping every entry
+    /// onto the restoring process's compiled rules.
+    ///
+    /// `resolve` maps a technology name from the image's tech table to
+    /// this process's compiled [`RuleSet`] (returning `None` for
+    /// technologies this build does not know — their entries are
+    /// skipped, not an error). A tech whose layer-table *size* changed
+    /// is also skipped: its layer indices cannot be trusted. Any
+    /// structural inconsistency rejects the whole image with a typed
+    /// [`SnapshotError`] and leaves the cache exactly as it was.
+    pub fn restore(
+        &self,
+        image: &[u8],
+        stdlib_hash: u64,
+        mut resolve: impl FnMut(&str) -> Option<Arc<RuleSet>>,
+    ) -> Result<SnapshotStats, SnapshotError> {
+        if image.len() < MAGIC.len() + 28 {
+            return Err(SnapshotError::BadMagic);
+        }
+        if &image[..MAGIC.len()] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let mut hdr = Reader {
+            bytes: image,
+            pos: MAGIC.len(),
+        };
+        let version = hdr.u32()?;
+        if version != VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let found_stdlib = hdr.u64()?;
+        if found_stdlib != stdlib_hash {
+            return Err(SnapshotError::StaleStdlib {
+                expected: stdlib_hash,
+                found: found_stdlib,
+            });
+        }
+        let want_sum = hdr.u64()?;
+        let payload_len = hdr.u64()? as usize;
+        let payload = &image[hdr.pos..];
+        if payload.len() != payload_len {
+            return Err(SnapshotError::Corrupt(format!(
+                "payload is {} bytes, header declares {payload_len}",
+                payload.len()
+            )));
+        }
+        if checksum(payload) != want_sum {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+
+        let mut r = Reader {
+            bytes: payload,
+            pos: 0,
+        };
+        // Tech table: resolve each name now; `None` (unknown tech, or a
+        // layer table of a different size) marks its entries skipped.
+        let n_techs = r.u32()? as usize;
+        let mut techs: Vec<Option<(Arc<RuleSet>, Vec<Layer>)>> = Vec::with_capacity(n_techs);
+        for _ in 0..n_techs {
+            let name = r.str()?;
+            let layer_count = r.u32()? as usize;
+            techs.push(resolve(&name).and_then(|rules| {
+                (rules.layer_count() == layer_count).then(|| {
+                    let layers: Vec<Layer> = rules.layers().collect();
+                    (rules, layers)
+                })
+            }));
+        }
+
+        // Decode *every* entry first (all-or-nothing: a half-restored
+        // image never leaks partial state into the cache), then insert.
+        let n_entries = r.u32()? as usize;
+        let mut restored = Vec::new();
+        let mut skipped = 0usize;
+        for _ in 0..n_entries {
+            let t = r.u32()? as usize;
+            if t >= techs.len() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "tech index {t} out of range"
+                )));
+            }
+            let entity = r.str()?;
+            let source = r.u64()?;
+            let n_params = r.u32()? as usize;
+            let mut params = Vec::with_capacity(n_params.min(1024));
+            for _ in 0..n_params {
+                params.push(read_param(&mut r)?);
+            }
+            // The entry must be decoded even when its tech is skipped —
+            // the cursor has to advance past it.
+            let empty: Vec<Layer> = Vec::new();
+            let layers = techs[t]
+                .as_ref()
+                .map(|(_, l)| l.as_slice())
+                .unwrap_or(&empty);
+            // A skipped tech's entry still has to be walked past — the
+            // cursor must land on the next entry — but its layer indices
+            // cannot be rebranded, so skim it structurally instead.
+            let layout = if techs[t].is_some() {
+                read_layout(&mut r, layers)?
+            } else {
+                skim_layout(&mut r)?;
+                LayoutObject::new("")
+            };
+            let n_scalars = r.u32()? as usize;
+            let mut scalars = Vec::with_capacity(n_scalars.min(1024));
+            for _ in 0..n_scalars {
+                scalars.push(f64::from_bits(r.u64()?));
+            }
+            match &techs[t] {
+                Some((rules, _)) => {
+                    let key = GenKey {
+                        entity,
+                        tech_id: rules.id(),
+                        source,
+                        params,
+                    };
+                    restored.push((key, Arc::new(CachedModule { layout, scalars })));
+                }
+                None => skipped += 1,
+            }
+        }
+        if r.pos != payload.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} trailing bytes after the last entry",
+                payload.len() - r.pos
+            )));
+        }
+        let stats = SnapshotStats {
+            restored: restored.len(),
+            skipped,
+        };
+        for (key, module) in restored {
+            self.put(key, module);
+        }
+        Ok(stats)
+    }
+}
+
+/// Advances the reader past one serialized layout without materializing
+/// it — used for entries whose technology the restoring process skips.
+fn skim_layout(r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+    r.str()?; // name
+    let n_nets = r.u32()? as usize;
+    for _ in 0..n_nets {
+        r.str()?;
+    }
+    let n_shapes = r.u32()? as usize;
+    for _ in 0..n_shapes {
+        r.u32()?; // layer
+        read_rect(r)?;
+        r.u32()?; // net
+        r.u8()?;
+        r.u8()?;
+        r.u8()?;
+    }
+    let n_ports = r.u32()? as usize;
+    for _ in 0..n_ports {
+        r.str()?;
+        r.u32()?;
+        read_rect(r)?;
+        r.u32()?;
+    }
+    let n_groups = r.u32()? as usize;
+    for _ in 0..n_groups {
+        r.str()?;
+        let n_idx = r.u32()? as usize;
+        for _ in 0..n_idx {
+            r.u32()?;
+        }
+        r.u8()?;
+        r.u32()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amgen_tech::Tech;
+
+    fn sample_object(rules: &RuleSet) -> LayoutObject {
+        let metal = rules.layer("metal1").unwrap();
+        let poly = rules.layer("poly").unwrap();
+        let mut obj = LayoutObject::new("warm");
+        let gnd = obj.net("gnd");
+        obj.push(
+            Shape::new(metal, Rect::new(0, 0, 100, 20))
+                .with_net(gnd)
+                .with_edges(EdgeFlags::FIXED.with_variable(Dir::East)),
+        );
+        obj.push(Shape::new(poly, Rect::new(10, -5, 20, 30)).with_keepout());
+        obj.push_port(Port {
+            name: "out".into(),
+            layer: metal,
+            rect: Rect::new(90, 0, 100, 20),
+            net: Some(gnd),
+        });
+        obj.add_group(
+            "cuts",
+            vec![0, 1],
+            Some(RebuildKind::ContactArray { cut: poly }),
+        );
+        obj
+    }
+
+    fn keyed(rules: &RuleSet) -> (GenKey, CachedModule) {
+        let mut key = GenKey::entity("Row", rules.id(), 0xfeed);
+        key.push(CanonParam::Int(-3));
+        key.push(CanonParam::Str("poly".into()));
+        key.push(CanonParam::num(crate::Stage::Dsl, 2.5).unwrap());
+        key.push(CanonParam::None);
+        (
+            key,
+            CachedModule {
+                layout: sample_object(rules),
+                scalars: vec![1.25, -0.5],
+            },
+        )
+    }
+
+    #[test]
+    fn round_trip_remaps_tech_id_and_preserves_content() {
+        let rules_a = Tech::bicmos_1u().compile_arc();
+        let cache = GenCache::new();
+        let (key, module) = keyed(&rules_a);
+        cache.put(key.clone(), Arc::new(module.clone()));
+
+        let image = cache.snapshot(42, &[("bicmos_1u", Arc::clone(&rules_a))]);
+
+        // "Restart": a freshly compiled kernel has a different tech_id.
+        let rules_b = Tech::bicmos_1u().compile_arc();
+        assert_ne!(rules_a.id(), rules_b.id(), "tech ids are process-unique");
+        let warm = GenCache::new();
+        let stats = warm
+            .restore(&image, 42, |name| {
+                (name == "bicmos_1u").then(|| Arc::clone(&rules_b))
+            })
+            .unwrap();
+        assert_eq!(
+            stats,
+            SnapshotStats {
+                restored: 1,
+                skipped: 0
+            }
+        );
+
+        // The old-brand key misses; the remapped key hits.
+        assert!(warm.get(&key).is_none());
+        let mut new_key = key.clone();
+        new_key.tech_id = rules_b.id();
+        let hit = warm.get(&new_key).expect("remapped key hits");
+        assert_eq!(hit.scalars, module.scalars);
+        // Layer brands differ by construction, so compare layouts
+        // field-wise through the name-level view.
+        assert_eq!(hit.layout.name(), module.layout.name());
+        assert_eq!(hit.layout.net_names(), module.layout.net_names());
+        assert_eq!(hit.layout.shapes().len(), module.layout.shapes().len());
+        for (h, m) in hit.layout.shapes().iter().zip(module.layout.shapes()) {
+            assert_eq!(h.rect, m.rect);
+            assert_eq!(h.layer.index(), m.layer.index());
+            assert_eq!(
+                (h.net, h.edges, h.role, h.keepout),
+                (m.net, m.edges, m.role, m.keepout)
+            );
+        }
+        assert_eq!(hit.layout.ports().len(), module.layout.ports().len());
+        assert_eq!(hit.layout.groups().len(), module.layout.groups().len());
+        assert_eq!(hit.layout.groups()[0].shapes, vec![0, 1]);
+        // Layer brands were rewritten onto rules_b.
+        assert_eq!(rules_b.layer_name(hit.layout.shapes()[0].layer), "metal1");
+        // Edge flags and roles survived the bit round-trip.
+        assert!(hit.layout.shapes()[0].edges.is_variable(Dir::East));
+        assert!(!hit.layout.shapes()[0].edges.is_variable(Dir::West));
+        assert!(hit.layout.shapes()[1].keepout);
+    }
+
+    #[test]
+    fn snapshot_bytes_are_deterministic() {
+        let rules = Tech::bicmos_1u().compile_arc();
+        let mk = || {
+            let cache = GenCache::new();
+            // Insert in two different orders.
+            let (k1, m1) = keyed(&rules);
+            let mut k2 = k1.clone();
+            k2.entity = "Other".into();
+            cache.put(k2.clone(), Arc::new(m1.clone()));
+            cache.put(k1.clone(), Arc::new(m1.clone()));
+            cache.snapshot(1, &[("bicmos_1u", Arc::clone(&rules))])
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn corrupt_and_stale_images_are_rejected_without_side_effects() {
+        let rules = Tech::bicmos_1u().compile_arc();
+        let cache = GenCache::new();
+        let (key, module) = keyed(&rules);
+        cache.put(key, Arc::new(module));
+        let image = cache.snapshot(7, &[("bicmos_1u", Arc::clone(&rules))]);
+
+        let warm = GenCache::new();
+        let resolve = |name: &str| (name == "bicmos_1u").then(|| Arc::clone(&rules));
+
+        assert_eq!(
+            warm.restore(b"not a snapshot", 7, resolve),
+            Err(SnapshotError::BadMagic)
+        );
+        // Flip one payload byte: checksum catches it.
+        let mut torn = image.clone();
+        let last = torn.len() - 1;
+        torn[last] ^= 0x40;
+        assert_eq!(
+            warm.restore(&torn, 7, resolve),
+            Err(SnapshotError::ChecksumMismatch)
+        );
+        // Truncate inside the payload: length check catches it.
+        let short = &image[..image.len() - 3];
+        assert!(matches!(
+            warm.restore(short, 7, resolve),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        // Different stdlib hash: rejected wholesale.
+        assert_eq!(
+            warm.restore(&image, 8, resolve),
+            Err(SnapshotError::StaleStdlib {
+                expected: 8,
+                found: 7
+            })
+        );
+        // Unknown version: rejected.
+        let mut vers = image.clone();
+        vers[8] = 0xEE;
+        assert!(matches!(
+            warm.restore(&vers, 7, resolve),
+            Err(SnapshotError::BadVersion(_))
+        ));
+        assert!(warm.is_empty(), "every rejection leaves the cache cold");
+    }
+
+    #[test]
+    fn unknown_tech_entries_are_skipped_not_fatal() {
+        let bicmos = Tech::bicmos_1u().compile_arc();
+        let cmos = Tech::cmos_08().compile_arc();
+        let cache = GenCache::new();
+        let (key_b, module) = keyed(&bicmos);
+        let mut key_c = key_b.clone();
+        key_c.tech_id = cmos.id();
+        cache.put(key_b, Arc::new(module.clone()));
+        cache.put(key_c, Arc::new(module));
+        let image = cache.snapshot(
+            7,
+            &[
+                ("bicmos_1u", Arc::clone(&bicmos)),
+                ("cmos_08", Arc::clone(&cmos)),
+            ],
+        );
+
+        // The restoring process only knows bicmos_1u.
+        let fresh = Tech::bicmos_1u().compile_arc();
+        let warm = GenCache::new();
+        let stats = warm
+            .restore(&image, 7, |name| {
+                (name == "bicmos_1u").then(|| Arc::clone(&fresh))
+            })
+            .unwrap();
+        assert_eq!(
+            stats,
+            SnapshotStats {
+                restored: 1,
+                skipped: 1
+            }
+        );
+        assert_eq!(warm.len(), 1);
+    }
+}

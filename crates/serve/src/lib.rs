@@ -39,4 +39,4 @@ pub mod server;
 
 pub use json::Json;
 pub use proto::{ErrorCode, ErrorPhase, Request, Response};
-pub use server::{run_once, ServeConfig, Server};
+pub use server::{run_once, OnceSummary, ServeConfig, Server, WorkerChaos, WorkerFate};

@@ -204,6 +204,14 @@ pub enum ErrorCode {
     AdmissionRefused,
     /// The server shed the request under load before executing it.
     Overloaded,
+    /// The server is draining towards shutdown and no longer admits
+    /// work; `error.retry_after_ms` hints when to try another instance.
+    ShuttingDown,
+    /// The tenant's circuit breaker is open: its recent window was
+    /// dominated by refusals/panics, so the request is fast-refused
+    /// without spending lint/admission CPU. `error.retry_after_ms`
+    /// carries the breaker cooldown.
+    CircuitOpen,
     /// A dynamic budget resource ran out mid-run
     /// (`GenErrorKind::BudgetExhausted`); `error.resource` names it.
     BudgetExhausted,
@@ -226,7 +234,7 @@ pub enum ErrorCode {
 impl ErrorCode {
     /// All codes, in the order documented in SERVING.md: protocol,
     /// admission, overload, then the runtime taxonomy.
-    pub const ALL: [ErrorCode; 16] = [
+    pub const ALL: [ErrorCode; 18] = [
         ErrorCode::BadFrame,
         ErrorCode::FrameTooLarge,
         ErrorCode::Truncated,
@@ -237,6 +245,8 @@ impl ErrorCode {
         ErrorCode::LintRejected,
         ErrorCode::AdmissionRefused,
         ErrorCode::Overloaded,
+        ErrorCode::ShuttingDown,
+        ErrorCode::CircuitOpen,
         ErrorCode::BudgetExhausted,
         ErrorCode::Cancelled,
         ErrorCode::WorkerPanic,
@@ -258,6 +268,8 @@ impl ErrorCode {
             ErrorCode::LintRejected => "LINT_REJECTED",
             ErrorCode::AdmissionRefused => "ADMISSION_REFUSED",
             ErrorCode::Overloaded => "OVERLOADED",
+            ErrorCode::ShuttingDown => "SHUTTING_DOWN",
+            ErrorCode::CircuitOpen => "CIRCUIT_OPEN",
             ErrorCode::BudgetExhausted => "BUDGET_EXHAUSTED",
             ErrorCode::Cancelled => "CANCELLED",
             ErrorCode::WorkerPanic => "WORKER_PANIC",
@@ -278,7 +290,9 @@ impl ErrorCode {
             | ErrorCode::BadRequest
             | ErrorCode::UnknownTech => ErrorPhase::Protocol,
             ErrorCode::LintRejected | ErrorCode::AdmissionRefused => ErrorPhase::Admission,
-            ErrorCode::Overloaded => ErrorPhase::Overload,
+            ErrorCode::Overloaded | ErrorCode::ShuttingDown | ErrorCode::CircuitOpen => {
+                ErrorPhase::Overload
+            }
             ErrorCode::BudgetExhausted
             | ErrorCode::Cancelled
             | ErrorCode::WorkerPanic
@@ -543,6 +557,7 @@ impl Request {
 pub struct Response {
     payload: Json,
     stats: Option<Json>,
+    code: Option<ErrorCode>,
 }
 
 impl Response {
@@ -558,6 +573,7 @@ impl Response {
                 ("diagnostics", diagnostics),
             ]),
             stats: None,
+            code: None,
         }
     }
 
@@ -579,7 +595,15 @@ impl Response {
                 ("diagnostics", diagnostics),
             ]),
             stats: None,
+            code: Some(code),
         }
+    }
+
+    /// The typed error code, `None` for a success response. Lets the
+    /// server branch on the outcome (exit codes, breaker accounting)
+    /// without re-parsing its own wire JSON.
+    pub fn code(&self) -> Option<ErrorCode> {
+        self.code
     }
 
     /// Attaches the non-deterministic stats section.

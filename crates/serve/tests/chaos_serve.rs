@@ -1,0 +1,568 @@
+//! Service-level chaos: workers killed and wedged mid-load, shutdown
+//! while clients are still sending, truncated connections, tripping
+//! circuit breakers, warm restarts from a cache snapshot. The contract
+//! under test is one sentence: **every accepted request gets exactly
+//! one typed response, and the process never dies.**
+//!
+//! Worker kills ride the test-only [`WorkerChaos`] hook, driven by a
+//! seeded `amgen-faults` plan so the kill schedule is deterministic
+//! and replayable.
+//!
+//! The `#[ignore]` soak at the bottom is the CI endurance gate:
+//!
+//! ```text
+//! cargo test --release -p amgen-serve --test chaos_serve -- --ignored --nocapture
+//! ```
+
+use std::collections::BTreeMap;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use amgen_core::{FaultAction, FaultHook, FaultSite};
+use amgen_faults::hostile::{self, Refusal};
+use amgen_faults::FaultPlan;
+use amgen_serve::json::{self, Json};
+use amgen_serve::proto::{read_frame, write_frame};
+use amgen_serve::{ServeConfig, Server, WorkerChaos, WorkerFate};
+
+/// The figure workloads of the load harness — requests that must
+/// succeed when they are not the one in a killed worker's hand.
+const FIGURES: [(&str, &str); 4] = [
+    (
+        "fig2-poly",
+        r#"{"id":"fig2-poly","source":"row = ContactRow(layer = \"poly\", W = 10)"}"#,
+    ),
+    (
+        "fig7",
+        r#"{"id":"fig7","source":"pair = DiffPair(W = 10, L = 2)"}"#,
+    ),
+    (
+        "interdigit",
+        r#"{"id":"interdigit","source":"t = Interdigit(n = 4, W = 8, L = 2)"}"#,
+    ),
+    (
+        "stacked",
+        r#"{"id":"stacked","source":"s = Stacked(n = 3, W = 8, L = 2)"}"#,
+    ),
+];
+
+/// A chaos hook killing the occurrences a seeded fault plan names: the
+/// plan's per-site counter makes "kill the 3rd, 7th and 11th dequeue"
+/// deterministic in *count* regardless of thread interleaving.
+#[derive(Debug)]
+struct PlanChaos(Arc<FaultPlan>);
+
+impl WorkerChaos for PlanChaos {
+    fn fate(&self, _shard: usize, _seq: u64) -> WorkerFate {
+        match self.0.decide(FaultSite::OptWorker, "serve-worker") {
+            FaultAction::Panic => WorkerFate::Kill,
+            _ => WorkerFate::Run,
+        }
+    }
+}
+
+/// Wedges (sleeps through) exactly the first `n` dequeues, process-wide.
+#[derive(Debug)]
+struct WedgeFirst {
+    remaining: AtomicU64,
+    wedge: Duration,
+}
+
+impl WorkerChaos for WedgeFirst {
+    fn fate(&self, _shard: usize, _seq: u64) -> WorkerFate {
+        let prev = self
+            .remaining
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .unwrap_or(0);
+        if prev > 0 {
+            WorkerFate::Wedge(self.wedge)
+        } else {
+            WorkerFate::Run
+        }
+    }
+}
+
+fn request(stream: &mut TcpStream, req: &str) -> Json {
+    write_frame(stream, req.as_bytes()).expect("write request");
+    let payload = read_frame(stream, usize::MAX).expect("read response");
+    json::parse(std::str::from_utf8(&payload).unwrap()).expect("valid response JSON")
+}
+
+/// "ok" or the error code — every response must be one or the other.
+fn outcome(doc: &Json) -> String {
+    if doc.get("ok").and_then(Json::as_bool) == Some(true) {
+        return "ok".to_string();
+    }
+    doc.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .expect("failed response carries error.code")
+        .to_string()
+}
+
+/// Strips the documented non-deterministic `stats` section.
+fn deterministic_payload(doc: Json) -> String {
+    match doc {
+        Json::Obj(mut m) => {
+            m.remove("stats");
+            Json::Obj(m).to_string()
+        }
+        other => other.to_string(),
+    }
+}
+
+fn stat(doc: &Json, field: &str) -> f64 {
+    doc.get("stats")
+        .and_then(|s| s.get(field))
+        .and_then(Json::as_num)
+        .unwrap_or_else(|| panic!("stats.{field} present"))
+}
+
+/// Reference payloads from a quiet (chaos-free) server, for the
+/// byte-identical-after-recovery assertions.
+fn quiet_payloads() -> BTreeMap<String, String> {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut payloads = BTreeMap::new();
+    for (id, req) in FIGURES {
+        let doc = request(&mut stream, req);
+        assert_eq!(outcome(&doc), "ok", "quiet run serves `{id}`");
+        payloads.insert(id.to_string(), deterministic_payload(doc));
+    }
+    drop(stream);
+    server.shutdown();
+    payloads
+}
+
+#[test]
+fn killed_workers_are_respawned_and_no_request_is_lost() {
+    let reference = quiet_payloads();
+
+    // Kill the 3rd, 7th and 11th dequeue — three worker deaths spread
+    // through the run, each with a job in hand.
+    let (plan, _hook) = FaultPlan::new(0xC4A05)
+        .panic_at(FaultSite::OptWorker, &[3, 7, 11])
+        .build();
+    let config = ServeConfig {
+        workers: 2,
+        worker_chaos: Some(Arc::new(PlanChaos(plan.clone()))),
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).expect("bind");
+    let addr = server.addr();
+
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 10;
+    let outcomes: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let payloads: Mutex<BTreeMap<String, Vec<String>>> = Mutex::new(BTreeMap::new());
+
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let outcomes = &outcomes;
+            let payloads = &payloads;
+            scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                for i in 0..PER_CLIENT {
+                    let (id, req) = FIGURES[(client + i) % FIGURES.len()];
+                    // Distinct tenants spread the load over both shards.
+                    let req = format!("{{\"tenant\":\"chaos-{client}\",{}", &req[1..]);
+                    let doc = request(&mut stream, &req);
+                    assert_eq!(
+                        doc.get("id").and_then(Json::as_str),
+                        Some(id),
+                        "every accepted request is answered under its own id"
+                    );
+                    let o = outcome(&doc);
+                    if o == "ok" {
+                        payloads
+                            .lock()
+                            .unwrap()
+                            .entry(id.to_string())
+                            .or_default()
+                            .push(deterministic_payload(doc));
+                    }
+                    outcomes.lock().unwrap().push(o);
+                }
+            });
+        }
+    });
+
+    let outcomes = outcomes.lock().unwrap();
+    assert_eq!(outcomes.len(), CLIENTS * PER_CLIENT, "one response each");
+    let panics = outcomes.iter().filter(|o| *o == "WORKER_PANIC").count();
+    let oks = outcomes.iter().filter(|o| *o == "ok").count();
+    assert!(
+        outcomes.iter().all(|o| o == "ok" || o == "WORKER_PANIC"),
+        "only success or the kill's own typed error: {outcomes:?}"
+    );
+    // The plan fired exactly its three scheduled kills; each killed
+    // exactly one in-hand job and no other.
+    assert_eq!(plan.injected(), 3, "the kill schedule ran to completion");
+    assert_eq!(panics, 3, "each kill costs exactly the job in hand");
+    assert_eq!(oks, CLIENTS * PER_CLIENT - 3);
+
+    // Wait out the supervisor's poll interval for the last respawn.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.respawns() < 3 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.worker_panics(), 3, "every death was observed");
+    assert_eq!(server.respawns(), 3, "every death was replaced");
+
+    // Post-recovery payloads are byte-identical to the quiet run's.
+    for (id, observed) in payloads.lock().unwrap().iter() {
+        for p in observed {
+            assert_eq!(p, &reference[id], "payload for `{id}` after recovery");
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn wedged_worker_trips_the_watchdog_and_is_replaced() {
+    // One worker, a tight watchdog, and a first job that sleeps far
+    // past twice the watchdog: the supervisor must cancel, then abandon
+    // and respawn. The wedged thread still answers its job late —
+    // better a late answer than a dropped one.
+    let config = ServeConfig {
+        workers: 1,
+        watchdog: Duration::from_millis(100),
+        worker_chaos: Some(Arc::new(WedgeFirst {
+            remaining: AtomicU64::new(1),
+            wedge: Duration::from_millis(700),
+        })),
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).expect("bind");
+    let addr = server.addr();
+
+    let wedged = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let doc = request(&mut stream, FIGURES[0].1);
+        outcome(&doc)
+    });
+
+    // While the first job is wedged, the replacement worker must serve
+    // fresh traffic on the same shard.
+    std::thread::sleep(Duration::from_millis(350));
+    assert!(server.respawns() >= 1, "the wedged worker was replaced");
+    assert!(server.watchdog_cancels() >= 1, "the watchdog fired first");
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let doc = request(&mut stream, FIGURES[1].1);
+    assert_eq!(outcome(&doc), "ok", "replacement serves while wedged");
+
+    let late = wedged.join().expect("client thread");
+    assert_eq!(late, "ok", "the wedged job is still answered");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_mid_load_answers_every_accepted_request() {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.addr();
+    const CLIENTS: usize = 6;
+    const PER_CLIENT: usize = 30;
+    let outcomes: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let outcomes = &outcomes;
+            scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                for i in 0..PER_CLIENT {
+                    let (_, req) = FIGURES[(client + i) % FIGURES.len()];
+                    let doc = request(&mut stream, req);
+                    outcomes.lock().unwrap().push(outcome(&doc));
+                }
+            });
+        }
+        // Pull the plug mid-load; the scope still joins every client,
+        // so every request written above must have been answered.
+        std::thread::sleep(Duration::from_millis(30));
+        server.begin_shutdown();
+    });
+
+    let outcomes = outcomes.lock().unwrap();
+    assert_eq!(outcomes.len(), CLIENTS * PER_CLIENT, "one response each");
+    assert!(
+        outcomes
+            .iter()
+            .all(|o| o == "ok" || o == "SHUTTING_DOWN" || o == "OVERLOADED"),
+        "only success or typed refusals during drain: {outcomes:?}"
+    );
+    assert!(
+        outcomes.iter().any(|o| o == "ok"),
+        "work accepted before the signal was served"
+    );
+    assert!(
+        outcomes.iter().any(|o| o == "SHUTTING_DOWN"),
+        "work arriving after the signal was refused, typed"
+    );
+    // Blocks until drained and joined; a hang here is the failure.
+    server.shutdown();
+}
+
+#[test]
+fn truncated_connections_under_chaos_leave_the_server_serving() {
+    let (plan, _hook) = FaultPlan::new(7)
+        .panic_at(FaultSite::OptWorker, &[2, 4])
+        .build();
+    let config = ServeConfig {
+        worker_chaos: Some(Arc::new(PlanChaos(plan))),
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).expect("bind");
+    let addr = server.addr();
+
+    for round in 0..8 {
+        // A client that declares a frame and vanishes mid-payload…
+        {
+            use std::io::Write;
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(b"5000\n{\"id\":\"gone").unwrap();
+        }
+        // …interleaved with real traffic that keeps hitting the kill
+        // schedule. Both kinds of abuse at once must leave the server
+        // answering: ok or the kill's typed error, never a hang.
+        let (id, req) = FIGURES[round % FIGURES.len()];
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let doc = request(&mut stream, req);
+        assert_eq!(doc.get("id").and_then(Json::as_str), Some(id));
+        let o = outcome(&doc);
+        assert!(o == "ok" || o == "WORKER_PANIC", "round {round}: {o}");
+    }
+
+    // The probe after all abuse: a fresh connection and a clean answer.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    assert_eq!(outcome(&request(&mut stream, FIGURES[0].1)), "ok");
+    assert_eq!(server.worker_panics(), 2, "the kill schedule completed");
+    server.shutdown();
+}
+
+#[test]
+fn breaker_trips_on_a_refusal_storm_and_recovers_after_cooldown() {
+    let lint_bomb = hostile::ALL
+        .iter()
+        .find(|b| matches!(b.refusal, Refusal::Lint))
+        .expect("hostile corpus has a lint-rejected program");
+    let config = ServeConfig {
+        breaker_window: 8,
+        breaker_cooldown: Duration::from_millis(300),
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).expect("bind");
+    let addr = server.addr();
+    let mut evil = TcpStream::connect(addr).expect("connect");
+    let mut good = TcpStream::connect(addr).expect("connect");
+
+    let bomb_req = format!(
+        r#"{{"id":"storm","tenant":"evil","source":{}}}"#,
+        Json::from(lint_bomb.source)
+    );
+    let good_req = |tenant: &str| {
+        format!(
+            r#"{{"id":"fine","tenant":"{tenant}","source":"row = ContactRow(layer = \"poly\", W = 10)"}}"#
+        )
+    };
+
+    // Fill the window with refusals: each is answered LINT_REJECTED
+    // (the breaker is *recording*, not yet refusing).
+    for i in 0..8 {
+        let doc = request(&mut evil, &bomb_req);
+        assert_eq!(outcome(&doc), "LINT_REJECTED", "storm request {i}");
+    }
+    // The window is full and 100% caller-fault: open. Fast refusal with
+    // the documented deterministic retry hint (= the cooldown).
+    let doc = request(&mut evil, &bomb_req);
+    assert_eq!(outcome(&doc), "CIRCUIT_OPEN");
+    assert_eq!(
+        doc.get("error")
+            .and_then(|e| e.get("retry_after_ms"))
+            .and_then(Json::as_num),
+        Some(300.0),
+        "retry_after_ms is the configured cooldown, not a measured time"
+    );
+    assert!(server.breaker_refused() >= 1);
+
+    // Another tenant is untouched by evil's breaker.
+    let doc = request(&mut good, &good_req("good"));
+    assert_eq!(outcome(&doc), "ok", "breakers are per-tenant");
+
+    // After the cooldown the breaker admits one probe; a good probe
+    // closes it and normal service resumes.
+    std::thread::sleep(Duration::from_millis(350));
+    let doc = request(&mut evil, &good_req("evil"));
+    assert_eq!(outcome(&doc), "ok", "the half-open probe is admitted");
+    let doc = request(&mut evil, &good_req("evil"));
+    assert_eq!(outcome(&doc), "ok", "a good probe closes the breaker");
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_warm_restart_hits_the_cache_and_corruption_means_cold_start() {
+    let reference = quiet_payloads();
+    let path = std::env::temp_dir().join(format!("amgen-chaos-snap-{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let config = || ServeConfig {
+        cache_snapshot: Some(path.clone()),
+        ..ServeConfig::default()
+    };
+
+    // Server A: populate the cache, then save it on graceful shutdown.
+    {
+        let server = Server::start("127.0.0.1:0", config()).expect("bind");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        for (_, req) in FIGURES {
+            assert_eq!(outcome(&request(&mut stream, req)), "ok");
+        }
+        drop(stream);
+        server.shutdown();
+    }
+    assert!(path.exists(), "graceful shutdown wrote the snapshot");
+
+    // Server B: the very first figure request is a cache hit, and the
+    // payload matches the quiet reference byte for byte.
+    {
+        let server = Server::start("127.0.0.1:0", config()).expect("bind");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        let (id, req) = FIGURES[0];
+        let doc = request(&mut stream, req);
+        assert_eq!(outcome(&doc), "ok");
+        assert!(
+            stat(&doc, "cache_hits") >= 1.0,
+            "warm restart serves the first repeat from the cache: {doc}"
+        );
+        assert_eq!(stat(&doc, "cache_misses"), 0.0);
+        assert_eq!(
+            deterministic_payload(doc),
+            reference[id],
+            "restored cache changes nothing in the payload"
+        );
+        drop(stream);
+        server.shutdown();
+    }
+
+    // Corrupt the snapshot: flip bytes in the middle. The next start
+    // must come up cold — no error a client can observe, and certainly
+    // no trust in the corrupted image.
+    let mut image = std::fs::read(&path).expect("snapshot readable");
+    let mid = image.len() / 2;
+    for b in image.iter_mut().skip(mid).take(16) {
+        *b ^= 0xA5;
+    }
+    std::fs::write(&path, &image).expect("rewrite snapshot");
+    {
+        let server = Server::start("127.0.0.1:0", config()).expect("bind");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        let (id, req) = FIGURES[0];
+        let doc = request(&mut stream, req);
+        assert_eq!(outcome(&doc), "ok", "corrupt snapshot still serves");
+        assert!(
+            stat(&doc, "cache_misses") >= 1.0,
+            "corrupt snapshot means a cold cache, not a poisoned one"
+        );
+        assert_eq!(deterministic_payload(doc), reference[id]);
+        drop(stream);
+        server.shutdown();
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The endurance gate: ≥30 s of mixed load with scheduled worker kills
+/// and one mid-load graceful restart over a cache snapshot. Prints the
+/// `BENCH_serve_chaos:` line ci.sh greps for.
+#[test]
+#[ignore = "soak: run explicitly with --ignored (the CI chaos gate)"]
+fn soak_mixed_load_with_kills_and_one_restart() {
+    let path = std::env::temp_dir().join(format!("amgen-soak-snap-{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    const HALF: Duration = Duration::from_secs(16);
+    const CLIENTS: usize = 4;
+    let t0 = Instant::now();
+    let total_requests = AtomicU64::new(0);
+    let total_ok = AtomicU64::new(0);
+    let total_panics = AtomicU64::new(0);
+    let total_refused = AtomicU64::new(0);
+    let mut kills = 0;
+    let mut respawns = 0;
+
+    // Two halves around one graceful restart; both halves run the kill
+    // schedule near the start so recovery is exercised under load.
+    for half in 0..2 {
+        let (plan, _hook) = FaultPlan::new(0x50AC + half)
+            .panic_at(FaultSite::OptWorker, &[10, 60, 200])
+            .build();
+        let config = ServeConfig {
+            workers: 2,
+            cache_snapshot: Some(path.clone()),
+            worker_chaos: Some(Arc::new(PlanChaos(plan.clone()))),
+            ..ServeConfig::default()
+        };
+        let server = Server::start("127.0.0.1:0", config).expect("bind");
+        let addr = server.addr();
+        let deadline = Instant::now() + HALF;
+
+        std::thread::scope(|scope| {
+            for client in 0..CLIENTS {
+                let (requests, oks, panics, refused) =
+                    (&total_requests, &total_ok, &total_panics, &total_refused);
+                scope.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    let mut i = 0usize;
+                    while Instant::now() < deadline {
+                        let (_, req) = FIGURES[(client + i) % FIGURES.len()];
+                        i += 1;
+                        let doc = request(&mut stream, req);
+                        requests.fetch_add(1, Ordering::Relaxed);
+                        match outcome(&doc).as_str() {
+                            "ok" => {
+                                oks.fetch_add(1, Ordering::Relaxed);
+                            }
+                            "WORKER_PANIC" => {
+                                panics.fetch_add(1, Ordering::Relaxed);
+                            }
+                            "SHUTTING_DOWN" | "OVERLOADED" => {
+                                refused.fetch_add(1, Ordering::Relaxed);
+                            }
+                            other => panic!("untyped outcome under chaos: {other}"),
+                        }
+                    }
+                });
+            }
+        });
+        kills += plan.injected();
+        respawns += server.respawns();
+        // Mid-load restart between the halves: graceful drain + snapshot
+        // save, then the second half warm-starts from it.
+        server.shutdown();
+    }
+
+    let wall = t0.elapsed();
+    let requests = total_requests.load(Ordering::Relaxed);
+    let oks = total_ok.load(Ordering::Relaxed);
+    let panics = total_panics.load(Ordering::Relaxed);
+    let refused = total_refused.load(Ordering::Relaxed);
+    assert!(wall >= Duration::from_secs(30), "soak must run ≥30 s");
+    assert!(kills >= 3, "the soak must inject ≥3 worker kills: {kills}");
+    assert_eq!(
+        requests,
+        oks + panics + refused,
+        "every request has exactly one typed outcome"
+    );
+    assert!(oks > 0 && requests > 0);
+    println!(
+        "BENCH_serve_chaos: duration_s={} requests={} ok={} worker_panic={} refused={} \
+         kills={} respawns={} restarts=1 throughput_rps={:.0}",
+        wall.as_secs(),
+        requests,
+        oks,
+        panics,
+        refused,
+        kills,
+        respawns,
+        requests as f64 / wall.as_secs_f64()
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -100,6 +100,37 @@ fn mid_request_disconnect_is_a_clean_close() {
 }
 
 #[test]
+fn mid_response_write_disconnect_is_counted_and_survived() {
+    use std::time::{Duration, Instant};
+    let server = start();
+    // Pipeline two requests and vanish without reading either answer:
+    // the server meets a dead socket mid-response-write (the first
+    // response may land in kernel buffers; the second write or the
+    // next read observes the reset). Either way: counted, logged, and
+    // the worker that produced the responses is untouched.
+    for _ in 0..4 {
+        let mut stream = connect(&server);
+        let req = r#"{"id":"ghost","source":"row = ContactRow(layer = \"poly\", W = 10)"}"#;
+        write_frame(&mut stream, req.as_bytes()).unwrap();
+        write_frame(&mut stream, req.as_bytes()).unwrap();
+        // Closing with the responses unread makes the kernel send RST
+        // rather than FIN, so the server's next write or read on this
+        // connection genuinely fails instead of filling a dead buffer.
+        drop(stream);
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.client_disconnects() == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        server.client_disconnects() >= 1,
+        "a vanished client is counted, not ignored"
+    );
+    assert_still_serving(&server);
+    server.shutdown();
+}
+
+#[test]
 fn invalid_utf8_and_bad_json_keep_the_connection_usable() {
     let server = start();
     let mut stream = connect(&server);

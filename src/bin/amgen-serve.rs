@@ -15,12 +15,25 @@
 //! amgen-serve --max-frame 1048576      largest accepted frame, bytes
 //! amgen-serve --max-tenants 64         tenants tracked individually
 //! amgen-serve --stats-every 30         periodic stats block, seconds
+//! amgen-serve --drain-ms 2000          shutdown drain deadline
+//! amgen-serve --watchdog-ms 10000      wedged-worker watchdog
+//! amgen-serve --breaker-window 16      circuit-breaker sample window
+//! amgen-serve --breaker-cooldown-ms 1000   breaker open duration
+//! amgen-serve --cache-snapshot PATH    warm-restart cache snapshot file
 //! amgen-serve --once                   one stdin/stdout session, no TCP
 //! ```
 //!
-//! Exit status: 0 clean (`--once` end of stream), 2 usage or bind error.
+//! SIGTERM or SIGINT triggers a graceful shutdown: the listener stops
+//! accepting, queued requests drain under `--drain-ms`, in-flight work
+//! finishes, and (with `--cache-snapshot`) the generation cache is
+//! written for the next start.
+//!
+//! Exit status: 0 clean. In `--once` mode, 1 when any response carried
+//! a typed error code and 2 on a transport (I/O) failure; daemon mode
+//! exits 2 on usage or bind errors.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use amgen::serve::{run_once, ServeConfig, Server};
@@ -36,12 +49,18 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: amgen-serve [--addr HOST:PORT] [--workers N] [--queue N] [--max-frame BYTES]\n\
          \x20                  [--fuel N] [--wall-ms MS] [--max-tenants N] [--stats-every SECS]\n\
-         \x20                  [--once]\n\
+         \x20                  [--drain-ms MS] [--watchdog-ms MS] [--breaker-window N]\n\
+         \x20                  [--breaker-cooldown-ms MS] [--cache-snapshot PATH] [--once]\n\
          \n\
          Serves generator programs over the wire protocol in docs/SERVING.md.\n\
          --once reads frames from stdin and answers on stdout, then exits at\n\
-         end of stream — the mode tests and shell pipelines use.\n\
-         --stats-every prints a per-tenant metrics block to stderr periodically."
+         end of stream — the mode tests and shell pipelines use. Exit status\n\
+         there is 0 when every response was ok, 1 when any carried a typed\n\
+         error code, 2 on transport failure.\n\
+         --stats-every prints a per-tenant metrics block to stderr periodically.\n\
+         --cache-snapshot loads the generation cache from PATH at start (best\n\
+         effort; corrupt or stale images fall back to a cold cache) and saves\n\
+         it on graceful shutdown (SIGTERM/SIGINT)."
     );
     ExitCode::from(2)
 }
@@ -87,6 +106,24 @@ fn parse_args() -> Result<Opts, ExitCode> {
             "--wall-ms" => {
                 opts.config.wall_cap = Duration::from_millis(num(args.next(), "--wall-ms")?);
             }
+            "--drain-ms" => {
+                opts.config.drain = Duration::from_millis(num(args.next(), "--drain-ms")?);
+            }
+            "--watchdog-ms" => {
+                opts.config.watchdog =
+                    Duration::from_millis(num(args.next(), "--watchdog-ms")?.max(1));
+            }
+            "--breaker-window" => {
+                opts.config.breaker_window = num(args.next(), "--breaker-window")?.max(1) as usize;
+            }
+            "--breaker-cooldown-ms" => {
+                opts.config.breaker_cooldown =
+                    Duration::from_millis(num(args.next(), "--breaker-cooldown-ms")?);
+            }
+            "--cache-snapshot" => match args.next() {
+                Some(v) => opts.config.cache_snapshot = Some(v.into()),
+                None => return Err(usage()),
+            },
             "--stats-every" => opts.stats_every = Some(num(args.next(), "--stats-every")?.max(1)),
             "-h" | "--help" => return Err(usage()),
             other => {
@@ -98,6 +135,32 @@ fn parse_args() -> Result<Opts, ExitCode> {
     Ok(opts)
 }
 
+/// Set by the raw signal handler; the daemon loop polls it.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Install SIGTERM/SIGINT handlers without pulling in a signal crate:
+/// `signal(2)` is in every libc we link anyway, and an atomic store is
+/// async-signal-safe.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -108,13 +171,16 @@ fn main() -> ExitCode {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
         return match run_once(opts.config, &mut stdin.lock(), &mut stdout.lock()) {
-            Ok(()) => ExitCode::SUCCESS,
+            Ok(summary) if summary.errors == 0 => ExitCode::SUCCESS,
+            Ok(_) => ExitCode::from(1),
             Err(e) => {
                 eprintln!("amgen-serve: i/o error: {e}");
                 ExitCode::from(2)
             }
         };
     }
+
+    install_signal_handlers();
 
     let server = match Server::start(&opts.addr, opts.config) {
         Ok(s) => s,
@@ -127,12 +193,21 @@ fn main() -> ExitCode {
     println!("amgen-serve listening on {}", server.addr());
 
     let every = opts.stats_every.map(Duration::from_secs);
-    loop {
-        std::thread::sleep(every.unwrap_or(Duration::from_secs(3600)));
-        if every.is_some() {
-            for line in server.stats_lines() {
-                eprintln!("amgen-serve: {line}");
+    let mut last_stats = std::time::Instant::now();
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
+        if let Some(period) = every {
+            if last_stats.elapsed() >= period {
+                last_stats = std::time::Instant::now();
+                for line in server.stats_lines() {
+                    eprintln!("amgen-serve: {line}");
+                }
             }
         }
     }
+
+    eprintln!("amgen-serve: shutdown signal received; draining");
+    server.shutdown();
+    eprintln!("amgen-serve: shutdown complete");
+    ExitCode::SUCCESS
 }
